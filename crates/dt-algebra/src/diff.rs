@@ -1,0 +1,391 @@
+//! The differential relational operators of Data Triage §3.
+//!
+//! A [`DiffRelation`] is the triple `(S_noisy, S₊, S₋)` the paper uses
+//! to track how dropping (and, for non-monotone operators, adding)
+//! tuples propagates through a query. The triple maintains the paper's
+//! Equation (1):
+//!
+//! ```text
+//! S_noisy ≡ S + S₊ − S₋
+//! ```
+//!
+//! where `S` is the *base* (true) relation, `+`/`−` are multiset union
+//! and difference, `S₊` holds spuriously added rows and `S₋` the rows
+//! lost to shedding.
+//!
+//! Every operator here returns a triple whose reconstructed base equals
+//! the plain operator applied to the inputs' reconstructed bases — that
+//! is the invariant the property tests in `tests/` machine-check.
+//!
+//! The binary operators are evaluated in the *signed* multiset domain
+//! (see [`crate::signed`]) and the net change split into canonical
+//! disjoint `plus`/`minus` parts at the end. This matches the paper's
+//! formulas exactly — `(R₊, R₋)` pairs are only ever used through the
+//! difference `R₊ − R₋`, so canonicalization is harmless — while
+//! avoiding the side conditions that truncating multiset difference
+//! would otherwise impose. For set difference we additionally provide
+//! [`DiffRelation::set_difference_paper`], a literal transcription of
+//! the formulas printed in §3.2.5, so the two derivations can be
+//! compared in tests.
+
+use dt_types::Row;
+
+use crate::relation::Relation;
+use crate::signed::SignedRelation;
+
+/// The `(noisy, plus, minus)` triple of paper §3.1.
+///
+/// ```
+/// use dt_algebra::{DiffRelation, Relation};
+/// use dt_types::Row;
+///
+/// // A stream kept {1, 2} and dropped {3}.
+/// let kept = Relation::from_rows([Row::from_ints(&[1]), Row::from_ints(&[2])]);
+/// let dropped = Relation::from_rows([Row::from_ints(&[3])]);
+/// let d = DiffRelation::from_kept_dropped(kept, dropped);
+///
+/// // σ̂ commutes with reconstruction: base(σ̂(d)) == σ(base(d)).
+/// let sel = d.select(|r| r[0].as_i64().unwrap() >= 2);
+/// assert_eq!(
+///     sel.base().unwrap().to_sorted_rows(),
+///     vec![Row::from_ints(&[2]), Row::from_ints(&[3])],
+/// );
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiffRelation {
+    /// The relation the (lossy) system actually has.
+    pub noisy: Relation,
+    /// Rows present in `noisy` but absent from the true relation.
+    pub plus: Relation,
+    /// Rows lost from the true relation.
+    pub minus: Relation,
+}
+
+impl DiffRelation {
+    /// A triple from explicit parts.
+    pub fn new(noisy: Relation, plus: Relation, minus: Relation) -> Self {
+        DiffRelation { noisy, plus, minus }
+    }
+
+    /// A lossless relation: nothing added, nothing dropped.
+    pub fn exact(base: Relation) -> Self {
+        DiffRelation {
+            noisy: base,
+            plus: Relation::new(),
+            minus: Relation::new(),
+        }
+    }
+
+    /// The triage scenario: the system kept `kept` and dropped
+    /// `dropped`, so the true relation is `kept + dropped`.
+    pub fn from_kept_dropped(kept: Relation, dropped: Relation) -> Self {
+        DiffRelation {
+            noisy: kept,
+            plus: Relation::new(),
+            minus: dropped,
+        }
+    }
+
+    /// Reconstruct the base (true) relation `S = S_noisy − S₊ + S₋`.
+    ///
+    /// Returns `None` if the triple is not *well-formed* (the signed
+    /// reconstruction has a negative multiplicity), which cannot happen
+    /// for triples produced by this crate's operators from well-formed
+    /// inputs.
+    pub fn base(&self) -> Option<Relation> {
+        SignedRelation::from_relation(&self.noisy)
+            .minus_rel(&self.plus)
+            .plus_rel(&self.minus)
+            .to_relation()
+    }
+
+    /// Check Equation (1) against a claimed base relation, in the
+    /// truncation-free form `noisy + minus ≡ base + plus`.
+    pub fn invariant_holds_for(&self, base: &Relation) -> bool {
+        self.noisy.union_all(&self.minus) == base.union_all(&self.plus)
+    }
+
+    /// Canonicalize so `plus` and `minus` have disjoint support (rows
+    /// appearing in both cancel). Preserves the invariant.
+    pub fn canonicalize(&self) -> DiffRelation {
+        let net = SignedRelation::from_relation(&self.plus).minus_rel(&self.minus);
+        let (plus, minus) = net.split();
+        DiffRelation {
+            noisy: self.noisy.clone(),
+            plus,
+            minus,
+        }
+    }
+
+    /// Differential selection σ̂ (paper Eq. 4): apply σ to all three
+    /// channels.
+    pub fn select<F: Fn(&Row) -> bool>(&self, pred: F) -> DiffRelation {
+        DiffRelation {
+            noisy: self.noisy.select(&pred),
+            plus: self.plus.select(&pred),
+            minus: self.minus.select(&pred),
+        }
+    }
+
+    /// Differential (multiset) projection π̂ (paper Eq. 5): apply π to
+    /// all three channels. Only correct for multisets — `SELECT
+    /// DISTINCT` needs the deferred-projection rewrite (paper §8.1),
+    /// implemented in `dt-rewrite`.
+    pub fn project(&self, indices: &[usize]) -> DiffRelation {
+        DiffRelation {
+            noisy: self.noisy.project(indices),
+            plus: self.plus.project(indices),
+            minus: self.minus.project(indices),
+        }
+    }
+
+    /// Differential union-all: every channel unions independently
+    /// (union is linear).
+    pub fn union_all(&self, other: &DiffRelation) -> DiffRelation {
+        DiffRelation {
+            noisy: self.noisy.union_all(&other.noisy),
+            plus: self.plus.union_all(&other.plus),
+            minus: self.minus.union_all(&other.minus),
+        }
+    }
+
+    /// Differential cross product ×̂ (paper §3.2.3).
+    ///
+    /// `R_noisy = S_noisy × T_noisy`; the delta channels follow the
+    /// paper's expansion, evaluated in the signed domain:
+    ///
+    /// ```text
+    /// R₊ − R₋ =  S₊×T_noisy + (S_noisy−S₊)×T₊
+    ///          − S₋×(T_noisy−T₊) − (S_noisy−S₊)×T₋ − S₋×T₋  …
+    /// ```
+    ///
+    /// (equivalently: `R_noisy − S×T` where `S`, `T` are the
+    /// reconstructed bases — the two forms are algebraically identical;
+    /// see the property tests).
+    pub fn cross(&self, other: &DiffRelation) -> DiffRelation {
+        self.binary_signed(other, |a, b| a.cross(b), |a, b| a.cross(b))
+    }
+
+    /// Differential equijoin ⋈̂ (paper §3.2.4): same derivation as the
+    /// cross product with ⋈ in place of ×.
+    pub fn equijoin(&self, other: &DiffRelation, on: &[(usize, usize)]) -> DiffRelation {
+        self.binary_signed(
+            other,
+            |a, b| a.equijoin(b, on),
+            |a, b| a.equijoin(b, on),
+        )
+    }
+
+    /// Shared implementation of the bilinear binary operators (× and
+    /// ⋈): because these operators distribute over signed multiset
+    /// sums, `R₊ − R₋ = op(S_noisy, T_noisy) − op(S, T)` expands to the
+    /// paper's formulas. We evaluate it as
+    /// `op(noisy, noisy) − op(base_signed, base_signed)` in ℤ-multiset
+    /// arithmetic, then split.
+    fn binary_signed<FN, FS>(&self, other: &DiffRelation, op_noisy: FN, op_signed: FS) -> DiffRelation
+    where
+        FN: Fn(&Relation, &Relation) -> Relation,
+        FS: Fn(&SignedRelation, &SignedRelation) -> SignedRelation,
+    {
+        let noisy = op_noisy(&self.noisy, &other.noisy);
+        let s_base = SignedRelation::from_relation(&self.noisy)
+            .minus_rel(&self.plus)
+            .plus_rel(&self.minus);
+        let t_base = SignedRelation::from_relation(&other.noisy)
+            .minus_rel(&other.plus)
+            .plus_rel(&other.minus);
+        let true_result = op_signed(&s_base, &t_base);
+        let delta = SignedRelation::from_relation(&noisy).minus(&true_result);
+        let (plus, minus) = delta.split();
+        DiffRelation { noisy, plus, minus }
+    }
+
+    /// Differential set difference −̂ (truncating multiset `EXCEPT
+    /// ALL`).
+    ///
+    /// Set difference is *not* bilinear, so the signed-expansion trick
+    /// does not apply; instead we reconstruct the bases, apply the true
+    /// operator, and diff against the noisy result. Panics if either
+    /// input triple is malformed (negative reconstructed multiplicity);
+    /// triples built by this crate from real data are always well
+    /// formed.
+    pub fn set_difference(&self, other: &DiffRelation) -> DiffRelation {
+        let noisy = self.noisy.minus(&other.noisy);
+        let s_base = self.base().expect("malformed left operand of set difference");
+        let t_base = other.base().expect("malformed right operand of set difference");
+        let true_result = s_base.minus(&t_base);
+        let delta =
+            SignedRelation::from_relation(&noisy).minus(&SignedRelation::from_relation(&true_result));
+        let (plus, minus) = delta.split();
+        DiffRelation { noisy, plus, minus }
+    }
+
+    /// Literal transcription of the set-difference formulas printed in
+    /// paper §3.2.5:
+    ///
+    /// ```text
+    /// R_noisy = S_noisy − T_noisy
+    /// R₊ = (S₊ − T_noisy) + ((T₋ − S₊) ∩ S_noisy)
+    /// R₋ = (S₊ ∩ T₋) + ((S_noisy ∩ T₊) − S₊) + (S₋ − T₋ − T_noisy)
+    /// ```
+    ///
+    /// The printed formulas assume *set* semantics (distinct inputs);
+    /// tests compare them against [`DiffRelation::set_difference`] on
+    /// such inputs.
+    pub fn set_difference_paper(&self, other: &DiffRelation) -> DiffRelation {
+        let noisy = self.noisy.minus(&other.noisy);
+        let plus = self
+            .plus
+            .minus(&other.noisy)
+            .union_all(&other.minus.minus(&self.plus).intersect(&self.noisy));
+        let minus = self
+            .plus
+            .intersect(&other.minus)
+            .union_all(&self.noisy.intersect(&other.plus).minus(&self.plus))
+            .union_all(&self.minus.minus(&other.minus).minus(&other.noisy));
+        DiffRelation { noisy, plus, minus }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(rows: &[&[i64]]) -> Relation {
+        Relation::from_rows(rows.iter().map(|r| Row::from_ints(r)))
+    }
+
+    /// Build the triple for "base with these rows dropped".
+    fn dropped(base: &Relation, drop: &Relation) -> DiffRelation {
+        DiffRelation::from_kept_dropped(base.minus(drop), drop.intersect(base))
+    }
+
+    #[test]
+    fn exact_triple_reconstructs() {
+        let base = rel(&[&[1], &[2]]);
+        let d = DiffRelation::exact(base.clone());
+        assert_eq!(d.base().unwrap(), base);
+        assert!(d.invariant_holds_for(&base));
+    }
+
+    #[test]
+    fn kept_dropped_reconstructs() {
+        let base = rel(&[&[1], &[2], &[3]]);
+        let d = dropped(&base, &rel(&[&[2]]));
+        assert_eq!(d.noisy, rel(&[&[1], &[3]]));
+        assert_eq!(d.base().unwrap(), base);
+    }
+
+    #[test]
+    fn select_commutes_with_reconstruction() {
+        let base = rel(&[&[1], &[2], &[3], &[4]]);
+        let d = dropped(&base, &rel(&[&[2], &[4]]));
+        let pred = |r: &Row| r[0].as_i64().unwrap() % 2 == 0;
+        let sel = d.select(pred);
+        assert_eq!(sel.base().unwrap(), base.select(pred));
+    }
+
+    #[test]
+    fn project_commutes_with_reconstruction() {
+        let base = rel(&[&[1, 10], &[2, 20], &[2, 30]]);
+        let d = dropped(&base, &rel(&[&[2, 20]]));
+        let p = d.project(&[0]);
+        assert_eq!(p.base().unwrap(), base.project(&[0]));
+    }
+
+    #[test]
+    fn cross_commutes_with_reconstruction() {
+        let s_base = rel(&[&[1], &[2]]);
+        let t_base = rel(&[&[7], &[8]]);
+        let sd = dropped(&s_base, &rel(&[&[1]]));
+        let td = dropped(&t_base, &rel(&[&[8]]));
+        let c = sd.cross(&td);
+        assert_eq!(c.noisy, sd.noisy.cross(&td.noisy));
+        assert_eq!(c.base().unwrap(), s_base.cross(&t_base));
+    }
+
+    #[test]
+    fn join_commutes_with_reconstruction() {
+        let s_base = rel(&[&[1, 10], &[2, 20]]);
+        let t_base = rel(&[&[10, 5], &[20, 6], &[20, 7]]);
+        let sd = dropped(&s_base, &rel(&[&[2, 20]]));
+        let td = dropped(&t_base, &rel(&[&[10, 5]]));
+        let j = sd.equijoin(&td, &[(1, 0)]);
+        assert_eq!(j.base().unwrap(), s_base.equijoin(&t_base, &[(1, 0)]));
+        // Drop-only inputs to a join have no added results
+        // (footnote 1 of the paper): plus must be empty.
+        assert!(j.plus.is_empty(), "plus = {:?}", j.plus);
+    }
+
+    #[test]
+    fn set_difference_commutes_with_reconstruction() {
+        let s_base = rel(&[&[1], &[2], &[3]]);
+        let t_base = rel(&[&[2]]);
+        let sd = dropped(&s_base, &rel(&[&[1]]));
+        let td = dropped(&t_base, &rel(&[&[2]]));
+        let r = sd.set_difference(&td);
+        assert_eq!(r.base().unwrap(), s_base.minus(&t_base));
+        // Dropping from T *adds* rows to the noisy result relative to
+        // truth is false here; dropping 2 from T makes noisy keep 2 in
+        // S − T when the true answer drops it — that's a plus row.
+        assert!(r.invariant_holds_for(&s_base.minus(&t_base)));
+    }
+
+    #[test]
+    fn set_difference_drop_from_right_adds_output() {
+        // S = {1}, T = {1}: true S − T = ∅.
+        // If T's row is dropped, noisy = {1} − ∅ = {1}: one spurious row.
+        let s = DiffRelation::exact(rel(&[&[1]]));
+        let t = dropped(&rel(&[&[1]]), &rel(&[&[1]]));
+        let r = s.set_difference(&t);
+        assert_eq!(r.noisy, rel(&[&[1]]));
+        assert_eq!(r.plus, rel(&[&[1]]));
+        assert!(r.minus.is_empty());
+        assert_eq!(r.base().unwrap(), Relation::new());
+    }
+
+    #[test]
+    fn paper_set_difference_agrees_on_sets() {
+        // Set-semantics inputs: all relations distinct, drops ⊆ base.
+        let s_base = rel(&[&[1], &[2], &[3], &[4]]);
+        let t_base = rel(&[&[2], &[4], &[5]]);
+        for s_drop in [rel(&[]), rel(&[&[1]]), rel(&[&[2], &[3]])] {
+            for t_drop in [rel(&[]), rel(&[&[4]]), rel(&[&[2], &[5]])] {
+                let sd = dropped(&s_base, &s_drop);
+                let td = dropped(&t_base, &t_drop);
+                let ours = sd.set_difference(&td).canonicalize();
+                let papers = sd.set_difference_paper(&td).canonicalize();
+                assert_eq!(ours.noisy, papers.noisy);
+                assert_eq!(ours.plus, papers.plus, "s_drop={s_drop} t_drop={t_drop}");
+                assert_eq!(ours.minus, papers.minus, "s_drop={s_drop} t_drop={t_drop}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalize_cancels_overlap() {
+        let d = DiffRelation::new(rel(&[&[1]]), rel(&[&[2], &[3]]), rel(&[&[2]]));
+        let c = d.canonicalize();
+        assert_eq!(c.plus, rel(&[&[3]]));
+        assert!(c.minus.is_empty());
+        // Invariant is preserved: same base.
+        assert_eq!(d.base(), c.base());
+    }
+
+    #[test]
+    fn union_all_is_channelwise() {
+        let a = dropped(&rel(&[&[1], &[2]]), &rel(&[&[1]]));
+        let b = dropped(&rel(&[&[3]]), &rel(&[&[3]]));
+        let u = a.union_all(&b);
+        assert_eq!(u.base().unwrap(), rel(&[&[1], &[2], &[3]]));
+        assert_eq!(u.minus, rel(&[&[1], &[3]]));
+    }
+
+    #[test]
+    fn malformed_triple_has_no_base() {
+        // minus can't exceed what noisy+minus-plus allows: plus larger
+        // than noisy forces a negative base count.
+        let d = DiffRelation::new(rel(&[]), rel(&[&[9]]), rel(&[]));
+        assert!(d.base().is_none());
+    }
+}

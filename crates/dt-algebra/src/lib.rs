@@ -1,0 +1,36 @@
+//! Exact multiset relational algebra and the *differential* operators
+//! of Data Triage §3.
+//!
+//! This crate is the formal foundation of the reproduction. It serves
+//! two purposes:
+//!
+//! 1. **Ground truth.** The stream engine, the query rewriter, and the
+//!    synopsis layer are all validated against the exact multiset
+//!    semantics implemented here.
+//! 2. **The paper's theory, executable.** Section 3 of the paper
+//!    defines, for each relational operator `F`, a differential
+//!    operator `F̂` over triples `(S_noisy, S₊, S₋)` maintaining the
+//!    invariant `S_noisy ≡ S + S₊ − S₋`. We implement those operators
+//!    and machine-check the invariant with property tests, where the
+//!    paper proves it on paper.
+//!
+//! Modules:
+//!
+//! * [`relation`] — non-negative multiset relations with the operators
+//!   ⟨σ, π, ×, ⋈, −, ∪, ∩⟩.
+//! * [`signed`] — ℤ-valued multisets, used so the differential
+//!   formulas can be evaluated without worrying about the truncation
+//!   behaviour of non-negative multiset difference.
+//! * [`diff`] — the differential operators of paper §3.2.
+//! * [`spj`] — the select-project-join expansion of paper §4.2
+//!   (Eq. 12–14): computing `Q_kept` and `Q_dropped` for an n-way join
+//!   from per-input kept/dropped partitions.
+
+pub mod diff;
+pub mod relation;
+pub mod signed;
+pub mod spj;
+
+pub use diff::DiffRelation;
+pub use relation::Relation;
+pub use signed::SignedRelation;

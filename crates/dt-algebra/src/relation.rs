@@ -1,0 +1,412 @@
+//! Non-negative multiset relations.
+//!
+//! A [`Relation`] is a bag of [`Row`]s: each distinct row carries a
+//! non-negative multiplicity. All the classical bag-algebra operators
+//! are provided; `minus` is *truncating* multiset difference (SQL's
+//! `EXCEPT ALL`), and `intersect` takes per-row minimum multiplicities
+//! (`INTERSECT ALL`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dt_types::{Row, Value};
+
+/// A multiset of rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Relation {
+    counts: HashMap<Row, u64>,
+    /// Total multiplicity, maintained incrementally.
+    total: u64,
+}
+
+impl Relation {
+    /// The empty relation.
+    pub fn new() -> Self {
+        Relation::default()
+    }
+
+    /// Build from rows, accumulating duplicates.
+    pub fn from_rows<I: IntoIterator<Item = Row>>(rows: I) -> Self {
+        let mut r = Relation::new();
+        for row in rows {
+            r.insert(row);
+        }
+        r
+    }
+
+    /// Build from `(row, multiplicity)` pairs; zero multiplicities are
+    /// ignored.
+    pub fn from_counts<I: IntoIterator<Item = (Row, u64)>>(pairs: I) -> Self {
+        let mut r = Relation::new();
+        for (row, n) in pairs {
+            r.insert_n(row, n);
+        }
+        r
+    }
+
+    /// Insert one copy of a row.
+    pub fn insert(&mut self, row: Row) {
+        self.insert_n(row, 1);
+    }
+
+    /// Insert `n` copies of a row.
+    pub fn insert_n(&mut self, row: Row, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(row).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Remove one copy of a row if present; returns whether a copy was
+    /// removed.
+    pub fn remove_one(&mut self, row: &Row) -> bool {
+        if let Some(c) = self.counts.get_mut(row) {
+            *c -= 1;
+            self.total -= 1;
+            if *c == 0 {
+                self.counts.remove(row);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Multiplicity of a row.
+    pub fn count(&self, row: &Row) -> u64 {
+        self.counts.get(row).copied().unwrap_or(0)
+    }
+
+    /// Total multiplicity (`COUNT(*)` over the bag).
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of *distinct* rows.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Iterate over `(row, multiplicity)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Row, u64)> {
+        self.counts.iter().map(|(r, &c)| (r, c))
+    }
+
+    /// Iterate over rows with multiplicity expanded, in arbitrary order.
+    pub fn iter_expanded(&self) -> impl Iterator<Item = &Row> {
+        self.counts
+            .iter()
+            .flat_map(|(r, &c)| std::iter::repeat_n(r, c as usize))
+    }
+
+    /// All rows (expanded) in sorted order — handy for deterministic
+    /// assertions in tests.
+    pub fn to_sorted_rows(&self) -> Vec<Row> {
+        let mut v: Vec<Row> = self.iter_expanded().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Multiset union (`UNION ALL`): multiplicities add.
+    pub fn union_all(&self, other: &Relation) -> Relation {
+        let mut out = self.clone();
+        for (row, c) in other.iter() {
+            out.insert_n(row.clone(), c);
+        }
+        out
+    }
+
+    /// Truncating multiset difference (`EXCEPT ALL`): per-row
+    /// multiplicity `max(a − b, 0)`.
+    pub fn minus(&self, other: &Relation) -> Relation {
+        let mut out = Relation::new();
+        for (row, c) in self.iter() {
+            let keep = c.saturating_sub(other.count(row));
+            out.insert_n(row.clone(), keep);
+        }
+        out
+    }
+
+    /// Multiset intersection (`INTERSECT ALL`): per-row minimum.
+    pub fn intersect(&self, other: &Relation) -> Relation {
+        let mut out = Relation::new();
+        for (row, c) in self.iter() {
+            let keep = c.min(other.count(row));
+            out.insert_n(row.clone(), keep);
+        }
+        out
+    }
+
+    /// Is `self` a sub-bag of `other` (every multiplicity ≤)?
+    pub fn is_subbag_of(&self, other: &Relation) -> bool {
+        self.iter().all(|(row, c)| c <= other.count(row))
+    }
+
+    /// Selection σ: keep rows satisfying the predicate (multiplicities
+    /// preserved).
+    pub fn select<F: Fn(&Row) -> bool>(&self, pred: F) -> Relation {
+        let mut out = Relation::new();
+        for (row, c) in self.iter() {
+            if pred(row) {
+                out.insert_n(row.clone(), c);
+            }
+        }
+        out
+    }
+
+    /// Projection π onto column indices (multiset projection: no
+    /// duplicate elimination, as required by the paper's differential
+    /// projection operator).
+    pub fn project(&self, indices: &[usize]) -> Relation {
+        let mut out = Relation::new();
+        for (row, c) in self.iter() {
+            out.insert_n(row.project(indices), c);
+        }
+        out
+    }
+
+    /// Duplicate elimination (`SELECT DISTINCT`).
+    pub fn distinct(&self) -> Relation {
+        let mut out = Relation::new();
+        for (row, _) in self.iter() {
+            out.insert(row.clone());
+        }
+        out
+    }
+
+    /// Cross product ×: concatenated rows, multiplicities multiply.
+    pub fn cross(&self, other: &Relation) -> Relation {
+        let mut out = Relation::new();
+        for (lrow, lc) in self.iter() {
+            for (rrow, rc) in other.iter() {
+                out.insert_n(lrow.concat(rrow), lc * rc);
+            }
+        }
+        out
+    }
+
+    /// Equijoin ⋈ on pairs of `(left_column, right_column)` indices.
+    ///
+    /// Implemented as a hash join on the left-side key; output rows are
+    /// the concatenation `left ++ right`, multiplicities multiply.
+    pub fn equijoin(&self, other: &Relation, on: &[(usize, usize)]) -> Relation {
+        if on.is_empty() {
+            return self.cross(other);
+        }
+        // Build phase: index the smaller side? For clarity we always
+        // index `self`. Keys are the projected join columns.
+        let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+        let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+        let mut index: HashMap<Vec<Value>, Vec<(&Row, u64)>> = HashMap::new();
+        for (row, c) in self.iter() {
+            let key: Vec<Value> = left_cols
+                .iter()
+                .map(|&i| row.get(i).cloned().unwrap_or(Value::Null))
+                .collect();
+            index.entry(key).or_default().push((row, c));
+        }
+        let mut out = Relation::new();
+        for (rrow, rc) in self.probe_rows(other) {
+            let key: Vec<Value> = right_cols
+                .iter()
+                .map(|&i| rrow.get(i).cloned().unwrap_or(Value::Null))
+                .collect();
+            // SQL semantics: NULL never joins.
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = index.get(&key) {
+                for &(lrow, lc) in matches {
+                    out.insert_n(lrow.concat(rrow), lc * rc);
+                }
+            }
+        }
+        out
+    }
+
+    /// Helper for `equijoin`'s probe phase (kept separate so the
+    /// borrow of `other` has a simple lifetime).
+    fn probe_rows<'a>(&self, other: &'a Relation) -> impl Iterator<Item = (&'a Row, u64)> {
+        other.iter()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{")?;
+        for row in self.to_sorted_rows() {
+            writeln!(f, "  {row}")?;
+        }
+        write!(f, "}} ({} rows)", self.len())
+    }
+}
+
+impl FromIterator<Row> for Relation {
+    fn from_iter<I: IntoIterator<Item = Row>>(iter: I) -> Self {
+        Relation::from_rows(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(rows: &[&[i64]]) -> Relation {
+        Relation::from_rows(rows.iter().map(|r| Row::from_ints(r)))
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut r = Relation::new();
+        r.insert(Row::from_ints(&[1]));
+        r.insert(Row::from_ints(&[1]));
+        r.insert(Row::from_ints(&[2]));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.distinct_len(), 2);
+        assert_eq!(r.count(&Row::from_ints(&[1])), 2);
+        assert_eq!(r.count(&Row::from_ints(&[9])), 0);
+    }
+
+    #[test]
+    fn remove_one() {
+        let mut r = rel(&[&[1], &[1]]);
+        assert!(r.remove_one(&Row::from_ints(&[1])));
+        assert_eq!(r.len(), 1);
+        assert!(r.remove_one(&Row::from_ints(&[1])));
+        assert!(r.is_empty());
+        assert!(!r.remove_one(&Row::from_ints(&[1])));
+    }
+
+    #[test]
+    fn union_all_adds_multiplicities() {
+        let a = rel(&[&[1], &[2]]);
+        let b = rel(&[&[2], &[3]]);
+        let u = a.union_all(&b);
+        assert_eq!(u.len(), 4);
+        assert_eq!(u.count(&Row::from_ints(&[2])), 2);
+    }
+
+    #[test]
+    fn minus_truncates() {
+        let a = rel(&[&[1], &[1], &[2]]);
+        let b = rel(&[&[1], &[1], &[1], &[3]]);
+        let d = a.minus(&b);
+        assert_eq!(d.to_sorted_rows(), vec![Row::from_ints(&[2])]);
+    }
+
+    #[test]
+    fn intersect_takes_min() {
+        let a = rel(&[&[1], &[1], &[2]]);
+        let b = rel(&[&[1], &[2], &[2]]);
+        let i = a.intersect(&b);
+        assert_eq!(i.count(&Row::from_ints(&[1])), 1);
+        assert_eq!(i.count(&Row::from_ints(&[2])), 1);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn subbag() {
+        let a = rel(&[&[1], &[2]]);
+        let b = rel(&[&[1], &[1], &[2]]);
+        assert!(a.is_subbag_of(&b));
+        assert!(!b.is_subbag_of(&a));
+    }
+
+    #[test]
+    fn select_keeps_multiplicity() {
+        let a = rel(&[&[1], &[1], &[2]]);
+        let s = a.select(|r| r[0] == Value::Int(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.count(&Row::from_ints(&[1])), 2);
+    }
+
+    #[test]
+    fn project_is_multiset() {
+        // π onto column 0 must NOT deduplicate (paper §3.2.2 requires
+        // multiset projection for the differential operator to work).
+        let a = rel(&[&[1, 10], &[1, 20]]);
+        let p = a.project(&[0]);
+        assert_eq!(p.count(&Row::from_ints(&[1])), 2);
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let a = rel(&[&[1], &[1], &[2]]);
+        let d = a.distinct();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.count(&Row::from_ints(&[1])), 1);
+    }
+
+    #[test]
+    fn cross_multiplies() {
+        let a = rel(&[&[1], &[1]]);
+        let b = rel(&[&[7]]);
+        let c = a.cross(&b);
+        assert_eq!(c.count(&Row::from_ints(&[1, 7])), 2);
+    }
+
+    #[test]
+    fn equijoin_matches_filtered_cross() {
+        let a = rel(&[&[1, 10], &[2, 20], &[2, 21]]);
+        let b = rel(&[&[2, 99], &[3, 98]]);
+        let j = a.equijoin(&b, &[(0, 0)]);
+        let expected = a
+            .cross(&b)
+            .select(|r| r[0] == r[2]);
+        assert_eq!(j, expected);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn equijoin_multi_key() {
+        let a = rel(&[&[1, 2], &[1, 3]]);
+        let b = rel(&[&[1, 2], &[1, 9]]);
+        let j = a.equijoin(&b, &[(0, 0), (1, 1)]);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.count(&Row::from_ints(&[1, 2, 1, 2])), 1);
+    }
+
+    #[test]
+    fn equijoin_empty_on_is_cross() {
+        let a = rel(&[&[1]]);
+        let b = rel(&[&[2]]);
+        assert_eq!(a.equijoin(&b, &[]), a.cross(&b));
+    }
+
+    #[test]
+    fn null_never_joins() {
+        let mut a = Relation::new();
+        a.insert(Row::new(vec![Value::Null]));
+        let mut b = Relation::new();
+        b.insert(Row::new(vec![Value::Null]));
+        assert!(a.equijoin(&b, &[(0, 0)]).is_empty());
+    }
+
+    #[test]
+    fn sorted_rows_deterministic() {
+        let a = rel(&[&[3], &[1], &[2], &[1]]);
+        assert_eq!(
+            a.to_sorted_rows(),
+            vec![
+                Row::from_ints(&[1]),
+                Row::from_ints(&[1]),
+                Row::from_ints(&[2]),
+                Row::from_ints(&[3])
+            ]
+        );
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let a = rel(&[&[5]]);
+        let s = a.to_string();
+        assert!(s.contains("(5)"));
+        assert!(s.contains("1 rows"));
+    }
+}

@@ -1,0 +1,272 @@
+//! ℤ-valued multisets.
+//!
+//! The differential formulas of paper §3.2 mix multiset unions and
+//! differences. Non-negative multiset difference truncates at zero, so
+//! naively composing the printed formulas requires side conditions
+//! (e.g. `S₊ ⊆ S_noisy`). Working in the signed domain makes every
+//! rearrangement exact; a [`SignedRelation`] is split back into a
+//! non-negative `(plus, minus)` pair only at the end.
+
+use std::collections::HashMap;
+
+use dt_types::Row;
+
+use crate::relation::Relation;
+
+/// A multiset with integer (possibly negative) multiplicities.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SignedRelation {
+    counts: HashMap<Row, i64>,
+}
+
+impl SignedRelation {
+    /// The zero multiset.
+    pub fn new() -> Self {
+        SignedRelation::default()
+    }
+
+    /// Lift a non-negative relation into the signed domain.
+    pub fn from_relation(r: &Relation) -> Self {
+        let mut out = SignedRelation::new();
+        for (row, c) in r.iter() {
+            out.add_row(row.clone(), c as i64);
+        }
+        out
+    }
+
+    /// Add `delta` copies of `row` (delta may be negative).
+    pub fn add_row(&mut self, row: Row, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        use std::collections::hash_map::Entry;
+        match self.counts.entry(row) {
+            Entry::Occupied(mut o) => {
+                *o.get_mut() += delta;
+                // Keep the map canonical (no zero entries) so equality
+                // works structurally.
+                if *o.get() == 0 {
+                    o.remove();
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(delta);
+            }
+        }
+    }
+
+    /// Signed multiplicity of a row.
+    pub fn count(&self, row: &Row) -> i64 {
+        self.counts.get(row).copied().unwrap_or(0)
+    }
+
+    /// True if every multiplicity is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counts.values().all(|&v| v == 0)
+    }
+
+    /// Iterate over `(row, signed multiplicity)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&Row, i64)> {
+        self.counts.iter().map(|(r, &c)| (r, c))
+    }
+
+    /// `self + other`.
+    pub fn plus(&self, other: &SignedRelation) -> SignedRelation {
+        let mut out = self.clone();
+        for (row, c) in other.iter() {
+            out.add_row(row.clone(), c);
+        }
+        out
+    }
+
+    /// `self − other`.
+    pub fn minus(&self, other: &SignedRelation) -> SignedRelation {
+        let mut out = self.clone();
+        for (row, c) in other.iter() {
+            out.add_row(row.clone(), -c);
+        }
+        out
+    }
+
+    /// Add a non-negative relation.
+    pub fn plus_rel(&self, other: &Relation) -> SignedRelation {
+        let mut out = self.clone();
+        for (row, c) in other.iter() {
+            out.add_row(row.clone(), c as i64);
+        }
+        out
+    }
+
+    /// Subtract a non-negative relation.
+    pub fn minus_rel(&self, other: &Relation) -> SignedRelation {
+        let mut out = self.clone();
+        for (row, c) in other.iter() {
+            out.add_row(row.clone(), -(c as i64));
+        }
+        out
+    }
+
+    /// Signed cross product: multiplicities multiply (signs included).
+    pub fn cross(&self, other: &SignedRelation) -> SignedRelation {
+        let mut out = SignedRelation::new();
+        for (lrow, lc) in self.iter() {
+            for (rrow, rc) in other.iter() {
+                out.add_row(lrow.concat(rrow), lc * rc);
+            }
+        }
+        out
+    }
+
+    /// Signed equijoin on `(left_column, right_column)` index pairs;
+    /// NULL keys never join, mirroring [`Relation::equijoin`].
+    pub fn equijoin(&self, other: &SignedRelation, on: &[(usize, usize)]) -> SignedRelation {
+        use dt_types::Value;
+        if on.is_empty() {
+            return self.cross(other);
+        }
+        let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+        let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+        let mut index: HashMap<Vec<Value>, Vec<(&Row, i64)>> = HashMap::new();
+        for (row, c) in self.iter() {
+            let key: Vec<Value> = left_cols
+                .iter()
+                .map(|&i| row.get(i).cloned().unwrap_or(Value::Null))
+                .collect();
+            index.entry(key).or_default().push((row, c));
+        }
+        let mut out = SignedRelation::new();
+        for (rrow, rc) in other.iter() {
+            let key: Vec<Value> = right_cols
+                .iter()
+                .map(|&i| rrow.get(i).cloned().unwrap_or(Value::Null))
+                .collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            if let Some(matches) = index.get(&key) {
+                for &(lrow, lc) in matches {
+                    out.add_row(lrow.concat(rrow), lc * rc);
+                }
+            }
+        }
+        out
+    }
+
+    /// Signed selection: keep rows satisfying the predicate.
+    pub fn select<F: Fn(&Row) -> bool>(&self, pred: F) -> SignedRelation {
+        let mut out = SignedRelation::new();
+        for (row, c) in self.iter() {
+            if pred(row) {
+                out.add_row(row.clone(), c);
+            }
+        }
+        out
+    }
+
+    /// Signed multiset projection.
+    pub fn project(&self, indices: &[usize]) -> SignedRelation {
+        let mut out = SignedRelation::new();
+        for (row, c) in self.iter() {
+            out.add_row(row.project(indices), c);
+        }
+        out
+    }
+
+    /// Split into `(positive part, negative part)` — two non-negative
+    /// relations such that `self = pos − neg` with disjoint supports.
+    pub fn split(&self) -> (Relation, Relation) {
+        let mut pos = Relation::new();
+        let mut neg = Relation::new();
+        for (row, c) in self.iter() {
+            match c.cmp(&0) {
+                std::cmp::Ordering::Greater => pos.insert_n(row.clone(), c as u64),
+                std::cmp::Ordering::Less => neg.insert_n(row.clone(), (-c) as u64),
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        (pos, neg)
+    }
+
+    /// Convert to a non-negative relation; errors (returns `None`) if
+    /// any multiplicity is negative.
+    pub fn to_relation(&self) -> Option<Relation> {
+        let mut out = Relation::new();
+        for (row, c) in self.iter() {
+            if c < 0 {
+                return None;
+            }
+            out.insert_n(row.clone(), c as u64);
+        }
+        Some(out)
+    }
+}
+
+impl From<&Relation> for SignedRelation {
+    fn from(r: &Relation) -> Self {
+        SignedRelation::from_relation(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(rows: &[&[i64]]) -> Relation {
+        Relation::from_rows(rows.iter().map(|r| Row::from_ints(r)))
+    }
+
+    #[test]
+    fn lift_and_count() {
+        let s = SignedRelation::from_relation(&rel(&[&[1], &[1], &[2]]));
+        assert_eq!(s.count(&Row::from_ints(&[1])), 2);
+        assert_eq!(s.count(&Row::from_ints(&[2])), 1);
+        assert_eq!(s.count(&Row::from_ints(&[3])), 0);
+    }
+
+    #[test]
+    fn arithmetic_can_go_negative() {
+        let a = SignedRelation::from_relation(&rel(&[&[1]]));
+        let b = SignedRelation::from_relation(&rel(&[&[1], &[1]]));
+        let d = a.minus(&b);
+        assert_eq!(d.count(&Row::from_ints(&[1])), -1);
+        assert!(!d.is_zero());
+        assert!(d.plus(&SignedRelation::from_relation(&rel(&[&[1]]))).is_zero());
+    }
+
+    #[test]
+    fn zero_entries_are_pruned() {
+        let a = SignedRelation::from_relation(&rel(&[&[1]]));
+        let z = a.minus(&a);
+        assert!(z.is_zero());
+        assert_eq!(z, SignedRelation::new());
+    }
+
+    #[test]
+    fn split_partitions_by_sign() {
+        let mut s = SignedRelation::new();
+        s.add_row(Row::from_ints(&[1]), 2);
+        s.add_row(Row::from_ints(&[2]), -3);
+        let (pos, neg) = s.split();
+        assert_eq!(pos.count(&Row::from_ints(&[1])), 2);
+        assert_eq!(neg.count(&Row::from_ints(&[2])), 3);
+        assert_eq!(pos.len(), 2);
+        assert_eq!(neg.len(), 3);
+    }
+
+    #[test]
+    fn to_relation_rejects_negative() {
+        let mut s = SignedRelation::new();
+        s.add_row(Row::from_ints(&[1]), -1);
+        assert!(s.to_relation().is_none());
+        s.add_row(Row::from_ints(&[1]), 3);
+        let r = s.to_relation().unwrap();
+        assert_eq!(r.count(&Row::from_ints(&[1])), 2);
+    }
+
+    #[test]
+    fn plus_minus_rel_roundtrip() {
+        let base = rel(&[&[5], &[6]]);
+        let s = SignedRelation::new().plus_rel(&base).minus_rel(&base);
+        assert!(s.is_zero());
+    }
+}

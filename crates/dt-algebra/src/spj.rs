@@ -1,0 +1,215 @@
+//! The select-project-join expansion of paper §4.2.
+//!
+//! For a query `Q ≡ R₁ ⋈ R₂ ⋈ … ⋈ Rₙ` whose inputs are each split
+//! into *kept* and *dropped* partitions (`Aᵢ = Kᵢ + Dᵢ`), the paper
+//! derives (Equations 12–14, drop-only case):
+//!
+//! ```text
+//! Q_kept    = K₁ ⋈ K₂ ⋈ … ⋈ Kₙ
+//! Q_dropped = Σᵢ  K₁ ⋈ … ⋈ Kᵢ₋₁ ⋈ Dᵢ ⋈ Aᵢ₊₁ ⋈ … ⋈ Aₙ
+//! Q_added   = ∅
+//! ```
+//!
+//! with the guarantee `Q_kept + Q_dropped ≡ A₁ ⋈ … ⋈ Aₙ` — i.e. the
+//! dropped query recovers *exactly* the result tuples lost to
+//! shedding. This module implements the expansion over exact
+//! relations; `dt-rewrite` produces the same expression shape over
+//! synopses. Note the term count: each of the `n` summands reuses the
+//! growing kept-prefix, so the whole expansion costs `3n − 1` joins as
+//! the paper observes.
+
+use crate::relation::Relation;
+
+/// A left-deep join chain over `n` inputs.
+///
+/// `steps[i]` is the equijoin condition used when joining input `i+1`
+/// onto the (already joined) inputs `0..=i`; each pair is
+/// `(column index into the concatenated left row, column index into
+/// input i+1's row)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// One condition per join step; `steps.len() == n − 1`.
+    pub steps: Vec<Vec<(usize, usize)>>,
+}
+
+impl JoinSpec {
+    /// Number of inputs this spec joins.
+    pub fn num_inputs(&self) -> usize {
+        self.steps.len() + 1
+    }
+}
+
+/// Join all inputs left-deep under `spec`.
+///
+/// # Panics
+/// Panics if `inputs.len() != spec.num_inputs()` or `inputs` is empty.
+pub fn join_all(inputs: &[&Relation], spec: &JoinSpec) -> Relation {
+    assert!(!inputs.is_empty(), "join of zero inputs");
+    assert_eq!(
+        inputs.len(),
+        spec.num_inputs(),
+        "join spec arity mismatch"
+    );
+    let mut acc = inputs[0].clone();
+    for (i, step) in spec.steps.iter().enumerate() {
+        acc = acc.equijoin(inputs[i + 1], step);
+    }
+    acc
+}
+
+/// `Q_kept`: the join of the kept partitions (Eq. 12).
+pub fn kept_query(inputs: &[(Relation, Relation)], spec: &JoinSpec) -> Relation {
+    let kept: Vec<&Relation> = inputs.iter().map(|(k, _)| k).collect();
+    join_all(&kept, spec)
+}
+
+/// `Q_dropped`: the recovered lost results (Eq. 14).
+///
+/// Computes `Σᵢ K₁⋈…⋈Kᵢ₋₁ ⋈ Dᵢ ⋈ Aᵢ₊₁⋈…⋈Aₙ`, reusing the growing
+/// kept-prefix across summands so the total work is `3n − 1` joins.
+pub fn dropped_query(inputs: &[(Relation, Relation)], spec: &JoinSpec) -> Relation {
+    assert!(!inputs.is_empty(), "join of zero inputs");
+    assert_eq!(inputs.len(), spec.num_inputs(), "join spec arity mismatch");
+    let n = inputs.len();
+    // Precompute the "all" relations Aᵢ = Kᵢ + Dᵢ.
+    let all: Vec<Relation> = inputs.iter().map(|(k, d)| k.union_all(d)).collect();
+
+    let mut result = Relation::new();
+    // kept_prefix = K₁ ⋈ … ⋈ Kᵢ₋₁, grown incrementally.
+    let mut kept_prefix: Option<Relation> = None;
+    // Indexing is clearer than an iterator here: each round touches
+    // inputs[i], steps[i-1], and all[i+1..].
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let (kept_i, dropped_i) = &inputs[i];
+        // term = prefix ⋈ Dᵢ
+        let mut term = match &kept_prefix {
+            None => dropped_i.clone(),
+            Some(prefix) => prefix.equijoin(dropped_i, &spec.steps[i - 1]),
+        };
+        // term ⋈ Aᵢ₊₁ ⋈ … ⋈ Aₙ
+        for (j, a) in all.iter().enumerate().skip(i + 1) {
+            term = term.equijoin(a, &spec.steps[j - 1]);
+        }
+        result = result.union_all(&term);
+        // Grow the kept prefix for the next summand.
+        kept_prefix = Some(match kept_prefix {
+            None => kept_i.clone(),
+            Some(prefix) => prefix.equijoin(kept_i, &spec.steps[i - 1]),
+        });
+    }
+    result
+}
+
+/// The whole-input result `A₁ ⋈ … ⋈ Aₙ`, for checking the
+/// completeness theorem `Q_kept + Q_dropped ≡ Q_all`.
+pub fn all_query(inputs: &[(Relation, Relation)], spec: &JoinSpec) -> Relation {
+    let all: Vec<Relation> = inputs.iter().map(|(k, d)| k.union_all(d)).collect();
+    let refs: Vec<&Relation> = all.iter().collect();
+    join_all(&refs, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_types::Row;
+
+    fn rel(rows: &[&[i64]]) -> Relation {
+        Relation::from_rows(rows.iter().map(|r| Row::from_ints(r)))
+    }
+
+    /// The paper's example: R(a) ⋈ S(b, c) ⋈ T(d) on R.a = S.b and
+    /// S.c = T.d. After joining R and S the concatenated row is
+    /// (a, b, c); S.c is global column 2, T.d is local column 0.
+    fn three_way_spec() -> JoinSpec {
+        JoinSpec {
+            steps: vec![vec![(0, 0)], vec![(2, 0)]],
+        }
+    }
+
+    #[test]
+    fn join_all_three_way() {
+        let r = rel(&[&[1], &[2]]);
+        let s = rel(&[&[1, 7], &[2, 8]]);
+        let t = rel(&[&[7], &[9]]);
+        let q = join_all(&[&r, &s, &t], &three_way_spec());
+        assert_eq!(q.to_sorted_rows(), vec![Row::from_ints(&[1, 1, 7, 7])]);
+    }
+
+    #[test]
+    fn completeness_kept_plus_dropped_equals_all() {
+        let spec = three_way_spec();
+        let inputs = vec![
+            // (kept, dropped)
+            (rel(&[&[1], &[2]]), rel(&[&[3]])),
+            (rel(&[&[1, 7], &[3, 8]]), rel(&[&[2, 7], &[3, 9]])),
+            (rel(&[&[7]]), rel(&[&[8], &[9]])),
+        ];
+        let kept = kept_query(&inputs, &spec);
+        let dropped = dropped_query(&inputs, &spec);
+        let all = all_query(&inputs, &spec);
+        assert_eq!(kept.union_all(&dropped), all);
+        // And the dropped query is not trivially empty here.
+        assert!(!dropped.is_empty());
+    }
+
+    #[test]
+    fn no_drops_means_empty_dropped_query() {
+        let spec = three_way_spec();
+        let inputs = vec![
+            (rel(&[&[1]]), rel(&[])),
+            (rel(&[&[1, 7]]), rel(&[])),
+            (rel(&[&[7]]), rel(&[])),
+        ];
+        assert!(dropped_query(&inputs, &spec).is_empty());
+        assert_eq!(kept_query(&inputs, &spec).len(), 1);
+    }
+
+    #[test]
+    fn all_dropped_means_empty_kept_query() {
+        let spec = three_way_spec();
+        let inputs = vec![
+            (rel(&[]), rel(&[&[1]])),
+            (rel(&[]), rel(&[&[1, 7]])),
+            (rel(&[]), rel(&[&[7]])),
+        ];
+        assert!(kept_query(&inputs, &spec).is_empty());
+        assert_eq!(dropped_query(&inputs, &spec).len(), 1);
+    }
+
+    #[test]
+    fn two_way_join() {
+        let spec = JoinSpec {
+            steps: vec![vec![(0, 0)]],
+        };
+        let inputs = vec![
+            (rel(&[&[1], &[2]]), rel(&[&[2]])),
+            (rel(&[&[2, 5]]), rel(&[&[1, 6]])),
+        ];
+        let kept = kept_query(&inputs, &spec);
+        let dropped = dropped_query(&inputs, &spec);
+        let all = all_query(&inputs, &spec);
+        assert_eq!(kept.union_all(&dropped), all);
+        // kept: 2 joins with (2,5) -> one row (2,2,5)
+        assert_eq!(kept.to_sorted_rows(), vec![Row::from_ints(&[2, 2, 5])]);
+        // dropped picks up (1,1,6) (D on S side) and (2,2,5) (D on R side).
+        assert_eq!(dropped.len(), all.len() - kept.len());
+    }
+
+    #[test]
+    fn single_input_degenerates() {
+        let spec = JoinSpec { steps: vec![] };
+        let inputs = vec![(rel(&[&[1]]), rel(&[&[2]]))];
+        assert_eq!(kept_query(&inputs, &spec), rel(&[&[1]]));
+        assert_eq!(dropped_query(&inputs, &spec), rel(&[&[2]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn spec_arity_checked() {
+        let spec = JoinSpec { steps: vec![] };
+        let r = rel(&[&[1]]);
+        let s = rel(&[&[1]]);
+        join_all(&[&r, &s], &spec);
+    }
+}

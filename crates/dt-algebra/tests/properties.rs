@@ -1,0 +1,253 @@
+//! Property tests machine-checking the paper's §3 invariant
+//! (`S_noisy ≡ S + S₊ − S₋`) for every differential operator, plus the
+//! §4.2 completeness theorem for the SPJ expansion.
+
+use dt_algebra::spj::{all_query, dropped_query, kept_query, JoinSpec};
+use dt_algebra::{DiffRelation, Relation};
+use dt_types::{Row, Value};
+use proptest::prelude::*;
+
+/// A small-domain row: values in 0..domain so joins actually match.
+fn arb_row(arity: usize, domain: i64) -> impl Strategy<Value = Row> {
+    prop::collection::vec(0..domain, arity).prop_map(|v| Row::from_ints(&v))
+}
+
+/// A relation of up to `max_rows` rows.
+fn arb_relation(arity: usize, domain: i64, max_rows: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(arb_row(arity, domain), 0..=max_rows).prop_map(Relation::from_rows)
+}
+
+/// A `(base, DiffRelation)` pair built by dropping a random sub-bag of
+/// the base — the scenario Data Triage actually faces.
+fn arb_dropped_pair(
+    arity: usize,
+    domain: i64,
+    max_rows: usize,
+) -> impl Strategy<Value = (Relation, DiffRelation)> {
+    (
+        prop::collection::vec((arb_row(arity, domain), 0u8..3), 0..=max_rows),
+        any::<u64>(),
+    )
+        .prop_map(|(rows, seed)| {
+            let mut base = Relation::new();
+            let mut drop = Relation::new();
+            // Deterministically pick per-copy drop decisions from the seed.
+            let mut s = seed;
+            for (row, copies) in rows {
+                for _ in 0..=copies {
+                    base.insert(row.clone());
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if s % 3 == 0 {
+                        drop.insert(row.clone());
+                    }
+                }
+            }
+            let kept = base.minus(&drop);
+            (base, DiffRelation::from_kept_dropped(kept, drop))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// σ̂ commutes: base(σ̂(d)) == σ(base(d)).
+    #[test]
+    fn differential_select_commutes((base, d) in arb_dropped_pair(2, 6, 12)) {
+        let pred = |r: &Row| matches!(r.get(0), Some(Value::Int(v)) if *v < 3);
+        let sel = d.select(pred);
+        prop_assert_eq!(sel.base().unwrap(), base.select(pred));
+        prop_assert!(sel.invariant_holds_for(&base.select(pred)));
+    }
+
+    /// π̂ commutes (multiset projection).
+    #[test]
+    fn differential_project_commutes((base, d) in arb_dropped_pair(3, 5, 12)) {
+        let p = d.project(&[2, 0]);
+        prop_assert_eq!(p.base().unwrap(), base.project(&[2, 0]));
+    }
+
+    /// ×̂ commutes.
+    #[test]
+    fn differential_cross_commutes(
+        (sb, sd) in arb_dropped_pair(1, 4, 8),
+        (tb, td) in arb_dropped_pair(1, 4, 8),
+    ) {
+        let c = sd.cross(&td);
+        prop_assert_eq!(c.noisy.clone(), sd.noisy.cross(&td.noisy));
+        prop_assert_eq!(c.base().unwrap(), sb.cross(&tb));
+    }
+
+    /// ⋈̂ commutes, and drop-only joins have no added results
+    /// (paper §4.2, footnote 1).
+    #[test]
+    fn differential_join_commutes(
+        (sb, sd) in arb_dropped_pair(2, 4, 10),
+        (tb, td) in arb_dropped_pair(2, 4, 10),
+    ) {
+        let j = sd.equijoin(&td, &[(1, 0)]);
+        prop_assert_eq!(j.base().unwrap(), sb.equijoin(&tb, &[(1, 0)]));
+        prop_assert!(j.plus.is_empty());
+    }
+
+    /// −̂ commutes (set difference, reconstruction-based).
+    #[test]
+    fn differential_set_difference_commutes(
+        (sb, sd) in arb_dropped_pair(1, 5, 10),
+        (tb, td) in arb_dropped_pair(1, 5, 10),
+    ) {
+        let r = sd.set_difference(&td);
+        prop_assert_eq!(r.base().unwrap(), sb.minus(&tb));
+        prop_assert!(r.invariant_holds_for(&sb.minus(&tb)));
+    }
+
+    /// The paper's printed §3.2.5 formulas agree with the
+    /// reconstruction-based operator on set-semantics inputs
+    /// (distinct relations, drops ⊆ base, kept ∩ dropped = ∅).
+    #[test]
+    fn paper_set_difference_agrees_on_set_inputs(
+        s_all in prop::collection::btree_set(0i64..8, 0..8),
+        s_dropmask in any::<u16>(),
+        t_all in prop::collection::btree_set(0i64..8, 0..8),
+        t_dropmask in any::<u16>(),
+    ) {
+        let split = |all: &std::collections::BTreeSet<i64>, mask: u16| {
+            let mut kept = Relation::new();
+            let mut dropped = Relation::new();
+            for (i, &v) in all.iter().enumerate() {
+                if mask & (1 << (i as u32 % 16)) != 0 {
+                    dropped.insert(Row::from_ints(&[v]));
+                } else {
+                    kept.insert(Row::from_ints(&[v]));
+                }
+            }
+            DiffRelation::from_kept_dropped(kept, dropped)
+        };
+        let sd = split(&s_all, s_dropmask);
+        let td = split(&t_all, t_dropmask);
+        let ours = sd.set_difference(&td).canonicalize();
+        let papers = sd.set_difference_paper(&td).canonicalize();
+        prop_assert_eq!(ours.noisy, papers.noisy);
+        prop_assert_eq!(ours.plus, papers.plus);
+        prop_assert_eq!(ours.minus, papers.minus);
+    }
+
+    /// Composition: a small query tree σ(π(R ⋈ S)) still commutes.
+    #[test]
+    fn differential_composition_commutes(
+        (sb, sd) in arb_dropped_pair(2, 4, 8),
+        (tb, td) in arb_dropped_pair(2, 4, 8),
+    ) {
+        let pred = |r: &Row| matches!(r.get(0), Some(Value::Int(v)) if *v != 2);
+        let d = sd.equijoin(&td, &[(0, 0)]).project(&[1, 2]).select(pred);
+        let truth = sb.equijoin(&tb, &[(0, 0)]).project(&[1, 2]).select(pred);
+        prop_assert_eq!(d.base().unwrap(), truth);
+    }
+
+    /// The SPJ completeness theorem (Eq. 12–14):
+    /// `Q_kept + Q_dropped ≡ Q_all` for 3-way chains.
+    #[test]
+    fn spj_kept_plus_dropped_is_all_3way(
+        (_, r) in arb_dropped_pair(1, 4, 8),
+        (_, s) in arb_dropped_pair(2, 4, 8),
+        (_, t) in arb_dropped_pair(1, 4, 8),
+    ) {
+        let spec = JoinSpec { steps: vec![vec![(0, 0)], vec![(2, 0)]] };
+        let inputs = vec![
+            (r.noisy.clone(), r.minus.clone()),
+            (s.noisy.clone(), s.minus.clone()),
+            (t.noisy.clone(), t.minus.clone()),
+        ];
+        let kept = kept_query(&inputs, &spec);
+        let dropped = dropped_query(&inputs, &spec);
+        let all = all_query(&inputs, &spec);
+        prop_assert_eq!(kept.union_all(&dropped), all);
+    }
+
+    /// Same theorem for 4-way chains — exercises the recurrence depth.
+    #[test]
+    fn spj_kept_plus_dropped_is_all_4way(
+        (_, a) in arb_dropped_pair(2, 3, 6),
+        (_, b) in arb_dropped_pair(2, 3, 6),
+        (_, c) in arb_dropped_pair(2, 3, 6),
+        (_, d) in arb_dropped_pair(2, 3, 6),
+    ) {
+        let spec = JoinSpec {
+            steps: vec![vec![(1, 0)], vec![(3, 0)], vec![(5, 0)]],
+        };
+        let inputs: Vec<(Relation, Relation)> = [a, b, c, d]
+            .into_iter()
+            .map(|x| (x.noisy, x.minus))
+            .collect();
+        let kept = kept_query(&inputs, &spec);
+        let dropped = dropped_query(&inputs, &spec);
+        let all = all_query(&inputs, &spec);
+        prop_assert_eq!(kept.union_all(&dropped), all);
+    }
+
+    // ------- bag-algebra laws underpinning the derivations -------
+
+    #[test]
+    fn union_is_commutative_and_associative(
+        a in arb_relation(1, 5, 10),
+        b in arb_relation(1, 5, 10),
+        c in arb_relation(1, 5, 10),
+    ) {
+        prop_assert_eq!(a.union_all(&b), b.union_all(&a));
+        prop_assert_eq!(a.union_all(&b).union_all(&c), a.union_all(&b.union_all(&c)));
+    }
+
+    #[test]
+    fn minus_then_union_restores_subbags(
+        base in arb_relation(1, 5, 10),
+        extra in arb_relation(1, 5, 5),
+    ) {
+        // (base + extra) − extra == base (exact for sub-bag removal).
+        let sum = base.union_all(&extra);
+        prop_assert_eq!(sum.minus(&extra), base);
+    }
+
+    #[test]
+    fn cross_distributes_over_union(
+        a in arb_relation(1, 4, 6),
+        b in arb_relation(1, 4, 6),
+        c in arb_relation(1, 4, 6),
+    ) {
+        prop_assert_eq!(
+            a.cross(&b.union_all(&c)),
+            a.cross(&b).union_all(&a.cross(&c))
+        );
+    }
+
+    #[test]
+    fn equijoin_is_selected_cross(
+        a in arb_relation(2, 4, 8),
+        b in arb_relation(2, 4, 8),
+    ) {
+        let j = a.equijoin(&b, &[(0, 1)]);
+        let filtered = a.cross(&b).select(|r| r[0] == r[3]);
+        prop_assert_eq!(j, filtered);
+    }
+
+    #[test]
+    fn join_cardinality_bounded_by_cross(
+        a in arb_relation(1, 4, 8),
+        b in arb_relation(1, 4, 8),
+    ) {
+        prop_assert!(a.equijoin(&b, &[(0, 0)]).len() <= a.len() * b.len());
+    }
+
+    #[test]
+    fn intersect_is_lower_bound(
+        a in arb_relation(1, 5, 10),
+        b in arb_relation(1, 5, 10),
+    ) {
+        let i = a.intersect(&b);
+        prop_assert!(i.is_subbag_of(&a));
+        prop_assert!(i.is_subbag_of(&b));
+    }
+
+    #[test]
+    fn distinct_is_idempotent(a in arb_relation(2, 4, 10)) {
+        prop_assert_eq!(a.distinct().distinct(), a.distinct());
+    }
+}

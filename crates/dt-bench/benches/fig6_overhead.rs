@@ -1,0 +1,120 @@
+//! Criterion version of the Fig. 6 microbenchmark at a CI-friendly
+//! scale: original exact join vs shadow query with fast (sparse) and
+//! slow (MHIST) synopses. The `fig6` binary runs the paper-scale
+//! version.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dt_algebra::Relation;
+use dt_query::{parse_select, Catalog, Planner};
+use dt_rewrite::{evaluate, rewrite_dropped, ShadowQuery};
+use dt_synopsis::{Synopsis, SynopsisConfig};
+use dt_types::{DataType, Row, Schema};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const N: usize = 1_000;
+const DOMAIN: i64 = 200;
+
+struct Fixture {
+    tables: Vec<Vec<Vec<i64>>>, // r, s, t
+    shadow: ShadowQuery,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut gen = |arity: usize| -> Vec<Vec<i64>> {
+        (0..N)
+            .map(|_| (0..arity).map(|_| rng.gen_range(1..=DOMAIN)).collect())
+            .collect()
+    };
+    let tables = vec![gen(1), gen(2), gen(1)];
+    let mut catalog = Catalog::new();
+    catalog.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    catalog.add_stream(
+        "S",
+        Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+    );
+    catalog.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
+    let plan = Planner::new(&catalog)
+        .plan(&parse_select("SELECT * FROM R, S, T WHERE R.a = S.b AND S.c = T.d").unwrap())
+        .unwrap();
+    Fixture {
+        tables,
+        shadow: rewrite_dropped(&plan).unwrap(),
+    }
+}
+
+fn build(cfg: &SynopsisConfig, dims: usize, rows: &[Vec<i64>]) -> Synopsis {
+    let mut s = cfg.build(dims).unwrap();
+    for r in rows {
+        s.insert(r).unwrap();
+    }
+    s.seal();
+    s
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let fx = fixture();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+
+    group.bench_function("original_exact_join", |b| {
+        let rels: Vec<Relation> = fx
+            .tables
+            .iter()
+            .map(|t| Relation::from_rows(t.iter().map(|r| Row::from_ints(r))))
+            .collect();
+        b.iter(|| {
+            let rs = rels[0].equijoin(&rels[1], &[(0, 0)]);
+            rs.equijoin(&rels[2], &[(2, 0)]).len()
+        })
+    });
+
+    let arities = [1usize, 2, 1];
+    let mut shadow_bench = |name: &str, cfg: SynopsisConfig| {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    // Build-per-iteration: the paper's UDFs built the
+                    // histograms inside the measured query.
+                    let halves: Vec<(Synopsis, Synopsis)> = fx
+                        .tables
+                        .iter()
+                        .zip(arities)
+                        .map(|(t, a)| {
+                            let mid = t.len() / 2;
+                            (build(&cfg, a, &t[..mid]), build(&cfg, a, &t[mid..]))
+                        })
+                        .collect();
+                    halves
+                },
+                |halves| {
+                    let (kept, dropped): (Vec<_>, Vec<_>) = halves.into_iter().unzip();
+                    evaluate(&fx.shadow.plan, &kept, &dropped)
+                        .unwrap()
+                        .total_mass()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    };
+    shadow_bench("shadow_fast_sparse", SynopsisConfig::Sparse { cell_width: 10 });
+    shadow_bench(
+        "shadow_slow_mhist",
+        SynopsisConfig::MHist {
+            max_buckets: 32,
+            alignment: None,
+        },
+    );
+    shadow_bench(
+        "shadow_aligned_mhist",
+        SynopsisConfig::MHist {
+            max_buckets: 32,
+            alignment: Some(20),
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Microbenchmarks of the synopsis primitives: per-tuple insertion
+//! (the §5.2.2 requirement that insertion be far cheaper than full
+//! processing) and the relational operations the shadow plan uses.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dt_synopsis::{Synopsis, SynopsisConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn points(n: usize, dims: usize, seed: u64) -> Vec<Vec<i64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dims).map(|_| rng.gen_range(1..=100)).collect())
+        .collect()
+}
+
+fn built(cfg: &SynopsisConfig, pts: &[Vec<i64>]) -> Synopsis {
+    let dims = pts[0].len();
+    let mut s = cfg.build(dims).unwrap();
+    for p in pts {
+        s.insert(p).unwrap();
+    }
+    s.seal();
+    s
+}
+
+fn configs() -> Vec<(&'static str, SynopsisConfig)> {
+    vec![
+        ("sparse_w10", SynopsisConfig::Sparse { cell_width: 10 }),
+        (
+            "mhist_b32",
+            SynopsisConfig::MHist {
+                max_buckets: 32,
+                alignment: None,
+            },
+        ),
+        (
+            "reservoir_c200",
+            SynopsisConfig::Reservoir {
+                capacity: 200,
+                seed: 1,
+            },
+        ),
+    ]
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let pts = points(2_000, 2, 7);
+    let mut group = c.benchmark_group("synopsis_insert_2k");
+    for (name, cfg) in configs() {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || cfg.build(2).unwrap(),
+                |mut s| {
+                    for p in &pts {
+                        s.insert(p).unwrap();
+                    }
+                    s.seal();
+                    s.total_mass()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_equijoin(c: &mut Criterion) {
+    let a_pts = points(2_000, 1, 11);
+    let b_pts = points(2_000, 1, 13);
+    let mut group = c.benchmark_group("synopsis_equijoin_2kx2k");
+    for (name, cfg) in configs() {
+        let a = built(&cfg, &a_pts);
+        let b = built(&cfg, &b_pts);
+        group.bench_function(name, |bch| {
+            bch.iter(|| a.equijoin(0, &b, 0).unwrap().total_mass())
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_and_group(c: &mut Criterion) {
+    let a_pts = points(2_000, 2, 17);
+    let b_pts = points(2_000, 2, 19);
+    let mut group = c.benchmark_group("synopsis_union_group");
+    for (name, cfg) in configs() {
+        let a = built(&cfg, &a_pts);
+        let b = built(&cfg, &b_pts);
+        group.bench_function(format!("union/{name}"), |bch| {
+            bch.iter(|| a.union_all(&b).unwrap().total_mass())
+        });
+        group.bench_function(format!("group_counts/{name}"), |bch| {
+            bch.iter(|| a.group_counts(0).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_equijoin, bench_union_and_group);
+criterion_main!(benches);

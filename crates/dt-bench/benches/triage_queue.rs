@@ -1,0 +1,72 @@
+//! Triage-queue hot path: push under overflow for each drop policy.
+//! The queue sits on the ingest path, so push must stay O(1)-ish even
+//! while shedding.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{DropPolicy, TriageQueue};
+use dt_types::{Row, Timestamp, Tuple};
+
+fn tuples(n: usize) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::new(
+                Row::from_ints(&[(i % 100) as i64]),
+                Timestamp::from_micros(i as u64),
+            )
+        })
+        .collect()
+}
+
+fn bench_push_overflow(c: &mut Criterion) {
+    let input = tuples(10_000);
+    let mut group = c.benchmark_group("queue_push_10k_cap100");
+    for policy in DropPolicy::all() {
+        group.bench_function(policy.label(), |b| {
+            let syn = {
+                let mut s = SynopsisConfig::Sparse { cell_width: 10 }.build(1).unwrap();
+                for v in 0..100 {
+                    s.insert(&[v]).unwrap();
+                }
+                s
+            };
+            b.iter_batched(
+                || TriageQueue::new(100, policy, 1).unwrap(),
+                |mut q| {
+                    let mut victims = 0u64;
+                    for t in &input {
+                        if q.push(t.clone(), Some(&syn)).is_some() {
+                            victims += 1;
+                        }
+                    }
+                    victims
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_push_pop_balanced(c: &mut Criterion) {
+    let input = tuples(10_000);
+    c.bench_function("queue_push_pop_balanced_10k", |b| {
+        b.iter_batched(
+            || TriageQueue::new(100, DropPolicy::Random, 1).unwrap(),
+            |mut q| {
+                let mut popped = 0u64;
+                for t in &input {
+                    q.push(t.clone(), None);
+                    if q.pop().is_some() {
+                        popped += 1;
+                    }
+                }
+                popped
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_push_overflow, bench_push_pop_balanced);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation A3: sparse-histogram cell width.
+//!
+//! Width 1 makes the shadow query lossless (and the pipeline exact,
+//! see `tests/rewrite_vs_algebra.rs`) but costs one cell per distinct
+//! value combination; wider cells shrink the synopsis and cheapen the
+//! joins at the price of uniformity error. This sweep quantifies that
+//! trade-off at 2x overload.
+//!
+//! ```sh
+//! cargo run --release -p dt-bench --bin ablation_cellwidth
+//! ```
+
+use dt_metrics::{rate_sweep, SweepConfig};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::ShedMode;
+
+fn main() {
+    println!("# Ablation A3 — sparse histogram cell width (rate 2000, capacity 1000)");
+    println!("{:<10} {:>18}", "width", "RMS (mean±std)");
+    for width in [1i64, 2, 5, 10, 20, 50, 100] {
+        let mut sweep = SweepConfig::paper_default();
+        sweep.runs = 5;
+        sweep.workload.total_tuples = 15_000;
+        sweep.tuples_per_window = 600;
+        sweep.engine_capacity = 1_000.0;
+        sweep.synopsis = SynopsisConfig::Sparse { cell_width: width };
+        sweep.modes = vec![ShedMode::DataTriage];
+        let points = rate_sweep(&sweep, &[2_000.0], false).expect("sweep");
+        let m = &points[0].modes[0];
+        println!(
+            "{:<10} {:>18}",
+            width,
+            format!("{:8.2} ± {:6.2}", m.rms.mean, m.rms.std)
+        );
+    }
+    println!("\n(width 1 is lossless for GROUP BY counts; width 100 is a single bucket");
+    println!(" per dimension — the degenerate 'count only' synopsis)");
+}

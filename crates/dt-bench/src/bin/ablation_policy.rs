@@ -1,0 +1,40 @@
+//! Ablation A2: victim-selection (drop) policies.
+//!
+//! The paper's build uses random victims; §8.1 sketches smarter
+//! policies, including the "synergistic" one that prefers victims the
+//! synopsis absorbs at zero marginal memory cost. This ablation runs
+//! the bursty mid-overload point under each policy.
+//!
+//! ```sh
+//! cargo run --release -p dt-bench --bin ablation_policy
+//! ```
+
+use dt_metrics::{rate_sweep, SweepConfig};
+use dt_triage::{DropPolicy, ShedMode};
+use dt_workload::WorkloadConfig;
+
+fn main() {
+    println!("# Ablation A2 — drop policy, bursty workload (peak 8000, capacity 1000)");
+    println!(
+        "{:<14} {:>18} {:>12}",
+        "policy", "RMS (mean±std)", "drop-frac"
+    );
+    for policy in DropPolicy::all() {
+        let mut sweep = SweepConfig::paper_default();
+        sweep.runs = 5;
+        sweep.workload = WorkloadConfig::paper_bursty(80.0, 15_000, 0);
+        sweep.tuples_per_window = 600;
+        sweep.engine_capacity = 1_000.0;
+        sweep.policy = policy;
+        sweep.modes = vec![ShedMode::DataTriage];
+        let points = rate_sweep(&sweep, &[8_000.0], true).expect("sweep");
+        let m = &points[0].modes[0];
+        println!(
+            "{:<14} {:>18} {:>12.3}",
+            policy.label(),
+            format!("{:8.2} ± {:6.2}", m.rms.mean, m.rms.std),
+            m.drop_fraction
+        );
+    }
+    println!("\n(random is the paper's default; synergistic is the §8.1 proposal)");
+}

@@ -1,0 +1,63 @@
+//! Figure 8: RMS error of query results vs **constant** data rate for
+//! Data Triage, drop-only, and summarize-only load shedding.
+//!
+//! Expected shape (paper §7.1): drop-only is exact at low rates and
+//! degrades past the engine's capacity; summarize-only is flat;
+//! Data Triage tracks drop-only at low rates and approaches — without
+//! exceeding — summarize-only at high rates, dominating both across
+//! the sweep. Points are the mean of 9 seeded runs, ± stddev.
+//!
+//! ```sh
+//! cargo run --release -p dt-bench --bin fig8            # full sweep
+//! cargo run --release -p dt-bench --bin fig8 -- --quick # CI-sized
+//! ```
+
+use dt_bench::{render_rate_table, write_json};
+use dt_metrics::{rate_sweep, SweepConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = SweepConfig::paper_default();
+    // Engine capacity 1000 tuples/s; sweep from well under capacity to
+    // deep overload (the paper stops where drop-only sheds nearly
+    // everything).
+    cfg.engine_capacity = 1_000.0;
+    let rates: Vec<f64> = if quick {
+        cfg.runs = 3;
+        cfg.workload.total_tuples = 9_000;
+        cfg.tuples_per_window = 450;
+        vec![250.0, 1_000.0, 4_000.0]
+    } else {
+        cfg.runs = 9;
+        cfg.workload.total_tuples = 30_000;
+        cfg.tuples_per_window = 600;
+        vec![
+            200.0, 400.0, 600.0, 800.0, 1_000.0, 1_200.0, 1_600.0, 2_400.0, 3_200.0, 4_800.0,
+            6_400.0,
+        ]
+    };
+
+    let points = rate_sweep(&cfg, &rates, false).expect("sweep");
+    let table = render_rate_table(
+        "Figure 8 — RMS error vs constant data rate (engine capacity 1000 t/s)",
+        "rate (t/s)",
+        &points,
+    );
+    println!("{table}");
+    if let Err(e) = write_json("fig8.json", &points) {
+        eprintln!("note: could not write fig8.json: {e}");
+    } else {
+        println!("(series written to fig8.json)");
+    }
+    let svg = dt_bench::svg::render_chart(
+        "Figure 8 — RMS error vs constant data rate",
+        "data rate (tuples/sec)",
+        "RMS error (lower is better)",
+        &dt_bench::svg::rate_points_to_series(&points),
+    );
+    if let Err(e) = std::fs::write("fig8.svg", svg) {
+        eprintln!("note: could not write fig8.svg: {e}");
+    } else {
+        println!("(chart written to fig8.svg)");
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 9: RMS error vs **peak** data rate under bursty arrivals
+//! whose burst data comes from a different distribution than the
+//! steady-state data.
+//!
+//! Expected shape (paper §7.2): the same ordering as Fig. 8 — Data
+//! Triage dominates — with visibly larger variance, since burst
+//! timing differs run to run. The x-axis is the burst (peak) rate;
+//! the base rate is `peak / 100`, 60 % of tuples arrive in bursts of
+//! expected length 200, and burst tuples are drawn from a Gaussian
+//! with a shifted mean (§6.2.2).
+//!
+//! ```sh
+//! cargo run --release -p dt-bench --bin fig9            # full sweep
+//! cargo run --release -p dt-bench --bin fig9 -- --quick # CI-sized
+//! ```
+
+use dt_bench::{render_rate_table, write_json};
+use dt_metrics::{rate_sweep, SweepConfig};
+use dt_workload::WorkloadConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = SweepConfig::paper_default();
+    cfg.engine_capacity = 1_000.0;
+    // Burst data shifted to mean 20 (base mean 50) — the §6.2.2
+    // independent-distributions setting.
+    cfg.workload = WorkloadConfig::paper_bursty(100.0, 30_000, 0);
+    let peaks: Vec<f64> = if quick {
+        cfg.runs = 3;
+        cfg.workload.total_tuples = 9_000;
+        cfg.tuples_per_window = 450;
+        vec![1_000.0, 8_000.0, 32_000.0]
+    } else {
+        cfg.runs = 9;
+        cfg.workload.total_tuples = 30_000;
+        cfg.tuples_per_window = 600;
+        vec![
+            500.0, 1_000.0, 2_000.0, 4_000.0, 8_000.0, 12_000.0, 16_000.0, 24_000.0, 32_000.0,
+        ]
+    };
+
+    let points = rate_sweep(&cfg, &peaks, true).expect("sweep");
+    let table = render_rate_table(
+        "Figure 9 — RMS error vs peak data rate, bursty arrivals \
+         (burst data from a shifted distribution)",
+        "peak (t/s)",
+        &points,
+    );
+    println!("{table}");
+    if let Err(e) = write_json("fig9.json", &points) {
+        eprintln!("note: could not write fig9.json: {e}");
+    } else {
+        println!("(series written to fig9.json)");
+    }
+    let svg = dt_bench::svg::render_chart(
+        "Figure 9 — RMS error vs peak data rate (bursty)",
+        "peak data rate (tuples/sec)",
+        "RMS error (lower is better)",
+        &dt_bench::svg::rate_points_to_series(&points),
+    );
+    if let Err(e) = std::fs::write("fig9.svg", svg) {
+        eprintln!("note: could not write fig9.svg: {e}");
+    } else {
+        println!("(chart written to fig9.svg)");
+    }
+}

@@ -1,0 +1,120 @@
+//! Shared helpers for the figure-regeneration binaries and Criterion
+//! benches.
+//!
+//! Each binary in `src/bin/` regenerates one evaluation artifact of
+//! the paper (see `DESIGN.md` §4 for the experiment index):
+//!
+//! * `fig6`  — shadow-query overhead microbenchmark (paper Fig. 6);
+//! * `fig8`  — RMS error vs constant data rate (paper Fig. 8);
+//! * `fig9`  — RMS error vs peak data rate, bursty arrivals (Fig. 9);
+//! * `ablation_synopsis` / `ablation_policy` / `ablation_cellwidth` /
+//!   `ablation_queue` / `ablation_burstlen` — the A1–A5 design-choice
+//!   ablations. Figure binaries also emit `figN.json` (machine
+//!   readable) and `figN.svg` (chart, via [`svg`]).
+
+pub mod svg;
+
+use dt_metrics::RatePoint;
+
+/// Render one figure's data series as an aligned text table (one row
+/// per rate, one column per mode: `mean ± std`). When the first mode
+/// (data-triage in the paper's figures) beats *every* other mode by a
+/// Welch-t-significant margin, the row is marked `**`; `*` marks
+/// beating at least one.
+pub fn render_rate_table(title: &str, xlabel: &str, points: &[RatePoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {title}\n"));
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let mode_names: Vec<&str> = points[0].modes.iter().map(|m| m.mode.as_str()).collect();
+    out.push_str(&format!("{:>12}", xlabel));
+    for m in &mode_names {
+        out.push_str(&format!("  {:>24}", m));
+    }
+    out.push_str(&format!("  {:>10}  {:>4}\n", "drop-frac", "sig"));
+    for p in points {
+        out.push_str(&format!("{:>12.0}", p.rate));
+        for m in &p.modes {
+            out.push_str(&format!(
+                "  {:>24}",
+                format!("{:10.2} ± {:8.2}", m.rms.mean, m.rms.std)
+            ));
+        }
+        let first = &p.modes[0];
+        let beaten = p.modes[1..]
+            .iter()
+            .filter(|m| match &m.diff_vs_first {
+                // Paired per-run differences (shared arrivals): the
+                // sensitive test.
+                Some(d) => d.significantly_positive(),
+                None => first.rms.significantly_less(&m.rms),
+            })
+            .count();
+        let marker = if p.modes.len() > 1 && beaten == p.modes.len() - 1 {
+            "**"
+        } else if beaten > 0 {
+            "*"
+        } else {
+            ""
+        };
+        // Drop fraction of the *first* mode (data-triage by default).
+        out.push_str(&format!(
+            "  {:>10.3}  {:>4}\n",
+            p.modes[0].drop_fraction, marker
+        ));
+    }
+    if points[0].modes.len() > 1 {
+        out.push_str(&format!(
+            "\n('**' = {} significantly better than every other mode, Welch t < -2;\n\
+             \x20'*' = better than at least one)\n",
+            mode_names[0]
+        ));
+    }
+    out
+}
+
+/// Write an experiment's JSON record next to the text output so
+/// EXPERIMENTS.md can reference machine-readable results.
+pub fn write_json(path: &str, value: &impl serde::Serialize) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_metrics::{MeanStd, ModeSeries};
+
+    #[test]
+    fn table_renders_all_modes() {
+        let points = vec![RatePoint {
+            rate: 100.0,
+            modes: vec![
+                ModeSeries {
+                    mode: "data-triage".into(),
+                    rms: MeanStd::from_samples(&[1.0, 2.0]),
+                    drop_fraction: 0.5,
+                    diff_vs_first: None,
+                },
+                ModeSeries {
+                    mode: "drop-only".into(),
+                    rms: MeanStd::from_samples(&[3.0]),
+                    drop_fraction: 0.5,
+                    diff_vs_first: Some(MeanStd::from_samples(&[1.5, 1.4, 1.6])),
+                },
+            ],
+        }];
+        let t = render_rate_table("Fig 8", "rate", &points);
+        assert!(t.contains("data-triage"));
+        assert!(t.contains("drop-only"));
+        assert!(t.contains("100"));
+        assert!(t.contains("±"));
+    }
+
+    #[test]
+    fn empty_points_render_placeholder() {
+        assert!(render_rate_table("x", "rate", &[]).contains("no data"));
+    }
+}

@@ -1,0 +1,311 @@
+//! A minimal SVG line-chart renderer for the figure binaries.
+//!
+//! No plotting dependency is available offline, and the figures only
+//! need lines, error bars, axes, and a legend — a few hundred lines of
+//! direct SVG emission. The output mirrors the paper's plots: one line
+//! per shedding mode, standard-deviation error bars per point.
+
+use std::fmt::Write;
+
+use dt_metrics::RatePoint;
+
+/// One plotted line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y, stddev)` triples.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// Convert a rate sweep into one series per shedding mode.
+pub fn rate_points_to_series(points: &[RatePoint]) -> Vec<Series> {
+    let Some(first) = points.first() else {
+        return Vec::new();
+    };
+    first
+        .modes
+        .iter()
+        .enumerate()
+        .map(|(mi, mode)| Series {
+            label: mode.mode.clone(),
+            points: points
+                .iter()
+                .map(|p| (p.rate, p.modes[mi].rms.mean, p.modes[mi].rms.std))
+                .collect(),
+        })
+        .collect()
+}
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 42.0;
+const MARGIN_B: f64 = 56.0;
+const COLORS: &[&str] = &["#1b7f4d", "#c23b22", "#2a5db0", "#8a5bc7", "#b8860b"];
+
+/// Render a chart as an SVG document.
+pub fn render_chart(title: &str, xlabel: &str, ylabel: &str, series: &[Series]) -> String {
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="24" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+        WIDTH / 2.0,
+        escape(title)
+    );
+
+    // Data extents (include error bars in the y range).
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1 + p.2))
+        .collect();
+    if xs.is_empty() {
+        svg.push_str(r#"<text x="20" y="60" font-size="13">(no data)</text></svg>"#);
+        return svg;
+    }
+    let (xmin, xmax) = bounds(&xs);
+    let (_, ymax) = bounds(&ys);
+    let ymin = 0.0;
+    let ymax = if ymax <= ymin { ymin + 1.0 } else { ymax };
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let sx = move |x: f64| MARGIN_L + (x - xmin) / (xmax - xmin).max(1e-12) * plot_w;
+    let sy = move |y: f64| MARGIN_T + plot_h - (y - ymin) / (ymax - ymin) * plot_h;
+
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/><line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="black"/>"#,
+        l = MARGIN_L,
+        r = WIDTH - MARGIN_R,
+        t = MARGIN_T,
+        b = HEIGHT - MARGIN_B
+    );
+    // Ticks (5 per axis).
+    for i in 0..=5 {
+        let fx = xmin + (xmax - xmin) * i as f64 / 5.0;
+        let px = sx(fx);
+        let _ = write!(
+            svg,
+            r#"<line x1="{px}" y1="{b}" x2="{px}" y2="{b2}" stroke="black"/><text x="{px}" y="{ty}" text-anchor="middle" font-size="11">{}</text>"#,
+            fmt_tick(fx),
+            b = HEIGHT - MARGIN_B,
+            b2 = HEIGHT - MARGIN_B + 5.0,
+            ty = HEIGHT - MARGIN_B + 18.0,
+        );
+        let fy = ymin + (ymax - ymin) * i as f64 / 5.0;
+        let py = sy(fy);
+        let _ = write!(
+            svg,
+            r#"<line x1="{l1}" y1="{py}" x2="{l}" y2="{py}" stroke="black"/><text x="{tx}" y="{typ}" text-anchor="end" font-size="11">{}</text>"#,
+            fmt_tick(fy),
+            l1 = MARGIN_L - 5.0,
+            l = MARGIN_L,
+            tx = MARGIN_L - 8.0,
+            typ = py + 4.0,
+        );
+        // Light gridline.
+        let _ = write!(
+            svg,
+            r##"<line x1="{l}" y1="{py}" x2="{r}" y2="{py}" stroke="#dddddd" stroke-width="0.6"/>"##,
+            l = MARGIN_L,
+            r = WIDTH - MARGIN_R,
+        );
+    }
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle" font-size="13">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 14.0,
+        escape(xlabel)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="18" y="{}" text-anchor="middle" font-size="13" transform="rotate(-90 18 {})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        escape(ylabel)
+    );
+
+    // Series.
+    for (si, s) in series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        // Error bars.
+        for &(x, y, e) in &s.points {
+            if e > 0.0 {
+                let (px, py0, py1) = (sx(x), sy((y - e).max(ymin)), sy(y + e));
+                let _ = write!(
+                    svg,
+                    r#"<line x1="{px}" y1="{py0}" x2="{px}" y2="{py1}" stroke="{color}" stroke-width="1" opacity="0.55"/>"#
+                );
+                for py in [py0, py1] {
+                    let _ = write!(
+                        svg,
+                        r#"<line x1="{x0}" y1="{py}" x2="{x1}" y2="{py}" stroke="{color}" stroke-width="1" opacity="0.55"/>"#,
+                        x0 = px - 3.0,
+                        x1 = px + 3.0,
+                    );
+                }
+            }
+        }
+        // Polyline.
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y, _)| format!("{:.1},{:.1}", sx(x), sy(y)))
+            .collect();
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            pts.join(" ")
+        );
+        // Markers.
+        for &(x, y, _) in &s.points {
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3.2" fill="{color}"/>"#,
+                sx(x),
+                sy(y)
+            );
+        }
+        // Legend entry.
+        let (lx, ly) = (MARGIN_L + 14.0, MARGIN_T + 16.0 + si as f64 * 18.0);
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{x2}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{tx}" y="{ty}" font-size="12">{}</text>"#,
+            escape(&s.label),
+            x2 = lx + 22.0,
+            tx = lx + 28.0,
+            ty = ly + 4.0,
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn bounds(vals: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in vals {
+        if v.is_finite() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if !min.is_finite() {
+        (0.0, 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if v.abs() >= 10.0 || v == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "data-triage".into(),
+                points: vec![(100.0, 0.0, 0.0), (1000.0, 20.0, 2.0), (4000.0, 38.0, 1.0)],
+            },
+            Series {
+                label: "drop-only".into(),
+                points: vec![(100.0, 0.0, 0.0), (1000.0, 35.0, 3.0), (4000.0, 80.0, 2.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render_chart("Fig 8", "rate (t/s)", "RMS error", &demo_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("data-triage"));
+        assert!(svg.contains("drop-only"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("Fig 8"));
+        // Two polylines, one per series.
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // Markers: 3 per series.
+        assert_eq!(svg.matches("<circle").count(), 6);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let series = vec![Series {
+            label: "a<b&c".into(),
+            points: vec![(0.0, 1.0, 0.0)],
+        }];
+        let svg = render_chart("t<t", "x", "y", &series);
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(svg.contains("t&lt;t"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn empty_series_renders_placeholder() {
+        let svg = render_chart("t", "x", "y", &[]);
+        assert!(svg.contains("no data"));
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn y_axis_starts_at_zero_and_covers_error_bars() {
+        let series = vec![Series {
+            label: "s".into(),
+            points: vec![(0.0, 10.0, 5.0), (1.0, 20.0, 5.0)],
+        }];
+        let svg = render_chart("t", "x", "y", &series);
+        // Top tick must be at least max(y+std) = 25.
+        assert!(svg.contains(">25<") || svg.contains(">30<") || svg.contains(">26<"),
+            "unexpected ticks in {svg}");
+    }
+
+    #[test]
+    fn rate_points_convert() {
+        use dt_metrics::{MeanStd, ModeSeries, RatePoint};
+        let pts = vec![RatePoint {
+            rate: 5.0,
+            modes: vec![ModeSeries {
+                mode: "data-triage".into(),
+                rms: MeanStd::from_samples(&[1.0, 3.0]),
+                drop_fraction: 0.1,
+                diff_vs_first: None,
+            }],
+        }];
+        let series = rate_points_to_series(&pts);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].points[0].0, 5.0);
+        assert_eq!(series[0].points[0].1, 2.0);
+        assert!(rate_points_to_series(&[]).is_empty());
+    }
+}

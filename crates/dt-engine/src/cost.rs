@@ -1,0 +1,81 @@
+//! The virtual-clock cost model.
+//!
+//! The paper ran on real hardware (a 1.4 GHz Pentium 3) and varied the
+//! *data rate* until the engine could not keep up. We replace the
+//! hardware with an explicit service-time model: processing one tuple
+//! through the standard-case datapath occupies the engine for
+//! [`CostModel::service_time`] of virtual time, and folding one tuple
+//! into a synopsis costs [`CostModel::synopsis_insert_time`]. The
+//! paper's observation that synopsis maintenance is "dwarfed by the
+//! cost of standard-case query processing" (its Fig. 6 discussion)
+//! translates to `synopsis_insert_time ≪ service_time`, which is the
+//! default here.
+
+use dt_types::{DtError, DtResult, VDuration};
+
+/// Per-tuple costs of the simulated engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Virtual time the engine spends fully processing one tuple.
+    pub service_time: VDuration,
+    /// Virtual time to fold one tuple into a synopsis.
+    pub synopsis_insert_time: VDuration,
+}
+
+impl CostModel {
+    /// A model from the engine's sustainable throughput in
+    /// tuples/second; synopsis insertion defaults to 1/50 of the
+    /// per-tuple cost (the paper's "minimal overhead" regime).
+    pub fn from_capacity(tuples_per_sec: f64) -> DtResult<Self> {
+        if !(tuples_per_sec.is_finite() && tuples_per_sec > 0.0) {
+            return Err(DtError::config(format!(
+                "engine capacity must be positive, got {tuples_per_sec}"
+            )));
+        }
+        let service = VDuration::from_secs_f64(1.0 / tuples_per_sec);
+        if service.is_zero() {
+            return Err(DtError::config(format!(
+                "engine capacity {tuples_per_sec} tuples/s exceeds the virtual clock resolution"
+            )));
+        }
+        Ok(CostModel {
+            service_time: service,
+            synopsis_insert_time: VDuration::from_micros((service.micros() / 50).max(1)),
+        })
+    }
+
+    /// The sustainable throughput implied by `service_time`.
+    pub fn capacity_tuples_per_sec(&self) -> f64 {
+        1.0 / self.service_time.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_roundtrips() {
+        let m = CostModel::from_capacity(1000.0).unwrap();
+        assert_eq!(m.service_time, VDuration::from_millis(1));
+        assert!((m.capacity_tuples_per_sec() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn synopsis_insert_is_much_cheaper() {
+        let m = CostModel::from_capacity(500.0).unwrap();
+        assert!(m.synopsis_insert_time.micros() * 10 < m.service_time.micros());
+        assert!(!m.synopsis_insert_time.is_zero());
+    }
+
+    #[test]
+    fn invalid_capacity_rejected() {
+        assert!(CostModel::from_capacity(0.0).is_err());
+        assert!(CostModel::from_capacity(-5.0).is_err());
+        assert!(CostModel::from_capacity(f64::NAN).is_err());
+        assert!(CostModel::from_capacity(f64::INFINITY).is_err());
+        // Faster than the virtual clock resolution can't be represented
+        // (the sub-microsecond service time rounds to zero).
+        assert!(CostModel::from_capacity(3e6).is_err());
+    }
+}

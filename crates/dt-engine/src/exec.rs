@@ -1,0 +1,327 @@
+//! Exact per-window query execution.
+
+use std::collections::HashMap;
+
+use dt_query::QueryPlan;
+use dt_types::{DtError, DtResult, Row, Value};
+
+use crate::aggregate::AggState;
+
+/// One finished aggregate value plus the number of rows that
+/// contributed to it — the extra count is what lets the merge stage
+/// combine an exact `AVG` with an estimated one by re-weighting
+/// (merged = (value·n + est_sum) / (n + est_count)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggValue {
+    /// The aggregate's value (NaN for AVG/MIN/MAX of an empty group).
+    pub value: f64,
+    /// Rows that contributed (non-NULL arguments; all rows for
+    /// `COUNT(*)`).
+    pub n: u64,
+}
+
+/// The exact result of one window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowOutput {
+    /// Non-aggregating query: output rows (post-projection).
+    Rows(Vec<Row>),
+    /// Aggregating query: group key (values of the plan's GROUP BY
+    /// columns, in order) → aggregate values (in
+    /// [`QueryPlan::aggregates`] order).
+    Groups(HashMap<Row, Vec<AggValue>>),
+}
+
+impl WindowOutput {
+    /// Number of output rows / groups.
+    pub fn len(&self) -> usize {
+        match self {
+            WindowOutput::Rows(r) => r.len(),
+            WindowOutput::Groups(g) => g.len(),
+        }
+    }
+
+    /// True if the window produced nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The groups map, if aggregating.
+    pub fn groups(&self) -> Option<&HashMap<Row, Vec<AggValue>>> {
+        match self {
+            WindowOutput::Groups(g) => Some(g),
+            WindowOutput::Rows(_) => None,
+        }
+    }
+}
+
+/// Execute the plan exactly over one window's worth of rows per
+/// stream (`inputs[i]` holds stream `i`'s rows, FROM order).
+pub fn execute_window(plan: &QueryPlan, inputs: &[Vec<Row>]) -> DtResult<WindowOutput> {
+    if inputs.len() != plan.streams.len() {
+        return Err(DtError::engine(format!(
+            "expected {} window inputs, got {}",
+            plan.streams.len(),
+            inputs.len()
+        )));
+    }
+    // Left-deep hash joins.
+    let mut acc: Vec<Row> = inputs[0].clone();
+    for (step_idx, conds) in plan.join_graph.steps.iter().enumerate() {
+        let right = &inputs[step_idx + 1];
+        acc = hash_join(&acc, right, conds);
+        if acc.is_empty() {
+            break;
+        }
+    }
+    // Residual predicates.
+    if !plan.residual.is_empty() {
+        acc.retain(|row| plan.residual.iter().all(|p| p.eval(row)));
+    }
+
+    if plan.is_aggregating() || !plan.group_by.is_empty() {
+        // Grouped aggregation.
+        let mut groups: HashMap<Row, Vec<AggState>> = HashMap::new();
+        for row in &acc {
+            let key = row.project(&plan.group_by);
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| plan.aggregates.iter().map(AggState::new).collect());
+            for s in states {
+                s.update(row);
+            }
+        }
+        // Global aggregate over an empty window still yields one group.
+        if groups.is_empty() && plan.group_by.is_empty() {
+            groups.insert(
+                Row::new(vec![]),
+                plan.aggregates.iter().map(AggState::new).collect(),
+            );
+        }
+        let finished = groups
+            .into_iter()
+            .map(|(k, states)| {
+                (
+                    k,
+                    states
+                        .iter()
+                        .map(|s| AggValue {
+                            value: s.finish(),
+                            n: s.contributors(),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Ok(WindowOutput::Groups(finished))
+    } else {
+        // Plain projection.
+        let project: Vec<usize> = plan
+            .outputs
+            .iter()
+            .map(|o| match o {
+                dt_query::OutputColumn::Column { index, .. } => *index,
+                dt_query::OutputColumn::Aggregate { .. } => {
+                    unreachable!("aggregate output in non-aggregating plan")
+                }
+            })
+            .collect();
+        let mut rows: Vec<Row> = acc.iter().map(|r| r.project(&project)).collect();
+        if plan.distinct {
+            let mut seen = std::collections::HashSet::new();
+            rows.retain(|r| seen.insert(r.clone()));
+        }
+        Ok(WindowOutput::Rows(rows))
+    }
+}
+
+/// Hash join `left ⋈ right` on `(left combined column, right local
+/// column)` pairs; empty `conds` is a cross product. NULL keys never
+/// join.
+fn hash_join(left: &[Row], right: &[Row], conds: &[(usize, usize)]) -> Vec<Row> {
+    if conds.is_empty() {
+        let mut out = Vec::with_capacity(left.len() * right.len());
+        for l in left {
+            for r in right {
+                out.push(l.concat(r));
+            }
+        }
+        return out;
+    }
+    let left_cols: Vec<usize> = conds.iter().map(|&(l, _)| l).collect();
+    let right_cols: Vec<usize> = conds.iter().map(|&(_, r)| r).collect();
+    let mut index: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+    for l in left {
+        let key: Vec<Value> = left_cols
+            .iter()
+            .map(|&c| l.get(c).cloned().unwrap_or(Value::Null))
+            .collect();
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        index.entry(key).or_default().push(l);
+    }
+    let mut out = Vec::new();
+    for r in right {
+        let key: Vec<Value> = right_cols
+            .iter()
+            .map(|&c| r.get(c).cloned().unwrap_or(Value::Null))
+            .collect();
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(matches) = index.get(&key) {
+            for l in matches {
+                out.push(l.concat(r));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_query::{parse_select, Catalog, Planner};
+    use dt_types::{DataType, Schema};
+
+    fn paper_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        c.add_stream(
+            "S",
+            Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+        );
+        c.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
+        c
+    }
+
+    fn plan(sql: &str) -> QueryPlan {
+        Planner::new(&paper_catalog())
+            .plan(&parse_select(sql).unwrap())
+            .unwrap()
+    }
+
+    fn rows(data: &[&[i64]]) -> Vec<Row> {
+        data.iter().map(|r| Row::from_ints(r)).collect()
+    }
+
+    /// Finished values of a group's aggregates.
+    fn vals(aggs: &[AggValue]) -> Vec<f64> {
+        aggs.iter().map(|a| a.value).collect()
+    }
+
+    #[test]
+    fn paper_query_counts_per_group() {
+        let p = plan(
+            "SELECT a, COUNT(*) as count FROM R,S,T \
+             WHERE R.a = S.b AND S.c = T.d GROUP BY a",
+        );
+        let out = execute_window(
+            &p,
+            &[
+                rows(&[&[1], &[1], &[2]]),
+                rows(&[&[1, 7], &[2, 7], &[2, 8]]),
+                rows(&[&[7], &[7], &[8]]),
+            ],
+        )
+        .unwrap();
+        // Joins: a=1 rows (×2) join S(1,7) join T{7,7} => 2*1*2 = 4.
+        //        a=2 row joins S(2,7)->T{7,7}=2 and S(2,8)->T{8}=1 => 3.
+        let g = out.groups().unwrap();
+        assert_eq!(vals(&g[&Row::from_ints(&[1])]), vec![4.0]);
+        assert_eq!(vals(&g[&Row::from_ints(&[2])]), vec![3.0]);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn empty_stream_empties_join() {
+        let p = plan("SELECT a, COUNT(*) FROM R, S WHERE R.a = S.b GROUP BY a");
+        let out = execute_window(&p, &[rows(&[&[1]]), vec![]]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn residual_predicates_filter() {
+        let p = plan("SELECT a, COUNT(*) FROM R GROUP BY a");
+        let p2 = plan("SELECT a, COUNT(*) FROM R WHERE R.a > 1 GROUP BY a");
+        let input = rows(&[&[1], &[2], &[2]]);
+        let all = execute_window(&p, std::slice::from_ref(&input)).unwrap();
+        assert_eq!(all.groups().unwrap().len(), 2);
+        let filtered = execute_window(&p2, &[input]).unwrap();
+        let g = filtered.groups().unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(vals(&g[&Row::from_ints(&[2])]), vec![2.0]);
+    }
+
+    #[test]
+    fn multiple_aggregates() {
+        let p = plan("SELECT b, COUNT(*), SUM(c), AVG(c), MIN(c), MAX(c) FROM S GROUP BY b");
+        let out = execute_window(&p, &[rows(&[&[1, 10], &[1, 20], &[2, 5]])]).unwrap();
+        let g = out.groups().unwrap();
+        assert_eq!(vals(&g[&Row::from_ints(&[1])]), vec![2.0, 30.0, 15.0, 10.0, 20.0]);
+        assert_eq!(vals(&g[&Row::from_ints(&[2])]), vec![1.0, 5.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_window() {
+        let p = plan("SELECT COUNT(*) FROM R");
+        let out = execute_window(&p, &[vec![]]).unwrap();
+        let g = out.groups().unwrap();
+        assert_eq!(vals(&g[&Row::new(vec![])]), vec![0.0]);
+        assert_eq!(g[&Row::new(vec![])][0].n, 0);
+    }
+
+    #[test]
+    fn non_aggregate_projects() {
+        let p = plan("SELECT c FROM S WHERE S.b = 1");
+        let out = execute_window(&p, &[rows(&[&[1, 10], &[2, 20], &[1, 30]])]).unwrap();
+        match out {
+            WindowOutput::Rows(mut r) => {
+                r.sort();
+                assert_eq!(r, rows(&[&[10], &[30]]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let p = plan("SELECT DISTINCT a FROM R");
+        let out = execute_window(&p, &[rows(&[&[1], &[1], &[2]])]).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn cross_join() {
+        let p = plan("SELECT * FROM R, T");
+        let out = execute_window(&p, &[rows(&[&[1], &[2]]), rows(&[&[9]])]).unwrap();
+        match out {
+            WindowOutput::Rows(mut r) => {
+                r.sort();
+                assert_eq!(r, rows(&[&[1, 9], &[2, 9]]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_input_count_rejected() {
+        let p = plan("SELECT a FROM R");
+        assert!(execute_window(&p, &[]).is_err());
+        assert!(execute_window(&p, &[vec![], vec![]]).is_err());
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let p = plan("SELECT * FROM R, S WHERE R.a = S.b");
+        let out = execute_window(
+            &p,
+            &[
+                vec![Row::new(vec![Value::Null])],
+                vec![Row::new(vec![Value::Null, Value::Int(1)])],
+            ],
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+}

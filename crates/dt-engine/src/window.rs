@@ -1,0 +1,160 @@
+//! Per-stream tumbling-window buffering.
+
+use std::collections::BTreeMap;
+
+use dt_types::{DtError, DtResult, Row, Timestamp, Tuple, WindowId, WindowSpec};
+
+/// Buffers delivered tuples by the window(s) their *timestamp* falls
+/// in (delivery may lag arrival when queues back up; the tuple still
+/// belongs to its original windows). Hopping specs replicate the row
+/// into every overlapping window.
+///
+/// All streams of the paper's experiments share one window spec, so
+/// the buffers carry a single [`WindowSpec`]; each stream gets its own
+/// row store.
+#[derive(Debug, Clone)]
+pub struct WindowBuffers {
+    spec: WindowSpec,
+    /// Per stream: window id → rows.
+    buffers: Vec<BTreeMap<WindowId, Vec<Row>>>,
+}
+
+impl WindowBuffers {
+    /// Buffers for `num_streams` streams under one window spec.
+    pub fn new(num_streams: usize, spec: WindowSpec) -> Self {
+        WindowBuffers {
+            spec,
+            buffers: vec![BTreeMap::new(); num_streams],
+        }
+    }
+
+    /// The shared window spec.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Deliver a tuple of `stream` into every window containing it.
+    pub fn push(&mut self, stream: usize, tuple: Tuple) -> DtResult<()> {
+        let buf = self
+            .buffers
+            .get_mut(stream)
+            .ok_or_else(|| DtError::engine(format!("unknown stream {stream}")))?;
+        for w in self.spec.windows_of(tuple.ts) {
+            buf.entry(w).or_default().push(tuple.row.clone());
+        }
+        Ok(())
+    }
+
+    /// The smallest window id that still has buffered rows on any
+    /// stream.
+    pub fn earliest_open(&self) -> Option<WindowId> {
+        self.buffers
+            .iter()
+            .filter_map(|b| b.keys().next().copied())
+            .min()
+    }
+
+    /// Remove and return window `w`'s rows for every stream (empty
+    /// vectors for streams with no rows in `w`).
+    pub fn take_window(&mut self, w: WindowId) -> Vec<Vec<Row>> {
+        self.buffers
+            .iter_mut()
+            .map(|b| b.remove(&w).unwrap_or_default())
+            .collect()
+    }
+
+    /// Windows strictly before the one containing `ts`, oldest first —
+    /// candidates for closing once upstream queues hold nothing older
+    /// than `ts`.
+    pub fn windows_before(&self, ts: Timestamp) -> Vec<WindowId> {
+        let current = self.spec.window_of(ts);
+        let mut out: Vec<WindowId> = self
+            .buffers
+            .iter()
+            .flat_map(|b| b.keys().copied())
+            .filter(|&w| w < current)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total buffered rows across streams and windows.
+    pub fn buffered_rows(&self) -> usize {
+        self.buffers
+            .iter()
+            .map(|b| b.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_types::VDuration;
+
+    fn tup(v: i64, secs_milli: u64) -> Tuple {
+        Tuple::new(
+            Row::from_ints(&[v]),
+            Timestamp::from_micros(secs_milli * 1000),
+        )
+    }
+
+    fn buffers() -> WindowBuffers {
+        WindowBuffers::new(2, WindowSpec::new(VDuration::from_secs(1)).unwrap())
+    }
+
+    #[test]
+    fn tuples_partition_by_timestamp() {
+        let mut b = buffers();
+        b.push(0, tup(1, 100)).unwrap();
+        b.push(0, tup(2, 900)).unwrap();
+        b.push(0, tup(3, 1100)).unwrap();
+        b.push(1, tup(4, 100)).unwrap();
+        assert_eq!(b.buffered_rows(), 4);
+        let w0 = b.take_window(0);
+        assert_eq!(w0[0].len(), 2);
+        assert_eq!(w0[1].len(), 1);
+        assert_eq!(b.buffered_rows(), 1);
+        let w1 = b.take_window(1);
+        assert_eq!(w1[0], vec![Row::from_ints(&[3])]);
+        assert!(w1[1].is_empty());
+    }
+
+    #[test]
+    fn earliest_open_tracks_minimum() {
+        let mut b = buffers();
+        assert_eq!(b.earliest_open(), None);
+        b.push(1, tup(1, 5_500)).unwrap();
+        assert_eq!(b.earliest_open(), Some(5));
+        b.push(0, tup(2, 1_500)).unwrap();
+        assert_eq!(b.earliest_open(), Some(1));
+        b.take_window(1);
+        assert_eq!(b.earliest_open(), Some(5));
+    }
+
+    #[test]
+    fn windows_before_excludes_current() {
+        let mut b = buffers();
+        b.push(0, tup(1, 500)).unwrap();
+        b.push(0, tup(2, 1_500)).unwrap();
+        b.push(1, tup(3, 2_500)).unwrap();
+        // At t = 2.5s the current window is 2.
+        assert_eq!(b.windows_before(Timestamp::from_micros(2_500_000)), vec![0, 1]);
+        assert_eq!(b.windows_before(Timestamp::from_micros(900_000)), Vec::<WindowId>::new());
+    }
+
+    #[test]
+    fn unknown_stream_rejected() {
+        let mut b = buffers();
+        assert!(b.push(7, tup(1, 0)).is_err());
+    }
+
+    #[test]
+    fn take_missing_window_is_empty() {
+        let mut b = buffers();
+        let w = b.take_window(42);
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property test: the incremental (streaming, symmetric-join) window
+//! executor produces exactly the batch executor's result, for random
+//! inputs and **random delivery orders** — delivery interleaving must
+//! be invisible in the final answer.
+
+use dt_engine::{execute_window, IncrementalWindow, WindowOutput};
+use dt_query::{parse_select, Catalog, Planner, QueryPlan};
+use dt_types::{DataType, Row, Schema};
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    c.add_stream(
+        "S",
+        Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+    );
+    c.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
+    c
+}
+
+fn plan(sql: &str) -> QueryPlan {
+    Planner::new(&catalog())
+        .plan(&parse_select(sql).unwrap())
+        .unwrap()
+}
+
+fn arb_points(dims: usize, domain: i64, max: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(prop::collection::vec(0..domain, dims), 0..=max)
+}
+
+/// Feed all rows in an order decided by `order_seed`, then finish.
+fn run_incremental(plan: &QueryPlan, inputs: &[Vec<Vec<i64>>], order_seed: u64) -> WindowOutput {
+    let mut pending: Vec<(usize, usize)> = inputs
+        .iter()
+        .enumerate()
+        .flat_map(|(s, rows)| (0..rows.len()).map(move |i| (s, i)))
+        .collect();
+    // Deterministic shuffle from the seed (LCG-driven Fisher–Yates).
+    let mut state = order_seed | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    for i in (1..pending.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        pending.swap(i, j);
+    }
+    let mut w = IncrementalWindow::new(plan.clone()).unwrap();
+    for (s, i) in pending {
+        w.insert(s, Row::from_ints(&inputs[s][i])).unwrap();
+    }
+    w.finish()
+}
+
+fn assert_equivalent(batch: &WindowOutput, inc: &WindowOutput) -> Result<(), TestCaseError> {
+    match (batch, inc) {
+        (WindowOutput::Groups(x), WindowOutput::Groups(y)) => {
+            prop_assert_eq!(x.len(), y.len());
+            for (k, v) in x {
+                let w = y
+                    .get(k)
+                    .ok_or_else(|| TestCaseError::fail(format!("missing group {k}")))?;
+                prop_assert_eq!(v.len(), w.len());
+                for (av, bv) in v.iter().zip(w) {
+                    prop_assert_eq!(av.n, bv.n);
+                    let same = (av.value - bv.value).abs() < 1e-9
+                        || (av.value.is_nan() && bv.value.is_nan());
+                    prop_assert!(same, "group {}: {} vs {}", k, av.value, bv.value);
+                }
+            }
+        }
+        (WindowOutput::Rows(x), WindowOutput::Rows(y)) => {
+            let mut x = x.clone();
+            let mut y = y.clone();
+            x.sort();
+            y.sort();
+            prop_assert_eq!(x, y);
+        }
+        _ => prop_assert!(false, "output shape mismatch"),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn three_way_join_group_count(
+        r in arb_points(1, 5, 10),
+        s in arb_points(2, 5, 10),
+        t in arb_points(1, 5, 10),
+        order in any::<u64>(),
+    ) {
+        let p = plan(
+            "SELECT a, COUNT(*) as n FROM R,S,T \
+             WHERE R.a = S.b AND S.c = T.d GROUP BY a",
+        );
+        let inputs_rows: Vec<Vec<Row>> = [&r, &s, &t]
+            .iter()
+            .map(|v| v.iter().map(|p| Row::from_ints(p)).collect())
+            .collect();
+        let batch = execute_window(&p, &inputs_rows).unwrap();
+        let inc = run_incremental(&p, &[r, s, t], order);
+        assert_equivalent(&batch, &inc)?;
+    }
+
+    #[test]
+    fn join_with_residual_and_sum_avg(
+        r in arb_points(1, 4, 10),
+        s in arb_points(2, 4, 10),
+        order in any::<u64>(),
+    ) {
+        let p = plan(
+            "SELECT a, COUNT(*), SUM(S.c), AVG(S.c) FROM R, S \
+             WHERE R.a = S.b AND S.c > 1 GROUP BY a",
+        );
+        let inputs_rows: Vec<Vec<Row>> = [&r, &s]
+            .iter()
+            .map(|v| v.iter().map(|p| Row::from_ints(p)).collect())
+            .collect();
+        let batch = execute_window(&p, &inputs_rows).unwrap();
+        let inc = run_incremental(&p, &[r, s], order);
+        assert_equivalent(&batch, &inc)?;
+    }
+
+    #[test]
+    fn cross_join_rows(
+        r in arb_points(1, 3, 6),
+        t in arb_points(1, 3, 6),
+        order in any::<u64>(),
+    ) {
+        let p = plan("SELECT * FROM R, T");
+        let inputs_rows: Vec<Vec<Row>> = [&r, &t]
+            .iter()
+            .map(|v| v.iter().map(|p| Row::from_ints(p)).collect())
+            .collect();
+        let batch = execute_window(&p, &inputs_rows).unwrap();
+        let inc = run_incremental(&p, &[r, t], order);
+        assert_equivalent(&batch, &inc)?;
+    }
+
+    #[test]
+    fn min_max_under_any_delivery_order(
+        s in arb_points(2, 6, 20),
+        order in any::<u64>(),
+    ) {
+        let p = plan("SELECT b, MIN(c), MAX(c) FROM S GROUP BY b");
+        let inputs_rows: Vec<Vec<Row>> =
+            vec![s.iter().map(|p| Row::from_ints(p)).collect()];
+        let batch = execute_window(&p, &inputs_rows).unwrap();
+        let inc = run_incremental(&p, &[s], order);
+        assert_equivalent(&batch, &inc)?;
+    }
+}

@@ -1,0 +1,244 @@
+//! The rate-sweep experiment runner behind Figures 8 and 9.
+//!
+//! For each data rate and each seeded run it generates **one** arrival
+//! sequence shared by all three shedding modes (the paper's
+//! single-codebase fairness discipline extends to the data), computes
+//! the ideal result offline, runs each mode's pipeline, and records
+//! the RMS error. Window widths are scaled with the data rate so the
+//! expected number of tuples per window is constant (§6.2.2).
+
+use dt_query::{parse_select, Catalog, Planner, QueryPlan};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{DropPolicy, Pipeline, PipelineConfig, ShedMode};
+use dt_types::{DtError, DtResult, VDuration, WindowSpec};
+use dt_workload::{generate, ArrivalModel, WorkloadConfig};
+use serde::Serialize;
+
+use crate::ideal::ideal_map;
+use crate::rms::{report_to_map, rms_error};
+use crate::stats::MeanStd;
+
+use dt_engine::CostModel;
+
+/// Everything a Fig. 8/9-style sweep needs.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// The continuous query (the experiments use Fig. 7's query).
+    pub sql: String,
+    /// Stream catalog matching the workload's stream specs.
+    pub catalog: Catalog,
+    /// Workload template; its `arrival` and `seed` fields are
+    /// overridden per rate/run.
+    pub workload: WorkloadConfig,
+    /// Expected tuples per window **across all streams** — window
+    /// width is `tuples_per_window / mean_rate`.
+    pub tuples_per_window: usize,
+    /// Independent seeded runs per rate point (the paper uses 9).
+    pub runs: usize,
+    /// Engine capacity in tuples/second.
+    pub engine_capacity: f64,
+    /// Triage queue capacity per stream.
+    pub queue_capacity: usize,
+    /// Synopsis structure.
+    pub synopsis: SynopsisConfig,
+    /// Drop policy.
+    pub policy: DropPolicy,
+    /// Shedding modes to compare.
+    pub modes: Vec<ShedMode>,
+}
+
+impl SweepConfig {
+    /// The paper's experimental setup (Fig. 7 query, Gaussian data,
+    /// three modes, nine runs).
+    pub fn paper_default() -> Self {
+        use dt_types::{DataType, Schema};
+        let mut catalog = Catalog::new();
+        catalog.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        catalog.add_stream(
+            "S",
+            Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+        );
+        catalog.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
+        SweepConfig {
+            sql: "SELECT a, COUNT(*) as count FROM R,S,T \
+                  WHERE R.a = S.b AND S.c = T.d GROUP BY a"
+                .to_string(),
+            catalog,
+            workload: WorkloadConfig::paper_constant(1000.0, 30_000, 0),
+            tuples_per_window: 600,
+            runs: 9,
+            engine_capacity: 1000.0,
+            queue_capacity: 100,
+            synopsis: SynopsisConfig::default_sparse(),
+            policy: DropPolicy::Random,
+            modes: ShedMode::all().to_vec(),
+        }
+    }
+
+    fn plan_with_window(&self, width: VDuration) -> DtResult<QueryPlan> {
+        let stmt = parse_select(&self.sql)?;
+        let mut plan = Planner::new(&self.catalog).plan(&stmt)?;
+        let spec = WindowSpec::new(width)?;
+        for s in &mut plan.streams {
+            s.window = spec;
+        }
+        Ok(plan)
+    }
+}
+
+/// One mode's error statistics at one rate.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModeSeries {
+    /// Mode label (`data-triage`, `drop-only`, `summarize-only`).
+    pub mode: String,
+    /// RMS error summarized over the runs.
+    pub rms: MeanStd,
+    /// Mean fraction of tuples shed across runs.
+    pub drop_fraction: f64,
+    /// Paired per-run differences `this mode − first mode` (the runs
+    /// share arrivals, so pairing is the right significance test —
+    /// the paper's "statistically significant margin"). `None` for the
+    /// first mode itself.
+    pub diff_vs_first: Option<MeanStd>,
+}
+
+/// One x-axis point of Fig. 8 / Fig. 9.
+#[derive(Debug, Clone, Serialize)]
+pub struct RatePoint {
+    /// The swept rate (tuples/s; *peak* rate for bursty sweeps).
+    pub rate: f64,
+    /// Per-mode statistics.
+    pub modes: Vec<ModeSeries>,
+}
+
+/// Run a full rate sweep. `bursty == false` reproduces Fig. 8
+/// (constant rates), `true` reproduces Fig. 9 (`rates` are peak rates;
+/// the base rate is `peak / burst_multiplier` with burst data drawn
+/// from the workload's shifted distributions).
+pub fn rate_sweep(cfg: &SweepConfig, rates: &[f64], bursty: bool) -> DtResult<Vec<RatePoint>> {
+    if cfg.runs == 0 {
+        return Err(DtError::config("sweep needs at least one run"));
+    }
+    let mut out = Vec::with_capacity(rates.len());
+    for (ri, &rate) in rates.iter().enumerate() {
+        let arrival = if bursty {
+            ArrivalModel::paper_bursty(rate / 100.0)
+        } else {
+            ArrivalModel::Constant { rate }
+        };
+        let mean_rate = arrival.mean_rate();
+        let width = VDuration::from_secs_f64(cfg.tuples_per_window as f64 / mean_rate);
+        if width.is_zero() {
+            return Err(DtError::config(format!(
+                "window width rounds to zero at rate {rate}"
+            )));
+        }
+
+        let mut per_mode_errors: Vec<Vec<f64>> = vec![Vec::new(); cfg.modes.len()];
+        let mut per_mode_dropfrac: Vec<Vec<f64>> = vec![Vec::new(); cfg.modes.len()];
+        for run in 0..cfg.runs {
+            let seed = (ri as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(run as u64 + 1);
+            let workload = WorkloadConfig {
+                arrival,
+                seed,
+                ..cfg.workload.clone()
+            };
+            let arrivals = generate(&workload)?;
+            let plan = cfg.plan_with_window(width)?;
+            let ideal = ideal_map(&plan, &arrivals)?;
+
+            for (mi, &mode) in cfg.modes.iter().enumerate() {
+                let mut pcfg = PipelineConfig::new(mode);
+                pcfg.policy = cfg.policy;
+                pcfg.queue_capacity = cfg.queue_capacity;
+                pcfg.cost = CostModel::from_capacity(cfg.engine_capacity)?;
+                pcfg.synopsis = cfg.synopsis;
+                pcfg.seed = seed;
+                let plan = cfg.plan_with_window(width)?;
+                let report = Pipeline::run(plan, pcfg, arrivals.iter().cloned())?;
+                let actual = report_to_map(&report);
+                per_mode_errors[mi].push(rms_error(&ideal, &actual));
+                let frac = if report.totals.arrived == 0 {
+                    0.0
+                } else {
+                    report.totals.dropped as f64 / report.totals.arrived as f64
+                };
+                per_mode_dropfrac[mi].push(frac);
+            }
+        }
+
+        out.push(RatePoint {
+            rate,
+            modes: cfg
+                .modes
+                .iter()
+                .enumerate()
+                .zip(per_mode_errors.iter().zip(&per_mode_dropfrac))
+                .map(|((mi, mode), (errs, fracs))| ModeSeries {
+                    mode: mode.label().to_string(),
+                    rms: MeanStd::from_samples(errs),
+                    drop_fraction: fracs.iter().sum::<f64>() / fracs.len() as f64,
+                    diff_vs_first: (mi > 0).then(|| {
+                        let diffs: Vec<f64> = errs
+                            .iter()
+                            .zip(&per_mode_errors[0])
+                            .map(|(e, first)| e - first)
+                            .collect();
+                        MeanStd::from_samples(&diffs)
+                    }),
+                })
+                .collect(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature sweep exercises the full stack end to end; the
+    /// qualitative Fig. 8 shape is asserted in the integration tests
+    /// (larger workloads).
+    #[test]
+    fn mini_sweep_runs_and_orders_sanely() {
+        let mut cfg = SweepConfig::paper_default();
+        cfg.runs = 2;
+        cfg.workload.total_tuples = 3_000;
+        cfg.tuples_per_window = 300;
+        cfg.engine_capacity = 500.0;
+        cfg.queue_capacity = 30;
+        let points = rate_sweep(&cfg, &[250.0, 2_000.0], false).unwrap();
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.modes.len(), 3);
+        }
+        let by = |p: &RatePoint, label: &str| -> (f64, f64) {
+            let m = p.modes.iter().find(|m| m.mode == label).unwrap();
+            (m.rms.mean, m.drop_fraction)
+        };
+        // Below capacity: drop-only and data-triage shed nothing and
+        // are exact.
+        let (dt_err, dt_frac) = by(&points[0], "data-triage");
+        let (do_err, do_frac) = by(&points[0], "drop-only");
+        assert_eq!(dt_frac, 0.0);
+        assert_eq!(do_frac, 0.0);
+        assert!(dt_err < 1e-9, "{dt_err}");
+        assert!(do_err < 1e-9, "{do_err}");
+        // Far above capacity: both shed heavily; data-triage beats
+        // drop-only.
+        let (dt_err2, dt_frac2) = by(&points[1], "data-triage");
+        let (do_err2, _) = by(&points[1], "drop-only");
+        assert!(dt_frac2 > 0.3, "{dt_frac2}");
+        assert!(dt_err2 < do_err2, "triage {dt_err2} vs drop {do_err2}");
+    }
+
+    #[test]
+    fn zero_runs_rejected() {
+        let mut cfg = SweepConfig::paper_default();
+        cfg.runs = 0;
+        assert!(rate_sweep(&cfg, &[100.0], false).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Exact offline evaluation: the "ideal" result of §6.3, computed
+//! from the original data with no shedding.
+
+use std::collections::BTreeMap;
+
+use dt_engine::execute_window;
+use dt_query::QueryPlan;
+use dt_types::{DtError, DtResult, Row, Tuple, WindowId};
+
+use crate::rms::ResultMap;
+
+/// Evaluate the plan exactly over a full arrival sequence, producing
+/// per-window grouped results keyed like [`ResultMap`].
+///
+/// The plan must be aggregating (RMS is defined over grouped
+/// aggregates) and all streams must share one window width, as in the
+/// pipeline.
+pub fn ideal_map(plan: &QueryPlan, arrivals: &[(usize, Tuple)]) -> DtResult<ResultMap> {
+    if !plan.is_aggregating() && plan.group_by.is_empty() {
+        return Err(DtError::config("ideal_map requires an aggregating query"));
+    }
+    let spec = plan.streams[0].window;
+    if plan.streams.iter().any(|s| s.window != spec) {
+        return Err(DtError::config("streams must share one window width"));
+    }
+    let n = plan.streams.len();
+    // Bucket rows per window per stream.
+    let mut windows: BTreeMap<WindowId, Vec<Vec<Row>>> = BTreeMap::new();
+    for (stream, tuple) in arrivals {
+        if *stream >= n {
+            return Err(DtError::config(format!("unknown stream {stream}")));
+        }
+        for w in spec.windows_of(tuple.ts) {
+            windows.entry(w).or_insert_with(|| vec![Vec::new(); n])[*stream]
+                .push(tuple.row.clone());
+        }
+    }
+    let mut out = ResultMap::new();
+    for (w, inputs) in windows {
+        let result = execute_window(plan, &inputs)?;
+        if let Some(groups) = result.groups() {
+            for (key, vals) in groups {
+                let vals: Vec<f64> = vals.iter().map(|a| a.value).collect();
+                // HAVING applies at result emission (same rule as the
+                // pipeline's merge stage).
+                if !plan.having_accepts(&vals) {
+                    continue;
+                }
+                out.insert((w, key.clone()), vals);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_query::{parse_select, Catalog, Planner};
+    use dt_types::{DataType, Schema, Timestamp};
+
+    fn plan(sql: &str) -> QueryPlan {
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        Planner::new(&c).plan(&parse_select(sql).unwrap()).unwrap()
+    }
+
+    fn tup(v: i64, us: u64) -> Tuple {
+        Tuple::new(Row::from_ints(&[v]), Timestamp::from_micros(us))
+    }
+
+    #[test]
+    fn windows_partition_by_timestamp() {
+        let p = plan("SELECT a, COUNT(*) FROM R GROUP BY a");
+        let arrivals = vec![
+            (0usize, tup(1, 100_000)),
+            (0, tup(1, 200_000)),
+            (0, tup(2, 1_200_000)),
+        ];
+        let m = ideal_map(&p, &arrivals).unwrap();
+        assert_eq!(m[&(0, Row::from_ints(&[1]))], vec![2.0]);
+        assert_eq!(m[&(1, Row::from_ints(&[2]))], vec![1.0]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn non_aggregating_rejected() {
+        let p = plan("SELECT a FROM R");
+        assert!(ideal_map(&p, &[]).is_err());
+    }
+
+    #[test]
+    fn unknown_stream_rejected() {
+        let p = plan("SELECT a, COUNT(*) FROM R GROUP BY a");
+        assert!(ideal_map(&p, &[(3, tup(1, 0))]).is_err());
+    }
+
+    #[test]
+    fn empty_arrivals_empty_map() {
+        let p = plan("SELECT a, COUNT(*) FROM R GROUP BY a");
+        assert!(ideal_map(&p, &[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,23 @@
+//! Result-quality measurement and experiment running (paper §6.3).
+//!
+//! * [`rms`] — the paper's accuracy metric: compute the "ideal" result
+//!   from the original (unshed) data, then the root-mean-square
+//!   difference of per-group aggregate values against an actual run.
+//! * [`ideal`] — exact offline evaluation of a planned query over a
+//!   full arrival sequence.
+//! * [`stats`] — mean/standard-deviation summaries across seeded runs
+//!   (the paper plots the mean of nine runs with stddev error bars).
+//! * [`experiment`] — the rate-sweep runner that regenerates the data
+//!   series behind Figures 8 and 9: one arrival sequence per
+//!   (rate, seed), shared by all three shedding modes, windows scaled
+//!   with the data rate so tuples-per-window stays constant.
+
+pub mod experiment;
+pub mod ideal;
+pub mod rms;
+pub mod stats;
+
+pub use experiment::{rate_sweep, ModeSeries, RatePoint, SweepConfig};
+pub use ideal::ideal_map;
+pub use rms::{latencies, report_to_map, rms_error, ResultMap};
+pub use stats::{LatencyStats, MeanStd};

@@ -1,0 +1,152 @@
+//! The RMS error metric of paper §6.3.
+
+use std::collections::HashMap;
+
+use dt_triage::{RunReport, WindowPayload};
+use dt_types::{Row, WindowId};
+
+/// Query results in comparable form: `(window, group key)` →
+/// aggregate values.
+pub type ResultMap = HashMap<(WindowId, Row), Vec<f64>>;
+
+/// Flatten a pipeline run's grouped windows into a [`ResultMap`].
+/// Non-aggregating windows are skipped (RMS is defined over grouped
+/// aggregates).
+pub fn report_to_map(report: &RunReport) -> ResultMap {
+    let mut out = ResultMap::new();
+    for w in &report.windows {
+        if let WindowPayload::Groups(groups) = &w.payload {
+            for (key, vals) in groups {
+                out.insert((w.window, key.clone()), vals.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Per-window result latencies of a run, in seconds.
+pub fn latencies(report: &RunReport) -> Vec<f64> {
+    report
+        .windows
+        .iter()
+        .map(|w| w.latency(report.window_spec).as_secs_f64())
+        .collect()
+}
+
+/// Root-mean-square difference between an ideal and an actual result
+/// set.
+///
+/// ```
+/// use dt_metrics::{rms_error, ResultMap};
+/// use dt_types::Row;
+///
+/// let mut ideal = ResultMap::new();
+/// ideal.insert((0, Row::from_ints(&[1])), vec![10.0]);
+/// let mut actual = ResultMap::new();
+/// actual.insert((0, Row::from_ints(&[1])), vec![7.0]);
+/// assert_eq!(rms_error(&ideal, &actual), 3.0);
+/// // A group missing from the actual results counts in full.
+/// assert_eq!(rms_error(&ideal, &ResultMap::new()), 10.0);
+/// ```
+///
+/// The comparison runs over the **union** of `(window, group)` keys —
+/// a group missing from the actual results contributes its full ideal
+/// value as error (and vice versa for spurious groups), so "drop
+/// everything" cannot score well. NaN components (e.g. `MIN` of a
+/// group reconstructed only from a synopsis) are treated as absent,
+/// i.e. zero.
+pub fn rms_error(ideal: &ResultMap, actual: &ResultMap) -> f64 {
+    let mut sum_sq = 0.0;
+    let mut n = 0usize;
+    let zero: Vec<f64> = Vec::new();
+    let keys: std::collections::HashSet<&(WindowId, Row)> =
+        ideal.keys().chain(actual.keys()).collect();
+    for key in keys {
+        let i = ideal.get(key).unwrap_or(&zero);
+        let a = actual.get(key).unwrap_or(&zero);
+        let arity = i.len().max(a.len());
+        for idx in 0..arity {
+            let iv = i.get(idx).copied().unwrap_or(0.0);
+            let av = a.get(idx).copied().unwrap_or(0.0);
+            let iv = if iv.is_nan() { 0.0 } else { iv };
+            let av = if av.is_nan() { 0.0 } else { av };
+            sum_sq += (av - iv).powi(2);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum_sq / n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(w: WindowId, g: i64) -> (WindowId, Row) {
+        (w, Row::from_ints(&[g]))
+    }
+
+    #[test]
+    fn identical_maps_have_zero_error() {
+        let mut m = ResultMap::new();
+        m.insert(key(0, 1), vec![5.0]);
+        m.insert(key(1, 2), vec![7.0, 3.0]);
+        assert_eq!(rms_error(&m, &m), 0.0);
+    }
+
+    #[test]
+    fn missing_groups_count_fully() {
+        let mut ideal = ResultMap::new();
+        ideal.insert(key(0, 1), vec![3.0]);
+        ideal.insert(key(0, 2), vec![4.0]);
+        let actual = ResultMap::new();
+        // sqrt((9 + 16)/2) = sqrt(12.5)
+        assert!((rms_error(&ideal, &actual) - 12.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spurious_groups_count_fully() {
+        let ideal = ResultMap::new();
+        let mut actual = ResultMap::new();
+        actual.insert(key(0, 1), vec![6.0]);
+        assert!((rms_error(&ideal, &actual) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_error_averages() {
+        let mut ideal = ResultMap::new();
+        ideal.insert(key(0, 1), vec![10.0]);
+        ideal.insert(key(0, 2), vec![10.0]);
+        let mut actual = ResultMap::new();
+        actual.insert(key(0, 1), vec![10.0]);
+        actual.insert(key(0, 2), vec![6.0]);
+        // sqrt((0 + 16)/2)
+        assert!((rms_error(&ideal, &actual) - 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_treated_as_missing() {
+        let mut ideal = ResultMap::new();
+        ideal.insert(key(0, 1), vec![3.0]);
+        let mut actual = ResultMap::new();
+        actual.insert(key(0, 1), vec![f64::NAN]);
+        assert!((rms_error(&ideal, &actual) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_maps_zero() {
+        assert_eq!(rms_error(&ResultMap::new(), &ResultMap::new()), 0.0);
+    }
+
+    #[test]
+    fn mismatched_arity_pads_with_zero() {
+        let mut ideal = ResultMap::new();
+        ideal.insert(key(0, 1), vec![1.0, 2.0]);
+        let mut actual = ResultMap::new();
+        actual.insert(key(0, 1), vec![1.0]);
+        assert!((rms_error(&ideal, &actual) - 2.0f64.powi(2).div_euclid(2.0).sqrt()).abs() < 1e-9);
+    }
+}

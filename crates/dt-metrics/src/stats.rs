@@ -1,0 +1,217 @@
+//! Summary statistics across seeded runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean and (sample) standard deviation — the paper plots the mean of
+/// nine runs with standard-deviation error bars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub std: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl MeanStd {
+    /// Summarize a sample set.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return MeanStd {
+                mean: 0.0,
+                std: 0.0,
+                n: 0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std = if n < 2 {
+            0.0
+        } else {
+            let var =
+                samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        MeanStd { mean, std, n }
+    }
+}
+
+/// Latency summary over a run's windows: median, 95th percentile, and
+/// maximum result latency (seconds past each window's close).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Median latency.
+    pub p50: f64,
+    /// 95th-percentile latency.
+    pub p95: f64,
+    /// Worst-case latency.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Summarize a latency sample set (seconds). Empty input yields
+    /// zeros.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats {
+                p50: 0.0,
+                p95: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        LatencyStats {
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            max: *sorted.last().expect("nonempty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+impl MeanStd {
+    /// Welch's t statistic for the difference of this mean from
+    /// `other`'s (negative when this mean is smaller). Returns 0 when
+    /// either sample is too small or both variances vanish with equal
+    /// means, and ±∞ when variances vanish but means differ.
+    pub fn welch_t(&self, other: &MeanStd) -> f64 {
+        if self.n < 2 || other.n < 2 {
+            return 0.0;
+        }
+        let var = self.std * self.std / self.n as f64
+            + other.std * other.std / other.n as f64;
+        let diff = self.mean - other.mean;
+        if var <= 0.0 {
+            return if diff == 0.0 {
+                0.0
+            } else {
+                diff.signum() * f64::INFINITY
+            };
+        }
+        diff / var.sqrt()
+    }
+
+    /// Is this mean smaller than `other`'s by a conventionally
+    /// significant margin (|t| > 2, roughly p < 0.05 for the sample
+    /// sizes the experiments use)?
+    pub fn significantly_less(&self, other: &MeanStd) -> bool {
+        self.welch_t(other) < -2.0
+    }
+
+    /// One-sample t statistic against zero (for paired-difference
+    /// samples). Returns 0 for fewer than two samples, ±∞ for a
+    /// non-zero constant sample.
+    pub fn t_vs_zero(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        if self.std == 0.0 {
+            return if self.mean == 0.0 {
+                0.0
+            } else {
+                self.mean.signum() * f64::INFINITY
+            };
+        }
+        self.mean / (self.std / (self.n as f64).sqrt())
+    }
+
+    /// Is this (paired-difference) mean significantly above zero?
+    pub fn significantly_positive(&self) -> bool {
+        self.t_vs_zero() > 2.0
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = MeanStd::from_samples(&[]);
+        assert_eq!((e.mean, e.std, e.n), (0.0, 0.0, 0));
+        let s = MeanStd::from_samples(&[4.0]);
+        assert_eq!((s.mean, s.std, s.n), (4.0, 0.0, 1));
+    }
+
+    #[test]
+    fn known_values() {
+        let m = MeanStd::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        // Sample variance of this classic set is 32/7.
+        assert!((m.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let l = LatencyStats::from_samples(&samples);
+        assert_eq!(l.p50, 50.0);
+        assert_eq!(l.p95, 95.0);
+        assert_eq!(l.max, 100.0);
+        // Unsorted input is handled.
+        let l = LatencyStats::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(l.p50, 2.0);
+        assert_eq!(l.max, 3.0);
+        let e = LatencyStats::from_samples(&[]);
+        assert_eq!((e.p50, e.p95, e.max), (0.0, 0.0, 0.0));
+        // Singleton.
+        let s = LatencyStats::from_samples(&[7.0]);
+        assert_eq!((s.p50, s.p95, s.max), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn welch_t_behaviour() {
+        let lo = MeanStd::from_samples(&[1.0, 1.1, 0.9, 1.0, 1.05]);
+        let hi = MeanStd::from_samples(&[5.0, 5.2, 4.8, 5.1, 4.9]);
+        assert!(lo.significantly_less(&hi));
+        assert!(!hi.significantly_less(&lo));
+        assert!(lo.welch_t(&hi) < -10.0);
+        // Overlapping samples: no significance either way.
+        let a = MeanStd::from_samples(&[1.0, 5.0, 3.0]);
+        let b = MeanStd::from_samples(&[2.0, 4.0, 3.5]);
+        assert!(!a.significantly_less(&b));
+        assert!(!b.significantly_less(&a));
+        // Degenerate cases.
+        let single = MeanStd::from_samples(&[1.0]);
+        assert_eq!(single.welch_t(&hi), 0.0);
+        let const_a = MeanStd::from_samples(&[2.0, 2.0]);
+        let const_b = MeanStd::from_samples(&[3.0, 3.0]);
+        assert_eq!(const_a.welch_t(&const_b), f64::NEG_INFINITY);
+        assert!(const_a.significantly_less(&const_b));
+        assert_eq!(const_a.welch_t(&const_a.clone()), 0.0);
+    }
+
+    #[test]
+    fn one_sample_t() {
+        let d = MeanStd::from_samples(&[1.0, 1.2, 0.9, 1.1]);
+        assert!(d.significantly_positive());
+        let noisy = MeanStd::from_samples(&[1.0, -1.0, 0.5, -0.6]);
+        assert!(!noisy.significantly_positive());
+        assert_eq!(MeanStd::from_samples(&[5.0]).t_vs_zero(), 0.0);
+        assert_eq!(
+            MeanStd::from_samples(&[2.0, 2.0]).t_vs_zero(),
+            f64::INFINITY
+        );
+        assert_eq!(MeanStd::from_samples(&[0.0, 0.0]).t_vs_zero(), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = MeanStd::from_samples(&[1.0, 3.0]);
+        assert_eq!(m.to_string(), "2.000 ± 1.414");
+    }
+}

@@ -1,0 +1,308 @@
+//! Abstract syntax for the continuous-query dialect.
+
+use std::fmt;
+
+use dt_types::Value;
+
+/// An (optionally qualified) column reference, e.g. `R.a` or `a`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Stream name or alias.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl ColumnRef {
+    /// Bare column.
+    pub fn bare(name: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Qualified column.
+    pub fn qualified(q: impl Into<String>, name: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: Some(q.into()),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregate {
+    /// `COUNT(*)` or `COUNT(col)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Aggregate::Count => "COUNT",
+            Aggregate::Sum => "SUM",
+            Aggregate::Avg => "AVG",
+            Aggregate::Min => "MIN",
+            Aggregate::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Star,
+    /// A plain column, optionally aliased.
+    Column {
+        /// The column.
+        column: ColumnRef,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+    /// An aggregate call, optionally aliased. `arg == None` means
+    /// `COUNT(*)`.
+    Aggregate {
+        /// Which aggregate.
+        func: Aggregate,
+        /// Argument column; `None` only for `COUNT(*)`.
+        arg: Option<ColumnRef>,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A FROM-list entry: a stream with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Stream name in the catalog.
+    pub stream: String,
+    /// Alias (`FROM R AS x` / `FROM R x`); defaults to the stream name.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this stream answers to in column qualifiers.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.stream)
+    }
+}
+
+/// Comparison operators in WHERE predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate against an [`std::cmp::Ordering`].
+    pub fn matches(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Neq => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A literal value.
+    Literal(Value),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Column(c) => write!(f, "{c}"),
+            Operand::Literal(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A single conjunct of the WHERE clause: `left op right`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left operand.
+    pub left: Operand,
+    /// Comparison.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Operand,
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A per-stream window clause: `WINDOW R['1 second']` (tumbling) or
+/// `WINDOW R['4 seconds', '1 second']` (hopping: width, slide).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowClause {
+    /// Stream alias the clause applies to.
+    pub stream: String,
+    /// The width interval text, e.g. `1 second`.
+    pub interval: String,
+    /// Optional slide interval text; `None` = tumbling.
+    pub slide: Option<String>,
+}
+
+/// One HAVING conjunct: an aggregate compared to a numeric literal,
+/// e.g. `HAVING COUNT(*) > 5`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HavingClause {
+    /// The aggregate on the left.
+    pub func: Aggregate,
+    /// Aggregate argument (`None` for `COUNT(*)`).
+    pub arg: Option<ColumnRef>,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand literal.
+    pub value: f64,
+}
+
+impl fmt::Display for HavingClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            Some(c) => write!(f, "{}({c}) {} {}", self.func, self.op, self.value),
+            None => write!(f, "{}(*) {} {}", self.func, self.op, self.value),
+        }
+    }
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// SELECT-list items in order.
+    pub items: Vec<SelectItem>,
+    /// FROM-list streams in order (this order is also the join order,
+    /// as in paper §4.3).
+    pub from: Vec<TableRef>,
+    /// WHERE conjuncts.
+    pub predicates: Vec<Predicate>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+    /// HAVING conjuncts.
+    pub having: Vec<HavingClause>,
+    /// WINDOW clauses.
+    pub windows: Vec<WindowClause>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn cmp_op_matches() {
+        assert!(CmpOp::Eq.matches(Ordering::Equal));
+        assert!(!CmpOp::Eq.matches(Ordering::Less));
+        assert!(CmpOp::Neq.matches(Ordering::Greater));
+        assert!(CmpOp::Lt.matches(Ordering::Less));
+        assert!(CmpOp::Le.matches(Ordering::Equal));
+        assert!(CmpOp::Gt.matches(Ordering::Greater));
+        assert!(CmpOp::Ge.matches(Ordering::Equal));
+        assert!(!CmpOp::Ge.matches(Ordering::Less));
+    }
+
+    #[test]
+    fn cmp_op_flip() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.flipped(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+        assert_eq!(CmpOp::Neq.flipped(), CmpOp::Neq);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Predicate {
+            left: Operand::Column(ColumnRef::qualified("R", "a")),
+            op: CmpOp::Le,
+            right: Operand::Literal(Value::Int(5)),
+        };
+        assert_eq!(p.to_string(), "R.a <= 5");
+        assert_eq!(ColumnRef::bare("x").to_string(), "x");
+        assert_eq!(Aggregate::Count.to_string(), "COUNT");
+    }
+
+    #[test]
+    fn table_ref_binding() {
+        let t = TableRef {
+            stream: "R".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding_name(), "R");
+        let t = TableRef {
+            stream: "R".into(),
+            alias: Some("x".into()),
+        };
+        assert_eq!(t.binding_name(), "x");
+    }
+}

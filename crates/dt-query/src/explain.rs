@@ -1,0 +1,199 @@
+//! `EXPLAIN`-style plan rendering.
+//!
+//! Renders a [`QueryPlan`] as an indented operator tree, the way a
+//! database's `EXPLAIN` does — used by `dtsim --explain` and handy in
+//! test failure messages.
+
+use std::fmt::Write;
+
+use crate::ast::Aggregate;
+use crate::plan::{OutputColumn, PredOperand, QueryPlan};
+
+/// Render the plan as a multi-line operator tree.
+pub fn explain(plan: &QueryPlan) -> String {
+    let mut out = String::new();
+    let mut indent = 0usize;
+    let line = |out: &mut String, indent: usize, text: String| {
+        let _ = writeln!(out, "{}{}", "  ".repeat(indent), text);
+    };
+
+    // Top: projection / aggregation.
+    if plan.is_aggregating() || !plan.group_by.is_empty() {
+        let aggs: Vec<String> = plan
+            .aggregates
+            .iter()
+            .map(|a| {
+                let func = match a.func {
+                    Aggregate::Count => "COUNT",
+                    Aggregate::Sum => "SUM",
+                    Aggregate::Avg => "AVG",
+                    Aggregate::Min => "MIN",
+                    Aggregate::Max => "MAX",
+                };
+                let arg = match a.arg {
+                    Some(i) => col_name(plan, i),
+                    None => "*".to_string(),
+                };
+                format!("{func}({arg}) AS {}", a.name)
+            })
+            .collect();
+        let keys: Vec<String> = plan.group_by.iter().map(|&i| col_name(plan, i)).collect();
+        line(
+            &mut out,
+            indent,
+            format!("Aggregate [{}] GROUP BY [{}]", aggs.join(", "), keys.join(", ")),
+        );
+        indent += 1;
+        if !plan.having.is_empty() {
+            let conds: Vec<String> = plan
+                .having
+                .iter()
+                .map(|h| format!("{} {} {}", plan.aggregates[h.agg_index].name, h.op, h.value))
+                .collect();
+            line(&mut out, indent, format!("Having [{}]", conds.join(" AND ")));
+            indent += 1;
+        }
+    } else {
+        let cols: Vec<String> = plan
+            .outputs
+            .iter()
+            .filter_map(|o| match o {
+                OutputColumn::Column { name, .. } => Some(name.clone()),
+                OutputColumn::Aggregate { .. } => None,
+            })
+            .collect();
+        let distinct = if plan.distinct { "Distinct " } else { "" };
+        line(
+            &mut out,
+            indent,
+            format!("{distinct}Project [{}]", cols.join(", ")),
+        );
+        indent += 1;
+    }
+
+    // Residual filter.
+    if !plan.residual.is_empty() {
+        let conds: Vec<String> = plan
+            .residual
+            .iter()
+            .map(|p| {
+                let side = |o: &PredOperand| match o {
+                    PredOperand::Col(i) => col_name(plan, *i),
+                    PredOperand::Lit(v) => v.to_string(),
+                };
+                format!("{} {} {}", side(&p.left), p.op, side(&p.right))
+            })
+            .collect();
+        line(&mut out, indent, format!("Filter [{}]", conds.join(" AND ")));
+        indent += 1;
+    }
+
+    // Join tree (left-deep), innermost last.
+    for j in (1..plan.streams.len()).rev() {
+        let conds = &plan.join_graph.steps[j - 1];
+        let desc = if conds.is_empty() {
+            "CrossJoin".to_string()
+        } else {
+            let pairs: Vec<String> = conds
+                .iter()
+                .map(|&(g, l)| {
+                    format!(
+                        "{} = {}",
+                        col_name(plan, g),
+                        col_name(plan, plan.streams[j].offset + l)
+                    )
+                })
+                .collect();
+            format!("HashJoin [{}]", pairs.join(" AND "))
+        };
+        line(&mut out, indent, desc);
+        indent += 1;
+        line(&mut out, indent, scan_line(plan, j));
+    }
+    line(&mut out, indent, scan_line(plan, 0));
+    out
+}
+
+fn scan_line(plan: &QueryPlan, stream: usize) -> String {
+    let b = &plan.streams[stream];
+    let alias = if b.alias == b.stream {
+        String::new()
+    } else {
+        format!(" AS {}", b.alias)
+    };
+    let w = b.window;
+    let window = if w.is_tumbling() {
+        format!("window {}", w.width())
+    } else {
+        format!("window {} slide {}", w.width(), w.slide())
+    };
+    format!("StreamScan {}{} [{}]", b.stream, alias, window)
+}
+
+fn col_name(plan: &QueryPlan, combined: usize) -> String {
+    plan.combined_schema
+        .field(combined)
+        .map(|f| f.qualified_name())
+        .unwrap_or_else(|| format!("#{combined}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use crate::plan::{Catalog, Planner};
+    use dt_types::{DataType, Schema};
+
+    fn plan(sql: &str) -> QueryPlan {
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        c.add_stream(
+            "S",
+            Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+        );
+        c.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
+        Planner::new(&c).plan(&parse_select(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn explains_the_paper_query() {
+        let text = explain(&plan(
+            "SELECT a, COUNT(*) as count FROM R,S,T \
+             WHERE R.a = S.b AND S.c = T.d GROUP BY a \
+             WINDOW R['1 second'], S['1 second'], T['1 second']",
+        ));
+        assert_eq!(
+            text,
+            "Aggregate [COUNT(*) AS count] GROUP BY [R.a]\n\
+             \x20\x20HashJoin [S.c = T.d]\n\
+             \x20\x20\x20\x20StreamScan T [window 1.000000s]\n\
+             \x20\x20\x20\x20HashJoin [R.a = S.b]\n\
+             \x20\x20\x20\x20\x20\x20StreamScan S [window 1.000000s]\n\
+             \x20\x20\x20\x20\x20\x20StreamScan R [window 1.000000s]\n"
+        );
+    }
+
+    #[test]
+    fn explains_filters_having_and_hopping() {
+        let text = explain(&plan(
+            "SELECT b, COUNT(*) FROM S WHERE S.c > 5 GROUP BY b \
+             HAVING COUNT(*) >= 2 WINDOW S['2 seconds', '1 second']",
+        ));
+        assert!(text.contains("Having [COUNT(*) >= 2]"), "{text}");
+        assert!(text.contains("Filter [S.c > 5]"), "{text}");
+        assert!(text.contains("window 2.000000s slide 1.000000s"), "{text}");
+    }
+
+    #[test]
+    fn explains_distinct_projection_and_alias() {
+        let text = explain(&plan("SELECT DISTINCT x.a FROM R x, T WHERE x.a = T.d"));
+        assert!(text.starts_with("Distinct Project [x.a]"), "{text}");
+        assert!(text.contains("StreamScan R AS x"), "{text}");
+    }
+
+    #[test]
+    fn explains_cross_join() {
+        let text = explain(&plan("SELECT * FROM R, T"));
+        assert!(text.contains("CrossJoin"), "{text}");
+    }
+}

@@ -1,0 +1,353 @@
+//! Tokenizer for the TelegraphCQ SQL dialect.
+
+use dt_types::{DtError, DtResult};
+
+/// A token with its byte position in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub position: usize,
+}
+
+/// Token kinds. Keywords are case-insensitive and lexed as `Keyword`
+/// with an upper-cased spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `SELECT`, `FROM`, `COUNT`, … (upper-cased).
+    Keyword(String),
+    /// A non-keyword identifier (original case preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "GROUP", "BY", "HAVING", "WINDOW", "AS",
+    "COUNT", "SUM", "AVG", "MIN", "MAX",
+];
+
+/// A hand-written single-pass lexer.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over the query text.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the whole input (including a trailing `Eof`).
+    pub fn tokenize(mut self) -> DtResult<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let done = t.kind == TokenKind::Eof;
+            out.push(t);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn error(&self, msg: impl Into<String>) -> DtError {
+        DtError::Parse {
+            message: msg.into(),
+            position: self.pos,
+        }
+    }
+
+    fn next_token(&mut self) -> DtResult<Token> {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                position: start,
+            });
+        };
+        let kind = match c {
+            b',' => {
+                self.pos += 1;
+                TokenKind::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                TokenKind::Dot
+            }
+            b'(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            b'[' => {
+                self.pos += 1;
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.pos += 1;
+                TokenKind::RBracket
+            }
+            b'*' => {
+                self.pos += 1;
+                TokenKind::Star
+            }
+            b';' => {
+                self.pos += 1;
+                TokenKind::Semicolon
+            }
+            b'=' => {
+                self.pos += 1;
+                TokenKind::Eq
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Neq
+                } else {
+                    return Err(self.error("expected '=' after '!'"));
+                }
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        TokenKind::Le
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        TokenKind::Neq
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'\'' => {
+                self.pos += 1;
+                let content_start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'\'' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                if self.peek() != Some(b'\'') {
+                    return Err(self.error("unterminated string literal"));
+                }
+                let s = self.src[content_start..self.pos].to_string();
+                self.pos += 1; // closing quote
+                TokenKind::Str(s)
+            }
+            c if c.is_ascii_digit() || c == b'-' => {
+                self.pos += 1;
+                let mut is_float = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.pos += 1;
+                    } else if c == b'.'
+                        && !is_float
+                        && self
+                            .bytes
+                            .get(self.pos + 1)
+                            .is_some_and(|d| d.is_ascii_digit())
+                    {
+                        is_float = true;
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &self.src[start..self.pos];
+                if text == "-" {
+                    return Err(self.error("dangling '-'"));
+                }
+                if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| self.error(format!("bad float literal '{text}'")))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| self.error(format!("bad integer literal '{text}'")))?,
+                    )
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                self.pos += 1;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                    self.pos += 1;
+                }
+                let text = &self.src[start..self.pos];
+                let upper = text.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Keyword(upper)
+                } else {
+                    TokenKind::Ident(text.to_string())
+                }
+            }
+            other => {
+                return Err(self.error(format!("unexpected character '{}'", other as char)));
+            }
+        };
+        Ok(Token {
+            kind,
+            position: start,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_query() {
+        let ks = kinds(
+            "SELECT a, COUNT(*) as count FROM R,S,T \
+             WHERE R.a = S.b AND S.c = T.d GROUP BY a \
+             WINDOW R['1 second'];",
+        );
+        use TokenKind::*;
+        assert_eq!(ks[0], Keyword("SELECT".into()));
+        assert_eq!(ks[1], Ident("a".into()));
+        assert_eq!(ks[2], Comma);
+        assert_eq!(ks[3], Keyword("COUNT".into()));
+        assert_eq!(ks[4], LParen);
+        assert_eq!(ks[5], Star);
+        assert_eq!(ks[6], RParen);
+        assert_eq!(ks[7], Keyword("AS".into()));
+        // `count` is not a reserved word position here; it lexes as the
+        // COUNT keyword but the parser accepts keywords as aliases.
+        assert_eq!(ks[8], Keyword("COUNT".into()));
+        assert!(ks.contains(&Keyword("WINDOW".into())));
+        assert!(ks.contains(&Str("1 second".into())));
+        assert_eq!(*ks.last().unwrap(), Eof);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("select")[0], TokenKind::Keyword("SELECT".into()));
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Keyword("SELECT".into()));
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        assert_eq!(kinds("MyStream")[0], TokenKind::Ident("MyStream".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("-7")[0], TokenKind::Int(-7));
+        assert_eq!(kinds("3.5")[0], TokenKind::Float(3.5));
+        assert_eq!(kinds("-0.25")[0], TokenKind::Float(-0.25));
+        // A dot not followed by a digit is a separate token (qualified
+        // names parse as Ident Dot Ident).
+        assert_eq!(
+            kinds("R.a"),
+            vec![
+                TokenKind::Ident("R".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("a".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![Eq, Neq, Neq, Lt, Le, Gt, Ge, Eof]
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(kinds("'1 second'")[0], TokenKind::Str("1 second".into()));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = Lexer::new("SELECT @").tokenize().unwrap_err();
+        match err {
+            DtError::Parse { position, .. } => assert_eq!(position, 7),
+            other => panic!("unexpected error {other}"),
+        }
+        assert!(Lexer::new("'oops").tokenize().is_err());
+        assert!(Lexer::new("! x").tokenize().is_err());
+        assert!(Lexer::new("- x").tokenize().is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! The continuous-query language frontend.
+//!
+//! Parses the TelegraphCQ SQL dialect used throughout the paper —
+//! e.g. the experiment query of Fig. 7:
+//!
+//! ```sql
+//! SELECT a, COUNT(*) as count
+//! FROM R, S, T
+//! WHERE R.a = S.b AND S.c = T.d
+//! GROUP BY a
+//! WINDOW R['1 second'], S['1 second'], T['1 second'];
+//! ```
+//!
+//! and lowers it against a [`Catalog`] of stream schemas into a
+//! [`QueryPlan`]: a join-ordered select-project-join-aggregate plan
+//! with per-stream window specifications. The plan is consumed by the
+//! exact stream engine (`dt-engine`) and by the shadow-query rewriter
+//! (`dt-rewrite`).
+//!
+//! Supported surface:
+//! * `SELECT [DISTINCT] <cols and aggregates> [AS alias]`
+//!   with `COUNT(*)`, `COUNT(col)`, `SUM`, `AVG`, `MIN`, `MAX`;
+//! * `FROM` lists with optional aliases (`FROM R AS x, S y`);
+//! * conjunctive `WHERE` with `=`, `<>`, `<`, `<=`, `>`, `>=` between
+//!   column references and integer/float/string literals;
+//! * `GROUP BY` on column references;
+//! * per-stream `WINDOW s['<n> <unit>']` clauses (seconds /
+//!   milliseconds / minutes).
+
+pub mod ast;
+pub mod explain;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{
+    Aggregate, CmpOp, ColumnRef, HavingClause, Operand, Predicate, SelectItem, SelectStatement,
+    TableRef,
+};
+pub use explain::explain;
+pub use optimizer::{estimate_cost, optimize_join_order, StreamStats};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::parse_select;
+pub use plan::{
+    parse_interval, AggSpec, Catalog, CompiledHaving, CompiledPredicate, JoinGraph, OutputColumn,
+    Planner, PredOperand, QueryPlan, StreamBinding,
+};

@@ -1,0 +1,442 @@
+//! Join-order optimization.
+//!
+//! The paper chooses its join order by FROM position (§4.3) and flags
+//! order selection over synopses as an open problem (§5.2, citing
+//! Deshpande & Hellerstein's work on correlation-aware synopsis
+//! optimization). This module supplies the classical answer for the
+//! exact plan — and, because the shadow plan mirrors the exact plan's
+//! join order, an optimized [`QueryPlan`] improves both paths.
+//!
+//! The optimizer enumerates left-deep stream permutations (queries
+//! here join a handful of streams, so exhaustive enumeration is
+//! cheap), estimates each order's cost as the sum of intermediate
+//! cardinalities under the classic `1/max(d₁, d₂)` equijoin
+//! selectivity model, and rebuilds the plan — join graph, combined
+//! schema, residual predicates, GROUP BY, aggregates, outputs — for
+//! the winning order. Results are unchanged by construction; an
+//! equivalence property test in `dt-engine` pins that.
+
+use dt_types::{DtError, DtResult, Schema};
+
+use crate::plan::{
+    CompiledPredicate, JoinGraph, OutputColumn, PredOperand, QueryPlan, StreamBinding,
+};
+
+/// Per-stream statistics driving cost estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Expected rows per window.
+    pub cardinality: f64,
+    /// Distinct values per column (same arity as the stream schema).
+    pub distinct: Vec<f64>,
+}
+
+impl StreamStats {
+    /// Uniform defaults: `rows` rows, every column with `distinct`
+    /// distinct values.
+    pub fn uniform(arity: usize, rows: f64, distinct: f64) -> Self {
+        StreamStats {
+            cardinality: rows,
+            distinct: vec![distinct.max(1.0); arity],
+        }
+    }
+}
+
+/// One undirected equijoin edge between two streams' columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Edge {
+    stream_a: usize,
+    col_a: usize,
+    stream_b: usize,
+    col_b: usize,
+}
+
+/// Estimated cost (sum of intermediate result cardinalities) of the
+/// plan's current join order.
+pub fn estimate_cost(plan: &QueryPlan, stats: &[StreamStats]) -> DtResult<f64> {
+    let edges = extract_edges(plan)?;
+    let order: Vec<usize> = (0..plan.streams.len()).collect();
+    validate_stats(plan, stats)?;
+    Ok(order_cost(&order, &edges, stats))
+}
+
+/// Reorder the plan's joins to (an) optimal left-deep order under the
+/// given statistics. Plans with more than 8 streams are returned
+/// unchanged (enumeration would be too expensive; a DP optimizer is
+/// beyond this reproduction's needs).
+pub fn optimize_join_order(plan: &QueryPlan, stats: &[StreamStats]) -> DtResult<QueryPlan> {
+    validate_stats(plan, stats)?;
+    let n = plan.streams.len();
+    if n <= 1 || n > 8 {
+        return Ok(plan.clone());
+    }
+    let edges = extract_edges(plan)?;
+    let mut best: Vec<usize> = (0..n).collect();
+    let mut best_cost = order_cost(&best, &edges, stats);
+    let mut order: Vec<usize> = (0..n).collect();
+    permute(&mut order, 0, &mut |candidate| {
+        let cost = order_cost(candidate, &edges, stats);
+        if cost < best_cost {
+            best_cost = cost;
+            best = candidate.to_vec();
+        }
+    });
+    rebuild(plan, &best, &edges)
+}
+
+fn validate_stats(plan: &QueryPlan, stats: &[StreamStats]) -> DtResult<()> {
+    if stats.len() != plan.streams.len() {
+        return Err(DtError::plan(format!(
+            "expected {} stream stats, got {}",
+            plan.streams.len(),
+            stats.len()
+        )));
+    }
+    for (s, st) in plan.streams.iter().zip(stats) {
+        if st.distinct.len() != s.schema.arity() {
+            return Err(DtError::plan(format!(
+                "stats for stream '{}' have {} columns, schema has {}",
+                s.alias,
+                st.distinct.len(),
+                s.schema.arity()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Recover the undirected equijoin edge list from the plan's
+/// left-deep join graph.
+fn extract_edges(plan: &QueryPlan) -> DtResult<Vec<Edge>> {
+    let mut edges = Vec::new();
+    for (j, conds) in plan.join_graph.steps.iter().enumerate() {
+        for &(global, local) in conds {
+            let (stream_a, col_a) = plan
+                .locate_column(global)
+                .ok_or_else(|| DtError::plan(format!("dangling join column {global}")))?;
+            edges.push(Edge {
+                stream_a,
+                col_a,
+                stream_b: j + 1,
+                col_b: local,
+            });
+        }
+    }
+    Ok(edges)
+}
+
+/// Classic System-R style cost: accumulate left-deep, intermediate
+/// cardinality = |acc| · |next| · Π 1/max(d_left, d_right) over the
+/// edges connecting `next` to the accumulated prefix; cost = sum of
+/// intermediates (the final result size is identical across orders
+/// and included uniformly).
+fn order_cost(order: &[usize], edges: &[Edge], stats: &[StreamStats]) -> f64 {
+    let mut card = stats[order[0]].cardinality;
+    let mut cost = 0.0;
+    for (pos, &next) in order.iter().enumerate().skip(1) {
+        let prefix = &order[..pos];
+        let mut selectivity = 1.0;
+        for e in edges {
+            let connects = (e.stream_b == next && prefix.contains(&e.stream_a))
+                || (e.stream_a == next && prefix.contains(&e.stream_b));
+            if connects {
+                let (da, db) = (
+                    stats[e.stream_a].distinct[e.col_a],
+                    stats[e.stream_b].distinct[e.col_b],
+                );
+                selectivity /= da.max(db).max(1.0);
+            }
+        }
+        card = card * stats[next].cardinality * selectivity;
+        cost += card;
+    }
+    cost
+}
+
+/// Heap-style permutation enumeration (calls `f` on every order).
+fn permute(arr: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == arr.len() {
+        f(arr);
+        return;
+    }
+    for i in k..arr.len() {
+        arr.swap(k, i);
+        permute(arr, k + 1, f);
+        arr.swap(k, i);
+    }
+}
+
+/// Rebuild the plan for a new stream order, remapping every
+/// combined-row column index.
+fn rebuild(plan: &QueryPlan, order: &[usize], edges: &[Edge]) -> DtResult<QueryPlan> {
+    // New bindings with recomputed offsets.
+    let mut streams: Vec<StreamBinding> = Vec::with_capacity(order.len());
+    let mut offset = 0;
+    for &old in order {
+        let mut b = plan.streams[old].clone();
+        b.offset = offset;
+        offset += b.schema.arity();
+        streams.push(b);
+    }
+    // position of each old stream in the new order.
+    let mut new_pos = vec![0usize; order.len()];
+    for (pos, &old) in order.iter().enumerate() {
+        new_pos[old] = pos;
+    }
+    // Old combined index → new combined index.
+    let remap = |old_combined: usize| -> DtResult<usize> {
+        let (old_stream, local) = plan
+            .locate_column(old_combined)
+            .ok_or_else(|| DtError::plan(format!("dangling column {old_combined}")))?;
+        Ok(streams[new_pos[old_stream]].offset + local)
+    };
+
+    // Join graph: every edge attaches to the later stream's step.
+    let mut steps: Vec<Vec<(usize, usize)>> = vec![Vec::new(); order.len().saturating_sub(1)];
+    for e in edges {
+        let (pa, pb) = (new_pos[e.stream_a], new_pos[e.stream_b]);
+        let (early, late) = if pa < pb {
+            ((e.stream_a, e.col_a), (e.stream_b, e.col_b))
+        } else {
+            ((e.stream_b, e.col_b), (e.stream_a, e.col_a))
+        };
+        let global = streams[new_pos[early.0]].offset + early.1;
+        let late_pos = new_pos[late.0];
+        if late_pos == 0 {
+            return Err(DtError::plan("join edge within a single stream"));
+        }
+        steps[late_pos - 1].push((global, late.1));
+    }
+
+    let mut combined_schema = Schema::empty();
+    for s in &streams {
+        combined_schema = combined_schema.concat(&s.schema);
+    }
+
+    let remap_operand = |o: &PredOperand| -> DtResult<PredOperand> {
+        Ok(match o {
+            PredOperand::Col(i) => PredOperand::Col(remap(*i)?),
+            PredOperand::Lit(v) => PredOperand::Lit(v.clone()),
+        })
+    };
+    let residual = plan
+        .residual
+        .iter()
+        .map(|p| {
+            Ok(CompiledPredicate {
+                left: remap_operand(&p.left)?,
+                op: p.op,
+                right: remap_operand(&p.right)?,
+            })
+        })
+        .collect::<DtResult<Vec<_>>>()?;
+    let group_by = plan
+        .group_by
+        .iter()
+        .map(|&i| remap(i))
+        .collect::<DtResult<Vec<_>>>()?;
+    let aggregates = plan
+        .aggregates
+        .iter()
+        .map(|a| {
+            Ok(crate::plan::AggSpec {
+                func: a.func,
+                arg: a.arg.map(remap).transpose()?,
+                name: a.name.clone(),
+            })
+        })
+        .collect::<DtResult<Vec<_>>>()?;
+    let outputs = plan
+        .outputs
+        .iter()
+        .map(|o| {
+            Ok(match o {
+                OutputColumn::Column { index, name } => OutputColumn::Column {
+                    index: remap(*index)?,
+                    name: name.clone(),
+                },
+                OutputColumn::Aggregate { agg_index } => OutputColumn::Aggregate {
+                    agg_index: *agg_index,
+                },
+            })
+        })
+        .collect::<DtResult<Vec<_>>>()?;
+
+    Ok(QueryPlan {
+        streams,
+        join_graph: JoinGraph { steps },
+        residual,
+        group_by,
+        aggregates,
+        having: plan.having.clone(),
+        outputs,
+        distinct: plan.distinct,
+        combined_schema,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use crate::plan::{Catalog, Planner};
+    use dt_types::{DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        c.add_stream(
+            "S",
+            Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+        );
+        c.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
+        c
+    }
+
+    fn paper_plan() -> QueryPlan {
+        Planner::new(&catalog())
+            .plan(
+                &parse_select(
+                    "SELECT a, COUNT(*) as n FROM R,S,T \
+                     WHERE R.a = S.b AND S.c = T.d GROUP BY a",
+                )
+                .unwrap(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn stats_validation() {
+        let p = paper_plan();
+        assert!(estimate_cost(&p, &[]).is_err());
+        let bad = vec![
+            StreamStats::uniform(2, 10.0, 5.0), // wrong arity for R
+            StreamStats::uniform(2, 10.0, 5.0),
+            StreamStats::uniform(1, 10.0, 5.0),
+        ];
+        assert!(estimate_cost(&p, &bad).is_err());
+    }
+
+    #[test]
+    fn cost_prefers_small_streams_first() {
+        let p = paper_plan();
+        // R is huge; S and T are small: joining S ⋈ T first is cheaper.
+        let stats = vec![
+            StreamStats::uniform(1, 10_000.0, 100.0), // R
+            StreamStats::uniform(2, 10.0, 10.0),      // S
+            StreamStats::uniform(1, 10.0, 10.0),      // T
+        ];
+        let optimized = optimize_join_order(&p, &stats).unwrap();
+        // The first stream in the optimized order is not R.
+        assert_ne!(optimized.streams[0].stream, "R");
+        let before = estimate_cost(&p, &stats).unwrap();
+        // Cost under the optimized order, measured with stats permuted
+        // to the new stream positions.
+        let permuted: Vec<StreamStats> = optimized
+            .streams
+            .iter()
+            .map(|b| match b.stream.as_str() {
+                "R" => stats[0].clone(),
+                "S" => stats[1].clone(),
+                _ => stats[2].clone(),
+            })
+            .collect();
+        let after = estimate_cost(&optimized, &permuted).unwrap();
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn rebuilt_plan_is_well_formed() {
+        let p = paper_plan();
+        let stats = vec![
+            StreamStats::uniform(1, 10_000.0, 100.0),
+            StreamStats::uniform(2, 10.0, 10.0),
+            StreamStats::uniform(1, 10.0, 10.0),
+        ];
+        let o = optimize_join_order(&p, &stats).unwrap();
+        // Same streams, contiguous offsets, full join connectivity.
+        assert_eq!(o.streams.len(), 3);
+        let mut expected_offset = 0;
+        for s in &o.streams {
+            assert_eq!(s.offset, expected_offset);
+            expected_offset += s.schema.arity();
+        }
+        assert_eq!(o.combined_schema.arity(), 4);
+        assert_eq!(o.join_graph.steps.len(), 2);
+        let total_conds: usize = o.join_graph.steps.iter().map(Vec::len).sum();
+        assert_eq!(total_conds, 2);
+        // Each step's left column index lies before the step's stream.
+        for (j, conds) in o.join_graph.steps.iter().enumerate() {
+            for &(g, l) in conds {
+                assert!(g < o.streams[j + 1].offset, "left col after stream");
+                assert!(l < o.streams[j + 1].schema.arity());
+            }
+        }
+        // Group-by column still names R.a.
+        assert_eq!(
+            o.combined_schema.field(o.group_by[0]).unwrap().qualified_name(),
+            "R.a"
+        );
+    }
+
+    #[test]
+    fn balanced_stats_keep_original_order() {
+        let p = paper_plan();
+        let stats = vec![
+            StreamStats::uniform(1, 100.0, 50.0),
+            StreamStats::uniform(2, 100.0, 50.0),
+            StreamStats::uniform(1, 100.0, 50.0),
+        ];
+        let o = optimize_join_order(&p, &stats).unwrap();
+        // All orders tie; strict improvement is required to move off
+        // the original, so FROM order survives (determinism).
+        let names: Vec<&str> = o.streams.iter().map(|s| s.stream.as_str()).collect();
+        assert_eq!(names, vec!["R", "S", "T"]);
+    }
+
+    #[test]
+    fn single_stream_is_identity() {
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        let p = Planner::new(&c)
+            .plan(&parse_select("SELECT a, COUNT(*) FROM R GROUP BY a").unwrap())
+            .unwrap();
+        let o = optimize_join_order(&p, &[StreamStats::uniform(1, 5.0, 5.0)]).unwrap();
+        assert_eq!(o, p);
+    }
+
+    #[test]
+    fn residuals_and_outputs_remap() {
+        let p = Planner::new(&catalog())
+            .plan(
+                &parse_select(
+                    "SELECT S.c FROM R, S, T \
+                     WHERE R.a = S.b AND S.c = T.d AND S.c > 5",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let stats = vec![
+            StreamStats::uniform(1, 10_000.0, 100.0),
+            StreamStats::uniform(2, 10.0, 10.0),
+            StreamStats::uniform(1, 10.0, 10.0),
+        ];
+        let o = optimize_join_order(&p, &stats).unwrap();
+        // The residual predicate still references S.c.
+        let PredOperand::Col(c) = o.residual[0].left else {
+            panic!("expected column operand");
+        };
+        assert_eq!(
+            o.combined_schema.field(c).unwrap().qualified_name(),
+            "S.c"
+        );
+        // The output column too.
+        let OutputColumn::Column { index, .. } = &o.outputs[0] else {
+            panic!("expected column output");
+        };
+        assert_eq!(
+            o.combined_schema.field(*index).unwrap().qualified_name(),
+            "S.c"
+        );
+    }
+}

@@ -1,0 +1,487 @@
+//! Recursive-descent parser for the continuous-query dialect.
+
+use dt_types::{DtError, DtResult, Value};
+
+use crate::ast::{
+    Aggregate, CmpOp, ColumnRef, HavingClause, Operand, Predicate, SelectItem, SelectStatement,
+    TableRef, WindowClause,
+};
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// Parse a single `SELECT` statement (optionally `;`-terminated).
+///
+/// ```
+/// use dt_query::parse_select;
+///
+/// let stmt = parse_select(
+///     "SELECT a, COUNT(*) as count FROM R,S,T \
+///      WHERE R.a = S.b AND S.c = T.d GROUP BY a \
+///      WINDOW R['1 second'], S['1 second'], T['1 second']",
+/// )?;
+/// assert_eq!(stmt.from.len(), 3);
+/// assert_eq!(stmt.predicates.len(), 2);
+/// assert_eq!(stmt.windows[0].interval, "1 second");
+/// # Ok::<(), dt_types::DtError>(())
+/// ```
+pub fn parse_select(src: &str) -> DtResult<SelectStatement> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, idx: 0 };
+    let stmt = p.select_statement()?;
+    p.eat_if(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.idx].kind
+    }
+
+    fn position(&self) -> usize {
+        self.tokens[self.idx].position
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let k = self.tokens[self.idx].kind.clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        k
+    }
+
+    fn error(&self, msg: impl Into<String>) -> DtError {
+        DtError::Parse {
+            message: msg.into(),
+            position: self.position(),
+        }
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if k == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> DtResult<()> {
+        if self.eat_if(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> DtResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> DtResult<()> {
+        if self.peek() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+
+    /// An identifier; keywords are accepted where the grammar is
+    /// unambiguous (e.g. `AS count`).
+    fn name(&mut self, what: &str) -> DtResult<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            TokenKind::Keyword(k) => {
+                self.advance();
+                Ok(k.to_ascii_lowercase())
+            }
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn column_ref(&mut self) -> DtResult<ColumnRef> {
+        let first = self.name("column name")?;
+        if self.eat_if(&TokenKind::Dot) {
+            let second = self.name("column name after '.'")?;
+            Ok(ColumnRef::qualified(first, second))
+        } else {
+            Ok(ColumnRef::bare(first))
+        }
+    }
+
+    fn select_statement(&mut self) -> DtResult<SelectStatement> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let items = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.table_list()?;
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") {
+            predicates.push(self.predicate()?);
+            while self.eat_keyword("AND") {
+                predicates.push(self.predicate()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.column_ref()?);
+            while self.eat_if(&TokenKind::Comma) {
+                group_by.push(self.column_ref()?);
+            }
+        }
+        let mut having = Vec::new();
+        if self.eat_keyword("HAVING") {
+            having.push(self.having_clause()?);
+            while self.eat_keyword("AND") {
+                having.push(self.having_clause()?);
+            }
+        }
+        let mut windows = Vec::new();
+        // Both `WINDOW R['1 s']` after GROUP BY (Fig. 7 places it after
+        // a semicolon in the paper's listing; we accept it as a clause).
+        if self.eat_keyword("WINDOW") {
+            windows.push(self.window_clause()?);
+            while self.eat_if(&TokenKind::Comma) {
+                windows.push(self.window_clause()?);
+            }
+        }
+        Ok(SelectStatement {
+            distinct,
+            items,
+            from,
+            predicates,
+            group_by,
+            having,
+            windows,
+        })
+    }
+
+    fn having_clause(&mut self) -> DtResult<HavingClause> {
+        let func = match self.advance() {
+            TokenKind::Keyword(k) => match k.as_str() {
+                "COUNT" => Aggregate::Count,
+                "SUM" => Aggregate::Sum,
+                "AVG" => Aggregate::Avg,
+                "MIN" => Aggregate::Min,
+                "MAX" => Aggregate::Max,
+                other => return Err(self.error(format!("expected aggregate in HAVING, found {other}"))),
+            },
+            other => return Err(self.error(format!("expected aggregate in HAVING, found {other:?}"))),
+        };
+        self.expect(&TokenKind::LParen, "'('")?;
+        let arg = if self.eat_if(&TokenKind::Star) {
+            if func != Aggregate::Count {
+                return Err(self.error(format!("{func}(*) is not valid")));
+            }
+            None
+        } else {
+            Some(self.column_ref()?)
+        };
+        self.expect(&TokenKind::RParen, "')'")?;
+        let op = match self.advance() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Neq => CmpOp::Neq,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => return Err(self.error(format!("expected comparison in HAVING, found {other:?}"))),
+        };
+        let value = match self.advance() {
+            TokenKind::Int(i) => i as f64,
+            TokenKind::Float(f) => f,
+            other => return Err(self.error(format!("expected numeric literal in HAVING, found {other:?}"))),
+        };
+        Ok(HavingClause {
+            func,
+            arg,
+            op,
+            value,
+        })
+    }
+
+    fn select_list(&mut self) -> DtResult<Vec<SelectItem>> {
+        let mut items = vec![self.select_item()?];
+        while self.eat_if(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> DtResult<SelectItem> {
+        if self.eat_if(&TokenKind::Star) {
+            return Ok(SelectItem::Star);
+        }
+        // Aggregate?
+        let agg = match self.peek() {
+            TokenKind::Keyword(k) => match k.as_str() {
+                "COUNT" => Some(Aggregate::Count),
+                "SUM" => Some(Aggregate::Sum),
+                "AVG" => Some(Aggregate::Avg),
+                "MIN" => Some(Aggregate::Min),
+                "MAX" => Some(Aggregate::Max),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(func) = agg {
+            // Only treat as an aggregate if followed by '(' — `count`
+            // can also be a column alias or name.
+            if self.tokens.get(self.idx + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
+                self.advance(); // keyword
+                self.advance(); // (
+                let arg = if self.eat_if(&TokenKind::Star) {
+                    if func != Aggregate::Count {
+                        return Err(self.error(format!("{func}(*) is not valid")));
+                    }
+                    None
+                } else {
+                    Some(self.column_ref()?)
+                };
+                self.expect(&TokenKind::RParen, "')'")?;
+                let alias = self.alias()?;
+                return Ok(SelectItem::Aggregate { func, arg, alias });
+            }
+        }
+        let column = self.column_ref()?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Column { column, alias })
+    }
+
+    fn alias(&mut self) -> DtResult<Option<String>> {
+        if self.eat_keyword("AS") {
+            Ok(Some(self.name("alias")?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn table_list(&mut self) -> DtResult<Vec<TableRef>> {
+        let mut out = vec![self.table_ref()?];
+        while self.eat_if(&TokenKind::Comma) {
+            out.push(self.table_ref()?);
+        }
+        Ok(out)
+    }
+
+    fn table_ref(&mut self) -> DtResult<TableRef> {
+        let stream = self.name("stream name")?;
+        // `R AS x`, `R x`, or bare `R`.
+        let alias = if self.eat_keyword("AS") {
+            Some(self.name("alias")?)
+        } else if let TokenKind::Ident(s) = self.peek().clone() {
+            self.advance();
+            Some(s)
+        } else {
+            None
+        };
+        Ok(TableRef { stream, alias })
+    }
+
+    fn predicate(&mut self) -> DtResult<Predicate> {
+        let left = self.operand()?;
+        let op = match self.advance() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Neq => CmpOp::Neq,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => return Err(self.error(format!("expected comparison operator, found {other:?}"))),
+        };
+        let right = self.operand()?;
+        Ok(Predicate { left, op, right })
+    }
+
+    fn operand(&mut self) -> DtResult<Operand> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.advance();
+                Ok(Operand::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.advance();
+                Ok(Operand::Literal(Value::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Operand::Literal(Value::Str(s)))
+            }
+            TokenKind::Ident(_) | TokenKind::Keyword(_) => Ok(Operand::Column(self.column_ref()?)),
+            other => Err(self.error(format!("expected operand, found {other:?}"))),
+        }
+    }
+
+    fn window_clause(&mut self) -> DtResult<WindowClause> {
+        let stream = self.name("stream name")?;
+        self.expect(&TokenKind::LBracket, "'['")?;
+        let interval = match self.advance() {
+            TokenKind::Str(s) => s,
+            other => return Err(self.error(format!("expected interval string, found {other:?}"))),
+        };
+        // Optional second interval: the hop (slide) of a hopping
+        // window.
+        let slide = if self.eat_if(&TokenKind::Comma) {
+            match self.advance() {
+                TokenKind::Str(s) => Some(s),
+                other => {
+                    return Err(self.error(format!("expected slide interval string, found {other:?}")))
+                }
+            }
+        } else {
+            None
+        };
+        self.expect(&TokenKind::RBracket, "']'")?;
+        Ok(WindowClause { stream, interval, slide })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_query() {
+        let q = parse_select(
+            "SELECT a, COUNT(*) as count FROM R,S,T \
+             WHERE R.a = S.b AND S.c = T.d GROUP BY a \
+             WINDOW R['1 second'], S['1 second'], T['1 second'];",
+        )
+        .unwrap();
+        assert!(!q.distinct);
+        assert_eq!(q.items.len(), 2);
+        assert_eq!(
+            q.items[0],
+            SelectItem::Column {
+                column: ColumnRef::bare("a"),
+                alias: None
+            }
+        );
+        assert_eq!(
+            q.items[1],
+            SelectItem::Aggregate {
+                func: Aggregate::Count,
+                arg: None,
+                alias: Some("count".into())
+            }
+        );
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.from[1].stream, "S");
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.predicates[0].to_string(), "R.a = S.b");
+        assert_eq!(q.group_by, vec![ColumnRef::bare("a")]);
+        assert_eq!(q.windows.len(), 3);
+        assert_eq!(q.windows[2].stream, "T");
+        assert_eq!(q.windows[2].interval, "1 second");
+    }
+
+    #[test]
+    fn parses_distinct() {
+        let q = parse_select("SELECT DISTINCT a FROM R").unwrap();
+        assert!(q.distinct);
+    }
+
+    #[test]
+    fn parses_star() {
+        let q = parse_select("SELECT * FROM R, S WHERE R.a = S.b").unwrap();
+        assert_eq!(q.items, vec![SelectItem::Star]);
+        assert!(q.windows.is_empty());
+    }
+
+    #[test]
+    fn parses_aliases() {
+        let q = parse_select("SELECT x.a FROM R AS x, S y WHERE x.a = y.b").unwrap();
+        assert_eq!(q.from[0].binding_name(), "x");
+        assert_eq!(q.from[1].binding_name(), "y");
+    }
+
+    #[test]
+    fn parses_all_aggregates() {
+        let q = parse_select(
+            "SELECT COUNT(a), SUM(b), AVG(c), MIN(d), MAX(e) FROM R GROUP BY f",
+        )
+        .unwrap();
+        let funcs: Vec<Aggregate> = q
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Aggregate { func, .. } => *func,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            funcs,
+            vec![
+                Aggregate::Count,
+                Aggregate::Sum,
+                Aggregate::Avg,
+                Aggregate::Min,
+                Aggregate::Max
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_literal_predicates() {
+        let q = parse_select("SELECT a FROM R WHERE a > 5 AND b <= 2.5 AND c = 'x'").unwrap();
+        assert_eq!(q.predicates.len(), 3);
+        assert_eq!(q.predicates[0].to_string(), "a > 5");
+        assert_eq!(q.predicates[2].to_string(), "c = 'x'");
+    }
+
+    #[test]
+    fn count_star_only() {
+        assert!(parse_select("SELECT SUM(*) FROM R").is_err());
+    }
+
+    #[test]
+    fn a_column_may_be_named_like_a_keyword() {
+        // `count` as a plain column reference.
+        let q = parse_select("SELECT count FROM R").unwrap();
+        assert_eq!(
+            q.items[0],
+            SelectItem::Column {
+                column: ColumnRef::bare("count"),
+                alias: None
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_select("SELEKT a FROM R").is_err());
+        assert!(parse_select("SELECT a").is_err());
+        assert!(parse_select("SELECT a FROM R WHERE").is_err());
+        assert!(parse_select("SELECT a FROM R GROUP a").is_err());
+        assert!(parse_select("SELECT a FROM R WINDOW R[5]").is_err());
+        assert!(parse_select("SELECT a FROM R extra garbage here").is_err());
+        assert!(parse_select("SELECT a FROM R WHERE a ** 3").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_optional() {
+        assert!(parse_select("SELECT a FROM R").is_ok());
+        assert!(parse_select("SELECT a FROM R;").is_ok());
+    }
+}

@@ -1,0 +1,666 @@
+//! Logical planning: lowering a parsed [`SelectStatement`] against a
+//! [`Catalog`] of stream schemas into an executable [`QueryPlan`].
+
+use std::collections::HashMap;
+
+use dt_types::{DtError, DtResult, Row, Schema, Value, VDuration, WindowSpec};
+
+use crate::ast::{
+    Aggregate, CmpOp, ColumnRef, Operand, SelectItem, SelectStatement,
+};
+
+
+/// The set of known streams and their schemas.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    streams: HashMap<String, Schema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a stream.
+    pub fn add_stream(&mut self, name: impl Into<String>, schema: Schema) {
+        self.streams.insert(name.into(), schema);
+    }
+
+    /// Look up a stream's schema.
+    pub fn schema(&self, name: &str) -> Option<&Schema> {
+        self.streams.get(name)
+    }
+}
+
+/// One stream's binding in the FROM list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamBinding {
+    /// The name column qualifiers resolve against (alias or stream
+    /// name).
+    pub alias: String,
+    /// Catalog stream name.
+    pub stream: String,
+    /// The stream's schema, re-qualified with `alias`.
+    pub schema: Schema,
+    /// The stream's window.
+    pub window: WindowSpec,
+    /// Column offset of this stream inside the combined row.
+    pub offset: usize,
+}
+
+/// The left-deep join structure: `steps[i]` joins stream `i+1` onto
+/// the join of streams `0..=i`; pairs are `(combined-row column,
+/// stream i+1 local column)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JoinGraph {
+    /// One entry per join step (`streams.len() - 1` total).
+    pub steps: Vec<Vec<(usize, usize)>>,
+}
+
+/// One side of a compiled predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredOperand {
+    /// Combined-row column index.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+}
+
+/// A WHERE conjunct compiled to combined-row column indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPredicate {
+    /// Left operand.
+    pub left: PredOperand,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: PredOperand,
+}
+
+impl CompiledPredicate {
+    /// Evaluate on a combined row (SQL semantics: comparisons
+    /// involving NULL or incomparable types are false).
+    pub fn eval(&self, row: &Row) -> bool {
+        let resolve = |o: &PredOperand| -> Option<Value> {
+            match o {
+                PredOperand::Col(i) => row.get(*i).cloned(),
+                PredOperand::Lit(v) => Some(v.clone()),
+            }
+        };
+        let (Some(l), Some(r)) = (resolve(&self.left), resolve(&self.right)) else {
+            return false;
+        };
+        if l.is_null() || r.is_null() {
+            return false;
+        }
+        match l.numeric_cmp(&r) {
+            Some(ord) => self.op.matches(ord),
+            None => false,
+        }
+    }
+
+    /// If this predicate constrains a single column against an integer
+    /// literal, return `(column, op, literal)` — the form the shadow
+    /// plan can push into a synopsis range selection.
+    pub fn as_column_vs_int(&self) -> Option<(usize, CmpOp, i64)> {
+        match (&self.left, &self.right) {
+            (PredOperand::Col(c), PredOperand::Lit(Value::Int(v))) => Some((*c, self.op, *v)),
+            (PredOperand::Lit(Value::Int(v)), PredOperand::Col(c)) => {
+                Some((*c, self.op.flipped(), *v))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One aggregate of the SELECT list, compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggSpec {
+    /// Which aggregate.
+    pub func: Aggregate,
+    /// Combined-row argument column (`None` only for `COUNT(*)`).
+    pub arg: Option<usize>,
+    /// Output column name.
+    pub name: String,
+}
+
+/// A compiled HAVING conjunct: compare the `agg_index`-th aggregate's
+/// final (merged) value against a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledHaving {
+    /// Index into [`QueryPlan::aggregates`] (possibly a hidden
+    /// aggregate appended for HAVING alone).
+    pub agg_index: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand literal.
+    pub value: f64,
+}
+
+impl CompiledHaving {
+    /// Evaluate against a group's final aggregate values (in
+    /// [`QueryPlan::aggregates`] order). NaN values never pass.
+    pub fn accepts(&self, vals: &[f64]) -> bool {
+        let Some(v) = vals.get(self.agg_index) else {
+            return false;
+        };
+        match v.partial_cmp(&self.value) {
+            Some(ord) => self.op.matches(ord),
+            None => false,
+        }
+    }
+}
+
+/// One output column of the query, in SELECT order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputColumn {
+    /// A grouping column: combined-row index + output name.
+    Column {
+        /// Combined-row index.
+        index: usize,
+        /// Output name.
+        name: String,
+    },
+    /// The `agg_index`-th entry of [`QueryPlan::aggregates`].
+    Aggregate {
+        /// Index into the aggregate list.
+        agg_index: usize,
+    },
+}
+
+/// A fully resolved continuous query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// FROM-order stream bindings (this is also the join order, as in
+    /// paper §4.3).
+    pub streams: Vec<StreamBinding>,
+    /// Left-deep equijoin structure extracted from WHERE.
+    pub join_graph: JoinGraph,
+    /// Remaining WHERE conjuncts, evaluated on the combined row.
+    pub residual: Vec<CompiledPredicate>,
+    /// GROUP BY columns as combined-row indices.
+    pub group_by: Vec<usize>,
+    /// Aggregates of the SELECT list, plus hidden aggregates appended
+    /// for HAVING clauses that reference an aggregate not selected.
+    pub aggregates: Vec<AggSpec>,
+    /// Compiled HAVING conjuncts; applied to *final* (merged) group
+    /// values at result emission.
+    pub having: Vec<CompiledHaving>,
+    /// SELECT-order outputs.
+    pub outputs: Vec<OutputColumn>,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Schema of the combined (joined) row.
+    pub combined_schema: Schema,
+}
+
+impl QueryPlan {
+    /// Does the query compute any aggregates?
+    pub fn is_aggregating(&self) -> bool {
+        !self.aggregates.is_empty()
+    }
+
+    /// Does a group with these final aggregate values pass every
+    /// HAVING conjunct?
+    pub fn having_accepts(&self, vals: &[f64]) -> bool {
+        self.having.iter().all(|h| h.accepts(vals))
+    }
+
+    /// The stream (by position) that owns combined-row column `col`,
+    /// with the column's local index inside that stream.
+    pub fn locate_column(&self, col: usize) -> Option<(usize, usize)> {
+        for (i, s) in self.streams.iter().enumerate() {
+            if col >= s.offset && col < s.offset + s.schema.arity() {
+                return Some((i, col - s.offset));
+            }
+        }
+        None
+    }
+}
+
+/// Parses TelegraphCQ interval strings like `1 second`,
+/// `250 milliseconds`, `0.5 seconds`, `2 minutes`.
+pub fn parse_interval(text: &str) -> DtResult<VDuration> {
+    let mut parts = text.split_whitespace();
+    let num: f64 = parts
+        .next()
+        .ok_or_else(|| DtError::plan(format!("empty interval '{text}'")))?
+        .parse()
+        .map_err(|_| DtError::plan(format!("bad interval number in '{text}'")))?;
+    if num < 0.0 {
+        return Err(DtError::plan(format!("negative interval '{text}'")));
+    }
+    let unit = parts.next().unwrap_or("seconds").to_ascii_lowercase();
+    if parts.next().is_some() {
+        return Err(DtError::plan(format!("trailing text in interval '{text}'")));
+    }
+    let seconds = match unit.as_str() {
+        "second" | "seconds" | "sec" | "secs" | "s" => num,
+        "millisecond" | "milliseconds" | "ms" => num / 1_000.0,
+        "microsecond" | "microseconds" | "us" => num / 1_000_000.0,
+        "minute" | "minutes" | "min" | "mins" => num * 60.0,
+        other => return Err(DtError::plan(format!("unknown interval unit '{other}'"))),
+    };
+    let d = VDuration::from_secs_f64(seconds);
+    if d.is_zero() {
+        return Err(DtError::plan(format!("interval '{text}' rounds to zero")));
+    }
+    Ok(d)
+}
+
+/// The planner.
+pub struct Planner<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner over a catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Planner { catalog }
+    }
+
+    /// Lower a statement to a plan.
+    pub fn plan(&self, stmt: &SelectStatement) -> DtResult<QueryPlan> {
+        if stmt.from.is_empty() {
+            return Err(DtError::plan("FROM list is empty"));
+        }
+        // Bind streams.
+        let mut streams = Vec::with_capacity(stmt.from.len());
+        let mut offset = 0;
+        let default_window = WindowSpec::seconds(1).expect("1s window");
+        for tref in &stmt.from {
+            let schema = self
+                .catalog
+                .schema(&tref.stream)
+                .ok_or_else(|| DtError::plan(format!("unknown stream '{}'", tref.stream)))?
+                .with_qualifier(tref.binding_name());
+            let arity = schema.arity();
+            streams.push(StreamBinding {
+                alias: tref.binding_name().to_string(),
+                stream: tref.stream.clone(),
+                schema,
+                window: default_window,
+                offset,
+            });
+            offset += arity;
+        }
+        // Duplicate binding names are ambiguous.
+        for i in 0..streams.len() {
+            for j in i + 1..streams.len() {
+                if streams[i].alias == streams[j].alias {
+                    return Err(DtError::plan(format!(
+                        "duplicate stream binding '{}'",
+                        streams[i].alias
+                    )));
+                }
+            }
+        }
+        // Apply WINDOW clauses.
+        for w in &stmt.windows {
+            let width = parse_interval(&w.interval)?;
+            let spec = match &w.slide {
+                Some(slide) => WindowSpec::hopping(width, parse_interval(slide)?)?,
+                None => WindowSpec::new(width)?,
+            };
+            let Some(binding) = streams.iter_mut().find(|s| s.alias == w.stream) else {
+                return Err(DtError::plan(format!(
+                    "WINDOW clause names unknown stream '{}'",
+                    w.stream
+                )));
+            };
+            binding.window = spec;
+        }
+
+        // Combined schema.
+        let mut combined_schema = Schema::empty();
+        for s in &streams {
+            combined_schema = combined_schema.concat(&s.schema);
+        }
+
+        let resolve = |c: &ColumnRef| -> DtResult<usize> {
+            combined_schema.resolve(c.qualifier.as_deref(), &c.name)
+        };
+        let stream_of = |col: usize| -> usize {
+            streams
+                .iter()
+                .rposition(|s| col >= s.offset)
+                .expect("column inside some stream")
+        };
+
+        // Split predicates into join steps and residuals.
+        let mut join_graph = JoinGraph {
+            steps: vec![Vec::new(); streams.len() - 1],
+        };
+        let mut residual = Vec::new();
+        for p in &stmt.predicates {
+            match (&p.left, &p.right) {
+                (Operand::Column(lc), Operand::Column(rc)) if p.op == CmpOp::Eq => {
+                    let li = resolve(lc)?;
+                    let ri = resolve(rc)?;
+                    let ls = stream_of(li);
+                    let rs = stream_of(ri);
+                    if ls == rs {
+                        residual.push(CompiledPredicate {
+                            left: PredOperand::Col(li),
+                            op: p.op,
+                            right: PredOperand::Col(ri),
+                        });
+                    } else {
+                        // Join step owned by the later stream.
+                        let (early, late, late_stream) = if ls < rs {
+                            (li, ri, rs)
+                        } else {
+                            (ri, li, ls)
+                        };
+                        let local = late - streams[late_stream].offset;
+                        join_graph.steps[late_stream - 1].push((early, local));
+                    }
+                }
+                _ => {
+                    let compile = |o: &Operand| -> DtResult<PredOperand> {
+                        Ok(match o {
+                            Operand::Column(c) => PredOperand::Col(resolve(c)?),
+                            Operand::Literal(v) => PredOperand::Lit(v.clone()),
+                        })
+                    };
+                    residual.push(CompiledPredicate {
+                        left: compile(&p.left)?,
+                        op: p.op,
+                        right: compile(&p.right)?,
+                    });
+                }
+            }
+        }
+
+        // GROUP BY columns.
+        let mut group_by = Vec::new();
+        for c in &stmt.group_by {
+            group_by.push(resolve(c)?);
+        }
+
+        // SELECT list.
+        let mut aggregates = Vec::new();
+        let mut outputs = Vec::new();
+        let has_aggregate = stmt
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate { .. }));
+        let grouping = has_aggregate || !group_by.is_empty();
+        for item in &stmt.items {
+            match item {
+                SelectItem::Star => {
+                    if grouping {
+                        return Err(DtError::plan("SELECT * cannot be combined with GROUP BY or aggregates"));
+                    }
+                    for (i, f) in combined_schema.fields().iter().enumerate() {
+                        outputs.push(OutputColumn::Column {
+                            index: i,
+                            name: f.qualified_name(),
+                        });
+                    }
+                }
+                SelectItem::Column { column, alias } => {
+                    let idx = resolve(column)?;
+                    if grouping && !group_by.contains(&idx) {
+                        return Err(DtError::plan(format!(
+                            "column {column} must appear in GROUP BY"
+                        )));
+                    }
+                    outputs.push(OutputColumn::Column {
+                        index: idx,
+                        name: alias.clone().unwrap_or_else(|| column.to_string()),
+                    });
+                }
+                SelectItem::Aggregate { func, arg, alias } => {
+                    let arg_idx = match arg {
+                        Some(c) => Some(resolve(c)?),
+                        None => None,
+                    };
+                    let name = alias.clone().unwrap_or_else(|| match arg {
+                        Some(c) => format!("{func}({c})"),
+                        None => format!("{func}(*)"),
+                    });
+                    outputs.push(OutputColumn::Aggregate {
+                        agg_index: aggregates.len(),
+                    });
+                    aggregates.push(AggSpec {
+                        func: *func,
+                        arg: arg_idx,
+                        name,
+                    });
+                }
+            }
+        }
+
+        // HAVING conjuncts: bind each to a SELECT aggregate, appending
+        // a hidden aggregate when the clause references one that is
+        // not selected.
+        let mut having = Vec::with_capacity(stmt.having.len());
+        if !stmt.having.is_empty() && aggregates.is_empty() && group_by.is_empty() {
+            return Err(DtError::plan("HAVING requires GROUP BY or aggregates"));
+        }
+        for h in &stmt.having {
+            let arg_idx = match &h.arg {
+                Some(c) => Some(resolve(c)?),
+                None => None,
+            };
+            let agg_index = match aggregates
+                .iter()
+                .position(|a| a.func == h.func && a.arg == arg_idx)
+            {
+                Some(i) => i,
+                None => {
+                    aggregates.push(AggSpec {
+                        func: h.func,
+                        arg: arg_idx,
+                        name: format!("__having_{}", aggregates.len()),
+                    });
+                    aggregates.len() - 1
+                }
+            };
+            having.push(CompiledHaving {
+                agg_index,
+                op: h.op,
+                value: h.value,
+            });
+        }
+
+        Ok(QueryPlan {
+            streams,
+            join_graph,
+            residual,
+            group_by,
+            aggregates,
+            having,
+            outputs,
+            distinct: stmt.distinct,
+            combined_schema,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use dt_types::DataType;
+
+    fn paper_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        c.add_stream(
+            "S",
+            Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+        );
+        c.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
+        c
+    }
+
+    fn plan(sql: &str) -> DtResult<QueryPlan> {
+        let cat = paper_catalog();
+        let stmt = parse_select(sql)?;
+        Planner::new(&cat).plan(&stmt)
+    }
+
+    const PAPER_QUERY: &str = "SELECT a, COUNT(*) as count FROM R,S,T \
+        WHERE R.a = S.b AND S.c = T.d GROUP BY a \
+        WINDOW R['1 second'], S['1 second'], T['1 second'];";
+
+    #[test]
+    fn plans_the_paper_query() {
+        let p = plan(PAPER_QUERY).unwrap();
+        assert_eq!(p.streams.len(), 3);
+        assert_eq!(p.streams[1].offset, 1);
+        assert_eq!(p.streams[2].offset, 3);
+        // R.a = S.b joins stream 1 on (global 0, local 0);
+        // S.c = T.d joins stream 2 on (global 2, local 0).
+        assert_eq!(p.join_graph.steps, vec![vec![(0, 0)], vec![(2, 0)]]);
+        assert!(p.residual.is_empty());
+        assert_eq!(p.group_by, vec![0]);
+        assert_eq!(p.aggregates.len(), 1);
+        assert_eq!(p.aggregates[0].name, "count");
+        assert_eq!(p.aggregates[0].func, Aggregate::Count);
+        assert_eq!(p.aggregates[0].arg, None);
+        assert_eq!(p.combined_schema.arity(), 4);
+        assert_eq!(
+            p.streams[0].window.width(),
+            VDuration::from_secs(1)
+        );
+        assert_eq!(p.outputs.len(), 2);
+    }
+
+    #[test]
+    fn reversed_join_predicate_normalizes() {
+        let p = plan("SELECT * FROM R, S WHERE S.b = R.a").unwrap();
+        assert_eq!(p.join_graph.steps, vec![vec![(0, 0)]]);
+    }
+
+    #[test]
+    fn literal_predicates_are_residual() {
+        let p = plan("SELECT a FROM R WHERE R.a > 5").unwrap();
+        assert_eq!(p.residual.len(), 1);
+        assert_eq!(
+            p.residual[0].as_column_vs_int(),
+            Some((0, CmpOp::Gt, 5))
+        );
+        let p = plan("SELECT a FROM R WHERE 5 < R.a").unwrap();
+        assert_eq!(
+            p.residual[0].as_column_vs_int(),
+            Some((0, CmpOp::Gt, 5))
+        );
+    }
+
+    #[test]
+    fn same_stream_equality_is_residual() {
+        let p = plan("SELECT * FROM S WHERE S.b = S.c").unwrap();
+        assert!(p.join_graph.steps.is_empty());
+        assert_eq!(p.residual.len(), 1);
+    }
+
+    #[test]
+    fn cross_join_has_empty_step() {
+        let p = plan("SELECT * FROM R, T").unwrap();
+        assert_eq!(p.join_graph.steps, vec![vec![]]);
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        let p = plan("SELECT x.a FROM R AS x, R y WHERE x.a = y.a").unwrap();
+        assert_eq!(p.join_graph.steps, vec![vec![(0, 0)]]);
+        assert_eq!(p.streams[0].alias, "x");
+    }
+
+    #[test]
+    fn duplicate_binding_rejected() {
+        assert!(plan("SELECT * FROM R, R").is_err());
+        assert!(plan("SELECT * FROM R x, S x WHERE x.a = x.b").is_err());
+    }
+
+    #[test]
+    fn unknown_stream_and_column_rejected() {
+        assert!(plan("SELECT * FROM Nope").is_err());
+        assert!(plan("SELECT z FROM R").is_err());
+        assert!(plan("SELECT a FROM R WINDOW Q['1 second']").is_err());
+    }
+
+    #[test]
+    fn bare_column_must_be_unambiguous() {
+        // `a` is unique across R,S,T; `b` likewise. But joining R with
+        // itself under two aliases makes `a` ambiguous.
+        assert!(plan("SELECT a FROM R x, R y WHERE x.a = y.a").is_err());
+    }
+
+    #[test]
+    fn ungrouped_column_with_aggregate_rejected() {
+        assert!(plan("SELECT a, COUNT(*) FROM R").is_err());
+        assert!(plan("SELECT b, COUNT(*) FROM S GROUP BY c").is_err());
+    }
+
+    #[test]
+    fn star_with_group_by_rejected() {
+        assert!(plan("SELECT * FROM R GROUP BY a").is_err());
+    }
+
+    #[test]
+    fn select_star_expands() {
+        let p = plan("SELECT * FROM R, S WHERE R.a = S.b").unwrap();
+        assert_eq!(p.outputs.len(), 3);
+        match &p.outputs[2] {
+            OutputColumn::Column { name, index } => {
+                assert_eq!(name, "S.c");
+                assert_eq!(*index, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn windows_parse_units() {
+        assert_eq!(parse_interval("1 second").unwrap(), VDuration::from_secs(1));
+        assert_eq!(
+            parse_interval("250 milliseconds").unwrap(),
+            VDuration::from_millis(250)
+        );
+        assert_eq!(parse_interval("0.5 seconds").unwrap(), VDuration::from_millis(500));
+        assert_eq!(parse_interval("2 minutes").unwrap(), VDuration::from_secs(120));
+        assert_eq!(parse_interval("100 us").unwrap(), VDuration::from_micros(100));
+        assert!(parse_interval("").is_err());
+        assert!(parse_interval("x seconds").is_err());
+        assert!(parse_interval("1 fortnight").is_err());
+        assert!(parse_interval("1 second extra").is_err());
+        assert!(parse_interval("0 seconds").is_err());
+        assert!(parse_interval("-1 seconds").is_err());
+    }
+
+    #[test]
+    fn locate_column_maps_back() {
+        let p = plan(PAPER_QUERY).unwrap();
+        assert_eq!(p.locate_column(0), Some((0, 0)));
+        assert_eq!(p.locate_column(2), Some((1, 1)));
+        assert_eq!(p.locate_column(3), Some((2, 0)));
+        assert_eq!(p.locate_column(9), None);
+    }
+
+    #[test]
+    fn predicate_eval_semantics() {
+        let p = CompiledPredicate {
+            left: PredOperand::Col(0),
+            op: CmpOp::Gt,
+            right: PredOperand::Lit(Value::Int(5)),
+        };
+        assert!(p.eval(&Row::from_ints(&[6])));
+        assert!(!p.eval(&Row::from_ints(&[5])));
+        // NULL comparisons are false.
+        assert!(!p.eval(&Row::new(vec![Value::Null])));
+        // Incomparable types are false.
+        assert!(!p.eval(&Row::new(vec![Value::Str("x".into())])));
+        // Out-of-range column is false, not a panic.
+        let p2 = CompiledPredicate {
+            left: PredOperand::Col(9),
+            op: CmpOp::Eq,
+            right: PredOperand::Lit(Value::Int(1)),
+        };
+        assert!(!p2.eval(&Row::from_ints(&[1])));
+    }
+}

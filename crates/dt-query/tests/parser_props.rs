@@ -1,0 +1,118 @@
+//! Property tests for the query frontend: generated valid queries
+//! parse and plan; display forms re-parse to the same AST; arbitrary
+//! input never panics the lexer or parser.
+
+use dt_query::{parse_select, Catalog, Planner};
+use dt_types::{DataType, Schema};
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    c.add_stream(
+        "S",
+        Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+    );
+    c.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
+    c
+}
+
+/// Generate a valid query over the R/S/T catalog.
+fn arb_query() -> impl Strategy<Value = String> {
+    let agg = prop_oneof![
+        Just("COUNT(*)".to_string()),
+        Just("SUM(S.c)".to_string()),
+        Just("AVG(S.c)".to_string()),
+        Just("MIN(S.c)".to_string()),
+        Just("MAX(S.c)".to_string()),
+    ];
+    let pred = prop_oneof![
+        Just("S.c > 5".to_string()),
+        Just("S.c <= 50".to_string()),
+        Just("S.b <> 3".to_string()),
+        Just("S.c = 10".to_string()),
+    ];
+    // 0 = no WINDOW clause, otherwise an interval applied to exactly
+    // the streams in the FROM list.
+    let window = prop_oneof![
+        Just(None),
+        Just(Some("1 second")),
+        Just(Some("250 milliseconds")),
+    ];
+    (agg, prop::option::of(pred), window, any::<bool>()).prop_map(
+        |(agg, pred, interval, three_way)| {
+            let (from, join, streams): (_, _, &[&str]) = if three_way {
+                ("R,S,T", "R.a = S.b AND S.c = T.d", &["R", "S", "T"])
+            } else {
+                ("R,S", "R.a = S.b", &["R", "S"])
+            };
+            let where_clause = match pred {
+                Some(p) => format!("WHERE {join} AND {p}"),
+                None => format!("WHERE {join}"),
+            };
+            let window = match interval {
+                None => String::new(),
+                Some(iv) => {
+                    let clauses: Vec<String> =
+                        streams.iter().map(|s| format!("{s}['{iv}']")).collect();
+                    format!(" WINDOW {}", clauses.join(", "))
+                }
+            };
+            format!("SELECT a, {agg} as x FROM {from} {where_clause} GROUP BY a{window}")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every generated query parses, plans, and produces a consistent
+    /// plan shape.
+    #[test]
+    fn generated_queries_parse_and_plan(sql in arb_query()) {
+        let stmt = parse_select(&sql).unwrap();
+        let plan = Planner::new(&catalog()).plan(&stmt).unwrap();
+        prop_assert!(plan.streams.len() >= 2);
+        prop_assert_eq!(plan.join_graph.steps.len(), plan.streams.len() - 1);
+        prop_assert_eq!(plan.group_by.len(), 1);
+        prop_assert_eq!(plan.aggregates.len(), 1);
+        // Every join step of these queries has exactly one condition.
+        for step in &plan.join_graph.steps {
+            prop_assert_eq!(step.len(), 1);
+        }
+        // Combined schema covers all stream columns.
+        let arity: usize = plan.streams.iter().map(|s| s.schema.arity()).sum();
+        prop_assert_eq!(plan.combined_schema.arity(), arity);
+    }
+
+    /// The lexer and parser never panic on arbitrary input — they
+    /// return structured errors.
+    #[test]
+    fn arbitrary_input_never_panics(input in "\\PC{0,120}") {
+        let _ = parse_select(&input);
+    }
+
+    /// Arbitrary ASCII-ish garbage around a keyword skeleton never
+    /// panics either (exercises deeper parser states than pure noise).
+    #[test]
+    fn structured_garbage_never_panics(
+        a in "[a-zA-Z0-9_,.*()<>=' ]{0,40}",
+        b in "[a-zA-Z0-9_,.*()<>=' ]{0,40}",
+    ) {
+        let _ = parse_select(&format!("SELECT {a} FROM {b}"));
+    }
+
+    /// Whitespace and case are irrelevant.
+    #[test]
+    fn whitespace_and_case_insensitivity(extra_ws in 1usize..5) {
+        let ws = " ".repeat(extra_ws);
+        let sql = format!(
+            "select{ws}a,{ws}count(*){ws}from{ws}R,S{ws}where{ws}R.a{ws}={ws}S.b{ws}group{ws}by{ws}a"
+        );
+        let stmt = parse_select(&sql).unwrap();
+        let canonical = parse_select(
+            "SELECT a, COUNT(*) FROM R,S WHERE R.a = S.b GROUP BY a",
+        ).unwrap();
+        prop_assert_eq!(stmt, canonical);
+    }
+}

@@ -1,0 +1,32 @@
+//! The Data Triage query rewrite (paper §4 and §5.1).
+//!
+//! Given a planned continuous query `Q ≡ R₁ ⋈ … ⋈ Rₙ` (with residual
+//! selections and grouped aggregation on top), this crate derives the
+//! **shadow query**: an expression over per-stream `Kept` / `Dropped`
+//! synopsis leaves that estimates `Q_dropped` — the result tuples the
+//! system lost to load shedding. The expansion is Equation 14 of the
+//! paper (the drop-only specialization of the differential operators
+//! of §3, whose correctness `dt-algebra` machine-checks):
+//!
+//! ```text
+//! Q_dropped = Σᵢ  K₁ ⋈ … ⋈ Kᵢ₋₁ ⋈ Dᵢ ⋈ Aᵢ₊₁ ⋈ … ⋈ Aₙ ,   Aⱼ = Kⱼ ∪ Dⱼ
+//! ```
+//!
+//! The paper implements this as generated `CREATE VIEW` SQL over a
+//! synopsis UDT (its Fig. 5); our analog is the [`SynPlan`] expression
+//! tree plus the [`evaluate`] interpreter over [`dt_synopsis::Synopsis`]
+//! values.
+//!
+//! Residual single-column comparisons against integer literals are
+//! pushed into the shadow plan as synopsis range selections (the
+//! differential selection operator σ̂ applies σ to every channel, so a
+//! top-level selection is sound). `SELECT DISTINCT` uses the deferred
+//! projection strategy the paper sketches in §8.1: the shadow plan
+//! performs no mid-plan projection at all, and the final projection
+//! (plus duplicate handling) happens in the merge stage.
+
+pub mod evaluator;
+pub mod shadow;
+
+pub use evaluator::evaluate;
+pub use shadow::{rewrite_dropped, Part, ShadowQuery, SynPlan};

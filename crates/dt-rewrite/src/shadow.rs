@@ -1,0 +1,435 @@
+//! Shadow-plan construction: Equation 14 over synopsis leaves.
+
+use dt_query::{CmpOp, QueryPlan};
+use dt_types::{DtError, DtResult};
+
+/// Which partition of a stream's window a leaf refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Part {
+    /// Tuples the engine processed exactly.
+    Kept,
+    /// Tuples the triage queue shed.
+    Dropped,
+    /// `Kept ∪ Dropped` — the whole window.
+    All,
+}
+
+/// A shadow-plan expression over per-stream synopses.
+///
+/// Dimensions: a leaf over stream `i` has one dimension per column of
+/// the stream's schema, in schema order. A join keeps the left
+/// operand's dimensions followed by the right operand's with the right
+/// join dimension removed (its coordinate equals the left join
+/// dimension's). [`ShadowQuery::column_dims`] records where each
+/// combined-row column of the original query ended up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynPlan {
+    /// A per-stream synopsis.
+    Leaf {
+        /// Stream position in the query plan's FROM order.
+        stream: usize,
+        /// Which partition.
+        part: Part,
+    },
+    /// Equijoin of two sub-plans on one dimension pair, or a cross
+    /// product when `on` is `None`.
+    Join {
+        /// Left input.
+        left: Box<SynPlan>,
+        /// Right input.
+        right: Box<SynPlan>,
+        /// `(left dim, right dim)`; `None` = cross product.
+        on: Option<(usize, usize)>,
+    },
+    /// Multiset union of the sub-plans' estimates.
+    Union(Vec<SynPlan>),
+    /// Range selection on one dimension (inclusive bounds).
+    Select {
+        /// Input plan.
+        input: Box<SynPlan>,
+        /// Dimension to constrain.
+        dim: usize,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+}
+
+impl SynPlan {
+    /// Number of `Join` nodes in the tree — the cost driver the
+    /// paper's Fig. 6 microbenchmark measures.
+    pub fn join_count(&self) -> usize {
+        match self {
+            SynPlan::Leaf { .. } => 0,
+            SynPlan::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+            SynPlan::Union(parts) => parts.iter().map(SynPlan::join_count).sum(),
+            SynPlan::Select { input, .. } => input.join_count(),
+        }
+    }
+
+    /// Render as an SQL-ish string resembling the paper's Fig. 5 view
+    /// definition, for logging and docs.
+    pub fn display_sql(&self, stream_names: &[String]) -> String {
+        match self {
+            SynPlan::Leaf { stream, part } => {
+                let name = stream_names
+                    .get(*stream)
+                    .cloned()
+                    .unwrap_or_else(|| format!("s{stream}"));
+                let suffix = match part {
+                    Part::Kept => "kept_syn",
+                    Part::Dropped => "dropped_syn",
+                    Part::All => "all_syn",
+                };
+                format!("{name}_{suffix}")
+            }
+            SynPlan::Join { left, right, on } => match on {
+                Some((l, r)) => format!(
+                    "equijoin({}, d{l}, {}, d{r})",
+                    left.display_sql(stream_names),
+                    right.display_sql(stream_names)
+                ),
+                None => format!(
+                    "cross({}, {})",
+                    left.display_sql(stream_names),
+                    right.display_sql(stream_names)
+                ),
+            },
+            SynPlan::Union(parts) => {
+                let inner: Vec<String> =
+                    parts.iter().map(|p| p.display_sql(stream_names)).collect();
+                format!("union_all({})", inner.join(", "))
+            }
+            SynPlan::Select { input, dim, lo, hi } => format!(
+                "select({}, d{dim} in [{lo}, {hi}])",
+                input.display_sql(stream_names)
+            ),
+        }
+    }
+}
+
+/// The rewritten query: a shadow plan plus the bookkeeping needed to
+/// interpret its output synopsis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowQuery {
+    /// Estimates `Q_dropped`.
+    pub plan: SynPlan,
+    /// For each combined-row column of the original query, the
+    /// dimension of the shadow plan's output synopsis that carries it.
+    /// Columns equated by a join share a dimension.
+    pub column_dims: Vec<usize>,
+    /// Number of input streams.
+    pub num_streams: usize,
+    /// Propagated `SELECT DISTINCT` flag (deferred projection: the
+    /// shadow plan never projects; the merge stage handles duplicate
+    /// semantics).
+    pub distinct: bool,
+}
+
+/// Sentinel bounds for open-ended range selections (kept well inside
+/// `i64` so downstream cell arithmetic cannot overflow).
+const RANGE_MIN: i64 = i64::MIN / 4;
+/// See [`RANGE_MIN`].
+const RANGE_MAX: i64 = i64::MAX / 4;
+
+/// Rewrite a planned query into its dropped-channel shadow query
+/// (paper Eq. 14 plus pushed-down selections).
+///
+/// ```
+/// use dt_query::{parse_select, Catalog, Planner};
+/// use dt_rewrite::rewrite_dropped;
+/// use dt_types::{DataType, Schema};
+///
+/// let mut catalog = Catalog::new();
+/// catalog.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+/// catalog.add_stream("S", Schema::from_pairs(&[("b", DataType::Int)]));
+/// let plan = Planner::new(&catalog)
+///     .plan(&parse_select("SELECT a, COUNT(*) FROM R, S WHERE R.a = S.b GROUP BY a")?)?;
+/// let shadow = rewrite_dropped(&plan)?;
+/// // Eq. 14 for n = 2: D_R ⋈ A_S  ∪  K_R ⋈ D_S.
+/// assert_eq!(shadow.plan.join_count(), 2);
+/// assert_eq!(
+///     shadow.plan.display_sql(&["R".into(), "S".into()]),
+///     "union_all(equijoin(R_dropped_syn, d0, S_all_syn, d0), \
+///      equijoin(R_kept_syn, d0, S_dropped_syn, d0))",
+/// );
+/// # Ok::<(), dt_types::DtError>(())
+/// ```
+///
+/// # Errors
+/// * a join step with more than one equality condition (the synopsis
+///   algebra joins on a single dimension pair, as in the paper);
+/// * a residual predicate that is not `column <op> integer-literal`
+///   (not expressible over histograms).
+pub fn rewrite_dropped(plan: &QueryPlan) -> DtResult<ShadowQuery> {
+    let n = plan.streams.len();
+
+    // Per-step join condition in (left synopsis dim, right local dim)
+    // form, and the running column→dim map.
+    let mut column_dims: Vec<usize> = Vec::with_capacity(plan.combined_schema.arity());
+    // Stream 0 contributes its columns as dims 0..arity.
+    for d in 0..plan.streams[0].schema.arity() {
+        column_dims.push(d);
+    }
+    let mut next_dim = plan.streams[0].schema.arity();
+    // steps[j] = Option<(left_dim, right_local_dim)>, None = cross.
+    let mut steps: Vec<Option<(usize, usize)>> = Vec::with_capacity(n.saturating_sub(1));
+    for (j, conds) in plan.join_graph.steps.iter().enumerate() {
+        let stream = j + 1;
+        let on = match conds.as_slice() {
+            [] => None,
+            [(global_left, local_right)] => {
+                Some((column_dims[*global_left], *local_right))
+            }
+            more => {
+                return Err(DtError::rewrite(format!(
+                    "join step {j} has {} equality conditions; shadow plans join \
+                     synopses on a single dimension pair",
+                    more.len()
+                )))
+            }
+        };
+        steps.push(on);
+        // Extend the column→dim map with the new stream's columns.
+        for local in 0..plan.streams[stream].schema.arity() {
+            match on {
+                Some((left_dim, local_right)) if local == local_right => {
+                    // Collapsed onto the left join dimension.
+                    column_dims.push(left_dim);
+                }
+                _ => {
+                    column_dims.push(next_dim);
+                    next_dim += 1;
+                }
+            }
+        }
+    }
+
+    // One Eq.-14 summand: streams 0..i are Kept, i is Dropped, the
+    // rest are All.
+    let summand = |i: usize| -> SynPlan {
+        let part_of = |s: usize| {
+            use std::cmp::Ordering::*;
+            match s.cmp(&i) {
+                Less => Part::Kept,
+                Equal => Part::Dropped,
+                Greater => Part::All,
+            }
+        };
+        let mut expr = SynPlan::Leaf {
+            stream: 0,
+            part: part_of(0),
+        };
+        for s in 1..n {
+            expr = SynPlan::Join {
+                left: Box::new(expr),
+                right: Box::new(SynPlan::Leaf {
+                    stream: s,
+                    part: part_of(s),
+                }),
+                on: steps[s - 1],
+            };
+        }
+        expr
+    };
+
+    let mut plan_expr = if n == 1 {
+        summand(0)
+    } else {
+        SynPlan::Union((0..n).map(summand).collect())
+    };
+
+    // Push residual predicates as top-level range selections.
+    for pred in &plan.residual {
+        let Some((col, op, v)) = pred.as_column_vs_int() else {
+            return Err(DtError::rewrite(
+                "residual predicate not expressible over synopses \
+                 (only column <op> integer literal is supported)",
+            ));
+        };
+        let dim = column_dims[col];
+        let select = |input: SynPlan, lo: i64, hi: i64| SynPlan::Select {
+            input: Box::new(input),
+            dim,
+            lo,
+            hi,
+        };
+        plan_expr = match op {
+            CmpOp::Eq => select(plan_expr, v, v),
+            CmpOp::Lt => select(plan_expr, RANGE_MIN, v - 1),
+            CmpOp::Le => select(plan_expr, RANGE_MIN, v),
+            CmpOp::Gt => select(plan_expr, v + 1, RANGE_MAX),
+            CmpOp::Ge => select(plan_expr, v, RANGE_MAX),
+            CmpOp::Neq => SynPlan::Union(vec![
+                select(plan_expr.clone(), RANGE_MIN, v - 1),
+                select(plan_expr, v + 1, RANGE_MAX),
+            ]),
+        };
+    }
+
+    Ok(ShadowQuery {
+        plan: plan_expr,
+        column_dims,
+        num_streams: n,
+        distinct: plan.distinct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_query::{parse_select, Catalog, Planner};
+    use dt_types::{DataType, Schema};
+
+    fn paper_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        c.add_stream(
+            "S",
+            Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+        );
+        c.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
+        c
+    }
+
+    fn shadow(sql: &str) -> DtResult<ShadowQuery> {
+        let stmt = parse_select(sql)?;
+        let plan = Planner::new(&paper_catalog()).plan(&stmt)?;
+        rewrite_dropped(&plan)
+    }
+
+    const PAPER_QUERY: &str = "SELECT a, COUNT(*) as count FROM R,S,T \
+        WHERE R.a = S.b AND S.c = T.d GROUP BY a";
+
+    #[test]
+    fn paper_query_produces_three_summands() {
+        let sq = shadow(PAPER_QUERY).unwrap();
+        assert_eq!(sq.num_streams, 3);
+        match &sq.plan {
+            SynPlan::Union(parts) => {
+                assert_eq!(parts.len(), 3);
+                // First summand: D_R ⋈ A_S ⋈ A_T.
+                let sql = parts[0].display_sql(&["R".into(), "S".into(), "T".into()]);
+                assert_eq!(
+                    sql,
+                    // After R⋈S the dims are (a≡b)=d0, c=d1, so the
+                    // second join's left dimension is d1.
+                    "equijoin(equijoin(R_dropped_syn, d0, S_all_syn, d0), d1, T_all_syn, d0)"
+                );
+                // Second: K_R ⋈ D_S ⋈ A_T.
+                let sql = parts[1].display_sql(&["R".into(), "S".into(), "T".into()]);
+                assert!(sql.contains("R_kept_syn") && sql.contains("S_dropped_syn"));
+                assert!(sql.contains("T_all_syn"));
+                // Third: K_R ⋈ K_S ⋈ D_T.
+                let sql = parts[2].display_sql(&["R".into(), "S".into(), "T".into()]);
+                assert!(sql.contains("R_kept_syn") && sql.contains("S_kept_syn"));
+                assert!(sql.contains("T_dropped_syn"));
+            }
+            other => panic!("expected Union, got {other:?}"),
+        }
+        // Dim layout: R.a=S.b collapse to dim 0; S.c dim 1; T.d
+        // collapses onto S.c.
+        assert_eq!(sq.column_dims, vec![0, 0, 1, 1]);
+        // 2 joins per summand × 3 summands.
+        assert_eq!(sq.plan.join_count(), 6);
+    }
+
+    #[test]
+    fn single_stream_is_just_the_dropped_leaf() {
+        let sq = shadow("SELECT a FROM R").unwrap();
+        assert_eq!(
+            sq.plan,
+            SynPlan::Leaf {
+                stream: 0,
+                part: Part::Dropped
+            }
+        );
+        assert_eq!(sq.column_dims, vec![0]);
+    }
+
+    #[test]
+    fn cross_join_uses_cross_nodes() {
+        let sq = shadow("SELECT * FROM R, T").unwrap();
+        match &sq.plan {
+            SynPlan::Union(parts) => {
+                assert_eq!(parts.len(), 2);
+                match &parts[0] {
+                    SynPlan::Join { on, .. } => assert_eq!(*on, None),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(sq.column_dims, vec![0, 1]);
+    }
+
+    #[test]
+    fn literal_predicates_become_selects() {
+        let sq = shadow("SELECT a FROM R WHERE R.a > 5").unwrap();
+        match &sq.plan {
+            SynPlan::Select { dim, lo, hi, .. } => {
+                assert_eq!(*dim, 0);
+                assert_eq!(*lo, 6);
+                assert!(*hi > 1_000_000);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn neq_becomes_union_of_ranges() {
+        let sq = shadow("SELECT a FROM R WHERE R.a <> 5").unwrap();
+        match &sq.plan {
+            SynPlan::Union(parts) => {
+                assert_eq!(parts.len(), 2);
+                match (&parts[0], &parts[1]) {
+                    (
+                        SynPlan::Select { hi: h1, .. },
+                        SynPlan::Select { lo: l2, .. },
+                    ) => {
+                        assert_eq!(*h1, 4);
+                        assert_eq!(*l2, 6);
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eq_and_le_bounds() {
+        match shadow("SELECT a FROM R WHERE R.a = 7").unwrap().plan {
+            SynPlan::Select { lo, hi, .. } => {
+                assert_eq!((lo, hi), (7, 7));
+            }
+            other => panic!("{other:?}"),
+        }
+        match shadow("SELECT a FROM R WHERE R.a <= 7").unwrap().plan {
+            SynPlan::Select { lo, hi, .. } => {
+                assert!(lo < -1_000_000);
+                assert_eq!(hi, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_flag_propagates() {
+        assert!(shadow("SELECT DISTINCT a FROM R").unwrap().distinct);
+        assert!(!shadow("SELECT a FROM R").unwrap().distinct);
+    }
+
+    #[test]
+    fn multi_condition_join_step_rejected() {
+        let err = shadow("SELECT * FROM S, S z WHERE S.b = z.b AND S.c = z.c").unwrap_err();
+        assert!(err.to_string().contains("single dimension pair"), "{err}");
+    }
+
+    #[test]
+    fn column_vs_column_residual_rejected() {
+        let err = shadow("SELECT * FROM S WHERE S.b < S.c").unwrap_err();
+        assert!(err.to_string().contains("not expressible"), "{err}");
+    }
+}

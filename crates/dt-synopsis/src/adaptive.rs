@@ -1,0 +1,162 @@
+//! The memory-bounded adaptive sparse histogram.
+//!
+//! The paper's summarize-only baseline has its "synopsis data
+//! structure tuned to handle the highest observed data rate" (§7.1) —
+//! a static choice. The *adaptive* alternative tunes itself: start at
+//! a fine grid, and whenever the number of occupied cells exceeds the
+//! configured budget, coarsen the grid by 2× (mass-conserving, see
+//! [`SparseHist::coarsen`]). Under light shedding the synopsis stays
+//! near-lossless; under a heavy burst it degrades resolution instead
+//! of memory.
+//!
+//! Widths evolve as `base × 2^k`, so two adaptive synopses that have
+//! coarsened differently can always be *harmonized* — the finer one
+//! coarsened to the coarser width — before a binary operation;
+//! [`crate::Synopsis`]'s operators do this automatically.
+
+use dt_types::{DtError, DtResult};
+
+use crate::sparse::SparseHist;
+
+/// A sparse histogram that halves its resolution whenever it would
+/// exceed a cell budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveSparse {
+    hist: SparseHist,
+    max_cells: usize,
+}
+
+impl AdaptiveSparse {
+    /// An adaptive histogram over `dims` dimensions starting at
+    /// `base_width` and never exceeding `max_cells` occupied cells.
+    pub fn new(dims: usize, base_width: i64, max_cells: usize) -> DtResult<Self> {
+        if max_cells == 0 {
+            return Err(DtError::synopsis("cell budget must be >= 1"));
+        }
+        Ok(AdaptiveSparse {
+            hist: SparseHist::new(dims, base_width)?,
+            max_cells,
+        })
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.hist.dims()
+    }
+
+    /// The configured cell budget.
+    pub fn max_cells(&self) -> usize {
+        self.max_cells
+    }
+
+    /// The current (possibly coarsened) cell width.
+    pub fn current_width(&self) -> i64 {
+        self.hist.cell_width()
+    }
+
+    /// Total mass.
+    pub fn total_mass(&self) -> f64 {
+        self.hist.total_mass()
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.hist.is_empty()
+    }
+
+    /// Occupied cells (≤ `max_cells` after every insert).
+    pub fn num_cells(&self) -> usize {
+        self.hist.num_cells()
+    }
+
+    /// Insert one tuple, coarsening as needed to respect the budget.
+    pub fn insert(&mut self, point: &[i64]) -> DtResult<()> {
+        self.hist.insert(point)?;
+        while self.hist.num_cells() > self.max_cells {
+            self.hist = self.hist.coarsen(2)?;
+        }
+        Ok(())
+    }
+
+    /// Does the point land in an occupied cell? (Synergistic-policy
+    /// hook.)
+    pub fn covers(&self, point: &[i64]) -> bool {
+        self.hist.covers(point)
+    }
+
+    /// The underlying plain histogram (for lowering into the shared
+    /// relational operations).
+    pub fn as_sparse(&self) -> &SparseHist {
+        &self.hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_budget() {
+        assert!(AdaptiveSparse::new(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn stays_lossless_under_budget() {
+        let mut a = AdaptiveSparse::new(1, 1, 100).unwrap();
+        for v in 0..50 {
+            a.insert(&[v]).unwrap();
+        }
+        assert_eq!(a.current_width(), 1, "no coarsening needed");
+        assert_eq!(a.num_cells(), 50);
+        assert_eq!(a.total_mass(), 50.0);
+    }
+
+    #[test]
+    fn coarsens_under_pressure_and_conserves_mass() {
+        let mut a = AdaptiveSparse::new(1, 1, 16).unwrap();
+        for v in 0..100 {
+            a.insert(&[v]).unwrap();
+        }
+        assert!(a.num_cells() <= 16, "{}", a.num_cells());
+        assert!(a.current_width() > 1, "must have coarsened");
+        // Widths evolve as powers of two times the base.
+        assert!(a.current_width().count_ones() == 1);
+        assert_eq!(a.total_mass(), 100.0);
+    }
+
+    #[test]
+    fn budget_of_one_degenerates_to_a_counter() {
+        let mut a = AdaptiveSparse::new(1, 1, 1).unwrap();
+        for v in [1i64, 50, 99, 3] {
+            a.insert(&[v]).unwrap();
+        }
+        assert_eq!(a.num_cells(), 1);
+        assert_eq!(a.total_mass(), 4.0);
+    }
+
+    #[test]
+    fn two_dimensional_budgets() {
+        let mut a = AdaptiveSparse::new(2, 1, 25).unwrap();
+        for x in 0..20 {
+            for y in 0..20 {
+                a.insert(&[x, y]).unwrap();
+            }
+        }
+        assert!(a.num_cells() <= 25);
+        assert_eq!(a.total_mass(), 400.0);
+    }
+
+    #[test]
+    fn covers_tracks_current_grid() {
+        let mut a = AdaptiveSparse::new(1, 1, 2).unwrap();
+        a.insert(&[0]).unwrap();
+        a.insert(&[10]).unwrap();
+        a.insert(&[20]).unwrap(); // forces coarsening
+        // After coarsening, wide cells cover neighbours of inserted
+        // values too.
+        assert!(a.covers(&[0]));
+        let w = a.current_width();
+        assert!(w >= 2);
+        assert!(a.covers(&[1]) || w == 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Synopsis data structures for Data Triage.
+//!
+//! The paper (§5.2.2) demands two things of a synopsis used in the
+//! triage path:
+//!
+//! 1. inserting a tuple must be much cheaper than fully processing it,
+//!    and
+//! 2. the structure must support fast relational operations — above
+//!    all equijoin — producing compact synopses of the results.
+//!
+//! Implemented structures:
+//!
+//! * [`SparseHist`] — the paper's workhorse: a sparse multidimensional
+//!   histogram with **cubic, grid-aligned buckets**. Aligned buckets
+//!   make the equijoin linear in the number of occupied cells.
+//! * [`MHist`] — an MHIST multidimensional histogram using the
+//!   **MAXDIFF** bucket-split heuristic (Poosala & Ioannidis), the
+//!   structure the paper found more accurate per byte but too slow:
+//!   joining histograms with unaligned bucket boundaries produces a
+//!   quadratic number of intersection buckets. An *aligned* variant
+//!   (split boundaries snapped to a grid — the constrained MHIST the
+//!   paper's §8.1 proposes as future work) is available via
+//!   [`MHistConfig::alignment`].
+//! * [`ReservoirSample`] — a uniform reservoir sample with a scale
+//!   factor, included as the §8.1 "additional synopsis type" and as an
+//!   ablation baseline.
+//! * [`WaveletSynopsis`] — a thresholded orthonormal Haar transform of
+//!   the window's frequency grid (the wavelet line of the paper's
+//!   related work), used as a compression format whose relational
+//!   operations run on the reconstructed grid.
+//!
+//! All structures are wrapped by the [`Synopsis`] enum, which exposes
+//! the closed set of operations the shadow query plan needs: `insert`,
+//! `project`, `union_all`, `equijoin`, `select_range`, and grouped
+//! count/sum estimation. Binary operations require both operands to be
+//! the same structure (as in the paper, where each run picks one
+//! synopsis datatype).
+
+pub mod adaptive;
+pub mod mhist;
+pub mod reservoir;
+pub mod sparse;
+pub mod synopsis;
+pub mod wavelet;
+
+pub use adaptive::AdaptiveSparse;
+pub use mhist::{MHist, MHistConfig};
+pub use reservoir::ReservoirSample;
+pub use sparse::SparseHist;
+pub use synopsis::{GroupEstimate, Synopsis, SynopsisConfig};
+pub use wavelet::WaveletSynopsis;

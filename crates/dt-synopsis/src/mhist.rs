@@ -1,0 +1,762 @@
+//! MHIST multidimensional histograms with MAXDIFF partitioning.
+//!
+//! This is the paper's "slow synopsis" (§5.2.2): more accurate per
+//! bucket than the sparse grid histogram, but its buckets are arbitrary
+//! axis-aligned boxes, so joining two MHISTs intersects bucket pairs —
+//! `O(|B_s| · |B_t|)` output buckets when boundaries are unaligned.
+//! The paper profiled exactly this blowup and fell back to the sparse
+//! histogram; §8.1 proposes a *constrained* MHIST whose split
+//! boundaries come from a small finite set. We implement both: set
+//! [`MHistConfig::alignment`] to `Some(g)` to snap every split
+//! boundary to a multiple of `g` (the constrained variant), or `None`
+//! for the classic unconstrained MAXDIFF.
+//!
+//! Construction is batch-oriented, as in the paper (TelegraphCQ built
+//! MHISTs from tables with a UDF): inserted points are buffered, and
+//! the bucket structure is built by [`MHist::freeze`] (or implicitly,
+//! without caching, by any relational operation on an unfrozen
+//! histogram). MAXDIFF repeatedly splits the bucket whose marginal
+//! frequency sequence has the largest adjacent difference, at that
+//! boundary.
+
+use std::borrow::Cow;
+
+use dt_types::{DtError, DtResult};
+
+/// Configuration for an [`MHist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MHistConfig {
+    /// Maximum number of buckets produced by MAXDIFF partitioning.
+    pub max_buckets: usize,
+    /// If `Some(g)`, split boundaries are snapped to multiples of `g`
+    /// (the paper's §8.1 constrained variant). `None` = classic MHIST.
+    pub alignment: Option<i64>,
+}
+
+impl MHistConfig {
+    /// Classic unconstrained MHIST.
+    pub fn unaligned(max_buckets: usize) -> Self {
+        MHistConfig {
+            max_buckets,
+            alignment: None,
+        }
+    }
+
+    /// Constrained MHIST with boundaries on multiples of `g`.
+    pub fn aligned(max_buckets: usize, g: i64) -> Self {
+        MHistConfig {
+            max_buckets,
+            alignment: Some(g),
+        }
+    }
+}
+
+/// One histogram bucket: an axis-aligned box of integer half-open
+/// intervals `[lo, hi)` with a (possibly fractional) tuple mass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Per-dimension half-open integer bounds.
+    pub bounds: Vec<(i64, i64)>,
+    /// Estimated number of tuples in the box.
+    pub mass: f64,
+}
+
+impl Bucket {
+    /// Number of integer values covered on a dimension.
+    fn width(&self, dim: usize) -> i64 {
+        self.bounds[dim].1 - self.bounds[dim].0
+    }
+}
+
+/// An MHIST multidimensional histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MHist {
+    dims: usize,
+    config: MHistConfig,
+    /// Buffered raw points (weighted), kept until freeze.
+    points: Vec<(Box<[i64]>, f64)>,
+    /// Built bucket structure; `None` until frozen.
+    buckets: Option<Vec<Bucket>>,
+}
+
+impl MHist {
+    /// A histogram over `dims` dimensions.
+    pub fn new(dims: usize, config: MHistConfig) -> DtResult<Self> {
+        if config.max_buckets == 0 {
+            return Err(DtError::synopsis("max_buckets must be >= 1"));
+        }
+        if let Some(g) = config.alignment {
+            if g < 1 {
+                return Err(DtError::synopsis("alignment must be >= 1"));
+            }
+        }
+        Ok(MHist {
+            dims,
+            config,
+            points: Vec::new(),
+            buckets: None,
+        })
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> MHistConfig {
+        self.config
+    }
+
+    /// Total mass.
+    pub fn total_mass(&self) -> f64 {
+        match &self.buckets {
+            Some(b) => b.iter().map(|b| b.mass).sum(),
+            None => self.points.iter().map(|(_, m)| m).sum(),
+        }
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.total_mass() == 0.0
+    }
+
+    /// Number of buckets (0 if unfrozen and empty).
+    pub fn num_buckets(&self) -> usize {
+        match &self.buckets {
+            Some(b) => b.len(),
+            None => {
+                if self.points.is_empty() {
+                    0
+                } else {
+                    self.build_buckets().len()
+                }
+            }
+        }
+    }
+
+    /// Insert one tuple. Errors after `freeze` (MHISTs are
+    /// batch-built, matching the paper's usage).
+    pub fn insert(&mut self, point: &[i64]) -> DtResult<()> {
+        self.insert_weighted(point, 1.0)
+    }
+
+    /// Insert a weighted point.
+    pub fn insert_weighted(&mut self, point: &[i64], mass: f64) -> DtResult<()> {
+        if self.buckets.is_some() {
+            return Err(DtError::synopsis("cannot insert into a frozen MHist"));
+        }
+        if point.len() != self.dims {
+            return Err(DtError::synopsis(format!(
+                "point arity {} != histogram dims {}",
+                point.len(),
+                self.dims
+            )));
+        }
+        if mass != 0.0 {
+            self.points.push((point.into(), mass));
+        }
+        Ok(())
+    }
+
+    /// Build the bucket structure from the buffered points. Idempotent.
+    pub fn freeze(&mut self) {
+        if self.buckets.is_none() {
+            self.buckets = Some(self.build_buckets());
+            self.points.clear();
+        }
+    }
+
+    /// True once `freeze` has run.
+    pub fn is_frozen(&self) -> bool {
+        self.buckets.is_some()
+    }
+
+    /// The buckets, building them on the fly if unfrozen.
+    pub fn built_buckets(&self) -> Cow<'_, [Bucket]> {
+        match &self.buckets {
+            Some(b) => Cow::Borrowed(b),
+            None => Cow::Owned(self.build_buckets()),
+        }
+    }
+
+    /// A frozen histogram from explicit buckets (used by the
+    /// relational operations).
+    fn from_buckets(dims: usize, config: MHistConfig, buckets: Vec<Bucket>) -> MHist {
+        MHist {
+            dims,
+            config,
+            points: Vec::new(),
+            buckets: Some(buckets),
+        }
+    }
+
+    // ---------------- MAXDIFF construction ----------------
+
+    fn build_buckets(&self) -> Vec<Bucket> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        // Work list: (bucket, indices of points inside it).
+        struct Work {
+            bounds: Vec<(i64, i64)>,
+            points: Vec<usize>,
+            /// Best split: (maxdiff score, dim, boundary).
+            best: Option<(f64, usize, i64)>,
+        }
+
+        let pts = &self.points;
+        // Tight bounding box of a point set. Tight per-bucket bounds
+        // are what make single-value buckets exact. For the aligned
+        // variant the box is snapped *outward* to the grid so every
+        // boundary stays a multiple of `g` (siblings still cannot
+        // overlap: the split boundary is itself aligned).
+        let alignment = self.config.alignment;
+        let bounding = move |idx: &[usize]| -> Vec<(i64, i64)> {
+            (0..self.dims)
+                .map(|d| {
+                    let lo = idx.iter().map(|&i| pts[i].0[d]).min().unwrap();
+                    let hi = idx.iter().map(|&i| pts[i].0[d]).max().unwrap() + 1;
+                    match alignment {
+                        None => (lo, hi),
+                        Some(g) => (lo.div_euclid(g) * g, hi.div_euclid(g) * g + if hi.rem_euclid(g) == 0 { 0 } else { g }),
+                    }
+                })
+                .collect()
+        };
+
+        let find_best = |idx: &[usize]| -> Option<(f64, usize, i64)> {
+            let mut best: Option<(f64, usize, i64)> = None;
+            for d in 0..self.dims {
+                // Marginal frequency per distinct value on dim d.
+                let mut freq: Vec<(i64, f64)> = Vec::new();
+                {
+                    let mut vals: Vec<(i64, f64)> =
+                        idx.iter().map(|&i| (pts[i].0[d], pts[i].1)).collect();
+                    vals.sort_by_key(|&(v, _)| v);
+                    for (v, m) in vals {
+                        match freq.last_mut() {
+                            Some((lv, lm)) if *lv == v => *lm += m,
+                            _ => freq.push((v, m)),
+                        }
+                    }
+                }
+                if freq.len() < 2 {
+                    continue;
+                }
+                for w in freq.windows(2) {
+                    let (v0, f0) = w[0];
+                    let (v1, f1) = w[1];
+                    let score = (f1 - f0).abs();
+                    // Candidate boundary: first value of the right group.
+                    let mut boundary = v1;
+                    if let Some(g) = self.config.alignment {
+                        // Snap up to the next multiple of g that still
+                        // separates the two groups (boundary must be in
+                        // (v0, v1]); if none exists, skip.
+                        let snapped = boundary.div_euclid(g) * g;
+                        if snapped > v0 {
+                            boundary = snapped;
+                        } else {
+                            let snapped_up = snapped + g;
+                            if snapped_up <= v1 {
+                                boundary = snapped_up;
+                            } else {
+                                continue;
+                            }
+                        }
+                    }
+                    if best.map(|(s, _, _)| score > s).unwrap_or(true) {
+                        best = Some((score, d, boundary));
+                    }
+                }
+            }
+            best
+        };
+
+        let all: Vec<usize> = (0..pts.len()).collect();
+        let mut work = vec![Work {
+            bounds: bounding(&all),
+            best: find_best(&all),
+            points: all,
+        }];
+
+        while work.len() < self.config.max_buckets {
+            // Pick the bucket with the largest MAXDIFF score.
+            let Some((wi, &(_, dim, boundary))) = work
+                .iter()
+                .enumerate()
+                .filter_map(|(i, w)| w.best.as_ref().map(|b| (i, b)))
+                .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+            else {
+                break; // nothing splittable
+            };
+            let victim = work.swap_remove(wi);
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = victim
+                .points
+                .iter()
+                .partition(|&&i| pts[i].0[dim] < boundary);
+            debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+            // Children get tight bounding boxes of their own points.
+            work.push(Work {
+                bounds: bounding(&left_idx),
+                best: find_best(&left_idx),
+                points: left_idx,
+            });
+            work.push(Work {
+                bounds: bounding(&right_idx),
+                best: find_best(&right_idx),
+                points: right_idx,
+            });
+        }
+
+        work.into_iter()
+            .map(|w| Bucket {
+                bounds: w.bounds,
+                mass: w.points.iter().map(|&i| pts[i].1).sum(),
+            })
+            .collect()
+    }
+
+    // ---------------- relational operations ----------------
+
+    /// π: keep the given dimensions (buckets may overlap afterwards —
+    /// fine for estimation).
+    pub fn project(&self, keep: &[usize]) -> DtResult<MHist> {
+        for &d in keep {
+            if d >= self.dims {
+                return Err(DtError::synopsis("projection dim out of range"));
+            }
+        }
+        let buckets = self
+            .built_buckets()
+            .iter()
+            .map(|b| Bucket {
+                bounds: keep.iter().map(|&d| b.bounds[d]).collect(),
+                mass: b.mass,
+            })
+            .collect();
+        Ok(MHist::from_buckets(keep.len(), self.config, buckets))
+    }
+
+    /// `UNION ALL`: concatenate bucket lists (masses add; no
+    /// re-compression — part of why MHIST manipulation is costly).
+    pub fn union_all(&self, other: &MHist) -> DtResult<MHist> {
+        if self.dims != other.dims {
+            return Err(DtError::synopsis("union of MHists with different dims"));
+        }
+        let mut buckets = self.built_buckets().into_owned();
+        buckets.extend(other.built_buckets().iter().cloned());
+        Ok(MHist::from_buckets(self.dims, self.config, buckets))
+    }
+
+    /// Equijoin on `self_dim = other_dim`.
+    ///
+    /// Every pair of buckets whose join intervals overlap produces an
+    /// output bucket — the quadratic blowup the paper profiled. Within
+    /// the overlap, the uniform-frequency assumption gives expected
+    /// matches `m_s·frac_s · m_t·frac_t / |overlap|`.
+    pub fn equijoin(&self, self_dim: usize, other: &MHist, other_dim: usize) -> DtResult<MHist> {
+        if self_dim >= self.dims || other_dim >= other.dims {
+            return Err(DtError::synopsis("join dimension out of range"));
+        }
+        let mut out = Vec::new();
+        for bs in self.built_buckets().iter() {
+            let (slo, shi) = bs.bounds[self_dim];
+            for bt in other.built_buckets().iter() {
+                let (tlo, thi) = bt.bounds[other_dim];
+                let lo = slo.max(tlo);
+                let hi = shi.min(thi);
+                if lo >= hi {
+                    continue;
+                }
+                let ov = (hi - lo) as f64;
+                let frac_s = ov / bs.width(self_dim) as f64;
+                let frac_t = ov / bt.width(other_dim) as f64;
+                let mass = bs.mass * frac_s * bt.mass * frac_t / ov;
+                if mass == 0.0 {
+                    continue;
+                }
+                let mut bounds = Vec::with_capacity(self.dims + other.dims - 1);
+                for (d, &b) in bs.bounds.iter().enumerate() {
+                    bounds.push(if d == self_dim { (lo, hi) } else { b });
+                }
+                for (d, &b) in bt.bounds.iter().enumerate() {
+                    if d != other_dim {
+                        bounds.push(b);
+                    }
+                }
+                out.push(Bucket { bounds, mass });
+            }
+        }
+        Ok(MHist::from_buckets(
+            self.dims + other.dims - 1,
+            self.config,
+            out,
+        ))
+    }
+
+    /// Is an identical point already buffered (unfrozen) or inside a
+    /// bucket (frozen)? Used by the synergistic drop policy.
+    pub fn covers(&self, point: &[i64]) -> bool {
+        if point.len() != self.dims {
+            return false;
+        }
+        match &self.buckets {
+            None => self.points.iter().any(|(p, _)| p.as_ref() == point),
+            Some(buckets) => buckets.iter().any(|b| {
+                b.bounds
+                    .iter()
+                    .zip(point)
+                    .all(|(&(lo, hi), &v)| v >= lo && v < hi)
+            }),
+        }
+    }
+
+    /// Cross product ×: bucket pairs combine, masses multiply.
+    pub fn cross(&self, other: &MHist) -> DtResult<MHist> {
+        let mut out = Vec::new();
+        for bs in self.built_buckets().iter() {
+            for bt in other.built_buckets().iter() {
+                let mut bounds = bs.bounds.clone();
+                bounds.extend_from_slice(&bt.bounds);
+                out.push(Bucket {
+                    bounds,
+                    mass: bs.mass * bt.mass,
+                });
+            }
+        }
+        Ok(MHist::from_buckets(self.dims + other.dims, self.config, out))
+    }
+
+    /// Re-compress to at most `max_buckets` buckets by repeatedly
+    /// merging the pair of buckets whose union box has the smallest
+    /// volume (a greedy bounding-box merge).
+    ///
+    /// `union_all` and `equijoin` deliberately do *not* compress —
+    /// the uncontrolled bucket growth is the §5.2.2 cost problem the
+    /// paper measured — but callers that keep MHISTs alive across
+    /// windows can bound memory with this.
+    pub fn compress(&self, max_buckets: usize) -> DtResult<MHist> {
+        if max_buckets == 0 {
+            return Err(DtError::synopsis("max_buckets must be >= 1"));
+        }
+        let mut buckets = self.built_buckets().into_owned();
+        let volume = |bounds: &[(i64, i64)]| -> i128 {
+            bounds.iter().map(|&(lo, hi)| (hi - lo) as i128).product()
+        };
+        let merged_bounds = |a: &Bucket, b: &Bucket| -> Vec<(i64, i64)> {
+            a.bounds
+                .iter()
+                .zip(&b.bounds)
+                .map(|(&(alo, ahi), &(blo, bhi))| (alo.min(blo), ahi.max(bhi)))
+                .collect()
+        };
+        while buckets.len() > max_buckets {
+            // Greedy: merge the pair with the smallest union volume.
+            let mut best: Option<(usize, usize, i128)> = None;
+            for i in 0..buckets.len() {
+                for j in i + 1..buckets.len() {
+                    let v = volume(&merged_bounds(&buckets[i], &buckets[j]));
+                    if best.map(|(_, _, bv)| v < bv).unwrap_or(true) {
+                        best = Some((i, j, v));
+                    }
+                }
+            }
+            let (i, j, _) = best.expect("at least two buckets");
+            let b = buckets.swap_remove(j);
+            let a = &mut buckets[i];
+            a.bounds = merged_bounds(a, &b);
+            a.mass += b.mass;
+        }
+        Ok(MHist::from_buckets(self.dims, self.config, buckets))
+    }
+
+    /// σ on an inclusive integer range of one dimension.
+    pub fn select_range(&self, dim: usize, lo: i64, hi: i64) -> DtResult<MHist> {
+        if dim >= self.dims {
+            return Err(DtError::synopsis("selection dim out of range"));
+        }
+        let hi_excl = hi + 1;
+        let mut out = Vec::new();
+        for b in self.built_buckets().iter() {
+            let (blo, bhi) = b.bounds[dim];
+            let nlo = blo.max(lo);
+            let nhi = bhi.min(hi_excl);
+            if nlo >= nhi {
+                continue;
+            }
+            let frac = (nhi - nlo) as f64 / b.width(dim) as f64;
+            let mut bounds = b.bounds.clone();
+            bounds[dim] = (nlo, nhi);
+            out.push(Bucket {
+                bounds,
+                mass: b.mass * frac,
+            });
+        }
+        Ok(MHist::from_buckets(self.dims, self.config, out))
+    }
+
+    /// Estimated per-integer-value counts along one dimension.
+    pub fn group_counts(&self, dim: usize) -> DtResult<std::collections::HashMap<i64, f64>> {
+        if dim >= self.dims {
+            return Err(DtError::synopsis("group dim out of range"));
+        }
+        let mut out = std::collections::HashMap::new();
+        for b in self.built_buckets().iter() {
+            let (lo, hi) = b.bounds[dim];
+            let per_value = b.mass / (hi - lo) as f64;
+            for v in lo..hi {
+                *out.entry(v).or_insert(0.0) += per_value;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Estimated per-group `SUM(sum_dim)` using bucket midpoints.
+    pub fn group_sums(
+        &self,
+        group_dim: usize,
+        sum_dim: usize,
+    ) -> DtResult<std::collections::HashMap<i64, f64>> {
+        if group_dim >= self.dims || sum_dim >= self.dims {
+            return Err(DtError::synopsis("group/sum dim out of range"));
+        }
+        let mut out = std::collections::HashMap::new();
+        for b in self.built_buckets().iter() {
+            let (slo, shi) = b.bounds[sum_dim];
+            let mid = (slo + shi - 1) as f64 / 2.0;
+            let (lo, hi) = b.bounds[group_dim];
+            let per_value = b.mass / (hi - lo) as f64;
+            for v in lo..hi {
+                *out.entry(v).or_insert(0.0) += per_value * mid;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist1(max_buckets: usize, points: &[i64]) -> MHist {
+        let mut h = MHist::new(1, MHistConfig::unaligned(max_buckets)).unwrap();
+        for &p in points {
+            h.insert(&[p]).unwrap();
+        }
+        h
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(MHist::new(1, MHistConfig::unaligned(0)).is_err());
+        assert!(MHist::new(1, MHistConfig::aligned(4, 0)).is_err());
+    }
+
+    #[test]
+    fn insert_then_freeze() {
+        let mut h = hist1(4, &[1, 1, 2, 50, 51, 99]);
+        assert_eq!(h.total_mass(), 6.0);
+        assert!(!h.is_frozen());
+        h.freeze();
+        assert!(h.is_frozen());
+        assert_eq!(h.total_mass(), 6.0);
+        assert!(h.num_buckets() <= 4);
+        assert!(h.num_buckets() >= 2);
+        assert!(h.insert(&[1]).is_err());
+    }
+
+    #[test]
+    fn maxdiff_splits_at_frequency_cliff() {
+        // 10 copies of value 1, 1 copy of value 50: the largest
+        // adjacent frequency difference is between 1 and 50.
+        let mut pts = vec![1i64; 10];
+        pts.push(50);
+        let mut h = hist1(2, &pts);
+        h.freeze();
+        let b = h.built_buckets().into_owned();
+        assert_eq!(b.len(), 2);
+        let mut masses: Vec<f64> = b.iter().map(|b| b.mass).collect();
+        masses.sort_by(f64::total_cmp);
+        assert_eq!(masses, vec![1.0, 10.0]);
+    }
+
+    #[test]
+    fn buckets_partition_mass() {
+        let pts: Vec<i64> = (0..100).map(|i| (i * 37) % 100).collect();
+        let mut h = hist1(8, &pts);
+        h.freeze();
+        let total: f64 = h.built_buckets().iter().map(|b| b.mass).sum();
+        assert_eq!(total, 100.0);
+        assert_eq!(h.num_buckets(), 8);
+    }
+
+    #[test]
+    fn aligned_variant_snaps_boundaries() {
+        let pts: Vec<i64> = (0..100).collect();
+        let mut h = MHist::new(1, MHistConfig::aligned(8, 10)).unwrap();
+        for &p in &pts {
+            h.insert(&[p]).unwrap();
+        }
+        h.freeze();
+        for b in h.built_buckets().iter() {
+            let (lo, hi) = b.bounds[0];
+            // Interior boundaries are multiples of 10 (outer bounds come
+            // from the data bounding box).
+            if lo != 0 {
+                assert_eq!(lo % 10, 0, "bucket lo {lo} not aligned");
+            }
+            if hi != 100 {
+                assert_eq!(hi % 10, 0, "bucket hi {hi} not aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn equijoin_exactish_on_point_buckets() {
+        // Few distinct values + enough buckets => each bucket is a
+        // single value and the join is exact.
+        let a = hist1(8, &[1, 1, 2]);
+        let b = hist1(8, &[1, 3]);
+        let j = a.equijoin(0, &b, 0).unwrap();
+        assert!((j.total_mass() - 2.0).abs() < 1e-9, "{}", j.total_mass());
+    }
+
+    #[test]
+    fn equijoin_bucket_count_can_be_quadratic() {
+        // The §5.2.2 blowup: in a multidimensional MHIST, MAXDIFF may
+        // spend every split on a skewed *non-join* dimension, leaving
+        // all buckets spanning the full join-dimension range. Joining
+        // two such histograms intersects every bucket pair:
+        // |B_s| × |B_t| output buckets.
+        let mk = || {
+            let mut h = MHist::new(2, MHistConfig::unaligned(13)).unwrap();
+            // dim 0 (join dim): exactly uniform — marginal frequency
+            // differences are all zero, so MAXDIFF never splits on it.
+            // dim 1: strictly increasing frequencies — every split
+            // lands here until buckets are single-valued on dim 1.
+            for x in 0..40i64 {
+                for y in 0..13i64 {
+                    for _ in 0..=y {
+                        h.insert(&[x, y]).unwrap();
+                    }
+                }
+            }
+            h.freeze();
+            h
+        };
+        let a = mk();
+        let b = mk();
+        let j = a.equijoin(0, &b, 0).unwrap();
+        // Far more output buckets than either input — approaching the
+        // pairwise product.
+        assert!(
+            j.num_buckets() > 4 * (a.num_buckets() + b.num_buckets()),
+            "join produced {} buckets from {} x {}",
+            j.num_buckets(),
+            a.num_buckets(),
+            b.num_buckets()
+        );
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let a = hist1(4, &[1, 2]);
+        let b = hist1(4, &[3]);
+        let u = a.union_all(&b).unwrap();
+        assert_eq!(u.total_mass(), 3.0);
+        let c = MHist::new(2, MHistConfig::unaligned(4)).unwrap();
+        assert!(a.union_all(&c).is_err());
+    }
+
+    #[test]
+    fn project_drops_dims() {
+        let mut h = MHist::new(2, MHistConfig::unaligned(4)).unwrap();
+        h.insert(&[1, 10]).unwrap();
+        h.insert(&[2, 20]).unwrap();
+        let p = h.project(&[1]).unwrap();
+        assert_eq!(p.dims(), 1);
+        assert_eq!(p.total_mass(), 2.0);
+        assert!(h.project(&[2]).is_err());
+    }
+
+    #[test]
+    fn select_range_scales() {
+        let mut h = hist1(1, &(0..10).collect::<Vec<_>>()); // one bucket [0,10)
+        h.freeze();
+        let s = h.select_range(0, 0, 4).unwrap();
+        assert!((s.total_mass() - 5.0).abs() < 1e-9);
+        assert!(h.select_range(0, 50, 60).unwrap().is_empty());
+        assert!(h.select_range(1, 0, 1).is_err());
+    }
+
+    #[test]
+    fn group_counts_spread() {
+        let mut h = hist1(1, &[0, 1, 2, 3]);
+        h.freeze();
+        let g = h.group_counts(0).unwrap();
+        assert_eq!(g.len(), 4);
+        for v in 0..4 {
+            assert!((g[&v] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn group_sums_use_midpoint() {
+        let mut h = MHist::new(2, MHistConfig::unaligned(8)).unwrap();
+        h.insert(&[7, 40]).unwrap();
+        h.insert(&[7, 40]).unwrap();
+        h.freeze();
+        let s = h.group_sums(0, 1).unwrap();
+        assert!((s[&7] - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_behaves() {
+        let mut h = hist1(4, &[]);
+        assert!(h.is_empty());
+        h.freeze();
+        assert_eq!(h.num_buckets(), 0);
+        assert!(h.group_counts(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compress_bounds_buckets_and_conserves_mass() {
+        let pts: Vec<i64> = (0..200).map(|i| (i * 13) % 97).collect();
+        let mut h = hist1(32, &pts);
+        h.freeze();
+        assert_eq!(h.num_buckets(), 32);
+        let c = h.compress(8).unwrap();
+        assert!(c.num_buckets() <= 8);
+        assert!((c.total_mass() - h.total_mass()).abs() < 1e-9);
+        // Group counts remain a valid (coarser) distribution.
+        let g = c.group_counts(0).unwrap();
+        let sum: f64 = g.values().sum();
+        assert!((sum - h.total_mass()).abs() < 1e-9);
+        // Compressing below 1 is rejected; compressing to >= current
+        // size is the identity on bucket count.
+        assert!(h.compress(0).is_err());
+        assert_eq!(h.compress(100).unwrap().num_buckets(), 32);
+    }
+
+    #[test]
+    fn union_then_compress_controls_growth() {
+        let a = hist1(16, &(0..50).collect::<Vec<_>>());
+        let b = hist1(16, &(25..75).collect::<Vec<_>>());
+        let u = a.union_all(&b).unwrap();
+        assert!(u.num_buckets() > 16);
+        let c = u.compress(16).unwrap();
+        assert!(c.num_buckets() <= 16);
+        assert!((c.total_mass() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operations_work_without_freeze() {
+        let a = hist1(4, &[1, 2, 3]);
+        let b = hist1(4, &[2, 3, 4]);
+        // No freeze calls: built on the fly.
+        let j = a.equijoin(0, &b, 0).unwrap();
+        assert!(j.total_mass() > 0.0);
+    }
+}

@@ -1,0 +1,629 @@
+//! The unified [`Synopsis`] type used by triage queues and shadow
+//! query plans.
+//!
+//! The paper implements synopses as an object-relational datatype with
+//! user-defined functions (`project`, `union_all`, `equijoin`, …) and
+//! evaluates the shadow query as SQL over that datatype. Our analog is
+//! this enum: one closed set of operations, three interchangeable
+//! structures, chosen per run by [`SynopsisConfig`]. Binary operations
+//! require both operands to share a structure (each experiment picks
+//! one synopsis datatype, as in the paper).
+
+use std::collections::HashMap;
+
+use dt_types::{DtError, DtResult};
+
+use crate::adaptive::AdaptiveSparse;
+use crate::mhist::{MHist, MHistConfig};
+use crate::reservoir::ReservoirSample;
+use crate::sparse::SparseHist;
+use crate::wavelet::WaveletSynopsis;
+
+/// Estimated per-group aggregate values, keyed by the (integer) group
+/// value.
+pub type GroupEstimate = HashMap<i64, f64>;
+
+/// Which synopsis structure to use, with its tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SynopsisConfig {
+    /// Sparse grid histogram with cubic buckets (the paper's fast
+    /// synopsis).
+    Sparse {
+        /// Bucket edge length in integer value units.
+        cell_width: i64,
+    },
+    /// MHIST with MAXDIFF splits (the paper's accurate-but-slow
+    /// synopsis); `alignment` selects the §8.1 constrained variant.
+    MHist {
+        /// Maximum bucket count.
+        max_buckets: usize,
+        /// Snap split boundaries to multiples of this grid.
+        alignment: Option<i64>,
+    },
+    /// Uniform reservoir sample (§8.1 "additional synopsis types").
+    Reservoir {
+        /// Maximum retained rows.
+        capacity: usize,
+        /// RNG seed for deterministic eviction.
+        seed: u64,
+    },
+    /// Thresholded Haar-wavelet synopsis (§8.1 / the wavelet line of
+    /// related work). Binary operations *lower* wavelet operands to
+    /// their reconstructed width-1 sparse grids, so results of shadow
+    /// plans over wavelet leaves come back as `Sparse`.
+    Wavelet {
+        /// Retained coefficients per synopsis.
+        budget: usize,
+        /// Power-of-two domain size per dimension.
+        domain: usize,
+    },
+    /// Memory-bounded adaptive sparse histogram: starts at
+    /// `base_width` and coarsens 2× whenever it would exceed
+    /// `max_cells` occupied cells. Binary operations harmonize grids
+    /// automatically (the finer operand is coarsened to the coarser
+    /// width).
+    AdaptiveSparse {
+        /// Initial cell width.
+        base_width: i64,
+        /// Occupied-cell budget per synopsis.
+        max_cells: usize,
+    },
+}
+
+impl SynopsisConfig {
+    /// The paper's default: sparse histogram, cell width 10 over the
+    /// 1–100 integer domain.
+    pub fn default_sparse() -> Self {
+        SynopsisConfig::Sparse { cell_width: 10 }
+    }
+
+    /// Build an empty synopsis over `dims` dimensions.
+    pub fn build(&self, dims: usize) -> DtResult<Synopsis> {
+        Ok(match *self {
+            SynopsisConfig::Sparse { cell_width } => {
+                Synopsis::Sparse(SparseHist::new(dims, cell_width)?)
+            }
+            SynopsisConfig::MHist {
+                max_buckets,
+                alignment,
+            } => Synopsis::MHist(MHist::new(
+                dims,
+                MHistConfig {
+                    max_buckets,
+                    alignment,
+                },
+            )?),
+            SynopsisConfig::Reservoir { capacity, seed } => {
+                Synopsis::Reservoir(ReservoirSample::new(dims, capacity, seed)?)
+            }
+            SynopsisConfig::Wavelet { budget, domain } => {
+                Synopsis::Wavelet(WaveletSynopsis::new(dims, domain, budget)?)
+            }
+            SynopsisConfig::AdaptiveSparse {
+                base_width,
+                max_cells,
+            } => Synopsis::Adaptive(AdaptiveSparse::new(dims, base_width, max_cells)?),
+        })
+    }
+
+    /// A short human-readable label, used in experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            SynopsisConfig::Sparse { cell_width } => format!("sparse(w={cell_width})"),
+            SynopsisConfig::MHist {
+                max_buckets,
+                alignment: None,
+            } => format!("mhist(b={max_buckets})"),
+            SynopsisConfig::MHist {
+                max_buckets,
+                alignment: Some(g),
+            } => format!("mhist-aligned(b={max_buckets},g={g})"),
+            SynopsisConfig::Reservoir { capacity, .. } => format!("reservoir(c={capacity})"),
+            SynopsisConfig::Wavelet { budget, domain } => {
+                format!("wavelet(b={budget},n={domain})")
+            }
+            SynopsisConfig::AdaptiveSparse {
+                base_width,
+                max_cells,
+            } => format!("adaptive(w={base_width},cells={max_cells})"),
+        }
+    }
+}
+
+/// A synopsis of a set of dropped (or kept) tuples.
+///
+/// (Variant sizes differ, but the system holds only a handful of
+/// synopses at a time — two per stream per open window — so boxing the
+/// larger variants would cost more in indirection than it saves.)
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum Synopsis {
+    /// See [`SparseHist`].
+    Sparse(SparseHist),
+    /// See [`MHist`].
+    MHist(MHist),
+    /// See [`ReservoirSample`].
+    Reservoir(ReservoirSample),
+    /// See [`WaveletSynopsis`].
+    Wavelet(WaveletSynopsis),
+    /// See [`AdaptiveSparse`].
+    Adaptive(AdaptiveSparse),
+}
+
+impl Synopsis {
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        match self {
+            Synopsis::Sparse(s) => s.dims(),
+            Synopsis::MHist(m) => m.dims(),
+            Synopsis::Reservoir(r) => r.dims(),
+            Synopsis::Wavelet(w) => w.dims(),
+            Synopsis::Adaptive(a) => a.dims(),
+        }
+    }
+
+    /// Estimated total tuple count.
+    pub fn total_mass(&self) -> f64 {
+        match self {
+            Synopsis::Sparse(s) => s.total_mass(),
+            Synopsis::MHist(m) => m.total_mass(),
+            Synopsis::Reservoir(r) => r.total_mass(),
+            Synopsis::Wavelet(w) => w.total_mass(),
+            Synopsis::Adaptive(a) => a.total_mass(),
+        }
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Synopsis::Sparse(s) => s.is_empty(),
+            Synopsis::MHist(m) => m.is_empty(),
+            Synopsis::Reservoir(r) => r.is_empty(),
+            Synopsis::Wavelet(w) => w.is_empty(),
+            Synopsis::Adaptive(a) => a.is_empty(),
+        }
+    }
+
+    /// Memory-footprint proxy: occupied cells / buckets / retained
+    /// rows.
+    pub fn memory_units(&self) -> usize {
+        match self {
+            Synopsis::Sparse(s) => s.num_cells(),
+            Synopsis::MHist(m) => m.num_buckets(),
+            Synopsis::Reservoir(r) => r.num_rows(),
+            Synopsis::Wavelet(w) => w.retained_coefficients().max(1),
+            Synopsis::Adaptive(a) => a.num_cells(),
+        }
+    }
+
+    /// Insert one tuple (the triage queue's per-victim operation).
+    pub fn insert(&mut self, point: &[i64]) -> DtResult<()> {
+        match self {
+            Synopsis::Sparse(s) => s.insert(point),
+            Synopsis::MHist(m) => m.insert(point),
+            Synopsis::Reservoir(r) => r.insert(point),
+            Synopsis::Wavelet(w) => w.insert(point),
+            Synopsis::Adaptive(a) => a.insert(point),
+        }
+    }
+
+    /// Finalize the synopsis at a window boundary. For MHIST this runs
+    /// MAXDIFF partitioning; for the other structures it is a no-op.
+    pub fn seal(&mut self) {
+        match self {
+            Synopsis::MHist(m) => m.freeze(),
+            Synopsis::Wavelet(w) => w.freeze(),
+            _ => {}
+        }
+    }
+
+    /// Lower a wavelet operand to its reconstructed width-1 sparse
+    /// grid; other kinds pass through. Relational operations call this
+    /// first, so wavelet synopses compose with the whole shadow-plan
+    /// machinery (results come back as `Sparse`).
+    fn lowered(&self) -> Synopsis {
+        match self {
+            Synopsis::Wavelet(w) => Synopsis::Sparse(w.reconstructed()),
+            Synopsis::Adaptive(a) => Synopsis::Sparse(a.as_sparse().clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// Must this operand be lowered to a plain sparse histogram before
+    /// a binary operation?
+    fn needs_lowering(&self) -> bool {
+        matches!(self, Synopsis::Wavelet(_) | Synopsis::Adaptive(_))
+    }
+
+    /// Bring two sparse histograms onto one grid: the finer is
+    /// coarsened to the coarser width (exact when the widths divide,
+    /// which holds for adaptive synopses sharing a base width).
+    fn harmonize(
+        a: crate::sparse::SparseHist,
+        b: crate::sparse::SparseHist,
+    ) -> DtResult<(crate::sparse::SparseHist, crate::sparse::SparseHist)> {
+        let (wa, wb) = (a.cell_width(), b.cell_width());
+        if wa == wb {
+            return Ok((a, b));
+        }
+        let (fine, coarse_w) = if wa < wb { (&a, wb) } else { (&b, wa) };
+        let fine_w = fine.cell_width();
+        if coarse_w % fine_w != 0 {
+            return Err(DtError::synopsis(format!(
+                "cannot harmonize grids of widths {fine_w} and {coarse_w}                  (not integer multiples)"
+            )));
+        }
+        let factor = coarse_w / fine_w;
+        if wa < wb {
+            let a2 = a.coarsen(factor)?;
+            Ok((a2, b))
+        } else {
+            let b2 = b.coarsen(factor)?;
+            Ok((a, b2))
+        }
+    }
+
+    /// π onto the given dimensions.
+    pub fn project(&self, keep: &[usize]) -> DtResult<Synopsis> {
+        Ok(match self {
+            Synopsis::Sparse(s) => Synopsis::Sparse(s.project(keep)?),
+            Synopsis::MHist(m) => Synopsis::MHist(m.project(keep)?),
+            Synopsis::Reservoir(r) => Synopsis::Reservoir(r.project(keep)?),
+            Synopsis::Wavelet(_) | Synopsis::Adaptive(_) => self.lowered().project(keep)?,
+        })
+    }
+
+    /// `UNION ALL`.
+    pub fn union_all(&self, other: &Synopsis) -> DtResult<Synopsis> {
+        if self.needs_lowering() || other.needs_lowering() {
+            return self.lowered().union_all(&other.lowered());
+        }
+        Ok(match (self, other) {
+            (Synopsis::Sparse(a), Synopsis::Sparse(b)) if a.cell_width() != b.cell_width() => {
+                let (a, b) = Self::harmonize(a.clone(), b.clone())?;
+                Synopsis::Sparse(a.union_all(&b)?)
+            }
+            (Synopsis::Sparse(a), Synopsis::Sparse(b)) => Synopsis::Sparse(a.union_all(b)?),
+            (Synopsis::MHist(a), Synopsis::MHist(b)) => Synopsis::MHist(a.union_all(b)?),
+            (Synopsis::Reservoir(a), Synopsis::Reservoir(b)) => {
+                Synopsis::Reservoir(a.union_all(b)?)
+            }
+            _ => return Err(Self::kind_mismatch("union_all", self, other)),
+        })
+    }
+
+    /// Equijoin on `self_dim = other_dim`.
+    pub fn equijoin(&self, self_dim: usize, other: &Synopsis, other_dim: usize) -> DtResult<Synopsis> {
+        if self.needs_lowering() || other.needs_lowering() {
+            return self.lowered().equijoin(self_dim, &other.lowered(), other_dim);
+        }
+        Ok(match (self, other) {
+            (Synopsis::Sparse(a), Synopsis::Sparse(b)) if a.cell_width() != b.cell_width() => {
+                let (a, b) = Self::harmonize(a.clone(), b.clone())?;
+                Synopsis::Sparse(a.equijoin(self_dim, &b, other_dim)?)
+            }
+            (Synopsis::Sparse(a), Synopsis::Sparse(b)) => {
+                Synopsis::Sparse(a.equijoin(self_dim, b, other_dim)?)
+            }
+            (Synopsis::MHist(a), Synopsis::MHist(b)) => {
+                Synopsis::MHist(a.equijoin(self_dim, b, other_dim)?)
+            }
+            (Synopsis::Reservoir(a), Synopsis::Reservoir(b)) => {
+                Synopsis::Reservoir(a.equijoin(self_dim, b, other_dim)?)
+            }
+            _ => return Err(Self::kind_mismatch("equijoin", self, other)),
+        })
+    }
+
+    /// Would this point be absorbed by existing synopsis structure
+    /// (occupied cell / covering bucket / duplicate sample row)? The
+    /// synergistic drop policy prefers such victims.
+    pub fn covers(&self, point: &[i64]) -> bool {
+        match self {
+            Synopsis::Sparse(s) => s.covers(point),
+            Synopsis::MHist(m) => m.covers(point),
+            Synopsis::Reservoir(r) => r.covers(point),
+            Synopsis::Wavelet(w) => w.covers(point),
+            Synopsis::Adaptive(a) => a.covers(point),
+        }
+    }
+
+    /// Cross product ×.
+    pub fn cross(&self, other: &Synopsis) -> DtResult<Synopsis> {
+        if self.needs_lowering() || other.needs_lowering() {
+            return self.lowered().cross(&other.lowered());
+        }
+        Ok(match (self, other) {
+            (Synopsis::Sparse(a), Synopsis::Sparse(b)) if a.cell_width() != b.cell_width() => {
+                let (a, b) = Self::harmonize(a.clone(), b.clone())?;
+                Synopsis::Sparse(a.cross(&b)?)
+            }
+            (Synopsis::Sparse(a), Synopsis::Sparse(b)) => Synopsis::Sparse(a.cross(b)?),
+            (Synopsis::MHist(a), Synopsis::MHist(b)) => Synopsis::MHist(a.cross(b)?),
+            (Synopsis::Reservoir(a), Synopsis::Reservoir(b)) => Synopsis::Reservoir(a.cross(b)?),
+            _ => return Err(Self::kind_mismatch("cross", self, other)),
+        })
+    }
+
+    /// σ on an inclusive integer range of one dimension.
+    pub fn select_range(&self, dim: usize, lo: i64, hi: i64) -> DtResult<Synopsis> {
+        Ok(match self {
+            Synopsis::Sparse(s) => Synopsis::Sparse(s.select_range(dim, lo, hi)?),
+            Synopsis::MHist(m) => Synopsis::MHist(m.select_range(dim, lo, hi)?),
+            Synopsis::Reservoir(r) => Synopsis::Reservoir(r.select_range(dim, lo, hi)?),
+            Synopsis::Wavelet(_) | Synopsis::Adaptive(_) => {
+                self.lowered().select_range(dim, lo, hi)?
+            }
+        })
+    }
+
+    /// Estimated `GROUP BY dim` + `COUNT(*)`.
+    pub fn group_counts(&self, dim: usize) -> DtResult<GroupEstimate> {
+        match self {
+            Synopsis::Sparse(s) => s.group_counts(dim),
+            Synopsis::MHist(m) => m.group_counts(dim),
+            Synopsis::Reservoir(r) => r.group_counts(dim),
+            Synopsis::Wavelet(_) | Synopsis::Adaptive(_) => self.lowered().group_counts(dim),
+        }
+    }
+
+    /// Estimated `GROUP BY group_dim` + `SUM(sum_dim)`.
+    pub fn group_sums(&self, group_dim: usize, sum_dim: usize) -> DtResult<GroupEstimate> {
+        match self {
+            Synopsis::Sparse(s) => s.group_sums(group_dim, sum_dim),
+            Synopsis::MHist(m) => m.group_sums(group_dim, sum_dim),
+            Synopsis::Reservoir(r) => r.group_sums(group_dim, sum_dim),
+            Synopsis::Wavelet(_) | Synopsis::Adaptive(_) => {
+                self.lowered().group_sums(group_dim, sum_dim)
+            }
+        }
+    }
+
+    /// Estimated `GROUP BY group_dim` + `AVG(avg_dim)` (sum/count,
+    /// groups with zero estimated count omitted).
+    pub fn group_avgs(&self, group_dim: usize, avg_dim: usize) -> DtResult<GroupEstimate> {
+        let counts = self.group_counts(group_dim)?;
+        let sums = self.group_sums(group_dim, avg_dim)?;
+        let mut out = GroupEstimate::new();
+        for (k, s) in sums {
+            if let Some(&c) = counts.get(&k) {
+                if c > 0.0 {
+                    out.insert(k, s / c);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn kind_mismatch(op: &str, a: &Synopsis, b: &Synopsis) -> DtError {
+        DtError::synopsis(format!(
+            "{op} requires matching synopsis kinds, got {} and {}",
+            a.kind_name(),
+            b.kind_name()
+        ))
+    }
+
+    /// Structure name, for error messages and labels.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Synopsis::Sparse(_) => "sparse",
+            Synopsis::MHist(_) => "mhist",
+            Synopsis::Reservoir(_) => "reservoir",
+            Synopsis::Wavelet(_) => "wavelet",
+            Synopsis::Adaptive(_) => "adaptive-sparse",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_configs() -> Vec<SynopsisConfig> {
+        vec![
+            SynopsisConfig::Sparse { cell_width: 1 },
+            SynopsisConfig::MHist {
+                max_buckets: 64,
+                alignment: None,
+            },
+            SynopsisConfig::MHist {
+                max_buckets: 64,
+                alignment: Some(10),
+            },
+            SynopsisConfig::Reservoir {
+                capacity: 1000,
+                seed: 7,
+            },
+            SynopsisConfig::Wavelet {
+                budget: 128,
+                domain: 128,
+            },
+            SynopsisConfig::AdaptiveSparse {
+                base_width: 1,
+                max_cells: 64,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_config_builds_and_counts() {
+        for cfg in all_configs() {
+            let mut s = cfg.build(1).unwrap();
+            for v in [1i64, 1, 2, 3] {
+                s.insert(&[v]).unwrap();
+            }
+            s.seal();
+            assert!((s.total_mass() - 4.0).abs() < 1e-9, "{}: {}", cfg.label(), s.total_mass());
+            assert!(!s.is_empty());
+            assert!(s.memory_units() > 0);
+        }
+    }
+
+    #[test]
+    fn every_config_joins_exactly_when_lossless() {
+        // With per-value resolution (w=1, enough buckets/capacity,
+        // alignment grid 1) the estimated join count matches the exact
+        // join for every structure.
+        let lossless_configs = vec![
+            SynopsisConfig::Sparse { cell_width: 1 },
+            SynopsisConfig::MHist {
+                max_buckets: 64,
+                alignment: None,
+            },
+            SynopsisConfig::MHist {
+                max_buckets: 64,
+                alignment: Some(1),
+            },
+            SynopsisConfig::Reservoir {
+                capacity: 1000,
+                seed: 7,
+            },
+            // Full coefficient budget = lossless reconstruction.
+            SynopsisConfig::Wavelet {
+                budget: 128,
+                domain: 128,
+            },
+            // Budget large enough that the grid never coarsens.
+            SynopsisConfig::AdaptiveSparse {
+                base_width: 1,
+                max_cells: 1000,
+            },
+        ];
+        for cfg in lossless_configs {
+            let mut a = cfg.build(1).unwrap();
+            let mut b = cfg.build(1).unwrap();
+            for v in [1i64, 1, 2] {
+                a.insert(&[v]).unwrap();
+            }
+            for v in [1i64, 3] {
+                b.insert(&[v]).unwrap();
+            }
+            a.seal();
+            b.seal();
+            let j = a.equijoin(0, &b, 0).unwrap();
+            assert!(
+                (j.total_mass() - 2.0).abs() < 1e-6,
+                "{}: {}",
+                cfg.label(),
+                j.total_mass()
+            );
+            let g = j.group_counts(0).unwrap();
+            assert!((g[&1] - 2.0).abs() < 1e-6, "{}", cfg.label());
+        }
+    }
+
+    #[test]
+    fn mixed_kind_binary_ops_error() {
+        let a = SynopsisConfig::Sparse { cell_width: 1 }.build(1).unwrap();
+        let b = SynopsisConfig::Reservoir {
+            capacity: 10,
+            seed: 0,
+        }
+        .build(1)
+        .unwrap();
+        assert!(a.union_all(&b).is_err());
+        assert!(a.equijoin(0, &b, 0).is_err());
+    }
+
+    #[test]
+    fn group_avgs_divide() {
+        let mut s = SynopsisConfig::Sparse { cell_width: 1 }.build(2).unwrap();
+        s.insert(&[5, 10]).unwrap();
+        s.insert(&[5, 20]).unwrap();
+        let avg = s.group_avgs(0, 1).unwrap();
+        assert!((avg[&5] - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(SynopsisConfig::default_sparse().label(), "sparse(w=10)");
+        assert_eq!(
+            SynopsisConfig::MHist {
+                max_buckets: 8,
+                alignment: Some(5)
+            }
+            .label(),
+            "mhist-aligned(b=8,g=5)"
+        );
+        assert_eq!(
+            SynopsisConfig::Reservoir {
+                capacity: 3,
+                seed: 0
+            }
+            .label(),
+            "reservoir(c=3)"
+        );
+        assert_eq!(
+            SynopsisConfig::Wavelet {
+                budget: 16,
+                domain: 128
+            }
+            .label(),
+            "wavelet(b=16,n=128)"
+        );
+        assert_eq!(
+            SynopsisConfig::AdaptiveSparse {
+                base_width: 1,
+                max_cells: 64
+            }
+            .label(),
+            "adaptive(w=1,cells=64)"
+        );
+    }
+
+    #[test]
+    fn adaptive_operands_harmonize_grids() {
+        // One synopsis coarsens under pressure, the other does not;
+        // union and join still work, at the coarser resolution.
+        let cfg = SynopsisConfig::AdaptiveSparse {
+            base_width: 1,
+            max_cells: 8,
+        };
+        let mut pressured = cfg.build(1).unwrap();
+        for v in 0..64 {
+            pressured.insert(&[v]).unwrap();
+        }
+        let mut light = cfg.build(1).unwrap();
+        for v in 0..4 {
+            light.insert(&[v]).unwrap();
+        }
+        let u = pressured.union_all(&light).unwrap();
+        assert!((u.total_mass() - 68.0).abs() < 1e-9);
+        let j = pressured.equijoin(0, &light, 0).unwrap();
+        assert!(j.total_mass() > 0.0);
+        // Harmonization failure: incompatible fixed widths.
+        let a = SynopsisConfig::Sparse { cell_width: 2 }.build(1).unwrap();
+        let b = SynopsisConfig::Sparse { cell_width: 3 }.build(1).unwrap();
+        assert!(a.union_all(&b).is_err());
+    }
+
+    #[test]
+    fn adaptive_bounds_memory_under_the_enum_api() {
+        let cfg = SynopsisConfig::AdaptiveSparse {
+            base_width: 1,
+            max_cells: 10,
+        };
+        let mut s = cfg.build(2).unwrap();
+        for x in 0..30 {
+            s.insert(&[x, x * 3 % 50]).unwrap();
+        }
+        s.seal();
+        assert!(s.memory_units() <= 10);
+        assert_eq!(s.total_mass(), 30.0);
+        assert_eq!(s.kind_name(), "adaptive-sparse");
+    }
+
+    #[test]
+    fn project_and_select_dispatch() {
+        for cfg in all_configs() {
+            let mut s = cfg.build(2).unwrap();
+            s.insert(&[1, 10]).unwrap();
+            s.insert(&[2, 20]).unwrap();
+            s.seal();
+            let p = s.project(&[0]).unwrap();
+            assert_eq!(p.dims(), 1, "{}", cfg.label());
+            let f = s.select_range(0, 2, 2).unwrap();
+            assert!(f.total_mass() <= 2.0);
+        }
+    }
+}

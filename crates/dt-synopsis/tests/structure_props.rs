@@ -1,0 +1,154 @@
+//! Structural property tests for the synopsis implementations:
+//! MAXDIFF bucket geometry, wavelet transform identities, adaptive
+//! budgets, and compression invariants — the internal guarantees the
+//! estimator correctness rests on.
+
+use dt_synopsis::{AdaptiveSparse, MHist, MHistConfig, SparseHist, WaveletSynopsis};
+use proptest::prelude::*;
+
+fn arb_points(dims: usize, domain: i64, max: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(prop::collection::vec(0..domain, dims), 1..=max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// MAXDIFF buckets never overlap and every point lies in exactly
+    /// one bucket; masses partition the input count.
+    #[test]
+    fn mhist_buckets_partition(
+        points in arb_points(2, 30, 60),
+        max_buckets in 1usize..20,
+    ) {
+        let mut h = MHist::new(2, MHistConfig::unaligned(max_buckets)).unwrap();
+        for p in &points {
+            h.insert(p).unwrap();
+        }
+        h.freeze();
+        let buckets = h.built_buckets().into_owned();
+        prop_assert!(buckets.len() <= max_buckets);
+        // Every point in exactly one bucket.
+        for p in &points {
+            let containing = buckets
+                .iter()
+                .filter(|b| {
+                    b.bounds
+                        .iter()
+                        .zip(p)
+                        .all(|(&(lo, hi), &v)| v >= lo && v < hi)
+                })
+                .count();
+            prop_assert_eq!(containing, 1, "point {:?}", p);
+        }
+        // Masses sum to the point count.
+        let mass: f64 = buckets.iter().map(|b| b.mass).sum();
+        prop_assert!((mass - points.len() as f64).abs() < 1e-9);
+        // Bounds are well-formed.
+        for b in &buckets {
+            for &(lo, hi) in &b.bounds {
+                prop_assert!(lo < hi);
+            }
+        }
+    }
+
+    /// Aligned MHIST interior boundaries land on the grid.
+    #[test]
+    fn aligned_mhist_boundaries_on_grid(
+        points in arb_points(1, 50, 60),
+        g in 2i64..8,
+    ) {
+        let mut h = MHist::new(1, MHistConfig::aligned(12, g)).unwrap();
+        for p in &points {
+            h.insert(p).unwrap();
+        }
+        h.freeze();
+        for b in h.built_buckets().iter() {
+            let (lo, hi) = b.bounds[0];
+            prop_assert_eq!(lo.rem_euclid(g), 0, "lo {} grid {}", lo, g);
+            prop_assert_eq!(hi.rem_euclid(g), 0, "hi {} grid {}", hi, g);
+        }
+    }
+
+    /// Compression preserves mass and respects the target for any
+    /// input.
+    #[test]
+    fn mhist_compress_invariants(
+        points in arb_points(1, 40, 50),
+        target in 1usize..10,
+    ) {
+        let mut h = MHist::new(1, MHistConfig::unaligned(16)).unwrap();
+        for p in &points {
+            h.insert(p).unwrap();
+        }
+        h.freeze();
+        let c = h.compress(target).unwrap();
+        prop_assert!(c.num_buckets() <= target);
+        prop_assert!((c.total_mass() - h.total_mass()).abs() < 1e-9);
+    }
+
+    /// The wavelet round-trips exactly at full budget, and conserves
+    /// (or clamps upward) mass at any budget.
+    #[test]
+    fn wavelet_mass_and_roundtrip(
+        points in arb_points(1, 32, 40),
+        budget in 1usize..40,
+    ) {
+        let mut w = WaveletSynopsis::new(1, 32, budget).unwrap();
+        for p in &points {
+            w.insert(p).unwrap();
+        }
+        w.freeze();
+        let n = points.len() as f64;
+        // DC coefficient retained ⇒ mass ≥ n − ε; clamping of negative
+        // ringing can only add.
+        prop_assert!(w.total_mass() >= n - 1e-6, "{} < {}", w.total_mass(), n);
+        // Full budget ⇒ exact per-value counts.
+        if budget >= 32 {
+            let grid = w.reconstructed();
+            let counts = grid.group_counts(0).unwrap();
+            let mut expected: std::collections::HashMap<i64, f64> = Default::default();
+            for p in &points {
+                *expected.entry(p[0]).or_default() += 1.0;
+            }
+            for (v, c) in expected {
+                prop_assert!((counts[&v] - c).abs() < 1e-6, "value {v}");
+            }
+        }
+    }
+
+    /// The adaptive histogram never exceeds its budget, conserves
+    /// mass, and its width stays a power-of-two multiple of the base.
+    #[test]
+    fn adaptive_budget_and_width_laws(
+        points in arb_points(2, 100, 80),
+        budget in 1usize..30,
+        base in 1i64..4,
+    ) {
+        let mut a = AdaptiveSparse::new(2, base, budget).unwrap();
+        for p in &points {
+            a.insert(p).unwrap();
+            prop_assert!(a.num_cells() <= budget);
+        }
+        prop_assert!((a.total_mass() - points.len() as f64).abs() < 1e-9);
+        let ratio = a.current_width() / base;
+        prop_assert_eq!(a.current_width() % base, 0);
+        prop_assert!(ratio.count_ones() == 1, "ratio {ratio} not a power of two");
+    }
+
+    /// Coarsening a sparse histogram k then m times equals coarsening
+    /// once by k·m.
+    #[test]
+    fn sparse_coarsen_composes(
+        points in arb_points(1, 64, 40),
+        k in 2i64..4,
+        m in 2i64..4,
+    ) {
+        let mut h = SparseHist::new(1, 1).unwrap();
+        for p in &points {
+            h.insert(p).unwrap();
+        }
+        let twice = h.coarsen(k).unwrap().coarsen(m).unwrap();
+        let once = h.coarsen(k * m).unwrap();
+        prop_assert_eq!(twice, once);
+    }
+}

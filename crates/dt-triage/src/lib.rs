@@ -1,0 +1,37 @@
+//! The Data Triage load-shedding layer — the paper's Figure 1,
+//! assembled.
+//!
+//! Components:
+//!
+//! * [`TriageQueue`] — the bounded queue between each data source and
+//!   the query engine. When it overflows, a [`DropPolicy`] chooses a
+//!   victim; in Data Triage mode the victim is folded into the current
+//!   window's *dropped* synopsis instead of vanishing.
+//! * [`ShedMode`] — the three load-shedding methodologies of §5.2.1,
+//!   sharing one codebase exactly as the paper prescribes:
+//!   `DropOnly` (victims discarded, no synopses), `SummarizeOnly`
+//!   (queue bypassed, *everything* synopsized, all processing
+//!   approximate), and `DataTriage` (the full architecture).
+//! * [`Pipeline`] — the virtual-clock simulation loop: arrivals →
+//!   triage queues → engine (at its cost-model service rate) → window
+//!   close → exact execution + shadow-query estimation → merge.
+//! * [`merge`] — combining exact per-group aggregates with the shadow
+//!   plan's estimates (the role the paper's web front-end played).
+
+pub mod merge;
+pub mod pipeline;
+pub mod policy;
+pub mod queue;
+pub mod reorder;
+pub mod shared;
+pub mod shed;
+
+pub use merge::{merge_window, MergedGroups};
+pub use pipeline::{
+    ExecStrategy, Pipeline, PipelineConfig, RunReport, RunTotals, WindowPayload, WindowResult,
+};
+pub use policy::DropPolicy;
+pub use reorder::ReorderBuffer;
+pub use shared::{SharedPipeline, SharedStream};
+pub use queue::TriageQueue;
+pub use shed::ShedMode;

@@ -1,0 +1,289 @@
+//! Merging exact window results with shadow-query estimates.
+//!
+//! The paper merges "the aggregates computed from a SQL GROUP BY
+//! statement with approximate aggregates computed from synopses" in
+//! its web front-end; this module is that logic as a library function.
+//!
+//! Merge rules per aggregate:
+//!
+//! * `COUNT`  — exact + estimated group count.
+//! * `SUM`    — exact + estimated group sum.
+//! * `AVG`    — re-weighted: `(exact·n + est_sum) / (n + est_count)`.
+//! * `MIN`/`MAX` — exact value only (a histogram could bound these by
+//!   bucket edges, but the paper does not attempt it and neither do
+//!   we; a group seen *only* in the estimate reports NaN for them).
+
+use std::collections::HashMap;
+
+use dt_engine::WindowOutput;
+use dt_query::{Aggregate, QueryPlan};
+use dt_rewrite::ShadowQuery;
+use dt_synopsis::{GroupEstimate, Synopsis};
+use dt_types::{DtError, DtResult, Row, Value};
+
+/// Final merged per-group aggregate values, in
+/// [`QueryPlan::aggregates`] order.
+pub type MergedGroups = HashMap<Row, Vec<f64>>;
+
+/// Estimated masses below this threshold are treated as zero (they
+/// arise from floating-point dust in histogram arithmetic).
+const MASS_EPSILON: f64 = 1e-9;
+
+/// Merge one window's exact grouped output with the shadow plan's
+/// estimate of the lost results.
+///
+/// `estimate == None` (drop-only mode) returns the exact values
+/// unchanged. Estimation supports zero or one GROUP BY column (the
+/// paper's workload); multi-column grouping with an estimate is
+/// rejected.
+pub fn merge_window(
+    plan: &QueryPlan,
+    shadow: &ShadowQuery,
+    exact: &WindowOutput,
+    estimate: Option<&Synopsis>,
+) -> DtResult<MergedGroups> {
+    let exact_groups = exact
+        .groups()
+        .ok_or_else(|| DtError::engine("merge_window requires an aggregating query"))?;
+
+    // Fast path: no estimate to fold in.
+    let Some(est) = estimate else {
+        return Ok(exact_groups
+            .iter()
+            .map(|(k, v)| (k.clone(), v.iter().map(|a| a.value).collect()))
+            .collect());
+    };
+
+    if plan.group_by.len() > 1 {
+        return Err(DtError::engine(
+            "shadow estimation supports at most one GROUP BY column",
+        ));
+    }
+
+    // Per-group estimated counts (and, lazily, sums per aggregate).
+    let group_dim = plan.group_by.first().map(|&col| shadow.column_dims[col]);
+    let est_counts: GroupEstimate = match group_dim {
+        Some(d) => est.group_counts(d)?,
+        None => {
+            let mut m = GroupEstimate::new();
+            m.insert(0, est.total_mass());
+            m
+        }
+    };
+    let est_sums_for = |arg: usize| -> DtResult<GroupEstimate> {
+        let sum_dim = shadow.column_dims[arg];
+        match group_dim {
+            Some(d) => est.group_sums(d, sum_dim),
+            None => {
+                // Global sum: group on the sum dim itself, then total.
+                let per_value = est.group_counts(sum_dim)?;
+                let total: f64 = per_value.iter().map(|(v, m)| *v as f64 * m).sum();
+                let mut m = GroupEstimate::new();
+                m.insert(0, total);
+                Ok(m)
+            }
+        }
+    };
+    // Pre-compute sums per distinct aggregate argument.
+    let mut sums_cache: HashMap<usize, GroupEstimate> = HashMap::new();
+    for agg in &plan.aggregates {
+        if matches!(agg.func, Aggregate::Sum | Aggregate::Avg) {
+            if let Some(arg) = agg.arg {
+                if let std::collections::hash_map::Entry::Vacant(e) = sums_cache.entry(arg) {
+                    e.insert(est_sums_for(arg)?);
+                }
+            }
+        }
+    }
+
+    // The union of group keys: exact ∪ estimated.
+    let key_of = |v: i64| -> Row {
+        match group_dim {
+            Some(_) => Row::new(vec![Value::Int(v)]),
+            None => Row::new(vec![]),
+        }
+    };
+    let mut keys: Vec<Row> = exact_groups.keys().cloned().collect();
+    for (&v, &mass) in &est_counts {
+        if mass > MASS_EPSILON {
+            let k = key_of(v);
+            if !exact_groups.contains_key(&k) {
+                keys.push(k);
+            }
+        }
+    }
+
+    // The integer group value for a key (None for the global group).
+    let group_value = |key: &Row| -> DtResult<Option<i64>> {
+        match group_dim {
+            None => Ok(None),
+            Some(_) => {
+                let v = key
+                    .get(0)
+                    .and_then(Value::as_i64)
+                    .ok_or_else(|| {
+                        DtError::engine("estimated GROUP BY column must be an integer")
+                    })?;
+                Ok(Some(v))
+            }
+        }
+    };
+
+    let mut merged = MergedGroups::with_capacity(keys.len());
+    for key in keys {
+        let gv = group_value(&key)?.unwrap_or(0);
+        let e_count = est_counts.get(&gv).copied().unwrap_or(0.0).max(0.0);
+        let exact_aggs = exact_groups.get(&key);
+        let mut vals = Vec::with_capacity(plan.aggregates.len());
+        for (i, agg) in plan.aggregates.iter().enumerate() {
+            let (x_val, x_n) = exact_aggs
+                .map(|a| (a[i].value, a[i].n))
+                .unwrap_or((f64::NAN, 0));
+            let x_val0 = if x_n == 0 { 0.0 } else { x_val };
+            let v = match agg.func {
+                Aggregate::Count => x_val0 + e_count,
+                Aggregate::Sum => {
+                    let e_sum = agg
+                        .arg
+                        .and_then(|arg| sums_cache.get(&arg))
+                        .and_then(|m| m.get(&gv))
+                        .copied()
+                        .unwrap_or(0.0);
+                    x_val0 + e_sum
+                }
+                Aggregate::Avg => {
+                    let e_sum = agg
+                        .arg
+                        .and_then(|arg| sums_cache.get(&arg))
+                        .and_then(|m| m.get(&gv))
+                        .copied()
+                        .unwrap_or(0.0);
+                    let denom = x_n as f64 + e_count;
+                    if denom <= MASS_EPSILON {
+                        f64::NAN
+                    } else {
+                        (x_val0 * x_n as f64 + e_sum) / denom
+                    }
+                }
+                // MIN/MAX: exact only (NaN for estimate-only groups).
+                Aggregate::Min | Aggregate::Max => x_val,
+            };
+            vals.push(v);
+        }
+        merged.insert(key, vals);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_engine::execute_window;
+    use dt_query::{parse_select, Catalog, Planner};
+    use dt_rewrite::rewrite_dropped;
+    use dt_synopsis::SynopsisConfig;
+    use dt_types::{DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_stream(
+            "S",
+            Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+        );
+        c
+    }
+
+    fn setup(sql: &str) -> (QueryPlan, ShadowQuery) {
+        let plan = Planner::new(&catalog())
+            .plan(&parse_select(sql).unwrap())
+            .unwrap();
+        let shadow = rewrite_dropped(&plan).unwrap();
+        (plan, shadow)
+    }
+
+    fn syn(points: &[&[i64]]) -> Synopsis {
+        let mut s = SynopsisConfig::Sparse { cell_width: 1 }.build(2).unwrap();
+        for p in points {
+            s.insert(p).unwrap();
+        }
+        s.seal();
+        s
+    }
+
+    fn rows(data: &[&[i64]]) -> Vec<Row> {
+        data.iter().map(|r| Row::from_ints(r)).collect()
+    }
+
+    #[test]
+    fn count_merges_additively() {
+        let (plan, shadow) = setup("SELECT b, COUNT(*) FROM S GROUP BY b");
+        // Exact: b=1 ×2. Estimate (dropped): b=1 ×1, b=2 ×3.
+        let exact = execute_window(&plan, &[rows(&[&[1, 10], &[1, 20]])]).unwrap();
+        let est = syn(&[&[1, 30], &[2, 1], &[2, 2], &[2, 3]]);
+        let merged = merge_window(&plan, &shadow, &exact, Some(&est)).unwrap();
+        assert_eq!(merged[&Row::from_ints(&[1])], vec![3.0]);
+        assert_eq!(merged[&Row::from_ints(&[2])], vec![3.0]);
+    }
+
+    #[test]
+    fn without_estimate_returns_exact() {
+        let (plan, shadow) = setup("SELECT b, COUNT(*) FROM S GROUP BY b");
+        let exact = execute_window(&plan, &[rows(&[&[1, 10]])]).unwrap();
+        let merged = merge_window(&plan, &shadow, &exact, None).unwrap();
+        assert_eq!(merged[&Row::from_ints(&[1])], vec![1.0]);
+        assert_eq!(merged.len(), 1);
+    }
+
+    #[test]
+    fn sum_and_avg_merge() {
+        let (plan, shadow) = setup("SELECT b, SUM(c), AVG(c) FROM S GROUP BY b");
+        // Exact: b=1 rows c=10,20 => sum 30, avg 15, n=2.
+        let exact = execute_window(&plan, &[rows(&[&[1, 10], &[1, 20]])]).unwrap();
+        // Estimate: b=1 one dropped row with c=60.
+        let est = syn(&[&[1, 60]]);
+        let merged = merge_window(&plan, &shadow, &exact, Some(&est)).unwrap();
+        let v = &merged[&Row::from_ints(&[1])];
+        assert!((v[0] - 90.0).abs() < 1e-9, "sum {}", v[0]);
+        assert!((v[1] - 30.0).abs() < 1e-9, "avg {}", v[1]);
+    }
+
+    #[test]
+    fn estimate_only_groups_appear() {
+        let (plan, shadow) = setup("SELECT b, COUNT(*), MIN(c) FROM S GROUP BY b");
+        let exact = execute_window(&plan, &[vec![]]).unwrap();
+        let est = syn(&[&[7, 1], &[7, 2]]);
+        let merged = merge_window(&plan, &shadow, &exact, Some(&est)).unwrap();
+        let v = &merged[&Row::from_ints(&[7])];
+        assert_eq!(v[0], 2.0);
+        assert!(v[1].is_nan(), "MIN of an estimate-only group is NaN");
+    }
+
+    #[test]
+    fn global_aggregate_merges_total_mass() {
+        let (plan, shadow) = setup("SELECT COUNT(*), SUM(c) FROM S");
+        let exact = execute_window(&plan, &[rows(&[&[1, 10]])]).unwrap();
+        let est = syn(&[&[2, 5], &[3, 7]]);
+        let merged = merge_window(&plan, &shadow, &exact, Some(&est)).unwrap();
+        let v = &merged[&Row::new(vec![])];
+        assert_eq!(v[0], 3.0);
+        assert!((v[1] - 22.0).abs() < 1e-9, "sum {}", v[1]);
+    }
+
+    #[test]
+    fn min_max_stay_exact() {
+        let (plan, shadow) = setup("SELECT b, MIN(c), MAX(c) FROM S GROUP BY b");
+        let exact = execute_window(&plan, &[rows(&[&[1, 10], &[1, 30]])]).unwrap();
+        let est = syn(&[&[1, 999]]);
+        let merged = merge_window(&plan, &shadow, &exact, Some(&est)).unwrap();
+        let v = &merged[&Row::from_ints(&[1])];
+        assert_eq!(v[0], 10.0);
+        assert_eq!(v[1], 30.0);
+    }
+
+    #[test]
+    fn non_aggregating_query_rejected() {
+        let (plan, shadow) = setup("SELECT b FROM S");
+        let exact = execute_window(&plan, &[rows(&[&[1, 2]])]).unwrap();
+        assert!(merge_window(&plan, &shadow, &exact, None).is_err());
+    }
+}

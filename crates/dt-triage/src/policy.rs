@@ -1,0 +1,58 @@
+//! Victim-selection (drop) policies.
+
+use serde::{Deserialize, Serialize};
+
+/// How a full triage queue chooses which tuple to shed.
+///
+/// The paper's current build uses [`DropPolicy::Random`]; §8.1
+/// sketches the design space this enum fills out, including the
+/// "synergistic" policy that prefers victims the synopsis can absorb
+/// at zero marginal cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DropPolicy {
+    /// A victim uniformly at random from the buffered tuples (the
+    /// paper's default).
+    Random,
+    /// Drop the oldest buffered tuple.
+    Front,
+    /// Drop the incoming tuple itself.
+    Newest,
+    /// Prefer a buffered victim whose row lands in an
+    /// already-occupied region of the dropped-tuple synopsis
+    /// (paper §8.1's "synergistic" policy); falls back to random.
+    Synergistic,
+}
+
+impl DropPolicy {
+    /// Short label for experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropPolicy::Random => "random",
+            DropPolicy::Front => "front",
+            DropPolicy::Newest => "newest",
+            DropPolicy::Synergistic => "synergistic",
+        }
+    }
+
+    /// All policies, for ablation sweeps.
+    pub fn all() -> [DropPolicy; 4] {
+        [
+            DropPolicy::Random,
+            DropPolicy::Front,
+            DropPolicy::Newest,
+            DropPolicy::Synergistic,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<&str> =
+            DropPolicy::all().iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,263 @@
+//! Bounded out-of-order absorption.
+//!
+//! The pipeline requires time-ordered arrivals (its window-close
+//! barrier reasons about the oldest possible pending timestamp). Real
+//! feeds are rarely perfectly ordered; TelegraphCQ's wrappers absorbed
+//! small disorder before tuples reached the engine. [`ReorderBuffer`]
+//! provides the same service: it holds arrivals in a min-heap and
+//! releases them in timestamp order once they are older than the
+//! newest timestamp seen minus a configured *disorder bound*. Tuples
+//! arriving later than the bound allows (i.e. older than something
+//! already released) are rejected individually, keeping the output
+//! stream ordered.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dt_types::{DtError, DtResult, Timestamp, Tuple, VDuration};
+
+/// A min-heap entry ordered by timestamp, tie-broken by insertion
+/// sequence so equal-timestamp tuples keep arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    ts: Timestamp,
+    seq: u64,
+    stream: usize,
+    tuple: Tuple,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ts, self.seq).cmp(&(other.ts, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Absorbs out-of-order arrivals up to a disorder bound, emitting a
+/// time-ordered stream.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    bound: VDuration,
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+    /// Highest timestamp ever offered.
+    high_water: Timestamp,
+    /// Timestamp of the last released tuple.
+    released_up_to: Timestamp,
+    /// Arrivals rejected as too late.
+    late_dropped: u64,
+}
+
+impl ReorderBuffer {
+    /// A buffer absorbing disorder up to `bound` (a tuple may arrive
+    /// up to `bound` later than any newer-stamped tuple).
+    pub fn new(bound: VDuration) -> Self {
+        ReorderBuffer {
+            bound,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            high_water: Timestamp::ZERO,
+            released_up_to: Timestamp::ZERO,
+            late_dropped: 0,
+        }
+    }
+
+    /// Buffered arrivals not yet released.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Arrivals rejected because they were older than the disorder
+    /// bound allows.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// Offer one (possibly out-of-order) arrival and collect every
+    /// arrival that is now safe to release, in timestamp order.
+    ///
+    /// A tuple older than the last *released* timestamp cannot be
+    /// emitted without breaking order; it is counted in
+    /// [`ReorderBuffer::late_dropped`] and reported as an error so the
+    /// caller can decide (a production wrapper might route it to a
+    /// dead-letter stream — the Data Triage answer would be to
+    /// synopsize it).
+    pub fn offer(&mut self, stream: usize, tuple: Tuple) -> DtResult<Vec<(usize, Tuple)>> {
+        if tuple.ts < self.released_up_to {
+            self.late_dropped += 1;
+            return Err(DtError::config(format!(
+                "arrival at {} is older than the released watermark {} \
+                 (disorder bound {} exceeded)",
+                tuple.ts, self.released_up_to, self.bound
+            )));
+        }
+        self.high_water = self.high_water.max(tuple.ts);
+        self.heap.push(Reverse(Entry {
+            ts: tuple.ts,
+            seq: self.seq,
+            stream,
+            tuple,
+        }));
+        self.seq += 1;
+        // Watermark: nothing older than (newest − bound) can still be
+        // waiting without violating the bound.
+        let watermark =
+            Timestamp::from_micros(self.high_water.micros().saturating_sub(self.bound.micros()));
+        Ok(self.release(watermark))
+    }
+
+    /// Flush everything still buffered, in order.
+    pub fn drain(&mut self) -> Vec<(usize, Tuple)> {
+        self.release_all()
+    }
+
+    /// Release every buffered arrival with `ts <= watermark`.
+    fn release(&mut self, watermark: Timestamp) -> Vec<(usize, Tuple)> {
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.ts > watermark {
+                break;
+            }
+            let Reverse(e) = self.heap.pop().expect("peeked");
+            self.released_up_to = e.ts;
+            out.push((e.stream, e.tuple));
+        }
+        out
+    }
+
+    fn release_all(&mut self) -> Vec<(usize, Tuple)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(Reverse(e)) = self.heap.pop() {
+            self.released_up_to = e.ts;
+            out.push((e.stream, e.tuple));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_types::Row;
+
+    fn tup(v: i64, us: u64) -> Tuple {
+        Tuple::new(Row::from_ints(&[v]), Timestamp::from_micros(us))
+    }
+
+    fn offer_all(
+        buf: &mut ReorderBuffer,
+        arrivals: &[(usize, u64)],
+    ) -> (Vec<(usize, Tuple)>, u64) {
+        let mut out = Vec::new();
+        let mut rejected = 0;
+        for &(s, us) in arrivals {
+            match buf.offer(s, tup(us as i64, us)) {
+                Ok(mut released) => out.append(&mut released),
+                Err(_) => rejected += 1,
+            }
+        }
+        out.append(&mut buf.drain());
+        (out, rejected)
+    }
+
+    #[test]
+    fn reorders_within_bound() {
+        let mut buf = ReorderBuffer::new(VDuration::from_millis(10));
+        let arrivals = [(0, 5_000u64), (0, 1_000), (0, 9_000), (0, 3_000), (0, 12_000)];
+        let (out, rejected) = offer_all(&mut buf, &arrivals);
+        assert_eq!(rejected, 0);
+        let ts: Vec<u64> = out.iter().map(|(_, t)| t.ts.micros()).collect();
+        assert_eq!(ts, vec![1_000, 3_000, 5_000, 9_000, 12_000]);
+    }
+
+    #[test]
+    fn releases_eagerly_behind_watermark() {
+        let mut buf = ReorderBuffer::new(VDuration::from_millis(1));
+        // At 5ms the watermark is 4ms: the 1ms tuple is released.
+        buf.offer(0, tup(1, 1_000)).unwrap();
+        let released = buf.offer(0, tup(5, 5_000)).unwrap();
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].1.ts, Timestamp::from_micros(1_000));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn rejects_tuples_older_than_released_watermark() {
+        let mut buf = ReorderBuffer::new(VDuration::from_millis(1));
+        buf.offer(0, tup(1, 1_000)).unwrap();
+        buf.offer(0, tup(9, 9_000)).unwrap(); // releases the 1ms tuple
+        // A 500µs tuple is now unreleasable in order.
+        assert!(buf.offer(0, tup(0, 500)).is_err());
+        assert_eq!(buf.late_dropped(), 1);
+        // But a tuple inside the bound is fine.
+        assert!(buf.offer(0, tup(8, 8_500)).is_ok());
+    }
+
+    #[test]
+    fn equal_timestamps_keep_arrival_order() {
+        let mut buf = ReorderBuffer::new(VDuration::from_millis(10));
+        buf.offer(0, tup(1, 5_000)).unwrap();
+        buf.offer(1, tup(2, 5_000)).unwrap();
+        buf.offer(0, tup(3, 5_000)).unwrap();
+        let out = buf.drain();
+        let vals: Vec<i64> = out.iter().map(|(_, t)| t.row[0].as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut buf = ReorderBuffer::new(VDuration::from_millis(10));
+        buf.offer(0, tup(1, 1_000)).unwrap();
+        assert!(!buf.is_empty());
+        assert_eq!(buf.drain().len(), 1);
+        assert!(buf.is_empty());
+        assert!(buf.drain().is_empty());
+    }
+
+    #[test]
+    fn feeds_a_pipeline_in_valid_order() {
+        use crate::{Pipeline, PipelineConfig, ShedMode};
+        use dt_query::{parse_select, Catalog, Planner};
+        use dt_synopsis::SynopsisConfig;
+        use dt_types::{DataType, Schema};
+
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        let plan = Planner::new(&c)
+            .plan(&parse_select("SELECT a, COUNT(*) FROM R GROUP BY a").unwrap())
+            .unwrap();
+        let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+        cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+        let mut pipeline = Pipeline::new(plan, cfg).unwrap();
+
+        // Jittered arrivals: each up to 2ms out of order.
+        let mut buf = ReorderBuffer::new(VDuration::from_millis(2));
+        let mut fed = 0u64;
+        for i in 0..200u64 {
+            let base = 1_000 * (i + 1);
+            let jitter = if i % 3 == 0 { 1_500 } else { 0 };
+            let ts = base + jitter;
+            for (s, t) in buf.offer(0, tup((i % 5) as i64, ts)).unwrap() {
+                pipeline.offer(s, t).unwrap();
+                fed += 1;
+            }
+        }
+        for (s, t) in buf.drain() {
+            pipeline.offer(s, t).unwrap();
+            fed += 1;
+        }
+        assert_eq!(fed, 200);
+        let report = pipeline.finish().unwrap();
+        assert_eq!(report.totals.arrived, 200);
+    }
+}

@@ -1,0 +1,687 @@
+//! Multi-query shared processing (paper §8.1).
+//!
+//! "An ambitious aspect of TelegraphCQ is its support for sharing
+//! processing across multiple continuous queries … we have not
+//! explored the possibility of sharing synopses of the dropped tuples
+//! across queries." This module explores exactly that: a
+//! [`SharedPipeline`] runs any number of planned queries over one set
+//! of *physical* streams with
+//!
+//! * **one triage queue per physical stream** (a tuple is queued,
+//!   shed, or delivered once, for all queries),
+//! * **one kept/dropped synopsis pair per physical stream per
+//!   window**, shared by every query's shadow plan, and
+//! * **one engine pull per tuple** — the shared-scan discipline of
+//!   TelegraphCQ, so adding a query does not multiply ingest cost.
+//!
+//! Queries may alias the same stream several times (self-joins); all
+//! aliases read the same shared rows and the same shared synopses.
+//!
+//! The single-query [`crate::Pipeline`] is a thin facade over this
+//! type.
+
+use std::collections::BTreeMap;
+
+use dt_engine::{execute_window, IncrementalWindow, WindowBuffers, WindowOutput};
+use dt_query::QueryPlan;
+use dt_rewrite::{evaluate, rewrite_dropped, ShadowQuery};
+use dt_synopsis::Synopsis;
+use dt_types::{DtError, DtResult, Row, Schema, Timestamp, Tuple, WindowId, WindowSpec};
+
+use crate::merge::merge_window;
+use crate::pipeline::{
+    ExecStrategy, PipelineConfig, RunReport, RunTotals, WindowPayload, WindowResult,
+};
+use crate::policy::DropPolicy;
+use crate::queue::TriageQueue;
+use crate::shed::ShedMode;
+
+/// One physical stream shared by the registered queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedStream {
+    /// Catalog stream name.
+    pub name: String,
+    /// The stream's (unqualified) schema.
+    pub schema: Schema,
+}
+
+/// Per-query runtime state.
+#[derive(Debug, Clone)]
+struct QueryRuntime {
+    plan: QueryPlan,
+    shadow: Option<ShadowQuery>,
+    /// Plan FROM-position → shared stream index.
+    stream_map: Vec<usize>,
+}
+
+/// Per-stream kept/dropped synopses for one window.
+#[derive(Debug, Clone)]
+struct SynPair {
+    kept: Synopsis,
+    dropped: Synopsis,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct WinStats {
+    arrived: u64,
+    kept: u64,
+    dropped: u64,
+}
+
+/// The multi-query pipeline. See the module docs.
+pub struct SharedPipeline {
+    streams: Vec<SharedStream>,
+    queries: Vec<QueryRuntime>,
+    cfg: PipelineConfig,
+    spec: WindowSpec,
+    queues: Vec<TriageQueue>,
+    buffers: WindowBuffers,
+    syns: BTreeMap<WindowId, Vec<SynPair>>,
+    /// Incremental execution state: per window, one
+    /// [`IncrementalWindow`] per query (only under
+    /// [`ExecStrategy::Incremental`]).
+    inc: BTreeMap<WindowId, Vec<IncrementalWindow>>,
+    stats: BTreeMap<WindowId, WinStats>,
+    engine_free_at: Timestamp,
+    now: Timestamp,
+    /// `results[q]` collects query `q`'s windows.
+    results: Vec<Vec<WindowResult>>,
+    totals: RunTotals,
+}
+
+impl SharedPipeline {
+    /// Build a shared pipeline over one or more planned queries.
+    ///
+    /// Physical streams are derived from the plans' catalog stream
+    /// names, in first-appearance order; queries referencing the same
+    /// stream name share its queue, buffers, and synopses. All streams
+    /// of all queries must use one window width; synopsis modes
+    /// additionally require integer columns and rewritable queries.
+    pub fn new(plans: Vec<QueryPlan>, cfg: PipelineConfig) -> DtResult<Self> {
+        if plans.is_empty() {
+            return Err(DtError::config("shared pipeline needs at least one query"));
+        }
+        // Discover shared streams and the single window width.
+        let spec = plans[0].streams[0].window;
+        let mut streams: Vec<SharedStream> = Vec::new();
+        let mut queries = Vec::with_capacity(plans.len());
+        for plan in plans {
+            if plan.streams.is_empty() {
+                return Err(DtError::config("query has no streams"));
+            }
+            let mut stream_map = Vec::with_capacity(plan.streams.len());
+            for binding in &plan.streams {
+                if binding.window != spec {
+                    return Err(DtError::config(
+                        "all queries must share one window width",
+                    ));
+                }
+                // Physical identity is the catalog stream name.
+                let unqualified = Schema::new(
+                    binding
+                        .schema
+                        .fields()
+                        .iter()
+                        .map(|f| dt_types::Field::new(f.name.clone(), f.ty))
+                        .collect(),
+                );
+                let idx = match streams.iter().position(|s| s.name == binding.stream) {
+                    Some(i) => {
+                        if streams[i].schema != unqualified {
+                            return Err(DtError::config(format!(
+                                "stream '{}' bound with conflicting schemas",
+                                binding.stream
+                            )));
+                        }
+                        i
+                    }
+                    None => {
+                        streams.push(SharedStream {
+                            name: binding.stream.clone(),
+                            schema: unqualified,
+                        });
+                        streams.len() - 1
+                    }
+                };
+                stream_map.push(idx);
+            }
+            let shadow = if cfg.mode.uses_synopses() {
+                for s in &plan.streams {
+                    for f in s.schema.fields() {
+                        if f.ty != dt_types::DataType::Int {
+                            return Err(DtError::config(format!(
+                                "synopsis modes require integer columns; {} is {}",
+                                f.qualified_name(),
+                                f.ty
+                            )));
+                        }
+                    }
+                }
+                if plan.group_by.len() > 1 && plan.is_aggregating() {
+                    // merge_window would reject this at the first
+                    // window close; fail fast instead.
+                    return Err(DtError::config(
+                        "synopsis modes support at most one GROUP BY column",
+                    ));
+                }
+                Some(rewrite_dropped(&plan)?)
+            } else {
+                None
+            };
+            queries.push(QueryRuntime {
+                plan,
+                shadow,
+                stream_map,
+            });
+        }
+
+        let n = streams.len();
+        let queues = (0..n)
+            .map(|i| {
+                TriageQueue::new(
+                    cfg.queue_capacity,
+                    cfg.policy,
+                    cfg.seed
+                        .wrapping_add(i as u64)
+                        .wrapping_mul(0x9E3779B97F4A7C15),
+                )
+            })
+            .collect::<DtResult<Vec<_>>>()?;
+        let num_queries = queries.len();
+        Ok(SharedPipeline {
+            buffers: WindowBuffers::new(n, spec),
+            queues,
+            streams,
+            queries,
+            spec,
+            cfg,
+            syns: BTreeMap::new(),
+            inc: BTreeMap::new(),
+            stats: BTreeMap::new(),
+            engine_free_at: Timestamp::ZERO,
+            now: Timestamp::ZERO,
+            results: vec![Vec::new(); num_queries],
+            totals: RunTotals::default(),
+        })
+    }
+
+    /// The shared physical streams, in index order.
+    pub fn streams(&self) -> &[SharedStream] {
+        &self.streams
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Query `q`'s plan.
+    pub fn plan(&self, q: usize) -> Option<&QueryPlan> {
+        self.queries.get(q).map(|r| &r.plan)
+    }
+
+    /// Query `q`'s shadow query, when the mode uses one.
+    pub fn shadow(&self, q: usize) -> Option<&ShadowQuery> {
+        self.queries.get(q).and_then(|r| r.shadow.as_ref())
+    }
+
+    /// Feed one arrival on a *shared* stream (index into
+    /// [`SharedPipeline::streams`]). Arrivals must be time-ordered.
+    pub fn offer(&mut self, stream: usize, tuple: Tuple) -> DtResult<()> {
+        if stream >= self.queues.len() {
+            return Err(DtError::config(format!("unknown shared stream {stream}")));
+        }
+        if tuple.ts < self.now {
+            return Err(DtError::config(format!(
+                "arrivals must be time-ordered: {} after {}",
+                tuple.ts, self.now
+            )));
+        }
+        if tuple.arity() != self.streams[stream].schema.arity() {
+            return Err(DtError::schema(format!(
+                "tuple arity {} does not match stream '{}' arity {}",
+                tuple.arity(),
+                self.streams[stream].name,
+                self.streams[stream].schema.arity()
+            )));
+        }
+        self.now = tuple.ts;
+        if self.cfg.mode.uses_engine() {
+            self.drain_engine(self.now)?;
+        }
+
+        // A tuple belongs to every window containing its timestamp
+        // (one for tumbling specs, several for hopping ones).
+        for w in self.spec.windows_of(tuple.ts) {
+            self.stats.entry(w).or_default().arrived += 1;
+        }
+        self.totals.arrived += 1;
+
+        match self.cfg.mode {
+            ShedMode::SummarizeOnly => {
+                let point = row_point(&tuple.row)?;
+                for w in self.spec.windows_of(tuple.ts) {
+                    self.syn_pair(w, stream)?.dropped.insert(&point)?;
+                    self.stats.entry(w).or_default().dropped += 1;
+                }
+                self.totals.dropped += 1;
+            }
+            ShedMode::DropOnly | ShedMode::DataTriage => {
+                let dropped_syn = if self.cfg.policy == DropPolicy::Synergistic
+                    && self.cfg.mode.uses_synopses()
+                {
+                    // The synergy heuristic consults the latest window.
+                    let w = self.spec.window_of(tuple.ts);
+                    self.syns.get(&w).map(|pairs| &pairs[stream].dropped)
+                } else {
+                    None
+                };
+                let victim = self.queues[stream].push(tuple, dropped_syn);
+                if let Some(v) = victim {
+                    let point = if self.cfg.mode == ShedMode::DataTriage {
+                        Some(row_point(&v.row)?)
+                    } else {
+                        None
+                    };
+                    for vw in self.spec.windows_of(v.ts) {
+                        self.stats.entry(vw).or_default().dropped += 1;
+                        if let Some(p) = &point {
+                            self.syn_pair(vw, stream)?.dropped.insert(p)?;
+                        }
+                    }
+                    self.totals.dropped += 1;
+                }
+            }
+        }
+
+        self.close_ready_windows()?;
+        Ok(())
+    }
+
+    /// Drain queues and close every remaining window; returns one
+    /// report per registered query (same order as registration).
+    pub fn finish(mut self) -> DtResult<Vec<RunReport>> {
+        if self.cfg.mode.uses_engine() {
+            self.drain_engine(Timestamp::from_micros(u64::MAX / 2))?;
+            self.now = self.now.max(self.engine_free_at);
+        }
+        let remaining: Vec<WindowId> = self.stats.keys().copied().collect();
+        for w in remaining {
+            self.close_window(w)?;
+        }
+        let spec = self.spec;
+        let totals = self.totals.clone();
+        Ok(self
+            .results
+            .into_iter()
+            .map(|mut windows| {
+                windows.sort_by_key(|r| r.window);
+                RunReport {
+                    windows,
+                    totals: totals.clone(),
+                    window_spec: spec,
+                }
+            })
+            .collect())
+    }
+
+    /// Simulate all engine activity strictly before `until`. One pull
+    /// serves every query (shared scan).
+    fn drain_engine(&mut self, until: Timestamp) -> DtResult<()> {
+        while let Some((qi, head_ts)) = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.head_ts().map(|t| (i, t)))
+            .min_by_key(|&(_, t)| t)
+        {
+            let start = self.engine_free_at.max(head_ts);
+            if start >= until {
+                break;
+            }
+            let tuple = self.queues[qi].pop().expect("nonempty queue");
+            let mut busy = self.cfg.cost.service_time;
+            if self.cfg.mode == ShedMode::DataTriage {
+                busy += self.cfg.cost.synopsis_insert_time;
+                let point = row_point(&tuple.row)?;
+                for w in self.spec.windows_of(tuple.ts) {
+                    self.syn_pair(w, qi)?.kept.insert(&point)?;
+                }
+            }
+            self.engine_free_at = start + busy;
+            for w in self.spec.windows_of(tuple.ts) {
+                self.stats.entry(w).or_default().kept += 1;
+            }
+            self.totals.kept += 1;
+            match self.cfg.execution {
+                ExecStrategy::Batch => self.buffers.push(qi, tuple)?,
+                ExecStrategy::Incremental => {
+                    for w in self.spec.windows_of(tuple.ts) {
+                        let states = match self.inc.get_mut(&w) {
+                            Some(s) => s,
+                            None => {
+                                let fresh = self
+                                    .queries
+                                    .iter()
+                                    .map(|q| IncrementalWindow::new(q.plan.clone()))
+                                    .collect::<DtResult<Vec<_>>>()?;
+                                self.inc.entry(w).or_insert(fresh)
+                            }
+                        };
+                        for (q, state) in self.queries.iter().zip(states.iter_mut()) {
+                            // A shared tuple feeds every FROM position
+                            // bound to this physical stream (self-joins
+                            // read it on both sides).
+                            for (pos, &si) in q.stream_map.iter().enumerate() {
+                                if si == qi {
+                                    state.insert(pos, tuple.row.clone())?;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn close_ready_windows(&mut self) -> DtResult<()> {
+        let queue_min = self
+            .queues
+            .iter()
+            .filter_map(TriageQueue::head_ts)
+            .min()
+            .unwrap_or(self.now);
+        let limit = match self.cfg.mode {
+            ShedMode::SummarizeOnly => self.now,
+            _ => self.now.min(queue_min),
+        };
+        let ready: Vec<WindowId> = self
+            .stats
+            .keys()
+            .copied()
+            .filter(|&w| self.spec.window_end(w) <= limit)
+            .collect();
+        for w in ready {
+            self.close_window(w)?;
+        }
+        Ok(())
+    }
+
+    fn close_window(&mut self, w: WindowId) -> DtResult<()> {
+        let stats = self.stats.remove(&w).unwrap_or_default();
+        let shared_rows = self.buffers.take_window(w);
+        let mut inc_states = self.inc.remove(&w);
+        // Seal the shared synopses once; every query reads them.
+        let pairs: Option<Vec<SynPair>> = if self.cfg.mode.uses_synopses() {
+            let pairs = match self.syns.remove(&w) {
+                Some(mut pairs) => {
+                    for p in &mut pairs {
+                        p.kept.seal();
+                        p.dropped.seal();
+                    }
+                    pairs
+                }
+                None => self.empty_pairs()?,
+            };
+            let units: usize = pairs
+                .iter()
+                .map(|p| p.kept.memory_units() + p.dropped.memory_units())
+                .sum();
+            self.totals.peak_synopsis_units = self.totals.peak_synopsis_units.max(units);
+            Some(pairs)
+        } else {
+            None
+        };
+
+        for (qi, query) in self.queries.iter().enumerate() {
+            let exact = match (&self.cfg.execution, &mut inc_states) {
+                (ExecStrategy::Incremental, Some(states)) => {
+                    // The streaming state already holds the finished
+                    // answer.
+                    std::mem::replace(
+                        &mut states[qi],
+                        IncrementalWindow::new(query.plan.clone())?,
+                    )
+                    .finish()
+                }
+                (ExecStrategy::Incremental, None) => {
+                    // Window with no delivered tuples.
+                    IncrementalWindow::new(query.plan.clone())?.finish()
+                }
+                (ExecStrategy::Batch, _) => {
+                    // Route shared rows to the query's FROM positions
+                    // (aliased self-joins read the same shared rows).
+                    let inputs: Vec<Vec<Row>> = query
+                        .stream_map
+                        .iter()
+                        .map(|&si| shared_rows[si].clone())
+                        .collect();
+                    execute_window(&query.plan, &inputs)?
+                }
+            };
+
+            let estimate = match (&query.shadow, &pairs) {
+                (Some(shadow), Some(pairs)) => {
+                    let kept: Vec<Synopsis> = query
+                        .stream_map
+                        .iter()
+                        .map(|&si| pairs[si].kept.clone())
+                        .collect();
+                    let dropped: Vec<Synopsis> = query
+                        .stream_map
+                        .iter()
+                        .map(|&si| pairs[si].dropped.clone())
+                        .collect();
+                    Some(evaluate(&shadow.plan, &kept, &dropped)?)
+                }
+                _ => None,
+            };
+
+            let payload = if query.plan.is_aggregating() || !query.plan.group_by.is_empty() {
+                let mut merged = match (&query.shadow, &estimate) {
+                    (Some(sh), Some(est)) => merge_window(&query.plan, sh, &exact, Some(est))?,
+                    (Some(sh), None) => merge_window(&query.plan, sh, &exact, None)?,
+                    (None, _) => exact
+                        .groups()
+                        .map(|g| {
+                            g.iter()
+                                .map(|(k, v)| (k.clone(), v.iter().map(|a| a.value).collect()))
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                };
+                // HAVING applies to the *final* (merged) values, so an
+                // estimated contribution can push a group over the
+                // threshold, exactly as processing the dropped tuples
+                // would have.
+                if !query.plan.having.is_empty() {
+                    merged.retain(|_, vals| query.plan.having_accepts(vals));
+                }
+                WindowPayload::Groups(merged)
+            } else {
+                let rows = match exact {
+                    WindowOutput::Rows(r) => r,
+                    WindowOutput::Groups(_) => unreachable!("non-aggregating plan"),
+                };
+                WindowPayload::Rows {
+                    rows,
+                    lost: estimate,
+                }
+            };
+
+            self.results[qi].push(WindowResult {
+                window: w,
+                payload,
+                emitted_at: self.now.max(self.spec.window_end(w)),
+                arrived: stats.arrived,
+                kept: stats.kept,
+                dropped: stats.dropped,
+            });
+        }
+        Ok(())
+    }
+
+    fn syn_pair(&mut self, w: WindowId, stream: usize) -> DtResult<&mut SynPair> {
+        if !self.syns.contains_key(&w) {
+            let pairs = self.empty_pairs()?;
+            self.syns.insert(w, pairs);
+        }
+        Ok(&mut self.syns.get_mut(&w).expect("just inserted")[stream])
+    }
+
+    fn empty_pairs(&self) -> DtResult<Vec<SynPair>> {
+        self.streams
+            .iter()
+            .map(|s| {
+                Ok(SynPair {
+                    kept: self.cfg.synopsis.build(s.schema.arity())?,
+                    dropped: self.cfg.synopsis.build(s.schema.arity())?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Convert a row of integer values to a synopsis point.
+pub(crate) fn row_point(row: &Row) -> DtResult<Vec<i64>> {
+    row.values()
+        .iter()
+        .map(|v| {
+            v.as_i64()
+                .ok_or_else(|| DtError::engine(format!("non-integer value {v} in synopsis path")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_engine::CostModel;
+    use dt_query::{parse_select, Catalog, Planner};
+    use dt_synopsis::SynopsisConfig;
+    use dt_types::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        c.add_stream(
+            "S",
+            Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+        );
+        c
+    }
+
+    fn plan(sql: &str) -> QueryPlan {
+        Planner::new(&catalog())
+            .plan(&parse_select(sql).unwrap())
+            .unwrap()
+    }
+
+    fn cfg() -> PipelineConfig {
+        let mut c = PipelineConfig::new(ShedMode::DataTriage);
+        c.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+        c.cost = CostModel::from_capacity(50.0).unwrap();
+        c.queue_capacity = 10;
+        c
+    }
+
+    fn tup(vals: &[i64], us: u64) -> Tuple {
+        Tuple::new(Row::from_ints(vals), Timestamp::from_micros(us))
+    }
+
+    #[test]
+    fn two_queries_share_streams() {
+        let q1 = plan("SELECT a, COUNT(*) FROM R GROUP BY a");
+        let q2 = plan("SELECT a, COUNT(*) FROM R, S WHERE R.a = S.b GROUP BY a");
+        let mut p = SharedPipeline::new(vec![q1, q2], cfg()).unwrap();
+        assert_eq!(p.num_queries(), 2);
+        // Shared streams: R (from both), S — two physical streams.
+        assert_eq!(p.streams().len(), 2);
+        assert_eq!(p.streams()[0].name, "R");
+        assert_eq!(p.streams()[1].name, "S");
+        // Feed both shared streams.
+        for i in 0..40u64 {
+            p.offer(0, tup(&[(i % 3) as i64], 1_000 * (i + 1))).unwrap();
+            p.offer(1, tup(&[(i % 3) as i64, 5], 1_000 * (i + 1)))
+                .unwrap();
+        }
+        let reports = p.finish().unwrap();
+        assert_eq!(reports.len(), 2);
+        // Shared counters are identical across reports…
+        assert_eq!(reports[0].totals, reports[1].totals);
+        assert!(reports[0].totals.dropped > 0);
+        // …but the per-query results differ (different queries).
+        let total_q1: f64 = reports[0]
+            .windows
+            .iter()
+            .flat_map(|w| w.groups().unwrap().values())
+            .map(|v| v[0])
+            .sum();
+        let total_q2: f64 = reports[1]
+            .windows
+            .iter()
+            .flat_map(|w| w.groups().unwrap().values())
+            .map(|v| v[0])
+            .sum();
+        // q1 counts R tuples (lossless at w=1): exactly 40.
+        assert!((total_q1 - 40.0).abs() < 1e-6, "{total_q1}");
+        // q2 counts join results — more than q1 here (every R tuple
+        // matches ~13 S tuples per window value group).
+        assert!(total_q2 > total_q1);
+    }
+
+    #[test]
+    fn self_join_aliases_share_one_physical_stream() {
+        let q = plan("SELECT x.a, COUNT(*) FROM R x, R y WHERE x.a = y.a GROUP BY x.a");
+        let p = SharedPipeline::new(vec![q], cfg()).unwrap();
+        assert_eq!(p.streams().len(), 1, "both aliases share stream R");
+        let mut p = p;
+        for i in 0..10u64 {
+            p.offer(0, tup(&[1], 1_000 * (i + 1))).unwrap();
+        }
+        let reports = p.finish().unwrap();
+        // 10 tuples of a=1 self-joined: count = 10*10 = 100 (lossless
+        // synopses keep it exact under shedding).
+        let total: f64 = reports[0]
+            .windows
+            .iter()
+            .flat_map(|w| w.groups().unwrap().values())
+            .map(|v| v[0])
+            .sum();
+        assert!((total - 100.0).abs() < 1e-6, "{total}");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let q = plan("SELECT a, COUNT(*) FROM R GROUP BY a");
+        let mut p = SharedPipeline::new(vec![q], cfg()).unwrap();
+        assert!(p.offer(0, tup(&[1, 2], 1_000)).is_err());
+    }
+
+    #[test]
+    fn conflicting_window_widths_rejected() {
+        let q1 = plan("SELECT a, COUNT(*) FROM R GROUP BY a WINDOW R['1 second']");
+        let q2 = plan("SELECT a, COUNT(*) FROM R GROUP BY a WINDOW R['2 seconds']");
+        assert!(SharedPipeline::new(vec![q1, q2], cfg()).is_err());
+    }
+
+    #[test]
+    fn empty_query_list_rejected() {
+        assert!(SharedPipeline::new(vec![], cfg()).is_err());
+    }
+
+    #[test]
+    fn shared_synopses_are_built_once_per_stream() {
+        // Indirect check: a drop-only shared pipeline over two queries
+        // must not error on a non-rewritable query…
+        let q1 = plan("SELECT a, COUNT(*) FROM R GROUP BY a");
+        let q2 = plan("SELECT x.a, COUNT(*) FROM R x, R y \
+                       WHERE x.a = y.a AND x.a = y.a GROUP BY x.a");
+        let mut c = cfg();
+        c.mode = ShedMode::DropOnly;
+        assert!(SharedPipeline::new(vec![q1.clone(), q2.clone()], c).is_ok());
+        // …while a synopsis mode rejects it at construction.
+        assert!(SharedPipeline::new(vec![q1, q2], cfg()).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! The three load-shedding methodologies (paper §5.2.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Which load-shedding methodology a [`crate::Pipeline`] runs.
+///
+/// All three share the same queue, synopsis, and merge code — the
+/// paper's single-codebase design for a fair comparison: drop-only
+/// *disables* synopsis construction; summarize-only *bypasses* the
+/// queue and synopsizes everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShedMode {
+    /// Victims are discarded; results come from kept tuples only.
+    DropOnly,
+    /// Every tuple is synopsized and *all* query processing is
+    /// approximate; the exact engine sees nothing.
+    SummarizeOnly,
+    /// The full Data Triage architecture: exact processing of kept
+    /// tuples plus shadow-query estimation of the shed remainder.
+    DataTriage,
+}
+
+impl ShedMode {
+    /// Short label for experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedMode::DropOnly => "drop-only",
+            ShedMode::SummarizeOnly => "summarize-only",
+            ShedMode::DataTriage => "data-triage",
+        }
+    }
+
+    /// All modes, in the order the paper's figures plot them.
+    pub fn all() -> [ShedMode; 3] {
+        [ShedMode::DataTriage, ShedMode::DropOnly, ShedMode::SummarizeOnly]
+    }
+
+    /// Does this mode build synopses of shed/seen tuples?
+    pub fn uses_synopses(&self) -> bool {
+        !matches!(self, ShedMode::DropOnly)
+    }
+
+    /// Does this mode run tuples through the exact engine?
+    pub fn uses_engine(&self) -> bool {
+        !matches!(self, ShedMode::SummarizeOnly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_capabilities() {
+        assert!(!ShedMode::DropOnly.uses_synopses());
+        assert!(ShedMode::DropOnly.uses_engine());
+        assert!(ShedMode::SummarizeOnly.uses_synopses());
+        assert!(!ShedMode::SummarizeOnly.uses_engine());
+        assert!(ShedMode::DataTriage.uses_synopses());
+        assert!(ShedMode::DataTriage.uses_engine());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ShedMode::DataTriage.label(), "data-triage");
+        assert_eq!(ShedMode::all().len(), 3);
+    }
+}

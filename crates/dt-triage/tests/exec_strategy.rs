@@ -1,0 +1,184 @@
+//! Batch vs incremental execution strategies must be observationally
+//! identical through the whole pipeline — same merged results under
+//! shedding, for joins, self-joins, hopping windows, and shared
+//! multi-query runs.
+
+use dt_engine::CostModel;
+use dt_metrics::{report_to_map, rms_error};
+use dt_query::{parse_select, Catalog, Planner, QueryPlan};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{ExecStrategy, Pipeline, PipelineConfig, ShedMode};
+use dt_types::{DataType, Schema, Tuple, VDuration, WindowSpec};
+use dt_workload::{generate, ArrivalModel, Gaussian, StreamSpec, WorkloadConfig};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    c.add_stream(
+        "S",
+        Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+    );
+    c.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
+    c
+}
+
+fn plan(sql: &str, window_ms: u64) -> QueryPlan {
+    let mut plan = Planner::new(&catalog())
+        .plan(&parse_select(sql).unwrap())
+        .unwrap();
+    let spec = WindowSpec::new(VDuration::from_millis(window_ms)).unwrap();
+    for s in &mut plan.streams {
+        s.window = spec;
+    }
+    plan
+}
+
+fn workload(seed: u64, total: usize) -> Vec<(usize, Tuple)> {
+    let dist = Gaussian {
+        mean: 20.0,
+        std: 8.0,
+        lo: 1,
+        hi: 40,
+    };
+    generate(&WorkloadConfig {
+        streams: vec![
+            StreamSpec::uniform_bursts(1, dist),
+            StreamSpec::uniform_bursts(2, dist),
+            StreamSpec::uniform_bursts(1, dist),
+        ],
+        arrival: ArrivalModel::Constant { rate: 3_000.0 },
+        total_tuples: total,
+        seed,
+    })
+    .unwrap()
+}
+
+fn run(
+    plan: QueryPlan,
+    arrivals: &[(usize, Tuple)],
+    strategy: ExecStrategy,
+    mode: ShedMode,
+) -> dt_triage::RunReport {
+    let mut cfg = PipelineConfig::new(mode);
+    cfg.cost = CostModel::from_capacity(1_000.0).unwrap();
+    cfg.queue_capacity = 40;
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 5 };
+    cfg.seed = 77;
+    cfg.execution = strategy;
+    Pipeline::run(plan, cfg, arrivals.iter().cloned()).unwrap()
+}
+
+#[test]
+fn strategies_agree_on_the_paper_query_under_shedding() {
+    let sql = "SELECT a, COUNT(*) as n FROM R,S,T \
+               WHERE R.a = S.b AND S.c = T.d GROUP BY a";
+    let arrivals = workload(1, 6_000);
+    let batch = run(plan(sql, 500), &arrivals, ExecStrategy::Batch, ShedMode::DataTriage);
+    let inc = run(
+        plan(sql, 500),
+        &arrivals,
+        ExecStrategy::Incremental,
+        ShedMode::DataTriage,
+    );
+    assert!(batch.totals.dropped > 0);
+    assert_eq!(batch.totals, inc.totals);
+    // Same merged results, bit for bit (both paths share the merge and
+    // the synopsis arithmetic; only the exact executor differs).
+    let err = rms_error(&report_to_map(&batch), &report_to_map(&inc));
+    assert!(err < 1e-9, "strategies diverged: {err}");
+}
+
+#[test]
+fn strategies_agree_on_hopping_windows() {
+    let sql = "SELECT a, COUNT(*) as n FROM R GROUP BY a \
+               WINDOW R['1 second', '250 milliseconds']";
+    let mut c = Catalog::new();
+    c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    let mk = || {
+        Planner::new(&c)
+            .plan(&parse_select(sql).unwrap())
+            .unwrap()
+    };
+    let dist = Gaussian {
+        mean: 5.0,
+        std: 2.0,
+        lo: 1,
+        hi: 10,
+    };
+    let arrivals = generate(&WorkloadConfig {
+        streams: vec![StreamSpec::uniform_bursts(1, dist)],
+        arrival: ArrivalModel::Constant { rate: 2_000.0 },
+        total_tuples: 3_000,
+        seed: 2,
+    })
+    .unwrap();
+    let batch = run(mk(), &arrivals, ExecStrategy::Batch, ShedMode::DataTriage);
+    let inc = run(mk(), &arrivals, ExecStrategy::Incremental, ShedMode::DataTriage);
+    let err = rms_error(&report_to_map(&batch), &report_to_map(&inc));
+    assert!(err < 1e-9, "{err}");
+    assert_eq!(batch.windows.len(), inc.windows.len());
+}
+
+#[test]
+fn strategies_agree_on_self_joins() {
+    let sql = "SELECT x.a, COUNT(*) FROM R x, R y WHERE x.a = y.a GROUP BY x.a";
+    let mut c = Catalog::new();
+    c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    let mk = || {
+        let mut p = Planner::new(&c)
+            .plan(&parse_select(sql).unwrap())
+            .unwrap();
+        let spec = WindowSpec::new(VDuration::from_millis(500)).unwrap();
+        for s in &mut p.streams {
+            s.window = spec;
+        }
+        p
+    };
+    let dist = Gaussian {
+        mean: 4.0,
+        std: 2.0,
+        lo: 1,
+        hi: 8,
+    };
+    let arrivals = generate(&WorkloadConfig {
+        streams: vec![StreamSpec::uniform_bursts(1, dist)],
+        arrival: ArrivalModel::Constant { rate: 1_500.0 },
+        total_tuples: 2_000,
+        seed: 3,
+    })
+    .unwrap();
+    let batch = run(mk(), &arrivals, ExecStrategy::Batch, ShedMode::DropOnly);
+    let inc = run(mk(), &arrivals, ExecStrategy::Incremental, ShedMode::DropOnly);
+    let err = rms_error(&report_to_map(&batch), &report_to_map(&inc));
+    assert!(err < 1e-9, "{err}");
+}
+
+#[test]
+fn incremental_handles_empty_and_partial_windows() {
+    let sql = "SELECT a, COUNT(*) FROM R GROUP BY a";
+    let mut c = Catalog::new();
+    c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    let mut p = Planner::new(&c)
+        .plan(&parse_select(sql).unwrap())
+        .unwrap();
+    p.streams[0].window = WindowSpec::new(VDuration::from_millis(100)).unwrap();
+    // Two sparse tuples with a long silent gap between them.
+    let arrivals = vec![
+        (
+            0usize,
+            Tuple::new(dt_types::Row::from_ints(&[1]), dt_types::Timestamp::from_micros(50_000)),
+        ),
+        (
+            0usize,
+            Tuple::new(
+                dt_types::Row::from_ints(&[2]),
+                dt_types::Timestamp::from_micros(950_000),
+            ),
+        ),
+    ];
+    let batch = run(p.clone(), &arrivals, ExecStrategy::Batch, ShedMode::DataTriage);
+    let inc = run(p, &arrivals, ExecStrategy::Incremental, ShedMode::DataTriage);
+    assert_eq!(batch.windows.len(), inc.windows.len());
+    let err = rms_error(&report_to_map(&batch), &report_to_map(&inc));
+    assert!(err < 1e-9, "{err}");
+}

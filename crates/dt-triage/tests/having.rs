@@ -1,0 +1,147 @@
+//! HAVING-clause semantics end to end: the filter applies to the
+//! *merged* aggregate values, so estimated contributions from the
+//! shadow query count toward the threshold exactly as real tuples
+//! would have.
+
+use dt_engine::CostModel;
+use dt_metrics::{ideal_map, report_to_map, rms_error};
+use dt_query::{parse_select, Catalog, Planner, QueryPlan};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{Pipeline, PipelineConfig, ShedMode, WindowPayload};
+use dt_types::{DataType, Row, Schema, Timestamp, Tuple, VDuration, WindowSpec};
+use dt_workload::{generate, ArrivalModel, Gaussian, StreamSpec, WorkloadConfig};
+
+fn plan(sql: &str) -> QueryPlan {
+    let mut c = Catalog::new();
+    c.add_stream(
+        "S",
+        Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+    );
+    let mut plan = Planner::new(&c)
+        .plan(&parse_select(sql).unwrap())
+        .unwrap();
+    let spec = WindowSpec::new(VDuration::from_millis(500)).unwrap();
+    for s in &mut plan.streams {
+        s.window = spec;
+    }
+    plan
+}
+
+fn tup(vals: &[i64], us: u64) -> Tuple {
+    Tuple::new(Row::from_ints(vals), Timestamp::from_micros(us))
+}
+
+#[test]
+fn having_parses_and_compiles() {
+    let p = plan("SELECT b, COUNT(*) FROM S GROUP BY b HAVING COUNT(*) > 3");
+    assert_eq!(p.having.len(), 1);
+    // Bound to the selected aggregate, no hidden one needed.
+    assert_eq!(p.aggregates.len(), 1);
+    assert_eq!(p.having[0].agg_index, 0);
+
+    // An unselected aggregate gets a hidden slot.
+    let p = plan("SELECT b, COUNT(*) FROM S GROUP BY b HAVING SUM(c) >= 100");
+    assert_eq!(p.aggregates.len(), 2);
+    assert_eq!(p.having[0].agg_index, 1);
+    assert!(p.aggregates[1].name.starts_with("__having"));
+}
+
+#[test]
+fn having_without_grouping_rejected() {
+    let mut c = Catalog::new();
+    c.add_stream("S", Schema::from_pairs(&[("b", DataType::Int)]));
+    let stmt = parse_select("SELECT b FROM S HAVING COUNT(*) > 1").unwrap();
+    assert!(Planner::new(&c).plan(&stmt).is_err());
+}
+
+#[test]
+fn having_filters_small_groups() {
+    let p = plan("SELECT b, COUNT(*) as n FROM S GROUP BY b HAVING COUNT(*) >= 3");
+    let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+    // b=1 x3 (passes), b=2 x1 (filtered).
+    let arrivals = vec![
+        (0usize, tup(&[1, 10], 1_000)),
+        (0, tup(&[1, 11], 2_000)),
+        (0, tup(&[2, 12], 3_000)),
+        (0, tup(&[1, 13], 4_000)),
+    ];
+    let report = Pipeline::run(p, cfg, arrivals).unwrap();
+    let g = report.windows[0].groups().unwrap();
+    assert_eq!(g.len(), 1);
+    assert_eq!(g[&Row::from_ints(&[1])][0], 3.0);
+}
+
+#[test]
+fn estimated_mass_counts_toward_having() {
+    // Engine so slow that only 1 tuple of the group is processed
+    // exactly; the other 4 are shed. HAVING COUNT(*) >= 4 passes only
+    // because the merged count includes the estimate.
+    let p = plan("SELECT b, COUNT(*) as n FROM S GROUP BY b HAVING COUNT(*) >= 4");
+    let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+    cfg.cost = CostModel::from_capacity(2.0).unwrap();
+    cfg.queue_capacity = 1;
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+    let arrivals: Vec<(usize, Tuple)> = (0..5)
+        .map(|i| (0usize, tup(&[7, 10 + i], 1_000 * (i as u64 + 1))))
+        .collect();
+    let report = Pipeline::run(p.clone(), cfg, arrivals.clone()).unwrap();
+    assert!(report.totals.dropped >= 3, "{:?}", report.totals);
+    let g = report.windows[0].groups().unwrap();
+    assert_eq!(g.len(), 1, "merged count must clear the threshold");
+    assert!((g[&Row::from_ints(&[7])][0] - 5.0).abs() < 1e-6);
+
+    // Drop-only on the same data loses the group entirely.
+    let mut cfg = PipelineConfig::new(ShedMode::DropOnly);
+    cfg.cost = CostModel::from_capacity(2.0).unwrap();
+    cfg.queue_capacity = 1;
+    let report = Pipeline::run(p, cfg, arrivals).unwrap();
+    assert!(
+        report.windows.iter().all(|w| w.groups().unwrap().is_empty()),
+        "drop-only must not clear HAVING with only {} kept tuples",
+        report.totals.kept
+    );
+}
+
+#[test]
+fn having_exactness_with_lossless_synopses() {
+    // The pipeline-level rewrite theorem extends through HAVING: with
+    // width-1 synopses, merged-then-filtered results equal the ideal
+    // filtered results under heavy shedding.
+    let p = plan("SELECT b, COUNT(*) as n, SUM(c) as s FROM S GROUP BY b HAVING COUNT(*) > 5");
+    let dist = Gaussian {
+        mean: 5.0,
+        std: 2.0,
+        lo: 1,
+        hi: 10,
+    };
+    let arrivals = generate(&WorkloadConfig {
+        streams: vec![StreamSpec::uniform_bursts(2, dist)],
+        arrival: ArrivalModel::Constant { rate: 2_000.0 },
+        total_tuples: 4_000,
+        seed: 41,
+    })
+    .unwrap();
+    let ideal = ideal_map(&p, &arrivals).unwrap();
+    assert!(!ideal.is_empty());
+    let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+    cfg.cost = CostModel::from_capacity(400.0).unwrap();
+    cfg.queue_capacity = 25;
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+    cfg.seed = 41;
+    let report = Pipeline::run(p, cfg, arrivals.iter().cloned()).unwrap();
+    assert!(report.totals.dropped > 500);
+    let err = rms_error(&ideal, &report_to_map(&report));
+    assert!(err < 1e-6, "{err}");
+    // Sanity: the HAVING actually filtered something somewhere.
+    let emitted: usize = report
+        .windows
+        .iter()
+        .map(|w| w.groups().unwrap().len())
+        .sum();
+    assert!(emitted > 0);
+    match &report.windows[0].payload {
+        WindowPayload::Groups(_) => {}
+        other => panic!("{other:?}"),
+    }
+}

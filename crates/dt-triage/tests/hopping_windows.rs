@@ -1,0 +1,121 @@
+//! End-to-end hopping-window runs: with lossless synopses, every
+//! overlapping window's merged result must equal the ideal, even under
+//! heavy shedding — the rewrite theorem is window-shape agnostic.
+
+use dt_engine::CostModel;
+use dt_metrics::{ideal_map, report_to_map, rms_error};
+use dt_query::{parse_select, Catalog, Planner, QueryPlan};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{Pipeline, PipelineConfig, ShedMode};
+use dt_types::{DataType, Schema};
+use dt_workload::{generate, ArrivalModel, Gaussian, StreamSpec, WorkloadConfig};
+
+fn hopping_plan(width: &str, slide: &str) -> QueryPlan {
+    let mut c = Catalog::new();
+    c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    Planner::new(&c)
+        .plan(
+            &parse_select(&format!(
+                "SELECT a, COUNT(*) as n FROM R GROUP BY a WINDOW R['{width}', '{slide}']"
+            ))
+            .unwrap(),
+        )
+        .unwrap()
+}
+
+fn small_domain_workload(seed: u64) -> Vec<(usize, dt_types::Tuple)> {
+    let dist = Gaussian {
+        mean: 5.0,
+        std: 2.0,
+        lo: 1,
+        hi: 10,
+    };
+    generate(&WorkloadConfig {
+        streams: vec![StreamSpec::uniform_bursts(1, dist)],
+        arrival: ArrivalModel::Constant { rate: 2_000.0 },
+        total_tuples: 4_000,
+        seed,
+    })
+    .unwrap()
+}
+
+#[test]
+fn hopping_plan_parses_with_width_and_slide() {
+    let plan = hopping_plan("2 seconds", "500 milliseconds");
+    let spec = plan.streams[0].window;
+    assert!(!spec.is_tumbling());
+    assert_eq!(spec.width(), dt_types::VDuration::from_secs(2));
+    assert_eq!(spec.slide(), dt_types::VDuration::from_millis(500));
+}
+
+#[test]
+fn gapped_windows_rejected_at_planning() {
+    let mut c = Catalog::new();
+    c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    let stmt =
+        parse_select("SELECT a FROM R WINDOW R['1 second', '2 seconds']").unwrap();
+    assert!(Planner::new(&c).plan(&stmt).is_err());
+}
+
+#[test]
+fn hopping_windows_are_exact_with_lossless_synopses_under_shedding() {
+    let plan = hopping_plan("1 second", "250 milliseconds");
+    let arrivals = small_domain_workload(31);
+    let ideal = ideal_map(&plan, &arrivals).unwrap();
+
+    let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+    cfg.cost = CostModel::from_capacity(400.0).unwrap();
+    cfg.queue_capacity = 30;
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+    cfg.seed = 31;
+    let report = Pipeline::run(plan, cfg, arrivals.iter().cloned()).unwrap();
+    assert!(report.totals.dropped > 500, "must shed heavily");
+    let err = rms_error(&ideal, &report_to_map(&report));
+    assert!(err < 1e-6, "hopping exactness violated: {err}");
+    // Overlap factor 4: roughly 4x as many windows as a tumbling run
+    // over the same span.
+    assert!(report.windows.len() > 8, "{}", report.windows.len());
+}
+
+#[test]
+fn hopping_window_counts_overlap_consistently() {
+    // Each tuple lands in `windows_of(ts).count()` windows (up to
+    // width/slide = 4; fewer near the time origin), so the summed
+    // merged counts must equal the summed per-tuple window
+    // multiplicities exactly — lossless synopses lose nothing.
+    let plan = hopping_plan("1 second", "250 milliseconds");
+    let spec = plan.streams[0].window;
+    let arrivals = small_domain_workload(32);
+    let expected: usize = arrivals
+        .iter()
+        .map(|(_, t)| spec.windows_of(t.ts).count())
+        .sum();
+    let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+    cfg.cost = CostModel::from_capacity(400.0).unwrap();
+    cfg.queue_capacity = 30;
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+    cfg.seed = 32;
+    let report = Pipeline::run(plan, cfg, arrivals).unwrap();
+    let mass: f64 = report
+        .windows
+        .iter()
+        .flat_map(|w| w.groups().unwrap().values())
+        .map(|v| v[0])
+        .sum();
+    assert!(
+        (mass - expected as f64).abs() < 1e-6,
+        "summed counts {mass} vs per-tuple multiplicities {expected}"
+    );
+}
+
+#[test]
+fn summarize_only_handles_hopping_windows() {
+    let plan = hopping_plan("1 second", "500 milliseconds");
+    let arrivals = small_domain_workload(33);
+    let ideal = ideal_map(&plan, &arrivals).unwrap();
+    let mut cfg = PipelineConfig::new(ShedMode::SummarizeOnly);
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+    let report = Pipeline::run(plan, cfg, arrivals).unwrap();
+    let err = rms_error(&ideal, &report_to_map(&report));
+    assert!(err < 1e-6, "{err}");
+}

@@ -1,0 +1,142 @@
+//! Model-based property tests for the triage queue and conservation
+//! properties of the pipeline.
+
+use dt_engine::CostModel;
+use dt_query::{parse_select, Catalog, Planner};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{DropPolicy, Pipeline, PipelineConfig, ShedMode, TriageQueue};
+use dt_types::{DataType, Row, Schema, Timestamp, Tuple};
+use proptest::prelude::*;
+
+fn tup(v: i64, us: u64) -> Tuple {
+    Tuple::new(Row::from_ints(&[v]), Timestamp::from_micros(us))
+}
+
+fn arb_policy() -> impl Strategy<Value = DropPolicy> {
+    prop_oneof![
+        Just(DropPolicy::Random),
+        Just(DropPolicy::Front),
+        Just(DropPolicy::Newest),
+        Just(DropPolicy::Synergistic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Queue invariants under an arbitrary push/pop interleaving, for
+    /// every policy:
+    /// * length never exceeds capacity;
+    /// * a push returns a victim iff the queue was full;
+    /// * buffered tuples stay in arrival order;
+    /// * conservation: pushed = victims + popped + still-buffered.
+    #[test]
+    fn queue_invariants(
+        capacity in 1usize..12,
+        policy in arb_policy(),
+        ops in prop::collection::vec(any::<bool>(), 0..200),
+        seed in any::<u64>(),
+    ) {
+        let mut q = TriageQueue::new(capacity, policy, seed).unwrap();
+        let mut pushed = 0u64;
+        let mut victims = 0u64;
+        let mut popped = 0u64;
+        let mut clock = 0u64;
+        for op in ops {
+            if op {
+                clock += 1;
+                let was_full = q.len() == capacity;
+                let victim = q.push(tup((clock % 7) as i64, clock), None);
+                pushed += 1;
+                prop_assert_eq!(victim.is_some(), was_full);
+                if victim.is_some() {
+                    victims += 1;
+                }
+            } else if q.pop().is_some() {
+                popped += 1;
+            }
+            prop_assert!(q.len() <= capacity);
+        }
+        prop_assert_eq!(pushed, victims + popped + q.len() as u64);
+        prop_assert_eq!(q.total_pushed(), pushed);
+        prop_assert_eq!(q.total_dropped(), victims);
+        // Drain: remaining tuples are time-ordered.
+        let mut last = Timestamp::ZERO;
+        while let Some(t) = q.pop() {
+            prop_assert!(t.ts >= last);
+            last = t.ts;
+        }
+    }
+
+    /// Pipeline conservation under arbitrary load: arrived = kept +
+    /// dropped, window stats sum to totals, and the merged COUNT mass
+    /// of a width-1 single-stream run equals the number of arrivals —
+    /// for every policy and any capacity/queue configuration.
+    #[test]
+    fn pipeline_conserves_tuples(
+        policy in arb_policy(),
+        queue_capacity in 1usize..40,
+        capacity_tps in 10f64..2000.0,
+        n in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        let plan = Planner::new(&c)
+            .plan(&parse_select("SELECT a, COUNT(*) FROM R GROUP BY a").unwrap())
+            .unwrap();
+        let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+        cfg.policy = policy;
+        cfg.queue_capacity = queue_capacity;
+        cfg.cost = CostModel::from_capacity(capacity_tps).unwrap();
+        cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+        cfg.seed = seed;
+        let arrivals: Vec<(usize, Tuple)> = (0..n)
+            .map(|i| (0usize, tup((i % 9) as i64, 500 * (i as u64 + 1))))
+            .collect();
+        let report = Pipeline::run(plan, cfg, arrivals).unwrap();
+        prop_assert_eq!(report.totals.arrived, n as u64);
+        prop_assert_eq!(
+            report.totals.kept + report.totals.dropped,
+            report.totals.arrived
+        );
+        let stat_sum: u64 = report.windows.iter().map(|w| w.arrived).sum();
+        prop_assert_eq!(stat_sum, n as u64);
+        // Lossless synopses: merged counts recover every arrival.
+        let mass: f64 = report
+            .windows
+            .iter()
+            .flat_map(|w| w.groups().unwrap().values())
+            .map(|v| v[0])
+            .sum();
+        prop_assert!((mass - n as f64).abs() < 1e-6, "mass {mass} != {n}");
+    }
+
+    /// Summarize-only conserves mass through the synopsis path alone.
+    #[test]
+    fn summarize_only_conserves_mass(
+        n in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        let plan = Planner::new(&c)
+            .plan(&parse_select("SELECT a, COUNT(*) FROM R GROUP BY a").unwrap())
+            .unwrap();
+        let mut cfg = PipelineConfig::new(ShedMode::SummarizeOnly);
+        cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+        cfg.seed = seed;
+        let arrivals: Vec<(usize, Tuple)> = (0..n)
+            .map(|i| (0usize, tup((i % 5) as i64, 700 * (i as u64 + 1))))
+            .collect();
+        let report = Pipeline::run(plan, cfg, arrivals).unwrap();
+        prop_assert_eq!(report.totals.kept, 0);
+        let mass: f64 = report
+            .windows
+            .iter()
+            .flat_map(|w| w.groups().unwrap().values())
+            .map(|v| v[0])
+            .sum();
+        prop_assert!((mass - n as f64).abs() < 1e-6);
+    }
+}

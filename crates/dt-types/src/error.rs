@@ -1,0 +1,112 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all `dt-*` crates.
+pub type DtResult<T> = Result<T, DtError>;
+
+/// Errors raised anywhere in the Data Triage workspace.
+///
+/// One shared enum keeps cross-crate plumbing simple: the parser, the
+/// planner, the rewriter, the engine, and the synopsis layer all speak
+/// the same error language, and callers can match on the stage that
+/// failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtError {
+    /// Lexer/parser failure, with a position in the query text.
+    Parse { message: String, position: usize },
+    /// Semantic analysis / logical planning failure.
+    Plan(String),
+    /// Schema mismatch (arity, unknown column, type error).
+    Schema(String),
+    /// Query rewrite failure.
+    Rewrite(String),
+    /// Runtime failure inside the stream engine.
+    Engine(String),
+    /// Failure in a synopsis operation (dimension mismatch, etc.).
+    Synopsis(String),
+    /// Invalid configuration of an experiment or component.
+    Config(String),
+}
+
+impl DtError {
+    /// Shorthand constructor for planning errors.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        DtError::Plan(msg.into())
+    }
+
+    /// Shorthand constructor for schema errors.
+    pub fn schema(msg: impl Into<String>) -> Self {
+        DtError::Schema(msg.into())
+    }
+
+    /// Shorthand constructor for rewrite errors.
+    pub fn rewrite(msg: impl Into<String>) -> Self {
+        DtError::Rewrite(msg.into())
+    }
+
+    /// Shorthand constructor for engine errors.
+    pub fn engine(msg: impl Into<String>) -> Self {
+        DtError::Engine(msg.into())
+    }
+
+    /// Shorthand constructor for synopsis errors.
+    pub fn synopsis(msg: impl Into<String>) -> Self {
+        DtError::Synopsis(msg.into())
+    }
+
+    /// Shorthand constructor for configuration errors.
+    pub fn config(msg: impl Into<String>) -> Self {
+        DtError::Config(msg.into())
+    }
+}
+
+impl fmt::Display for DtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            DtError::Plan(m) => write!(f, "planning error: {m}"),
+            DtError::Schema(m) => write!(f, "schema error: {m}"),
+            DtError::Rewrite(m) => write!(f, "rewrite error: {m}"),
+            DtError::Engine(m) => write!(f, "engine error: {m}"),
+            DtError::Synopsis(m) => write!(f, "synopsis error: {m}"),
+            DtError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_message() {
+        let e = DtError::Parse {
+            message: "unexpected token".into(),
+            position: 12,
+        };
+        assert_eq!(e.to_string(), "parse error at byte 12: unexpected token");
+        assert_eq!(
+            DtError::plan("no such stream").to_string(),
+            "planning error: no such stream"
+        );
+        assert_eq!(DtError::schema("bad arity").to_string(), "schema error: bad arity");
+        assert_eq!(DtError::engine("boom").to_string(), "engine error: boom");
+        assert_eq!(
+            DtError::synopsis("dim mismatch").to_string(),
+            "synopsis error: dim mismatch"
+        );
+        assert_eq!(DtError::config("bad rate").to_string(), "configuration error: bad rate");
+        assert_eq!(DtError::rewrite("no joins").to_string(), "rewrite error: no joins");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&DtError::plan("x"));
+    }
+}

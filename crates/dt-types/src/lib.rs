@@ -1,0 +1,32 @@
+//! Core data model for the Data Triage reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`Value`] — a dynamically typed SQL value with total ordering and
+//!   hashing (floats are compared by bit pattern so rows can live in
+//!   multiset maps).
+//! * [`Row`] / [`Tuple`] — a row of values, and a row stamped with a
+//!   virtual arrival [`Timestamp`].
+//! * [`Schema`] / [`Field`] / [`DataType`] — stream schemas with
+//!   qualified column resolution (`R.a`).
+//! * [`Timestamp`] / [`VDuration`] — integer-microsecond virtual time.
+//!   All experiments run on a virtual clock so they are exactly
+//!   reproducible from a seed (see `DESIGN.md` §5).
+//! * [`WindowSpec`] — per-stream time windows in the style of
+//!   TelegraphCQ's `WINDOW R['1 second']` clause.
+//! * [`DtError`] — the workspace-wide error type.
+
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod time;
+pub mod value;
+pub mod window;
+
+pub use error::{DtError, DtResult};
+pub use row::{Row, Tuple};
+pub use schema::{DataType, Field, Schema};
+pub use time::{Timestamp, VDuration};
+pub use value::Value;
+pub use window::{WindowId, WindowSpec};

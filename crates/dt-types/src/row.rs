@@ -1,0 +1,162 @@
+//! Rows and timestamped tuples.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Timestamp;
+use crate::value::Value;
+
+/// A row of values with no timestamp — the unit of the relational
+/// algebra in `dt-algebra` and of synopsis insertion in `dt-synopsis`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// Construct from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// Build a row of integer values — the common case in the paper's
+    /// experiments, where every attribute is an integer in `1..=100`.
+    pub fn from_ints(ints: &[i64]) -> Self {
+        Row(ints.iter().map(|&i| Value::Int(i)).collect())
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Value at a column index.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Concatenate two rows (the row of a cross product).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Row(v)
+    }
+
+    /// Project onto the given column indices. Indices out of range
+    /// yield `Value::Null`, matching SQL's forgiving projection of
+    /// missing attributes in outer contexts; planners validate indices
+    /// before execution so this is a defensive default.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row(indices
+            .iter()
+            .map(|&i| self.0.get(i).cloned().unwrap_or(Value::Null))
+            .collect())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+/// A row stamped with its virtual arrival time — the unit that flows
+/// from sources through triage queues into the stream engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    /// The payload.
+    pub row: Row,
+    /// Virtual arrival time at the system boundary.
+    pub ts: Timestamp,
+}
+
+impl Tuple {
+    /// Construct a tuple.
+    pub fn new(row: Row, ts: Timestamp) -> Self {
+        Tuple { row, ts }
+    }
+
+    /// Arity of the payload row.
+    pub fn arity(&self) -> usize {
+        self.row.arity()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.row, self.ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_ints_builds_int_values() {
+        let r = Row::from_ints(&[1, 2, 3]);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r[1], Value::Int(2));
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = Row::from_ints(&[1, 2]);
+        let b = Row::from_ints(&[3]);
+        assert_eq!(a.concat(&b), Row::from_ints(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn project_selects_and_pads() {
+        let r = Row::from_ints(&[10, 20, 30]);
+        assert_eq!(r.project(&[2, 0]), Row::from_ints(&[30, 10]));
+        assert_eq!(r.project(&[9]), Row::new(vec![Value::Null]));
+    }
+
+    #[test]
+    fn rows_are_hashable_and_ordered() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Row, u32> = HashMap::new();
+        *m.entry(Row::from_ints(&[1])).or_insert(0) += 1;
+        *m.entry(Row::from_ints(&[1])).or_insert(0) += 1;
+        assert_eq!(m[&Row::from_ints(&[1])], 2);
+        assert!(Row::from_ints(&[1, 2]) < Row::from_ints(&[1, 3]));
+    }
+
+    #[test]
+    fn tuple_display() {
+        let t = Tuple::new(Row::from_ints(&[7]), Timestamp::from_secs(1));
+        assert_eq!(t.to_string(), "(7)@1.000000s");
+        assert_eq!(t.arity(), 1);
+    }
+
+    #[test]
+    fn row_display() {
+        assert_eq!(Row::from_ints(&[1, 2]).to_string(), "(1, 2)");
+    }
+}

@@ -1,0 +1,304 @@
+//! Stream schemas and column resolution.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DtError, DtResult};
+
+/// The static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INTEGER"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "TEXT"),
+            DataType::Bool => write!(f, "BOOLEAN"),
+        }
+    }
+}
+
+/// A named, typed column, optionally qualified with the stream it came
+/// from (`R.a` has `qualifier == Some("R")`, `name == "a"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Stream or alias qualifier, if any.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl Field {
+    /// An unqualified field.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Field {
+            qualifier: None,
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// A field qualified by its source stream.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>, ty: DataType) -> Self {
+        Field {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// `R.a` or bare `a`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Does this field answer to the given (optionally qualified) name?
+    pub fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if self.name != name {
+            return false;
+        }
+        match (qualifier, &self.qualifier) {
+            (None, _) => true,
+            (Some(q), Some(fq)) => q == fq,
+            (Some(_), None) => false,
+        }
+    }
+}
+
+/// An ordered list of fields describing the rows of a stream or an
+/// intermediate relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Convenience: unqualified fields from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            fields: pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
+        }
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Schema { fields: vec![] }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at a position.
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Resolve an optionally qualified column name to its index.
+    ///
+    /// Errors if the name is unknown or ambiguous (matches more than
+    /// one field, e.g. bare `a` when both `R.a` and `S.a` exist).
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> DtResult<usize> {
+        let mut found = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(qualifier, name) {
+                if found.is_some() {
+                    return Err(DtError::schema(format!(
+                        "ambiguous column reference '{}{}{}'",
+                        qualifier.unwrap_or(""),
+                        if qualifier.is_some() { "." } else { "" },
+                        name
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| {
+            DtError::schema(format!(
+                "unknown column '{}{}{}'",
+                qualifier.unwrap_or(""),
+                if qualifier.is_some() { "." } else { "" },
+                name
+            ))
+        })
+    }
+
+    /// Resolve a dotted name like `"R.a"` or a bare name like `"a"`.
+    pub fn resolve_dotted(&self, dotted: &str) -> DtResult<usize> {
+        match dotted.split_once('.') {
+            Some((q, n)) => self.resolve(Some(q), n),
+            None => self.resolve(None, dotted),
+        }
+    }
+
+    /// Schema of `self × other` (concatenated columns).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Schema of a projection onto the given column indices.
+    ///
+    /// Errors if any index is out of range.
+    pub fn project(&self, indices: &[usize]) -> DtResult<Schema> {
+        let mut fields = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let f = self.fields.get(i).ok_or_else(|| {
+                DtError::schema(format!(
+                    "projection index {i} out of range for arity {}",
+                    self.arity()
+                ))
+            })?;
+            fields.push(f.clone());
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Re-qualify every field with the given stream alias (used when a
+    /// stream appears in a FROM clause under an alias).
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| Field {
+                    qualifier: Some(qualifier.to_string()),
+                    name: f.name.clone(),
+                    ty: f.ty,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", field.qualified_name(), field.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs_schema() -> Schema {
+        Schema::new(vec![
+            Field::qualified("R", "a", DataType::Int),
+            Field::qualified("S", "a", DataType::Int),
+            Field::qualified("S", "b", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn resolve_qualified() {
+        let s = rs_schema();
+        assert_eq!(s.resolve(Some("R"), "a").unwrap(), 0);
+        assert_eq!(s.resolve(Some("S"), "a").unwrap(), 1);
+        assert_eq!(s.resolve(Some("S"), "b").unwrap(), 2);
+    }
+
+    #[test]
+    fn resolve_bare_unique() {
+        let s = rs_schema();
+        assert_eq!(s.resolve(None, "b").unwrap(), 2);
+    }
+
+    #[test]
+    fn resolve_bare_ambiguous_errors() {
+        let s = rs_schema();
+        let err = s.resolve(None, "a").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn resolve_unknown_errors() {
+        let s = rs_schema();
+        assert!(s.resolve(None, "zzz").is_err());
+        assert!(s.resolve(Some("T"), "a").is_err());
+    }
+
+    #[test]
+    fn resolve_dotted() {
+        let s = rs_schema();
+        assert_eq!(s.resolve_dotted("R.a").unwrap(), 0);
+        assert_eq!(s.resolve_dotted("b").unwrap(), 2);
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let r = Schema::from_pairs(&[("a", DataType::Int)]).with_qualifier("R");
+        let s = Schema::from_pairs(&[("b", DataType::Int)]).with_qualifier("S");
+        let both = r.concat(&s);
+        assert_eq!(both.arity(), 2);
+        assert_eq!(both.field(1).unwrap().qualified_name(), "S.b");
+        let proj = both.project(&[1]).unwrap();
+        assert_eq!(proj.arity(), 1);
+        assert_eq!(proj.field(0).unwrap().name, "b");
+        assert!(both.project(&[5]).is_err());
+    }
+
+    #[test]
+    fn with_qualifier_replaces() {
+        let s = Schema::from_pairs(&[("x", DataType::Str)]);
+        let q = s.with_qualifier("W");
+        assert_eq!(q.field(0).unwrap().qualified_name(), "W.x");
+    }
+
+    #[test]
+    fn display() {
+        let s = rs_schema();
+        assert_eq!(s.to_string(), "(R.a INTEGER, S.a INTEGER, S.b FLOAT)");
+    }
+
+    #[test]
+    fn field_matches() {
+        let f = Field::qualified("R", "a", DataType::Int);
+        assert!(f.matches(None, "a"));
+        assert!(f.matches(Some("R"), "a"));
+        assert!(!f.matches(Some("S"), "a"));
+        assert!(!f.matches(None, "b"));
+        let bare = Field::new("a", DataType::Int);
+        assert!(!bare.matches(Some("R"), "a"));
+    }
+}

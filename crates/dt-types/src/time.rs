@@ -1,0 +1,248 @@
+//! Virtual time.
+//!
+//! Every experiment in this workspace runs on a *virtual clock*: an
+//! integer count of microseconds since the start of the run. Using
+//! virtual rather than wall-clock time makes every experiment exactly
+//! reproducible from a random seed, while preserving the quantity the
+//! paper actually varies — the ratio between data arrival rate and the
+//! engine's service rate.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Microseconds per second, the base resolution of virtual time.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// A point in virtual time (microseconds since the start of the run).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+/// A span of virtual time (microseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VDuration(pub u64);
+
+impl Timestamp {
+    /// The origin of virtual time.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Timestamp(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds (saturating at zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        Timestamp((s.max(0.0) * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Timestamp(us)
+    }
+
+    /// The timestamp in microseconds.
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// The timestamp in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Saturating subtraction of another timestamp, yielding a duration.
+    pub fn saturating_sub(self, other: Timestamp) -> VDuration {
+        VDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// The later of two timestamps.
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        Timestamp(self.0.max(other.0))
+    }
+
+    /// The earlier of two timestamps.
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        Timestamp(self.0.min(other.0))
+    }
+}
+
+impl VDuration {
+    /// The zero-length duration.
+    pub const ZERO: VDuration = VDuration(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        VDuration(s * MICROS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds (saturating at zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        VDuration((s.max(0.0) * MICROS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        VDuration(ms * 1_000)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        VDuration(us)
+    }
+
+    /// The duration in microseconds.
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// True if the duration is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<VDuration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: VDuration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<VDuration> for Timestamp {
+    fn add_assign(&mut self, rhs: VDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = VDuration;
+    /// Panics on underflow in debug builds; use
+    /// [`Timestamp::saturating_sub`] when ordering is not guaranteed.
+    fn sub(self, rhs: Timestamp) -> VDuration {
+        VDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for VDuration {
+    type Output = VDuration;
+    fn add(self, rhs: VDuration) -> VDuration {
+        VDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VDuration {
+    fn add_assign(&mut self, rhs: VDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VDuration {
+    type Output = VDuration;
+    fn sub(self, rhs: VDuration) -> VDuration {
+        VDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for VDuration {
+    type Output = VDuration;
+    fn mul(self, rhs: u64) -> VDuration {
+        VDuration(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for VDuration {
+    type Output = VDuration;
+    fn mul(self, rhs: f64) -> VDuration {
+        VDuration((self.0 as f64 * rhs.max(0.0)).round() as u64)
+    }
+}
+
+impl Div<u64> for VDuration {
+    type Output = VDuration;
+    fn div(self, rhs: u64) -> VDuration {
+        VDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for VDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_agree() {
+        assert_eq!(Timestamp::from_secs(2), Timestamp::from_micros(2_000_000));
+        assert_eq!(VDuration::from_secs(1), VDuration::from_millis(1_000));
+        assert_eq!(VDuration::from_millis(1), VDuration::from_micros(1_000));
+    }
+
+    #[test]
+    fn fractional_seconds_round() {
+        assert_eq!(VDuration::from_secs_f64(0.5), VDuration::from_micros(500_000));
+        assert_eq!(Timestamp::from_secs_f64(1.25), Timestamp::from_micros(1_250_000));
+        // Negative saturates at zero rather than wrapping.
+        assert_eq!(VDuration::from_secs_f64(-3.0), VDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(1) + VDuration::from_millis(500);
+        assert_eq!(t, Timestamp::from_micros(1_500_000));
+        assert_eq!(t - Timestamp::from_secs(1), VDuration::from_millis(500));
+        assert_eq!(
+            Timestamp::from_secs(1).saturating_sub(Timestamp::from_secs(2)),
+            VDuration::ZERO
+        );
+        assert_eq!(VDuration::from_secs(2) / 4, VDuration::from_millis(500));
+        assert_eq!(VDuration::from_millis(10) * 3, VDuration::from_millis(30));
+        assert_eq!(VDuration::from_secs(1) * 0.25, VDuration::from_millis(250));
+    }
+
+    #[test]
+    fn as_secs_roundtrip() {
+        let d = VDuration::from_secs_f64(1.234567);
+        assert!((d.as_secs_f64() - 1.234567).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Timestamp::from_secs(1) < Timestamp::from_secs(2));
+        assert!(VDuration::from_millis(1) < VDuration::from_millis(2));
+        assert_eq!(
+            Timestamp::from_secs(1).max(Timestamp::from_secs(2)),
+            Timestamp::from_secs(2)
+        );
+        assert_eq!(
+            Timestamp::from_secs(1).min(Timestamp::from_secs(2)),
+            Timestamp::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Timestamp::from_secs(1).to_string(), "1.000000s");
+        assert_eq!(VDuration::from_millis(250).to_string(), "0.250000s");
+    }
+}

@@ -1,0 +1,332 @@
+//! Dynamically typed SQL values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+/// A single SQL value.
+///
+/// `Value` implements *total* equality, ordering, and hashing — floats
+/// are compared by their IEEE-754 bit pattern (with all NaNs collapsed
+/// to one canonical NaN) so that rows containing floats can be used as
+/// keys in the multiset maps that back [`crate::Row`]-based relations.
+///
+/// Cross-type comparisons between `Int` and `Float` compare numerically
+/// (so `Int(2) == Float(2.0)` is **false** for `Eq`/`Hash` purposes but
+/// `Value::numeric_cmp` treats them as equal); use
+/// [`Value::numeric_cmp`] when evaluating SQL predicates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE-754 float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Canonicalize NaN so all NaNs hash and compare identically.
+    fn canonical_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            // +0.0 and -0.0 compare equal; hash them identically too.
+            0.0f64.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+
+    /// Returns the value as an `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if the value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL-style comparison used by predicate evaluation: `Int` and
+    /// `Float` compare numerically; NULL compares less than everything
+    /// (callers implementing three-valued logic should special-case
+    /// NULL before calling this).
+    ///
+    /// Returns `None` for incomparable type pairs (e.g. `Int` vs
+    /// `Str`), which predicate evaluation treats as "false".
+    pub fn numeric_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Some(Ordering::Equal),
+            (Null, _) => Some(Ordering::Less),
+            (_, Null) => Some(Ordering::Greater),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's runtime type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+        }
+    }
+
+    /// Discriminant rank used to give `Value` a total order across types.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => Self::canonical_bits(*a) == Self::canonical_bits(*b),
+            (Str(a), Str(b)) => a == b,
+            (Bool(a), Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => Self::canonical_bits(*f).hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Bool(b) => b.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: first by type rank, then within type (floats by a
+    /// total order over their *canonical* bit patterns, so the order
+    /// agrees with `Eq`: ±0.0 compare equal and all NaNs collapse to
+    /// one value, placed last).
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => f64::from_bits(Self::canonical_bits(*a))
+                .total_cmp(&f64::from_bits(Self::canonical_bits(*b))),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_equality_and_hash() {
+        assert_eq!(Value::Int(5), Value::Int(5));
+        assert_ne!(Value::Int(5), Value::Int(6));
+        assert_eq!(hash_of(&Value::Int(5)), hash_of(&Value::Int(5)));
+    }
+
+    #[test]
+    fn float_nan_collapses() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(-f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn float_signed_zero_collapses() {
+        let a = Value::Float(0.0);
+        let b = Value::Float(-0.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn int_float_not_structurally_equal() {
+        assert_ne!(Value::Int(2), Value::Float(2.0));
+    }
+
+    #[test]
+    fn numeric_cmp_crosses_types() {
+        assert_eq!(
+            Value::Int(2).numeric_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).numeric_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Int(1).numeric_cmp(&Value::Str("x".into())), None);
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        let mut vals = [Value::Int(1), Value::Null, Value::Str("a".into())];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+    }
+
+    #[test]
+    fn total_order_is_consistent() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::Int(7),
+            Value::Float(0.5),
+            Value::Str("a".into()),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                match i.cmp(&j) {
+                    Ordering::Less => assert_eq!(a.cmp(b), Ordering::Less, "{a} < {b}"),
+                    Ordering::Equal => assert_eq!(a.cmp(b), Ordering::Equal),
+                    Ordering::Greater => assert_eq!(a.cmp(b), Ordering::Greater),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_basic() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Str("hi".into()).to_string(), "'hi'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_i64(), Some(4));
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(1.25).as_f64(), Some(1.25));
+        assert_eq!(Value::Str("s".into()).as_str(), Some("s"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Str("s".into()).as_i64(), None);
+    }
+}

@@ -1,0 +1,200 @@
+//! Time windows.
+//!
+//! TelegraphCQ queries attach a window clause to each stream, e.g.
+//! `WINDOW R['1 second']`. The paper's experiments use windows whose
+//! results are grouped *by window number*: tumbling (non-overlapping)
+//! partitions of the time axis, with the window width scaled to the
+//! data rate so each window holds a constant expected number of tuples
+//! (paper §6.2.2).
+//!
+//! [`WindowSpec`] generalizes this to **hopping** windows: window `w`
+//! covers `[w·slide, w·slide + width)`, so with `slide < width`
+//! consecutive windows overlap and one tuple contributes to
+//! `⌈width/slide⌉` windows (TelegraphCQ's sliding-window semantics at
+//! a fixed hop granularity). `slide == width` — the default — recovers
+//! tumbling windows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DtError, DtResult};
+use crate::time::{Timestamp, VDuration};
+
+/// The ordinal of a window: window `w` covers virtual time
+/// `[w · slide, w · slide + width)`.
+pub type WindowId = u64;
+
+/// A (possibly hopping) time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WindowSpec {
+    width: VDuration,
+    slide: VDuration,
+}
+
+impl WindowSpec {
+    /// A tumbling window (`slide == width`). Errors if the width is
+    /// zero.
+    pub fn new(width: VDuration) -> DtResult<Self> {
+        Self::hopping(width, width)
+    }
+
+    /// A hopping window advancing by `slide`. Errors if either span is
+    /// zero or if `slide > width` (gaps would silently lose tuples).
+    pub fn hopping(width: VDuration, slide: VDuration) -> DtResult<Self> {
+        if width.is_zero() || slide.is_zero() {
+            return Err(DtError::config("window width and slide must be positive"));
+        }
+        if slide > width {
+            return Err(DtError::config(
+                "window slide must not exceed the width (gapped windows lose tuples)",
+            ));
+        }
+        Ok(WindowSpec { width, slide })
+    }
+
+    /// A tumbling window of the given whole-second width.
+    pub fn seconds(s: u64) -> DtResult<Self> {
+        Self::new(VDuration::from_secs(s))
+    }
+
+    /// The window width.
+    pub fn width(&self) -> VDuration {
+        self.width
+    }
+
+    /// The hop between consecutive window starts.
+    pub fn slide(&self) -> VDuration {
+        self.slide
+    }
+
+    /// True if windows tile the axis without overlap.
+    pub fn is_tumbling(&self) -> bool {
+        self.slide == self.width
+    }
+
+    /// The *latest* window containing `ts` (for tumbling windows, the
+    /// unique one).
+    pub fn window_of(&self, ts: Timestamp) -> WindowId {
+        ts.micros() / self.slide.micros()
+    }
+
+    /// All windows containing `ts`, oldest first. For tumbling windows
+    /// this yields exactly one id.
+    pub fn windows_of(&self, ts: Timestamp) -> impl Iterator<Item = WindowId> {
+        let latest = self.window_of(ts);
+        // Window w contains ts iff w·slide ≤ ts (⇒ w ≤ latest) and
+        // ts < w·slide + width (⇒ w·slide > ts − width, i.e.
+        // w ≥ ⌊(ts − width)/slide⌋ + 1 for ts ≥ width; else w ≥ 0).
+        let oldest = if ts.micros() < self.width.micros() {
+            0
+        } else {
+            (ts.micros() - self.width.micros()) / self.slide.micros() + 1
+        };
+        oldest..=latest
+    }
+
+    /// Start of window `w`.
+    pub fn window_start(&self, w: WindowId) -> Timestamp {
+        Timestamp::from_micros(w * self.slide.micros())
+    }
+
+    /// Exclusive end of window `w`.
+    pub fn window_end(&self, w: WindowId) -> Timestamp {
+        Timestamp::from_micros(w * self.slide.micros() + self.width.micros())
+    }
+
+    /// True if `ts` falls inside window `w`.
+    pub fn contains(&self, w: WindowId, ts: Timestamp) -> bool {
+        ts >= self.window_start(w) && ts < self.window_end(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(WindowSpec::new(VDuration::ZERO).is_err());
+    }
+
+    #[test]
+    fn window_of_partitions_time() {
+        let w = WindowSpec::seconds(1).unwrap();
+        assert_eq!(w.window_of(Timestamp::from_micros(0)), 0);
+        assert_eq!(w.window_of(Timestamp::from_micros(999_999)), 0);
+        assert_eq!(w.window_of(Timestamp::from_micros(1_000_000)), 1);
+        assert_eq!(w.window_of(Timestamp::from_secs(10)), 10);
+    }
+
+    #[test]
+    fn window_bounds() {
+        let w = WindowSpec::new(VDuration::from_millis(250)).unwrap();
+        assert_eq!(w.window_start(4), Timestamp::from_secs(1));
+        assert_eq!(w.window_end(4), Timestamp::from_micros(1_250_000));
+        assert!(w.contains(4, Timestamp::from_micros(1_100_000)));
+        assert!(!w.contains(4, Timestamp::from_micros(1_250_000)));
+    }
+
+    #[test]
+    fn hopping_rejects_bad_configs() {
+        let w = VDuration::from_secs(4);
+        assert!(WindowSpec::hopping(w, VDuration::ZERO).is_err());
+        assert!(WindowSpec::hopping(VDuration::ZERO, w).is_err());
+        // Gapped windows (slide > width) are rejected.
+        assert!(WindowSpec::hopping(VDuration::from_secs(1), VDuration::from_secs(2)).is_err());
+        assert!(WindowSpec::hopping(w, w).unwrap().is_tumbling());
+    }
+
+    #[test]
+    fn hopping_windows_overlap() {
+        // width 4s, slide 1s: every tuple is in 4 windows.
+        let spec =
+            WindowSpec::hopping(VDuration::from_secs(4), VDuration::from_secs(1)).unwrap();
+        assert!(!spec.is_tumbling());
+        let ws: Vec<WindowId> = spec.windows_of(Timestamp::from_secs(10)).collect();
+        assert_eq!(ws, vec![7, 8, 9, 10]);
+        for &w in &ws {
+            assert!(spec.contains(w, Timestamp::from_secs(10)));
+        }
+        // The window just before the range excludes it (end exclusive).
+        assert!(!spec.contains(6, Timestamp::from_secs(10)));
+        assert!(!spec.contains(11, Timestamp::from_secs(10)));
+    }
+
+    #[test]
+    fn hopping_near_origin_clips() {
+        let spec =
+            WindowSpec::hopping(VDuration::from_secs(4), VDuration::from_secs(1)).unwrap();
+        let ws: Vec<WindowId> = spec.windows_of(Timestamp::from_secs(2)).collect();
+        assert_eq!(ws, vec![0, 1, 2]);
+        let ws: Vec<WindowId> = spec.windows_of(Timestamp::ZERO).collect();
+        assert_eq!(ws, vec![0]);
+    }
+
+    #[test]
+    fn tumbling_windows_of_is_singleton() {
+        let spec = WindowSpec::seconds(2).unwrap();
+        for us in [0u64, 1, 1_999_999, 2_000_000, 7_654_321] {
+            let ts = Timestamp::from_micros(us);
+            let ws: Vec<WindowId> = spec.windows_of(ts).collect();
+            assert_eq!(ws, vec![spec.window_of(ts)], "ts {us}");
+        }
+    }
+
+    #[test]
+    fn hopping_bounds() {
+        let spec =
+            WindowSpec::hopping(VDuration::from_secs(3), VDuration::from_secs(1)).unwrap();
+        assert_eq!(spec.window_start(5), Timestamp::from_secs(5));
+        assert_eq!(spec.window_end(5), Timestamp::from_secs(8));
+        assert_eq!(spec.width(), VDuration::from_secs(3));
+        assert_eq!(spec.slide(), VDuration::from_secs(1));
+    }
+
+    #[test]
+    fn boundaries_belong_to_next_window() {
+        let w = WindowSpec::seconds(2).unwrap();
+        assert_eq!(w.window_of(w.window_end(0)), 1);
+        assert_eq!(w.window_of(w.window_start(3)), 3);
+    }
+}

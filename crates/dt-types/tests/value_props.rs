@@ -1,0 +1,95 @@
+//! Property tests for the core value types: the total order is a
+//! genuine order, hashing is consistent with equality, and row
+//! operations compose.
+
+use dt_types::{Row, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,6}".prop_map(Value::Str),
+    ]
+}
+
+fn hash_of(v: &impl Hash) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Eq ⇒ same hash (the HashMap contract).
+    #[test]
+    fn eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    /// The total order is reflexive, antisymmetric, and transitive.
+    #[test]
+    fn total_order_laws(a in arb_value(), b in arb_value(), c in arb_value()) {
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Ord's Equal agrees with Eq (NaN canonicalization included).
+    #[test]
+    fn ord_equal_iff_eq(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.cmp(&b) == Ordering::Equal, a == b);
+    }
+
+    /// numeric_cmp is antisymmetric where defined.
+    #[test]
+    fn numeric_cmp_antisymmetric(a in arb_value(), b in arb_value()) {
+        if let (Some(x), Some(y)) = (a.numeric_cmp(&b), b.numeric_cmp(&a)) {
+            prop_assert_eq!(x, y.reverse());
+        }
+    }
+
+    /// Row concat/project compose: projecting the concatenation onto
+    /// the left/right index ranges recovers the originals.
+    #[test]
+    fn concat_project_roundtrip(
+        a in prop::collection::vec(arb_value(), 0..5),
+        b in prop::collection::vec(arb_value(), 0..5),
+    ) {
+        let ra = Row::new(a.clone());
+        let rb = Row::new(b.clone());
+        let cat = ra.concat(&rb);
+        prop_assert_eq!(cat.arity(), a.len() + b.len());
+        let left: Vec<usize> = (0..a.len()).collect();
+        let right: Vec<usize> = (a.len()..a.len() + b.len()).collect();
+        prop_assert_eq!(cat.project(&left), ra);
+        prop_assert_eq!(cat.project(&right), rb);
+    }
+
+    /// Rows inherit a lawful order from values (lexicographic).
+    #[test]
+    fn row_order_is_lexicographic(
+        a in prop::collection::vec(arb_value(), 1..4),
+        b in prop::collection::vec(arb_value(), 1..4),
+    ) {
+        let ra = Row::new(a.clone());
+        let rb = Row::new(b.clone());
+        let expected = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| x.cmp(y))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or_else(|| a.len().cmp(&b.len()));
+        prop_assert_eq!(ra.cmp(&rb), expected);
+    }
+}

@@ -1,0 +1,250 @@
+//! Arrival-time processes: constant-rate and two-state Markov bursty.
+
+use dt_types::{DtError, DtResult, Timestamp, VDuration};
+use rand::Rng;
+
+/// How inter-arrival gaps are produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Fixed rate: every gap is `1/rate`.
+    Constant {
+        /// Tuples per second.
+        rate: f64,
+    },
+    /// The paper's §6.2.2 two-state Markov model: tuples arrive at
+    /// `base_rate` outside bursts and `base_rate × burst_multiplier`
+    /// inside; state switches are decided per tuple so that the
+    /// expected burst length is `mean_burst_len` tuples and a
+    /// `burst_fraction` of all tuples fall inside bursts.
+    Bursty {
+        /// Non-burst tuples per second.
+        base_rate: f64,
+        /// Burst speed-up (the paper uses 100).
+        burst_multiplier: f64,
+        /// Fraction of tuples that are burst tuples (the paper: 0.6).
+        burst_fraction: f64,
+        /// Expected tuples per burst (the paper: 200).
+        mean_burst_len: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// The paper's bursty parameters at a given base rate.
+    pub fn paper_bursty(base_rate: f64) -> Self {
+        ArrivalModel::Bursty {
+            base_rate,
+            burst_multiplier: 100.0,
+            burst_fraction: 0.6,
+            mean_burst_len: 200.0,
+        }
+    }
+
+    /// The peak instantaneous rate (the x-axis of Fig. 9).
+    pub fn peak_rate(&self) -> f64 {
+        match *self {
+            ArrivalModel::Constant { rate } => rate,
+            ArrivalModel::Bursty {
+                base_rate,
+                burst_multiplier,
+                ..
+            } => base_rate * burst_multiplier,
+        }
+    }
+
+    /// The long-run average rate.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalModel::Constant { rate } => rate,
+            ArrivalModel::Bursty {
+                base_rate,
+                burst_multiplier,
+                burst_fraction,
+                ..
+            } => {
+                // A fraction `f` of tuples take gaps of 1/(m·r), the
+                // rest 1/r: mean gap = f/(m·r) + (1−f)/r.
+                let mean_gap = burst_fraction / (burst_multiplier * base_rate)
+                    + (1.0 - burst_fraction) / base_rate;
+                1.0 / mean_gap
+            }
+        }
+    }
+
+    fn validate(&self) -> DtResult<()> {
+        let ok = match *self {
+            ArrivalModel::Constant { rate } => rate.is_finite() && rate > 0.0,
+            ArrivalModel::Bursty {
+                base_rate,
+                burst_multiplier,
+                burst_fraction,
+                mean_burst_len,
+            } => {
+                base_rate.is_finite()
+                    && base_rate > 0.0
+                    && burst_multiplier >= 1.0
+                    && (0.0..1.0).contains(&burst_fraction)
+                    && mean_burst_len >= 1.0
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(DtError::config(format!("invalid arrival model {self:?}")))
+        }
+    }
+}
+
+/// A running arrival process: produces the timestamp of each
+/// successive tuple and reports whether it is a burst tuple.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    model: ArrivalModel,
+    clock: Timestamp,
+    in_burst: bool,
+    /// Per-tuple probability of leaving the burst state.
+    p_exit_burst: f64,
+    /// Per-tuple probability of entering the burst state.
+    p_enter_burst: f64,
+}
+
+impl ArrivalProcess {
+    /// Start a process at virtual time zero.
+    pub fn new(model: ArrivalModel) -> DtResult<Self> {
+        model.validate()?;
+        let (p_exit, p_enter) = match model {
+            ArrivalModel::Constant { .. } => (0.0, 0.0),
+            ArrivalModel::Bursty {
+                burst_fraction,
+                mean_burst_len,
+                ..
+            } => {
+                // Expected burst run = mean_burst_len tuples
+                //   ⇒ exit probability 1/mean_burst_len.
+                // Tuple-stationary burst fraction f = B/(B+N) with
+                // N = expected non-burst run ⇒ N = B(1−f)/f.
+                let b = mean_burst_len;
+                let n = b * (1.0 - burst_fraction) / burst_fraction.max(1e-12);
+                (1.0 / b, 1.0 / n.max(1.0))
+            }
+        };
+        Ok(ArrivalProcess {
+            model,
+            clock: Timestamp::ZERO,
+            in_burst: false,
+            p_exit_burst: p_exit,
+            p_enter_burst: p_enter,
+        })
+    }
+
+    /// Produce the next arrival: `(timestamp, is_burst_tuple)`.
+    pub fn next_arrival<R: Rng>(&mut self, rng: &mut R) -> (Timestamp, bool) {
+        let gap = match self.model {
+            ArrivalModel::Constant { rate } => VDuration::from_secs_f64(1.0 / rate),
+            ArrivalModel::Bursty {
+                base_rate,
+                burst_multiplier,
+                ..
+            } => {
+                // Switch state first, then emit at the state's rate.
+                if self.in_burst {
+                    if rng.gen_bool(self.p_exit_burst) {
+                        self.in_burst = false;
+                    }
+                } else if rng.gen_bool(self.p_enter_burst) {
+                    self.in_burst = true;
+                }
+                let rate = if self.in_burst {
+                    base_rate * burst_multiplier
+                } else {
+                    base_rate
+                };
+                VDuration::from_secs_f64(1.0 / rate)
+            }
+        };
+        // Gaps below clock resolution still advance time by 1 µs so
+        // arrivals stay strictly ordered.
+        let gap = if gap.is_zero() {
+            VDuration::from_micros(1)
+        } else {
+            gap
+        };
+        self.clock += gap;
+        (self.clock, self.in_burst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn constant_rate_is_even() {
+        let mut p = ArrivalProcess::new(ArrivalModel::Constant { rate: 1000.0 }).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (t1, b1) = p.next_arrival(&mut rng);
+        let (t2, _) = p.next_arrival(&mut rng);
+        assert!(!b1);
+        assert_eq!(t1, Timestamp::from_micros(1000));
+        assert_eq!(t2 - t1, VDuration::from_millis(1));
+    }
+
+    #[test]
+    fn bursty_hits_paper_parameters() {
+        let mut p = ArrivalProcess::new(ArrivalModel::paper_bursty(100.0)).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 200_000;
+        let mut burst_tuples = 0u64;
+        let mut bursts = 0u64;
+        let mut prev_burst = false;
+        let mut last = Timestamp::ZERO;
+        for _ in 0..n {
+            let (t, b) = p.next_arrival(&mut rng);
+            assert!(t > last, "strictly increasing");
+            last = t;
+            if b {
+                burst_tuples += 1;
+                if !prev_burst {
+                    bursts += 1;
+                }
+            }
+            prev_burst = b;
+        }
+        let frac = burst_tuples as f64 / n as f64;
+        assert!((frac - 0.6).abs() < 0.05, "burst fraction {frac}");
+        let mean_len = burst_tuples as f64 / bursts as f64;
+        assert!((mean_len - 200.0).abs() < 30.0, "mean burst length {mean_len}");
+    }
+
+    #[test]
+    fn bursty_mean_rate_formula() {
+        let m = ArrivalModel::paper_bursty(100.0);
+        // mean gap = 0.6/(100·100) + 0.4/100 = 0.00006 + 0.004 = 0.00406 s
+        assert!((m.mean_rate() - 1.0 / 0.00406).abs() < 1e-6);
+        assert_eq!(m.peak_rate(), 10_000.0);
+        let c = ArrivalModel::Constant { rate: 5.0 };
+        assert_eq!(c.mean_rate(), 5.0);
+        assert_eq!(c.peak_rate(), 5.0);
+    }
+
+    #[test]
+    fn invalid_models_rejected() {
+        assert!(ArrivalProcess::new(ArrivalModel::Constant { rate: 0.0 }).is_err());
+        assert!(ArrivalProcess::new(ArrivalModel::Constant { rate: -1.0 }).is_err());
+        assert!(ArrivalProcess::new(ArrivalModel::Bursty {
+            base_rate: 10.0,
+            burst_multiplier: 0.5,
+            burst_fraction: 0.6,
+            mean_burst_len: 200.0
+        })
+        .is_err());
+        assert!(ArrivalProcess::new(ArrivalModel::Bursty {
+            base_rate: 10.0,
+            burst_multiplier: 100.0,
+            burst_fraction: 1.5,
+            mean_burst_len: 200.0
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Clamped integer Gaussian sampling (Box–Muller over a seeded RNG).
+
+use rand::Rng;
+
+/// A Gaussian over the integer domain `[lo, hi]`: samples are drawn
+/// from `N(mean, std²)`, rounded, and clamped to the domain (the
+/// paper's attribute values "ranged from 1 to 100, inclusive").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    /// Mean of the underlying normal.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// Inclusive domain lower bound.
+    pub lo: i64,
+    /// Inclusive domain upper bound.
+    pub hi: i64,
+}
+
+impl Gaussian {
+    /// The paper's default: mean 50, σ 15, domain 1..=100.
+    pub fn paper_default() -> Self {
+        Gaussian {
+            mean: 50.0,
+            std: 15.0,
+            lo: 1,
+            hi: 100,
+        }
+    }
+
+    /// The same shape with a shifted mean — the "burst" distribution
+    /// of §6.2.2.
+    pub fn shifted(mean: f64) -> Self {
+        Gaussian {
+            mean,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Draw one integer sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> i64 {
+        // Box–Muller; one normal per call keeps the code simple (the
+        // discarded second variate is not worth caching here).
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (self.mean + self.std * z).round() as i64;
+        v.clamp(self.lo, self.hi)
+    }
+
+    /// Draw a row of `arity` independent samples.
+    pub fn sample_row<R: Rng>(&self, rng: &mut R, arity: usize) -> Vec<i64> {
+        (0..arity).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let g = Gaussian::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = g.sample(&mut rng);
+            assert!((1..=100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mean_and_spread_are_plausible() {
+        let g = Gaussian::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<i64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<i64>() as f64 / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+        let var = samples
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        let std = var.sqrt();
+        assert!((std - 15.0).abs() < 1.5, "std {std}");
+    }
+
+    #[test]
+    fn shifted_mean_shifts_samples() {
+        let a = Gaussian::paper_default();
+        let b = Gaussian::shifted(20.0);
+        let mut r1 = ChaCha8Rng::seed_from_u64(3);
+        let mut r2 = ChaCha8Rng::seed_from_u64(3);
+        let n = 5_000;
+        let ma = (0..n).map(|_| a.sample(&mut r1)).sum::<i64>() as f64 / n as f64;
+        let mb = (0..n).map(|_| b.sample(&mut r2)).sum::<i64>() as f64 / n as f64;
+        assert!(ma - mb > 20.0, "{ma} vs {mb}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = Gaussian::paper_default();
+        let mut r1 = ChaCha8Rng::seed_from_u64(9);
+        let mut r2 = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut r1), g.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn sample_row_arity() {
+        let g = Gaussian::paper_default();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert_eq!(g.sample_row(&mut rng, 3).len(), 3);
+        assert!(g.sample_row(&mut rng, 0).is_empty());
+    }
+}

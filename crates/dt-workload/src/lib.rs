@@ -1,0 +1,26 @@
+//! Workload generation for the Data Triage experiments (paper §6.2).
+//!
+//! The paper's experiments generate equal numbers of random tuples per
+//! stream from Gaussian distributions over the integer domain
+//! `1..=100`, delivered either at a constant rate or through a
+//! two-state Markov bursty process in which:
+//!
+//! * 60 % of all tuples belong to bursts,
+//! * the expected burst length is 200 tuples,
+//! * burst-state data arrives 100× as fast as non-burst data, and
+//! * burst tuples are drawn from a *different* Gaussian than non-burst
+//!   tuples (this is what makes Fig. 9 interesting: drop-only loses
+//!   precisely the unusual data).
+//!
+//! [`generate`] produces a time-ordered arrival sequence
+//! `(stream index, Tuple)` from a fully seeded [`WorkloadConfig`].
+
+pub mod arrival;
+pub mod gaussian;
+pub mod scenario;
+pub mod trace;
+
+pub use arrival::{ArrivalModel, ArrivalProcess};
+pub use gaussian::Gaussian;
+pub use scenario::{generate, StreamSpec, WorkloadConfig};
+pub use trace::{parse_trace, write_trace};

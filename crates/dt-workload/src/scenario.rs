@@ -1,0 +1,205 @@
+//! Full experiment workloads: per-stream Gaussian tuples delivered by
+//! an arrival process.
+
+use dt_types::{DtError, DtResult, Row, Tuple};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::arrival::{ArrivalModel, ArrivalProcess};
+use crate::gaussian::Gaussian;
+
+/// One stream's shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSpec {
+    /// Number of integer columns.
+    pub arity: usize,
+    /// Distribution of non-burst tuples.
+    pub base_dist: Gaussian,
+    /// Distribution of burst tuples (§6.2.2 draws bursts from a
+    /// Gaussian with a different mean).
+    pub burst_dist: Gaussian,
+}
+
+impl StreamSpec {
+    /// A stream whose burst data matches its base data.
+    pub fn uniform_bursts(arity: usize, dist: Gaussian) -> Self {
+        StreamSpec {
+            arity,
+            base_dist: dist,
+            burst_dist: dist,
+        }
+    }
+
+    /// The paper's bursty setting: base at mean 50, bursts shifted to
+    /// mean 20.
+    pub fn paper_bursty(arity: usize) -> Self {
+        StreamSpec {
+            arity,
+            base_dist: Gaussian::paper_default(),
+            burst_dist: Gaussian::shifted(20.0),
+        }
+    }
+}
+
+/// A complete, seeded workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// One spec per stream; arrivals round-robin across streams so
+    /// each receives an equal share (paper §6.2.1: "equal numbers of
+    /// random tuples for each of the streams").
+    pub streams: Vec<StreamSpec>,
+    /// Arrival-time process (shared clock across streams).
+    pub arrival: ArrivalModel,
+    /// Total tuples across all streams.
+    pub total_tuples: usize,
+    /// Master seed: both values and burst timing derive from it.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's 3-stream experiment workload (`R(a)`, `S(b,c)`,
+    /// `T(d)`) at a constant rate.
+    pub fn paper_constant(rate: f64, total_tuples: usize, seed: u64) -> Self {
+        let g = Gaussian::paper_default();
+        WorkloadConfig {
+            streams: vec![
+                StreamSpec::uniform_bursts(1, g),
+                StreamSpec::uniform_bursts(2, g),
+                StreamSpec::uniform_bursts(1, g),
+            ],
+            arrival: ArrivalModel::Constant { rate },
+            total_tuples,
+            seed,
+        }
+    }
+
+    /// The paper's 3-stream bursty workload (burst data shifted).
+    pub fn paper_bursty(base_rate: f64, total_tuples: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            streams: vec![
+                StreamSpec::paper_bursty(1),
+                StreamSpec::paper_bursty(2),
+                StreamSpec::paper_bursty(1),
+            ],
+            arrival: ArrivalModel::paper_bursty(base_rate),
+            total_tuples,
+            seed,
+        }
+    }
+}
+
+/// Generate the time-ordered arrival sequence for a workload.
+///
+/// ```
+/// use dt_workload::{generate, WorkloadConfig};
+///
+/// // The paper's bursty 3-stream workload at base rate 100 t/s.
+/// let arrivals = generate(&WorkloadConfig::paper_bursty(100.0, 1_000, 42))?;
+/// assert_eq!(arrivals.len(), 1_000);
+/// assert!(arrivals.windows(2).all(|w| w[0].1.ts <= w[1].1.ts));
+/// # Ok::<(), dt_types::DtError>(())
+/// ```
+pub fn generate(cfg: &WorkloadConfig) -> DtResult<Vec<(usize, Tuple)>> {
+    if cfg.streams.is_empty() {
+        return Err(DtError::config("workload has no streams"));
+    }
+    let mut process = ArrivalProcess::new(cfg.arrival)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.total_tuples);
+    for i in 0..cfg.total_tuples {
+        let (ts, in_burst) = process.next_arrival(&mut rng);
+        // Round-robin with a random phase offset per round so one
+        // stream doesn't always see the first tuple of a burst.
+        let stream = if cfg.streams.len() == 1 {
+            0
+        } else if i % cfg.streams.len() == 0 {
+            rng.gen_range(0..cfg.streams.len())
+        } else {
+            (out.last().map(|&(s, _)| s).unwrap_or(0) + 1) % cfg.streams.len()
+        };
+        let spec = &cfg.streams[stream];
+        let dist = if in_burst {
+            &spec.burst_dist
+        } else {
+            &spec.base_dist
+        };
+        let row = Row::from_ints(&dist.sample_row(&mut rng, spec.arity));
+        out.push((stream, Tuple::new(row, ts)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_types::Timestamp;
+
+    #[test]
+    fn generates_requested_count_in_time_order() {
+        let cfg = WorkloadConfig::paper_constant(1000.0, 3000, 42);
+        let arrivals = generate(&cfg).unwrap();
+        assert_eq!(arrivals.len(), 3000);
+        let mut last = Timestamp::ZERO;
+        for (_, t) in &arrivals {
+            assert!(t.ts >= last);
+            last = t.ts;
+        }
+    }
+
+    #[test]
+    fn streams_get_roughly_equal_shares() {
+        let cfg = WorkloadConfig::paper_constant(1000.0, 3000, 1);
+        let arrivals = generate(&cfg).unwrap();
+        let mut counts = [0usize; 3];
+        for (s, _) in &arrivals {
+            counts[*s] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 1000).abs() < 50, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn arities_match_specs() {
+        let cfg = WorkloadConfig::paper_constant(1000.0, 300, 2);
+        for (s, t) in generate(&cfg).unwrap() {
+            let expected = cfg.streams[s].arity;
+            assert_eq!(t.arity(), expected);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = WorkloadConfig::paper_bursty(100.0, 1000, 9);
+        assert_eq!(generate(&cfg).unwrap(), generate(&cfg).unwrap());
+        let cfg2 = WorkloadConfig { seed: 10, ..cfg.clone() };
+        assert_ne!(generate(&cfg).unwrap(), generate(&cfg2).unwrap());
+    }
+
+    #[test]
+    fn bursty_values_shift_during_bursts() {
+        // With bursts drawn from mean 20 and base from mean 50, the
+        // overall mean must sit well below 50.
+        let cfg = WorkloadConfig::paper_bursty(100.0, 20_000, 3);
+        let arrivals = generate(&cfg).unwrap();
+        let vals: Vec<i64> = arrivals
+            .iter()
+            .flat_map(|(_, t)| t.row.values().iter().filter_map(|v| v.as_i64()))
+            .collect();
+        let mean = vals.iter().sum::<i64>() as f64 / vals.len() as f64;
+        assert!(mean < 40.0, "mean {mean}");
+        assert!(mean > 20.0, "mean {mean}");
+    }
+
+    #[test]
+    fn empty_streams_rejected() {
+        let cfg = WorkloadConfig {
+            streams: vec![],
+            arrival: ArrivalModel::Constant { rate: 1.0 },
+            total_tuples: 10,
+            seed: 0,
+        };
+        assert!(generate(&cfg).is_err());
+    }
+}

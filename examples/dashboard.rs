@@ -1,0 +1,126 @@
+//! A terminal rendition of the paper's Fig. 3 visualization:
+//! exact result tuples drawn as points, the shadow-query estimate of
+//! *lost* results drawn as shaded cells ("rectangles in varying
+//! shades of red" in the paper's web UI; density glyphs here).
+//!
+//! The query returns two-dimensional tuples (no aggregation), so each
+//! window's payload carries the exact rows plus the lost-result
+//! synopsis; the renderer overlays them on one grid.
+//!
+//! ```sh
+//! cargo run --release -p datatriage --example dashboard
+//! ```
+
+use datatriage::prelude::*;
+use datatriage::synopsis::Synopsis as Syn;
+
+const GRID: i64 = 10; // cells per axis (domain 1..=100, width 10)
+
+fn main() -> DtResult<()> {
+    let mut catalog = Catalog::new();
+    catalog.add_stream(
+        "points",
+        Schema::from_pairs(&[("x", DataType::Int), ("y", DataType::Int)]),
+    );
+    let sql = "SELECT x, y FROM points WINDOW points['1 second']";
+    let plan = Planner::new(&catalog).plan(&parse_select(sql)?)?;
+
+    // Steady data clusters top-right (mean 70); burst data bottom-left
+    // (mean 25) — the burst paints a second cluster the analyst must
+    // not lose.
+    let steady = Gaussian {
+        mean: 70.0,
+        std: 10.0,
+        lo: 1,
+        hi: 100,
+    };
+    let burst = Gaussian {
+        mean: 25.0,
+        std: 8.0,
+        lo: 1,
+        hi: 100,
+    };
+    let workload = WorkloadConfig {
+        streams: vec![StreamSpec {
+            arity: 2,
+            base_dist: steady,
+            burst_dist: burst,
+        }],
+        arrival: ArrivalModel::paper_bursty(60.0),
+        total_tuples: 6_000,
+        seed: 5,
+    };
+    let arrivals = generate(&workload)?;
+
+    let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+    cfg.cost = CostModel::from_capacity(400.0)?;
+    cfg.queue_capacity = 60;
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: GRID };
+    cfg.seed = 5;
+    let report = Pipeline::run(plan, cfg, arrivals)?;
+
+    // Render the busiest window.
+    let window = report
+        .windows
+        .iter()
+        .max_by_key(|w| w.arrived)
+        .expect("at least one window");
+    let WindowPayload::Rows { rows, lost } = &window.payload else {
+        unreachable!("non-aggregating query");
+    };
+    println!(
+        "window {} — {} arrived, {} kept (points), {} dropped (shaded estimate)\n",
+        window.window, window.arrived, window.kept, window.dropped
+    );
+
+    // Kept points per cell.
+    let mut kept_cells = vec![vec![0u32; GRID as usize]; GRID as usize];
+    for r in rows {
+        let (x, y) = (r[0].as_i64().unwrap(), r[1].as_i64().unwrap());
+        let (cx, cy) = (((x - 1) / GRID) as usize, ((y - 1) / GRID) as usize);
+        kept_cells[cy.min(9)][cx.min(9)] += 1;
+    }
+    // Lost-estimate mass per cell, straight from the sparse histogram.
+    let mut lost_cells = vec![vec![0f64; GRID as usize]; GRID as usize];
+    if let Some(Syn::Sparse(hist)) = lost.as_ref() {
+        for (coords, mass) in hist.iter_cells() {
+            // Histogram cells are value/GRID; domain starts at 1 so
+            // cell 0 covers 0..GRID etc. Clamp into the render grid.
+            let cx = coords[0].clamp(0, 9) as usize;
+            let cy = coords[1].clamp(0, 9) as usize;
+            lost_cells[cy][cx] += mass;
+        }
+    }
+
+    let max_lost = lost_cells
+        .iter()
+        .flatten()
+        .fold(0.0f64, |a, &b| a.max(b))
+        .max(1.0);
+    println!("   legend: '·:▒▓█' = estimated lost mass (light→heavy), '•' = exact kept point\n");
+    for cy in (0..GRID as usize).rev() {
+        print!("  {:>3} │", (cy as i64 + 1) * GRID);
+        for cx in 0..GRID as usize {
+            let lost = lost_cells[cy][cx];
+            let kept = kept_cells[cy][cx];
+            let shade = match (lost / max_lost * 4.0).round() as u32 {
+                0 => ' ',
+                1 => '·',
+                2 => ':',
+                3 => '▒',
+                _ => '█',
+            };
+            let point = if kept > 0 { '•' } else { shade };
+            print!(" {point}{shade}");
+        }
+        println!();
+    }
+    println!("      └{}", "─".repeat(3 * GRID as usize));
+    println!("        10        30        50        70        90  (x)");
+    println!(
+        "\nestimated lost tuples in this window: {:.1} (actual dropped: {})",
+        lost.as_ref().map(|s| s.total_mass()).unwrap_or(0.0),
+        window.dropped
+    );
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Shared multi-query processing (paper §8.1): several continuous
+//! queries over one set of physical streams, sharing triage queues,
+//! engine capacity, and — the part the paper flags as unexplored —
+//! the kept/dropped **synopses**.
+//!
+//! Three analysts watch the same overloaded sensor feed:
+//! * Q1: per-sensor reading counts,
+//! * Q2: average reading per sensor,
+//! * Q3: counts of high readings only (a filtered view).
+//!
+//! One arrival sequence drives all three; each tuple is queued, shed,
+//! and synopsized exactly once.
+//!
+//! ```sh
+//! cargo run --release -p datatriage --example multi_query
+//! ```
+
+use datatriage::prelude::*;
+use datatriage::triage::SharedPipeline;
+
+fn main() -> DtResult<()> {
+    let mut catalog = Catalog::new();
+    catalog.add_stream(
+        "sensors",
+        Schema::from_pairs(&[("sensor", DataType::Int), ("reading", DataType::Int)]),
+    );
+    let plans: Vec<QueryPlan> = [
+        "SELECT sensor, COUNT(*) as n FROM sensors GROUP BY sensor WINDOW sensors['1 second']",
+        "SELECT sensor, AVG(reading) as avg FROM sensors GROUP BY sensor WINDOW sensors['1 second']",
+        "SELECT sensor, COUNT(*) as hot FROM sensors WHERE reading > 80 GROUP BY sensor \
+         WINDOW sensors['1 second']",
+    ]
+    .iter()
+    .map(|sql| Planner::new(&catalog).plan(&parse_select(sql)?))
+    .collect::<DtResult<_>>()?;
+
+    let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+    cfg.cost = CostModel::from_capacity(600.0)?;
+    cfg.queue_capacity = 60;
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+    cfg.seed = 21;
+    let mut pipeline = SharedPipeline::new(plans.clone(), cfg)?;
+    println!(
+        "shared pipeline: {} queries over {} physical stream(s)\n",
+        pipeline.num_queries(),
+        pipeline.streams().len()
+    );
+
+    // A bursty feed: sensor ids 1..=8, readings Gaussian; the burst
+    // runs hot (mean 90).
+    let workload = WorkloadConfig {
+        streams: vec![StreamSpec {
+            arity: 2,
+            base_dist: Gaussian {
+                mean: 50.0,
+                std: 12.0,
+                lo: 1,
+                hi: 100,
+            },
+            burst_dist: Gaussian {
+                mean: 90.0,
+                std: 5.0,
+                lo: 1,
+                hi: 100,
+            },
+        }],
+        arrival: ArrivalModel::paper_bursty(60.0),
+        total_tuples: 9_000,
+        seed: 21,
+    };
+    let mut arrivals = generate(&workload)?;
+    for (i, (_, t)) in arrivals.iter_mut().enumerate() {
+        let sensor = (i % 8) as i64 + 1;
+        let reading = t.row[1].clone();
+        t.row = Row::new(vec![Value::Int(sensor), reading]);
+    }
+    // Ideal answers per query, for scoring.
+    let ideals: Vec<ResultMap> = plans
+        .iter()
+        .map(|p| ideal_map(p, &arrivals))
+        .collect::<DtResult<_>>()?;
+
+    for (stream, tuple) in &arrivals {
+        pipeline.offer(*stream, tuple.clone())?;
+    }
+    let reports = pipeline.finish()?;
+
+    println!(
+        "fed {} tuples once; {} shed once, shared by every query ({:.1}%)\n",
+        reports[0].totals.arrived,
+        reports[0].totals.dropped,
+        100.0 * reports[0].totals.dropped as f64 / reports[0].totals.arrived as f64
+    );
+    let names = ["Q1 counts", "Q2 averages", "Q3 hot readings"];
+    println!("{:<18} {:>9} {:>12}", "query", "windows", "RMS error");
+    for ((name, report), ideal) in names.iter().zip(&reports).zip(&ideals) {
+        println!(
+            "{:<18} {:>9} {:>12.3}",
+            name,
+            report.windows.len(),
+            rms_error(ideal, &report_to_map(report))
+        );
+    }
+    println!(
+        "\n(with width-1 synopses all three merged results are exact despite the\n\
+         shedding — and the synopsis work was done once, not three times)"
+    );
+    Ok(())
+}

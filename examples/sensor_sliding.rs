@@ -1,0 +1,137 @@
+//! Sliding-window monitoring of an out-of-order sensor feed.
+//!
+//! Combines the reproduction's TelegraphCQ-style extensions:
+//!
+//! * a **hopping window** (`WINDOW readings['2 seconds', '500
+//!   milliseconds']`) — each reading contributes to four overlapping
+//!   windows, giving a smooth moving view;
+//! * a [`ReorderBuffer`] absorbing network jitter (readings arrive up
+//!   to 20 ms out of order);
+//! * the **adaptive** memory-bounded synopsis, so a burst cannot blow
+//!   up synopsis memory;
+//! * HAVING over *merged* aggregates: alert groups only count when
+//!   exact + estimated readings together clear the threshold.
+//!
+//! ```sh
+//! cargo run --release -p datatriage --example sensor_sliding
+//! ```
+
+use datatriage::prelude::*;
+use datatriage::triage::ReorderBuffer;
+
+fn main() -> DtResult<()> {
+    let mut catalog = Catalog::new();
+    catalog.add_stream(
+        "readings",
+        Schema::from_pairs(&[("sensor", DataType::Int), ("level", DataType::Int)]),
+    );
+    let plan = Planner::new(&catalog).plan(&parse_select(
+        "SELECT sensor, COUNT(*) as n, AVG(level) as avg_level FROM readings \
+         WHERE level > 10 GROUP BY sensor HAVING COUNT(*) >= 20 \
+         WINDOW readings['2 seconds', '500 milliseconds']",
+    )?)?;
+    println!("{}", datatriage::query::explain(&plan));
+
+    let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+    cfg.cost = CostModel::from_capacity(700.0)?;
+    cfg.queue_capacity = 70;
+    cfg.synopsis = SynopsisConfig::AdaptiveSparse {
+        base_width: 1,
+        max_cells: 64,
+    };
+    cfg.seed = 99;
+    let mut pipeline = Pipeline::new(plan, cfg)?;
+
+    // A bursty feed whose tuples arrive with up to 20 ms of jitter.
+    let workload = WorkloadConfig {
+        streams: vec![StreamSpec {
+            arity: 2,
+            base_dist: Gaussian {
+                mean: 40.0,
+                std: 15.0,
+                lo: 1,
+                hi: 100,
+            },
+            burst_dist: Gaussian {
+                mean: 85.0,
+                std: 8.0,
+                lo: 1,
+                hi: 100,
+            },
+        }],
+        arrival: ArrivalModel::paper_bursty(80.0),
+        total_tuples: 10_000,
+        seed: 99,
+    };
+    let mut arrivals = generate(&workload)?;
+    // Assign sensor ids and jitter the delivery order deterministically.
+    for (i, (_, t)) in arrivals.iter_mut().enumerate() {
+        let sensor = (i % 6) as i64 + 1;
+        let level = t.row[1].clone();
+        t.row = Row::new(vec![Value::Int(sensor), level]);
+    }
+    let mut jittered = arrivals.clone();
+    for i in (3..jittered.len()).step_by(4) {
+        jittered.swap(i - 3, i); // out-of-order by up to 3 positions
+    }
+
+    let mut reorder = ReorderBuffer::new(VDuration::from_millis(20));
+    let mut fed = 0u64;
+    for (stream, tuple) in jittered {
+        match reorder.offer(stream, tuple) {
+            Ok(ready) => {
+                for (s, t) in ready {
+                    pipeline.offer(s, t)?;
+                    fed += 1;
+                }
+            }
+            Err(_) => { /* too late even for the bound; shed at ingress */ }
+        }
+    }
+    for (s, t) in reorder.drain() {
+        pipeline.offer(s, t)?;
+        fed += 1;
+    }
+    let report = pipeline.finish()?;
+
+    println!(
+        "fed {fed} readings ({} rejected as too-late), shed {} ({:.1}%), \
+         peak synopsis memory {} cells",
+        reorder.late_dropped(),
+        report.totals.dropped,
+        100.0 * report.totals.dropped as f64 / report.totals.arrived.max(1) as f64,
+        report.totals.peak_synopsis_units,
+    );
+
+    // Print the sliding alert view: windows where some sensor cleared
+    // the HAVING threshold.
+    println!("\nsliding alert view (windows advance every 0.5 s, span 2 s):");
+    let mut alerts = 0;
+    for w in &report.windows {
+        let groups = w.groups().expect("aggregating");
+        if groups.is_empty() {
+            continue;
+        }
+        let mut items: Vec<String> = groups
+            .iter()
+            .map(|(k, v)| format!("sensor {} (n={:.0}, avg {:.0})", k[0], v[0], v[1]))
+            .collect();
+        items.sort();
+        println!("  window {:>3}: {}", w.window, items.join(", "));
+        alerts += 1;
+        if alerts >= 12 {
+            println!("  …");
+            break;
+        }
+    }
+    if alerts == 0 {
+        println!("  (no window cleared the threshold)");
+    }
+    println!(
+        "\nnote: under the heaviest bursts the adaptive synopsis coarsens its\n\
+         grid, so estimated mass can spread to neighbouring sensor ids\n\
+         (e.g. 'sensor 0'/'sensor 7' above) — resolution, not memory, is\n\
+         what degrades under pressure."
+    );
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! End-to-end exactness: with per-value synopsis resolution (sparse
+//! histograms, cell width 1), the whole Data Triage pipeline —
+//! queueing, shedding, kept/dropped synopses, shadow-query
+//! evaluation, merging — must reproduce the ideal result *exactly*,
+//! no matter how hard the load shedder is squeezed. This is the
+//! pipeline-level corollary of the §4 rewrite theorem (which
+//! `dt-rewrite`'s property tests verify at the algebra level).
+
+use datatriage::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    c.add_stream(
+        "S",
+        Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+    );
+    c.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
+    c
+}
+
+fn exactness_run(sql: &str, capacity: f64, queue: usize, seed: u64) {
+    let mut plan = Planner::new(&catalog())
+        .plan(&parse_select(sql).unwrap())
+        .unwrap();
+    let spec = WindowSpec::new(VDuration::from_millis(500)).unwrap();
+    for s in &mut plan.streams {
+        s.window = spec;
+    }
+    // Small domain so the width-1 histograms stay tiny even joined.
+    let dist = Gaussian {
+        mean: 5.0,
+        std: 2.0,
+        lo: 1,
+        hi: 10,
+    };
+    let workload = WorkloadConfig {
+        streams: vec![
+            StreamSpec::uniform_bursts(1, dist),
+            StreamSpec::uniform_bursts(2, dist),
+            StreamSpec::uniform_bursts(1, dist),
+        ],
+        arrival: ArrivalModel::Constant { rate: 4_000.0 },
+        total_tuples: 6_000,
+        seed,
+    };
+    let arrivals = generate(&workload).unwrap();
+    let ideal = ideal_map(&plan, &arrivals).unwrap();
+
+    let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+    cfg.cost = CostModel::from_capacity(capacity).unwrap();
+    cfg.queue_capacity = queue;
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+    cfg.seed = seed;
+    let report = Pipeline::run(plan, cfg, arrivals.iter().cloned()).unwrap();
+    assert!(
+        report.totals.dropped > 0,
+        "the run must actually shed to be interesting"
+    );
+    let err = rms_error(&ideal, &report_to_map(&report));
+    assert!(
+        err < 1e-6,
+        "lossless synopses must give exact merged results; err {err}, \
+         dropped {}/{}",
+        report.totals.dropped,
+        report.totals.arrived
+    );
+}
+
+#[test]
+fn paper_join_query_is_exact_with_lossless_synopses_under_heavy_shedding() {
+    exactness_run(
+        "SELECT a, COUNT(*) as count FROM R,S,T \
+         WHERE R.a = S.b AND S.c = T.d GROUP BY a",
+        400.0,
+        40,
+        1,
+    );
+}
+
+#[test]
+fn exactness_survives_extreme_shedding() {
+    // Engine at 1% of the arrival rate, queue of 5: nearly everything
+    // is shed, and the merged result is still exact.
+    exactness_run(
+        "SELECT a, COUNT(*) as count FROM R,S,T \
+         WHERE R.a = S.b AND S.c = T.d GROUP BY a",
+        40.0,
+        5,
+        2,
+    );
+}
+
+#[test]
+fn exactness_holds_for_sum_and_avg() {
+    exactness_run(
+        "SELECT b, COUNT(*), SUM(S.c), AVG(S.c) FROM R, S, T \
+         WHERE R.a = S.b AND S.c = T.d GROUP BY b",
+        400.0,
+        40,
+        3,
+    );
+}
+
+#[test]
+fn exactness_holds_with_selection_pushdown() {
+    exactness_run(
+        "SELECT a, COUNT(*) FROM R, S, T \
+         WHERE R.a = S.b AND S.c = T.d AND S.c > 3 GROUP BY a",
+        400.0,
+        40,
+        4,
+    );
+}
+
+#[test]
+fn exactness_holds_for_every_drop_policy() {
+    for policy in DropPolicy::all() {
+        let mut plan = Planner::new(&catalog())
+            .plan(&parse_select("SELECT a, COUNT(*) FROM R GROUP BY a").unwrap())
+            .unwrap();
+        plan.streams[0].window = WindowSpec::new(VDuration::from_millis(500)).unwrap();
+        let dist = Gaussian {
+            mean: 5.0,
+            std: 2.0,
+            lo: 1,
+            hi: 10,
+        };
+        let workload = WorkloadConfig {
+            streams: vec![StreamSpec::uniform_bursts(1, dist)],
+            arrival: ArrivalModel::Constant { rate: 4_000.0 },
+            total_tuples: 4_000,
+            seed: 5,
+        };
+        let arrivals = generate(&workload).unwrap();
+        let ideal = ideal_map(&plan, &arrivals).unwrap();
+        let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+        cfg.cost = CostModel::from_capacity(300.0).unwrap();
+        cfg.queue_capacity = 20;
+        cfg.policy = policy;
+        cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+        let report = Pipeline::run(plan, cfg, arrivals.iter().cloned()).unwrap();
+        assert!(report.totals.dropped > 0, "{policy:?}");
+        let err = rms_error(&ideal, &report_to_map(&report));
+        assert!(err < 1e-6, "{policy:?}: err {err}");
+    }
+}
