@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 CI gate for the workspace: release build, full test suite,
+# and a warning-free clippy pass over every target (benches included).
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

@@ -28,6 +28,10 @@
 //!   --trace FILE        replay arrivals from a trace file instead of
 //!                       generating them (format: ts_us,stream,v1[,v2…])
 //!   --dump-trace FILE   write the arrivals used to a trace file
+//!   --serve ADDR        instead of simulating, host the query on a
+//!                       live dt-server at ADDR and replay the
+//!                       arrivals through the TCP ingest path at their
+//!                       recorded wall-clock times (single mode only)
 //! ```
 //!
 //! Example:
@@ -59,6 +63,7 @@ struct Args {
     incremental: bool,
     explain: bool,
     optimize: bool,
+    serve: Option<String>,
 }
 
 impl Default for Args {
@@ -84,6 +89,7 @@ impl Default for Args {
             incremental: false,
             explain: false,
             optimize: false,
+            serve: None,
         }
     }
 }
@@ -145,6 +151,7 @@ fn parse_args() -> Result<Args, String> {
             "--optimize" => args.optimize = true,
             "--trace" => args.trace_in = Some(value("--trace")?),
             "--dump-trace" => args.trace_out = Some(value("--dump-trace")?),
+            "--serve" => args.serve = Some(value("--serve")?),
             "--help" | "-h" => {
                 println!("see `dtsim` module docs (cargo doc) or the README for options");
                 std::process::exit(0);
@@ -330,6 +337,52 @@ fn run(args: &Args) -> DtResult<()> {
     }
 
     let modes = parse_mode(&args.mode).map_err(DtError::config)?;
+
+    // Live-serve wiring: host the same query on a real dt-server
+    // socket, replay the same arrivals through TCP at their recorded
+    // times, and score the live run against the same ideal.
+    if let Some(addr) = &args.serve {
+        if modes.len() > 1 {
+            return Err(DtError::config("--serve wants a single --mode, not compare"));
+        }
+        let mode = modes[0];
+        let mut scfg = ServerConfig::new(args.query.clone(), catalog.clone());
+        scfg.mode = mode;
+        scfg.window = Some(width);
+        scfg.channel_capacity = args.queue;
+        scfg.synopsis = parse_synopsis(&args.synopsis, args.seed).map_err(DtError::config)?;
+        let server = Server::start(&scfg, Some(addr), std::sync::Arc::new(MonotonicClock::new()))?;
+        let bound = server.addr().expect("listener bound");
+        println!(
+            "serving on {bound}; replaying {} arrivals at recorded times…",
+            arrivals.len()
+        );
+        let names = seen.clone();
+        let mut client = Client::connect(bound)?;
+        let wall = MonotonicClock::new();
+        replay(&arrivals, &wall, |s, t| {
+            client.send(&names[s], &t.row, Some(t.ts))
+        })?;
+        client.close()?;
+        let report = server.shutdown()?;
+        let live = &report.reports[0];
+        println!(
+            "== live {:<11} kept {:>6}  shed {:>6} ({:>5.1}%)  windows {}",
+            mode.label(),
+            live.totals.kept,
+            live.totals.dropped,
+            100.0 * live.totals.dropped as f64 / live.totals.arrived.max(1) as f64,
+            live.windows.len()
+        );
+        if let Some(ideal) = &ideal {
+            println!(
+                "   RMS error vs ideal: {:.3}",
+                rms_error(ideal, &report_to_map(live))
+            );
+        }
+        return Ok(());
+    }
+
     for mode in modes {
         let mut cfg = PipelineConfig::new(mode);
         cfg.policy = parse_policy(&args.policy).map_err(DtError::config)?;

@@ -60,12 +60,14 @@
 //! | [`triage`] | `dt-triage` | Fig. 1 architecture, §5.2.1 modes, §8.1 shared multi-query pipeline |
 //! | [`workload`] | `dt-workload` | §6.2 workloads |
 //! | [`metrics`] | `dt-metrics` | §6.3 RMS metric, Fig. 8/9 sweeps |
+//! | [`server`] | `dt-server` | the TelegraphCQ role: a live, concurrent runtime serving triage over TCP |
 
 pub use dt_algebra as algebra;
 pub use dt_engine as engine;
 pub use dt_metrics as metrics;
 pub use dt_query as query;
 pub use dt_rewrite as rewrite;
+pub use dt_server as server;
 pub use dt_synopsis as synopsis;
 pub use dt_triage as triage;
 pub use dt_types as types;
@@ -76,7 +78,11 @@ pub mod prelude {
     pub use dt_engine::{execute_window, AggValue, CostModel, WindowOutput};
     pub use dt_metrics::{
         ideal_map, rate_sweep, report_to_map, rms_error, MeanStd, RatePoint, ResultMap,
-        SweepConfig,
+        RunSummary, SweepConfig,
+    };
+    pub use dt_server::{
+        fetch_stats, run_source, Client, Server, ServerConfig, ServerHandle, ServerReport,
+        Source, TraceSource,
     };
     pub use dt_query::{parse_select, Catalog, Planner, QueryPlan};
     pub use dt_rewrite::{evaluate, rewrite_dropped, ShadowQuery, SynPlan};
@@ -86,9 +92,10 @@ pub mod prelude {
         WindowResult,
     };
     pub use dt_types::{
-        DataType, DtError, DtResult, Row, Schema, Timestamp, Tuple, VDuration, Value, WindowSpec,
+        Clock, DataType, DtError, DtResult, MonotonicClock, Row, Schema, Timestamp, Tuple,
+        VDuration, Value, VirtualClock, WindowSpec,
     };
     pub use dt_workload::{
-        generate, ArrivalModel, Gaussian, StreamSpec, WorkloadConfig,
+        generate, replay, ArrivalModel, Gaussian, StreamSpec, WorkloadConfig,
     };
 }

@@ -56,10 +56,10 @@ fn bench_window_exec(c: &mut Criterion) {
     group.sample_size(10);
     for per_stream in [100usize, 400, 1_600] {
         let inputs = window_inputs(per_stream, per_stream as u64);
-        group.bench_function(format!("batch/{per_stream}_per_stream"), |b| {
+        group.bench_function(&format!("batch/{per_stream}_per_stream"), |b| {
             b.iter(|| execute_window(&plan, &inputs).unwrap().len())
         });
-        group.bench_function(format!("incremental/{per_stream}_per_stream"), |b| {
+        group.bench_function(&format!("incremental/{per_stream}_per_stream"), |b| {
             b.iter(|| {
                 let mut w = IncrementalWindow::new(plan.clone()).unwrap();
                 // Round-robin delivery, as the pipeline would.

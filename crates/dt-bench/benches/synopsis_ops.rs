@@ -86,10 +86,10 @@ fn bench_union_and_group(c: &mut Criterion) {
     for (name, cfg) in configs() {
         let a = built(&cfg, &a_pts);
         let b = built(&cfg, &b_pts);
-        group.bench_function(format!("union/{name}"), |bch| {
+        group.bench_function(&format!("union/{name}"), |bch| {
             bch.iter(|| a.union_all(&b).unwrap().total_mass())
         });
-        group.bench_function(format!("group_counts/{name}"), |bch| {
+        group.bench_function(&format!("group_counts/{name}"), |bch| {
             bch.iter(|| a.group_counts(0).unwrap().len())
         });
     }

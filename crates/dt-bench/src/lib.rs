@@ -77,9 +77,8 @@ pub fn render_rate_table(title: &str, xlabel: &str, points: &[RatePoint]) -> Str
 
 /// Write an experiment's JSON record next to the text output so
 /// EXPERIMENTS.md can reference machine-readable results.
-pub fn write_json(path: &str, value: &impl serde::Serialize) -> std::io::Result<()> {
-    let json = serde_json::to_string_pretty(value).expect("serializable");
-    std::fs::write(path, json)
+pub fn write_json(path: &str, value: &impl dt_types::ToJson) -> std::io::Result<()> {
+    std::fs::write(path, value.to_json().render_pretty())
 }
 
 #[cfg(test)]

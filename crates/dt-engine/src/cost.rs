@@ -22,6 +22,20 @@ pub struct CostModel {
     pub synopsis_insert_time: VDuration,
 }
 
+impl Default for CostModel {
+    /// The paper's default regime — 1000 tuples/s engine capacity
+    /// (1 ms service time), synopsis insertion at 1/50 of that.
+    /// Equivalent to `CostModel::from_capacity(1000.0)`, but
+    /// infallible so configuration types can derive defaults without
+    /// panicking.
+    fn default() -> Self {
+        CostModel {
+            service_time: VDuration::from_millis(1),
+            synopsis_insert_time: VDuration::from_micros(20),
+        }
+    }
+}
+
 impl CostModel {
     /// A model from the engine's sustainable throughput in
     /// tuples/second; synopsis insertion defaults to 1/50 of the
@@ -53,6 +67,11 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_matches_paper_capacity() {
+        assert_eq!(CostModel::default(), CostModel::from_capacity(1000.0).unwrap());
+    }
 
     #[test]
     fn capacity_roundtrips() {

@@ -12,7 +12,6 @@ use dt_synopsis::SynopsisConfig;
 use dt_triage::{DropPolicy, Pipeline, PipelineConfig, ShedMode};
 use dt_types::{DtError, DtResult, VDuration, WindowSpec};
 use dt_workload::{generate, ArrivalModel, WorkloadConfig};
-use serde::Serialize;
 
 use crate::ideal::ideal_map;
 use crate::rms::{report_to_map, rms_error};
@@ -87,7 +86,7 @@ impl SweepConfig {
 }
 
 /// One mode's error statistics at one rate.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ModeSeries {
     /// Mode label (`data-triage`, `drop-only`, `summarize-only`).
     pub mode: String,
@@ -103,12 +102,32 @@ pub struct ModeSeries {
 }
 
 /// One x-axis point of Fig. 8 / Fig. 9.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RatePoint {
     /// The swept rate (tuples/s; *peak* rate for bursty sweeps).
     pub rate: f64,
     /// Per-mode statistics.
     pub modes: Vec<ModeSeries>,
+}
+
+impl dt_types::ToJson for ModeSeries {
+    fn to_json(&self) -> dt_types::Json {
+        dt_types::json::obj(vec![
+            ("mode", self.mode.to_json()),
+            ("rms", self.rms.to_json()),
+            ("drop_fraction", self.drop_fraction.to_json()),
+            ("diff_vs_first", self.diff_vs_first.to_json()),
+        ])
+    }
+}
+
+impl dt_types::ToJson for RatePoint {
+    fn to_json(&self) -> dt_types::Json {
+        dt_types::json::obj(vec![
+            ("rate", self.rate.to_json()),
+            ("modes", self.modes.to_json()),
+        ])
+    }
 }
 
 /// Run a full rate sweep. `bursty == false` reproduces Fig. 8

@@ -11,13 +11,18 @@
 //!   series behind Figures 8 and 9: one arrival sequence per
 //!   (rate, seed), shared by all three shedding modes, windows scaled
 //!   with the data rate so tuples-per-window stays constant.
+//! * [`summary`] — a JSON-serializable digest of a run
+//!   ([`RunSummary`]), the interchange format between `dt-server`'s
+//!   final report and offline metrics tooling.
 
 pub mod experiment;
 pub mod ideal;
 pub mod rms;
 pub mod stats;
+pub mod summary;
 
 pub use experiment::{rate_sweep, ModeSeries, RatePoint, SweepConfig};
 pub use ideal::ideal_map;
 pub use rms::{latencies, report_to_map, rms_error, ResultMap};
 pub use stats::{LatencyStats, MeanStd};
+pub use summary::RunSummary;

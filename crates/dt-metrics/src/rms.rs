@@ -49,15 +49,22 @@ pub fn latencies(report: &RunReport) -> Vec<f64> {
 /// assert_eq!(rms_error(&ideal, &ResultMap::new()), 10.0);
 /// ```
 ///
-/// The comparison runs over the **union** of `(window, group)` keys —
+/// Errors accumulate over the **union** of `(window, group)` keys —
 /// a group missing from the actual results contributes its full ideal
 /// value as error (and vice versa for spurious groups), so "drop
 /// everything" cannot score well. NaN components (e.g. `MIN` of a
 /// group reconstructed only from a synopsis) are treated as absent,
 /// i.e. zero.
+///
+/// The mean is taken over the **ideal** result's components (falling
+/// back to the union count when the ideal is empty), never over
+/// whatever the estimator chose to emit: normalizing by emitted keys
+/// would let an approximation *lower* its RMS by spreading many
+/// near-zero spurious groups, rewarding blur over accuracy.
 pub fn rms_error(ideal: &ResultMap, actual: &ResultMap) -> f64 {
     let mut sum_sq = 0.0;
-    let mut n = 0usize;
+    let mut n_union = 0usize;
+    let mut n_ideal = 0usize;
     let zero: Vec<f64> = Vec::new();
     let keys: std::collections::HashSet<&(WindowId, Row)> =
         ideal.keys().chain(actual.keys()).collect();
@@ -65,15 +72,17 @@ pub fn rms_error(ideal: &ResultMap, actual: &ResultMap) -> f64 {
         let i = ideal.get(key).unwrap_or(&zero);
         let a = actual.get(key).unwrap_or(&zero);
         let arity = i.len().max(a.len());
+        n_union += arity;
+        n_ideal += i.len();
         for idx in 0..arity {
             let iv = i.get(idx).copied().unwrap_or(0.0);
             let av = a.get(idx).copied().unwrap_or(0.0);
             let iv = if iv.is_nan() { 0.0 } else { iv };
             let av = if av.is_nan() { 0.0 } else { av };
             sum_sq += (av - iv).powi(2);
-            n += 1;
         }
     }
+    let n = if n_ideal > 0 { n_ideal } else { n_union };
     if n == 0 {
         0.0
     } else {

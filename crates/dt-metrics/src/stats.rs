@@ -1,10 +1,9 @@
 //! Summary statistics across seeded runs.
 
-use serde::{Deserialize, Serialize};
 
 /// Mean and (sample) standard deviation — the paper plots the mean of
 /// nine runs with standard-deviation error bars.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeanStd {
     /// Arithmetic mean.
     pub mean: f64,
@@ -39,7 +38,7 @@ impl MeanStd {
 
 /// Latency summary over a run's windows: median, 95th percentile, and
 /// maximum result latency (seconds past each window's close).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyStats {
     /// Median latency.
     pub p50: f64,
@@ -126,6 +125,26 @@ impl MeanStd {
     /// Is this (paired-difference) mean significantly above zero?
     pub fn significantly_positive(&self) -> bool {
         self.t_vs_zero() > 2.0
+    }
+}
+
+impl dt_types::ToJson for MeanStd {
+    fn to_json(&self) -> dt_types::Json {
+        dt_types::json::obj(vec![
+            ("mean", self.mean.to_json()),
+            ("std", self.std.to_json()),
+            ("n", self.n.to_json()),
+        ])
+    }
+}
+
+impl dt_types::ToJson for LatencyStats {
+    fn to_json(&self) -> dt_types::Json {
+        dt_types::json::obj(vec![
+            ("p50", self.p50.to_json()),
+            ("p95", self.p95.to_json()),
+            ("max", self.max.to_json()),
+        ])
     }
 }
 

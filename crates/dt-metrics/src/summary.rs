@@ -1,0 +1,162 @@
+//! Serializable run summaries.
+//!
+//! A [`dt_triage::RunReport`] is the full per-window record; a
+//! [`RunSummary`] is its shippable digest — totals plus a latency
+//! summary — with a JSON form so servers (`dt-server`'s final report)
+//! and offline tooling exchange results without dragging window
+//! payloads across the wire. `from_json` is the ingestion side:
+//! metrics code can load a saved summary and compare runs without
+//! re-executing anything.
+
+use crate::rms::latencies;
+use crate::stats::LatencyStats;
+use dt_triage::RunReport;
+use dt_types::{json, DtError, DtResult, Json, ToJson};
+
+/// The digest of one pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Tuples offered to the pipeline.
+    pub arrived: u64,
+    /// Tuples processed exactly.
+    pub kept: u64,
+    /// Tuples shed.
+    pub dropped: u64,
+    /// Peak combined memory footprint of one window's sealed
+    /// synopses, in synopsis units.
+    pub peak_synopsis_units: u64,
+    /// Windows emitted.
+    pub windows: u64,
+    /// Result-latency summary (seconds past each window's close).
+    pub latency: LatencyStats,
+}
+
+impl RunSummary {
+    /// Digest a full report.
+    pub fn from_report(report: &RunReport) -> Self {
+        RunSummary {
+            arrived: report.totals.arrived,
+            kept: report.totals.kept,
+            dropped: report.totals.dropped,
+            peak_synopsis_units: report.totals.peak_synopsis_units as u64,
+            windows: report.windows.len() as u64,
+            latency: LatencyStats::from_samples(&latencies(report)),
+        }
+    }
+
+    /// Parse a summary previously rendered with [`ToJson`].
+    pub fn from_json(json: &Json) -> DtResult<Self> {
+        let field = |key: &str| -> DtResult<&Json> {
+            json.get(key)
+                .ok_or_else(|| DtError::config(format!("run summary missing field '{key}'")))
+        };
+        let int = |key: &str| -> DtResult<u64> {
+            field(key)?
+                .as_i64()
+                .filter(|&v| v >= 0)
+                .map(|v| v as u64)
+                .ok_or_else(|| {
+                    DtError::config(format!("run summary field '{key}' must be a count"))
+                })
+        };
+        let lat = field("latency")?;
+        let lat_field = |key: &str| -> DtResult<f64> {
+            lat.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| {
+                    DtError::config(format!("run summary latency missing '{key}'"))
+                })
+        };
+        Ok(RunSummary {
+            arrived: int("arrived")?,
+            kept: int("kept")?,
+            dropped: int("dropped")?,
+            peak_synopsis_units: int("peak_synopsis_units")?,
+            windows: int("windows")?,
+            latency: LatencyStats {
+                p50: lat_field("p50")?,
+                p95: lat_field("p95")?,
+                max: lat_field("max")?,
+            },
+        })
+    }
+
+    /// Fraction of offered tuples that were shed (0 for an empty run).
+    pub fn shed_fraction(&self) -> f64 {
+        if self.arrived == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.arrived as f64
+        }
+    }
+}
+
+impl ToJson for RunSummary {
+    fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("arrived", self.arrived.to_json()),
+            ("kept", self.kept.to_json()),
+            ("dropped", self.dropped.to_json()),
+            ("peak_synopsis_units", self.peak_synopsis_units.to_json()),
+            ("windows", self.windows.to_json()),
+            (
+                "latency",
+                json::obj(vec![
+                    ("p50", self.latency.p50.to_json()),
+                    ("p95", self.latency.p95.to_json()),
+                    ("max", self.latency.max.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_query::{parse_select, Catalog, Planner};
+    use dt_triage::{Pipeline, PipelineConfig, ShedMode};
+    use dt_types::{DataType, Row, Schema, Timestamp, Tuple};
+
+    fn run_report() -> RunReport {
+        let mut catalog = Catalog::new();
+        catalog.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        let stmt = parse_select("SELECT a, COUNT(*) FROM R GROUP BY a").unwrap();
+        let plan = Planner::new(&catalog).plan(&stmt).unwrap();
+        let mut p = Pipeline::new(plan, PipelineConfig::new(ShedMode::DataTriage)).unwrap();
+        for i in 0..5 {
+            p.offer(
+                0,
+                Tuple::new(Row::from_ints(&[i % 2]), Timestamp::from_micros(i as u64 * 1_000)),
+            )
+            .unwrap();
+        }
+        p.finish().unwrap()
+    }
+
+    #[test]
+    fn summary_roundtrips_through_json() {
+        let report = run_report();
+        let summary = RunSummary::from_report(&report);
+        assert_eq!(summary.arrived, 5);
+        assert!(summary.windows >= 1);
+        let json = summary.to_json().render();
+        let back = RunSummary::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        let json = Json::parse(r#"{"arrived":1}"#).unwrap();
+        assert!(RunSummary::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn shed_fraction_handles_empty_runs() {
+        let mut s = RunSummary::from_report(&run_report());
+        assert_eq!(s.shed_fraction(), 0.0);
+        s.dropped = 1;
+        s.arrived = 4;
+        assert!((s.shed_fraction() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,170 @@
+//! `dt-serve` — run a Data Triage server on a TCP socket.
+//!
+//! ```text
+//! dt-serve --stream 'R:a' --query 'SELECT a, COUNT(*) FROM R GROUP BY a' \
+//!          --listen 127.0.0.1:7077 --window 1.0 --capacity 100
+//! ```
+//!
+//! Clients send newline-delimited JSON tuple frames
+//! (`{"stream":"R","row":[17],"ts":1500000}`); a first line starting
+//! with `GET ` returns the live counters instead. The server runs
+//! until stdin reaches EOF (pipe `/dev/null` for "run until killed"
+//! semantics under a supervisor, or press Ctrl-D interactively), then
+//! drains gracefully and prints the final JSON report to stdout.
+
+use dt_query::Catalog;
+use dt_server::{Server, ServerConfig, MonotonicClock};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::ShedMode;
+use dt_types::{DataType, DtError, DtResult, Schema, ToJson, VDuration};
+use std::io::Read;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+dt-serve — serve Data Triage pipelines over TCP
+
+USAGE:
+  dt-serve --stream NAME:col[,col…] [--stream …] --query SQL [--query …]
+           [--listen ADDR]    listen address        (default 127.0.0.1:7077)
+           [--window SECS]    window width override (default: per query)
+           [--capacity N]     triage channel bound  (default 100)
+           [--grace MS]       seal grace period     (default 100)
+           [--cell-width N]   sparse synopsis cell  (default 10)
+           [--mode M]         data-triage | drop-only | summarize-only
+           [--no-pacing]      consume ahead of tuple timestamps
+
+All stream columns are integers. Runs until stdin EOF, then drains and
+prints the final JSON report.";
+
+struct Args {
+    listen: String,
+    streams: Vec<(String, Vec<String>)>,
+    queries: Vec<String>,
+    window: Option<VDuration>,
+    capacity: usize,
+    grace: VDuration,
+    cell_width: i64,
+    mode: ShedMode,
+    pacing: bool,
+}
+
+fn parse_args(argv: &[String]) -> DtResult<Args> {
+    let mut args = Args {
+        listen: "127.0.0.1:7077".to_string(),
+        streams: Vec::new(),
+        queries: Vec::new(),
+        window: None,
+        capacity: 100,
+        grace: VDuration::from_millis(100),
+        cell_width: 10,
+        mode: ShedMode::DataTriage,
+        pacing: true,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| DtError::config(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value()?,
+            "--stream" => {
+                let spec = value()?;
+                let (name, cols) = spec
+                    .split_once(':')
+                    .ok_or_else(|| DtError::config("--stream wants NAME:col[,col…]"))?;
+                args.streams.push((
+                    name.to_string(),
+                    cols.split(',').map(str::to_string).collect(),
+                ));
+            }
+            "--query" => args.queries.push(value()?),
+            "--window" => {
+                let secs: f64 = value()?
+                    .parse()
+                    .map_err(|_| DtError::config("--window wants seconds"))?;
+                args.window = Some(VDuration::from_secs_f64(secs));
+            }
+            "--capacity" => {
+                args.capacity = value()?
+                    .parse()
+                    .map_err(|_| DtError::config("--capacity wants an integer"))?;
+            }
+            "--grace" => {
+                let ms: u64 = value()?
+                    .parse()
+                    .map_err(|_| DtError::config("--grace wants milliseconds"))?;
+                args.grace = VDuration::from_millis(ms);
+            }
+            "--cell-width" => {
+                args.cell_width = value()?
+                    .parse()
+                    .map_err(|_| DtError::config("--cell-width wants an integer"))?;
+            }
+            "--mode" => {
+                args.mode = match value()?.as_str() {
+                    "data-triage" => ShedMode::DataTriage,
+                    "drop-only" => ShedMode::DropOnly,
+                    "summarize-only" => ShedMode::SummarizeOnly,
+                    m => return Err(DtError::config(format!("unknown mode '{m}'"))),
+                };
+            }
+            "--no-pacing" => args.pacing = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(DtError::config(format!("unknown flag '{other}'"))),
+        }
+    }
+    if args.streams.is_empty() || args.queries.is_empty() {
+        return Err(DtError::config(
+            "need at least one --stream and one --query (see --help)",
+        ));
+    }
+    Ok(args)
+}
+
+fn run() -> DtResult<()> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    let mut catalog = Catalog::new();
+    for (name, cols) in &args.streams {
+        let pairs: Vec<(&str, DataType)> =
+            cols.iter().map(|c| (c.as_str(), DataType::Int)).collect();
+        catalog.add_stream(name, Schema::from_pairs(&pairs));
+    }
+    let mut cfg = ServerConfig::new(args.queries[0].clone(), catalog);
+    cfg.queries = args.queries.clone();
+    cfg.mode = args.mode;
+    cfg.window = args.window;
+    cfg.channel_capacity = args.capacity;
+    cfg.grace = args.grace;
+    cfg.synopsis = SynopsisConfig::Sparse {
+        cell_width: args.cell_width,
+    };
+    cfg.pace_by_timestamp = args.pacing;
+
+    let clock = Arc::new(MonotonicClock::new());
+    let server = Server::start(&cfg, Some(&args.listen), clock)?;
+    let addr = server.addr().expect("listener bound");
+    eprintln!("dt-serve: listening on {addr} ({:?} mode); EOF on stdin stops", args.mode);
+
+    // Block until stdin closes, then drain.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    eprintln!("dt-serve: stdin closed, draining…");
+    let report = server.shutdown()?;
+    println!("{}", report.to_json().render_pretty());
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("dt-serve: error: {e}");
+        eprintln!("{USAGE}");
+        std::process::exit(1);
+    }
+}

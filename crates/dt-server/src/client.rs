@@ -1,0 +1,139 @@
+//! A minimal loopback client for the NDJSON ingest protocol.
+//!
+//! Integration tests (and the bursty-replay example) drive a running
+//! server exactly like an external producer would: frames over a
+//! `TcpStream`, stats over a second short-lived connection.
+
+use crate::frame::render_frame;
+use crate::stats::StreamSnapshot;
+use dt_types::{DtError, DtResult, Row, Timestamp};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn io_err(what: &str, e: std::io::Error) -> DtError {
+    DtError::engine(format!("{what}: {e}"))
+}
+
+/// A connected frame producer.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server's ingest port.
+    pub fn connect(addr: SocketAddr) -> DtResult<Client> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| io_err("set_nodelay", e))?;
+        Ok(Client { stream })
+    }
+
+    /// Send one tuple frame.
+    pub fn send(&mut self, stream: &str, row: &Row, ts: Option<Timestamp>) -> DtResult<()> {
+        let mut line = render_frame(stream, row, ts)?;
+        line.push('\n');
+        self.stream
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err("send frame", e))
+    }
+
+    /// Send a raw line (tests use this to exercise the server's
+    /// parse-error handling).
+    pub fn send_line(&mut self, line: &str) -> DtResult<()> {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| io_err("send line", e))
+    }
+
+    /// Close the write side so the server sees EOF.
+    pub fn close(self) -> DtResult<()> {
+        self.stream
+            .shutdown(std::net::Shutdown::Both)
+            .map_err(|e| io_err("shutdown", e))
+    }
+}
+
+/// A parsed `/stats` reply.
+#[derive(Debug, Clone)]
+pub struct StatsReply {
+    /// Per-stream counters, in stream order.
+    pub streams: Vec<StreamSnapshot>,
+    /// Windows fully merged and emitted.
+    pub windows_emitted: u64,
+    /// Ingest lines that failed to parse.
+    pub parse_errors: u64,
+}
+
+impl StatsReply {
+    /// Counters for a stream by name.
+    pub fn stream(&self, name: &str) -> Option<&StreamSnapshot> {
+        self.streams.iter().find(|s| s.name == name)
+    }
+
+    /// Parse the `/stats` text body.
+    pub fn parse(body: &str) -> DtResult<StatsReply> {
+        let mut reply = StatsReply {
+            streams: Vec::new(),
+            windows_emitted: 0,
+            parse_errors: 0,
+        };
+        for line in body.lines() {
+            if let Some(s) = StreamSnapshot::parse_line(line) {
+                reply.streams.push(s);
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some("windows_emitted"), Some(v)) => {
+                    reply.windows_emitted = v
+                        .parse()
+                        .map_err(|_| DtError::config("bad windows_emitted"))?;
+                }
+                (Some("parse_errors"), Some(v)) => {
+                    reply.parse_errors =
+                        v.parse().map_err(|_| DtError::config("bad parse_errors"))?;
+                }
+                (None, _) => {}
+                _ => return Err(DtError::config(format!("bad stats line: {line}"))),
+            }
+        }
+        Ok(reply)
+    }
+}
+
+/// Fetch and parse `/stats` over a short-lived connection.
+pub fn fetch_stats(addr: SocketAddr) -> DtResult<StatsReply> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+    stream
+        .write_all(b"GET /stats\n")
+        .map_err(|e| io_err("stats request", e))?;
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .map_err(|e| io_err("shutdown write", e))?;
+    let mut body = String::new();
+    stream
+        .read_to_string(&mut body)
+        .map_err(|e| io_err("stats reply", e))?;
+    StatsReply::parse(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_reply_parses_the_text_format() {
+        let body = "stream R offered 10 kept 7 shed 3 late 0\nwindows_emitted 4\nparse_errors 1\n";
+        let reply = StatsReply::parse(body).unwrap();
+        assert_eq!(reply.stream("R").unwrap().shed, 3);
+        assert_eq!(reply.windows_emitted, 4);
+        assert_eq!(reply.parse_errors, 1);
+        assert!(reply.stream("S").is_none());
+    }
+
+    #[test]
+    fn stats_reply_rejects_garbage() {
+        assert!(StatsReply::parse("nonsense here").is_err());
+    }
+}

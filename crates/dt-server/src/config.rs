@@ -1,0 +1,128 @@
+//! Server configuration.
+
+use dt_query::{parse_select, Catalog, Planner, QueryPlan};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{QueryExecutor, ShedMode};
+use dt_types::{DtError, DtResult, VDuration, WindowSpec};
+
+/// Everything a [`crate::Server`] needs to start.
+///
+/// The triage queue of the paper's Fig. 1 is realized as each
+/// stream's *bounded ingest channel*: `channel_capacity` plays the
+/// role of the queue capacity, and a full channel is the overflow
+/// signal. Victim selection is necessarily the incoming tuple (the
+/// channel's interior is owned by the worker), i.e. the `Newest` drop
+/// policy; the simulation pipeline remains the place to study
+/// alternative policies.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The continuous queries to serve (at least one). All must share
+    /// one window width.
+    pub queries: Vec<String>,
+    /// Stream catalog the queries are planned against.
+    pub catalog: Catalog,
+    /// Shedding methodology (`DataTriage` by default).
+    pub mode: ShedMode,
+    /// Synopsis structure for kept/dropped summaries.
+    pub synopsis: SynopsisConfig,
+    /// When set, overrides every stream's window width (the same knob
+    /// the rate sweeps use).
+    pub window: Option<VDuration>,
+    /// Per-stream bounded channel capacity — the triage queue bound.
+    pub channel_capacity: usize,
+    /// How far behind `Clock::now()` the seal watermark trails, so
+    /// stragglers still land in their window.
+    pub grace: VDuration,
+    /// Gate worker processing on tuple timestamps: a worker does not
+    /// consume a tuple before `Clock::now()` reaches its timestamp.
+    /// With a monotonic clock and live arrivals this is a no-op (the
+    /// timestamp just passed); with replayed traces it makes the
+    /// engine lag — and therefore shed — exactly as the recorded
+    /// rates demand, and with a virtual clock it lets tests freeze
+    /// the engine to force overflow deterministically.
+    pub pace_by_timestamp: bool,
+}
+
+impl ServerConfig {
+    /// A Data Triage server for one query with the paper's defaults:
+    /// sparse cell-width-10 synopses, channel capacity 100, 100 ms
+    /// grace, timestamp pacing on.
+    pub fn new(sql: impl Into<String>, catalog: Catalog) -> Self {
+        ServerConfig {
+            queries: vec![sql.into()],
+            catalog,
+            mode: ShedMode::DataTriage,
+            synopsis: SynopsisConfig::default_sparse(),
+            window: None,
+            channel_capacity: 100,
+            grace: VDuration::from_millis(100),
+            pace_by_timestamp: true,
+        }
+    }
+
+    /// Parse and plan every query, apply the window override, and
+    /// compile the shared window-close executor.
+    pub fn compile(&self) -> DtResult<QueryExecutor> {
+        if self.queries.is_empty() {
+            return Err(DtError::config("server needs at least one query"));
+        }
+        if self.channel_capacity == 0 {
+            return Err(DtError::config(
+                "channel capacity must be >= 1 (a zero-capacity channel would shed everything)",
+            ));
+        }
+        let plans: Vec<QueryPlan> = self
+            .queries
+            .iter()
+            .map(|sql| {
+                let stmt = parse_select(sql)?;
+                let mut plan = Planner::new(&self.catalog).plan(&stmt)?;
+                if let Some(width) = self.window {
+                    let spec = WindowSpec::new(width)?;
+                    for s in &mut plan.streams {
+                        s.window = spec;
+                    }
+                }
+                Ok(plan)
+            })
+            .collect::<DtResult<_>>()?;
+        QueryExecutor::new(plans, self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_types::{DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        c
+    }
+
+    #[test]
+    fn compiles_with_window_override() {
+        let mut cfg = ServerConfig::new("SELECT a, COUNT(*) FROM R GROUP BY a", catalog());
+        cfg.window = Some(VDuration::from_secs(2));
+        let exec = cfg.compile().unwrap();
+        assert_eq!(exec.spec().width(), VDuration::from_secs(2));
+        assert_eq!(exec.streams().len(), 1);
+    }
+
+    #[test]
+    fn rejects_zero_capacity_and_empty_queries() {
+        let mut cfg = ServerConfig::new("SELECT a, COUNT(*) FROM R GROUP BY a", catalog());
+        cfg.channel_capacity = 0;
+        assert!(cfg.compile().is_err());
+        let mut cfg = ServerConfig::new("x", catalog());
+        cfg.queries.clear();
+        assert!(cfg.compile().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_sql() {
+        let cfg = ServerConfig::new("SELECT FROM nowhere", catalog());
+        assert!(cfg.compile().is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! The wire format: newline-delimited JSON tuple frames.
+//!
+//! One frame per line:
+//!
+//! ```json
+//! {"stream":"R","row":[17,4],"ts":1500000}
+//! ```
+//!
+//! `stream` names a catalog stream, `row` is the tuple's integer
+//! values in schema order, and `ts` (optional) is the arrival
+//! timestamp in microseconds on the server's clock — omitted, the
+//! server stamps the tuple with `Clock::now()` at ingest.
+
+use dt_types::{DtError, DtResult, Json, Row, Timestamp, ToJson, Tuple};
+
+/// One parsed ingest frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Catalog stream name.
+    pub stream: String,
+    /// Tuple values in schema order.
+    pub row: Row,
+    /// Arrival timestamp; `None` means "stamp at ingest".
+    pub ts: Option<Timestamp>,
+}
+
+impl Frame {
+    /// Stamp the frame into a [`Tuple`], defaulting to `now`.
+    pub fn into_tuple(self, now: Timestamp) -> Tuple {
+        Tuple::new(self.row, self.ts.unwrap_or(now))
+    }
+}
+
+/// Parse one frame line.
+pub fn parse_frame(line: &str) -> DtResult<Frame> {
+    let bad = |what: &str| DtError::Parse {
+        message: format!("{what} (tuple frame)"),
+        position: 0,
+    };
+    let json = Json::parse(line)?;
+    let stream = json
+        .get("stream")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing string field 'stream'"))?
+        .to_string();
+    let row = json
+        .get("row")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing array field 'row'"))?;
+    let values: Vec<i64> = row
+        .iter()
+        .map(|v| v.as_i64().ok_or_else(|| bad("row values must be integers")))
+        .collect::<DtResult<_>>()?;
+    if values.is_empty() {
+        return Err(bad("row must not be empty"));
+    }
+    let ts = match json.get("ts") {
+        None => None,
+        Some(t) => Some(
+            t.as_i64()
+                .filter(|&us| us >= 0)
+                .map(|us| Timestamp::from_micros(us as u64))
+                .ok_or_else(|| bad("'ts' must be a non-negative integer"))?,
+        ),
+    };
+    Ok(Frame { stream, row: Row::from_ints(&values), ts })
+}
+
+/// Render one frame line (no trailing newline). Errors if a value is
+/// not an integer.
+pub fn render_frame(stream: &str, row: &Row, ts: Option<Timestamp>) -> DtResult<String> {
+    let values: Vec<Json> = row
+        .values()
+        .iter()
+        .map(|v| {
+            v.as_i64().map(|i| i.to_json()).ok_or_else(|| {
+                DtError::config(format!("frame values must be integers, got {v}"))
+            })
+        })
+        .collect::<DtResult<_>>()?;
+    let mut fields = vec![
+        ("stream", stream.to_json()),
+        ("row", Json::Arr(values)),
+    ];
+    if let Some(t) = ts {
+        fields.push(("ts", (t.micros() as i64).to_json()));
+    }
+    Ok(dt_types::json::obj(fields).render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let row = Row::from_ints(&[17, 4]);
+        let line = render_frame("R", &row, Some(Timestamp::from_micros(1_500_000))).unwrap();
+        let f = parse_frame(&line).unwrap();
+        assert_eq!(f.stream, "R");
+        assert_eq!(f.row, row);
+        assert_eq!(f.ts, Some(Timestamp::from_micros(1_500_000)));
+        // Without a timestamp, stamping falls back to `now`.
+        let line = render_frame("R", &row, None).unwrap();
+        let f = parse_frame(&line).unwrap();
+        assert_eq!(f.ts, None);
+        let t = f.into_tuple(Timestamp::from_secs(9));
+        assert_eq!(t.ts, Timestamp::from_secs(9));
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        assert!(parse_frame("not json").is_err());
+        assert!(parse_frame("{}").is_err());
+        assert!(parse_frame(r#"{"stream":"R"}"#).is_err());
+        assert!(parse_frame(r#"{"stream":"R","row":[]}"#).is_err());
+        assert!(parse_frame(r#"{"stream":"R","row":[1.5]}"#).is_err());
+        assert!(parse_frame(r#"{"stream":"R","row":[1],"ts":-4}"#).is_err());
+        assert!(parse_frame(r#"{"stream":7,"row":[1]}"#).is_err());
+    }
+
+    #[test]
+    fn render_rejects_non_integer_values() {
+        use dt_types::Value;
+        let row = Row::new(vec![Value::Str("x".into())]);
+        assert!(render_frame("R", &row, None).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! A concurrent streaming runtime serving Data Triage over the
+//! network.
+//!
+//! The paper positions Data Triage inside a live stream processor
+//! (TelegraphCQ); the rest of this workspace reproduces it as a
+//! single-threaded virtual-time simulation. This crate is the runtime
+//! half: a multi-threaded server that hosts compiled triage pipelines
+//! as a long-running service, shedding load under *real* backpressure.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  TCP clients ──┐                    ┌─ worker R ──┐
+//!  (NDJSON       ├─ ingest ──┬─▸ ch R ┤ StreamTriage ├─┐
+//!   frames)      │  (offer)  │  bound │ keep / shed /│ │ sealed
+//!  in-process ───┘           ├─▸ ch S ┤ seal         │ ├────▸ merger ─▸ results
+//!  Source                    │  bound └──────────────┘ │      (QueryExecutor:
+//!                            └─ ctl: shed victims,     │       exact + shadow
+//!                               seal watermarks ───────┘       merge, in window
+//!                                        ▲                     order)
+//!                                 Clock ─┘ (monotonic | virtual)
+//! ```
+//!
+//! * **Ingest** accepts newline-delimited JSON tuple frames on a
+//!   `TcpListener` (plus an in-process [`Source`] path for
+//!   `dt-workload` generators) and `try_send`s each tuple into its
+//!   stream's **bounded** channel. A full channel *is* the triage
+//!   queue overflowing: the tuple is shed — rerouted to the worker's
+//!   control lane to be folded into the window's dropped synopsis,
+//!   exactly the paper's triage step under genuine backpressure.
+//! * **Per-stream workers** (one thread each) drain their channel
+//!   into a [`dt_triage::StreamTriage`]: kept tuples are buffered for
+//!   exact execution and folded into the kept synopsis, shed tuples
+//!   into the dropped synopsis.
+//! * The **merger** thread watches a [`Clock`] and, once a window's
+//!   end (plus a grace period) passes, asks every worker to seal it;
+//!   sealed per-stream state is joined and closed through
+//!   [`dt_triage::QueryExecutor`] — exact results merged with the
+//!   shadow query's estimate — and emitted strictly in window order.
+//! * The **control plane**: per-stream offered/kept/shed counters and
+//!   a `/stats` text endpoint on the same port, graceful shutdown
+//!   that drains in-flight windows, and a final JSON report
+//!   compatible with `dt-metrics`.
+//!
+//! Determinism: with a [`dt_types::VirtualClock`] nothing in the
+//! runtime moves time forward on its own, so integration tests drive
+//! sealing (and worker pacing) by hand and get reproducible window
+//! results from a fully threaded server.
+
+pub mod client;
+pub mod config;
+pub mod frame;
+pub mod server;
+pub mod source;
+pub mod stats;
+mod worker;
+
+pub use client::{fetch_stats, Client, StatsReply};
+pub use config::ServerConfig;
+pub use frame::{parse_frame, render_frame, Frame};
+pub use server::{Server, ServerHandle};
+pub use source::{run_source, Source, TraceSource};
+pub use stats::{ServerReport, ServerStats, StreamSnapshot};
+
+pub use dt_types::{Clock, MonotonicClock, VirtualClock};

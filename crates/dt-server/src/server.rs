@@ -1,0 +1,564 @@
+//! The runtime: ingest, workers, merger, control plane.
+//!
+//! [`Server::start`] compiles the configured queries, spawns one
+//! triage worker per physical stream, a window merger, and (when an
+//! address is given) a TCP acceptor for NDJSON tuple frames. The
+//! [`ServerHandle`] is the cheap, cloneable ingest facade shared by
+//! connection threads and in-process [`crate::Source`]s;
+//! [`Server::shutdown`] runs the graceful drain and returns the final
+//! [`ServerReport`].
+
+use crate::config::ServerConfig;
+use crate::frame::parse_frame;
+use crate::stats::{ServerReport, ServerStats};
+use crate::worker::{run_worker, Ctl, WorkerCtx};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{
+    QueryExecutor, RunReport, RunTotals, SealedWindow, ShedMode, StreamTriage, SynPair,
+    WindowResult,
+};
+use dt_types::{Clock, DtError, DtResult, Timestamp, Tuple, VDuration, WindowId, WindowSpec};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the merger wakes to check the clock, and how often
+/// blocked connection reads re-check the stop flag.
+const MERGER_POLL: Duration = Duration::from_millis(2);
+const CONN_READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+enum MergerMsg {
+    Stop,
+}
+
+/// State shared by every ingest path.
+struct Inner {
+    exec: QueryExecutor,
+    stats: Arc<ServerStats>,
+    clock: Arc<dyn Clock>,
+    mode: ShedMode,
+    data_tx: Vec<Sender<Tuple>>,
+    ctl_tx: Vec<Sender<Ctl>>,
+    stop: AtomicBool,
+}
+
+/// Cloneable ingest facade onto a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServerHandle {
+    /// The physical stream index for a catalog stream name.
+    pub fn stream_index(&self, name: &str) -> Option<usize> {
+        self.inner
+            .exec
+            .streams()
+            .iter()
+            .position(|s| s.name == name)
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.inner.stats
+    }
+
+    /// The server's clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.inner.clock
+    }
+
+    /// The (single) window spec every query shares.
+    pub fn spec(&self) -> WindowSpec {
+        self.inner.exec.spec()
+    }
+
+    /// Offer one tuple to a stream. This is the triage step: the
+    /// tuple either enters the stream's bounded channel (kept) or,
+    /// when the channel is full, is rerouted to the worker's control
+    /// lane as a shed victim — it still reaches the window's dropped
+    /// synopsis, it just skips exact processing.
+    pub fn offer(&self, stream: usize, tuple: Tuple) -> DtResult<()> {
+        let inner = &*self.inner;
+        let shared = inner.exec.streams().get(stream).ok_or_else(|| {
+            DtError::config(format!("no stream with index {stream}"))
+        })?;
+        if tuple.arity() != shared.schema.arity() {
+            return Err(DtError::schema(format!(
+                "tuple arity {} does not match stream '{}' arity {}",
+                tuple.arity(),
+                shared.name,
+                shared.schema.arity()
+            )));
+        }
+        let counters = inner.stats.stream(stream);
+        counters.offered.fetch_add(1, Ordering::SeqCst);
+        let shed = |t: Tuple| -> DtResult<()> {
+            inner.ctl_tx[stream]
+                .send(Ctl::Shed(t))
+                .map_err(|_| DtError::engine("stream worker is gone"))?;
+            counters.shed.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        };
+        match inner.mode {
+            // Summarize-only never touches the engine at all.
+            ShedMode::SummarizeOnly => shed(tuple),
+            ShedMode::DropOnly | ShedMode::DataTriage => {
+                match inner.data_tx[stream].try_send(tuple) {
+                    Ok(()) => {
+                        counters.kept.fetch_add(1, Ordering::SeqCst);
+                        Ok(())
+                    }
+                    Err(TrySendError::Full(t)) => shed(t),
+                    Err(TrySendError::Disconnected(_)) => {
+                        Err(DtError::engine("stream worker is gone"))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Offer a frame line exactly as the TCP path does: resolve the
+    /// stream by name, stamp a missing timestamp with `Clock::now()`.
+    pub fn offer_frame(&self, line: &str) -> DtResult<()> {
+        let frame = parse_frame(line)?;
+        let stream = self.stream_index(&frame.stream).ok_or_else(|| {
+            DtError::config(format!("unknown stream '{}'", frame.stream))
+        })?;
+        let tuple = frame.into_tuple(self.inner.clock.now());
+        self.offer(stream, tuple)
+    }
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] detaches
+/// the threads; call `shutdown` to drain and collect the report.
+pub struct Server {
+    handle: ServerHandle,
+    addr: Option<SocketAddr>,
+    workers: Vec<JoinHandle<DtResult<()>>>,
+    merger: Option<JoinHandle<DtResult<ServerReport>>>,
+    merger_tx: Sender<MergerMsg>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Compile `cfg` and start the runtime on `clock`. With
+    /// `addr = Some("127.0.0.1:0")` an NDJSON TCP listener is bound
+    /// (port 0 picks a free port — read it back with
+    /// [`Server::addr`]); with `None` the server is in-process only.
+    pub fn start(
+        cfg: &ServerConfig,
+        addr: Option<&str>,
+        clock: Arc<dyn Clock>,
+    ) -> DtResult<Server> {
+        let exec = cfg.compile()?;
+        let spec = exec.spec();
+        let names: Vec<String> = exec.streams().iter().map(|s| s.name.clone()).collect();
+        let stats = Arc::new(ServerStats::new(&names));
+
+        let mut data_tx = Vec::new();
+        let mut ctl_tx = Vec::new();
+        let mut workers = Vec::new();
+        let (sealed_tx, sealed_rx) = unbounded::<SealedWindow>();
+        for (i, s) in exec.streams().iter().enumerate() {
+            let (dtx, drx) = bounded::<Tuple>(cfg.channel_capacity);
+            let (ctx_tx, crx) = unbounded::<Ctl>();
+            let triage = StreamTriage::new(
+                i,
+                s.schema.arity(),
+                cfg.mode,
+                cfg.synopsis,
+                spec,
+            );
+            let wctx = WorkerCtx {
+                stream: i,
+                triage,
+                data_rx: drx,
+                ctl_rx: crx,
+                sealed_tx: sealed_tx.clone(),
+                clock: Arc::clone(&clock),
+                pace: cfg.pace_by_timestamp,
+                spec,
+                stats: Arc::clone(&stats),
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dt-worker-{}", s.name))
+                    .spawn(move || run_worker(wctx))
+                    .map_err(|e| DtError::engine(format!("spawn worker: {e}")))?,
+            );
+            data_tx.push(dtx);
+            ctl_tx.push(ctx_tx);
+        }
+        drop(sealed_tx);
+
+        let inner = Arc::new(Inner {
+            exec,
+            stats: Arc::clone(&stats),
+            clock: Arc::clone(&clock),
+            mode: cfg.mode,
+            data_tx,
+            ctl_tx,
+            stop: AtomicBool::new(false),
+        });
+        let handle = ServerHandle {
+            inner: Arc::clone(&inner),
+        };
+
+        let (merger_tx, merger_rx) = unbounded::<MergerMsg>();
+        let merger_inner = Arc::clone(&inner);
+        let synopsis = cfg.synopsis;
+        let grace = cfg.grace;
+        let merger = std::thread::Builder::new()
+            .name("dt-merger".to_string())
+            .spawn(move || run_merger(merger_inner, synopsis, grace, sealed_rx, merger_rx))
+            .map_err(|e| DtError::engine(format!("spawn merger: {e}")))?;
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (bound, acceptor) = match addr {
+            None => (None, None),
+            Some(spec_addr) => {
+                let listener = TcpListener::bind(spec_addr)
+                    .map_err(|e| DtError::config(format!("bind {spec_addr}: {e}")))?;
+                let local = listener
+                    .local_addr()
+                    .map_err(|e| DtError::config(format!("local_addr: {e}")))?;
+                let acc_handle = handle.clone();
+                let acc_conns = Arc::clone(&conns);
+                let acc = std::thread::Builder::new()
+                    .name("dt-acceptor".to_string())
+                    .spawn(move || run_acceptor(listener, acc_handle, acc_conns))
+                    .map_err(|e| DtError::engine(format!("spawn acceptor: {e}")))?;
+                (Some(local), Some(acc))
+            }
+        };
+
+        Ok(Server {
+            handle,
+            addr: bound,
+            workers,
+            merger: Some(merger),
+            merger_tx,
+            acceptor,
+            conns,
+        })
+    }
+
+    /// The ingest facade (clone it freely).
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// The bound TCP address, when serving a socket.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        self.handle.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, drain every worker (all
+    /// queued tuples are consumed, all open windows sealed), merge
+    /// the remaining windows, and return the final report.
+    pub fn shutdown(mut self) -> DtResult<ServerReport> {
+        let inner = &self.handle.inner;
+        inner.stop.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr {
+            // Unblock the acceptor with a throwaway connection.
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(acc) = self.acceptor.take() {
+            let _ = acc.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
+        for c in conns {
+            let _ = c.join();
+        }
+        for tx in &inner.ctl_tx {
+            let _ = tx.send(Ctl::Stop);
+        }
+        let mut first_err = None;
+        for w in self.workers.drain(..) {
+            match w.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                Err(_) => {
+                    first_err =
+                        first_err.or_else(|| Some(DtError::engine("worker thread panicked")))
+                }
+            }
+        }
+        let _ = self.merger_tx.send(MergerMsg::Stop);
+        let report = match self.merger.take().expect("merger running").join() {
+            Ok(r) => r,
+            Err(_) => Err(DtError::engine("merger thread panicked")),
+        };
+        match first_err {
+            Some(e) => Err(e),
+            None => report,
+        }
+    }
+}
+
+/// The merger loop: collect sealed per-stream windows, emit each
+/// window (strictly in id order) once every stream has sealed it, and
+/// drive the seal watermark off the clock.
+fn run_merger(
+    inner: Arc<Inner>,
+    synopsis: SynopsisConfig,
+    grace: VDuration,
+    sealed_rx: Receiver<SealedWindow>,
+    merger_rx: Receiver<MergerMsg>,
+) -> DtResult<ServerReport> {
+    let exec = &inner.exec;
+    let spec = exec.spec();
+    let n_streams = exec.streams().len();
+    let mut pending: BTreeMap<WindowId, Vec<Option<SealedWindow>>> = BTreeMap::new();
+    let mut results: Vec<Vec<WindowResult>> = vec![Vec::new(); exec.num_queries()];
+    let mut peak_units: usize = 0;
+    let mut next_emit: WindowId = 0;
+    let mut last_seal: Option<WindowId> = None;
+
+    let collect = |pending: &mut BTreeMap<WindowId, Vec<Option<SealedWindow>>>| {
+        for s in sealed_rx.try_iter() {
+            let (win, slot) = (s.window, s.stream);
+            pending.entry(win).or_insert_with(|| vec![None; n_streams])[slot] = Some(s);
+        }
+    };
+
+    loop {
+        let stop = match merger_rx.recv_timeout(MERGER_POLL) {
+            Ok(MergerMsg::Stop) => true,
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => false,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => true,
+        };
+        collect(&mut pending);
+
+        if stop {
+            // Workers have drained and joined; every sealed window is
+            // in hand. Streams seal independently, so a stream with no
+            // traffic near the end may be missing windows other
+            // streams emitted — synthesize its empty seals.
+            let windows: Vec<WindowId> = pending.keys().copied().collect();
+            for w in windows {
+                emit_window(
+                    &inner, &synopsis, &mut pending, &mut results, &mut peak_units, w,
+                    true,
+                )?;
+                next_emit = next_emit.max(w + 1);
+            }
+            break;
+        }
+
+        // Emit every window all streams have sealed. Workers seal
+        // contiguously from window 0, so completeness is monotone and
+        // emission order == id order.
+        while let Some((&w, slots)) = pending.iter().next() {
+            if w != next_emit || !slots.iter().all(Option::is_some) {
+                break;
+            }
+            emit_window(
+                &inner, &synopsis, &mut pending, &mut results, &mut peak_units, w, false,
+            )?;
+            next_emit = w + 1;
+        }
+
+        // Advance the seal watermark: every window whose end (plus
+        // grace) has passed gets sealed on all streams.
+        let now = inner.clock.now();
+        let lag = (spec.width() + grace).micros();
+        if now.micros() >= lag {
+            let upto = (now.micros() - lag) / spec.slide().micros();
+            if last_seal.is_none_or(|s| upto > s) {
+                for tx in &inner.ctl_tx {
+                    let _ = tx.send(Ctl::Seal(upto));
+                }
+                last_seal = Some(upto);
+            }
+        }
+    }
+
+    let snaps = inner.stats.snapshot();
+    let totals = RunTotals {
+        arrived: snaps.iter().map(|s| s.offered).sum(),
+        kept: snaps.iter().map(|s| s.kept).sum(),
+        dropped: snaps.iter().map(|s| s.shed).sum(),
+        peak_synopsis_units: peak_units,
+    };
+    let reports: Vec<RunReport> = results
+        .into_iter()
+        .map(|windows| RunReport {
+            windows,
+            totals: totals.clone(),
+            window_spec: spec,
+        })
+        .collect();
+    Ok(ServerReport {
+        reports,
+        streams: snaps,
+        windows_emitted: inner.stats.windows_emitted.load(Ordering::SeqCst),
+    })
+}
+
+/// Join one window across streams and close it through the executor.
+fn emit_window(
+    inner: &Inner,
+    synopsis: &SynopsisConfig,
+    pending: &mut BTreeMap<WindowId, Vec<Option<SealedWindow>>>,
+    results: &mut [Vec<WindowResult>],
+    peak_units: &mut usize,
+    w: WindowId,
+    fill_missing: bool,
+) -> DtResult<()> {
+    let exec = &inner.exec;
+    let spec = exec.spec();
+    let slots = pending.remove(&w).expect("window present");
+    let mut shared_rows: Vec<Vec<dt_types::Row>> = Vec::with_capacity(slots.len());
+    let mut pairs: Vec<SynPair> = Vec::new();
+    let (mut arrived, mut kept, mut dropped) = (0u64, 0u64, 0u64);
+    for (i, slot) in slots.into_iter().enumerate() {
+        let sw = match slot {
+            Some(sw) => sw,
+            None if fill_missing => {
+                // An idle stream never opened this window; its seal is
+                // empty rows plus freshly sealed empty synopses.
+                let syn = if inner.mode.uses_synopses() {
+                    let arity = exec.streams()[i].schema.arity();
+                    let mut kept_syn = synopsis.build(arity)?;
+                    let mut dropped_syn = synopsis.build(arity)?;
+                    kept_syn.seal();
+                    dropped_syn.seal();
+                    Some(SynPair {
+                        kept: kept_syn,
+                        dropped: dropped_syn,
+                    })
+                } else {
+                    None
+                };
+                SealedWindow {
+                    stream: i,
+                    window: w,
+                    rows: Vec::new(),
+                    syn,
+                    arrived: 0,
+                    kept: 0,
+                    dropped: 0,
+                }
+            }
+            None => return Err(DtError::engine("emitting an incomplete window")),
+        };
+        arrived += sw.arrived;
+        kept += sw.kept;
+        dropped += sw.dropped;
+        shared_rows.push(sw.rows);
+        if let Some(p) = sw.syn {
+            pairs.push(p);
+        }
+    }
+    let pairs = if inner.mode.uses_synopses() {
+        if pairs.len() != shared_rows.len() {
+            return Err(DtError::engine("sealed window missing synopses"));
+        }
+        let units: usize = pairs
+            .iter()
+            .map(|p| p.kept.memory_units() + p.dropped.memory_units())
+            .sum();
+        *peak_units = (*peak_units).max(units);
+        Some(pairs)
+    } else {
+        None
+    };
+    let payloads = exec.close_batch(&shared_rows, pairs.as_deref())?;
+    let emitted_at: Timestamp = inner.clock.now().max(spec.window_end(w));
+    for (qi, payload) in payloads.into_iter().enumerate() {
+        results[qi].push(WindowResult {
+            window: w,
+            payload,
+            emitted_at,
+            arrived,
+            kept,
+            dropped,
+        });
+    }
+    inner.stats.windows_emitted.fetch_add(1, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Accept loop: one thread per connection. A throwaway connection
+/// made by `shutdown` (after the stop flag is set) unblocks `accept`.
+fn run_acceptor(
+    listener: TcpListener,
+    handle: ServerHandle,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if handle.inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_handle = handle.clone();
+        if let Ok(h) = std::thread::Builder::new()
+            .name("dt-conn".to_string())
+            .spawn(move || serve_conn(stream, conn_handle))
+        {
+            conns.lock().expect("conns lock").push(h);
+        }
+    }
+}
+
+/// One client connection: either a `/stats` probe (first line starts
+/// with `GET `) or a stream of NDJSON tuple frames until EOF.
+fn serve_conn(stream: TcpStream, handle: ServerHandle) {
+    let _ = stream.set_read_timeout(Some(CONN_READ_TIMEOUT));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut first = true;
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let trimmed = line.trim();
+                if first && trimmed.starts_with("GET ") {
+                    let body = handle.inner.stats.render_text();
+                    let _ = writer.write_all(body.as_bytes());
+                    return;
+                }
+                first = false;
+                if !trimmed.is_empty() && handle.offer_frame(trimmed).is_err() {
+                    handle
+                        .inner
+                        .stats
+                        .parse_errors
+                        .fetch_add(1, Ordering::SeqCst);
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Keep any partial line already buffered; just check
+                // whether we're shutting down.
+                if handle.inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}

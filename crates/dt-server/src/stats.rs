@@ -1,0 +1,206 @@
+//! Live counters and the final run report.
+//!
+//! Counters are lock-free atomics shared between the ingest side
+//! (offered/kept/shed), the workers (late), and the merger (windows
+//! emitted) — `/stats` reads them without stopping the world. The
+//! [`ServerReport`] is assembled once at shutdown from the drained
+//! pipelines and serializes to JSON for `dt-metrics`.
+
+use dt_metrics::RunSummary;
+use dt_triage::RunReport;
+use dt_types::{json, Json, ToJson};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for one ingest stream.
+#[derive(Debug, Default)]
+pub struct StreamCounters {
+    /// Tuples presented to the stream (kept + shed).
+    pub offered: AtomicU64,
+    /// Tuples that entered the bounded channel.
+    pub kept: AtomicU64,
+    /// Tuples shed because the channel was full (or the mode sheds
+    /// everything).
+    pub shed: AtomicU64,
+    /// Tuples that arrived after their window was already sealed.
+    pub late: AtomicU64,
+}
+
+/// Shared live counters for the whole server.
+#[derive(Debug)]
+pub struct ServerStats {
+    streams: Vec<(String, StreamCounters)>,
+    /// Windows fully merged and emitted, across all queries.
+    pub windows_emitted: AtomicU64,
+    /// Ingest lines that failed to parse as tuple frames.
+    pub parse_errors: AtomicU64,
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters for the named streams.
+    pub fn new(stream_names: &[String]) -> Self {
+        ServerStats {
+            streams: stream_names
+                .iter()
+                .map(|n| (n.clone(), StreamCounters::default()))
+                .collect(),
+            windows_emitted: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Counters for stream `i` (panics on a bad index — stream
+    /// indices come from the compiled executor).
+    pub fn stream(&self, i: usize) -> &StreamCounters {
+        &self.streams[i].1
+    }
+
+    /// Number of streams tracked.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Point-in-time copy of every stream's counters.
+    pub fn snapshot(&self) -> Vec<StreamSnapshot> {
+        self.streams
+            .iter()
+            .map(|(name, c)| StreamSnapshot {
+                name: name.clone(),
+                offered: c.offered.load(Ordering::SeqCst),
+                kept: c.kept.load(Ordering::SeqCst),
+                shed: c.shed.load(Ordering::SeqCst),
+                late: c.late.load(Ordering::SeqCst),
+            })
+            .collect()
+    }
+
+    /// The `/stats` endpoint body: one `key value` line per counter,
+    /// trivially greppable.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for s in self.snapshot() {
+            out.push_str(&format!(
+                "stream {} offered {} kept {} shed {} late {}\n",
+                s.name, s.offered, s.kept, s.shed, s.late
+            ));
+        }
+        out.push_str(&format!(
+            "windows_emitted {}\nparse_errors {}\n",
+            self.windows_emitted.load(Ordering::SeqCst),
+            self.parse_errors.load(Ordering::SeqCst)
+        ));
+        out
+    }
+}
+
+/// One stream's counters, frozen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSnapshot {
+    /// Stream name from the catalog.
+    pub name: String,
+    /// Tuples presented to the stream.
+    pub offered: u64,
+    /// Tuples that entered the channel.
+    pub kept: u64,
+    /// Tuples shed on overflow.
+    pub shed: u64,
+    /// Tuples arriving after their window sealed.
+    pub late: u64,
+}
+
+impl StreamSnapshot {
+    /// Parse one `stream ...` line of the `/stats` text format back
+    /// into a snapshot (the loopback client uses this).
+    pub fn parse_line(line: &str) -> Option<StreamSnapshot> {
+        let mut it = line.split_whitespace();
+        if it.next()? != "stream" {
+            return None;
+        }
+        let name = it.next()?.to_string();
+        let mut field = |key: &str| -> Option<u64> {
+            if it.next()? != key {
+                return None;
+            }
+            it.next()?.parse().ok()
+        };
+        Some(StreamSnapshot {
+            name,
+            offered: field("offered")?,
+            kept: field("kept")?,
+            shed: field("shed")?,
+            late: field("late")?,
+        })
+    }
+}
+
+impl ToJson for StreamSnapshot {
+    fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("name", self.name.to_json()),
+            ("offered", self.offered.to_json()),
+            ("kept", self.kept.to_json()),
+            ("shed", self.shed.to_json()),
+            ("late", self.late.to_json()),
+        ])
+    }
+}
+
+/// Everything a finished run produced: one [`RunReport`] per query
+/// (window results + totals, the same shape the simulation emits, so
+/// `dt-metrics` accuracy tooling applies unchanged) plus the server's
+/// own ingest counters.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Per-query window results, in query order.
+    pub reports: Vec<RunReport>,
+    /// Final per-stream ingest counters.
+    pub streams: Vec<StreamSnapshot>,
+    /// Windows fully merged and emitted (per query).
+    pub windows_emitted: u64,
+}
+
+impl ToJson for ServerReport {
+    fn to_json(&self) -> Json {
+        let summaries: Vec<Json> = self
+            .reports
+            .iter()
+            .map(|r| RunSummary::from_report(r).to_json())
+            .collect();
+        json::obj(vec![
+            ("reports", Json::Arr(summaries)),
+            ("streams", self.streams.to_json()),
+            ("windows_emitted", self.windows_emitted.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_roundtrips_stream_lines() {
+        let stats = ServerStats::new(&["R".to_string(), "S".to_string()]);
+        stats.stream(0).offered.store(10, Ordering::SeqCst);
+        stats.stream(0).kept.store(7, Ordering::SeqCst);
+        stats.stream(0).shed.store(3, Ordering::SeqCst);
+        stats.windows_emitted.store(2, Ordering::SeqCst);
+        let text = stats.render_text();
+        let snaps: Vec<StreamSnapshot> = text
+            .lines()
+            .filter_map(StreamSnapshot::parse_line)
+            .collect();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].name, "R");
+        assert_eq!(snaps[0].offered, 10);
+        assert_eq!(snaps[0].kept, 7);
+        assert_eq!(snaps[0].shed, 3);
+        assert_eq!(snaps[1].offered, 0);
+        assert!(text.contains("windows_emitted 2"));
+    }
+
+    #[test]
+    fn parse_line_rejects_garbage() {
+        assert!(StreamSnapshot::parse_line("windows_emitted 2").is_none());
+        assert!(StreamSnapshot::parse_line("stream R offered x kept 0 shed 0 late 0").is_none());
+    }
+}

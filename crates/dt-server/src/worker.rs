@@ -1,0 +1,175 @@
+//! The per-stream triage worker thread.
+//!
+//! Each worker owns one stream's [`StreamTriage`] and two inbound
+//! lanes: the **bounded data channel** (the triage queue — ingest
+//! `try_send`s kept tuples here) and an unbounded **control lane**
+//! carrying shed victims, seal watermarks, and the stop request.
+//! Control is drained first so a full data channel can never starve
+//! sealing or victim accounting.
+//!
+//! With `pace` set, the worker refuses to consume a tuple before the
+//! server clock reaches its timestamp, holding at most **one** tuple
+//! aside. That single parked tuple plus the channel bound makes
+//! overflow deterministic under a frozen virtual clock: at most
+//! `capacity + 1` tuples fit upstream of the (stopped) engine, and
+//! every tuple past that is shed — precisely the paper's triage-queue
+//! overflow, reproduced under test control.
+
+use crate::stats::ServerStats;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use dt_triage::{SealedWindow, StreamTriage};
+use dt_types::{Clock, DtResult, Tuple, WindowId, WindowSpec};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the worker parks between polls when idle or paced.
+const POLL: Duration = Duration::from_micros(500);
+
+/// Control-lane messages, served ahead of data.
+pub(crate) enum Ctl {
+    /// A tuple shed at ingest (channel full, or a mode that sheds
+    /// everything); fold it into the dropped synopsis.
+    Shed(Tuple),
+    /// Seal every window up to and including this id.
+    Seal(WindowId),
+    /// Drain everything, seal all open windows, exit.
+    Stop,
+}
+
+/// Everything one worker thread needs.
+pub(crate) struct WorkerCtx {
+    pub stream: usize,
+    pub triage: StreamTriage,
+    pub data_rx: Receiver<Tuple>,
+    pub ctl_rx: Receiver<Ctl>,
+    pub sealed_tx: Sender<SealedWindow>,
+    pub clock: Arc<dyn Clock>,
+    pub pace: bool,
+    pub spec: WindowSpec,
+    pub stats: Arc<ServerStats>,
+}
+
+fn consume(
+    triage: &mut StreamTriage,
+    t: &Tuple,
+    stream: usize,
+    stats: &ServerStats,
+) -> DtResult<()> {
+    if !triage.keep(t)? {
+        stats.stream(stream).late.fetch_add(1, Ordering::SeqCst);
+    }
+    Ok(())
+}
+
+/// The worker loop. Runs until [`Ctl::Stop`] (or every channel
+/// disconnecting); returns the first triage error, which the server
+/// surfaces at shutdown.
+pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
+    let WorkerCtx {
+        stream,
+        mut triage,
+        data_rx,
+        ctl_rx,
+        sealed_tx,
+        clock,
+        pace,
+        spec,
+        stats,
+    } = ctx;
+    // The one tuple held back by timestamp pacing.
+    let mut pending: Option<Tuple> = None;
+    loop {
+        match ctl_rx.try_recv() {
+            Ok(Ctl::Shed(t)) => {
+                if !triage.shed(&t)? {
+                    stats.stream(stream).late.fetch_add(1, Ordering::SeqCst);
+                }
+                continue;
+            }
+            Ok(Ctl::Seal(upto)) => {
+                // Everything already queued that belongs at or below
+                // the watermark has arrived — consume it (pacing
+                // aside) so the seal doesn't orphan it as late.
+                let end = spec.window_end(upto);
+                loop {
+                    let t = match pending.take() {
+                        Some(t) => t,
+                        None => match data_rx.try_recv() {
+                            Ok(t) => t,
+                            Err(_) => break,
+                        },
+                    };
+                    if t.ts < end {
+                        consume(&mut triage, &t, stream, &stats)?;
+                    } else {
+                        pending = Some(t);
+                        break;
+                    }
+                }
+                for w in triage.seal_through(upto)? {
+                    let _ = sealed_tx.send(w);
+                }
+                continue;
+            }
+            Ok(Ctl::Stop) => {
+                // The control lane is FIFO, so every shed victim sent
+                // before Stop has been folded already; drain the rest
+                // of the data lane unpaced and seal everything.
+                if let Some(t) = pending.take() {
+                    consume(&mut triage, &t, stream, &stats)?;
+                }
+                for t in data_rx.try_iter() {
+                    consume(&mut triage, &t, stream, &stats)?;
+                }
+                for c in ctl_rx.try_iter() {
+                    if let Ctl::Shed(t) = c {
+                        if !triage.shed(&t)? {
+                            stats.stream(stream).late.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                for w in triage.seal_all()? {
+                    let _ = sealed_tx.send(w);
+                }
+                return Ok(());
+            }
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => {
+                // Server dropped without Stop; emit what we have.
+                for w in triage.seal_all()? {
+                    let _ = sealed_tx.send(w);
+                }
+                return Ok(());
+            }
+        }
+        if let Some(t) = pending.take() {
+            if !pace || clock.now() >= t.ts {
+                consume(&mut triage, &t, stream, &stats)?;
+            } else {
+                // Still ahead of the clock: park it again and nap
+                // briefly (a real nap — a virtual clock only moves
+                // when the test moves it, and we must keep serving
+                // the control lane meanwhile).
+                pending = Some(t);
+                std::thread::sleep(POLL);
+            }
+            continue;
+        }
+        match data_rx.recv_timeout(POLL) {
+            Ok(t) => {
+                if pace && t.ts > clock.now() {
+                    pending = Some(t);
+                } else {
+                    consume(&mut triage, &t, stream, &stats)?;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Ingest is gone but the server still owes us a Stop
+                // (which seals and exits); keep serving control.
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+}

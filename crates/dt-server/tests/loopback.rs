@@ -1,0 +1,187 @@
+//! The acceptance test: a full server on a loopback socket, driven
+//! deterministically by a virtual clock.
+//!
+//! A real multi-threaded server, a real TCP client, and yet a
+//! reproducible run: nothing in the runtime advances a
+//! [`VirtualClock`], so the test decides when windows close and when
+//! the engine is allowed to consume. Freezing the clock during the
+//! burst stops the paced worker cold, which makes channel overflow —
+//! i.e. triage shedding — a certainty rather than a race.
+
+use dt_query::Catalog;
+use dt_server::{fetch_stats, Client, Server, ServerConfig, VirtualClock};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::RunReport;
+use dt_types::{DataType, Row, Schema, Timestamp, VDuration};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CAPACITY: usize = 64;
+const BURST: usize = 300;
+
+fn poll(what: &str, mut ready: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if ready() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+/// Sum of the first aggregate (COUNT(*)) across a window's groups.
+fn total_count(report: &RunReport, w: usize) -> f64 {
+    report.windows[w]
+        .groups()
+        .expect("aggregating query")
+        .values()
+        .map(|aggs| aggs[0])
+        .sum()
+}
+
+#[test]
+fn loopback_burst_sheds_then_drains_gracefully() {
+    let mut catalog = Catalog::new();
+    catalog.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    let mut cfg = ServerConfig::new("SELECT a, COUNT(*) FROM R GROUP BY a", catalog);
+    cfg.window = Some(VDuration::from_secs(1));
+    cfg.channel_capacity = CAPACITY;
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+    cfg.grace = VDuration::from_millis(100);
+
+    let clock = Arc::new(VirtualClock::new());
+    let server =
+        Server::start(&cfg, Some("127.0.0.1:0"), clock.clone()).expect("server starts");
+    let addr = server.addr().expect("bound address");
+    let mut client = Client::connect(addr).expect("client connects");
+
+    // Phase 1 — pre-burst: 10 tuples inside window 0, well under the
+    // channel capacity. Nothing may be shed.
+    for i in 0..10u64 {
+        let ts = Timestamp::from_micros(100_000 + i * 40_000);
+        client
+            .send("R", &Row::from_ints(&[(i % 3) as i64]), Some(ts))
+            .expect("send");
+    }
+    poll("pre-burst ingest", || {
+        fetch_stats(addr).unwrap().stream("R").unwrap().offered == 10
+    });
+    let s = fetch_stats(addr).unwrap();
+    assert_eq!(s.stream("R").unwrap().shed, 0, "no shedding before the burst");
+    assert_eq!(s.stream("R").unwrap().kept, 10);
+
+    // Close window 0: move the clock past its end plus the grace
+    // period and wait for the merger to emit it.
+    clock.set(Timestamp::from_micros(1_200_000));
+    poll("window 0 emitted", || {
+        fetch_stats(addr).unwrap().windows_emitted >= 1
+    });
+
+    // Phase 2 — burst: 300 tuples inside window 1, all timestamped
+    // ahead of the (now frozen) clock. The paced worker cannot consume
+    // them, so at most `capacity` fit in the channel plus one parked
+    // tuple — everything else overflows into triage shedding.
+    for i in 0..BURST as u64 {
+        let ts = Timestamp::from_micros(1_300_000 + i * 1_990);
+        client
+            .send("R", &Row::from_ints(&[(i % 3) as i64]), Some(ts))
+            .expect("send");
+    }
+    poll("burst ingest", || {
+        fetch_stats(addr).unwrap().stream("R").unwrap().offered == 10 + BURST as u64
+    });
+    let s = fetch_stats(addr).unwrap().stream("R").unwrap().clone();
+    assert!(
+        s.shed >= (BURST - CAPACITY - 1) as u64,
+        "burst must overflow the bounded channel (shed {})",
+        s.shed
+    );
+    assert_eq!(s.kept + s.shed, 10 + BURST as u64, "every tuple kept or shed");
+
+    // Close window 1.
+    clock.set(Timestamp::from_micros(2_200_000));
+    poll("window 1 emitted", || {
+        fetch_stats(addr).unwrap().windows_emitted >= 2
+    });
+
+    // Phase 3 — tail: 5 tuples in window 2, plus two bad lines the
+    // server must count (not crash on). The clock never advances past
+    // window 2; only graceful shutdown may emit it.
+    client.send_line("this is not a frame").expect("send");
+    client
+        .send_line(r#"{"stream":"NOPE","row":[1]}"#)
+        .expect("send");
+    for i in 0..5u64 {
+        let ts = Timestamp::from_micros(2_300_000 + i * 50_000);
+        client
+            .send("R", &Row::from_ints(&[7]), Some(ts))
+            .expect("send");
+    }
+    poll("tail ingest", || {
+        fetch_stats(addr).unwrap().stream("R").unwrap().offered == 15 + BURST as u64
+    });
+    assert_eq!(fetch_stats(addr).unwrap().parse_errors, 2);
+
+    client.close().expect("client close");
+    let report = server.shutdown().expect("graceful shutdown");
+
+    // (a) Every window emitted, strictly in order, exact + estimate
+    // merged. The cell-width-1 sparse synopsis loses nothing for
+    // COUNT, so the burst window's merged total must be exact even
+    // though most of its tuples were shed.
+    assert_eq!(report.reports.len(), 1);
+    let run = &report.reports[0];
+    let ids: Vec<u64> = run.windows.iter().map(|w| w.window).collect();
+    assert_eq!(ids, vec![0, 1, 2], "windows in order, none missing");
+    assert_eq!(total_count(run, 0), 10.0);
+    assert_eq!(total_count(run, 1), BURST as f64);
+    assert_eq!(total_count(run, 2), 5.0);
+
+    // (b) Shedding happened exactly where the burst was.
+    assert_eq!(run.windows[0].dropped, 0);
+    assert!(run.windows[1].dropped > 0, "burst window must shed");
+    assert_eq!(run.windows[2].dropped, 0);
+    assert_eq!(
+        run.windows[1].kept + run.windows[1].dropped,
+        BURST as u64,
+        "burst tuples all accounted for"
+    );
+
+    // (c) Graceful shutdown drained the in-flight window without any
+    // clock help, and the final counters line up.
+    assert_eq!(report.windows_emitted, 3);
+    let r = &report.streams[0];
+    assert_eq!(r.name, "R");
+    assert_eq!(r.offered, 315);
+    assert_eq!(r.offered, r.kept + r.shed);
+    assert_eq!(run.totals.arrived, 315);
+    assert_eq!(run.totals.dropped, r.shed);
+}
+
+#[test]
+fn summarize_only_sheds_everything_but_still_answers() {
+    let mut catalog = Catalog::new();
+    catalog.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    let mut cfg = ServerConfig::new("SELECT a, COUNT(*) FROM R GROUP BY a", catalog);
+    cfg.window = Some(VDuration::from_secs(1));
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+    cfg.mode = dt_triage::ShedMode::SummarizeOnly;
+
+    let clock = Arc::new(VirtualClock::new());
+    let server = Server::start(&cfg, None, clock.clone()).expect("server starts");
+    let handle = server.handle();
+    let r = handle.stream_index("R").expect("stream R");
+    for i in 0..8u64 {
+        let t = dt_types::Tuple::new(
+            Row::from_ints(&[(i % 2) as i64]),
+            Timestamp::from_micros(i * 1_000),
+        );
+        handle.offer(r, t).expect("offer");
+    }
+    let report = server.shutdown().expect("shutdown");
+    let run = &report.reports[0];
+    assert_eq!(report.streams[0].shed, 8, "summarize-only sheds everything");
+    assert_eq!(report.streams[0].kept, 0);
+    assert_eq!(total_count(run, 0), 8.0, "…but the estimate still counts them");
+}

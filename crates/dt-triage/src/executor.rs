@@ -1,0 +1,381 @@
+//! Window-close execution, factored out of the simulation pipeline.
+//!
+//! [`QueryExecutor`] owns everything about a set of registered queries
+//! that is *stateless across windows*: the planned queries, their
+//! shadow rewrites, the mapping from each query's FROM positions to
+//! shared physical streams, and the merge of exact and estimated
+//! results. Given one window's sealed per-stream state — kept rows
+//! plus kept/dropped synopses — it produces each query's
+//! [`WindowPayload`].
+//!
+//! Two callers share it:
+//!
+//! * [`crate::SharedPipeline`], the virtual-time simulation, and
+//! * `dt-server`'s merger thread, which closes windows sealed by
+//!   per-stream worker threads against a wall clock.
+//!
+//! Because the executor holds no mutable state, a server can call it
+//! from any thread behind an `Arc` without locking.
+
+use dt_engine::{execute_window, WindowOutput};
+use dt_query::QueryPlan;
+use dt_rewrite::{evaluate, rewrite_dropped, ShadowQuery};
+use dt_synopsis::{Synopsis, SynopsisConfig};
+use dt_types::{DtError, DtResult, Row, Schema, WindowSpec};
+
+use crate::merge::merge_window;
+use crate::pipeline::WindowPayload;
+use crate::shed::ShedMode;
+
+/// One physical stream shared by the registered queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedStream {
+    /// Catalog stream name.
+    pub name: String,
+    /// The stream's (unqualified) schema.
+    pub schema: Schema,
+}
+
+/// A window's kept/dropped synopsis pair for one physical stream.
+#[derive(Debug, Clone)]
+pub struct SynPair {
+    /// Summary of tuples delivered to the exact engine.
+    pub kept: Synopsis,
+    /// Summary of tuples shed before the engine.
+    pub dropped: Synopsis,
+}
+
+/// Per-query compiled state.
+#[derive(Debug, Clone)]
+pub(crate) struct QueryRuntime {
+    pub(crate) plan: QueryPlan,
+    pub(crate) shadow: Option<ShadowQuery>,
+    /// Plan FROM-position → shared stream index.
+    pub(crate) stream_map: Vec<usize>,
+}
+
+/// Stateless window-close execution over shared physical streams. See
+/// the module docs.
+#[derive(Debug, Clone)]
+pub struct QueryExecutor {
+    streams: Vec<SharedStream>,
+    queries: Vec<QueryRuntime>,
+    spec: WindowSpec,
+    mode: ShedMode,
+}
+
+impl QueryExecutor {
+    /// Compile one or more planned queries against shared streams.
+    ///
+    /// Physical streams are derived from the plans' catalog stream
+    /// names, in first-appearance order; queries referencing the same
+    /// stream name share its rows and synopses. All streams of all
+    /// queries must use one window width; synopsis modes additionally
+    /// require integer columns and rewritable queries.
+    pub fn new(plans: Vec<QueryPlan>, mode: ShedMode) -> DtResult<Self> {
+        if plans.is_empty() {
+            return Err(DtError::config("executor needs at least one query"));
+        }
+        if plans[0].streams.is_empty() {
+            return Err(DtError::config("query has no streams"));
+        }
+        let spec = plans[0].streams[0].window;
+        let mut streams: Vec<SharedStream> = Vec::new();
+        let mut queries = Vec::with_capacity(plans.len());
+        for plan in plans {
+            if plan.streams.is_empty() {
+                return Err(DtError::config("query has no streams"));
+            }
+            let mut stream_map = Vec::with_capacity(plan.streams.len());
+            for binding in &plan.streams {
+                if binding.window != spec {
+                    return Err(DtError::config(
+                        "all queries must share one window width",
+                    ));
+                }
+                // Physical identity is the catalog stream name.
+                let unqualified = Schema::new(
+                    binding
+                        .schema
+                        .fields()
+                        .iter()
+                        .map(|f| dt_types::Field::new(f.name.clone(), f.ty))
+                        .collect(),
+                );
+                let idx = match streams.iter().position(|s| s.name == binding.stream) {
+                    Some(i) => {
+                        if streams[i].schema != unqualified {
+                            return Err(DtError::config(format!(
+                                "stream '{}' bound with conflicting schemas",
+                                binding.stream
+                            )));
+                        }
+                        i
+                    }
+                    None => {
+                        streams.push(SharedStream {
+                            name: binding.stream.clone(),
+                            schema: unqualified,
+                        });
+                        streams.len() - 1
+                    }
+                };
+                stream_map.push(idx);
+            }
+            let shadow = if mode.uses_synopses() {
+                for s in &plan.streams {
+                    for f in s.schema.fields() {
+                        if f.ty != dt_types::DataType::Int {
+                            return Err(DtError::config(format!(
+                                "synopsis modes require integer columns; {} is {}",
+                                f.qualified_name(),
+                                f.ty
+                            )));
+                        }
+                    }
+                }
+                if plan.group_by.len() > 1 && plan.is_aggregating() {
+                    // merge_window would reject this at the first
+                    // window close; fail fast instead.
+                    return Err(DtError::config(
+                        "synopsis modes support at most one GROUP BY column",
+                    ));
+                }
+                Some(rewrite_dropped(&plan)?)
+            } else {
+                None
+            };
+            queries.push(QueryRuntime {
+                plan,
+                shadow,
+                stream_map,
+            });
+        }
+        Ok(QueryExecutor {
+            streams,
+            queries,
+            spec,
+            mode,
+        })
+    }
+
+    /// The shared physical streams, in index order.
+    pub fn streams(&self) -> &[SharedStream] {
+        &self.streams
+    }
+
+    /// The (single) window spec every query uses.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// The shedding mode the executor was compiled for.
+    pub fn mode(&self) -> ShedMode {
+        self.mode
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Query `q`'s plan.
+    pub fn plan(&self, q: usize) -> Option<&QueryPlan> {
+        self.queries.get(q).map(|r| &r.plan)
+    }
+
+    /// Query `q`'s shadow query, when the mode uses one.
+    pub fn shadow(&self, q: usize) -> Option<&ShadowQuery> {
+        self.queries.get(q).and_then(|r| r.shadow.as_ref())
+    }
+
+    pub(crate) fn queries(&self) -> &[QueryRuntime] {
+        &self.queries
+    }
+
+    /// Fresh (unsealed) kept/dropped synopsis pairs, one per physical
+    /// stream.
+    pub fn empty_pairs(&self, synopsis: &SynopsisConfig) -> DtResult<Vec<SynPair>> {
+        self.streams
+            .iter()
+            .map(|s| {
+                Ok(SynPair {
+                    kept: synopsis.build(s.schema.arity())?,
+                    dropped: synopsis.build(s.schema.arity())?,
+                })
+            })
+            .collect()
+    }
+
+    /// Exact batch execution of query `q` over one window's kept rows
+    /// (`shared_rows[i]` holds physical stream `i`'s rows). Aliased
+    /// self-joins read the same shared rows on every FROM position.
+    pub fn exact_batch(&self, q: usize, shared_rows: &[Vec<Row>]) -> DtResult<WindowOutput> {
+        let query = self
+            .queries
+            .get(q)
+            .ok_or_else(|| DtError::config(format!("unknown query {q}")))?;
+        let inputs: Vec<Vec<Row>> = query
+            .stream_map
+            .iter()
+            .map(|&si| shared_rows[si].clone())
+            .collect();
+        execute_window(&query.plan, &inputs)
+    }
+
+    /// Combine query `q`'s exact window output with the shadow
+    /// estimate over the sealed per-stream synopses, apply HAVING to
+    /// the merged values, and build the window's payload.
+    pub fn payload(
+        &self,
+        q: usize,
+        exact: WindowOutput,
+        pairs: Option<&[SynPair]>,
+    ) -> DtResult<WindowPayload> {
+        let query = self
+            .queries
+            .get(q)
+            .ok_or_else(|| DtError::config(format!("unknown query {q}")))?;
+        let estimate = match (&query.shadow, pairs) {
+            (Some(shadow), Some(pairs)) => {
+                let kept: Vec<Synopsis> = query
+                    .stream_map
+                    .iter()
+                    .map(|&si| pairs[si].kept.clone())
+                    .collect();
+                let dropped: Vec<Synopsis> = query
+                    .stream_map
+                    .iter()
+                    .map(|&si| pairs[si].dropped.clone())
+                    .collect();
+                Some(evaluate(&shadow.plan, &kept, &dropped)?)
+            }
+            _ => None,
+        };
+
+        if query.plan.is_aggregating() || !query.plan.group_by.is_empty() {
+            let mut merged = match (&query.shadow, &estimate) {
+                (Some(sh), Some(est)) => merge_window(&query.plan, sh, &exact, Some(est))?,
+                (Some(sh), None) => merge_window(&query.plan, sh, &exact, None)?,
+                (None, _) => exact
+                    .groups()
+                    .map(|g| {
+                        g.iter()
+                            .map(|(k, v)| (k.clone(), v.iter().map(|a| a.value).collect()))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            };
+            // HAVING applies to the *final* (merged) values, so an
+            // estimated contribution can push a group over the
+            // threshold, exactly as processing the dropped tuples
+            // would have.
+            if !query.plan.having.is_empty() {
+                merged.retain(|_, vals| query.plan.having_accepts(vals));
+            }
+            Ok(WindowPayload::Groups(merged))
+        } else {
+            let rows = match exact {
+                WindowOutput::Rows(r) => r,
+                WindowOutput::Groups(_) => {
+                    return Err(DtError::engine(
+                        "grouped output from a non-aggregating plan",
+                    ))
+                }
+            };
+            Ok(WindowPayload::Rows {
+                rows,
+                lost: estimate,
+            })
+        }
+    }
+
+    /// Close one window for every query: exact batch execution over
+    /// the shared rows, shadow estimation over the sealed synopses,
+    /// merge. Returns one payload per query, in registration order.
+    pub fn close_batch(
+        &self,
+        shared_rows: &[Vec<Row>],
+        pairs: Option<&[SynPair]>,
+    ) -> DtResult<Vec<WindowPayload>> {
+        if shared_rows.len() != self.streams.len() {
+            return Err(DtError::config(format!(
+                "close_batch got {} streams, executor has {}",
+                shared_rows.len(),
+                self.streams.len()
+            )));
+        }
+        (0..self.queries.len())
+            .map(|q| {
+                let exact = self.exact_batch(q, shared_rows)?;
+                self.payload(q, exact, pairs)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_query::{parse_select, Catalog, Planner};
+    use dt_types::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+        c
+    }
+
+    fn plan(sql: &str) -> QueryPlan {
+        Planner::new(&catalog())
+            .plan(&parse_select(sql).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn close_batch_merges_exact_and_estimated_counts() {
+        let exec = QueryExecutor::new(
+            vec![plan("SELECT a, COUNT(*) FROM R GROUP BY a")],
+            ShedMode::DataTriage,
+        )
+        .unwrap();
+        assert_eq!(exec.streams().len(), 1);
+        let cfg = SynopsisConfig::Sparse { cell_width: 1 };
+        let mut pairs = exec.empty_pairs(&cfg).unwrap();
+        // Three kept rows of a=1, two dropped rows of a=1 summarized.
+        let rows = vec![vec![Row::from_ints(&[1]); 3]];
+        for _ in 0..2 {
+            pairs[0].dropped.insert(&[1]).unwrap();
+        }
+        for _ in 0..3 {
+            pairs[0].kept.insert(&[1]).unwrap();
+        }
+        for p in &mut pairs {
+            p.kept.seal();
+            p.dropped.seal();
+        }
+        let payloads = exec.close_batch(&rows, Some(&pairs)).unwrap();
+        assert_eq!(payloads.len(), 1);
+        match &payloads[0] {
+            WindowPayload::Groups(g) => {
+                assert!((g[&Row::from_ints(&[1])][0] - 5.0).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_count_mismatch_rejected() {
+        let exec = QueryExecutor::new(
+            vec![plan("SELECT a, COUNT(*) FROM R GROUP BY a")],
+            ShedMode::DropOnly,
+        )
+        .unwrap();
+        assert!(exec.close_batch(&[], None).is_err());
+    }
+
+    #[test]
+    fn empty_plan_list_rejected() {
+        assert!(QueryExecutor::new(vec![], ShedMode::DropOnly).is_err());
+    }
+}

@@ -18,6 +18,12 @@
 //! * [`merge`] — combining exact per-group aggregates with the shadow
 //!   plan's estimates (the role the paper's web front-end played).
 
+//! * [`QueryExecutor`] / [`StreamTriage`] — the window-close and
+//!   per-stream fold/seal halves of the pipeline, factored out so a
+//!   threaded runtime (`dt-server`) can drive them from worker and
+//!   merger threads.
+
+pub mod executor;
 pub mod merge;
 pub mod pipeline;
 pub mod policy;
@@ -25,13 +31,16 @@ pub mod queue;
 pub mod reorder;
 pub mod shared;
 pub mod shed;
+pub mod stream;
 
+pub use executor::{QueryExecutor, SharedStream, SynPair};
 pub use merge::{merge_window, MergedGroups};
 pub use pipeline::{
     ExecStrategy, Pipeline, PipelineConfig, RunReport, RunTotals, WindowPayload, WindowResult,
 };
 pub use policy::DropPolicy;
 pub use reorder::ReorderBuffer;
-pub use shared::{SharedPipeline, SharedStream};
+pub use shared::SharedPipeline;
 pub use queue::TriageQueue;
 pub use shed::ShedMode;
+pub use stream::{SealedWindow, StreamTriage};

@@ -68,13 +68,14 @@ pub struct PipelineConfig {
 impl PipelineConfig {
     /// The paper's defaults: random drops, queue of 100 tuples,
     /// sparse histogram with cell width 10, engine capacity 1000
-    /// tuples/s.
+    /// tuples/s. Infallible — the defaults are compile-time constants,
+    /// so library code never panics building a config.
     pub fn new(mode: ShedMode) -> Self {
         PipelineConfig {
             mode,
             policy: DropPolicy::Random,
             queue_capacity: 100,
-            cost: CostModel::from_capacity(1000.0).expect("valid default capacity"),
+            cost: CostModel::default(),
             synopsis: SynopsisConfig::default_sparse(),
             seed: 0,
             execution: ExecStrategy::Batch,

@@ -1,6 +1,5 @@
 //! Victim-selection (drop) policies.
 
-use serde::{Deserialize, Serialize};
 
 /// How a full triage queue chooses which tuple to shed.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// sketches the design space this enum fills out, including the
 /// "synergistic" policy that prefers victims the synopsis can absorb
 /// at zero marginal cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DropPolicy {
     /// A victim uniformly at random from the buffered tuples (the
     /// paper's default).

@@ -22,44 +22,20 @@
 
 use std::collections::BTreeMap;
 
-use dt_engine::{execute_window, IncrementalWindow, WindowBuffers, WindowOutput};
+use dt_engine::{IncrementalWindow, WindowBuffers, WindowOutput};
 use dt_query::QueryPlan;
-use dt_rewrite::{evaluate, rewrite_dropped, ShadowQuery};
-use dt_synopsis::Synopsis;
-use dt_types::{DtError, DtResult, Row, Schema, Timestamp, Tuple, WindowId, WindowSpec};
+use dt_rewrite::ShadowQuery;
+use dt_types::{DtError, DtResult, Row, Timestamp, Tuple, WindowId, WindowSpec};
 
-use crate::merge::merge_window;
+use crate::executor::{QueryExecutor, SynPair};
 use crate::pipeline::{
-    ExecStrategy, PipelineConfig, RunReport, RunTotals, WindowPayload, WindowResult,
+    ExecStrategy, PipelineConfig, RunReport, RunTotals, WindowResult,
 };
 use crate::policy::DropPolicy;
 use crate::queue::TriageQueue;
 use crate::shed::ShedMode;
 
-/// One physical stream shared by the registered queries.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SharedStream {
-    /// Catalog stream name.
-    pub name: String,
-    /// The stream's (unqualified) schema.
-    pub schema: Schema,
-}
-
-/// Per-query runtime state.
-#[derive(Debug, Clone)]
-struct QueryRuntime {
-    plan: QueryPlan,
-    shadow: Option<ShadowQuery>,
-    /// Plan FROM-position → shared stream index.
-    stream_map: Vec<usize>,
-}
-
-/// Per-stream kept/dropped synopses for one window.
-#[derive(Debug, Clone)]
-struct SynPair {
-    kept: Synopsis,
-    dropped: Synopsis,
-}
+pub use crate::executor::SharedStream;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct WinStats {
@@ -70,8 +46,7 @@ struct WinStats {
 
 /// The multi-query pipeline. See the module docs.
 pub struct SharedPipeline {
-    streams: Vec<SharedStream>,
-    queries: Vec<QueryRuntime>,
+    exec: QueryExecutor,
     cfg: PipelineConfig,
     spec: WindowSpec,
     queues: Vec<TriageQueue>,
@@ -101,81 +76,11 @@ impl SharedPipeline {
         if plans.is_empty() {
             return Err(DtError::config("shared pipeline needs at least one query"));
         }
-        // Discover shared streams and the single window width.
-        let spec = plans[0].streams[0].window;
-        let mut streams: Vec<SharedStream> = Vec::new();
-        let mut queries = Vec::with_capacity(plans.len());
-        for plan in plans {
-            if plan.streams.is_empty() {
-                return Err(DtError::config("query has no streams"));
-            }
-            let mut stream_map = Vec::with_capacity(plan.streams.len());
-            for binding in &plan.streams {
-                if binding.window != spec {
-                    return Err(DtError::config(
-                        "all queries must share one window width",
-                    ));
-                }
-                // Physical identity is the catalog stream name.
-                let unqualified = Schema::new(
-                    binding
-                        .schema
-                        .fields()
-                        .iter()
-                        .map(|f| dt_types::Field::new(f.name.clone(), f.ty))
-                        .collect(),
-                );
-                let idx = match streams.iter().position(|s| s.name == binding.stream) {
-                    Some(i) => {
-                        if streams[i].schema != unqualified {
-                            return Err(DtError::config(format!(
-                                "stream '{}' bound with conflicting schemas",
-                                binding.stream
-                            )));
-                        }
-                        i
-                    }
-                    None => {
-                        streams.push(SharedStream {
-                            name: binding.stream.clone(),
-                            schema: unqualified,
-                        });
-                        streams.len() - 1
-                    }
-                };
-                stream_map.push(idx);
-            }
-            let shadow = if cfg.mode.uses_synopses() {
-                for s in &plan.streams {
-                    for f in s.schema.fields() {
-                        if f.ty != dt_types::DataType::Int {
-                            return Err(DtError::config(format!(
-                                "synopsis modes require integer columns; {} is {}",
-                                f.qualified_name(),
-                                f.ty
-                            )));
-                        }
-                    }
-                }
-                if plan.group_by.len() > 1 && plan.is_aggregating() {
-                    // merge_window would reject this at the first
-                    // window close; fail fast instead.
-                    return Err(DtError::config(
-                        "synopsis modes support at most one GROUP BY column",
-                    ));
-                }
-                Some(rewrite_dropped(&plan)?)
-            } else {
-                None
-            };
-            queries.push(QueryRuntime {
-                plan,
-                shadow,
-                stream_map,
-            });
-        }
-
-        let n = streams.len();
+        // Stream discovery, validation, and shadow compilation live in
+        // the (stateless) executor, shared with `dt-server`.
+        let exec = QueryExecutor::new(plans, cfg.mode)?;
+        let spec = exec.spec();
+        let n = exec.streams().len();
         let queues = (0..n)
             .map(|i| {
                 TriageQueue::new(
@@ -187,12 +92,11 @@ impl SharedPipeline {
                 )
             })
             .collect::<DtResult<Vec<_>>>()?;
-        let num_queries = queries.len();
+        let num_queries = exec.num_queries();
         Ok(SharedPipeline {
             buffers: WindowBuffers::new(n, spec),
             queues,
-            streams,
-            queries,
+            exec,
             spec,
             cfg,
             syns: BTreeMap::new(),
@@ -207,22 +111,28 @@ impl SharedPipeline {
 
     /// The shared physical streams, in index order.
     pub fn streams(&self) -> &[SharedStream] {
-        &self.streams
+        self.exec.streams()
     }
 
     /// Number of registered queries.
     pub fn num_queries(&self) -> usize {
-        self.queries.len()
+        self.exec.num_queries()
     }
 
     /// Query `q`'s plan.
     pub fn plan(&self, q: usize) -> Option<&QueryPlan> {
-        self.queries.get(q).map(|r| &r.plan)
+        self.exec.plan(q)
     }
 
     /// Query `q`'s shadow query, when the mode uses one.
     pub fn shadow(&self, q: usize) -> Option<&ShadowQuery> {
-        self.queries.get(q).and_then(|r| r.shadow.as_ref())
+        self.exec.shadow(q)
+    }
+
+    /// The stateless window-close executor (plans, shadows, merge),
+    /// shareable with other runtimes.
+    pub fn executor(&self) -> &QueryExecutor {
+        &self.exec
     }
 
     /// Feed one arrival on a *shared* stream (index into
@@ -237,12 +147,13 @@ impl SharedPipeline {
                 tuple.ts, self.now
             )));
         }
-        if tuple.arity() != self.streams[stream].schema.arity() {
+        let shared = &self.exec.streams()[stream];
+        if tuple.arity() != shared.schema.arity() {
             return Err(DtError::schema(format!(
                 "tuple arity {} does not match stream '{}' arity {}",
                 tuple.arity(),
-                self.streams[stream].name,
-                self.streams[stream].schema.arity()
+                shared.name,
+                shared.schema.arity()
             )));
         }
         self.now = tuple.ts;
@@ -361,14 +272,15 @@ impl SharedPipeline {
                             Some(s) => s,
                             None => {
                                 let fresh = self
-                                    .queries
+                                    .exec
+                                    .queries()
                                     .iter()
                                     .map(|q| IncrementalWindow::new(q.plan.clone()))
                                     .collect::<DtResult<Vec<_>>>()?;
                                 self.inc.entry(w).or_insert(fresh)
                             }
                         };
-                        for (q, state) in self.queries.iter().zip(states.iter_mut()) {
+                        for (q, state) in self.exec.queries().iter().zip(states.iter_mut()) {
                             // A shared tuple feeds every FROM position
                             // bound to this physical stream (self-joins
                             // read it on both sides).
@@ -422,7 +334,7 @@ impl SharedPipeline {
                     }
                     pairs
                 }
-                None => self.empty_pairs()?,
+                None => self.exec.empty_pairs(&self.cfg.synopsis)?,
             };
             let units: usize = pairs
                 .iter()
@@ -434,81 +346,24 @@ impl SharedPipeline {
             None
         };
 
-        for (qi, query) in self.queries.iter().enumerate() {
-            let exact = match (&self.cfg.execution, &mut inc_states) {
+        for qi in 0..self.exec.num_queries() {
+            let exact: WindowOutput = match (&self.cfg.execution, &mut inc_states) {
                 (ExecStrategy::Incremental, Some(states)) => {
                     // The streaming state already holds the finished
                     // answer.
-                    std::mem::replace(
-                        &mut states[qi],
-                        IncrementalWindow::new(query.plan.clone())?,
-                    )
-                    .finish()
+                    let plan = self.exec.queries()[qi].plan.clone();
+                    std::mem::replace(&mut states[qi], IncrementalWindow::new(plan)?).finish()
                 }
                 (ExecStrategy::Incremental, None) => {
                     // Window with no delivered tuples.
-                    IncrementalWindow::new(query.plan.clone())?.finish()
+                    IncrementalWindow::new(self.exec.queries()[qi].plan.clone())?.finish()
                 }
-                (ExecStrategy::Batch, _) => {
-                    // Route shared rows to the query's FROM positions
-                    // (aliased self-joins read the same shared rows).
-                    let inputs: Vec<Vec<Row>> = query
-                        .stream_map
-                        .iter()
-                        .map(|&si| shared_rows[si].clone())
-                        .collect();
-                    execute_window(&query.plan, &inputs)?
-                }
+                // Route shared rows to the query's FROM positions
+                // (aliased self-joins read the same shared rows).
+                (ExecStrategy::Batch, _) => self.exec.exact_batch(qi, &shared_rows)?,
             };
 
-            let estimate = match (&query.shadow, &pairs) {
-                (Some(shadow), Some(pairs)) => {
-                    let kept: Vec<Synopsis> = query
-                        .stream_map
-                        .iter()
-                        .map(|&si| pairs[si].kept.clone())
-                        .collect();
-                    let dropped: Vec<Synopsis> = query
-                        .stream_map
-                        .iter()
-                        .map(|&si| pairs[si].dropped.clone())
-                        .collect();
-                    Some(evaluate(&shadow.plan, &kept, &dropped)?)
-                }
-                _ => None,
-            };
-
-            let payload = if query.plan.is_aggregating() || !query.plan.group_by.is_empty() {
-                let mut merged = match (&query.shadow, &estimate) {
-                    (Some(sh), Some(est)) => merge_window(&query.plan, sh, &exact, Some(est))?,
-                    (Some(sh), None) => merge_window(&query.plan, sh, &exact, None)?,
-                    (None, _) => exact
-                        .groups()
-                        .map(|g| {
-                            g.iter()
-                                .map(|(k, v)| (k.clone(), v.iter().map(|a| a.value).collect()))
-                                .collect()
-                        })
-                        .unwrap_or_default(),
-                };
-                // HAVING applies to the *final* (merged) values, so an
-                // estimated contribution can push a group over the
-                // threshold, exactly as processing the dropped tuples
-                // would have.
-                if !query.plan.having.is_empty() {
-                    merged.retain(|_, vals| query.plan.having_accepts(vals));
-                }
-                WindowPayload::Groups(merged)
-            } else {
-                let rows = match exact {
-                    WindowOutput::Rows(r) => r,
-                    WindowOutput::Groups(_) => unreachable!("non-aggregating plan"),
-                };
-                WindowPayload::Rows {
-                    rows,
-                    lost: estimate,
-                }
-            };
+            let payload = self.exec.payload(qi, exact, pairs.as_deref())?;
 
             self.results[qi].push(WindowResult {
                 window: w,
@@ -524,22 +379,10 @@ impl SharedPipeline {
 
     fn syn_pair(&mut self, w: WindowId, stream: usize) -> DtResult<&mut SynPair> {
         if !self.syns.contains_key(&w) {
-            let pairs = self.empty_pairs()?;
+            let pairs = self.exec.empty_pairs(&self.cfg.synopsis)?;
             self.syns.insert(w, pairs);
         }
         Ok(&mut self.syns.get_mut(&w).expect("just inserted")[stream])
-    }
-
-    fn empty_pairs(&self) -> DtResult<Vec<SynPair>> {
-        self.streams
-            .iter()
-            .map(|s| {
-                Ok(SynPair {
-                    kept: self.cfg.synopsis.build(s.schema.arity())?,
-                    dropped: self.cfg.synopsis.build(s.schema.arity())?,
-                })
-            })
-            .collect()
     }
 }
 
@@ -560,7 +403,7 @@ mod tests {
     use dt_engine::CostModel;
     use dt_query::{parse_select, Catalog, Planner};
     use dt_synopsis::SynopsisConfig;
-    use dt_types::DataType;
+    use dt_types::{DataType, Schema};
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();

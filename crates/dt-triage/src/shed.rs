@@ -1,6 +1,5 @@
 //! The three load-shedding methodologies (paper §5.2.1).
 
-use serde::{Deserialize, Serialize};
 
 /// Which load-shedding methodology a [`crate::Pipeline`] runs.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// paper's single-codebase design for a fair comparison: drop-only
 /// *disables* synopsis construction; summarize-only *bypasses* the
 /// queue and synopsizes everything.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ShedMode {
     /// Victims are discarded; results come from kept tuples only.
     DropOnly,

@@ -1,0 +1,332 @@
+//! Per-stream triage state for worker threads.
+//!
+//! The simulation pipeline interleaves queueing, engine service, and
+//! window close on one thread against virtual time. A server splits
+//! those roles across threads: each physical stream gets a dedicated
+//! worker that classifies tuples as **kept** (delivered past the
+//! bounded channel) or **shed** (the channel was full), folds both
+//! into the current windows' synopses, and — when the sealer
+//! watermark passes a window's end — *seals* the window and hands its
+//! state to the merger thread.
+//!
+//! [`StreamTriage`] is that per-worker state. It is intentionally
+//! single-threaded (each worker owns one); the concurrency lives in
+//! the channels around it. Unlike [`crate::SharedPipeline::offer`] it
+//! does not require globally ordered arrivals — a tuple lands in
+//! whatever windows contain its timestamp — but once a window is
+//! sealed, stragglers for it are counted as `late` and discarded
+//! (their window has already been emitted).
+
+use std::collections::BTreeMap;
+
+use dt_synopsis::SynopsisConfig;
+use dt_types::{DtResult, Row, Tuple, WindowId, WindowSpec};
+
+use crate::executor::SynPair;
+use crate::shared::row_point;
+use crate::shed::ShedMode;
+
+/// One sealed window of one physical stream, ready for the merger.
+#[derive(Debug, Clone)]
+pub struct SealedWindow {
+    /// Physical stream index.
+    pub stream: usize,
+    /// Which window.
+    pub window: WindowId,
+    /// Rows delivered to the exact engine, in arrival order.
+    pub rows: Vec<Row>,
+    /// Sealed kept/dropped synopses (synopsis modes only).
+    pub syn: Option<SynPair>,
+    /// Tuples that arrived with timestamps in this window.
+    pub arrived: u64,
+    /// Tuples kept (delivered).
+    pub kept: u64,
+    /// Tuples shed.
+    pub dropped: u64,
+}
+
+/// Open-window state.
+#[derive(Debug)]
+struct WinState {
+    rows: Vec<Row>,
+    syn: Option<SynPair>,
+    arrived: u64,
+    kept: u64,
+    dropped: u64,
+}
+
+/// Per-stream triage state for one worker thread. See the module docs.
+#[derive(Debug)]
+pub struct StreamTriage {
+    stream: usize,
+    arity: usize,
+    mode: ShedMode,
+    synopsis: SynopsisConfig,
+    spec: WindowSpec,
+    wins: BTreeMap<WindowId, WinState>,
+    /// Windows below this id are sealed; tuples for them are late.
+    next_seal: WindowId,
+    late: u64,
+}
+
+impl StreamTriage {
+    /// Triage state for physical stream `stream` whose rows have
+    /// `arity` integer columns.
+    pub fn new(
+        stream: usize,
+        arity: usize,
+        mode: ShedMode,
+        synopsis: SynopsisConfig,
+        spec: WindowSpec,
+    ) -> Self {
+        StreamTriage {
+            stream,
+            arity,
+            mode,
+            synopsis,
+            spec,
+            wins: BTreeMap::new(),
+            next_seal: 0,
+            late: 0,
+        }
+    }
+
+    /// The id of the next window a seal will emit.
+    pub fn next_seal(&self) -> WindowId {
+        self.next_seal
+    }
+
+    /// Tuples discarded because their window was already sealed.
+    pub fn late(&self) -> u64 {
+        self.late
+    }
+
+    fn state(&mut self, w: WindowId) -> DtResult<&mut WinState> {
+        if !self.wins.contains_key(&w) {
+            let syn = if self.mode.uses_synopses() {
+                Some(SynPair {
+                    kept: self.synopsis.build(self.arity)?,
+                    dropped: self.synopsis.build(self.arity)?,
+                })
+            } else {
+                None
+            };
+            self.wins.insert(
+                w,
+                WinState {
+                    rows: Vec::new(),
+                    syn,
+                    arrived: 0,
+                    kept: 0,
+                    dropped: 0,
+                },
+            );
+        }
+        Ok(self.wins.get_mut(&w).expect("just inserted"))
+    }
+
+    /// Record a tuple delivered past the channel: buffer its row for
+    /// exact execution and (in Data Triage mode) fold it into the
+    /// kept synopsis of every window containing its timestamp.
+    /// Returns `false` if every such window was already sealed (the
+    /// tuple is late and only counted).
+    pub fn keep(&mut self, tuple: &Tuple) -> DtResult<bool> {
+        let point = if self.mode == ShedMode::DataTriage {
+            Some(row_point(&tuple.row)?)
+        } else {
+            None
+        };
+        let mut landed = false;
+        for w in self.spec.windows_of(tuple.ts) {
+            if w < self.next_seal {
+                continue;
+            }
+            landed = true;
+            let st = self.state(w)?;
+            st.arrived += 1;
+            st.kept += 1;
+            st.rows.push(tuple.row.clone());
+            if let (Some(p), Some(syn)) = (&point, &mut st.syn) {
+                syn.kept.insert(p)?;
+            }
+        }
+        if !landed {
+            self.late += 1;
+        }
+        Ok(landed)
+    }
+
+    /// Record a shed tuple: fold it into the dropped synopsis of every
+    /// window containing its timestamp (synopsis modes) or just count
+    /// it (drop-only). Returns `false` if the tuple was late.
+    pub fn shed(&mut self, tuple: &Tuple) -> DtResult<bool> {
+        let point = if self.mode.uses_synopses() {
+            Some(row_point(&tuple.row)?)
+        } else {
+            None
+        };
+        let mut landed = false;
+        for w in self.spec.windows_of(tuple.ts) {
+            if w < self.next_seal {
+                continue;
+            }
+            landed = true;
+            let st = self.state(w)?;
+            st.arrived += 1;
+            st.dropped += 1;
+            if let (Some(p), Some(syn)) = (&point, &mut st.syn) {
+                syn.dropped.insert(p)?;
+            }
+        }
+        if !landed {
+            self.late += 1;
+        }
+        Ok(landed)
+    }
+
+    fn seal_one(&mut self, w: WindowId) -> DtResult<SealedWindow> {
+        let st = match self.wins.remove(&w) {
+            Some(st) => st,
+            None => WinState {
+                rows: Vec::new(),
+                syn: if self.mode.uses_synopses() {
+                    Some(SynPair {
+                        kept: self.synopsis.build(self.arity)?,
+                        dropped: self.synopsis.build(self.arity)?,
+                    })
+                } else {
+                    None
+                },
+                arrived: 0,
+                kept: 0,
+                dropped: 0,
+            },
+        };
+        let syn = st.syn.map(|mut pair| {
+            pair.kept.seal();
+            pair.dropped.seal();
+            pair
+        });
+        Ok(SealedWindow {
+            stream: self.stream,
+            window: w,
+            rows: st.rows,
+            syn,
+            arrived: st.arrived,
+            kept: st.kept,
+            dropped: st.dropped,
+        })
+    }
+
+    /// Seal every window with id `<= upto`, oldest first, including
+    /// empty ones (the merger needs a report from every stream for
+    /// every window). Windows already sealed are skipped, so sealing
+    /// is idempotent per id.
+    pub fn seal_through(&mut self, upto: WindowId) -> DtResult<Vec<SealedWindow>> {
+        let mut out = Vec::new();
+        while self.next_seal <= upto {
+            let w = self.next_seal;
+            out.push(self.seal_one(w)?);
+            self.next_seal += 1;
+        }
+        Ok(out)
+    }
+
+    /// Seal everything still open (shutdown drain). Gaps between open
+    /// windows are emitted as empty windows so the sealed sequence
+    /// stays contiguous.
+    pub fn seal_all(&mut self) -> DtResult<Vec<SealedWindow>> {
+        match self.wins.keys().next_back().copied() {
+            Some(last) => self.seal_through(last),
+            None => Ok(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_types::{Row, Timestamp, VDuration};
+
+    fn spec() -> WindowSpec {
+        WindowSpec::new(VDuration::from_secs(1)).unwrap()
+    }
+
+    fn triage(mode: ShedMode) -> StreamTriage {
+        StreamTriage::new(0, 1, mode, SynopsisConfig::Sparse { cell_width: 1 }, spec())
+    }
+
+    fn tup(v: i64, us: u64) -> Tuple {
+        Tuple::new(Row::from_ints(&[v]), Timestamp::from_micros(us))
+    }
+
+    #[test]
+    fn keep_and_shed_fold_into_the_right_synopses() {
+        let mut t = triage(ShedMode::DataTriage);
+        assert!(t.keep(&tup(1, 100_000)).unwrap());
+        assert!(t.keep(&tup(2, 200_000)).unwrap());
+        assert!(t.shed(&tup(3, 300_000)).unwrap());
+        let sealed = t.seal_through(0).unwrap();
+        assert_eq!(sealed.len(), 1);
+        let w = &sealed[0];
+        assert_eq!((w.arrived, w.kept, w.dropped), (3, 2, 1));
+        assert_eq!(w.rows.len(), 2);
+        let syn = w.syn.as_ref().unwrap();
+        assert!((syn.kept.total_mass() - 2.0).abs() < 1e-9);
+        assert!((syn.dropped.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_only_counts_but_does_not_summarize() {
+        let mut t = triage(ShedMode::DropOnly);
+        t.keep(&tup(1, 100)).unwrap();
+        t.shed(&tup(2, 200)).unwrap();
+        let sealed = t.seal_through(0).unwrap();
+        assert_eq!(sealed[0].dropped, 1);
+        assert!(sealed[0].syn.is_none());
+    }
+
+    #[test]
+    fn late_tuples_are_counted_not_folded() {
+        let mut t = triage(ShedMode::DataTriage);
+        t.keep(&tup(1, 100)).unwrap();
+        assert_eq!(t.seal_through(0).unwrap().len(), 1);
+        // Window 0 is sealed: both paths reject stragglers.
+        assert!(!t.keep(&tup(2, 500)).unwrap());
+        assert!(!t.shed(&tup(3, 600)).unwrap());
+        assert_eq!(t.late(), 2);
+        assert_eq!(t.next_seal(), 1);
+    }
+
+    #[test]
+    fn seal_emits_contiguous_windows_including_empty() {
+        let mut t = triage(ShedMode::DataTriage);
+        // Tuples only in windows 0 and 3.
+        t.keep(&tup(1, 500_000)).unwrap();
+        t.keep(&tup(2, 3_500_000)).unwrap();
+        let sealed = t.seal_all().unwrap();
+        let ids: Vec<WindowId> = sealed.iter().map(|s| s.window).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(sealed[1].arrived, 0);
+        assert!(sealed[1].rows.is_empty());
+        // Idempotent: nothing left.
+        assert!(t.seal_through(3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hopping_windows_fold_into_every_containing_window() {
+        let spec = WindowSpec::hopping(VDuration::from_secs(2), VDuration::from_secs(1)).unwrap();
+        let mut t = StreamTriage::new(
+            0,
+            1,
+            ShedMode::DataTriage,
+            SynopsisConfig::Sparse { cell_width: 1 },
+            spec,
+        );
+        // ts = 1.5 s is in windows 0 and 1.
+        t.keep(&tup(7, 1_500_000)).unwrap();
+        let sealed = t.seal_all().unwrap();
+        assert_eq!(sealed.len(), 2);
+        assert!(sealed.iter().all(|w| w.kept == 1 && w.rows.len() == 1));
+    }
+}

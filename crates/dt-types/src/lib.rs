@@ -15,16 +15,22 @@
 //!   reproducible from a seed (see `DESIGN.md` §5).
 //! * [`WindowSpec`] — per-stream time windows in the style of
 //!   TelegraphCQ's `WINDOW R['1 second']` clause.
+//! * [`Clock`] — the wall-clock boundary for the server runtime:
+//!   [`MonotonicClock`] in production, [`VirtualClock`] in tests.
 //! * [`DtError`] — the workspace-wide error type.
 
+pub mod clock;
 pub mod error;
+pub mod json;
 pub mod row;
 pub mod schema;
 pub mod time;
 pub mod value;
 pub mod window;
 
+pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use error::{DtError, DtResult};
+pub use json::{Json, ToJson};
 pub use row::{Row, Tuple};
 pub use schema::{DataType, Field, Schema};
 pub use time::{Timestamp, VDuration};

@@ -2,14 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::Timestamp;
 use crate::value::Value;
 
 /// A row of values with no timestamp — the unit of the relational
 /// algebra in `dt-algebra` and of synopsis insertion in `dt-synopsis`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Row(pub Vec<Value>);
 
 impl Row {
@@ -87,7 +86,7 @@ impl std::ops::Index<usize> for Row {
 
 /// A row stamped with its virtual arrival time — the unit that flows
 /// from sources through triage queues into the stream engine.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Tuple {
     /// The payload.
     pub row: Row,

@@ -2,12 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{DtError, DtResult};
 
 /// The static type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -32,7 +31,7 @@ impl fmt::Display for DataType {
 
 /// A named, typed column, optionally qualified with the stream it came
 /// from (`R.a` has `qualifier == Some("R")`, `name == "a"`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Field {
     /// Stream or alias qualifier, if any.
     pub qualifier: Option<String>,
@@ -84,7 +83,7 @@ impl Field {
 
 /// An ordered list of fields describing the rows of a stream or an
 /// intermediate relation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     fields: Vec<Field>,
 }

@@ -10,20 +10,19 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
 
 /// Microseconds per second, the base resolution of virtual time.
 pub const MICROS_PER_SEC: u64 = 1_000_000;
 
 /// A point in virtual time (microseconds since the start of the run).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Timestamp(pub u64);
 
 /// A span of virtual time (microseconds).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct VDuration(pub u64);
 

@@ -4,7 +4,6 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
 
 /// A single SQL value.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// (so `Int(2) == Float(2.0)` is **false** for `Eq`/`Hash` purposes but
 /// `Value::numeric_cmp` treats them as equal); use
 /// [`Value::numeric_cmp`] when evaluating SQL predicates.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL.
     Null,

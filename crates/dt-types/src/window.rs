@@ -14,7 +14,6 @@
 //! a fixed hop granularity). `slide == width` — the default — recovers
 //! tumbling windows.
 
-use serde::{Deserialize, Serialize};
 
 use crate::error::{DtError, DtResult};
 use crate::time::{Timestamp, VDuration};
@@ -24,7 +23,7 @@ use crate::time::{Timestamp, VDuration};
 pub type WindowId = u64;
 
 /// A (possibly hopping) time window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WindowSpec {
     width: VDuration,
     slide: VDuration,

@@ -17,10 +17,12 @@
 
 pub mod arrival;
 pub mod gaussian;
+pub mod replay;
 pub mod scenario;
 pub mod trace;
 
 pub use arrival::{ArrivalModel, ArrivalProcess};
 pub use gaussian::Gaussian;
+pub use replay::replay;
 pub use scenario::{generate, StreamSpec, WorkloadConfig};
 pub use trace::{parse_trace, write_trace};

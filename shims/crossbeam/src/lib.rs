@@ -1,0 +1,223 @@
+//! Offline stand-in for `crossbeam`'s channel module.
+//!
+//! The build environment has no crates.io access, so this crate wraps
+//! `std::sync::mpsc` behind crossbeam-channel's names: [`bounded`] /
+//! [`unbounded`] constructors, `try_send` / `send` / `recv` /
+//! `try_recv` / `recv_timeout`, and the corresponding error types.
+//! Bounded capacity — the property `dt-server` leans on for
+//! backpressure-driven load shedding — maps directly onto
+//! `mpsc::sync_channel`.
+//!
+//! Differences from real crossbeam: `Receiver` is not `Clone` (one
+//! consumer per channel, which is exactly the dt-server topology), and
+//! `select!` is not provided.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the unsent message.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(t) | TrySendError::Disconnected(t) => t,
+            }
+        }
+
+        /// True when the failure was a full channel.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel. Cloneable.
+    pub struct Sender<T> {
+        tx: Tx<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { tx: self.tx.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queue `msg` without blocking; fails if full or disconnected.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.tx {
+                Tx::Bounded(s) => s.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(t) => TrySendError::Full(t),
+                    mpsc::TrySendError::Disconnected(t) => TrySendError::Disconnected(t),
+                }),
+                Tx::Unbounded(s) => s
+                    .send(msg)
+                    .map_err(|mpsc::SendError(t)| TrySendError::Disconnected(t)),
+            }
+        }
+
+        /// Queue `msg`, blocking while the channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.tx {
+                Tx::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(t)| SendError(t)),
+                Tx::Unbounded(s) => s.send(msg).map_err(|mpsc::SendError(t)| SendError(t)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Take a queued message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Block up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Drain every currently queued message.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.rx.try_iter()
+        }
+    }
+
+    /// A channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { tx: Tx::Bounded(tx) }, Receiver { rx })
+    }
+
+    /// A channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { tx: Tx::Unbounded(tx) }, Receiver { rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_backpressure() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        let err = tx.try_send(3).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 3);
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.try_recv().unwrap(), 3);
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Empty);
+    }
+
+    #[test]
+    fn disconnect_is_observable() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(tx);
+        assert_eq!(rx.recv().unwrap_err(), RecvError);
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.try_send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)).unwrap(), 7);
+    }
+
+    #[test]
+    fn threads_share_sender() {
+        let (tx, rx) = bounded::<u32>(64);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        drop(tx);
+        let mut got: Vec<u32> = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}
