@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_burstlen-a42790045028dc08.d: crates/dt-bench/src/bin/ablation_burstlen.rs
+
+/root/repo/target/debug/deps/ablation_burstlen-a42790045028dc08: crates/dt-bench/src/bin/ablation_burstlen.rs
+
+crates/dt-bench/src/bin/ablation_burstlen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_burstlen-a9f98a755cd605a2.d: crates/dt-bench/src/bin/ablation_burstlen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_burstlen-a9f98a755cd605a2.rmeta: crates/dt-bench/src/bin/ablation_burstlen.rs Cargo.toml
+
+crates/dt-bench/src/bin/ablation_burstlen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

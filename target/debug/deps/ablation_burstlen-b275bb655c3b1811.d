@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_burstlen-b275bb655c3b1811.d: crates/dt-bench/src/bin/ablation_burstlen.rs
+
+/root/repo/target/debug/deps/ablation_burstlen-b275bb655c3b1811: crates/dt-bench/src/bin/ablation_burstlen.rs
+
+crates/dt-bench/src/bin/ablation_burstlen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cellwidth-6306021a3f79ed69.d: crates/dt-bench/src/bin/ablation_cellwidth.rs
+
+/root/repo/target/debug/deps/ablation_cellwidth-6306021a3f79ed69: crates/dt-bench/src/bin/ablation_cellwidth.rs
+
+crates/dt-bench/src/bin/ablation_cellwidth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cellwidth-9280f820ba50785d.d: crates/dt-bench/src/bin/ablation_cellwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cellwidth-9280f820ba50785d.rmeta: crates/dt-bench/src/bin/ablation_cellwidth.rs Cargo.toml
+
+crates/dt-bench/src/bin/ablation_cellwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cellwidth-b19dffe318abf6ec.d: crates/dt-bench/src/bin/ablation_cellwidth.rs
+
+/root/repo/target/debug/deps/ablation_cellwidth-b19dffe318abf6ec: crates/dt-bench/src/bin/ablation_cellwidth.rs
+
+crates/dt-bench/src/bin/ablation_cellwidth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cellwidth-f19cdf5a6a6bb268.d: crates/dt-bench/src/bin/ablation_cellwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cellwidth-f19cdf5a6a6bb268.rmeta: crates/dt-bench/src/bin/ablation_cellwidth.rs Cargo.toml
+
+crates/dt-bench/src/bin/ablation_cellwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policy-0c97817936225e33.d: crates/dt-bench/src/bin/ablation_policy.rs
+
+/root/repo/target/debug/deps/ablation_policy-0c97817936225e33: crates/dt-bench/src/bin/ablation_policy.rs
+
+crates/dt-bench/src/bin/ablation_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_policy-a4f33b32cac24570.d: crates/dt-bench/src/bin/ablation_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_policy-a4f33b32cac24570.rmeta: crates/dt-bench/src/bin/ablation_policy.rs Cargo.toml
+
+crates/dt-bench/src/bin/ablation_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policy-d6cd767dd263794b.d: crates/dt-bench/src/bin/ablation_policy.rs
+
+/root/repo/target/debug/deps/ablation_policy-d6cd767dd263794b: crates/dt-bench/src/bin/ablation_policy.rs
+
+crates/dt-bench/src/bin/ablation_policy.rs:

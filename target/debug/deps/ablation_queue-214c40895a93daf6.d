@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_queue-214c40895a93daf6.d: crates/dt-bench/src/bin/ablation_queue.rs
+
+/root/repo/target/debug/deps/ablation_queue-214c40895a93daf6: crates/dt-bench/src/bin/ablation_queue.rs
+
+crates/dt-bench/src/bin/ablation_queue.rs:

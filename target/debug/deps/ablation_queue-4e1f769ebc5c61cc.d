@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_queue-4e1f769ebc5c61cc.d: crates/dt-bench/src/bin/ablation_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_queue-4e1f769ebc5c61cc.rmeta: crates/dt-bench/src/bin/ablation_queue.rs Cargo.toml
+
+crates/dt-bench/src/bin/ablation_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_queue-8543155d6ec647e3.d: crates/dt-bench/src/bin/ablation_queue.rs
+
+/root/repo/target/debug/deps/ablation_queue-8543155d6ec647e3: crates/dt-bench/src/bin/ablation_queue.rs
+
+crates/dt-bench/src/bin/ablation_queue.rs:

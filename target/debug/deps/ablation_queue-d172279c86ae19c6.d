@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_queue-d172279c86ae19c6.d: crates/dt-bench/src/bin/ablation_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_queue-d172279c86ae19c6.rmeta: crates/dt-bench/src/bin/ablation_queue.rs Cargo.toml
+
+crates/dt-bench/src/bin/ablation_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

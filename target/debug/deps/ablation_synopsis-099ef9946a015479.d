@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_synopsis-099ef9946a015479.d: crates/dt-bench/src/bin/ablation_synopsis.rs
+
+/root/repo/target/debug/deps/ablation_synopsis-099ef9946a015479: crates/dt-bench/src/bin/ablation_synopsis.rs
+
+crates/dt-bench/src/bin/ablation_synopsis.rs:

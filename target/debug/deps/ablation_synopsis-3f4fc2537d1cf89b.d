@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_synopsis-3f4fc2537d1cf89b.d: crates/dt-bench/src/bin/ablation_synopsis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_synopsis-3f4fc2537d1cf89b.rmeta: crates/dt-bench/src/bin/ablation_synopsis.rs Cargo.toml
+
+crates/dt-bench/src/bin/ablation_synopsis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

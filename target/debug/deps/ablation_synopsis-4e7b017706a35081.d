@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_synopsis-4e7b017706a35081.d: crates/dt-bench/src/bin/ablation_synopsis.rs
+
+/root/repo/target/debug/deps/ablation_synopsis-4e7b017706a35081: crates/dt-bench/src/bin/ablation_synopsis.rs
+
+crates/dt-bench/src/bin/ablation_synopsis.rs:

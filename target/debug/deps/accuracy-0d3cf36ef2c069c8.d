@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-0d3cf36ef2c069c8.d: crates/dt-synopsis/tests/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-0d3cf36ef2c069c8: crates/dt-synopsis/tests/accuracy.rs
+
+crates/dt-synopsis/tests/accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accuracy-4a3b00fbb4b2c0cd.d: crates/dt-synopsis/tests/accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccuracy-4a3b00fbb4b2c0cd.rmeta: crates/dt-synopsis/tests/accuracy.rs Cargo.toml
+
+crates/dt-synopsis/tests/accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datatriage-1f837fb4b8fb0e34.d: crates/datatriage/src/lib.rs
+
+/root/repo/target/debug/deps/datatriage-1f837fb4b8fb0e34: crates/datatriage/src/lib.rs
+
+crates/datatriage/src/lib.rs:

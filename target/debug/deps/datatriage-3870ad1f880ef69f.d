@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datatriage-3870ad1f880ef69f.d: crates/datatriage/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatatriage-3870ad1f880ef69f.rmeta: crates/datatriage/src/lib.rs Cargo.toml
+
+crates/datatriage/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

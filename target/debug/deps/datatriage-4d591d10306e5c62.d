@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datatriage-4d591d10306e5c62.d: crates/datatriage/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatatriage-4d591d10306e5c62.rmeta: crates/datatriage/src/lib.rs Cargo.toml
+
+crates/datatriage/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/datatriage-550bb22810e689ed.d: crates/datatriage/src/lib.rs
+
+/root/repo/target/debug/deps/libdatatriage-550bb22810e689ed.rlib: crates/datatriage/src/lib.rs
+
+/root/repo/target/debug/deps/libdatatriage-550bb22810e689ed.rmeta: crates/datatriage/src/lib.rs
+
+crates/datatriage/src/lib.rs:

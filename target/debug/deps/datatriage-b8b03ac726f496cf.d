@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datatriage-b8b03ac726f496cf.d: crates/datatriage/src/lib.rs
+
+/root/repo/target/debug/deps/datatriage-b8b03ac726f496cf: crates/datatriage/src/lib.rs
+
+crates/datatriage/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/datatriage-f0ffe397bf37eb19.d: crates/datatriage/src/lib.rs
+
+/root/repo/target/debug/deps/libdatatriage-f0ffe397bf37eb19.rlib: crates/datatriage/src/lib.rs
+
+/root/repo/target/debug/deps/libdatatriage-f0ffe397bf37eb19.rmeta: crates/datatriage/src/lib.rs
+
+crates/datatriage/src/lib.rs:

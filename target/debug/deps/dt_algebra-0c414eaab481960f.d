@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dt_algebra-0c414eaab481960f.d: crates/dt-algebra/src/lib.rs crates/dt-algebra/src/diff.rs crates/dt-algebra/src/relation.rs crates/dt-algebra/src/signed.rs crates/dt-algebra/src/spj.rs
+
+/root/repo/target/debug/deps/dt_algebra-0c414eaab481960f: crates/dt-algebra/src/lib.rs crates/dt-algebra/src/diff.rs crates/dt-algebra/src/relation.rs crates/dt-algebra/src/signed.rs crates/dt-algebra/src/spj.rs
+
+crates/dt-algebra/src/lib.rs:
+crates/dt-algebra/src/diff.rs:
+crates/dt-algebra/src/relation.rs:
+crates/dt-algebra/src/signed.rs:
+crates/dt-algebra/src/spj.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dt_algebra-9e3ab3c015920bc8.d: crates/dt-algebra/src/lib.rs crates/dt-algebra/src/diff.rs crates/dt-algebra/src/relation.rs crates/dt-algebra/src/signed.rs crates/dt-algebra/src/spj.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_algebra-9e3ab3c015920bc8.rmeta: crates/dt-algebra/src/lib.rs crates/dt-algebra/src/diff.rs crates/dt-algebra/src/relation.rs crates/dt-algebra/src/signed.rs crates/dt-algebra/src/spj.rs Cargo.toml
+
+crates/dt-algebra/src/lib.rs:
+crates/dt-algebra/src/diff.rs:
+crates/dt-algebra/src/relation.rs:
+crates/dt-algebra/src/signed.rs:
+crates/dt-algebra/src/spj.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dt_algebra-f0d13c23835eae86.d: crates/dt-algebra/src/lib.rs crates/dt-algebra/src/diff.rs crates/dt-algebra/src/relation.rs crates/dt-algebra/src/signed.rs crates/dt-algebra/src/spj.rs
+
+/root/repo/target/debug/deps/libdt_algebra-f0d13c23835eae86.rlib: crates/dt-algebra/src/lib.rs crates/dt-algebra/src/diff.rs crates/dt-algebra/src/relation.rs crates/dt-algebra/src/signed.rs crates/dt-algebra/src/spj.rs
+
+/root/repo/target/debug/deps/libdt_algebra-f0d13c23835eae86.rmeta: crates/dt-algebra/src/lib.rs crates/dt-algebra/src/diff.rs crates/dt-algebra/src/relation.rs crates/dt-algebra/src/signed.rs crates/dt-algebra/src/spj.rs
+
+crates/dt-algebra/src/lib.rs:
+crates/dt-algebra/src/diff.rs:
+crates/dt-algebra/src/relation.rs:
+crates/dt-algebra/src/signed.rs:
+crates/dt-algebra/src/spj.rs:

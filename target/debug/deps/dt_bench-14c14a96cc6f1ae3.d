@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dt_bench-14c14a96cc6f1ae3.d: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+/root/repo/target/debug/deps/libdt_bench-14c14a96cc6f1ae3.rlib: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+/root/repo/target/debug/deps/libdt_bench-14c14a96cc6f1ae3.rmeta: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+crates/dt-bench/src/lib.rs:
+crates/dt-bench/src/svg.rs:

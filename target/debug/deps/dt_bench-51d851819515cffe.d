@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dt_bench-51d851819515cffe.d: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+/root/repo/target/debug/deps/libdt_bench-51d851819515cffe.rlib: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+/root/repo/target/debug/deps/libdt_bench-51d851819515cffe.rmeta: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+crates/dt-bench/src/lib.rs:
+crates/dt-bench/src/svg.rs:

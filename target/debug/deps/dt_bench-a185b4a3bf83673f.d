@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dt_bench-a185b4a3bf83673f.d: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+/root/repo/target/debug/deps/dt_bench-a185b4a3bf83673f: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+crates/dt-bench/src/lib.rs:
+crates/dt-bench/src/svg.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dt_bench-ad87e89b0baac8df.d: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+/root/repo/target/debug/deps/dt_bench-ad87e89b0baac8df: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+crates/dt-bench/src/lib.rs:
+crates/dt-bench/src/svg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dt_bench-f264aef560e5ced9.d: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_bench-f264aef560e5ced9.rmeta: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs Cargo.toml
+
+crates/dt-bench/src/lib.rs:
+crates/dt-bench/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dt_engine-7f9e4fc16d23226b.d: crates/dt-engine/src/lib.rs crates/dt-engine/src/aggregate.rs crates/dt-engine/src/cost.rs crates/dt-engine/src/exec.rs crates/dt-engine/src/incremental.rs crates/dt-engine/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_engine-7f9e4fc16d23226b.rmeta: crates/dt-engine/src/lib.rs crates/dt-engine/src/aggregate.rs crates/dt-engine/src/cost.rs crates/dt-engine/src/exec.rs crates/dt-engine/src/incremental.rs crates/dt-engine/src/window.rs Cargo.toml
+
+crates/dt-engine/src/lib.rs:
+crates/dt-engine/src/aggregate.rs:
+crates/dt-engine/src/cost.rs:
+crates/dt-engine/src/exec.rs:
+crates/dt-engine/src/incremental.rs:
+crates/dt-engine/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dt_engine-a3b53a4209979483.d: crates/dt-engine/src/lib.rs crates/dt-engine/src/aggregate.rs crates/dt-engine/src/cost.rs crates/dt-engine/src/exec.rs crates/dt-engine/src/incremental.rs crates/dt-engine/src/window.rs
+
+/root/repo/target/debug/deps/dt_engine-a3b53a4209979483: crates/dt-engine/src/lib.rs crates/dt-engine/src/aggregate.rs crates/dt-engine/src/cost.rs crates/dt-engine/src/exec.rs crates/dt-engine/src/incremental.rs crates/dt-engine/src/window.rs
+
+crates/dt-engine/src/lib.rs:
+crates/dt-engine/src/aggregate.rs:
+crates/dt-engine/src/cost.rs:
+crates/dt-engine/src/exec.rs:
+crates/dt-engine/src/incremental.rs:
+crates/dt-engine/src/window.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dt_engine-d91cff0aa761d477.d: crates/dt-engine/src/lib.rs crates/dt-engine/src/aggregate.rs crates/dt-engine/src/cost.rs crates/dt-engine/src/exec.rs crates/dt-engine/src/incremental.rs crates/dt-engine/src/window.rs
+
+/root/repo/target/debug/deps/libdt_engine-d91cff0aa761d477.rlib: crates/dt-engine/src/lib.rs crates/dt-engine/src/aggregate.rs crates/dt-engine/src/cost.rs crates/dt-engine/src/exec.rs crates/dt-engine/src/incremental.rs crates/dt-engine/src/window.rs
+
+/root/repo/target/debug/deps/libdt_engine-d91cff0aa761d477.rmeta: crates/dt-engine/src/lib.rs crates/dt-engine/src/aggregate.rs crates/dt-engine/src/cost.rs crates/dt-engine/src/exec.rs crates/dt-engine/src/incremental.rs crates/dt-engine/src/window.rs
+
+crates/dt-engine/src/lib.rs:
+crates/dt-engine/src/aggregate.rs:
+crates/dt-engine/src/cost.rs:
+crates/dt-engine/src/exec.rs:
+crates/dt-engine/src/incremental.rs:
+crates/dt-engine/src/window.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dt_metrics-412411cc0a4af73a.d: crates/dt-metrics/src/lib.rs crates/dt-metrics/src/experiment.rs crates/dt-metrics/src/ideal.rs crates/dt-metrics/src/rms.rs crates/dt-metrics/src/stats.rs crates/dt-metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libdt_metrics-412411cc0a4af73a.rlib: crates/dt-metrics/src/lib.rs crates/dt-metrics/src/experiment.rs crates/dt-metrics/src/ideal.rs crates/dt-metrics/src/rms.rs crates/dt-metrics/src/stats.rs crates/dt-metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libdt_metrics-412411cc0a4af73a.rmeta: crates/dt-metrics/src/lib.rs crates/dt-metrics/src/experiment.rs crates/dt-metrics/src/ideal.rs crates/dt-metrics/src/rms.rs crates/dt-metrics/src/stats.rs crates/dt-metrics/src/summary.rs
+
+crates/dt-metrics/src/lib.rs:
+crates/dt-metrics/src/experiment.rs:
+crates/dt-metrics/src/ideal.rs:
+crates/dt-metrics/src/rms.rs:
+crates/dt-metrics/src/stats.rs:
+crates/dt-metrics/src/summary.rs:

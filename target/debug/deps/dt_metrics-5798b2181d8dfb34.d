@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dt_metrics-5798b2181d8dfb34.d: crates/dt-metrics/src/lib.rs crates/dt-metrics/src/experiment.rs crates/dt-metrics/src/ideal.rs crates/dt-metrics/src/rms.rs crates/dt-metrics/src/stats.rs crates/dt-metrics/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_metrics-5798b2181d8dfb34.rmeta: crates/dt-metrics/src/lib.rs crates/dt-metrics/src/experiment.rs crates/dt-metrics/src/ideal.rs crates/dt-metrics/src/rms.rs crates/dt-metrics/src/stats.rs crates/dt-metrics/src/summary.rs Cargo.toml
+
+crates/dt-metrics/src/lib.rs:
+crates/dt-metrics/src/experiment.rs:
+crates/dt-metrics/src/ideal.rs:
+crates/dt-metrics/src/rms.rs:
+crates/dt-metrics/src/stats.rs:
+crates/dt-metrics/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

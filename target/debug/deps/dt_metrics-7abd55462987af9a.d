@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dt_metrics-7abd55462987af9a.d: crates/dt-metrics/src/lib.rs crates/dt-metrics/src/experiment.rs crates/dt-metrics/src/ideal.rs crates/dt-metrics/src/rms.rs crates/dt-metrics/src/stats.rs crates/dt-metrics/src/summary.rs
+
+/root/repo/target/debug/deps/dt_metrics-7abd55462987af9a: crates/dt-metrics/src/lib.rs crates/dt-metrics/src/experiment.rs crates/dt-metrics/src/ideal.rs crates/dt-metrics/src/rms.rs crates/dt-metrics/src/stats.rs crates/dt-metrics/src/summary.rs
+
+crates/dt-metrics/src/lib.rs:
+crates/dt-metrics/src/experiment.rs:
+crates/dt-metrics/src/ideal.rs:
+crates/dt-metrics/src/rms.rs:
+crates/dt-metrics/src/stats.rs:
+crates/dt-metrics/src/summary.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dt_query-57076fe0f2c8c1fd.d: crates/dt-query/src/lib.rs crates/dt-query/src/ast.rs crates/dt-query/src/explain.rs crates/dt-query/src/lexer.rs crates/dt-query/src/optimizer.rs crates/dt-query/src/parser.rs crates/dt-query/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_query-57076fe0f2c8c1fd.rmeta: crates/dt-query/src/lib.rs crates/dt-query/src/ast.rs crates/dt-query/src/explain.rs crates/dt-query/src/lexer.rs crates/dt-query/src/optimizer.rs crates/dt-query/src/parser.rs crates/dt-query/src/plan.rs Cargo.toml
+
+crates/dt-query/src/lib.rs:
+crates/dt-query/src/ast.rs:
+crates/dt-query/src/explain.rs:
+crates/dt-query/src/lexer.rs:
+crates/dt-query/src/optimizer.rs:
+crates/dt-query/src/parser.rs:
+crates/dt-query/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

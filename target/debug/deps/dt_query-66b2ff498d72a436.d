@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dt_query-66b2ff498d72a436.d: crates/dt-query/src/lib.rs crates/dt-query/src/ast.rs crates/dt-query/src/explain.rs crates/dt-query/src/lexer.rs crates/dt-query/src/optimizer.rs crates/dt-query/src/parser.rs crates/dt-query/src/plan.rs
+
+/root/repo/target/debug/deps/libdt_query-66b2ff498d72a436.rlib: crates/dt-query/src/lib.rs crates/dt-query/src/ast.rs crates/dt-query/src/explain.rs crates/dt-query/src/lexer.rs crates/dt-query/src/optimizer.rs crates/dt-query/src/parser.rs crates/dt-query/src/plan.rs
+
+/root/repo/target/debug/deps/libdt_query-66b2ff498d72a436.rmeta: crates/dt-query/src/lib.rs crates/dt-query/src/ast.rs crates/dt-query/src/explain.rs crates/dt-query/src/lexer.rs crates/dt-query/src/optimizer.rs crates/dt-query/src/parser.rs crates/dt-query/src/plan.rs
+
+crates/dt-query/src/lib.rs:
+crates/dt-query/src/ast.rs:
+crates/dt-query/src/explain.rs:
+crates/dt-query/src/lexer.rs:
+crates/dt-query/src/optimizer.rs:
+crates/dt-query/src/parser.rs:
+crates/dt-query/src/plan.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dt_query-fd7fb113c8b8a5e4.d: crates/dt-query/src/lib.rs crates/dt-query/src/ast.rs crates/dt-query/src/explain.rs crates/dt-query/src/lexer.rs crates/dt-query/src/optimizer.rs crates/dt-query/src/parser.rs crates/dt-query/src/plan.rs
+
+/root/repo/target/debug/deps/dt_query-fd7fb113c8b8a5e4: crates/dt-query/src/lib.rs crates/dt-query/src/ast.rs crates/dt-query/src/explain.rs crates/dt-query/src/lexer.rs crates/dt-query/src/optimizer.rs crates/dt-query/src/parser.rs crates/dt-query/src/plan.rs
+
+crates/dt-query/src/lib.rs:
+crates/dt-query/src/ast.rs:
+crates/dt-query/src/explain.rs:
+crates/dt-query/src/lexer.rs:
+crates/dt-query/src/optimizer.rs:
+crates/dt-query/src/parser.rs:
+crates/dt-query/src/plan.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dt_rewrite-613c37df632a51f1.d: crates/dt-rewrite/src/lib.rs crates/dt-rewrite/src/evaluator.rs crates/dt-rewrite/src/shadow.rs
+
+/root/repo/target/debug/deps/dt_rewrite-613c37df632a51f1: crates/dt-rewrite/src/lib.rs crates/dt-rewrite/src/evaluator.rs crates/dt-rewrite/src/shadow.rs
+
+crates/dt-rewrite/src/lib.rs:
+crates/dt-rewrite/src/evaluator.rs:
+crates/dt-rewrite/src/shadow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dt_rewrite-6c47cd17880a2f93.d: crates/dt-rewrite/src/lib.rs crates/dt-rewrite/src/evaluator.rs crates/dt-rewrite/src/shadow.rs
+
+/root/repo/target/debug/deps/libdt_rewrite-6c47cd17880a2f93.rlib: crates/dt-rewrite/src/lib.rs crates/dt-rewrite/src/evaluator.rs crates/dt-rewrite/src/shadow.rs
+
+/root/repo/target/debug/deps/libdt_rewrite-6c47cd17880a2f93.rmeta: crates/dt-rewrite/src/lib.rs crates/dt-rewrite/src/evaluator.rs crates/dt-rewrite/src/shadow.rs
+
+crates/dt-rewrite/src/lib.rs:
+crates/dt-rewrite/src/evaluator.rs:
+crates/dt-rewrite/src/shadow.rs:

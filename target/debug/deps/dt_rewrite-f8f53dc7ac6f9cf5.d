@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dt_rewrite-f8f53dc7ac6f9cf5.d: crates/dt-rewrite/src/lib.rs crates/dt-rewrite/src/evaluator.rs crates/dt-rewrite/src/shadow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_rewrite-f8f53dc7ac6f9cf5.rmeta: crates/dt-rewrite/src/lib.rs crates/dt-rewrite/src/evaluator.rs crates/dt-rewrite/src/shadow.rs Cargo.toml
+
+crates/dt-rewrite/src/lib.rs:
+crates/dt-rewrite/src/evaluator.rs:
+crates/dt-rewrite/src/shadow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

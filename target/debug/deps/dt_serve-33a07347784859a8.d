@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dt_serve-33a07347784859a8.d: crates/dt-server/src/bin/dt-serve.rs
+
+/root/repo/target/debug/deps/dt_serve-33a07347784859a8: crates/dt-server/src/bin/dt-serve.rs
+
+crates/dt-server/src/bin/dt-serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dt_serve-e619a2107ca7c9e8.d: crates/dt-server/src/bin/dt-serve.rs
+
+/root/repo/target/debug/deps/dt_serve-e619a2107ca7c9e8: crates/dt-server/src/bin/dt-serve.rs
+
+crates/dt-server/src/bin/dt-serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dt_serve-e9474ee9e46bbaf1.d: crates/dt-server/src/bin/dt-serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_serve-e9474ee9e46bbaf1.rmeta: crates/dt-server/src/bin/dt-serve.rs Cargo.toml
+
+crates/dt-server/src/bin/dt-serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

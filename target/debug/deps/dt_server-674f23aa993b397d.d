@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dt_server-674f23aa993b397d.d: crates/dt-server/src/lib.rs
+
+/root/repo/target/debug/deps/dt_server-674f23aa993b397d: crates/dt-server/src/lib.rs
+
+crates/dt-server/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dt_server-80561b16e4e7501c.d: crates/dt-server/src/lib.rs crates/dt-server/src/client.rs crates/dt-server/src/config.rs crates/dt-server/src/frame.rs crates/dt-server/src/server.rs crates/dt-server/src/source.rs crates/dt-server/src/stats.rs crates/dt-server/src/worker.rs
+
+/root/repo/target/debug/deps/libdt_server-80561b16e4e7501c.rlib: crates/dt-server/src/lib.rs crates/dt-server/src/client.rs crates/dt-server/src/config.rs crates/dt-server/src/frame.rs crates/dt-server/src/server.rs crates/dt-server/src/source.rs crates/dt-server/src/stats.rs crates/dt-server/src/worker.rs
+
+/root/repo/target/debug/deps/libdt_server-80561b16e4e7501c.rmeta: crates/dt-server/src/lib.rs crates/dt-server/src/client.rs crates/dt-server/src/config.rs crates/dt-server/src/frame.rs crates/dt-server/src/server.rs crates/dt-server/src/source.rs crates/dt-server/src/stats.rs crates/dt-server/src/worker.rs
+
+crates/dt-server/src/lib.rs:
+crates/dt-server/src/client.rs:
+crates/dt-server/src/config.rs:
+crates/dt-server/src/frame.rs:
+crates/dt-server/src/server.rs:
+crates/dt-server/src/source.rs:
+crates/dt-server/src/stats.rs:
+crates/dt-server/src/worker.rs:

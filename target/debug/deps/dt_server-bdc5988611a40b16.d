@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dt_server-bdc5988611a40b16.d: crates/dt-server/src/lib.rs crates/dt-server/src/client.rs crates/dt-server/src/config.rs crates/dt-server/src/frame.rs crates/dt-server/src/server.rs crates/dt-server/src/source.rs crates/dt-server/src/stats.rs crates/dt-server/src/worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_server-bdc5988611a40b16.rmeta: crates/dt-server/src/lib.rs crates/dt-server/src/client.rs crates/dt-server/src/config.rs crates/dt-server/src/frame.rs crates/dt-server/src/server.rs crates/dt-server/src/source.rs crates/dt-server/src/stats.rs crates/dt-server/src/worker.rs Cargo.toml
+
+crates/dt-server/src/lib.rs:
+crates/dt-server/src/client.rs:
+crates/dt-server/src/config.rs:
+crates/dt-server/src/frame.rs:
+crates/dt-server/src/server.rs:
+crates/dt-server/src/source.rs:
+crates/dt-server/src/stats.rs:
+crates/dt-server/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

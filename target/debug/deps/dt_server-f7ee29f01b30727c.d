@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dt_server-f7ee29f01b30727c.d: crates/dt-server/src/lib.rs crates/dt-server/src/client.rs crates/dt-server/src/config.rs crates/dt-server/src/frame.rs crates/dt-server/src/server.rs crates/dt-server/src/source.rs crates/dt-server/src/stats.rs crates/dt-server/src/worker.rs
+
+/root/repo/target/debug/deps/dt_server-f7ee29f01b30727c: crates/dt-server/src/lib.rs crates/dt-server/src/client.rs crates/dt-server/src/config.rs crates/dt-server/src/frame.rs crates/dt-server/src/server.rs crates/dt-server/src/source.rs crates/dt-server/src/stats.rs crates/dt-server/src/worker.rs
+
+crates/dt-server/src/lib.rs:
+crates/dt-server/src/client.rs:
+crates/dt-server/src/config.rs:
+crates/dt-server/src/frame.rs:
+crates/dt-server/src/server.rs:
+crates/dt-server/src/source.rs:
+crates/dt-server/src/stats.rs:
+crates/dt-server/src/worker.rs:

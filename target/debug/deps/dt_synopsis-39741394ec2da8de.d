@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dt_synopsis-39741394ec2da8de.d: crates/dt-synopsis/src/lib.rs crates/dt-synopsis/src/adaptive.rs crates/dt-synopsis/src/mhist.rs crates/dt-synopsis/src/reservoir.rs crates/dt-synopsis/src/sparse.rs crates/dt-synopsis/src/synopsis.rs crates/dt-synopsis/src/wavelet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_synopsis-39741394ec2da8de.rmeta: crates/dt-synopsis/src/lib.rs crates/dt-synopsis/src/adaptive.rs crates/dt-synopsis/src/mhist.rs crates/dt-synopsis/src/reservoir.rs crates/dt-synopsis/src/sparse.rs crates/dt-synopsis/src/synopsis.rs crates/dt-synopsis/src/wavelet.rs Cargo.toml
+
+crates/dt-synopsis/src/lib.rs:
+crates/dt-synopsis/src/adaptive.rs:
+crates/dt-synopsis/src/mhist.rs:
+crates/dt-synopsis/src/reservoir.rs:
+crates/dt-synopsis/src/sparse.rs:
+crates/dt-synopsis/src/synopsis.rs:
+crates/dt-synopsis/src/wavelet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

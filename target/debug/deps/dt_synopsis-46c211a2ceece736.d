@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dt_synopsis-46c211a2ceece736.d: crates/dt-synopsis/src/lib.rs crates/dt-synopsis/src/adaptive.rs crates/dt-synopsis/src/mhist.rs crates/dt-synopsis/src/reservoir.rs crates/dt-synopsis/src/sparse.rs crates/dt-synopsis/src/synopsis.rs crates/dt-synopsis/src/wavelet.rs
+
+/root/repo/target/debug/deps/dt_synopsis-46c211a2ceece736: crates/dt-synopsis/src/lib.rs crates/dt-synopsis/src/adaptive.rs crates/dt-synopsis/src/mhist.rs crates/dt-synopsis/src/reservoir.rs crates/dt-synopsis/src/sparse.rs crates/dt-synopsis/src/synopsis.rs crates/dt-synopsis/src/wavelet.rs
+
+crates/dt-synopsis/src/lib.rs:
+crates/dt-synopsis/src/adaptive.rs:
+crates/dt-synopsis/src/mhist.rs:
+crates/dt-synopsis/src/reservoir.rs:
+crates/dt-synopsis/src/sparse.rs:
+crates/dt-synopsis/src/synopsis.rs:
+crates/dt-synopsis/src/wavelet.rs:

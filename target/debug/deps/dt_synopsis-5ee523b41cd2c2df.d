@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dt_synopsis-5ee523b41cd2c2df.d: crates/dt-synopsis/src/lib.rs crates/dt-synopsis/src/adaptive.rs crates/dt-synopsis/src/mhist.rs crates/dt-synopsis/src/reservoir.rs crates/dt-synopsis/src/sparse.rs crates/dt-synopsis/src/synopsis.rs crates/dt-synopsis/src/wavelet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_synopsis-5ee523b41cd2c2df.rmeta: crates/dt-synopsis/src/lib.rs crates/dt-synopsis/src/adaptive.rs crates/dt-synopsis/src/mhist.rs crates/dt-synopsis/src/reservoir.rs crates/dt-synopsis/src/sparse.rs crates/dt-synopsis/src/synopsis.rs crates/dt-synopsis/src/wavelet.rs Cargo.toml
+
+crates/dt-synopsis/src/lib.rs:
+crates/dt-synopsis/src/adaptive.rs:
+crates/dt-synopsis/src/mhist.rs:
+crates/dt-synopsis/src/reservoir.rs:
+crates/dt-synopsis/src/sparse.rs:
+crates/dt-synopsis/src/synopsis.rs:
+crates/dt-synopsis/src/wavelet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dt_synopsis-a3de3754432af465.d: crates/dt-synopsis/src/lib.rs crates/dt-synopsis/src/adaptive.rs crates/dt-synopsis/src/mhist.rs crates/dt-synopsis/src/reservoir.rs crates/dt-synopsis/src/sparse.rs crates/dt-synopsis/src/synopsis.rs crates/dt-synopsis/src/wavelet.rs
+
+/root/repo/target/debug/deps/libdt_synopsis-a3de3754432af465.rlib: crates/dt-synopsis/src/lib.rs crates/dt-synopsis/src/adaptive.rs crates/dt-synopsis/src/mhist.rs crates/dt-synopsis/src/reservoir.rs crates/dt-synopsis/src/sparse.rs crates/dt-synopsis/src/synopsis.rs crates/dt-synopsis/src/wavelet.rs
+
+/root/repo/target/debug/deps/libdt_synopsis-a3de3754432af465.rmeta: crates/dt-synopsis/src/lib.rs crates/dt-synopsis/src/adaptive.rs crates/dt-synopsis/src/mhist.rs crates/dt-synopsis/src/reservoir.rs crates/dt-synopsis/src/sparse.rs crates/dt-synopsis/src/synopsis.rs crates/dt-synopsis/src/wavelet.rs
+
+crates/dt-synopsis/src/lib.rs:
+crates/dt-synopsis/src/adaptive.rs:
+crates/dt-synopsis/src/mhist.rs:
+crates/dt-synopsis/src/reservoir.rs:
+crates/dt-synopsis/src/sparse.rs:
+crates/dt-synopsis/src/synopsis.rs:
+crates/dt-synopsis/src/wavelet.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dt_triage-04260f731843ba8c.d: crates/dt-triage/src/lib.rs crates/dt-triage/src/executor.rs crates/dt-triage/src/merge.rs crates/dt-triage/src/pipeline.rs crates/dt-triage/src/policy.rs crates/dt-triage/src/queue.rs crates/dt-triage/src/reorder.rs crates/dt-triage/src/shared.rs crates/dt-triage/src/shed.rs crates/dt-triage/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_triage-04260f731843ba8c.rmeta: crates/dt-triage/src/lib.rs crates/dt-triage/src/executor.rs crates/dt-triage/src/merge.rs crates/dt-triage/src/pipeline.rs crates/dt-triage/src/policy.rs crates/dt-triage/src/queue.rs crates/dt-triage/src/reorder.rs crates/dt-triage/src/shared.rs crates/dt-triage/src/shed.rs crates/dt-triage/src/stream.rs Cargo.toml
+
+crates/dt-triage/src/lib.rs:
+crates/dt-triage/src/executor.rs:
+crates/dt-triage/src/merge.rs:
+crates/dt-triage/src/pipeline.rs:
+crates/dt-triage/src/policy.rs:
+crates/dt-triage/src/queue.rs:
+crates/dt-triage/src/reorder.rs:
+crates/dt-triage/src/shared.rs:
+crates/dt-triage/src/shed.rs:
+crates/dt-triage/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

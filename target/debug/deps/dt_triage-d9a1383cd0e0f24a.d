@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dt_triage-d9a1383cd0e0f24a.d: crates/dt-triage/src/lib.rs crates/dt-triage/src/executor.rs crates/dt-triage/src/merge.rs crates/dt-triage/src/pipeline.rs crates/dt-triage/src/policy.rs crates/dt-triage/src/queue.rs crates/dt-triage/src/reorder.rs crates/dt-triage/src/shared.rs crates/dt-triage/src/shed.rs crates/dt-triage/src/stream.rs
+
+/root/repo/target/debug/deps/dt_triage-d9a1383cd0e0f24a: crates/dt-triage/src/lib.rs crates/dt-triage/src/executor.rs crates/dt-triage/src/merge.rs crates/dt-triage/src/pipeline.rs crates/dt-triage/src/policy.rs crates/dt-triage/src/queue.rs crates/dt-triage/src/reorder.rs crates/dt-triage/src/shared.rs crates/dt-triage/src/shed.rs crates/dt-triage/src/stream.rs
+
+crates/dt-triage/src/lib.rs:
+crates/dt-triage/src/executor.rs:
+crates/dt-triage/src/merge.rs:
+crates/dt-triage/src/pipeline.rs:
+crates/dt-triage/src/policy.rs:
+crates/dt-triage/src/queue.rs:
+crates/dt-triage/src/reorder.rs:
+crates/dt-triage/src/shared.rs:
+crates/dt-triage/src/shed.rs:
+crates/dt-triage/src/stream.rs:

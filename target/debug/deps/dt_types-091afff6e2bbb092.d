@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dt_types-091afff6e2bbb092.d: crates/dt-types/src/lib.rs crates/dt-types/src/clock.rs crates/dt-types/src/error.rs crates/dt-types/src/json.rs crates/dt-types/src/row.rs crates/dt-types/src/schema.rs crates/dt-types/src/time.rs crates/dt-types/src/value.rs crates/dt-types/src/window.rs
+
+/root/repo/target/debug/deps/libdt_types-091afff6e2bbb092.rlib: crates/dt-types/src/lib.rs crates/dt-types/src/clock.rs crates/dt-types/src/error.rs crates/dt-types/src/json.rs crates/dt-types/src/row.rs crates/dt-types/src/schema.rs crates/dt-types/src/time.rs crates/dt-types/src/value.rs crates/dt-types/src/window.rs
+
+/root/repo/target/debug/deps/libdt_types-091afff6e2bbb092.rmeta: crates/dt-types/src/lib.rs crates/dt-types/src/clock.rs crates/dt-types/src/error.rs crates/dt-types/src/json.rs crates/dt-types/src/row.rs crates/dt-types/src/schema.rs crates/dt-types/src/time.rs crates/dt-types/src/value.rs crates/dt-types/src/window.rs
+
+crates/dt-types/src/lib.rs:
+crates/dt-types/src/clock.rs:
+crates/dt-types/src/error.rs:
+crates/dt-types/src/json.rs:
+crates/dt-types/src/row.rs:
+crates/dt-types/src/schema.rs:
+crates/dt-types/src/time.rs:
+crates/dt-types/src/value.rs:
+crates/dt-types/src/window.rs:

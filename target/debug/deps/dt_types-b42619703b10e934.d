@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dt_types-b42619703b10e934.d: crates/dt-types/src/lib.rs crates/dt-types/src/clock.rs crates/dt-types/src/error.rs crates/dt-types/src/json.rs crates/dt-types/src/row.rs crates/dt-types/src/schema.rs crates/dt-types/src/time.rs crates/dt-types/src/value.rs crates/dt-types/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_types-b42619703b10e934.rmeta: crates/dt-types/src/lib.rs crates/dt-types/src/clock.rs crates/dt-types/src/error.rs crates/dt-types/src/json.rs crates/dt-types/src/row.rs crates/dt-types/src/schema.rs crates/dt-types/src/time.rs crates/dt-types/src/value.rs crates/dt-types/src/window.rs Cargo.toml
+
+crates/dt-types/src/lib.rs:
+crates/dt-types/src/clock.rs:
+crates/dt-types/src/error.rs:
+crates/dt-types/src/json.rs:
+crates/dt-types/src/row.rs:
+crates/dt-types/src/schema.rs:
+crates/dt-types/src/time.rs:
+crates/dt-types/src/value.rs:
+crates/dt-types/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

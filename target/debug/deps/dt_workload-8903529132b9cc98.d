@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dt_workload-8903529132b9cc98.d: crates/dt-workload/src/lib.rs crates/dt-workload/src/arrival.rs crates/dt-workload/src/gaussian.rs crates/dt-workload/src/replay.rs crates/dt-workload/src/scenario.rs crates/dt-workload/src/trace.rs
+
+/root/repo/target/debug/deps/dt_workload-8903529132b9cc98: crates/dt-workload/src/lib.rs crates/dt-workload/src/arrival.rs crates/dt-workload/src/gaussian.rs crates/dt-workload/src/replay.rs crates/dt-workload/src/scenario.rs crates/dt-workload/src/trace.rs
+
+crates/dt-workload/src/lib.rs:
+crates/dt-workload/src/arrival.rs:
+crates/dt-workload/src/gaussian.rs:
+crates/dt-workload/src/replay.rs:
+crates/dt-workload/src/scenario.rs:
+crates/dt-workload/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dt_workload-d8caf2535f0e228a.d: crates/dt-workload/src/lib.rs crates/dt-workload/src/arrival.rs crates/dt-workload/src/gaussian.rs crates/dt-workload/src/replay.rs crates/dt-workload/src/scenario.rs crates/dt-workload/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdt_workload-d8caf2535f0e228a.rmeta: crates/dt-workload/src/lib.rs crates/dt-workload/src/arrival.rs crates/dt-workload/src/gaussian.rs crates/dt-workload/src/replay.rs crates/dt-workload/src/scenario.rs crates/dt-workload/src/trace.rs Cargo.toml
+
+crates/dt-workload/src/lib.rs:
+crates/dt-workload/src/arrival.rs:
+crates/dt-workload/src/gaussian.rs:
+crates/dt-workload/src/replay.rs:
+crates/dt-workload/src/scenario.rs:
+crates/dt-workload/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dt_workload-e3e85fc343e23c77.d: crates/dt-workload/src/lib.rs crates/dt-workload/src/arrival.rs crates/dt-workload/src/gaussian.rs crates/dt-workload/src/replay.rs crates/dt-workload/src/scenario.rs crates/dt-workload/src/trace.rs
+
+/root/repo/target/debug/deps/libdt_workload-e3e85fc343e23c77.rlib: crates/dt-workload/src/lib.rs crates/dt-workload/src/arrival.rs crates/dt-workload/src/gaussian.rs crates/dt-workload/src/replay.rs crates/dt-workload/src/scenario.rs crates/dt-workload/src/trace.rs
+
+/root/repo/target/debug/deps/libdt_workload-e3e85fc343e23c77.rmeta: crates/dt-workload/src/lib.rs crates/dt-workload/src/arrival.rs crates/dt-workload/src/gaussian.rs crates/dt-workload/src/replay.rs crates/dt-workload/src/scenario.rs crates/dt-workload/src/trace.rs
+
+crates/dt-workload/src/lib.rs:
+crates/dt-workload/src/arrival.rs:
+crates/dt-workload/src/gaussian.rs:
+crates/dt-workload/src/replay.rs:
+crates/dt-workload/src/scenario.rs:
+crates/dt-workload/src/trace.rs:

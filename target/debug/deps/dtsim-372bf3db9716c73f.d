@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dtsim-372bf3db9716c73f.d: crates/datatriage/src/bin/dtsim.rs
+
+/root/repo/target/debug/deps/dtsim-372bf3db9716c73f: crates/datatriage/src/bin/dtsim.rs
+
+crates/datatriage/src/bin/dtsim.rs:

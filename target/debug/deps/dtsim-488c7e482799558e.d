@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dtsim-488c7e482799558e.d: crates/datatriage/src/bin/dtsim.rs
+
+/root/repo/target/debug/deps/dtsim-488c7e482799558e: crates/datatriage/src/bin/dtsim.rs
+
+crates/datatriage/src/bin/dtsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dtsim-6f368d842ae5df3b.d: crates/datatriage/src/bin/dtsim.rs
+
+/root/repo/target/debug/deps/dtsim-6f368d842ae5df3b: crates/datatriage/src/bin/dtsim.rs
+
+crates/datatriage/src/bin/dtsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dtsim-9964dc7f739fba5d.d: crates/datatriage/src/bin/dtsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdtsim-9964dc7f739fba5d.rmeta: crates/datatriage/src/bin/dtsim.rs Cargo.toml
+
+crates/datatriage/src/bin/dtsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

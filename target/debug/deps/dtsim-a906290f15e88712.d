@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dtsim-a906290f15e88712.d: crates/datatriage/src/bin/dtsim.rs
+
+/root/repo/target/debug/deps/dtsim-a906290f15e88712: crates/datatriage/src/bin/dtsim.rs
+
+crates/datatriage/src/bin/dtsim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dtsim-f91e97fdf049a668.d: crates/datatriage/src/bin/dtsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdtsim-f91e97fdf049a668.rmeta: crates/datatriage/src/bin/dtsim.rs Cargo.toml
+
+crates/datatriage/src/bin/dtsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

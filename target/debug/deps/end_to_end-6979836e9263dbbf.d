@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-6979836e9263dbbf.d: crates/datatriage/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-6979836e9263dbbf: crates/datatriage/../../tests/end_to_end.rs
+
+crates/datatriage/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-939061f342af6bed.d: crates/datatriage/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-939061f342af6bed: crates/datatriage/../../tests/end_to_end.rs
+
+crates/datatriage/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_throughput-16a8f32432fdb9a4.d: crates/dt-bench/benches/engine_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_throughput-16a8f32432fdb9a4.rmeta: crates/dt-bench/benches/engine_throughput.rs Cargo.toml
+
+crates/dt-bench/benches/engine_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

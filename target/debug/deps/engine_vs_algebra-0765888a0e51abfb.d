@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_vs_algebra-0765888a0e51abfb.d: crates/dt-engine/tests/engine_vs_algebra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_vs_algebra-0765888a0e51abfb.rmeta: crates/dt-engine/tests/engine_vs_algebra.rs Cargo.toml
+
+crates/dt-engine/tests/engine_vs_algebra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

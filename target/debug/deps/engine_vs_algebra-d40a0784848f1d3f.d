@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_vs_algebra-d40a0784848f1d3f.d: crates/dt-engine/tests/engine_vs_algebra.rs
+
+/root/repo/target/debug/deps/engine_vs_algebra-d40a0784848f1d3f: crates/dt-engine/tests/engine_vs_algebra.rs
+
+crates/dt-engine/tests/engine_vs_algebra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_strategy-06c5bd67a069e797.d: crates/dt-triage/tests/exec_strategy.rs
+
+/root/repo/target/debug/deps/exec_strategy-06c5bd67a069e797: crates/dt-triage/tests/exec_strategy.rs
+
+crates/dt-triage/tests/exec_strategy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec_strategy-13e6abe1edfcdce0.d: crates/dt-triage/tests/exec_strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec_strategy-13e6abe1edfcdce0.rmeta: crates/dt-triage/tests/exec_strategy.rs Cargo.toml
+
+crates/dt-triage/tests/exec_strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

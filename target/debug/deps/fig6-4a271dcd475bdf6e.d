@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-4a271dcd475bdf6e.d: crates/dt-bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-4a271dcd475bdf6e: crates/dt-bench/src/bin/fig6.rs
+
+crates/dt-bench/src/bin/fig6.rs:

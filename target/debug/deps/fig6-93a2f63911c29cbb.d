@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6-93a2f63911c29cbb.d: crates/dt-bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-93a2f63911c29cbb.rmeta: crates/dt-bench/src/bin/fig6.rs Cargo.toml
+
+crates/dt-bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-d10465b66d980fdb.d: crates/dt-bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-d10465b66d980fdb: crates/dt-bench/src/bin/fig6.rs
+
+crates/dt-bench/src/bin/fig6.rs:

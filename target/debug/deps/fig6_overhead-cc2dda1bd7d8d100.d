@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_overhead-cc2dda1bd7d8d100.d: crates/dt-bench/benches/fig6_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_overhead-cc2dda1bd7d8d100.rmeta: crates/dt-bench/benches/fig6_overhead.rs Cargo.toml
+
+crates/dt-bench/benches/fig6_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

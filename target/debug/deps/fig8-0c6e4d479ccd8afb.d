@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-0c6e4d479ccd8afb.d: crates/dt-bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-0c6e4d479ccd8afb: crates/dt-bench/src/bin/fig8.rs
+
+crates/dt-bench/src/bin/fig8.rs:

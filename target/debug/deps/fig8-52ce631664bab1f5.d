@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-52ce631664bab1f5.d: crates/dt-bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-52ce631664bab1f5.rmeta: crates/dt-bench/src/bin/fig8.rs Cargo.toml
+
+crates/dt-bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-660c501521e86f82.d: crates/dt-bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-660c501521e86f82: crates/dt-bench/src/bin/fig8.rs
+
+crates/dt-bench/src/bin/fig8.rs:

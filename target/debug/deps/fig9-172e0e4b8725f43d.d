@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-172e0e4b8725f43d.d: crates/dt-bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-172e0e4b8725f43d: crates/dt-bench/src/bin/fig9.rs
+
+crates/dt-bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-234ee8a442175961.d: crates/dt-bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-234ee8a442175961.rmeta: crates/dt-bench/src/bin/fig9.rs Cargo.toml
+
+crates/dt-bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

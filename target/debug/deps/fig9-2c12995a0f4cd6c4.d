@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-2c12995a0f4cd6c4.d: crates/dt-bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-2c12995a0f4cd6c4.rmeta: crates/dt-bench/src/bin/fig9.rs Cargo.toml
+
+crates/dt-bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

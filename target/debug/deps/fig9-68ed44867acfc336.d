@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-68ed44867acfc336.d: crates/dt-bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-68ed44867acfc336: crates/dt-bench/src/bin/fig9.rs
+
+crates/dt-bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/having-64d0faa62c2ae47e.d: crates/dt-triage/tests/having.rs
+
+/root/repo/target/debug/deps/having-64d0faa62c2ae47e: crates/dt-triage/tests/having.rs
+
+crates/dt-triage/tests/having.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/having-affaa87e92e0cc18.d: crates/dt-triage/tests/having.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhaving-affaa87e92e0cc18.rmeta: crates/dt-triage/tests/having.rs Cargo.toml
+
+crates/dt-triage/tests/having.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

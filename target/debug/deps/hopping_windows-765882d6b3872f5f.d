@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hopping_windows-765882d6b3872f5f.d: crates/dt-triage/tests/hopping_windows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhopping_windows-765882d6b3872f5f.rmeta: crates/dt-triage/tests/hopping_windows.rs Cargo.toml
+
+crates/dt-triage/tests/hopping_windows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

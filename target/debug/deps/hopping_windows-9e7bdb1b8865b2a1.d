@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hopping_windows-9e7bdb1b8865b2a1.d: crates/dt-triage/tests/hopping_windows.rs
+
+/root/repo/target/debug/deps/hopping_windows-9e7bdb1b8865b2a1: crates/dt-triage/tests/hopping_windows.rs
+
+crates/dt-triage/tests/hopping_windows.rs:

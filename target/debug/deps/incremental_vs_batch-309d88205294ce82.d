@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/incremental_vs_batch-309d88205294ce82.d: crates/dt-engine/tests/incremental_vs_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libincremental_vs_batch-309d88205294ce82.rmeta: crates/dt-engine/tests/incremental_vs_batch.rs Cargo.toml
+
+crates/dt-engine/tests/incremental_vs_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

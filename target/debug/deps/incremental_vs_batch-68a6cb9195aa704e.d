@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental_vs_batch-68a6cb9195aa704e.d: crates/dt-engine/tests/incremental_vs_batch.rs
+
+/root/repo/target/debug/deps/incremental_vs_batch-68a6cb9195aa704e: crates/dt-engine/tests/incremental_vs_batch.rs
+
+crates/dt-engine/tests/incremental_vs_batch.rs:

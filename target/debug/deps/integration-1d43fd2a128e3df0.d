@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-1d43fd2a128e3df0.d: crates/datatriage/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-1d43fd2a128e3df0: crates/datatriage/../../tests/integration.rs
+
+crates/datatriage/../../tests/integration.rs:

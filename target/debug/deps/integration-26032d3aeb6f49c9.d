@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-26032d3aeb6f49c9.d: crates/datatriage/../../tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-26032d3aeb6f49c9.rmeta: crates/datatriage/../../tests/integration.rs Cargo.toml
+
+crates/datatriage/../../tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-307f063447344a1d.d: crates/datatriage/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-307f063447344a1d: crates/datatriage/../../tests/integration.rs
+
+crates/datatriage/../../tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loopback-40c7ba68fb069cba.d: crates/dt-server/tests/loopback.rs
+
+/root/repo/target/debug/deps/loopback-40c7ba68fb069cba: crates/dt-server/tests/loopback.rs
+
+crates/dt-server/tests/loopback.rs:

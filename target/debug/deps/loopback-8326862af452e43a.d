@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loopback-8326862af452e43a.d: crates/dt-server/tests/loopback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloopback-8326862af452e43a.rmeta: crates/dt-server/tests/loopback.rs Cargo.toml
+
+crates/dt-server/tests/loopback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

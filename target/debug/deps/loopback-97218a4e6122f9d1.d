@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loopback-97218a4e6122f9d1.d: crates/dt-server/tests/loopback.rs
+
+/root/repo/target/debug/deps/loopback-97218a4e6122f9d1: crates/dt-server/tests/loopback.rs
+
+crates/dt-server/tests/loopback.rs:

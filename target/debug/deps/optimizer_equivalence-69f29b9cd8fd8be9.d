@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer_equivalence-69f29b9cd8fd8be9.d: crates/dt-engine/tests/optimizer_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer_equivalence-69f29b9cd8fd8be9.rmeta: crates/dt-engine/tests/optimizer_equivalence.rs Cargo.toml
+
+crates/dt-engine/tests/optimizer_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

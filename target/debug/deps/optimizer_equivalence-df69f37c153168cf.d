@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_equivalence-df69f37c153168cf.d: crates/dt-engine/tests/optimizer_equivalence.rs
+
+/root/repo/target/debug/deps/optimizer_equivalence-df69f37c153168cf: crates/dt-engine/tests/optimizer_equivalence.rs
+
+crates/dt-engine/tests/optimizer_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overflow_edges-932ea025331d30b4.d: crates/dt-triage/tests/overflow_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverflow_edges-932ea025331d30b4.rmeta: crates/dt-triage/tests/overflow_edges.rs Cargo.toml
+
+crates/dt-triage/tests/overflow_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overflow_edges-9708df76e301b58f.d: crates/dt-triage/tests/overflow_edges.rs
+
+/root/repo/target/debug/deps/overflow_edges-9708df76e301b58f: crates/dt-triage/tests/overflow_edges.rs
+
+crates/dt-triage/tests/overflow_edges.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_props-44d7d3b9a8f6525d.d: crates/dt-query/tests/parser_props.rs
+
+/root/repo/target/debug/deps/parser_props-44d7d3b9a8f6525d: crates/dt-query/tests/parser_props.rs
+
+crates/dt-query/tests/parser_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_props-59769c4cb3048380.d: crates/dt-query/tests/parser_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_props-59769c4cb3048380.rmeta: crates/dt-query/tests/parser_props.rs Cargo.toml
+
+crates/dt-query/tests/parser_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2e800514ec2cb412.d: crates/dt-algebra/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2e800514ec2cb412: crates/dt-algebra/tests/properties.rs
+
+crates/dt-algebra/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4f1957927eb2be7e.d: crates/dt-algebra/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4f1957927eb2be7e.rmeta: crates/dt-algebra/tests/properties.rs Cargo.toml
+
+crates/dt-algebra/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-121a91711e36cd86.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-121a91711e36cd86: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

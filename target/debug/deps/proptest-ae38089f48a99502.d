@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ae38089f48a99502.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ae38089f48a99502.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ae38089f48a99502.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

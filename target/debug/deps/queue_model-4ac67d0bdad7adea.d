@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queue_model-4ac67d0bdad7adea.d: crates/dt-triage/tests/queue_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueue_model-4ac67d0bdad7adea.rmeta: crates/dt-triage/tests/queue_model.rs Cargo.toml
+
+crates/dt-triage/tests/queue_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queue_model-caf8e486f7edf0b0.d: crates/dt-triage/tests/queue_model.rs
+
+/root/repo/target/debug/deps/queue_model-caf8e486f7edf0b0: crates/dt-triage/tests/queue_model.rs
+
+crates/dt-triage/tests/queue_model.rs:

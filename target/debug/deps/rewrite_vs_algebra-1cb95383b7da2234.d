@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rewrite_vs_algebra-1cb95383b7da2234.d: crates/datatriage/../../tests/rewrite_vs_algebra.rs
+
+/root/repo/target/debug/deps/rewrite_vs_algebra-1cb95383b7da2234: crates/datatriage/../../tests/rewrite_vs_algebra.rs
+
+crates/datatriage/../../tests/rewrite_vs_algebra.rs:

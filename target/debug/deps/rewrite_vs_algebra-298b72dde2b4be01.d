@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rewrite_vs_algebra-298b72dde2b4be01.d: crates/datatriage/../../tests/rewrite_vs_algebra.rs Cargo.toml
+
+/root/repo/target/debug/deps/librewrite_vs_algebra-298b72dde2b4be01.rmeta: crates/datatriage/../../tests/rewrite_vs_algebra.rs Cargo.toml
+
+crates/datatriage/../../tests/rewrite_vs_algebra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

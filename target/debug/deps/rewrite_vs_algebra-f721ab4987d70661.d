@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rewrite_vs_algebra-f721ab4987d70661.d: crates/datatriage/../../tests/rewrite_vs_algebra.rs
+
+/root/repo/target/debug/deps/rewrite_vs_algebra-f721ab4987d70661: crates/datatriage/../../tests/rewrite_vs_algebra.rs
+
+crates/datatriage/../../tests/rewrite_vs_algebra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shadow_vs_algebra-321752f12f5992dd.d: crates/dt-rewrite/tests/shadow_vs_algebra.rs
+
+/root/repo/target/debug/deps/shadow_vs_algebra-321752f12f5992dd: crates/dt-rewrite/tests/shadow_vs_algebra.rs
+
+crates/dt-rewrite/tests/shadow_vs_algebra.rs:

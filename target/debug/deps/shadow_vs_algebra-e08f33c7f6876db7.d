@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shadow_vs_algebra-e08f33c7f6876db7.d: crates/dt-rewrite/tests/shadow_vs_algebra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow_vs_algebra-e08f33c7f6876db7.rmeta: crates/dt-rewrite/tests/shadow_vs_algebra.rs Cargo.toml
+
+crates/dt-rewrite/tests/shadow_vs_algebra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

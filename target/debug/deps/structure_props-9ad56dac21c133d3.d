@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/structure_props-9ad56dac21c133d3.d: crates/dt-synopsis/tests/structure_props.rs
+
+/root/repo/target/debug/deps/structure_props-9ad56dac21c133d3: crates/dt-synopsis/tests/structure_props.rs
+
+crates/dt-synopsis/tests/structure_props.rs:

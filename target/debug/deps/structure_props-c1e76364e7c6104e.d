@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/structure_props-c1e76364e7c6104e.d: crates/dt-synopsis/tests/structure_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstructure_props-c1e76364e7c6104e.rmeta: crates/dt-synopsis/tests/structure_props.rs Cargo.toml
+
+crates/dt-synopsis/tests/structure_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

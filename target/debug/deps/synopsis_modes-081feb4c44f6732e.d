@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synopsis_modes-081feb4c44f6732e.d: crates/dt-triage/tests/synopsis_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynopsis_modes-081feb4c44f6732e.rmeta: crates/dt-triage/tests/synopsis_modes.rs Cargo.toml
+
+crates/dt-triage/tests/synopsis_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synopsis_modes-49e13a9012bf4e74.d: crates/dt-triage/tests/synopsis_modes.rs
+
+/root/repo/target/debug/deps/synopsis_modes-49e13a9012bf4e74: crates/dt-triage/tests/synopsis_modes.rs
+
+crates/dt-triage/tests/synopsis_modes.rs:

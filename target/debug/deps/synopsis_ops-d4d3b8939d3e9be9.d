@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synopsis_ops-d4d3b8939d3e9be9.d: crates/dt-bench/benches/synopsis_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynopsis_ops-d4d3b8939d3e9be9.rmeta: crates/dt-bench/benches/synopsis_ops.rs Cargo.toml
+
+crates/dt-bench/benches/synopsis_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

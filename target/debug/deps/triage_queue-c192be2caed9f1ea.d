@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/triage_queue-c192be2caed9f1ea.d: crates/dt-bench/benches/triage_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtriage_queue-c192be2caed9f1ea.rmeta: crates/dt-bench/benches/triage_queue.rs Cargo.toml
+
+crates/dt-bench/benches/triage_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/value_props-08f82f2ecbf64ab4.d: crates/dt-types/tests/value_props.rs
+
+/root/repo/target/debug/deps/value_props-08f82f2ecbf64ab4: crates/dt-types/tests/value_props.rs
+
+crates/dt-types/tests/value_props.rs:

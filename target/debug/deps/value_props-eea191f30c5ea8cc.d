@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/value_props-eea191f30c5ea8cc.d: crates/dt-types/tests/value_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalue_props-eea191f30c5ea8cc.rmeta: crates/dt-types/tests/value_props.rs Cargo.toml
+
+crates/dt-types/tests/value_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

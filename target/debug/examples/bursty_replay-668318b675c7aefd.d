@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bursty_replay-668318b675c7aefd.d: crates/dt-server/examples/bursty_replay.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbursty_replay-668318b675c7aefd.rmeta: crates/dt-server/examples/bursty_replay.rs Cargo.toml
+
+crates/dt-server/examples/bursty_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

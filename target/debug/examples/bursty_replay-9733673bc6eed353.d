@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bursty_replay-9733673bc6eed353.d: crates/dt-server/examples/bursty_replay.rs
+
+/root/repo/target/debug/examples/bursty_replay-9733673bc6eed353: crates/dt-server/examples/bursty_replay.rs
+
+crates/dt-server/examples/bursty_replay.rs:

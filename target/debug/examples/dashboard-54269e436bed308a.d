@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dashboard-54269e436bed308a.d: crates/datatriage/../../examples/dashboard.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdashboard-54269e436bed308a.rmeta: crates/datatriage/../../examples/dashboard.rs Cargo.toml
+
+crates/datatriage/../../examples/dashboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

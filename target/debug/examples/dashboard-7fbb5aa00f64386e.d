@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dashboard-7fbb5aa00f64386e.d: crates/datatriage/../../examples/dashboard.rs
+
+/root/repo/target/debug/examples/dashboard-7fbb5aa00f64386e: crates/datatriage/../../examples/dashboard.rs
+
+crates/datatriage/../../examples/dashboard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dashboard-c62f3c4b62fdb88c.d: crates/datatriage/../../examples/dashboard.rs
+
+/root/repo/target/debug/examples/dashboard-c62f3c4b62fdb88c: crates/datatriage/../../examples/dashboard.rs
+
+crates/datatriage/../../examples/dashboard.rs:

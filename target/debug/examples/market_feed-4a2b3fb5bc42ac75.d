@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/market_feed-4a2b3fb5bc42ac75.d: crates/datatriage/../../examples/market_feed.rs
+
+/root/repo/target/debug/examples/market_feed-4a2b3fb5bc42ac75: crates/datatriage/../../examples/market_feed.rs
+
+crates/datatriage/../../examples/market_feed.rs:

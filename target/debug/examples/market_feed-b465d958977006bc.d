@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/market_feed-b465d958977006bc.d: crates/datatriage/../../examples/market_feed.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmarket_feed-b465d958977006bc.rmeta: crates/datatriage/../../examples/market_feed.rs Cargo.toml
+
+crates/datatriage/../../examples/market_feed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

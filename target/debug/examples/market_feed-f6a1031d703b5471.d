@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/market_feed-f6a1031d703b5471.d: crates/datatriage/../../examples/market_feed.rs
+
+/root/repo/target/debug/examples/market_feed-f6a1031d703b5471: crates/datatriage/../../examples/market_feed.rs
+
+crates/datatriage/../../examples/market_feed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_query-1a683f5d2adb75a8.d: crates/datatriage/../../examples/multi_query.rs
+
+/root/repo/target/debug/examples/multi_query-1a683f5d2adb75a8: crates/datatriage/../../examples/multi_query.rs
+
+crates/datatriage/../../examples/multi_query.rs:

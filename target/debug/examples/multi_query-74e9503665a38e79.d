@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_query-74e9503665a38e79.d: crates/datatriage/../../examples/multi_query.rs
+
+/root/repo/target/debug/examples/multi_query-74e9503665a38e79: crates/datatriage/../../examples/multi_query.rs
+
+crates/datatriage/../../examples/multi_query.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_query-8d9b52e0778ac0fc.d: crates/datatriage/../../examples/multi_query.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_query-8d9b52e0778ac0fc.rmeta: crates/datatriage/../../examples/multi_query.rs Cargo.toml
+
+crates/datatriage/../../examples/multi_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

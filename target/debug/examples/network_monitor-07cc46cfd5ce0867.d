@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_monitor-07cc46cfd5ce0867.d: crates/datatriage/../../examples/network_monitor.rs
+
+/root/repo/target/debug/examples/network_monitor-07cc46cfd5ce0867: crates/datatriage/../../examples/network_monitor.rs
+
+crates/datatriage/../../examples/network_monitor.rs:

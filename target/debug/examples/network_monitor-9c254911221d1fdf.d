@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/network_monitor-9c254911221d1fdf.d: crates/datatriage/../../examples/network_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetwork_monitor-9c254911221d1fdf.rmeta: crates/datatriage/../../examples/network_monitor.rs Cargo.toml
+
+crates/datatriage/../../examples/network_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_monitor-af6e905c4c70d93c.d: crates/datatriage/../../examples/network_monitor.rs
+
+/root/repo/target/debug/examples/network_monitor-af6e905c4c70d93c: crates/datatriage/../../examples/network_monitor.rs
+
+crates/datatriage/../../examples/network_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-192204e105a35d69.d: crates/datatriage/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-192204e105a35d69: crates/datatriage/../../examples/quickstart.rs
+
+crates/datatriage/../../examples/quickstart.rs:

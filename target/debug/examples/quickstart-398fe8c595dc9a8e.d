@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-398fe8c595dc9a8e.d: crates/datatriage/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-398fe8c595dc9a8e.rmeta: crates/datatriage/../../examples/quickstart.rs Cargo.toml
+
+crates/datatriage/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b3efeda2fa650684.d: crates/datatriage/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b3efeda2fa650684: crates/datatriage/../../examples/quickstart.rs
+
+crates/datatriage/../../examples/quickstart.rs:

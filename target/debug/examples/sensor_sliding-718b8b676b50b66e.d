@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_sliding-718b8b676b50b66e.d: crates/datatriage/../../examples/sensor_sliding.rs
+
+/root/repo/target/debug/examples/sensor_sliding-718b8b676b50b66e: crates/datatriage/../../examples/sensor_sliding.rs
+
+crates/datatriage/../../examples/sensor_sliding.rs:

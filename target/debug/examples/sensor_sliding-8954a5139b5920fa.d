@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_sliding-8954a5139b5920fa.d: crates/datatriage/../../examples/sensor_sliding.rs
+
+/root/repo/target/debug/examples/sensor_sliding-8954a5139b5920fa: crates/datatriage/../../examples/sensor_sliding.rs
+
+crates/datatriage/../../examples/sensor_sliding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_sliding-fc2d72f07f461b00.d: crates/datatriage/../../examples/sensor_sliding.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_sliding-fc2d72f07f461b00.rmeta: crates/datatriage/../../examples/sensor_sliding.rs Cargo.toml
+
+crates/datatriage/../../examples/sensor_sliding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

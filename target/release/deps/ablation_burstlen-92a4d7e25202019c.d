@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_burstlen-92a4d7e25202019c.d: crates/dt-bench/src/bin/ablation_burstlen.rs
+
+/root/repo/target/release/deps/ablation_burstlen-92a4d7e25202019c: crates/dt-bench/src/bin/ablation_burstlen.rs
+
+crates/dt-bench/src/bin/ablation_burstlen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_burstlen-fdb737a7c9ac33b7.d: crates/dt-bench/src/bin/ablation_burstlen.rs
+
+/root/repo/target/release/deps/ablation_burstlen-fdb737a7c9ac33b7: crates/dt-bench/src/bin/ablation_burstlen.rs
+
+crates/dt-bench/src/bin/ablation_burstlen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cellwidth-5efdf8183c5ef7cb.d: crates/dt-bench/src/bin/ablation_cellwidth.rs
+
+/root/repo/target/release/deps/ablation_cellwidth-5efdf8183c5ef7cb: crates/dt-bench/src/bin/ablation_cellwidth.rs
+
+crates/dt-bench/src/bin/ablation_cellwidth.rs:

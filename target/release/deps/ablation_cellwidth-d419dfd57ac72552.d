@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cellwidth-d419dfd57ac72552.d: crates/dt-bench/src/bin/ablation_cellwidth.rs
+
+/root/repo/target/release/deps/ablation_cellwidth-d419dfd57ac72552: crates/dt-bench/src/bin/ablation_cellwidth.rs
+
+crates/dt-bench/src/bin/ablation_cellwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_policy-86108e6c966b9969.d: crates/dt-bench/src/bin/ablation_policy.rs
+
+/root/repo/target/release/deps/ablation_policy-86108e6c966b9969: crates/dt-bench/src/bin/ablation_policy.rs
+
+crates/dt-bench/src/bin/ablation_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_policy-dd8b3c0bdbd4a529.d: crates/dt-bench/src/bin/ablation_policy.rs
+
+/root/repo/target/release/deps/ablation_policy-dd8b3c0bdbd4a529: crates/dt-bench/src/bin/ablation_policy.rs
+
+crates/dt-bench/src/bin/ablation_policy.rs:

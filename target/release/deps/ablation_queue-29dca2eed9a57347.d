@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_queue-29dca2eed9a57347.d: crates/dt-bench/src/bin/ablation_queue.rs
+
+/root/repo/target/release/deps/ablation_queue-29dca2eed9a57347: crates/dt-bench/src/bin/ablation_queue.rs
+
+crates/dt-bench/src/bin/ablation_queue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_queue-5546a162abe1071b.d: crates/dt-bench/src/bin/ablation_queue.rs
+
+/root/repo/target/release/deps/ablation_queue-5546a162abe1071b: crates/dt-bench/src/bin/ablation_queue.rs
+
+crates/dt-bench/src/bin/ablation_queue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_synopsis-3a4023704f4807aa.d: crates/dt-bench/src/bin/ablation_synopsis.rs
+
+/root/repo/target/release/deps/ablation_synopsis-3a4023704f4807aa: crates/dt-bench/src/bin/ablation_synopsis.rs
+
+crates/dt-bench/src/bin/ablation_synopsis.rs:

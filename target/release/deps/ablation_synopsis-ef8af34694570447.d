@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_synopsis-ef8af34694570447.d: crates/dt-bench/src/bin/ablation_synopsis.rs
+
+/root/repo/target/release/deps/ablation_synopsis-ef8af34694570447: crates/dt-bench/src/bin/ablation_synopsis.rs
+
+crates/dt-bench/src/bin/ablation_synopsis.rs:

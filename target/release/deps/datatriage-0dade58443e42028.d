@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/datatriage-0dade58443e42028.d: crates/datatriage/src/lib.rs
+
+/root/repo/target/release/deps/libdatatriage-0dade58443e42028.rlib: crates/datatriage/src/lib.rs
+
+/root/repo/target/release/deps/libdatatriage-0dade58443e42028.rmeta: crates/datatriage/src/lib.rs
+
+crates/datatriage/src/lib.rs:

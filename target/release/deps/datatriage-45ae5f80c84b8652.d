@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/datatriage-45ae5f80c84b8652.d: crates/datatriage/src/lib.rs
+
+/root/repo/target/release/deps/libdatatriage-45ae5f80c84b8652.rlib: crates/datatriage/src/lib.rs
+
+/root/repo/target/release/deps/libdatatriage-45ae5f80c84b8652.rmeta: crates/datatriage/src/lib.rs
+
+crates/datatriage/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dt_algebra-488f4a4b1f082298.d: crates/dt-algebra/src/lib.rs crates/dt-algebra/src/diff.rs crates/dt-algebra/src/relation.rs crates/dt-algebra/src/signed.rs crates/dt-algebra/src/spj.rs
+
+/root/repo/target/release/deps/libdt_algebra-488f4a4b1f082298.rlib: crates/dt-algebra/src/lib.rs crates/dt-algebra/src/diff.rs crates/dt-algebra/src/relation.rs crates/dt-algebra/src/signed.rs crates/dt-algebra/src/spj.rs
+
+/root/repo/target/release/deps/libdt_algebra-488f4a4b1f082298.rmeta: crates/dt-algebra/src/lib.rs crates/dt-algebra/src/diff.rs crates/dt-algebra/src/relation.rs crates/dt-algebra/src/signed.rs crates/dt-algebra/src/spj.rs
+
+crates/dt-algebra/src/lib.rs:
+crates/dt-algebra/src/diff.rs:
+crates/dt-algebra/src/relation.rs:
+crates/dt-algebra/src/signed.rs:
+crates/dt-algebra/src/spj.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dt_bench-2182d2e34183b103.d: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+/root/repo/target/release/deps/libdt_bench-2182d2e34183b103.rlib: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+/root/repo/target/release/deps/libdt_bench-2182d2e34183b103.rmeta: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+crates/dt-bench/src/lib.rs:
+crates/dt-bench/src/svg.rs:

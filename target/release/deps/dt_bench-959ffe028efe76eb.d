@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dt_bench-959ffe028efe76eb.d: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+/root/repo/target/release/deps/libdt_bench-959ffe028efe76eb.rlib: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+/root/repo/target/release/deps/libdt_bench-959ffe028efe76eb.rmeta: crates/dt-bench/src/lib.rs crates/dt-bench/src/svg.rs
+
+crates/dt-bench/src/lib.rs:
+crates/dt-bench/src/svg.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dt_engine-6e5c9af26d526b23.d: crates/dt-engine/src/lib.rs crates/dt-engine/src/aggregate.rs crates/dt-engine/src/cost.rs crates/dt-engine/src/exec.rs crates/dt-engine/src/incremental.rs crates/dt-engine/src/window.rs
+
+/root/repo/target/release/deps/libdt_engine-6e5c9af26d526b23.rlib: crates/dt-engine/src/lib.rs crates/dt-engine/src/aggregate.rs crates/dt-engine/src/cost.rs crates/dt-engine/src/exec.rs crates/dt-engine/src/incremental.rs crates/dt-engine/src/window.rs
+
+/root/repo/target/release/deps/libdt_engine-6e5c9af26d526b23.rmeta: crates/dt-engine/src/lib.rs crates/dt-engine/src/aggregate.rs crates/dt-engine/src/cost.rs crates/dt-engine/src/exec.rs crates/dt-engine/src/incremental.rs crates/dt-engine/src/window.rs
+
+crates/dt-engine/src/lib.rs:
+crates/dt-engine/src/aggregate.rs:
+crates/dt-engine/src/cost.rs:
+crates/dt-engine/src/exec.rs:
+crates/dt-engine/src/incremental.rs:
+crates/dt-engine/src/window.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dt_metrics-43d5a15839f077ac.d: crates/dt-metrics/src/lib.rs crates/dt-metrics/src/experiment.rs crates/dt-metrics/src/ideal.rs crates/dt-metrics/src/rms.rs crates/dt-metrics/src/stats.rs crates/dt-metrics/src/summary.rs
+
+/root/repo/target/release/deps/libdt_metrics-43d5a15839f077ac.rlib: crates/dt-metrics/src/lib.rs crates/dt-metrics/src/experiment.rs crates/dt-metrics/src/ideal.rs crates/dt-metrics/src/rms.rs crates/dt-metrics/src/stats.rs crates/dt-metrics/src/summary.rs
+
+/root/repo/target/release/deps/libdt_metrics-43d5a15839f077ac.rmeta: crates/dt-metrics/src/lib.rs crates/dt-metrics/src/experiment.rs crates/dt-metrics/src/ideal.rs crates/dt-metrics/src/rms.rs crates/dt-metrics/src/stats.rs crates/dt-metrics/src/summary.rs
+
+crates/dt-metrics/src/lib.rs:
+crates/dt-metrics/src/experiment.rs:
+crates/dt-metrics/src/ideal.rs:
+crates/dt-metrics/src/rms.rs:
+crates/dt-metrics/src/stats.rs:
+crates/dt-metrics/src/summary.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dt_query-f59744471e42e3dd.d: crates/dt-query/src/lib.rs crates/dt-query/src/ast.rs crates/dt-query/src/explain.rs crates/dt-query/src/lexer.rs crates/dt-query/src/optimizer.rs crates/dt-query/src/parser.rs crates/dt-query/src/plan.rs
+
+/root/repo/target/release/deps/libdt_query-f59744471e42e3dd.rlib: crates/dt-query/src/lib.rs crates/dt-query/src/ast.rs crates/dt-query/src/explain.rs crates/dt-query/src/lexer.rs crates/dt-query/src/optimizer.rs crates/dt-query/src/parser.rs crates/dt-query/src/plan.rs
+
+/root/repo/target/release/deps/libdt_query-f59744471e42e3dd.rmeta: crates/dt-query/src/lib.rs crates/dt-query/src/ast.rs crates/dt-query/src/explain.rs crates/dt-query/src/lexer.rs crates/dt-query/src/optimizer.rs crates/dt-query/src/parser.rs crates/dt-query/src/plan.rs
+
+crates/dt-query/src/lib.rs:
+crates/dt-query/src/ast.rs:
+crates/dt-query/src/explain.rs:
+crates/dt-query/src/lexer.rs:
+crates/dt-query/src/optimizer.rs:
+crates/dt-query/src/parser.rs:
+crates/dt-query/src/plan.rs:

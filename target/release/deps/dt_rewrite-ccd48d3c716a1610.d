@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dt_rewrite-ccd48d3c716a1610.d: crates/dt-rewrite/src/lib.rs crates/dt-rewrite/src/evaluator.rs crates/dt-rewrite/src/shadow.rs
+
+/root/repo/target/release/deps/libdt_rewrite-ccd48d3c716a1610.rlib: crates/dt-rewrite/src/lib.rs crates/dt-rewrite/src/evaluator.rs crates/dt-rewrite/src/shadow.rs
+
+/root/repo/target/release/deps/libdt_rewrite-ccd48d3c716a1610.rmeta: crates/dt-rewrite/src/lib.rs crates/dt-rewrite/src/evaluator.rs crates/dt-rewrite/src/shadow.rs
+
+crates/dt-rewrite/src/lib.rs:
+crates/dt-rewrite/src/evaluator.rs:
+crates/dt-rewrite/src/shadow.rs:

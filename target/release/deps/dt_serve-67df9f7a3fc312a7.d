@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dt_serve-67df9f7a3fc312a7.d: crates/dt-server/src/bin/dt-serve.rs
+
+/root/repo/target/release/deps/dt_serve-67df9f7a3fc312a7: crates/dt-server/src/bin/dt-serve.rs
+
+crates/dt-server/src/bin/dt-serve.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dt_server-26f21904cfefda51.d: crates/dt-server/src/lib.rs crates/dt-server/src/client.rs crates/dt-server/src/config.rs crates/dt-server/src/frame.rs crates/dt-server/src/server.rs crates/dt-server/src/source.rs crates/dt-server/src/stats.rs crates/dt-server/src/worker.rs
+
+/root/repo/target/release/deps/libdt_server-26f21904cfefda51.rlib: crates/dt-server/src/lib.rs crates/dt-server/src/client.rs crates/dt-server/src/config.rs crates/dt-server/src/frame.rs crates/dt-server/src/server.rs crates/dt-server/src/source.rs crates/dt-server/src/stats.rs crates/dt-server/src/worker.rs
+
+/root/repo/target/release/deps/libdt_server-26f21904cfefda51.rmeta: crates/dt-server/src/lib.rs crates/dt-server/src/client.rs crates/dt-server/src/config.rs crates/dt-server/src/frame.rs crates/dt-server/src/server.rs crates/dt-server/src/source.rs crates/dt-server/src/stats.rs crates/dt-server/src/worker.rs
+
+crates/dt-server/src/lib.rs:
+crates/dt-server/src/client.rs:
+crates/dt-server/src/config.rs:
+crates/dt-server/src/frame.rs:
+crates/dt-server/src/server.rs:
+crates/dt-server/src/source.rs:
+crates/dt-server/src/stats.rs:
+crates/dt-server/src/worker.rs:

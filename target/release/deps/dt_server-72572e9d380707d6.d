@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dt_server-72572e9d380707d6.d: crates/dt-server/src/lib.rs
+
+/root/repo/target/release/deps/libdt_server-72572e9d380707d6.rlib: crates/dt-server/src/lib.rs
+
+/root/repo/target/release/deps/libdt_server-72572e9d380707d6.rmeta: crates/dt-server/src/lib.rs
+
+crates/dt-server/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dt_synopsis-9aab5945a801e654.d: crates/dt-synopsis/src/lib.rs crates/dt-synopsis/src/adaptive.rs crates/dt-synopsis/src/mhist.rs crates/dt-synopsis/src/reservoir.rs crates/dt-synopsis/src/sparse.rs crates/dt-synopsis/src/synopsis.rs crates/dt-synopsis/src/wavelet.rs
+
+/root/repo/target/release/deps/libdt_synopsis-9aab5945a801e654.rlib: crates/dt-synopsis/src/lib.rs crates/dt-synopsis/src/adaptive.rs crates/dt-synopsis/src/mhist.rs crates/dt-synopsis/src/reservoir.rs crates/dt-synopsis/src/sparse.rs crates/dt-synopsis/src/synopsis.rs crates/dt-synopsis/src/wavelet.rs
+
+/root/repo/target/release/deps/libdt_synopsis-9aab5945a801e654.rmeta: crates/dt-synopsis/src/lib.rs crates/dt-synopsis/src/adaptive.rs crates/dt-synopsis/src/mhist.rs crates/dt-synopsis/src/reservoir.rs crates/dt-synopsis/src/sparse.rs crates/dt-synopsis/src/synopsis.rs crates/dt-synopsis/src/wavelet.rs
+
+crates/dt-synopsis/src/lib.rs:
+crates/dt-synopsis/src/adaptive.rs:
+crates/dt-synopsis/src/mhist.rs:
+crates/dt-synopsis/src/reservoir.rs:
+crates/dt-synopsis/src/sparse.rs:
+crates/dt-synopsis/src/synopsis.rs:
+crates/dt-synopsis/src/wavelet.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dt_triage-ac4ee40cf460852f.d: crates/dt-triage/src/lib.rs crates/dt-triage/src/executor.rs crates/dt-triage/src/merge.rs crates/dt-triage/src/pipeline.rs crates/dt-triage/src/policy.rs crates/dt-triage/src/queue.rs crates/dt-triage/src/reorder.rs crates/dt-triage/src/shared.rs crates/dt-triage/src/shed.rs crates/dt-triage/src/stream.rs
+
+/root/repo/target/release/deps/libdt_triage-ac4ee40cf460852f.rlib: crates/dt-triage/src/lib.rs crates/dt-triage/src/executor.rs crates/dt-triage/src/merge.rs crates/dt-triage/src/pipeline.rs crates/dt-triage/src/policy.rs crates/dt-triage/src/queue.rs crates/dt-triage/src/reorder.rs crates/dt-triage/src/shared.rs crates/dt-triage/src/shed.rs crates/dt-triage/src/stream.rs
+
+/root/repo/target/release/deps/libdt_triage-ac4ee40cf460852f.rmeta: crates/dt-triage/src/lib.rs crates/dt-triage/src/executor.rs crates/dt-triage/src/merge.rs crates/dt-triage/src/pipeline.rs crates/dt-triage/src/policy.rs crates/dt-triage/src/queue.rs crates/dt-triage/src/reorder.rs crates/dt-triage/src/shared.rs crates/dt-triage/src/shed.rs crates/dt-triage/src/stream.rs
+
+crates/dt-triage/src/lib.rs:
+crates/dt-triage/src/executor.rs:
+crates/dt-triage/src/merge.rs:
+crates/dt-triage/src/pipeline.rs:
+crates/dt-triage/src/policy.rs:
+crates/dt-triage/src/queue.rs:
+crates/dt-triage/src/reorder.rs:
+crates/dt-triage/src/shared.rs:
+crates/dt-triage/src/shed.rs:
+crates/dt-triage/src/stream.rs:

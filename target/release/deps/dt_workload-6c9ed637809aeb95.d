@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dt_workload-6c9ed637809aeb95.d: crates/dt-workload/src/lib.rs crates/dt-workload/src/arrival.rs crates/dt-workload/src/gaussian.rs crates/dt-workload/src/replay.rs crates/dt-workload/src/scenario.rs crates/dt-workload/src/trace.rs
+
+/root/repo/target/release/deps/libdt_workload-6c9ed637809aeb95.rlib: crates/dt-workload/src/lib.rs crates/dt-workload/src/arrival.rs crates/dt-workload/src/gaussian.rs crates/dt-workload/src/replay.rs crates/dt-workload/src/scenario.rs crates/dt-workload/src/trace.rs
+
+/root/repo/target/release/deps/libdt_workload-6c9ed637809aeb95.rmeta: crates/dt-workload/src/lib.rs crates/dt-workload/src/arrival.rs crates/dt-workload/src/gaussian.rs crates/dt-workload/src/replay.rs crates/dt-workload/src/scenario.rs crates/dt-workload/src/trace.rs
+
+crates/dt-workload/src/lib.rs:
+crates/dt-workload/src/arrival.rs:
+crates/dt-workload/src/gaussian.rs:
+crates/dt-workload/src/replay.rs:
+crates/dt-workload/src/scenario.rs:
+crates/dt-workload/src/trace.rs:

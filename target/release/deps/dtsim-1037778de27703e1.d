@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dtsim-1037778de27703e1.d: crates/datatriage/src/bin/dtsim.rs
+
+/root/repo/target/release/deps/dtsim-1037778de27703e1: crates/datatriage/src/bin/dtsim.rs
+
+crates/datatriage/src/bin/dtsim.rs:

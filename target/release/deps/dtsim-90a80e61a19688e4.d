@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dtsim-90a80e61a19688e4.d: crates/datatriage/src/bin/dtsim.rs
+
+/root/repo/target/release/deps/dtsim-90a80e61a19688e4: crates/datatriage/src/bin/dtsim.rs
+
+crates/datatriage/src/bin/dtsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-7bb74ed4d97691ff.d: crates/dt-bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-7bb74ed4d97691ff: crates/dt-bench/src/bin/fig6.rs
+
+crates/dt-bench/src/bin/fig6.rs:

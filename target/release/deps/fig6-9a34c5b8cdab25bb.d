@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-9a34c5b8cdab25bb.d: crates/dt-bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-9a34c5b8cdab25bb: crates/dt-bench/src/bin/fig6.rs
+
+crates/dt-bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-c817fd82b5ea484c.d: crates/dt-bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-c817fd82b5ea484c: crates/dt-bench/src/bin/fig8.rs
+
+crates/dt-bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-f6f9185ac9d8e158.d: crates/dt-bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-f6f9185ac9d8e158: crates/dt-bench/src/bin/fig8.rs
+
+crates/dt-bench/src/bin/fig8.rs:

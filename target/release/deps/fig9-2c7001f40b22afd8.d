@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-2c7001f40b22afd8.d: crates/dt-bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-2c7001f40b22afd8: crates/dt-bench/src/bin/fig9.rs
+
+crates/dt-bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-8a2e64a21c3be533.d: crates/dt-bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-8a2e64a21c3be533: crates/dt-bench/src/bin/fig9.rs
+
+crates/dt-bench/src/bin/fig9.rs:

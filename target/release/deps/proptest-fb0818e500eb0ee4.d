@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-fb0818e500eb0ee4.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-fb0818e500eb0ee4.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-fb0818e500eb0ee4.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-dbbf0a60f563baef.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-dbbf0a60f563baef.rlib: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-dbbf0a60f563baef.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

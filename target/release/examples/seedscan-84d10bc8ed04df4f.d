@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seedscan-84d10bc8ed04df4f.d: crates/dt-metrics/examples/seedscan.rs
+
+/root/repo/target/release/examples/seedscan-84d10bc8ed04df4f: crates/dt-metrics/examples/seedscan.rs
+
+crates/dt-metrics/examples/seedscan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/winscan-e1c3d68505ec1605.d: crates/dt-metrics/examples/winscan.rs
+
+/root/repo/target/release/examples/winscan-e1c3d68505ec1605: crates/dt-metrics/examples/winscan.rs
+
+crates/dt-metrics/examples/winscan.rs:
