@@ -6,3 +6,12 @@ set -eux
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Bench smoke: every criterion harness must run end to end on a tiny
+# time budget, and the perf-trajectory snapshot must regenerate. The
+# numbers themselves are not gated here (CI hardware is too noisy);
+# BENCH_baseline.json records the interleaved measurements — see its
+# methodology field.
+CRITERION_BUDGET_MS=25 cargo bench -p dt-bench
+cargo run --release -p dt-bench --bin fig8 -- --quick
+cargo run --release -p dt-bench --bin bench_baseline -- --out /tmp/bench_smoke.json

@@ -1,0 +1,228 @@
+//! Emit `BENCH_baseline.json`: the workspace's performance trajectory.
+//!
+//! Re-measures a small set of representative benchmarks in-process and
+//! writes them next to the numbers recorded at the pre-optimization
+//! baseline commit, so every future PR can see where the hot path
+//! stands relative to where it started.
+//!
+//! ```sh
+//! cargo run --release -p dt-bench --bin bench_baseline            # 3 reps
+//! cargo run --release -p dt-bench --bin bench_baseline -- --reps 10
+//! ```
+//!
+//! Methodology note: the `baseline` fields below were measured on the
+//! same machine in the same session as the optimized numbers, by
+//! alternating runs of the baseline-commit binary and the optimized
+//! binary and taking the minimum of 10 — session-to-session wall-clock
+//! drift on shared hardware is large enough (±25 % observed) that
+//! non-interleaved comparisons are not trustworthy. The `current`
+//! fields are re-measured live on every invocation and are therefore
+//! only comparable to `baseline` in ratio terms, not absolute ones.
+
+use std::time::Instant;
+
+use dt_engine::CostModel;
+use dt_metrics::{rate_sweep_with_threads, report_to_map, SweepConfig};
+use dt_query::{parse_select, Catalog, Planner, QueryPlan};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{Pipeline, PipelineConfig, ShedMode};
+use dt_types::{json::obj, DataType, Json, Schema};
+use dt_workload::{generate, WorkloadConfig};
+
+/// Numbers recorded at the pre-optimization baseline (PR 1 head), in
+/// the units of each bench below.
+mod baseline {
+    /// `fig8 --quick` wall-clock seconds (interleaved min-of-10).
+    pub const FIG8_QUICK_SECS: f64 = 0.206;
+    /// Criterion `pipeline_8k_tuples_4x_overload/data-triage` ns/iter.
+    pub const PIPELINE_DT_NS: f64 = 7_184_168.0;
+    /// Criterion `window_exec_3way_join/batch/400_per_stream` ns/iter.
+    pub const WINDOW_EXEC_400_NS: f64 = 1_373_537.0;
+    /// Criterion `queue_push_10k_cap100/random` ns/iter.
+    pub const QUEUE_PUSH_RANDOM_NS: f64 = 773_072.0;
+}
+
+fn paper_plan() -> QueryPlan {
+    let mut catalog = Catalog::new();
+    catalog.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    catalog.add_stream(
+        "S",
+        Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
+    );
+    catalog.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
+    Planner::new(&catalog)
+        .plan(
+            &parse_select(
+                "SELECT a, COUNT(*) FROM R,S,T WHERE R.a = S.b AND S.c = T.d GROUP BY a",
+            )
+            .unwrap(),
+        )
+        .unwrap()
+}
+
+/// Minimum elapsed seconds of `f` over `reps` runs — min, not mean,
+/// because scheduling noise on shared hardware only ever adds time.
+fn min_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The `fig8 --quick` sweep, minus process startup and file output.
+fn fig8_quick_secs(reps: usize) -> f64 {
+    let mut cfg = SweepConfig::paper_default();
+    cfg.engine_capacity = 1_000.0;
+    cfg.runs = 3;
+    cfg.workload.total_tuples = 9_000;
+    cfg.tuples_per_window = 450;
+    let rates = [250.0, 1_000.0, 4_000.0];
+    // One worker: the baseline number was measured serially, and the
+    // trajectory should track single-core hot-path cost, not core
+    // count.
+    min_secs(reps, || {
+        rate_sweep_with_threads(&cfg, &rates, false, 1).expect("sweep");
+    })
+}
+
+/// The criterion `pipeline_8k_tuples_4x_overload/data-triage` bench
+/// body, timed directly.
+fn pipeline_dt_ns(reps: usize) -> f64 {
+    let workload = WorkloadConfig::paper_constant(4_000.0, 8_000, 5);
+    let arrivals = generate(&workload).unwrap();
+    min_secs(reps, || {
+        let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
+        cfg.cost = CostModel::from_capacity(1_000.0).unwrap();
+        cfg.synopsis = SynopsisConfig::Sparse { cell_width: 10 };
+        let report = Pipeline::run(paper_plan(), cfg, arrivals.iter().cloned()).unwrap();
+        std::hint::black_box(report_to_map(&report).len());
+    }) * 1e9
+}
+
+/// The `window_exec_3way_join/batch/400_per_stream` bench body.
+fn window_exec_400_ns(reps: usize) -> f64 {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(400);
+    let mut make = |arity: usize| -> Vec<dt_types::Row> {
+        (0..400)
+            .map(|_| {
+                dt_types::Row::from_ints(
+                    &(0..arity)
+                        .map(|_| rng.gen_range(1..=100))
+                        .collect::<Vec<i64>>(),
+                )
+            })
+            .collect()
+    };
+    let inputs = vec![make(1), make(2), make(1)];
+    let plan = paper_plan();
+    min_secs(reps, || {
+        std::hint::black_box(dt_engine::execute_window(&plan, &inputs).unwrap().len());
+    }) * 1e9
+}
+
+/// The `queue_push_10k_cap100/random` bench body.
+fn queue_push_random_ns(reps: usize) -> f64 {
+    use dt_triage::{DropPolicy, TriageQueue};
+    use dt_types::{Row, Timestamp, Tuple};
+    let tuples: Vec<Tuple> = (0..10_000)
+        .map(|i| Tuple::new(Row::from_ints(&[i % 100]), Timestamp::from_micros(i as u64)))
+        .collect();
+    let syn = {
+        let mut s = SynopsisConfig::Sparse { cell_width: 10 }.build(1).unwrap();
+        for v in 0..100 {
+            s.insert(&[v]).unwrap();
+        }
+        s
+    };
+    min_secs(reps, || {
+        let mut q = TriageQueue::new(100, DropPolicy::Random, 1).unwrap();
+        let mut victims = 0u64;
+        for t in &tuples {
+            if q.push(t.clone(), Some(&syn)).is_some() {
+                victims += 1;
+            }
+        }
+        std::hint::black_box(victims);
+    }) * 1e9
+}
+
+fn entry(name: &str, unit: &str, before: f64, after: f64) -> Json {
+    obj(vec![
+        ("name", Json::Str(name.to_string())),
+        ("unit", Json::Str(unit.to_string())),
+        ("baseline", Json::Num(before)),
+        ("current", Json::Num(after)),
+        // Rounded so reruns produce stable-looking diffs.
+        ("speedup", Json::Num((before / after * 100.0).round() / 100.0)),
+    ])
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut reps = 3usize;
+    let mut out = "BENCH_baseline.json".to_string();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).unwrap_or(reps),
+            "--out" => out = args.next().unwrap_or(out),
+            other => {
+                eprintln!("unknown arg {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("measuring ({reps} reps per bench)...");
+    let fig8 = fig8_quick_secs(reps);
+    let pipeline = pipeline_dt_ns(reps);
+    let window = window_exec_400_ns(reps);
+    let queue = queue_push_random_ns(reps);
+
+    let doc = obj(vec![
+        ("baseline_commit", Json::Str("PR 1 head (pre-batching)".into())),
+        (
+            "methodology",
+            Json::Str(
+                "baseline = interleaved min-of-10 vs the baseline-commit binary on one machine; \
+                 current = live min-of-N this invocation; compare ratios, not absolutes"
+                    .into(),
+            ),
+        ),
+        (
+            "benches",
+            Json::Arr(vec![
+                entry(
+                    "fig8_quick_wall_clock",
+                    "seconds",
+                    baseline::FIG8_QUICK_SECS,
+                    fig8,
+                ),
+                entry(
+                    "pipeline_8k_tuples_4x_overload/data-triage",
+                    "ns_per_iter",
+                    baseline::PIPELINE_DT_NS,
+                    pipeline,
+                ),
+                entry(
+                    "window_exec_3way_join/batch/400_per_stream",
+                    "ns_per_iter",
+                    baseline::WINDOW_EXEC_400_NS,
+                    window,
+                ),
+                entry(
+                    "queue_push_10k_cap100/random",
+                    "ns_per_iter",
+                    baseline::QUEUE_PUSH_RANDOM_NS,
+                    queue,
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, doc.render_pretty()).expect("write baseline json");
+    println!("{}", doc.render_pretty());
+    println!("(written to {out})");
+}

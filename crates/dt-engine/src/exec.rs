@@ -1,9 +1,7 @@
 //! Exact per-window query execution.
 
-use std::collections::HashMap;
-
 use dt_query::QueryPlan;
-use dt_types::{DtError, DtResult, Row, Value};
+use dt_types::{DtError, DtResult, FxHashMap, FxHashSet, Row, Value};
 
 use crate::aggregate::AggState;
 
@@ -28,7 +26,7 @@ pub enum WindowOutput {
     /// Aggregating query: group key (values of the plan's GROUP BY
     /// columns, in order) → aggregate values (in
     /// [`QueryPlan::aggregates`] order).
-    Groups(HashMap<Row, Vec<AggValue>>),
+    Groups(FxHashMap<Row, Vec<AggValue>>),
 }
 
 impl WindowOutput {
@@ -46,7 +44,7 @@ impl WindowOutput {
     }
 
     /// The groups map, if aggregating.
-    pub fn groups(&self) -> Option<&HashMap<Row, Vec<AggValue>>> {
+    pub fn groups(&self) -> Option<&FxHashMap<Row, Vec<AggValue>>> {
         match self {
             WindowOutput::Groups(g) => Some(g),
             WindowOutput::Rows(_) => None,
@@ -57,6 +55,24 @@ impl WindowOutput {
 /// Execute the plan exactly over one window's worth of rows per
 /// stream (`inputs[i]` holds stream `i`'s rows, FROM order).
 pub fn execute_window(plan: &QueryPlan, inputs: &[Vec<Row>]) -> DtResult<WindowOutput> {
+    let refs: Vec<&[Row]> = inputs.iter().map(Vec::as_slice).collect();
+    execute_window_ref(plan, &refs)
+}
+
+/// Borrowing variant of [`execute_window`]: callers that hold each
+/// stream's rows elsewhere (shared-stream pipelines, self-joins
+/// reading one buffer from several FROM positions) pass slices and
+/// skip the per-window row clones entirely.
+pub fn execute_window_ref(plan: &QueryPlan, inputs: &[&[Row]]) -> DtResult<WindowOutput> {
+    let by_ref: Vec<Vec<&Row>> = inputs.iter().map(|s| s.iter().collect()).collect();
+    execute_window_rows(plan, &by_ref)
+}
+
+/// Fully borrowed variant: each stream's window is a list of row
+/// *references*, so callers that already hold rows scattered elsewhere
+/// (e.g. the offline ideal evaluator bucketing one arrival sequence
+/// into many windows) never copy a row to execute over it.
+pub fn execute_window_rows(plan: &QueryPlan, inputs: &[Vec<&Row>]) -> DtResult<WindowOutput> {
     if inputs.len() != plan.streams.len() {
         return Err(DtError::engine(format!(
             "expected {} window inputs, got {}",
@@ -64,32 +80,27 @@ pub fn execute_window(plan: &QueryPlan, inputs: &[Vec<Row>]) -> DtResult<WindowO
             inputs.len()
         )));
     }
-    // Left-deep hash joins.
-    let mut acc: Vec<Row> = inputs[0].clone();
-    for (step_idx, conds) in plan.join_graph.steps.iter().enumerate() {
-        let right = &inputs[step_idx + 1];
-        acc = hash_join(&acc, right, conds);
-        if acc.is_empty() {
-            break;
-        }
-    }
-    // Residual predicates.
-    if !plan.residual.is_empty() {
-        acc.retain(|row| plan.residual.iter().all(|p| p.eval(row)));
-    }
-
     if plan.is_aggregating() || !plan.group_by.is_empty() {
-        // Grouped aggregation.
-        let mut groups: HashMap<Row, Vec<AggState>> = HashMap::new();
-        for row in &acc {
-            let key = row.project(&plan.group_by);
-            let states = groups
-                .entry(key)
-                .or_insert_with(|| plan.aggregates.iter().map(AggState::new).collect());
+        // Grouped aggregation, fed by the streaming join — the final
+        // join step's output rows are never materialized. The group
+        // key is probed with a scratch buffer first (rows borrow as
+        // `[Value]`), so the common case — the group already exists —
+        // allocates nothing per result row.
+        let mut groups: FxHashMap<Row, Vec<AggState>> = FxHashMap::default();
+        let mut key_scratch: Vec<Value> = Vec::with_capacity(plan.group_by.len());
+        stream_results(plan, inputs, |row| {
+            key_scratch.clear();
+            row.project_into(&plan.group_by, &mut key_scratch);
+            let states = match groups.get_mut(key_scratch.as_slice()) {
+                Some(states) => states,
+                None => groups
+                    .entry(Row::new(std::mem::take(&mut key_scratch)))
+                    .or_insert_with(|| plan.aggregates.iter().map(AggState::new).collect()),
+            };
             for s in states {
                 s.update(row);
             }
-        }
+        });
         // Global aggregate over an empty window still yields one group.
         if groups.is_empty() && plan.group_by.is_empty() {
             groups.insert(
@@ -125,57 +136,191 @@ pub fn execute_window(plan: &QueryPlan, inputs: &[Vec<Row>]) -> DtResult<WindowO
                 }
             })
             .collect();
-        let mut rows: Vec<Row> = acc.iter().map(|r| r.project(&project)).collect();
+        let mut rows: Vec<Row> = Vec::new();
+        stream_results(plan, inputs, |row| rows.push(row.project(&project)));
         if plan.distinct {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = FxHashSet::default();
             rows.retain(|r| seen.insert(r.clone()));
         }
         Ok(WindowOutput::Rows(rows))
     }
 }
 
-/// Hash join `left ⋈ right` on `(left combined column, right local
-/// column)` pairs; empty `conds` is a cross product. NULL keys never
-/// join.
-fn hash_join(left: &[Row], right: &[Row], conds: &[(usize, usize)]) -> Vec<Row> {
-    if conds.is_empty() {
-        let mut out = Vec::with_capacity(left.len() * right.len());
-        for l in left {
-            for r in right {
-                out.push(l.concat(r));
+/// Run the plan's join tree over the window inputs and feed every
+/// residual-surviving result row to `f`, **without materializing any
+/// join output** — not even intermediate steps.
+///
+/// The left-deep join chain runs as one pipelined multi-way hash
+/// join: each non-driver input gets a hash index keyed by its join
+/// columns, then every driver (stream 0) row is pushed depth-first
+/// through the probe chain with a single backtracking scratch row.
+/// Joined rows exist only inside that scratch buffer, so a window
+/// whose intermediate join blows up to N rows costs N probe visits,
+/// not N `Row` allocations. `f` must copy out whatever it keeps —
+/// the reference it receives is overwritten on the next call.
+fn stream_results(plan: &QueryPlan, inputs: &[Vec<&Row>], mut f: impl FnMut(&Row)) {
+    let residual_ok =
+        |row: &Row| plan.residual.is_empty() || plan.residual.iter().all(|p| p.eval(row));
+    let steps = &plan.join_graph.steps;
+    if steps.is_empty() {
+        // Single-stream plan: rows stream straight from the input.
+        for &row in &inputs[0] {
+            if residual_ok(row) {
+                f(row);
             }
         }
-        return out;
+        return;
     }
-    let left_cols: Vec<usize> = conds.iter().map(|&(l, _)| l).collect();
-    let right_cols: Vec<usize> = conds.iter().map(|&(_, r)| r).collect();
-    let mut index: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
-    for l in left {
-        let key: Vec<Value> = left_cols
-            .iter()
-            .map(|&c| l.get(c).cloned().unwrap_or(Value::Null))
-            .collect();
-        if key.iter().any(Value::is_null) {
-            continue;
-        }
-        index.entry(key).or_default().push(l);
+    let indexes: Vec<StepIndex> = steps
+        .iter()
+        .enumerate()
+        .map(|(i, conds)| StepIndex::build(&inputs[i + 1], conds))
+        .collect();
+    let mut scratch = Row::new(Vec::new());
+    for &row in &inputs[0] {
+        scratch.0.clear();
+        scratch.0.extend_from_slice(&row.0);
+        probe_chain(&indexes, &mut scratch, &mut |row| {
+            if residual_ok(row) {
+                f(row);
+            }
+        });
     }
-    let mut out = Vec::new();
-    for r in right {
-        let key: Vec<Value> = right_cols
-            .iter()
-            .map(|&c| r.get(c).cloned().unwrap_or(Value::Null))
-            .collect();
-        if key.iter().any(Value::is_null) {
-            continue;
+}
+
+/// One join step's hash index over its right-hand input, keyed by the
+/// step's right-side join columns. Probe keys come from the left
+/// (accumulated) side. NULL keys are left out of every index: NULL
+/// never joins.
+enum StepIndex<'a> {
+    /// No join condition: cross product with the full input.
+    Cross(Vec<&'a Row>),
+    /// Single-column equijoin — the overwhelmingly common shape.
+    /// Rows are grouped by key into one contiguous `slots` vector
+    /// (counting-sort placement, preserving input order within each
+    /// key) and the map holds `(start, len)` ranges: two allocations
+    /// for the whole index instead of one `Vec` per distinct key, and
+    /// probes walk a contiguous run of matches.
+    Single {
+        left_col: usize,
+        ranges: FxHashMap<&'a Value, (u32, u32)>,
+        slots: Vec<&'a Row>,
+    },
+    /// Multi-column equijoin. Keys are owned values so probes from the
+    /// short-lived scratch row can hash against them.
+    Multi(Vec<usize>, FxHashMap<Vec<Value>, Vec<&'a Row>>),
+}
+
+impl<'a> StepIndex<'a> {
+    fn build(input: &[&'a Row], conds: &[(usize, usize)]) -> Self {
+        if conds.is_empty() {
+            return StepIndex::Cross(input.to_vec());
         }
-        if let Some(matches) = index.get(&key) {
-            for l in matches {
-                out.push(l.concat(r));
+        if let [(lc, rc)] = *conds {
+            // Pass 1: count rows per key.
+            let mut ranges: FxHashMap<&Value, (u32, u32)> =
+                FxHashMap::with_capacity_and_hasher(input.len(), Default::default());
+            for &row in input {
+                match row.get(rc) {
+                    Some(v) if !v.is_null() => ranges.entry(v).or_insert((0, 0)).1 += 1,
+                    _ => {}
+                }
+            }
+            // Assign each key its slot range; reuse `.1` as the fill
+            // cursor for pass 2.
+            let mut off = 0u32;
+            for e in ranges.values_mut() {
+                e.0 = off;
+                off += e.1;
+                e.1 = 0;
+            }
+            let mut slots: Vec<&Row> = vec![&PLACEHOLDER_ROW; off as usize];
+            for &row in input {
+                match row.get(rc) {
+                    Some(v) if !v.is_null() => {
+                        let e = ranges.get_mut(v).expect("counted in pass 1");
+                        slots[(e.0 + e.1) as usize] = row;
+                        e.1 += 1;
+                    }
+                    _ => {}
+                }
+            }
+            return StepIndex::Single {
+                left_col: lc,
+                ranges,
+                slots,
+            };
+        }
+        let left_cols: Vec<usize> = conds.iter().map(|&(l, _)| l).collect();
+        let right_cols: Vec<usize> = conds.iter().map(|&(_, r)| r).collect();
+        let mut map: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
+        'rows: for &row in input {
+            let mut key = Vec::with_capacity(right_cols.len());
+            for &c in &right_cols {
+                match row.get(c) {
+                    Some(v) if !v.is_null() => key.push(v.clone()),
+                    _ => continue 'rows,
+                }
+            }
+            map.entry(key).or_default().push(row);
+        }
+        StepIndex::Multi(left_cols, map)
+    }
+}
+
+/// Slot placeholder for [`StepIndex::Single`]'s counting-sort build;
+/// every slot is overwritten in pass 2 before any probe reads it.
+static PLACEHOLDER_ROW: Row = Row(Vec::new());
+
+/// Depth-first probe of the remaining join steps: `scratch` holds the
+/// accumulated row for streams joined so far, each match appends the
+/// right row's values, recurses, then truncates back. At the end of
+/// the chain the completed row is emitted.
+fn probe_chain(indexes: &[StepIndex], scratch: &mut Row, f: &mut dyn FnMut(&Row)) {
+    let Some((index, rest)) = indexes.split_first() else {
+        f(scratch);
+        return;
+    };
+    let matches: &[&Row] = match index {
+        StepIndex::Cross(rows) => rows,
+        StepIndex::Single {
+            left_col,
+            ranges,
+            slots,
+        } => {
+            let Some(v) = scratch.get(*left_col) else {
+                return;
+            };
+            if v.is_null() {
+                return;
+            }
+            match ranges.get(v) {
+                Some(&(start, len)) => &slots[start as usize..(start + len) as usize],
+                None => return,
             }
         }
+        StepIndex::Multi(left_cols, map) => {
+            let mut key: Vec<Value> = Vec::with_capacity(left_cols.len());
+            for &c in left_cols {
+                match scratch.get(c) {
+                    Some(v) if !v.is_null() => key.push(v.clone()),
+                    _ => return,
+                }
+            }
+            match map.get(key.as_slice()) {
+                Some(m) => m,
+                None => return,
+            }
+        }
+    };
+    // `matches` borrows from the index, not from `scratch`, so the
+    // scratch row is free to grow while we walk them.
+    let depth = scratch.0.len();
+    for row in matches {
+        scratch.0.extend_from_slice(&row.0);
+        probe_chain(rest, scratch, f);
+        scratch.0.truncate(depth);
     }
-    out
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 //! the number of *join results*, which is exactly why an overloaded
 //! engine cannot simply "catch up" and must shed.
 
-use std::collections::HashMap;
+use dt_types::{FxHashMap, FxHashSet};
 
 use dt_query::QueryPlan;
 use dt_types::{DtError, DtResult, Row, Value};
@@ -40,12 +40,12 @@ pub struct IncrementalWindow {
     /// Per-stream hash indexes on the columns that stream contributes
     /// to join steps: `indexes[s]` maps a key (values of the indexed
     /// columns) to row positions in `stores[s]`.
-    indexes: Vec<HashMap<Vec<Value>, Vec<usize>>>,
+    indexes: Vec<FxHashMap<Vec<Value>, Vec<usize>>>,
     /// Which local columns each stream's index is keyed on (empty =
     /// stream is never probed by key, index unused).
     index_cols: Vec<Vec<usize>>,
     /// Aggregation state per group key.
-    groups: HashMap<Row, Vec<AggState>>,
+    groups: FxHashMap<Row, Vec<AggState>>,
     /// Output rows for non-aggregating plans.
     rows: Vec<Row>,
     /// Delta rows processed (diagnostics).
@@ -73,9 +73,9 @@ impl IncrementalWindow {
         }
         Ok(IncrementalWindow {
             stores: vec![Vec::new(); n],
-            indexes: vec![HashMap::new(); n],
+            indexes: vec![FxHashMap::default(); n],
             index_cols,
-            groups: HashMap::new(),
+            groups: FxHashMap::default(),
             rows: Vec::new(),
             result_rows: 0,
             plan,
@@ -234,7 +234,7 @@ impl IncrementalWindow {
     /// [`crate::execute_window`].
     pub fn finish(self) -> WindowOutput {
         if self.plan.is_aggregating() || !self.plan.group_by.is_empty() {
-            let mut groups: HashMap<Row, Vec<AggValue>> = self
+            let mut groups: FxHashMap<Row, Vec<AggValue>> = self
                 .groups
                 .into_iter()
                 .map(|(k, states)| {
@@ -268,7 +268,7 @@ impl IncrementalWindow {
         } else {
             let mut rows = self.rows;
             if self.plan.distinct {
-                let mut seen = std::collections::HashSet::new();
+                let mut seen = FxHashSet::default();
                 rows.retain(|r| seen.insert(r.clone()));
             }
             WindowOutput::Rows(rows)

@@ -30,6 +30,6 @@ pub mod window;
 
 pub use aggregate::AggState;
 pub use cost::CostModel;
-pub use exec::{execute_window, AggValue, WindowOutput};
+pub use exec::{execute_window, execute_window_ref, execute_window_rows, AggValue, WindowOutput};
 pub use incremental::IncrementalWindow;
 pub use window::WindowBuffers;

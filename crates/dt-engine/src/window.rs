@@ -34,14 +34,21 @@ impl WindowBuffers {
     }
 
     /// Deliver a tuple of `stream` into every window containing it.
+    /// The row is *moved* into its latest window and cloned only for
+    /// the extra windows of hopping specs — tumbling delivery never
+    /// clones.
     pub fn push(&mut self, stream: usize, tuple: Tuple) -> DtResult<()> {
         let buf = self
             .buffers
             .get_mut(stream)
             .ok_or_else(|| DtError::engine(format!("unknown stream {stream}")))?;
+        let latest = self.spec.window_of(tuple.ts);
         for w in self.spec.windows_of(tuple.ts) {
-            buf.entry(w).or_default().push(tuple.row.clone());
+            if w != latest {
+                buf.entry(w).or_default().push(tuple.row.clone());
+            }
         }
+        buf.entry(latest).or_default().push(tuple.row);
         Ok(())
     }
 

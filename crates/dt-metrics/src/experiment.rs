@@ -14,7 +14,7 @@ use dt_types::{DtError, DtResult, VDuration, WindowSpec};
 use dt_workload::{generate, ArrivalModel, WorkloadConfig};
 
 use crate::ideal::ideal_map;
-use crate::rms::{report_to_map, rms_error};
+use crate::rms::{report_into_map, rms_error};
 use crate::stats::MeanStd;
 
 use dt_engine::CostModel;
@@ -130,64 +130,161 @@ impl dt_types::ToJson for RatePoint {
     }
 }
 
+/// Per-mode numbers from one independent `(rate, run)` sweep cell.
+struct CellOut {
+    /// `errors[m]` is mode `m`'s RMS error for this run.
+    errors: Vec<f64>,
+    /// `dropfrac[m]` is mode `m`'s shed fraction for this run.
+    dropfrac: Vec<f64>,
+}
+
+/// Execute one `(rate, run)` cell: generate the shared arrival
+/// sequence, compute the ideal answer, run every mode's pipeline.
+/// A cell touches nothing outside its own state (its seed is a pure
+/// function of `(ri, run)`), which is what makes the sweep
+/// embarrassingly parallel *and* bit-reproducible: the numbers a cell
+/// produces cannot depend on which thread ran it or in what order.
+fn run_cell(cfg: &SweepConfig, ri: usize, rate: f64, run: usize, bursty: bool) -> DtResult<CellOut> {
+    let arrival = if bursty {
+        ArrivalModel::paper_bursty(rate / 100.0)
+    } else {
+        ArrivalModel::Constant { rate }
+    };
+    let mean_rate = arrival.mean_rate();
+    let width = VDuration::from_secs_f64(cfg.tuples_per_window as f64 / mean_rate);
+    if width.is_zero() {
+        return Err(DtError::config(format!(
+            "window width rounds to zero at rate {rate}"
+        )));
+    }
+    let seed = (ri as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(run as u64 + 1);
+    let workload = WorkloadConfig {
+        arrival,
+        seed,
+        ..cfg.workload.clone()
+    };
+    let mut arrivals = generate(&workload)?;
+    let plan = cfg.plan_with_window(width)?;
+    let ideal = ideal_map(&plan, &arrivals)?;
+
+    let mut errors = Vec::with_capacity(cfg.modes.len());
+    let mut dropfrac = Vec::with_capacity(cfg.modes.len());
+    for (mi, &mode) in cfg.modes.iter().enumerate() {
+        let mut pcfg = PipelineConfig::new(mode);
+        pcfg.policy = cfg.policy;
+        pcfg.queue_capacity = cfg.queue_capacity;
+        pcfg.cost = CostModel::from_capacity(cfg.engine_capacity)?;
+        pcfg.synopsis = cfg.synopsis;
+        pcfg.seed = seed;
+        // Re-planning per mode would re-parse the SQL; a plan clone is
+        // enough (modes never mutate the plan).
+        let plan = plan.clone();
+        // The last mode owns the arrivals outright; earlier modes
+        // clone tuple-by-tuple as they feed the pipeline.
+        let report = if mi + 1 == cfg.modes.len() {
+            Pipeline::run(plan, pcfg, std::mem::take(&mut arrivals))?
+        } else {
+            Pipeline::run(plan, pcfg, arrivals.iter().cloned())?
+        };
+        let totals = report.totals.clone();
+        let actual = report_into_map(report);
+        errors.push(rms_error(&ideal, &actual));
+        dropfrac.push(if totals.arrived == 0 {
+            0.0
+        } else {
+            totals.dropped as f64 / totals.arrived as f64
+        });
+    }
+    Ok(CellOut { errors, dropfrac })
+}
+
 /// Run a full rate sweep. `bursty == false` reproduces Fig. 8
 /// (constant rates), `true` reproduces Fig. 9 (`rates` are peak rates;
 /// the base rate is `peak / burst_multiplier` with burst data drawn
 /// from the workload's shifted distributions).
+///
+/// Cells are distributed over up to [`std::thread::available_parallelism`]
+/// worker threads; use [`rate_sweep_with_threads`] to pin the count.
+/// The output is **bit-identical** regardless of thread count — see
+/// [`rate_sweep_with_threads`] for the argument.
 pub fn rate_sweep(cfg: &SweepConfig, rates: &[f64], bursty: bool) -> DtResult<Vec<RatePoint>> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    rate_sweep_with_threads(cfg, rates, bursty, threads)
+}
+
+/// [`rate_sweep`] with an explicit worker-thread count (`1` runs the
+/// sweep serially on the caller's thread, no spawns).
+///
+/// Determinism: every `(rate, run)` cell derives its RNG seed from its
+/// indices alone and shares no mutable state with other cells, so a
+/// cell's floating-point outputs are independent of scheduling. Cell
+/// outputs are reassembled in index order before any statistics are
+/// folded, so every reduction consumes the same numbers in the same
+/// order as the serial sweep — hence byte-identical results (a test
+/// pins serial vs parallel).
+pub fn rate_sweep_with_threads(
+    cfg: &SweepConfig,
+    rates: &[f64],
+    bursty: bool,
+    threads: usize,
+) -> DtResult<Vec<RatePoint>> {
     if cfg.runs == 0 {
         return Err(DtError::config("sweep needs at least one run"));
     }
+    // One cell per (rate, run) pair, in (rate-major) index order.
+    let cells: Vec<(usize, usize)> = (0..rates.len())
+        .flat_map(|ri| (0..cfg.runs).map(move |run| (ri, run)))
+        .collect();
+    let workers = threads.max(1).min(cells.len().max(1));
+    let mut cell_out: Vec<Option<DtResult<CellOut>>> = Vec::new();
+    cell_out.resize_with(cells.len(), || None);
+
+    if workers <= 1 {
+        for (idx, &(ri, run)) in cells.iter().enumerate() {
+            cell_out[idx] = Some(run_cell(cfg, ri, rates[ri], run, bursty));
+        }
+    } else {
+        std::thread::scope(|s| {
+            let cells = &cells;
+            let handles: Vec<_> = (0..workers)
+                .map(|k| {
+                    s.spawn(move || {
+                        let mut done = Vec::new();
+                        for (idx, &(ri, run)) in cells.iter().enumerate() {
+                            if idx % workers == k {
+                                done.push((idx, run_cell(cfg, ri, rates[ri], run, bursty)));
+                            }
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (idx, r) in h.join().expect("sweep worker panicked") {
+                    cell_out[idx] = Some(r);
+                }
+            }
+        });
+    }
+
+    // Reassemble in index order: cell (ri, run) sits at ri*runs + run.
     let mut out = Vec::with_capacity(rates.len());
     for (ri, &rate) in rates.iter().enumerate() {
-        let arrival = if bursty {
-            ArrivalModel::paper_bursty(rate / 100.0)
-        } else {
-            ArrivalModel::Constant { rate }
-        };
-        let mean_rate = arrival.mean_rate();
-        let width = VDuration::from_secs_f64(cfg.tuples_per_window as f64 / mean_rate);
-        if width.is_zero() {
-            return Err(DtError::config(format!(
-                "window width rounds to zero at rate {rate}"
-            )));
-        }
-
         let mut per_mode_errors: Vec<Vec<f64>> = vec![Vec::new(); cfg.modes.len()];
         let mut per_mode_dropfrac: Vec<Vec<f64>> = vec![Vec::new(); cfg.modes.len()];
         for run in 0..cfg.runs {
-            let seed = (ri as u64)
-                .wrapping_mul(0x9E3779B97F4A7C15)
-                .wrapping_add(run as u64 + 1);
-            let workload = WorkloadConfig {
-                arrival,
-                seed,
-                ..cfg.workload.clone()
-            };
-            let arrivals = generate(&workload)?;
-            let plan = cfg.plan_with_window(width)?;
-            let ideal = ideal_map(&plan, &arrivals)?;
-
-            for (mi, &mode) in cfg.modes.iter().enumerate() {
-                let mut pcfg = PipelineConfig::new(mode);
-                pcfg.policy = cfg.policy;
-                pcfg.queue_capacity = cfg.queue_capacity;
-                pcfg.cost = CostModel::from_capacity(cfg.engine_capacity)?;
-                pcfg.synopsis = cfg.synopsis;
-                pcfg.seed = seed;
-                let plan = cfg.plan_with_window(width)?;
-                let report = Pipeline::run(plan, pcfg, arrivals.iter().cloned())?;
-                let actual = report_to_map(&report);
-                per_mode_errors[mi].push(rms_error(&ideal, &actual));
-                let frac = if report.totals.arrived == 0 {
-                    0.0
-                } else {
-                    report.totals.dropped as f64 / report.totals.arrived as f64
-                };
-                per_mode_dropfrac[mi].push(frac);
+            let cell = cell_out[ri * cfg.runs + run]
+                .take()
+                .expect("every cell ran")?;
+            for mi in 0..cfg.modes.len() {
+                per_mode_errors[mi].push(cell.errors[mi]);
+                per_mode_dropfrac[mi].push(cell.dropfrac[mi]);
             }
         }
-
         out.push(RatePoint {
             rate,
             modes: cfg
@@ -259,5 +356,34 @@ mod tests {
         let mut cfg = SweepConfig::paper_default();
         cfg.runs = 0;
         assert!(rate_sweep(&cfg, &[100.0], false).is_err());
+        assert!(rate_sweep_with_threads(&cfg, &[100.0], false, 4).is_err());
+    }
+
+    /// The parallel driver must be *byte*-identical to the serial one:
+    /// we render both results to JSON and compare strings, which pins
+    /// every floating-point bit pattern, field order, and run order.
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        use dt_types::ToJson;
+        let mut cfg = SweepConfig::paper_default();
+        cfg.runs = 3;
+        cfg.workload.total_tuples = 2_000;
+        cfg.tuples_per_window = 250;
+        cfg.engine_capacity = 500.0;
+        cfg.queue_capacity = 25;
+        let rates = [250.0, 1_000.0, 2_000.0];
+        let serial = rate_sweep_with_threads(&cfg, &rates, false, 1).unwrap();
+        for threads in [2, 4, 7] {
+            let parallel = rate_sweep_with_threads(&cfg, &rates, false, threads).unwrap();
+            assert_eq!(
+                serial.to_json().render(),
+                parallel.to_json().render(),
+                "thread count {threads} changed the sweep output"
+            );
+        }
+        // The bursty (Fig. 9) path schedules the same way.
+        let serial_b = rate_sweep_with_threads(&cfg, &rates, true, 1).unwrap();
+        let parallel_b = rate_sweep_with_threads(&cfg, &rates, true, 3).unwrap();
+        assert_eq!(serial_b.to_json().render(), parallel_b.to_json().render());
     }
 }

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use dt_engine::execute_window;
+use dt_engine::execute_window_rows;
 use dt_query::QueryPlan;
 use dt_types::{DtError, DtResult, Row, Tuple, WindowId};
 
@@ -24,21 +24,20 @@ pub fn ideal_map(plan: &QueryPlan, arrivals: &[(usize, Tuple)]) -> DtResult<Resu
         return Err(DtError::config("streams must share one window width"));
     }
     let n = plan.streams.len();
-    // Bucket rows per window per stream.
-    let mut windows: BTreeMap<WindowId, Vec<Vec<Row>>> = BTreeMap::new();
+    // Bucket row *references* per window per stream — the arrivals
+    // own every row; execution borrows them in place.
+    let mut windows: BTreeMap<WindowId, Vec<Vec<&Row>>> = BTreeMap::new();
     for (stream, tuple) in arrivals {
         if *stream >= n {
             return Err(DtError::config(format!("unknown stream {stream}")));
         }
         for w in spec.windows_of(tuple.ts) {
-            windows.entry(w).or_insert_with(|| vec![Vec::new(); n])[*stream]
-                .push(tuple.row.clone());
+            windows.entry(w).or_insert_with(|| vec![Vec::new(); n])[*stream].push(&tuple.row);
         }
     }
-    let mut out = ResultMap::new();
+    let mut out = ResultMap::default();
     for (w, inputs) in windows {
-        let result = execute_window(plan, &inputs)?;
-        if let Some(groups) = result.groups() {
+        if let dt_engine::WindowOutput::Groups(groups) = execute_window_rows(plan, &inputs)? {
             for (key, vals) in groups {
                 let vals: Vec<f64> = vals.iter().map(|a| a.value).collect();
                 // HAVING applies at result emission (same rule as the
@@ -46,7 +45,7 @@ pub fn ideal_map(plan: &QueryPlan, arrivals: &[(usize, Tuple)]) -> DtResult<Resu
                 if !plan.having_accepts(&vals) {
                     continue;
                 }
-                out.insert((w, key.clone()), vals);
+                out.insert((w, key), vals);
             }
         }
     }

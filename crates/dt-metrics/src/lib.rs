@@ -21,7 +21,7 @@ pub mod rms;
 pub mod stats;
 pub mod summary;
 
-pub use experiment::{rate_sweep, ModeSeries, RatePoint, SweepConfig};
+pub use experiment::{rate_sweep, rate_sweep_with_threads, ModeSeries, RatePoint, SweepConfig};
 pub use ideal::ideal_map;
 pub use rms::{latencies, report_to_map, rms_error, ResultMap};
 pub use stats::{LatencyStats, MeanStd};

@@ -1,23 +1,37 @@
 //! The RMS error metric of paper §6.3.
 
-use std::collections::HashMap;
 
 use dt_triage::{RunReport, WindowPayload};
 use dt_types::{Row, WindowId};
 
 /// Query results in comparable form: `(window, group key)` →
 /// aggregate values.
-pub type ResultMap = HashMap<(WindowId, Row), Vec<f64>>;
+pub type ResultMap = dt_types::FxHashMap<(WindowId, Row), Vec<f64>>;
 
 /// Flatten a pipeline run's grouped windows into a [`ResultMap`].
 /// Non-aggregating windows are skipped (RMS is defined over grouped
 /// aggregates).
 pub fn report_to_map(report: &RunReport) -> ResultMap {
-    let mut out = ResultMap::new();
+    let mut out = ResultMap::default();
     for w in &report.windows {
         if let WindowPayload::Groups(groups) = &w.payload {
             for (key, vals) in groups {
                 out.insert((w.window, key.clone()), vals.clone());
+            }
+        }
+    }
+    out
+}
+
+/// [`report_to_map`], consuming the report: group keys and aggregate
+/// vectors move into the map instead of being cloned. Use when the
+/// report is not needed afterwards (the experiment driver's hot loop).
+pub fn report_into_map(report: RunReport) -> ResultMap {
+    let mut out = ResultMap::default();
+    for w in report.windows {
+        if let WindowPayload::Groups(groups) = w.payload {
+            for (key, vals) in groups {
+                out.insert((w.window, key), vals);
             }
         }
     }
@@ -40,13 +54,13 @@ pub fn latencies(report: &RunReport) -> Vec<f64> {
 /// use dt_metrics::{rms_error, ResultMap};
 /// use dt_types::Row;
 ///
-/// let mut ideal = ResultMap::new();
+/// let mut ideal = ResultMap::default();
 /// ideal.insert((0, Row::from_ints(&[1])), vec![10.0]);
-/// let mut actual = ResultMap::new();
+/// let mut actual = ResultMap::default();
 /// actual.insert((0, Row::from_ints(&[1])), vec![7.0]);
 /// assert_eq!(rms_error(&ideal, &actual), 3.0);
 /// // A group missing from the actual results counts in full.
-/// assert_eq!(rms_error(&ideal, &ResultMap::new()), 10.0);
+/// assert_eq!(rms_error(&ideal, &ResultMap::default()), 10.0);
 /// ```
 ///
 /// Errors accumulate over the **union** of `(window, group)` keys —
@@ -66,8 +80,15 @@ pub fn rms_error(ideal: &ResultMap, actual: &ResultMap) -> f64 {
     let mut n_union = 0usize;
     let mut n_ideal = 0usize;
     let zero: Vec<f64> = Vec::new();
-    let keys: std::collections::HashSet<&(WindowId, Row)> =
-        ideal.keys().chain(actual.keys()).collect();
+    // A *sorted* key union: floating-point accumulation must visit
+    // keys in a reproducible order, or the last ulp of the error
+    // varies with the hash maps' per-instance hasher seeds (which
+    // would break the bit-identical serial-vs-parallel sweep
+    // guarantee). Sorting a flat vector beats a tree set here: one
+    // allocation, cache-friendly dedup.
+    let mut keys: Vec<&(WindowId, Row)> = ideal.keys().chain(actual.keys()).collect();
+    keys.sort_unstable();
+    keys.dedup();
     for key in keys {
         let i = ideal.get(key).unwrap_or(&zero);
         let a = actual.get(key).unwrap_or(&zero);
@@ -100,7 +121,7 @@ mod tests {
 
     #[test]
     fn identical_maps_have_zero_error() {
-        let mut m = ResultMap::new();
+        let mut m = ResultMap::default();
         m.insert(key(0, 1), vec![5.0]);
         m.insert(key(1, 2), vec![7.0, 3.0]);
         assert_eq!(rms_error(&m, &m), 0.0);
@@ -108,28 +129,28 @@ mod tests {
 
     #[test]
     fn missing_groups_count_fully() {
-        let mut ideal = ResultMap::new();
+        let mut ideal = ResultMap::default();
         ideal.insert(key(0, 1), vec![3.0]);
         ideal.insert(key(0, 2), vec![4.0]);
-        let actual = ResultMap::new();
+        let actual = ResultMap::default();
         // sqrt((9 + 16)/2) = sqrt(12.5)
         assert!((rms_error(&ideal, &actual) - 12.5f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]
     fn spurious_groups_count_fully() {
-        let ideal = ResultMap::new();
-        let mut actual = ResultMap::new();
+        let ideal = ResultMap::default();
+        let mut actual = ResultMap::default();
         actual.insert(key(0, 1), vec![6.0]);
         assert!((rms_error(&ideal, &actual) - 6.0).abs() < 1e-12);
     }
 
     #[test]
     fn partial_error_averages() {
-        let mut ideal = ResultMap::new();
+        let mut ideal = ResultMap::default();
         ideal.insert(key(0, 1), vec![10.0]);
         ideal.insert(key(0, 2), vec![10.0]);
-        let mut actual = ResultMap::new();
+        let mut actual = ResultMap::default();
         actual.insert(key(0, 1), vec![10.0]);
         actual.insert(key(0, 2), vec![6.0]);
         // sqrt((0 + 16)/2)
@@ -138,23 +159,23 @@ mod tests {
 
     #[test]
     fn nan_treated_as_missing() {
-        let mut ideal = ResultMap::new();
+        let mut ideal = ResultMap::default();
         ideal.insert(key(0, 1), vec![3.0]);
-        let mut actual = ResultMap::new();
+        let mut actual = ResultMap::default();
         actual.insert(key(0, 1), vec![f64::NAN]);
         assert!((rms_error(&ideal, &actual) - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_maps_zero() {
-        assert_eq!(rms_error(&ResultMap::new(), &ResultMap::new()), 0.0);
+        assert_eq!(rms_error(&ResultMap::default(), &ResultMap::default()), 0.0);
     }
 
     #[test]
     fn mismatched_arity_pads_with_zero() {
-        let mut ideal = ResultMap::new();
+        let mut ideal = ResultMap::default();
         ideal.insert(key(0, 1), vec![1.0, 2.0]);
-        let mut actual = ResultMap::new();
+        let mut actual = ResultMap::default();
         actual.insert(key(0, 1), vec![1.0]);
         assert!((rms_error(&ideal, &actual) - 2.0f64.powi(2).div_euclid(2.0).sqrt()).abs() < 1e-9);
     }

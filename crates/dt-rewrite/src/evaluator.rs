@@ -17,6 +17,20 @@ use crate::shadow::{Part, SynPlan};
 /// stream `i` (in the query plan's FROM order), all built with the
 /// same [`dt_synopsis::SynopsisConfig`].
 pub fn evaluate(plan: &SynPlan, kept: &[Synopsis], dropped: &[Synopsis]) -> DtResult<Synopsis> {
+    let kept: Vec<&Synopsis> = kept.iter().collect();
+    let dropped: Vec<&Synopsis> = dropped.iter().collect();
+    evaluate_ref(plan, &kept, &dropped)
+}
+
+/// Borrowing variant of [`evaluate`]: callers holding shared
+/// per-stream synopses (one pair per physical stream, read by every
+/// query's shadow plan) pass references and skip cloning whole
+/// histograms per evaluation.
+pub fn evaluate_ref(
+    plan: &SynPlan,
+    kept: &[&Synopsis],
+    dropped: &[&Synopsis],
+) -> DtResult<Synopsis> {
     if kept.len() != dropped.len() {
         return Err(DtError::rewrite(format!(
             "kept/dropped synopsis count mismatch: {} vs {}",
@@ -24,29 +38,54 @@ pub fn evaluate(plan: &SynPlan, kept: &[Synopsis], dropped: &[Synopsis]) -> DtRe
             dropped.len()
         )));
     }
-    eval(plan, kept, dropped)
+    Ok(match eval(plan, kept, dropped)? {
+        Eval::Ref(s) => s.clone(),
+        Eval::Owned(s) => s,
+    })
 }
 
-fn eval(plan: &SynPlan, kept: &[Synopsis], dropped: &[Synopsis]) -> DtResult<Synopsis> {
+/// An evaluation result that is cloned only when it must be: `Leaf`
+/// nodes hand back borrows of the sealed window synopses (every
+/// combining operator reads its operands by reference), so whole
+/// histograms are copied only when the *entire* plan is one bare leaf.
+enum Eval<'a> {
+    Ref(&'a Synopsis),
+    Owned(Synopsis),
+}
+
+impl Eval<'_> {
+    fn as_ref(&self) -> &Synopsis {
+        match self {
+            Eval::Ref(s) => s,
+            Eval::Owned(s) => s,
+        }
+    }
+}
+
+fn eval<'a>(
+    plan: &SynPlan,
+    kept: &[&'a Synopsis],
+    dropped: &[&'a Synopsis],
+) -> DtResult<Eval<'a>> {
     match plan {
         SynPlan::Leaf { stream, part } => {
-            let k = kept.get(*stream).ok_or_else(|| {
+            let k = *kept.get(*stream).ok_or_else(|| {
                 DtError::rewrite(format!("shadow plan references unknown stream {stream}"))
             })?;
-            let d = &dropped[*stream];
+            let d = dropped[*stream];
             match part {
-                Part::Kept => Ok(k.clone()),
-                Part::Dropped => Ok(d.clone()),
-                Part::All => k.union_all(d),
+                Part::Kept => Ok(Eval::Ref(k)),
+                Part::Dropped => Ok(Eval::Ref(d)),
+                Part::All => Ok(Eval::Owned(k.union_all(d)?)),
             }
         }
         SynPlan::Join { left, right, on } => {
             let l = eval(left, kept, dropped)?;
             let r = eval(right, kept, dropped)?;
-            match on {
-                Some((ld, rd)) => l.equijoin(*ld, &r, *rd),
-                None => l.cross(&r),
-            }
+            Ok(Eval::Owned(match on {
+                Some((ld, rd)) => l.as_ref().equijoin(*ld, r.as_ref(), *rd)?,
+                None => l.as_ref().cross(r.as_ref())?,
+            }))
         }
         SynPlan::Union(parts) => {
             let mut iter = parts.iter();
@@ -55,13 +94,15 @@ fn eval(plan: &SynPlan, kept: &[Synopsis], dropped: &[Synopsis]) -> DtResult<Syn
                 .ok_or_else(|| DtError::rewrite("empty union in shadow plan"))?;
             let mut acc = eval(first, kept, dropped)?;
             for p in iter {
-                acc = acc.union_all(&eval(p, kept, dropped)?)?;
+                acc = Eval::Owned(acc.as_ref().union_all(eval(p, kept, dropped)?.as_ref())?);
             }
             Ok(acc)
         }
-        SynPlan::Select { input, dim, lo, hi } => {
-            eval(input, kept, dropped)?.select_range(*dim, *lo, *hi)
-        }
+        SynPlan::Select { input, dim, lo, hi } => Ok(Eval::Owned(
+            eval(input, kept, dropped)?
+                .as_ref()
+                .select_range(*dim, *lo, *hi)?,
+        )),
     }
 }
 

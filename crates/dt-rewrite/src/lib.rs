@@ -28,5 +28,5 @@
 pub mod evaluator;
 pub mod shadow;
 
-pub use evaluator::evaluate;
+pub use evaluator::{evaluate, evaluate_ref};
 pub use shadow::{rewrite_dropped, Part, ShadowQuery, SynPlan};

@@ -62,6 +62,25 @@ fn consume(
     Ok(())
 }
 
+/// Fold a drained batch in one [`StreamTriage::keep_batch`] call —
+/// same results as per-tuple [`consume`], one stats update per batch.
+fn consume_batch(
+    triage: &mut StreamTriage,
+    batch: &[Tuple],
+    stream: usize,
+    stats: &ServerStats,
+) -> DtResult<()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    let landed = triage.keep_batch(batch)?;
+    let late = (batch.len() - landed) as u64;
+    if late > 0 {
+        stats.stream(stream).late.fetch_add(late, Ordering::SeqCst);
+    }
+    Ok(())
+}
+
 /// The worker loop. Runs until [`Ctl::Stop`] (or every channel
 /// disconnecting); returns the first triage error, which the server
 /// surfaces at shutdown.
@@ -79,6 +98,8 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
     } = ctx;
     // The one tuple held back by timestamp pacing.
     let mut pending: Option<Tuple> = None;
+    // Reusable drain buffer for the batched seal/stop paths.
+    let mut batch: Vec<Tuple> = Vec::new();
     loop {
         match ctl_rx.try_recv() {
             Ok(Ctl::Shed(t)) => {
@@ -92,6 +113,7 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
                 // the watermark has arrived — consume it (pacing
                 // aside) so the seal doesn't orphan it as late.
                 let end = spec.window_end(upto);
+                batch.clear();
                 loop {
                     let t = match pending.take() {
                         Some(t) => t,
@@ -101,12 +123,13 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
                         },
                     };
                     if t.ts < end {
-                        consume(&mut triage, &t, stream, &stats)?;
+                        batch.push(t);
                     } else {
                         pending = Some(t);
                         break;
                     }
                 }
+                consume_batch(&mut triage, &batch, stream, &stats)?;
                 for w in triage.seal_through(upto)? {
                     let _ = sealed_tx.send(w);
                 }
@@ -116,12 +139,10 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
                 // The control lane is FIFO, so every shed victim sent
                 // before Stop has been folded already; drain the rest
                 // of the data lane unpaced and seal everything.
-                if let Some(t) = pending.take() {
-                    consume(&mut triage, &t, stream, &stats)?;
-                }
-                for t in data_rx.try_iter() {
-                    consume(&mut triage, &t, stream, &stats)?;
-                }
+                batch.clear();
+                batch.extend(pending.take());
+                batch.extend(data_rx.try_iter());
+                consume_batch(&mut triage, &batch, stream, &stats)?;
                 for c in ctl_rx.try_iter() {
                     if let Ctl::Shed(t) = c {
                         if !triage.shed(&t)? {

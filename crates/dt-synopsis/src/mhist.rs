@@ -159,6 +159,31 @@ impl MHist {
         Ok(())
     }
 
+    /// Buffer a batch of unit-mass points, equivalent to one
+    /// [`MHist::insert`] per point. The frozen check runs once and the
+    /// point buffer grows in one reservation instead of per point.
+    pub fn insert_batch<'a>(
+        &mut self,
+        points: impl IntoIterator<Item = &'a [i64]>,
+    ) -> DtResult<()> {
+        if self.buckets.is_some() {
+            return Err(DtError::synopsis("cannot insert into a frozen MHist"));
+        }
+        let points = points.into_iter();
+        self.points.reserve(points.size_hint().0);
+        for point in points {
+            if point.len() != self.dims {
+                return Err(DtError::synopsis(format!(
+                    "point arity {} != histogram dims {}",
+                    point.len(),
+                    self.dims
+                )));
+            }
+            self.points.push((point.into(), 1.0));
+        }
+        Ok(())
+    }
+
     /// Build the bucket structure from the buffered points. Idempotent.
     pub fn freeze(&mut self) {
         if self.buckets.is_none() {
@@ -498,11 +523,11 @@ impl MHist {
     }
 
     /// Estimated per-integer-value counts along one dimension.
-    pub fn group_counts(&self, dim: usize) -> DtResult<std::collections::HashMap<i64, f64>> {
+    pub fn group_counts(&self, dim: usize) -> DtResult<dt_types::FxHashMap<i64, f64>> {
         if dim >= self.dims {
             return Err(DtError::synopsis("group dim out of range"));
         }
-        let mut out = std::collections::HashMap::new();
+        let mut out = dt_types::FxHashMap::default();
         for b in self.built_buckets().iter() {
             let (lo, hi) = b.bounds[dim];
             let per_value = b.mass / (hi - lo) as f64;
@@ -518,11 +543,11 @@ impl MHist {
         &self,
         group_dim: usize,
         sum_dim: usize,
-    ) -> DtResult<std::collections::HashMap<i64, f64>> {
+    ) -> DtResult<dt_types::FxHashMap<i64, f64>> {
         if group_dim >= self.dims || sum_dim >= self.dims {
             return Err(DtError::synopsis("group/sum dim out of range"));
         }
-        let mut out = std::collections::HashMap::new();
+        let mut out = dt_types::FxHashMap::default();
         for b in self.built_buckets().iter() {
             let (slo, shi) = b.bounds[sum_dim];
             let mid = (slo + shi - 1) as f64 / 2.0;

@@ -164,8 +164,7 @@ impl ReservoirSample {
         if self_dim >= self.dims || other_dim >= other.dims {
             return Err(DtError::synopsis("join dimension out of range"));
         }
-        let mut index: std::collections::HashMap<i64, Vec<(&[i64], f64)>> =
-            std::collections::HashMap::new();
+        let mut index: dt_types::FxHashMap<i64, Vec<(&[i64], f64)>> = Default::default();
         for (r, w) in other.weighted_rows() {
             index.entry(r[other_dim]).or_default().push((r, w));
         }
@@ -245,11 +244,11 @@ impl ReservoirSample {
     }
 
     /// Estimated per-value counts along one dimension.
-    pub fn group_counts(&self, dim: usize) -> DtResult<std::collections::HashMap<i64, f64>> {
+    pub fn group_counts(&self, dim: usize) -> DtResult<dt_types::FxHashMap<i64, f64>> {
         if dim >= self.dims {
             return Err(DtError::synopsis("group dim out of range"));
         }
-        let mut out = std::collections::HashMap::new();
+        let mut out = dt_types::FxHashMap::default();
         for (r, w) in self.weighted_rows() {
             *out.entry(r[dim]).or_insert(0.0) += w;
         }
@@ -261,11 +260,11 @@ impl ReservoirSample {
         &self,
         group_dim: usize,
         sum_dim: usize,
-    ) -> DtResult<std::collections::HashMap<i64, f64>> {
+    ) -> DtResult<dt_types::FxHashMap<i64, f64>> {
         if group_dim >= self.dims || sum_dim >= self.dims {
             return Err(DtError::synopsis("group/sum dim out of range"));
         }
-        let mut out = std::collections::HashMap::new();
+        let mut out = dt_types::FxHashMap::default();
         for (r, w) in self.weighted_rows() {
             *out.entry(r[group_dim]).or_insert(0.0) += w * r[sum_dim] as f64;
         }

@@ -14,7 +14,9 @@
 //! arbitrary rectangles, which is what makes unconstrained MHIST joins
 //! quadratic (see paper §5.2.2 and `crate::mhist`).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use dt_types::FxHashMap;
 
 use dt_types::{DtError, DtResult};
 
@@ -101,6 +103,11 @@ impl SparseHist {
     }
 
     /// Insert `mass` tuples' worth of weight at a point.
+    ///
+    /// The common case — the point's cell is already occupied — does
+    /// not allocate: cell coordinates are computed into a stack buffer
+    /// and probed by slice before a boxed key is built for a fresh
+    /// cell.
     pub fn insert_weighted(&mut self, point: &[i64], mass: f64) -> DtResult<()> {
         if point.len() != self.dims {
             return Err(DtError::synopsis(format!(
@@ -112,9 +119,33 @@ impl SparseHist {
         if mass == 0.0 {
             return Ok(());
         }
-        let coords: Box<[i64]> = point.iter().map(|&v| self.cell_of(v)).collect();
-        *self.cells.entry(coords).or_insert(0.0) += mass;
+        const STACK_DIMS: usize = 8;
+        let mut stack = [0i64; STACK_DIMS];
+        if self.dims <= STACK_DIMS {
+            for (slot, &v) in stack.iter_mut().zip(point) {
+                *slot = self.cell_of(v);
+            }
+            let coords = &stack[..self.dims];
+            match self.cells.get_mut(coords) {
+                Some(cell) => *cell += mass,
+                None => {
+                    self.cells.insert(coords.into(), mass);
+                }
+            }
+        } else {
+            let coords: Box<[i64]> = point.iter().map(|&v| self.cell_of(v)).collect();
+            *self.cells.entry(coords).or_insert(0.0) += mass;
+        }
         self.total += mass;
+        Ok(())
+    }
+
+    /// Insert a batch of points, equivalent to one [`SparseHist::insert`]
+    /// per point (bit-identical resulting state).
+    pub fn insert_batch<'a>(&mut self, points: impl IntoIterator<Item = &'a [i64]>) -> DtResult<()> {
+        for p in points {
+            self.insert_weighted(p, 1.0)?;
+        }
         Ok(())
     }
 
@@ -125,6 +156,21 @@ impl SparseHist {
             return;
         }
         *self.cells.entry(coords).or_insert(0.0) += mass;
+        self.total += mass;
+    }
+
+    /// [`SparseHist::add_cell`] probing by slice first: occupied cells
+    /// take no allocation, fresh cells box the coordinates once.
+    fn add_mass(&mut self, coords: &[i64], mass: f64) {
+        if mass == 0.0 {
+            return;
+        }
+        match self.cells.get_mut(coords) {
+            Some(cell) => *cell += mass,
+            None => {
+                self.cells.insert(coords.into(), mass);
+            }
+        }
         self.total += mass;
     }
 
@@ -166,7 +212,7 @@ impl SparseHist {
         }
         let mut out = self.clone();
         for (coords, mass) in other.iter_cells() {
-            out.add_cell(coords.into(), mass);
+            out.add_mass(coords, mass);
         }
         Ok(out)
     }
@@ -199,24 +245,25 @@ impl SparseHist {
         }
         let w = self.cell_width as f64;
         // Index other's cells by their join coordinate.
-        let mut index: HashMap<i64, Vec<(&[i64], f64)>> = HashMap::new();
+        let mut index: FxHashMap<i64, Vec<(&[i64], f64)>> = FxHashMap::default();
         for (coords, mass) in other.iter_cells() {
             index.entry(coords[other_dim]).or_default().push((coords, mass));
         }
         let mut out = SparseHist::new(self.dims + other.dims - 1, self.cell_width)?;
+        let mut scratch: Vec<i64> = Vec::with_capacity(self.dims + other.dims - 1);
         for (scoords, smass) in self.iter_cells() {
             let Some(matches) = index.get(&scoords[self_dim]) else {
                 continue;
             };
             for &(tcoords, tmass) in matches {
-                let mut c = Vec::with_capacity(self.dims + other.dims - 1);
-                c.extend_from_slice(scoords);
+                scratch.clear();
+                scratch.extend_from_slice(scoords);
                 for (d, &tc) in tcoords.iter().enumerate() {
                     if d != other_dim {
-                        c.push(tc);
+                        scratch.push(tc);
                     }
                 }
-                out.add_cell(c.into_boxed_slice(), smass * tmass / w);
+                out.add_mass(&scratch, smass * tmass / w);
             }
         }
         Ok(out)
@@ -259,12 +306,13 @@ impl SparseHist {
             return Err(DtError::synopsis("cross of histograms with different grids"));
         }
         let mut out = SparseHist::new(self.dims + other.dims, self.cell_width)?;
+        let mut scratch: Vec<i64> = Vec::with_capacity(self.dims + other.dims);
         for (sc, sm) in self.iter_cells() {
             for (tc, tm) in other.iter_cells() {
-                let mut c = Vec::with_capacity(self.dims + other.dims);
-                c.extend_from_slice(sc);
-                c.extend_from_slice(tc);
-                out.add_cell(c.into_boxed_slice(), sm * tm);
+                scratch.clear();
+                scratch.extend_from_slice(sc);
+                scratch.extend_from_slice(tc);
+                out.add_mass(&scratch, sm * tm);
             }
         }
         Ok(out)
@@ -289,7 +337,7 @@ impl SparseHist {
                 continue;
             }
             let frac = (ov_hi - ov_lo + 1) as f64 / w as f64;
-            out.add_cell(coords.into(), mass * frac);
+            out.add_mass(coords, mass * frac);
         }
         Ok(out)
     }
@@ -297,12 +345,12 @@ impl SparseHist {
     /// Estimated per-integer-value counts along one dimension — the
     /// estimator behind `GROUP BY <col>` + `COUNT(*)`. Each cell
     /// spreads its mass uniformly over its `cell_width` integer values.
-    pub fn group_counts(&self, dim: usize) -> DtResult<HashMap<i64, f64>> {
+    pub fn group_counts(&self, dim: usize) -> DtResult<FxHashMap<i64, f64>> {
         if dim >= self.dims {
             return Err(DtError::synopsis("group dim out of range"));
         }
         let w = self.cell_width;
-        let mut out: HashMap<i64, f64> = HashMap::new();
+        let mut out: FxHashMap<i64, f64> = FxHashMap::default();
         for (coords, mass) in self.iter_cells() {
             let base = coords[dim] * w;
             let per_value = mass / w as f64;
@@ -316,12 +364,12 @@ impl SparseHist {
     /// Estimated per-group `SUM(sum_dim)`: each cell contributes its
     /// mass times the midpoint of `sum_dim`'s cell interval, spread
     /// uniformly over the group dimension's values.
-    pub fn group_sums(&self, group_dim: usize, sum_dim: usize) -> DtResult<HashMap<i64, f64>> {
+    pub fn group_sums(&self, group_dim: usize, sum_dim: usize) -> DtResult<FxHashMap<i64, f64>> {
         if group_dim >= self.dims || sum_dim >= self.dims {
             return Err(DtError::synopsis("group/sum dim out of range"));
         }
         let w = self.cell_width;
-        let mut out: HashMap<i64, f64> = HashMap::new();
+        let mut out: FxHashMap<i64, f64> = FxHashMap::default();
         for (coords, mass) in self.iter_cells() {
             let sum_mid = (coords[sum_dim] * w) as f64 + (w - 1) as f64 / 2.0;
             let base = coords[group_dim] * w;

@@ -9,7 +9,7 @@
 //! require both operands to share a structure (each experiment picks
 //! one synopsis datatype, as in the paper).
 
-use std::collections::HashMap;
+use dt_types::FxHashMap;
 
 use dt_types::{DtError, DtResult};
 
@@ -21,7 +21,7 @@ use crate::wavelet::WaveletSynopsis;
 
 /// Estimated per-group aggregate values, keyed by the (integer) group
 /// value.
-pub type GroupEstimate = HashMap<i64, f64>;
+pub type GroupEstimate = FxHashMap<i64, f64>;
 
 /// Which synopsis structure to use, with its tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -207,6 +207,38 @@ impl Synopsis {
         }
     }
 
+    /// Insert a batch of points — bit-identical to one
+    /// [`Synopsis::insert`] per point, but the enum dispatch happens
+    /// once per batch and the structures can amortize internal work
+    /// (MHIST reserves its point buffer in one step).
+    pub fn insert_batch<'a>(
+        &mut self,
+        points: impl IntoIterator<Item = &'a [i64]>,
+    ) -> DtResult<()> {
+        match self {
+            Synopsis::Sparse(s) => s.insert_batch(points),
+            Synopsis::MHist(m) => m.insert_batch(points),
+            Synopsis::Reservoir(r) => {
+                for p in points {
+                    r.insert(p)?;
+                }
+                Ok(())
+            }
+            Synopsis::Wavelet(w) => {
+                for p in points {
+                    w.insert(p)?;
+                }
+                Ok(())
+            }
+            Synopsis::Adaptive(a) => {
+                for p in points {
+                    a.insert(p)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Finalize the synopsis at a window boundary. For MHIST this runs
     /// MAXDIFF partitioning; for the other structures it is a no-op.
     pub fn seal(&mut self) {
@@ -384,7 +416,7 @@ impl Synopsis {
     pub fn group_avgs(&self, group_dim: usize, avg_dim: usize) -> DtResult<GroupEstimate> {
         let counts = self.group_counts(group_dim)?;
         let sums = self.group_sums(group_dim, avg_dim)?;
-        let mut out = GroupEstimate::new();
+        let mut out = GroupEstimate::default();
         for (k, s) in sums {
             if let Some(&c) = counts.get(&k) {
                 if c > 0.0 {

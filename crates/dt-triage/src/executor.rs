@@ -17,9 +17,9 @@
 //! Because the executor holds no mutable state, a server can call it
 //! from any thread behind an `Arc` without locking.
 
-use dt_engine::{execute_window, WindowOutput};
+use dt_engine::{execute_window_rows, WindowOutput};
 use dt_query::QueryPlan;
-use dt_rewrite::{evaluate, rewrite_dropped, ShadowQuery};
+use dt_rewrite::{evaluate_ref, rewrite_dropped, ShadowQuery};
 use dt_synopsis::{Synopsis, SynopsisConfig};
 use dt_types::{DtError, DtResult, Row, Schema, WindowSpec};
 
@@ -209,18 +209,19 @@ impl QueryExecutor {
 
     /// Exact batch execution of query `q` over one window's kept rows
     /// (`shared_rows[i]` holds physical stream `i`'s rows). Aliased
-    /// self-joins read the same shared rows on every FROM position.
+    /// self-joins read the same shared rows on every FROM position —
+    /// by reference, so no rows are cloned per window close.
     pub fn exact_batch(&self, q: usize, shared_rows: &[Vec<Row>]) -> DtResult<WindowOutput> {
         let query = self
             .queries
             .get(q)
             .ok_or_else(|| DtError::config(format!("unknown query {q}")))?;
-        let inputs: Vec<Vec<Row>> = query
+        let inputs: Vec<Vec<&Row>> = query
             .stream_map
             .iter()
-            .map(|&si| shared_rows[si].clone())
+            .map(|&si| shared_rows[si].iter().collect())
             .collect();
-        execute_window(&query.plan, &inputs)
+        execute_window_rows(&query.plan, &inputs)
     }
 
     /// Combine query `q`'s exact window output with the shadow
@@ -238,17 +239,19 @@ impl QueryExecutor {
             .ok_or_else(|| DtError::config(format!("unknown query {q}")))?;
         let estimate = match (&query.shadow, pairs) {
             (Some(shadow), Some(pairs)) => {
-                let kept: Vec<Synopsis> = query
+                // Shared synopses are read in place; only the shadow
+                // plan's own operations materialize new structures.
+                let kept: Vec<&Synopsis> = query
                     .stream_map
                     .iter()
-                    .map(|&si| pairs[si].kept.clone())
+                    .map(|&si| &pairs[si].kept)
                     .collect();
-                let dropped: Vec<Synopsis> = query
+                let dropped: Vec<&Synopsis> = query
                     .stream_map
                     .iter()
-                    .map(|&si| pairs[si].dropped.clone())
+                    .map(|&si| &pairs[si].dropped)
                     .collect();
-                Some(evaluate(&shadow.plan, &kept, &dropped)?)
+                Some(evaluate_ref(&shadow.plan, &kept, &dropped)?)
             }
             _ => None,
         };

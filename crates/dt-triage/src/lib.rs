@@ -32,6 +32,7 @@ pub mod reorder;
 pub mod shared;
 pub mod shed;
 pub mod stream;
+mod winmap;
 
 pub use executor::{QueryExecutor, SharedStream, SynPair};
 pub use merge::{merge_window, MergedGroups};

@@ -13,7 +13,7 @@
 //!   bucket edges, but the paper does not attempt it and neither do
 //!   we; a group seen *only* in the estimate reports NaN for them).
 
-use std::collections::HashMap;
+use dt_types::FxHashMap;
 
 use dt_engine::WindowOutput;
 use dt_query::{Aggregate, QueryPlan};
@@ -23,7 +23,7 @@ use dt_types::{DtError, DtResult, Row, Value};
 
 /// Final merged per-group aggregate values, in
 /// [`QueryPlan::aggregates`] order.
-pub type MergedGroups = HashMap<Row, Vec<f64>>;
+pub type MergedGroups = FxHashMap<Row, Vec<f64>>;
 
 /// Estimated masses below this threshold are treated as zero (they
 /// arise from floating-point dust in histogram arithmetic).
@@ -65,7 +65,7 @@ pub fn merge_window(
     let est_counts: GroupEstimate = match group_dim {
         Some(d) => est.group_counts(d)?,
         None => {
-            let mut m = GroupEstimate::new();
+            let mut m = GroupEstimate::default();
             m.insert(0, est.total_mass());
             m
         }
@@ -78,14 +78,14 @@ pub fn merge_window(
                 // Global sum: group on the sum dim itself, then total.
                 let per_value = est.group_counts(sum_dim)?;
                 let total: f64 = per_value.iter().map(|(v, m)| *v as f64 * m).sum();
-                let mut m = GroupEstimate::new();
+                let mut m = GroupEstimate::default();
                 m.insert(0, total);
                 Ok(m)
             }
         }
     };
     // Pre-compute sums per distinct aggregate argument.
-    let mut sums_cache: HashMap<usize, GroupEstimate> = HashMap::new();
+    let mut sums_cache: FxHashMap<usize, GroupEstimate> = FxHashMap::default();
     for agg in &plan.aggregates {
         if matches!(agg.func, Aggregate::Sum | Aggregate::Avg) {
             if let Some(arg) = agg.arg {
@@ -129,7 +129,7 @@ pub fn merge_window(
         }
     };
 
-    let mut merged = MergedGroups::with_capacity(keys.len());
+    let mut merged = MergedGroups::with_capacity_and_hasher(keys.len(), Default::default());
     for key in keys {
         let gv = group_value(&key)?.unwrap_or(0);
         let e_count = est_counts.get(&gv).copied().unwrap_or(0.0).max(0.0);

@@ -217,6 +217,17 @@ impl Pipeline {
         self.inner.offer(stream, tuple)
     }
 
+    /// Feed a batch of time-ordered arrivals on one stream. Produces
+    /// exactly the same shed decisions and results as per-tuple
+    /// [`Pipeline::offer`] calls, while validating the stream once.
+    pub fn offer_batch(
+        &mut self,
+        stream: usize,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> DtResult<()> {
+        self.inner.offer_batch(stream, tuples)
+    }
+
     /// Drain queues and close every remaining window, returning the
     /// report.
     pub fn finish(self) -> DtResult<RunReport> {

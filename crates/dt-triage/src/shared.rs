@@ -20,8 +20,6 @@
 //! The single-query [`crate::Pipeline`] is a thin facade over this
 //! type.
 
-use std::collections::BTreeMap;
-
 use dt_engine::{IncrementalWindow, WindowBuffers, WindowOutput};
 use dt_query::QueryPlan;
 use dt_rewrite::ShadowQuery;
@@ -34,6 +32,7 @@ use crate::pipeline::{
 use crate::policy::DropPolicy;
 use crate::queue::TriageQueue;
 use crate::shed::ShedMode;
+use crate::winmap::WinMap;
 
 pub use crate::executor::SharedStream;
 
@@ -51,17 +50,21 @@ pub struct SharedPipeline {
     spec: WindowSpec,
     queues: Vec<TriageQueue>,
     buffers: WindowBuffers,
-    syns: BTreeMap<WindowId, Vec<SynPair>>,
+    syns: WinMap<Vec<SynPair>>,
     /// Incremental execution state: per window, one
     /// [`IncrementalWindow`] per query (only under
     /// [`ExecStrategy::Incremental`]).
-    inc: BTreeMap<WindowId, Vec<IncrementalWindow>>,
-    stats: BTreeMap<WindowId, WinStats>,
+    inc: WinMap<Vec<IncrementalWindow>>,
+    stats: WinMap<WinStats>,
     engine_free_at: Timestamp,
     now: Timestamp,
     /// `results[q]` collects query `q`'s windows.
     results: Vec<Vec<WindowResult>>,
     totals: RunTotals,
+    /// Reusable synopsis-point buffer — the ingest and engine paths
+    /// convert one row at a time, so a single scratch vector serves
+    /// every per-tuple conversion without allocating.
+    point_scratch: Vec<i64>,
 }
 
 impl SharedPipeline {
@@ -99,13 +102,14 @@ impl SharedPipeline {
             exec,
             spec,
             cfg,
-            syns: BTreeMap::new(),
-            inc: BTreeMap::new(),
-            stats: BTreeMap::new(),
+            syns: WinMap::new(),
+            inc: WinMap::new(),
+            stats: WinMap::new(),
             engine_free_at: Timestamp::ZERO,
             now: Timestamp::ZERO,
             results: vec![Vec::new(); num_queries],
             totals: RunTotals::default(),
+            point_scratch: Vec::new(),
         })
     }
 
@@ -141,6 +145,28 @@ impl SharedPipeline {
         if stream >= self.queues.len() {
             return Err(DtError::config(format!("unknown shared stream {stream}")));
         }
+        self.offer_inner(stream, tuple)
+    }
+
+    /// Feed a whole batch of time-ordered arrivals on one shared
+    /// stream. Equivalent to calling [`SharedPipeline::offer`] once
+    /// per tuple (same shed decisions, same results), but validates
+    /// the stream index once and keeps per-tuple scratch buffers warm.
+    pub fn offer_batch(
+        &mut self,
+        stream: usize,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> DtResult<()> {
+        if stream >= self.queues.len() {
+            return Err(DtError::config(format!("unknown shared stream {stream}")));
+        }
+        for tuple in tuples {
+            self.offer_inner(stream, tuple)?;
+        }
+        Ok(())
+    }
+
+    fn offer_inner(&mut self, stream: usize, tuple: Tuple) -> DtResult<()> {
         if tuple.ts < self.now {
             return Err(DtError::config(format!(
                 "arrivals must be time-ordered: {} after {}",
@@ -164,17 +190,19 @@ impl SharedPipeline {
         // A tuple belongs to every window containing its timestamp
         // (one for tumbling specs, several for hopping ones).
         for w in self.spec.windows_of(tuple.ts) {
-            self.stats.entry(w).or_default().arrived += 1;
+            self.stats.get_or_insert_with(w, WinStats::default).arrived += 1;
         }
         self.totals.arrived += 1;
 
         match self.cfg.mode {
             ShedMode::SummarizeOnly => {
-                let point = row_point(&tuple.row)?;
+                let mut point = std::mem::take(&mut self.point_scratch);
+                row_point_into(&tuple.row, &mut point)?;
                 for w in self.spec.windows_of(tuple.ts) {
                     self.syn_pair(w, stream)?.dropped.insert(&point)?;
-                    self.stats.entry(w).or_default().dropped += 1;
+                    self.stats.get_or_insert_with(w, WinStats::default).dropped += 1;
                 }
+                self.point_scratch = point;
                 self.totals.dropped += 1;
             }
             ShedMode::DropOnly | ShedMode::DataTriage => {
@@ -183,23 +211,24 @@ impl SharedPipeline {
                 {
                     // The synergy heuristic consults the latest window.
                     let w = self.spec.window_of(tuple.ts);
-                    self.syns.get(&w).map(|pairs| &pairs[stream].dropped)
+                    self.syns.get(w).map(|pairs| &pairs[stream].dropped)
                 } else {
                     None
                 };
                 let victim = self.queues[stream].push(tuple, dropped_syn);
                 if let Some(v) = victim {
-                    let point = if self.cfg.mode == ShedMode::DataTriage {
-                        Some(row_point(&v.row)?)
-                    } else {
-                        None
-                    };
+                    let mut point = std::mem::take(&mut self.point_scratch);
+                    let summarize = self.cfg.mode == ShedMode::DataTriage;
+                    if summarize {
+                        row_point_into(&v.row, &mut point)?;
+                    }
                     for vw in self.spec.windows_of(v.ts) {
-                        self.stats.entry(vw).or_default().dropped += 1;
-                        if let Some(p) = &point {
-                            self.syn_pair(vw, stream)?.dropped.insert(p)?;
+                        self.stats.get_or_insert_with(vw, WinStats::default).dropped += 1;
+                        if summarize {
+                            self.syn_pair(vw, stream)?.dropped.insert(&point)?;
                         }
                     }
+                    self.point_scratch = point;
                     self.totals.dropped += 1;
                 }
             }
@@ -216,7 +245,7 @@ impl SharedPipeline {
             self.drain_engine(Timestamp::from_micros(u64::MAX / 2))?;
             self.now = self.now.max(self.engine_free_at);
         }
-        let remaining: Vec<WindowId> = self.stats.keys().copied().collect();
+        let remaining: Vec<WindowId> = self.stats.ids().collect();
         for w in remaining {
             self.close_window(w)?;
         }
@@ -254,32 +283,29 @@ impl SharedPipeline {
             let mut busy = self.cfg.cost.service_time;
             if self.cfg.mode == ShedMode::DataTriage {
                 busy += self.cfg.cost.synopsis_insert_time;
-                let point = row_point(&tuple.row)?;
+                let mut point = std::mem::take(&mut self.point_scratch);
+                row_point_into(&tuple.row, &mut point)?;
                 for w in self.spec.windows_of(tuple.ts) {
                     self.syn_pair(w, qi)?.kept.insert(&point)?;
                 }
+                self.point_scratch = point;
             }
             self.engine_free_at = start + busy;
             for w in self.spec.windows_of(tuple.ts) {
-                self.stats.entry(w).or_default().kept += 1;
+                self.stats.get_or_insert_with(w, WinStats::default).kept += 1;
             }
             self.totals.kept += 1;
             match self.cfg.execution {
                 ExecStrategy::Batch => self.buffers.push(qi, tuple)?,
                 ExecStrategy::Incremental => {
                     for w in self.spec.windows_of(tuple.ts) {
-                        let states = match self.inc.get_mut(&w) {
-                            Some(s) => s,
-                            None => {
-                                let fresh = self
-                                    .exec
-                                    .queries()
-                                    .iter()
-                                    .map(|q| IncrementalWindow::new(q.plan.clone()))
-                                    .collect::<DtResult<Vec<_>>>()?;
-                                self.inc.entry(w).or_insert(fresh)
-                            }
-                        };
+                        let exec = &self.exec;
+                        let states = self.inc.get_or_try_insert_with(w, || {
+                            exec.queries()
+                                .iter()
+                                .map(|q| IncrementalWindow::new(q.plan.clone()))
+                                .collect::<DtResult<Vec<_>>>()
+                        })?;
                         for (q, state) in self.exec.queries().iter().zip(states.iter_mut()) {
                             // A shared tuple feeds every FROM position
                             // bound to this physical stream (self-joins
@@ -308,25 +334,25 @@ impl SharedPipeline {
             ShedMode::SummarizeOnly => self.now,
             _ => self.now.min(queue_min),
         };
-        let ready: Vec<WindowId> = self
-            .stats
-            .keys()
-            .copied()
-            .filter(|&w| self.spec.window_end(w) <= limit)
-            .collect();
-        for w in ready {
+        // Open windows close oldest-first: `stats` is ordered, so pop
+        // from the front until the oldest window outlives the limit.
+        // (This runs on every offer — no per-call allocation.)
+        while let Some(w) = self.stats.first_id() {
+            if self.spec.window_end(w) > limit {
+                break;
+            }
             self.close_window(w)?;
         }
         Ok(())
     }
 
     fn close_window(&mut self, w: WindowId) -> DtResult<()> {
-        let stats = self.stats.remove(&w).unwrap_or_default();
+        let stats = self.stats.remove(w).unwrap_or_default();
         let shared_rows = self.buffers.take_window(w);
-        let mut inc_states = self.inc.remove(&w);
+        let mut inc_states = self.inc.remove(w);
         // Seal the shared synopses once; every query reads them.
         let pairs: Option<Vec<SynPair>> = if self.cfg.mode.uses_synopses() {
-            let pairs = match self.syns.remove(&w) {
+            let pairs = match self.syns.remove(w) {
                 Some(mut pairs) => {
                     for p in &mut pairs {
                         p.kept.seal();
@@ -378,23 +404,25 @@ impl SharedPipeline {
     }
 
     fn syn_pair(&mut self, w: WindowId, stream: usize) -> DtResult<&mut SynPair> {
-        if !self.syns.contains_key(&w) {
-            let pairs = self.exec.empty_pairs(&self.cfg.synopsis)?;
-            self.syns.insert(w, pairs);
-        }
-        Ok(&mut self.syns.get_mut(&w).expect("just inserted")[stream])
+        let exec = &self.exec;
+        let cfg = &self.cfg.synopsis;
+        let pairs = self.syns.get_or_try_insert_with(w, || exec.empty_pairs(cfg))?;
+        Ok(&mut pairs[stream])
     }
 }
 
-/// Convert a row of integer values to a synopsis point.
-pub(crate) fn row_point(row: &Row) -> DtResult<Vec<i64>> {
-    row.values()
-        .iter()
-        .map(|v| {
-            v.as_i64()
-                .ok_or_else(|| DtError::engine(format!("non-integer value {v} in synopsis path")))
-        })
-        .collect()
+/// Convert a row of integer values to a synopsis point, writing into
+/// a caller-owned buffer so hot loops convert one row per iteration
+/// without allocating.
+pub(crate) fn row_point_into(row: &Row, out: &mut Vec<i64>) -> DtResult<()> {
+    out.clear();
+    out.reserve(row.values().len());
+    for v in row.values() {
+        out.push(v.as_i64().ok_or_else(|| {
+            DtError::engine(format!("non-integer value {v} in synopsis path"))
+        })?);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

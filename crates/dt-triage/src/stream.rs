@@ -23,7 +23,7 @@ use dt_synopsis::SynopsisConfig;
 use dt_types::{DtResult, Row, Tuple, WindowId, WindowSpec};
 
 use crate::executor::SynPair;
-use crate::shared::row_point;
+use crate::shared::row_point_into;
 use crate::shed::ShedMode;
 
 /// One sealed window of one physical stream, ready for the merger.
@@ -67,6 +67,8 @@ pub struct StreamTriage {
     /// Windows below this id are sealed; tuples for them are late.
     next_seal: WindowId,
     late: u64,
+    /// Reusable synopsis-point buffer for the per-tuple hot path.
+    point_scratch: Vec<i64>,
 }
 
 impl StreamTriage {
@@ -88,6 +90,7 @@ impl StreamTriage {
             wins: BTreeMap::new(),
             next_seal: 0,
             late: 0,
+            point_scratch: Vec::new(),
         }
     }
 
@@ -131,11 +134,11 @@ impl StreamTriage {
     /// Returns `false` if every such window was already sealed (the
     /// tuple is late and only counted).
     pub fn keep(&mut self, tuple: &Tuple) -> DtResult<bool> {
-        let point = if self.mode == ShedMode::DataTriage {
-            Some(row_point(&tuple.row)?)
-        } else {
-            None
-        };
+        let summarize = self.mode == ShedMode::DataTriage;
+        let mut point = std::mem::take(&mut self.point_scratch);
+        if summarize {
+            row_point_into(&tuple.row, &mut point)?;
+        }
         let mut landed = false;
         for w in self.spec.windows_of(tuple.ts) {
             if w < self.next_seal {
@@ -146,12 +149,28 @@ impl StreamTriage {
             st.arrived += 1;
             st.kept += 1;
             st.rows.push(tuple.row.clone());
-            if let (Some(p), Some(syn)) = (&point, &mut st.syn) {
-                syn.kept.insert(p)?;
+            if summarize {
+                if let Some(syn) = &mut st.syn {
+                    syn.kept.insert(&point)?;
+                }
             }
         }
+        self.point_scratch = point;
         if !landed {
             self.late += 1;
+        }
+        Ok(landed)
+    }
+
+    /// Batched [`StreamTriage::keep`]: fold a slice of delivered
+    /// tuples, returning how many landed in at least one open window.
+    /// Identical results to per-tuple calls.
+    pub fn keep_batch(&mut self, tuples: &[Tuple]) -> DtResult<usize> {
+        let mut landed = 0;
+        for t in tuples {
+            if self.keep(t)? {
+                landed += 1;
+            }
         }
         Ok(landed)
     }
@@ -160,11 +179,11 @@ impl StreamTriage {
     /// window containing its timestamp (synopsis modes) or just count
     /// it (drop-only). Returns `false` if the tuple was late.
     pub fn shed(&mut self, tuple: &Tuple) -> DtResult<bool> {
-        let point = if self.mode.uses_synopses() {
-            Some(row_point(&tuple.row)?)
-        } else {
-            None
-        };
+        let summarize = self.mode.uses_synopses();
+        let mut point = std::mem::take(&mut self.point_scratch);
+        if summarize {
+            row_point_into(&tuple.row, &mut point)?;
+        }
         let mut landed = false;
         for w in self.spec.windows_of(tuple.ts) {
             if w < self.next_seal {
@@ -174,12 +193,27 @@ impl StreamTriage {
             let st = self.state(w)?;
             st.arrived += 1;
             st.dropped += 1;
-            if let (Some(p), Some(syn)) = (&point, &mut st.syn) {
-                syn.dropped.insert(p)?;
+            if summarize {
+                if let Some(syn) = &mut st.syn {
+                    syn.dropped.insert(&point)?;
+                }
             }
         }
+        self.point_scratch = point;
         if !landed {
             self.late += 1;
+        }
+        Ok(landed)
+    }
+
+    /// Batched [`StreamTriage::shed`]: fold a slice of shed tuples,
+    /// returning how many landed in at least one open window.
+    pub fn shed_batch(&mut self, tuples: &[Tuple]) -> DtResult<usize> {
+        let mut landed = 0;
+        for t in tuples {
+            if self.shed(t)? {
+                landed += 1;
+            }
         }
         Ok(landed)
     }

@@ -1,0 +1,165 @@
+//! Batched ingest must be *bit-identical* to per-tuple ingest.
+//!
+//! The batch APIs (`TriageQueue::push_batch` / `drain_into`,
+//! `Pipeline::offer_batch`) exist purely as a hot-path optimization;
+//! the contract is that they make exactly the same shedding decisions
+//! against exactly the same RNG stream as their one-at-a-time
+//! counterparts. These tests pin that contract under every drop
+//! policy, with batch boundaries straddling the overflow point.
+
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{DropPolicy, Pipeline, PipelineConfig, ShedMode, TriageQueue};
+use dt_types::{DataType, Row, Schema, Timestamp, Tuple};
+
+fn tup(v: i64, us: u64) -> Tuple {
+    Tuple::new(Row::from_ints(&[v]), Timestamp::from_micros(us))
+}
+
+const POLICIES: [DropPolicy; 4] = [
+    DropPolicy::Front,
+    DropPolicy::Random,
+    DropPolicy::Newest,
+    DropPolicy::Synergistic,
+];
+
+/// Feed 50 tuples per-tuple, returning (victims, survivors, stats).
+fn per_tuple_run(policy: DropPolicy, seed: u64) -> (Vec<Tuple>, Vec<Tuple>, u64, u64) {
+    let mut syn = SynopsisConfig::Sparse { cell_width: 1 }.build(1).unwrap();
+    syn.insert(&[3]).unwrap();
+    let mut q = TriageQueue::new(4, policy, seed).unwrap();
+    let mut victims = Vec::new();
+    for i in 0..50i64 {
+        if let Some(v) = q.push(tup(i % 7, i as u64 + 1), Some(&syn)) {
+            victims.push(v);
+        }
+    }
+    let mut survivors = Vec::new();
+    while let Some(t) = q.pop() {
+        survivors.push(t);
+    }
+    (victims, survivors, q.total_pushed(), q.total_dropped())
+}
+
+/// The same 50 tuples via `push_batch` in uneven chunks (1, 2, 3, …)
+/// so batch boundaries land before, on, and after the overflow point,
+/// drained via `drain_into`.
+fn batched_run(policy: DropPolicy, seed: u64) -> (Vec<Tuple>, Vec<Tuple>, u64, u64) {
+    let mut syn = SynopsisConfig::Sparse { cell_width: 1 }.build(1).unwrap();
+    syn.insert(&[3]).unwrap();
+    let mut q = TriageQueue::new(4, policy, seed).unwrap();
+    let mut victims = Vec::new();
+    let tuples: Vec<Tuple> = (0..50i64).map(|i| tup(i % 7, i as u64 + 1)).collect();
+    let mut rest = &tuples[..];
+    let mut chunk = 1;
+    while !rest.is_empty() {
+        let n = chunk.min(rest.len());
+        q.push_batch(rest[..n].iter().cloned(), Some(&syn), &mut victims);
+        rest = &rest[n..];
+        chunk += 1;
+    }
+    let mut survivors = Vec::new();
+    // Drain in two unequal steps to cover the partial-drain path.
+    q.drain_into(3, &mut survivors);
+    q.drain_into(usize::MAX, &mut survivors);
+    (victims, survivors, q.total_pushed(), q.total_dropped())
+}
+
+#[test]
+fn queue_batched_ingest_matches_per_tuple_under_every_policy() {
+    for policy in POLICIES {
+        for seed in [0u64, 7, 42] {
+            let a = per_tuple_run(policy, seed);
+            let b = batched_run(policy, seed);
+            assert_eq!(a, b, "policy {policy:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn batch_straddling_the_overflow_boundary_sheds_identically() {
+    // Capacity 3: a single 5-tuple batch goes 2 under, 1 at, 2 over.
+    for policy in POLICIES {
+        let mut q1 = TriageQueue::new(3, policy, 9).unwrap();
+        q1.push(tup(0, 1), None);
+        let mut v1 = Vec::new();
+        for i in 1..6i64 {
+            if let Some(v) = q1.push(tup(i, i as u64 + 1), None) {
+                v1.push(v);
+            }
+        }
+        let mut q2 = TriageQueue::new(3, policy, 9).unwrap();
+        q2.push(tup(0, 1), None);
+        let mut v2 = Vec::new();
+        let n = q2.push_batch((1..6i64).map(|i| tup(i, i as u64 + 1)), None, &mut v2);
+        assert_eq!(n, v2.len());
+        assert_eq!(v1, v2, "victims differ under {policy:?}");
+        assert_eq!(q1.len(), q2.len());
+        let drain = |mut q: TriageQueue| {
+            let mut out = Vec::new();
+            q.drain_into(usize::MAX, &mut out);
+            out
+        };
+        assert_eq!(drain(q1), drain(q2), "survivors differ under {policy:?}");
+    }
+}
+
+fn paper_plan() -> dt_query::QueryPlan {
+    use dt_query::{parse_select, Catalog, Planner};
+    let mut c = Catalog::new();
+    c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    c.add_stream("S", Schema::from_pairs(&[("b", DataType::Int)]));
+    let stmt =
+        parse_select("SELECT a, COUNT(*) as n FROM R, S WHERE R.a = S.b GROUP BY a").unwrap();
+    Planner::new(&c).plan(&stmt).unwrap()
+}
+
+/// End-to-end: a full pipeline run fed via `offer_batch` produces a
+/// report that renders identically (Debug is deterministic here: both
+/// runs perform the same operation sequence on the same fixed-seed
+/// hash maps) to one fed per-tuple.
+#[test]
+fn pipeline_offer_batch_matches_per_tuple_offers() {
+    let arrivals: Vec<(usize, Tuple)> = (0..400i64)
+        .map(|i| ((i % 2) as usize, tup(i % 5, (i as u64 + 1) * 500)))
+        .collect();
+    for policy in POLICIES {
+        for mode in ShedMode::all() {
+            let mut cfg = PipelineConfig::new(mode);
+            cfg.policy = policy;
+            cfg.queue_capacity = 4;
+            cfg.seed = 11;
+
+            let mut p1 = Pipeline::new(paper_plan(), cfg).unwrap();
+            for (s, t) in arrivals.iter().cloned() {
+                p1.offer(s, t).unwrap();
+            }
+            let r1 = p1.finish().unwrap();
+
+            let mut p2 = Pipeline::new(paper_plan(), cfg).unwrap();
+            // Per-stream runs of varying length, preserving global
+            // timestamp order across the interleave.
+            let mut i = 0;
+            let mut chunk = 1;
+            while i < arrivals.len() {
+                let stream = arrivals[i].0;
+                let end = arrivals[i..]
+                    .iter()
+                    .take(chunk)
+                    .take_while(|(s, _)| *s == stream)
+                    .count()
+                    + i;
+                p2.offer_batch(stream, arrivals[i..end].iter().map(|(_, t)| t.clone()))
+                    .unwrap();
+                i = end;
+                chunk = chunk % 5 + 1;
+            }
+            let r2 = p2.finish().unwrap();
+
+            assert_eq!(
+                format!("{r1:?}"),
+                format!("{r2:?}"),
+                "batched run diverged: policy {policy:?} mode {mode:?}"
+            );
+        }
+    }
+}

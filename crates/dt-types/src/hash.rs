@@ -1,0 +1,178 @@
+//! A fast, deterministic hasher for the engine's hot-path maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3 behind a per-instance
+//! random seed) is built for HashDoS resistance, which none of our
+//! internal maps need: keys are small integers, `Value`s, and group-key
+//! rows produced by the engine itself, never attacker-controlled
+//! network input hashed into a long-lived table. The multiply-rotate
+//! scheme below (the same shape rustc uses internally) hashes an `i64`
+//! in a couple of ALU ops instead of SipHash's rounds, which matters
+//! when every joined row probes a group map and every join key probes
+//! an index.
+//!
+//! Determinism is a feature here, not an accident: a fixed seed means
+//! map *contents* are reproducible run-to-run, so nothing downstream
+//! can smuggle per-process randomness into results (the experiment
+//! driver's serial-vs-parallel bit-identity guarantee relies on no
+//! such leaks).
+
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplier from the 64-bit variant of the Fx hash function
+/// (`0x51…95` ≈ 2⁶⁴/φ, chosen for good bit diffusion under
+/// `wrapping_mul`).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Fx-style streaming hasher: each word folds in as
+/// `hash = (hash <<< 5 ^ word) * K`.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Fold the tail length in so "ab" and "ab\0" differ.
+            buf[7] = rem.len() as u8;
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, n: i8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, n: i16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, n: isize) {
+        self.add(n as u64);
+    }
+}
+
+/// Zero-sized [`BuildHasher`] for [`FxHasher`] — every map built from
+/// it hashes identically (fixed seed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// `HashMap` with the deterministic Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// `HashSet` with the deterministic Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_one(&42i64), hash_one(&42i64));
+        assert_eq!(hash_one(&"abc"), hash_one(&"abc"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_one(&1i64), hash_one(&2i64));
+        assert_ne!(hash_one(&"ab"), hash_one(&"ab\0"));
+        assert_ne!(hash_one(&[1i64, 2]), hash_one(&[2i64, 1]));
+    }
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<crate::Value, i32> = FxHashMap::default();
+        m.insert(crate::Value::Int(7), 1);
+        m.insert(crate::Value::Str("x".into()), 2);
+        assert_eq!(m[&crate::Value::Int(7)], 1);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn row_and_slice_hash_identically() {
+        use std::borrow::Borrow;
+        let row = crate::Row::from_ints(&[3, 4]);
+        let slice: &[crate::Value] = row.borrow();
+        assert_eq!(hash_one(&row), hash_one(&slice));
+    }
+}

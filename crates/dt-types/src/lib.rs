@@ -21,6 +21,7 @@
 
 pub mod clock;
 pub mod error;
+pub mod hash;
 pub mod json;
 pub mod row;
 pub mod schema;
@@ -30,6 +31,7 @@ pub mod window;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use error::{DtError, DtResult};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use json::{Json, ToJson};
 pub use row::{Row, Tuple};
 pub use schema::{DataType, Field, Schema};

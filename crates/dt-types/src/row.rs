@@ -41,20 +41,70 @@ impl Row {
     /// Concatenate two rows (the row of a cross product).
     pub fn concat(&self, other: &Row) -> Row {
         let mut v = Vec::with_capacity(self.0.len() + other.0.len());
-        v.extend_from_slice(&self.0);
-        v.extend_from_slice(&other.0);
+        self.concat_into(other, &mut v);
         Row(v)
     }
 
-    /// Project onto the given column indices. Indices out of range
-    /// yield `Value::Null`, matching SQL's forgiving projection of
-    /// missing attributes in outer contexts; planners validate indices
-    /// before execution so this is a defensive default.
+    /// Append both rows' values to `out` — the reuse variant of
+    /// [`Row::concat`] for hot paths that build many concatenated rows
+    /// into caller-owned buffers.
+    pub fn concat_into(&self, other: &Row, out: &mut Vec<Value>) {
+        out.extend_from_slice(&self.0);
+        out.extend_from_slice(&other.0);
+    }
+
+    /// Project onto the given column indices.
+    ///
+    /// This sits on the engine's per-row hot path, where planners have
+    /// already validated every index: out-of-range indices are a logic
+    /// error and debug-assert. (Release builds still pad with
+    /// `Value::Null` rather than panic; outer contexts that *want* the
+    /// forgiving SQL behavior use [`Row::project_padded`].)
     pub fn project(&self, indices: &[usize]) -> Row {
+        let mut v = Vec::with_capacity(indices.len());
+        self.project_into(indices, &mut v);
+        Row(v)
+    }
+
+    /// Append the projected values to `out` — the reuse variant of
+    /// [`Row::project`] for hot paths that probe group keys against a
+    /// scratch buffer before allocating. Same index contract as
+    /// [`Row::project`].
+    pub fn project_into(&self, indices: &[usize], out: &mut Vec<Value>) {
+        for &i in indices {
+            debug_assert!(
+                i < self.0.len(),
+                "projection index {i} out of range for arity {} (planner must validate)",
+                self.0.len()
+            );
+            out.push(self.0.get(i).cloned().unwrap_or(Value::Null));
+        }
+    }
+
+    /// Project onto the given column indices, padding out-of-range
+    /// indices with `Value::Null` — SQL's forgiving projection of
+    /// missing attributes in outer contexts. Prefer [`Row::project`]
+    /// on engine paths where indices are planner-validated.
+    pub fn project_padded(&self, indices: &[usize]) -> Row {
         Row(indices
             .iter()
             .map(|&i| self.0.get(i).cloned().unwrap_or(Value::Null))
             .collect())
+    }
+
+    /// Consume the row, yielding its values (a move, not a clone).
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+}
+
+impl std::borrow::Borrow<[Value]> for Row {
+    /// Rows borrow as value slices so hash maps keyed by `Row` can be
+    /// probed with a scratch `&[Value]` without allocating a key row.
+    /// (The derived `Hash` hashes the inner `Vec<Value>`, which hashes
+    /// identically to its slice, so the `Borrow` contract holds.)
+    fn borrow(&self) -> &[Value] {
+        &self.0
     }
 }
 
@@ -134,7 +184,16 @@ mod tests {
     fn project_selects_and_pads() {
         let r = Row::from_ints(&[10, 20, 30]);
         assert_eq!(r.project(&[2, 0]), Row::from_ints(&[30, 10]));
-        assert_eq!(r.project(&[9]), Row::new(vec![Value::Null]));
+        // Only the padded variant tolerates out-of-range indices;
+        // `project` debug-asserts on them (planner-validated paths).
+        assert_eq!(r.project_padded(&[9]), Row::new(vec![Value::Null]));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "projection index")]
+    fn project_debug_asserts_out_of_range() {
+        Row::from_ints(&[1]).project(&[9]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Full experiment workloads: per-stream Gaussian tuples delivered by
 //! an arrival process.
 
-use dt_types::{DtError, DtResult, Row, Tuple};
+use dt_types::{DtError, DtResult, Row, Tuple, Value};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -124,7 +124,9 @@ pub fn generate(cfg: &WorkloadConfig) -> DtResult<Vec<(usize, Tuple)>> {
         } else {
             &spec.base_dist
         };
-        let row = Row::from_ints(&dist.sample_row(&mut rng, spec.arity));
+        // Sample straight into the row: same RNG draw order as
+        // `sample_row`, minus the intermediate i64 vector.
+        let row = Row::new((0..spec.arity).map(|_| Value::Int(dist.sample(&mut rng))).collect());
         out.push((stream, Tuple::new(row, ts)));
     }
     Ok(out)
