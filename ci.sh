@@ -1,11 +1,35 @@
 #!/bin/sh
-# Tier-1 CI gate for the workspace: release build, full test suite,
-# and a warning-free clippy pass over every target (benches included).
+# Tier-1 CI gate for the workspace: formatting, release build, full
+# test suite, and a warning-free clippy pass over every target
+# (benches included).
 set -eux
 
+cargo fmt --check
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Observability smoke: start a live dt-serve (stdin held open by the
+# sleep), scrape GET /metrics through the bundled example, and require
+# a known metric family in the Prometheus exposition.
+sleep 20 | ./target/release/dt-serve \
+    --stream R:a --query 'SELECT a, COUNT(*) FROM R GROUP BY a' \
+    --listen 127.0.0.1:7183 --window 1.0 > /tmp/dt_serve_smoke.json &
+SERVE_PID=$!
+SCRAPED=0
+for _ in $(seq 1 50); do
+    if cargo run --release -p dt-server --example scrape -- 127.0.0.1:7183 \
+        > /tmp/metrics_smoke.txt 2>/dev/null; then
+        SCRAPED=1
+        break
+    fi
+    sleep 0.2
+done
+test "$SCRAPED" = 1
+grep -q '^dt_server_ingest_frames_total' /tmp/metrics_smoke.txt
+grep -q '^# TYPE dt_server_queue_depth gauge' /tmp/metrics_smoke.txt
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
 
 # Bench smoke: every criterion harness must run end to end on a tiny
 # time budget, and the perf-trajectory snapshot must regenerate. The

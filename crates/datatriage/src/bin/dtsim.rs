@@ -32,6 +32,8 @@
 //!                       live dt-server at ADDR and replay the
 //!                       arrivals through the TCP ingest path at their
 //!                       recorded wall-clock times (single mode only)
+//!   --obs               record observability instruments during the
+//!                       run and print the snapshot table afterwards
 //! ```
 //!
 //! Example:
@@ -64,6 +66,7 @@ struct Args {
     explain: bool,
     optimize: bool,
     serve: Option<String>,
+    obs: bool,
 }
 
 impl Default for Args {
@@ -90,6 +93,7 @@ impl Default for Args {
             explain: false,
             optimize: false,
             serve: None,
+            obs: false,
         }
     }
 }
@@ -98,10 +102,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--query" => args.query = value("--query")?,
             "--streams" => args.streams = value("--streams")?,
@@ -152,6 +153,7 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace_in = Some(value("--trace")?),
             "--dump-trace" => args.trace_out = Some(value("--dump-trace")?),
             "--serve" => args.serve = Some(value("--serve")?),
+            "--obs" => args.obs = true,
             "--help" | "-h" => {
                 println!("see `dtsim` module docs (cargo doc) or the README for options");
                 std::process::exit(0);
@@ -183,7 +185,10 @@ fn parse_streams(spec: &str) -> Result<Catalog, String> {
 
 fn parse_synopsis(spec: &str, seed: u64) -> Result<SynopsisConfig, String> {
     let (kind, params) = spec.split_once(':').unwrap_or((spec, ""));
-    let int = |s: &str| s.parse::<i64>().map_err(|e| format!("bad synopsis param '{s}': {e}"));
+    let int = |s: &str| {
+        s.parse::<i64>()
+            .map_err(|e| format!("bad synopsis param '{s}': {e}"))
+    };
     Ok(match kind {
         "sparse" => SynopsisConfig::Sparse {
             cell_width: int(params)?,
@@ -322,7 +327,11 @@ fn run(args: &Args) -> DtResult<()> {
     println!(
         "dtsim: {} tuples, {} arrivals at {} t/s, engine {} t/s, window {:.3}s",
         args.tuples,
-        if args.bursty { "bursty peak" } else { "constant" },
+        if args.bursty {
+            "bursty peak"
+        } else {
+            "constant"
+        },
         args.rate,
         args.capacity,
         width.as_secs_f64()
@@ -343,7 +352,9 @@ fn run(args: &Args) -> DtResult<()> {
     // times, and score the live run against the same ideal.
     if let Some(addr) = &args.serve {
         if modes.len() > 1 {
-            return Err(DtError::config("--serve wants a single --mode, not compare"));
+            return Err(DtError::config(
+                "--serve wants a single --mode, not compare",
+            ));
         }
         let mode = modes[0];
         let mut scfg = ServerConfig::new(args.query.clone(), catalog.clone());
@@ -351,7 +362,14 @@ fn run(args: &Args) -> DtResult<()> {
         scfg.window = Some(width);
         scfg.channel_capacity = args.queue;
         scfg.synopsis = parse_synopsis(&args.synopsis, args.seed).map_err(DtError::config)?;
-        let server = Server::start(&scfg, Some(addr), std::sync::Arc::new(MonotonicClock::new()))?;
+        if args.obs {
+            scfg.metrics = MetricsRegistry::new();
+        }
+        let server = Server::start(
+            &scfg,
+            Some(addr),
+            std::sync::Arc::new(MonotonicClock::new()),
+        )?;
         let bound = server.addr().expect("listener bound");
         println!(
             "serving on {bound}; replaying {} arrivals at recorded times…",
@@ -380,6 +398,9 @@ fn run(args: &Args) -> DtResult<()> {
                 rms_error(ideal, &report_to_map(live))
             );
         }
+        if let Some(snap) = &report.obs {
+            println!("\n{}", snap.render_table());
+        }
         return Ok(());
     }
 
@@ -393,7 +414,12 @@ fn run(args: &Args) -> DtResult<()> {
         if args.incremental {
             cfg.execution = datatriage::triage::ExecStrategy::Incremental;
         }
-        let report = Pipeline::run(plan.clone(), cfg, arrivals.iter().cloned())?;
+        let reg = if args.obs {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        };
+        let report = Pipeline::run_with_metrics(plan.clone(), cfg, arrivals.iter().cloned(), &reg)?;
         println!(
             "== {:<15} kept {:>6}  dropped {:>6} ({:>5.1}%)  windows {}",
             mode.label(),
@@ -411,8 +437,7 @@ fn run(args: &Args) -> DtResult<()> {
         for w in report.windows.iter().take(args.show_windows) {
             match &w.payload {
                 WindowPayload::Groups(groups) => {
-                    let mut top: Vec<(&Row, f64)> =
-                        groups.iter().map(|(k, v)| (k, v[0])).collect();
+                    let mut top: Vec<(&Row, f64)> = groups.iter().map(|(k, v)| (k, v[0])).collect();
                     top.sort_by(|a, b| b.1.total_cmp(&a.1));
                     let show: Vec<String> = top
                         .iter()
@@ -439,7 +464,13 @@ fn run(args: &Args) -> DtResult<()> {
             }
         }
         if report.windows.len() > args.show_windows {
-            println!("   … {} more windows", report.windows.len() - args.show_windows);
+            println!(
+                "   … {} more windows",
+                report.windows.len() - args.show_windows
+            );
+        }
+        if args.obs {
+            println!("\n{}", reg.render_table());
         }
         println!();
     }
@@ -523,7 +554,10 @@ mod tests {
         assert_eq!(parse_mode("compare").unwrap().len(), 3);
         assert_eq!(parse_mode("drop-only").unwrap(), vec![ShedMode::DropOnly]);
         assert!(parse_mode("yolo").is_err());
-        assert_eq!(parse_policy("synergistic").unwrap(), DropPolicy::Synergistic);
+        assert_eq!(
+            parse_policy("synergistic").unwrap(),
+            DropPolicy::Synergistic
+        );
         assert!(parse_policy("coinflip").is_err());
     }
 }

@@ -61,10 +61,12 @@
 //! | [`workload`] | `dt-workload` | §6.2 workloads |
 //! | [`metrics`] | `dt-metrics` | §6.3 RMS metric, Fig. 8/9 sweeps |
 //! | [`server`] | `dt-server` | the TelegraphCQ role: a live, concurrent runtime serving triage over TCP |
+//! | [`obs`] | `dt-obs` | low-overhead metrics registry, histograms, spans, Prometheus exposition |
 
 pub use dt_algebra as algebra;
 pub use dt_engine as engine;
 pub use dt_metrics as metrics;
+pub use dt_obs as obs;
 pub use dt_query as query;
 pub use dt_rewrite as rewrite;
 pub use dt_server as server;
@@ -77,15 +79,16 @@ pub use dt_workload as workload;
 pub mod prelude {
     pub use dt_engine::{execute_window, AggValue, CostModel, WindowOutput};
     pub use dt_metrics::{
-        ideal_map, rate_sweep, report_to_map, rms_error, MeanStd, RatePoint, ResultMap,
-        RunSummary, SweepConfig,
+        ideal_map, rate_sweep, report_to_map, rms_error, MeanStd, RatePoint, ResultMap, RunSummary,
+        SweepConfig,
     };
-    pub use dt_server::{
-        fetch_stats, run_source, Client, Server, ServerConfig, ServerHandle, ServerReport,
-        Source, TraceSource,
-    };
+    pub use dt_obs::MetricsRegistry;
     pub use dt_query::{parse_select, Catalog, Planner, QueryPlan};
     pub use dt_rewrite::{evaluate, rewrite_dropped, ShadowQuery, SynPlan};
+    pub use dt_server::{
+        fetch_stats, run_source, Client, Server, ServerConfig, ServerHandle, ServerReport, Source,
+        TraceSource,
+    };
     pub use dt_synopsis::{Synopsis, SynopsisConfig};
     pub use dt_triage::{
         DropPolicy, Pipeline, PipelineConfig, RunReport, ShedMode, TriageQueue, WindowPayload,
@@ -95,7 +98,5 @@ pub mod prelude {
         Clock, DataType, DtError, DtResult, MonotonicClock, Row, Schema, Timestamp, Tuple,
         VDuration, Value, VirtualClock, WindowSpec,
     };
-    pub use dt_workload::{
-        generate, replay, ArrivalModel, Gaussian, StreamSpec, WorkloadConfig,
-    };
+    pub use dt_workload::{generate, replay, ArrivalModel, Gaussian, StreamSpec, WorkloadConfig};
 }

@@ -169,11 +169,7 @@ impl DiffRelation {
     /// Differential equijoin ⋈̂ (paper §3.2.4): same derivation as the
     /// cross product with ⋈ in place of ×.
     pub fn equijoin(&self, other: &DiffRelation, on: &[(usize, usize)]) -> DiffRelation {
-        self.binary_signed(
-            other,
-            |a, b| a.equijoin(b, on),
-            |a, b| a.equijoin(b, on),
-        )
+        self.binary_signed(other, |a, b| a.equijoin(b, on), |a, b| a.equijoin(b, on))
     }
 
     /// Shared implementation of the bilinear binary operators (× and
@@ -182,7 +178,12 @@ impl DiffRelation {
     /// paper's formulas. We evaluate it as
     /// `op(noisy, noisy) − op(base_signed, base_signed)` in ℤ-multiset
     /// arithmetic, then split.
-    fn binary_signed<FN, FS>(&self, other: &DiffRelation, op_noisy: FN, op_signed: FS) -> DiffRelation
+    fn binary_signed<FN, FS>(
+        &self,
+        other: &DiffRelation,
+        op_noisy: FN,
+        op_signed: FS,
+    ) -> DiffRelation
     where
         FN: Fn(&Relation, &Relation) -> Relation,
         FS: Fn(&SignedRelation, &SignedRelation) -> SignedRelation,
@@ -211,11 +212,15 @@ impl DiffRelation {
     /// formed.
     pub fn set_difference(&self, other: &DiffRelation) -> DiffRelation {
         let noisy = self.noisy.minus(&other.noisy);
-        let s_base = self.base().expect("malformed left operand of set difference");
-        let t_base = other.base().expect("malformed right operand of set difference");
+        let s_base = self
+            .base()
+            .expect("malformed left operand of set difference");
+        let t_base = other
+            .base()
+            .expect("malformed right operand of set difference");
         let true_result = s_base.minus(&t_base);
-        let delta =
-            SignedRelation::from_relation(&noisy).minus(&SignedRelation::from_relation(&true_result));
+        let delta = SignedRelation::from_relation(&noisy)
+            .minus(&SignedRelation::from_relation(&true_result));
         let (plus, minus) = delta.split();
         DiffRelation { noisy, plus, minus }
     }

@@ -356,9 +356,7 @@ mod tests {
         let a = rel(&[&[1, 10], &[2, 20], &[2, 21]]);
         let b = rel(&[&[2, 99], &[3, 98]]);
         let j = a.equijoin(&b, &[(0, 0)]);
-        let expected = a
-            .cross(&b)
-            .select(|r| r[0] == r[2]);
+        let expected = a.cross(&b).select(|r| r[0] == r[2]);
         assert_eq!(j, expected);
         assert_eq!(j.len(), 2);
     }

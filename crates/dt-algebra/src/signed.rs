@@ -230,7 +230,9 @@ mod tests {
         let d = a.minus(&b);
         assert_eq!(d.count(&Row::from_ints(&[1])), -1);
         assert!(!d.is_zero());
-        assert!(d.plus(&SignedRelation::from_relation(&rel(&[&[1]]))).is_zero());
+        assert!(d
+            .plus(&SignedRelation::from_relation(&rel(&[&[1]])))
+            .is_zero());
     }
 
     #[test]

@@ -45,11 +45,7 @@ impl JoinSpec {
 /// Panics if `inputs.len() != spec.num_inputs()` or `inputs` is empty.
 pub fn join_all(inputs: &[&Relation], spec: &JoinSpec) -> Relation {
     assert!(!inputs.is_empty(), "join of zero inputs");
-    assert_eq!(
-        inputs.len(),
-        spec.num_inputs(),
-        "join spec arity mismatch"
-    );
+    assert_eq!(inputs.len(), spec.num_inputs(), "join spec arity mismatch");
     let mut acc = inputs[0].clone();
     for (i, step) in spec.steps.iter().enumerate() {
         acc = acc.equijoin(inputs[i + 1], step);

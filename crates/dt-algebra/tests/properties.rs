@@ -36,7 +36,9 @@ fn arb_dropped_pair(
             for (row, copies) in rows {
                 for _ in 0..=copies {
                     base.insert(row.clone());
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     if s % 3 == 0 {
                         drop.insert(row.clone());
                     }

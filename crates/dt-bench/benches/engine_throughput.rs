@@ -23,10 +23,8 @@ fn paper_plan() -> QueryPlan {
     catalog.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
     Planner::new(&catalog)
         .plan(
-            &parse_select(
-                "SELECT a, COUNT(*) FROM R,S,T WHERE R.a = S.b AND S.c = T.d GROUP BY a",
-            )
-            .unwrap(),
+            &parse_select("SELECT a, COUNT(*) FROM R,S,T WHERE R.a = S.b AND S.c = T.d GROUP BY a")
+                .unwrap(),
         )
         .unwrap()
 }
@@ -88,8 +86,7 @@ fn bench_pipeline_modes(c: &mut Criterion) {
                 let mut cfg = PipelineConfig::new(mode);
                 cfg.cost = CostModel::from_capacity(1_000.0).unwrap();
                 cfg.synopsis = SynopsisConfig::Sparse { cell_width: 10 };
-                let report =
-                    Pipeline::run(paper_plan(), cfg, arrivals.iter().cloned()).unwrap();
+                let report = Pipeline::run(paper_plan(), cfg, arrivals.iter().cloned()).unwrap();
                 report_to_map(&report).len()
             })
         });

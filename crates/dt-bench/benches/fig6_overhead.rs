@@ -98,7 +98,10 @@ fn bench_fig6(c: &mut Criterion) {
             )
         });
     };
-    shadow_bench("shadow_fast_sparse", SynopsisConfig::Sparse { cell_width: 10 });
+    shadow_bench(
+        "shadow_fast_sparse",
+        SynopsisConfig::Sparse { cell_width: 10 },
+    );
     shadow_bench(
         "shadow_slow_mhist",
         SynopsisConfig::MHist {

@@ -95,14 +95,18 @@ fn rate_sweep_fixed(cfg: &SweepConfig) -> dt_types::DtResult<Vec<(f64, f64, f64)
             per_mode[mi]
                 .0
                 .push(rms_error(&ideal, &report_to_map(&report)));
-            per_mode[mi].1.push(
-                report.totals.dropped as f64 / report.totals.arrived.max(1) as f64,
-            );
+            per_mode[mi]
+                .1
+                .push(report.totals.dropped as f64 / report.totals.arrived.max(1) as f64);
         }
     }
     for (errs, fracs) in per_mode {
         let m = MeanStd::from_samples(&errs);
-        out.push((m.mean, m.std, fracs.iter().sum::<f64>() / fracs.len() as f64));
+        out.push((
+            m.mean,
+            m.std,
+            fracs.iter().sum::<f64>() / fracs.len() as f64,
+        ));
     }
     Ok(out)
 }

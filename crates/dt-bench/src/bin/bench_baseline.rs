@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use dt_engine::CostModel;
 use dt_metrics::{rate_sweep_with_threads, report_to_map, SweepConfig};
+use dt_obs::MetricsRegistry;
 use dt_query::{parse_select, Catalog, Planner, QueryPlan};
 use dt_synopsis::SynopsisConfig;
 use dt_triage::{Pipeline, PipelineConfig, ShedMode};
@@ -52,10 +53,8 @@ fn paper_plan() -> QueryPlan {
     catalog.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
     Planner::new(&catalog)
         .plan(
-            &parse_select(
-                "SELECT a, COUNT(*) FROM R,S,T WHERE R.a = S.b AND S.c = T.d GROUP BY a",
-            )
-            .unwrap(),
+            &parse_select("SELECT a, COUNT(*) FROM R,S,T WHERE R.a = S.b AND S.c = T.d GROUP BY a")
+                .unwrap(),
         )
         .unwrap()
 }
@@ -89,17 +88,42 @@ fn fig8_quick_secs(reps: usize) -> f64 {
 }
 
 /// The criterion `pipeline_8k_tuples_4x_overload/data-triage` bench
-/// body, timed directly.
-fn pipeline_dt_ns(reps: usize) -> f64 {
+/// body with metrics disabled and enabled, measured *interleaved*
+/// (alternating runs, min of each) so the overhead delta is not
+/// polluted by wall-clock drift between two separate measurement
+/// blocks. Returns `(disabled_ns, enabled_ns)` and optionally hands
+/// the last enabled-run registry to `keep_registry` (the `--obs`
+/// snapshot).
+fn pipeline_dt_pair_ns(reps: usize, mut keep_registry: Option<&mut MetricsRegistry>) -> (f64, f64) {
     let workload = WorkloadConfig::paper_constant(4_000.0, 8_000, 5);
     let arrivals = generate(&workload).unwrap();
-    min_secs(reps, || {
+    let cfg = || {
         let mut cfg = PipelineConfig::new(ShedMode::DataTriage);
         cfg.cost = CostModel::from_capacity(1_000.0).unwrap();
         cfg.synopsis = SynopsisConfig::Sparse { cell_width: 10 };
-        let report = Pipeline::run(paper_plan(), cfg, arrivals.iter().cloned()).unwrap();
+        cfg
+    };
+    let (mut best_off, mut best_on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let report = Pipeline::run(paper_plan(), cfg(), arrivals.iter().cloned()).unwrap();
+        best_off = best_off.min(t0.elapsed().as_secs_f64());
         std::hint::black_box(report_to_map(&report).len());
-    }) * 1e9
+
+        // A fresh registry per run, registration included: that is the
+        // cost an instrumented run actually pays.
+        let reg = MetricsRegistry::new();
+        let t0 = Instant::now();
+        let report =
+            Pipeline::run_with_metrics(paper_plan(), cfg(), arrivals.iter().cloned(), &reg)
+                .unwrap();
+        best_on = best_on.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(report_to_map(&report).len());
+        if let Some(keep) = keep_registry.as_deref_mut() {
+            *keep = reg;
+        }
+    }
+    (best_off * 1e9, best_on * 1e9)
 }
 
 /// The `window_exec_3way_join/batch/400_per_stream` bench body.
@@ -157,7 +181,10 @@ fn entry(name: &str, unit: &str, before: f64, after: f64) -> Json {
         ("baseline", Json::Num(before)),
         ("current", Json::Num(after)),
         // Rounded so reruns produce stable-looking diffs.
-        ("speedup", Json::Num((before / after * 100.0).round() / 100.0)),
+        (
+            "speedup",
+            Json::Num((before / after * 100.0).round() / 100.0),
+        ),
     ])
 }
 
@@ -165,10 +192,12 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut reps = 3usize;
     let mut out = "BENCH_baseline.json".to_string();
+    let mut obs = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--reps" => reps = args.next().and_then(|v| v.parse().ok()).unwrap_or(reps),
             "--out" => out = args.next().unwrap_or(out),
+            "--obs" => obs = true,
             other => {
                 eprintln!("unknown arg {other}");
                 std::process::exit(2);
@@ -178,11 +207,14 @@ fn main() {
 
     eprintln!("measuring ({reps} reps per bench)...");
     let fig8 = fig8_quick_secs(reps);
-    let pipeline = pipeline_dt_ns(reps);
+    let mut reg = MetricsRegistry::disabled();
+    let (pipeline, pipeline_obs) = pipeline_dt_pair_ns(reps, obs.then_some(&mut reg));
     let window = window_exec_400_ns(reps);
     let queue = queue_push_random_ns(reps);
+    let overhead_pct = (pipeline_obs / pipeline - 1.0) * 100.0;
 
-    let doc = obj(vec![
+    let doc =
+        obj(vec![
         ("baseline_commit", Json::Str("PR 1 head (pre-batching)".into())),
         (
             "methodology",
@@ -221,8 +253,25 @@ fn main() {
                 ),
             ]),
         ),
+        // The dt-obs overhead guard: the same pipeline bench with a live
+        // MetricsRegistry vs. a disabled one, measured interleaved in the
+        // same invocation. The ≤3 % budget is test-enforced by
+        // `crates/dt-bench/tests/obs_overhead.rs`.
+        (
+            "metrics_overhead",
+            obj(vec![
+                ("bench", Json::Str("pipeline_8k_tuples_4x_overload/data-triage".into())),
+                ("disabled_ns", Json::Num(pipeline)),
+                ("enabled_ns", Json::Num(pipeline_obs)),
+                ("overhead_pct", Json::Num((overhead_pct * 100.0).round() / 100.0)),
+                ("budget_pct", Json::Num(3.0)),
+            ]),
+        ),
     ]);
     std::fs::write(&out, doc.render_pretty()).expect("write baseline json");
     println!("{}", doc.render_pretty());
     println!("(written to {out})");
+    if obs {
+        println!("\n{}", reg.render_table());
+    }
 }

@@ -101,9 +101,7 @@ fn main() {
     );
     catalog.add_stream("T", Schema::from_pairs(&[("d", DataType::Int)]));
     let plan = Planner::new(&catalog)
-        .plan(
-            &parse_select("SELECT * FROM R, S, T WHERE R.a = S.b AND S.c = T.d").expect("parse"),
-        )
+        .plan(&parse_select("SELECT * FROM R, S, T WHERE R.a = S.b AND S.c = T.d").expect("parse"))
         .expect("plan");
     let shadow = rewrite_dropped(&plan).expect("rewrite");
 

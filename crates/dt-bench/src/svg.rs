@@ -224,7 +224,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -286,8 +288,10 @@ mod tests {
         }];
         let svg = render_chart("t", "x", "y", &series);
         // Top tick must be at least max(y+std) = 25.
-        assert!(svg.contains(">25<") || svg.contains(">30<") || svg.contains(">26<"),
-            "unexpected ticks in {svg}");
+        assert!(
+            svg.contains(">25<") || svg.contains(">30<") || svg.contains(">26<"),
+            "unexpected ticks in {svg}"
+        );
     }
 
     #[test]

@@ -138,9 +138,15 @@ mod tests {
     fn empty_conventions() {
         assert_eq!(AggState::new(&spec(Aggregate::Count, None)).finish(), 0.0);
         assert_eq!(AggState::new(&spec(Aggregate::Sum, Some(0))).finish(), 0.0);
-        assert!(AggState::new(&spec(Aggregate::Avg, Some(0))).finish().is_nan());
-        assert!(AggState::new(&spec(Aggregate::Min, Some(0))).finish().is_nan());
-        assert!(AggState::new(&spec(Aggregate::Max, Some(0))).finish().is_nan());
+        assert!(AggState::new(&spec(Aggregate::Avg, Some(0)))
+            .finish()
+            .is_nan());
+        assert!(AggState::new(&spec(Aggregate::Min, Some(0)))
+            .finish()
+            .is_nan());
+        assert!(AggState::new(&spec(Aggregate::Max, Some(0)))
+            .finish()
+            .is_nan());
     }
 
     #[test]

@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn default_matches_paper_capacity() {
-        assert_eq!(CostModel::default(), CostModel::from_capacity(1000.0).unwrap());
+        assert_eq!(
+            CostModel::default(),
+            CostModel::from_capacity(1000.0).unwrap()
+        );
     }
 
     #[test]

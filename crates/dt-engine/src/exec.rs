@@ -403,8 +403,14 @@ mod tests {
         let p = plan("SELECT b, COUNT(*), SUM(c), AVG(c), MIN(c), MAX(c) FROM S GROUP BY b");
         let out = execute_window(&p, &[rows(&[&[1, 10], &[1, 20], &[2, 5]])]).unwrap();
         let g = out.groups().unwrap();
-        assert_eq!(vals(&g[&Row::from_ints(&[1])]), vec![2.0, 30.0, 15.0, 10.0, 20.0]);
-        assert_eq!(vals(&g[&Row::from_ints(&[2])]), vec![1.0, 5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(
+            vals(&g[&Row::from_ints(&[1])]),
+            vec![2.0, 30.0, 15.0, 10.0, 20.0]
+        );
+        assert_eq!(
+            vals(&g[&Row::from_ints(&[2])]),
+            vec![1.0, 5.0, 5.0, 5.0, 5.0]
+        );
     }
 
     #[test]

@@ -137,9 +137,10 @@ impl IncrementalWindow {
             self.result_rows += 1;
             if self.plan.is_aggregating() || !self.plan.group_by.is_empty() {
                 let key = combined.project(&self.plan.group_by);
-                let states = self.groups.entry(key).or_insert_with(|| {
-                    self.plan.aggregates.iter().map(AggState::new).collect()
-                });
+                let states = self
+                    .groups
+                    .entry(key)
+                    .or_insert_with(|| self.plan.aggregates.iter().map(AggState::new).collect());
                 for s in states {
                     s.update(&combined);
                 }
@@ -222,12 +223,12 @@ impl IncrementalWindow {
     /// Does the combined left row join with `right` under the step's
     /// conditions (empty conditions = cross join: always)?
     fn matches(left: &Row, right: &Row, conds: &[(usize, usize)]) -> bool {
-        conds.iter().all(|&(g, l)| {
-            match (left.get(g), right.get(l)) {
+        conds
+            .iter()
+            .all(|&(g, l)| match (left.get(g), right.get(l)) {
                 (Some(a), Some(b)) => !a.is_null() && !b.is_null() && a == b,
                 _ => false,
-            }
-        })
+            })
     }
 
     /// Finish the window into the same shape as

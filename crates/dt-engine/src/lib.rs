@@ -26,10 +26,12 @@ pub mod aggregate;
 pub mod cost;
 pub mod exec;
 pub mod incremental;
+pub mod obs;
 pub mod window;
 
 pub use aggregate::AggState;
 pub use cost::CostModel;
 pub use exec::{execute_window, execute_window_ref, execute_window_rows, AggValue, WindowOutput};
 pub use incremental::IncrementalWindow;
+pub use obs::ExecMetrics;
 pub use window::WindowBuffers;

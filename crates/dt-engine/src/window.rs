@@ -147,8 +147,14 @@ mod tests {
         b.push(0, tup(2, 1_500)).unwrap();
         b.push(1, tup(3, 2_500)).unwrap();
         // At t = 2.5s the current window is 2.
-        assert_eq!(b.windows_before(Timestamp::from_micros(2_500_000)), vec![0, 1]);
-        assert_eq!(b.windows_before(Timestamp::from_micros(900_000)), Vec::<WindowId>::new());
+        assert_eq!(
+            b.windows_before(Timestamp::from_micros(2_500_000)),
+            vec![0, 1]
+        );
+        assert_eq!(
+            b.windows_before(Timestamp::from_micros(900_000)),
+            Vec::<WindowId>::new()
+        );
     }
 
     #[test]

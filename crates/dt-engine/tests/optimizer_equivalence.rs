@@ -4,9 +4,7 @@
 //! reorderings).
 
 use dt_engine::{execute_window, WindowOutput};
-use dt_query::{
-    optimize_join_order, parse_select, Catalog, Planner, QueryPlan, StreamStats,
-};
+use dt_query::{optimize_join_order, parse_select, Catalog, Planner, QueryPlan, StreamStats};
 use dt_types::{DataType, Row, Schema};
 use proptest::prelude::*;
 

@@ -144,7 +144,13 @@ struct CellOut {
 /// function of `(ri, run)`), which is what makes the sweep
 /// embarrassingly parallel *and* bit-reproducible: the numbers a cell
 /// produces cannot depend on which thread ran it or in what order.
-fn run_cell(cfg: &SweepConfig, ri: usize, rate: f64, run: usize, bursty: bool) -> DtResult<CellOut> {
+fn run_cell(
+    cfg: &SweepConfig,
+    ri: usize,
+    rate: f64,
+    run: usize,
+    bursty: bool,
+) -> DtResult<CellOut> {
     let arrival = if bursty {
         ArrivalModel::paper_bursty(rate / 100.0)
     } else {

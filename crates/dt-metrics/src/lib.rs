@@ -14,15 +14,19 @@
 //! * [`summary`] — a JSON-serializable digest of a run
 //!   ([`RunSummary`]), the interchange format between `dt-server`'s
 //!   final report and offline metrics tooling.
+//! * [`obs`] — JSON serialization for [`dt_obs::Snapshot`], so a run's
+//!   final observability snapshot rides inside the same report.
 
 pub mod experiment;
 pub mod ideal;
+pub mod obs;
 pub mod rms;
 pub mod stats;
 pub mod summary;
 
 pub use experiment::{rate_sweep, rate_sweep_with_threads, ModeSeries, RatePoint, SweepConfig};
 pub use ideal::ideal_map;
+pub use obs::obs_to_json;
 pub use rms::{latencies, report_to_map, rms_error, ResultMap};
 pub use stats::{LatencyStats, MeanStd};
 pub use summary::RunSummary;

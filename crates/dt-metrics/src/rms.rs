@@ -1,6 +1,5 @@
 //! The RMS error metric of paper §6.3.
 
-
 use dt_triage::{RunReport, WindowPayload};
 use dt_types::{Row, WindowId};
 

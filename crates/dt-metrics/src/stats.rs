@@ -1,6 +1,5 @@
 //! Summary statistics across seeded runs.
 
-
 /// Mean and (sample) standard deviation — the paper plots the mean of
 /// nine runs with standard-deviation error bars.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,8 +27,7 @@ impl MeanStd {
         let std = if n < 2 {
             0.0
         } else {
-            let var =
-                samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
             var.sqrt()
         };
         MeanStd { mean, std, n }
@@ -85,8 +83,7 @@ impl MeanStd {
         if self.n < 2 || other.n < 2 {
             return 0.0;
         }
-        let var = self.std * self.std / self.n as f64
-            + other.std * other.std / other.n as f64;
+        let var = self.std * self.std / self.n as f64 + other.std * other.std / other.n as f64;
         let diff = self.mean - other.mean;
         if var <= 0.0 {
             return if diff == 0.0 {

@@ -29,6 +29,9 @@ pub struct RunSummary {
     pub windows: u64,
     /// Result-latency summary (seconds past each window's close).
     pub latency: LatencyStats,
+    /// Final observability snapshot in the [`crate::obs`] JSON shape,
+    /// when the run was instrumented (`None` otherwise).
+    pub obs: Option<Json>,
 }
 
 impl RunSummary {
@@ -41,7 +44,14 @@ impl RunSummary {
             peak_synopsis_units: report.totals.peak_synopsis_units as u64,
             windows: report.windows.len() as u64,
             latency: LatencyStats::from_samples(&latencies(report)),
+            obs: None,
         }
+    }
+
+    /// Attach a frozen observability snapshot to the digest.
+    pub fn with_obs(mut self, snap: &dt_obs::Snapshot) -> Self {
+        self.obs = Some(crate::obs::obs_to_json(snap));
+        self
     }
 
     /// Parse a summary previously rendered with [`ToJson`].
@@ -63,9 +73,7 @@ impl RunSummary {
         let lat_field = |key: &str| -> DtResult<f64> {
             lat.get(key)
                 .and_then(Json::as_f64)
-                .ok_or_else(|| {
-                    DtError::config(format!("run summary latency missing '{key}'"))
-                })
+                .ok_or_else(|| DtError::config(format!("run summary latency missing '{key}'")))
         };
         Ok(RunSummary {
             arrived: int("arrived")?,
@@ -78,6 +86,10 @@ impl RunSummary {
                 p95: lat_field("p95")?,
                 max: lat_field("max")?,
             },
+            obs: json
+                .get("obs")
+                .filter(|j| !matches!(j, Json::Null))
+                .cloned(),
         })
     }
 
@@ -107,6 +119,7 @@ impl ToJson for RunSummary {
                     ("max", self.latency.max.to_json()),
                 ]),
             ),
+            ("obs", self.obs.to_json()),
         ])
     }
 }
@@ -127,7 +140,10 @@ mod tests {
         for i in 0..5 {
             p.offer(
                 0,
-                Tuple::new(Row::from_ints(&[i % 2]), Timestamp::from_micros(i as u64 * 1_000)),
+                Tuple::new(
+                    Row::from_ints(&[i % 2]),
+                    Timestamp::from_micros(i as u64 * 1_000),
+                ),
             )
             .unwrap();
         }
@@ -143,6 +159,17 @@ mod tests {
         let json = summary.to_json().render();
         let back = RunSummary::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn obs_snapshot_rides_the_summary_roundtrip() {
+        let reg = dt_obs::MetricsRegistry::new();
+        reg.counter("n_total", "n", &[]).add(2);
+        let summary = RunSummary::from_report(&run_report()).with_obs(&reg.snapshot());
+        let json = summary.to_json().render();
+        let back = RunSummary::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, summary);
+        assert!(back.obs.is_some());
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Log-linear latency histograms.
+//!
+//! The classic HDR layout: values 0..16 get one bucket each, and every
+//! power of two above that is split into 16 linear sub-buckets, so the
+//! bucket width is always ≤ 1/16 of the value — bounded relative error
+//! without per-sample branching beyond a couple of bit operations.
+//! Values at or above 2⁴⁰ (≈ 12.7 days in microseconds) land in one
+//! overflow bucket; the exact max is tracked separately so even
+//! overflow samples report their true extreme.
+//!
+//! Recording is one relaxed `fetch_add` on the bucket plus count/sum
+//! updates and a `fetch_max` — no locks, no allocation, safe to call
+//! from any thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Linear sub-buckets per power of two.
+const SUB: usize = 16;
+const SUB_BITS: u32 = 4;
+/// Values with more significant bits than this overflow.
+const MAX_MSB: u32 = 39;
+/// Bucket count: octaves 0 (values 0..16) through `MAX_MSB - 3`, plus
+/// one overflow bucket.
+const BUCKETS: usize = (MAX_MSB as usize - 3 + 1) * SUB + 1;
+
+/// The shared storage behind cloned [`Histogram`] handles.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Bucket index for a value (always in range).
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    if msb > MAX_MSB {
+        return BUCKETS - 1;
+    }
+    let octave = (msb - (SUB_BITS - 1)) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    octave * SUB + sub
+}
+
+/// Largest value that maps into `bucket` (inclusive upper bound); the
+/// overflow bucket reports `u64::MAX`.
+fn bucket_upper(bucket: usize) -> u64 {
+    if bucket < SUB {
+        return bucket as u64;
+    }
+    if bucket >= BUCKETS - 1 {
+        return u64::MAX;
+    }
+    let octave = (bucket / SUB) as u32;
+    let sub = (bucket % SUB) as u64;
+    let base = 1u64 << (octave + SUB_BITS - 1);
+    let width = base / SUB as u64;
+    base + (sub + 1) * width - 1
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// A cloneable histogram handle; a disabled handle records nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    pub(crate) core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    pub(crate) fn live() -> Self {
+        Histogram {
+            core: Some(Arc::new(HistogramCore::new())),
+        }
+    }
+
+    /// A handle that records nothing (what a disabled registry hands
+    /// out).
+    pub fn disabled() -> Self {
+        Histogram { core: None }
+    }
+
+    /// True when samples are actually recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(core) = &self.core {
+            core.observe(v);
+        }
+    }
+
+    /// Start a timer whose drop records elapsed **microseconds** into
+    /// this histogram. Disabled handles never read the clock.
+    #[inline]
+    pub fn start_timer(&self) -> HistTimer<'_> {
+        HistTimer {
+            hist: self,
+            start: self.core.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    /// Largest recorded value (0 with no samples).
+    pub fn max(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.max.load(Ordering::Relaxed))
+    }
+
+    /// The estimated `q`-quantile (`0.0 ..= 1.0`) of recorded values:
+    /// the inclusive upper bound of the bucket containing the target
+    /// rank, clamped to the observed max so estimates never exceed a
+    /// real sample. Zero samples → 0. Monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let Some(core) = &self.core else { return 0 };
+        let count = core.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; q=0 means the first.
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in core.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i).min(core.max.load(Ordering::Relaxed));
+            }
+        }
+        core.max.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time digest of this histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Cumulative sample counts at power-of-two boundaries, for the
+    /// Prometheus `_bucket{le=…}` series: pairs of `(le, cumulative)`
+    /// covering the observed range (at least `le=1`), ending just past
+    /// the max. The `+Inf` bucket is the total count.
+    pub fn cumulative_pow2(&self) -> Vec<(u64, u64)> {
+        let Some(core) = &self.core else {
+            return vec![(1, 0)];
+        };
+        let max = core.max.load(Ordering::Relaxed);
+        let top_msb = if max < 2 {
+            1
+        } else {
+            (64 - max.leading_zeros()).min(MAX_MSB + 1)
+        };
+        let mut out = Vec::with_capacity(top_msb as usize);
+        let mut cum = 0u64;
+        let mut bucket = 0usize;
+        // Values < 2^m occupy buckets below the octave starting at 2^m.
+        for m in 0..=top_msb {
+            let le = (1u64 << m) - 1;
+            let limit = if m <= SUB_BITS {
+                // Within the linear region a boundary is its own index.
+                (1usize << m).min(SUB)
+            } else {
+                ((m as usize - SUB_BITS as usize) + 1) * SUB
+            };
+            while bucket < limit.min(BUCKETS) {
+                cum += core.buckets[bucket].load(Ordering::Relaxed);
+                bucket += 1;
+            }
+            out.push((le, cum));
+        }
+        out
+    }
+}
+
+/// Drop guard from [`Histogram::start_timer`].
+pub struct HistTimer<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl HistTimer<'_> {
+    /// Stop early and record; equivalent to dropping the guard.
+    pub fn stop(self) {}
+}
+
+impl Drop for HistTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.observe(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+/// A frozen histogram digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th percentile estimate.
+    pub p90: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (0 with no samples).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_consistent() {
+        // Every value maps to a bucket whose bounds contain it, and
+        // bucket uppers are strictly increasing.
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 20,
+            (1 << 30) + 12345,
+            (1 << 40) - 1,
+        ];
+        for &v in &probes {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper(b), "v={v} b={b}");
+            if b > 0 {
+                assert!(v > bucket_upper(b - 1), "v={v} b={b}");
+            }
+        }
+        for b in 1..BUCKETS {
+            assert!(bucket_upper(b) > bucket_upper(b - 1), "b={b}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [17u64, 100, 999, 12_345, 7_000_000] {
+            let h = Histogram::live();
+            h.observe(v);
+            let q = h.quantile(1.0);
+            assert!(q >= v);
+            assert!((q - v) as f64 <= v as f64 / SUB as f64 + 1.0, "v={v} q={q}");
+        }
+    }
+
+    #[test]
+    fn disabled_histogram_is_inert() {
+        let h = Histogram::disabled();
+        h.observe(42);
+        let t = h.start_timer();
+        drop(t);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(!h.is_enabled());
+    }
+
+    #[test]
+    fn cumulative_pow2_matches_total() {
+        let h = Histogram::live();
+        for v in [0u64, 1, 3, 17, 900, 70_000] {
+            h.observe(v);
+        }
+        let cum = h.cumulative_pow2();
+        assert_eq!(cum.last().unwrap().1, 6, "{cum:?}");
+        // Cumulative counts are monotone.
+        for w in cum.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+        // le=15 covers 0,1,3 → 3 samples.
+        let at15 = cum.iter().find(|(le, _)| *le == 15).unwrap().1;
+        assert_eq!(at15, 3);
+    }
+}

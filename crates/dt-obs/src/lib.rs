@@ -1,0 +1,44 @@
+//! Low-overhead observability for the Data Triage runtime.
+//!
+//! The whole point of Data Triage is *behavior under overload* — and a
+//! runtime that sheds load is exactly the runtime you cannot afford to
+//! slow down by watching it. This crate is the compromise the
+//! production stream processors make: an instrumentation layer whose
+//! hot-path cost is a handful of uncontended atomic operations, and
+//! whose *disabled* cost is a branch on an `Option`.
+//!
+//! Components:
+//!
+//! * [`MetricsRegistry`] — the cheap, cloneable handle everything hangs
+//!   off. A registry built with [`MetricsRegistry::new`] records; one
+//!   built with [`MetricsRegistry::disabled`] hands out no-op
+//!   instruments (no allocation, no atomics, no `Instant` reads).
+//! * [`Counter`] / [`Gauge`] — lock-free monotonic counts and
+//!   set/add/sub levels (queue depths, shed totals, ingest bytes).
+//! * [`Histogram`] — a log-linear (HDR-style) histogram over `u64`
+//!   values: 16 linear sub-buckets per power of two, so relative error
+//!   is bounded at ~6 % across the full range while recording stays a
+//!   single atomic increment. Quantile extraction ([`Histogram::quantile`])
+//!   serves p50/p90/p99; the exact observed max is tracked separately.
+//! * Span tracing (inside the registry) — a bounded ring buffer of
+//!   coarse stage timings (`seal`, `merge`, `window_exec`): the last N
+//!   spans survive for a snapshot, older ones are overwritten, and
+//!   recording never blocks.
+//! * Exposition — [`MetricsRegistry::render_prometheus`] emits the
+//!   Prometheus text format (`text/plain; version=0.0.4`);
+//!   [`MetricsRegistry::render_table`] a human-readable snapshot table.
+//!
+//! Conventions: counters end in `_total`; time histograms record
+//! **microseconds** and end in `_us`; label sets are small and static
+//! (stream names, shed modes). Registering the same name + label set
+//! twice returns a handle to the same underlying cell.
+
+mod histogram;
+mod registry;
+mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{
+    Counter, Gauge, MetricKind, MetricSnapshot, MetricValue, MetricsRegistry, Snapshot,
+};
+pub use span::{SpanGuard, SpanId, SpanRecord};

@@ -1,0 +1,184 @@
+//! A bounded ring buffer of coarse stage timings.
+//!
+//! Spans are for the *stages* of the runtime (seal, merge,
+//! window-exec, drain), not per-tuple events: a few hundred per second
+//! at most. Recording is an atomic cursor bump plus two relaxed
+//! stores into the claimed slot; the ring never grows and never
+//! blocks. A reader that races a writer on the same slot can observe
+//! a torn (id, duration) / start pairing — acceptable for a debugging
+//! trace, and the snapshot path filters ids that were never
+//! registered.
+//!
+//! Span names are interned once (under a mutex — registration is
+//! cold) into a [`SpanId`]; the hot path carries only the integer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Packed slot layout: `id` in the top 16 bits, duration (µs, capped)
+/// in the low 48.
+const DUR_BITS: u64 = 48;
+const DUR_MASK: u64 = (1 << DUR_BITS) - 1;
+/// Slot 0 of a fresh ring holds id `EMPTY`, which is never handed out.
+const EMPTY: u64 = (1 << 16) - 1;
+
+/// An interned span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub(crate) u16);
+
+/// One recorded span, resolved to its name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Interned stage name.
+    pub name: String,
+    /// Start offset from the registry's epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    id_dur: AtomicU64,
+    start: AtomicU64,
+}
+
+/// The ring itself; lives inside the registry.
+#[derive(Debug)]
+pub(crate) struct SpanRing {
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+    names: Mutex<Vec<String>>,
+    epoch: Instant,
+}
+
+impl SpanRing {
+    pub(crate) fn new(capacity: usize, epoch: Instant) -> Self {
+        SpanRing {
+            slots: (0..capacity.max(1))
+                .map(|_| Slot {
+                    id_dur: AtomicU64::new(EMPTY << DUR_BITS),
+                    start: AtomicU64::new(0),
+                })
+                .collect(),
+            cursor: AtomicU64::new(0),
+            names: Mutex::new(Vec::new()),
+            epoch,
+        }
+    }
+
+    /// Intern a stage name (idempotent).
+    pub(crate) fn intern(&self, name: &str) -> SpanId {
+        let mut names = self.names.lock().expect("span names");
+        if let Some(i) = names.iter().position(|n| n == name) {
+            return SpanId(i as u16);
+        }
+        // Cap the id space one below EMPTY; an overflowing intern
+        // aliases the last name rather than corrupting the ring.
+        if names.len() as u64 >= EMPTY - 1 {
+            return SpanId((EMPTY - 2) as u16);
+        }
+        names.push(name.to_string());
+        SpanId((names.len() - 1) as u16)
+    }
+
+    /// Record a finished span.
+    pub(crate) fn record(&self, id: SpanId, start_us: u64, dur_us: u64) {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        let slot = &self.slots[i];
+        slot.start.store(start_us, Ordering::Relaxed);
+        slot.id_dur.store(
+            ((id.0 as u64) << DUR_BITS) | dur_us.min(DUR_MASK),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Microseconds since the ring's epoch.
+    pub(crate) fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The most recent spans, oldest first (up to the ring capacity).
+    pub(crate) fn recent(&self) -> Vec<SpanRecord> {
+        let names = self.names.lock().expect("span names").clone();
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        let len = self.slots.len() as u64;
+        let filled = cursor.min(len);
+        let mut out = Vec::with_capacity(filled as usize);
+        for k in 0..filled {
+            let i = ((cursor - filled + k) % len) as usize;
+            let packed = self.slots[i].id_dur.load(Ordering::Relaxed);
+            let id = (packed >> DUR_BITS) as usize;
+            if let Some(name) = names.get(id) {
+                out.push(SpanRecord {
+                    name: name.clone(),
+                    start_us: self.slots[i].start.load(Ordering::Relaxed),
+                    dur_us: packed & DUR_MASK,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Drop guard that records a span into its registry's ring.
+pub struct SpanGuard<'a> {
+    pub(crate) ring: Option<&'a SpanRing>,
+    pub(crate) id: SpanId,
+    pub(crate) start: Option<Instant>,
+    pub(crate) start_us: u64,
+}
+
+impl SpanGuard<'_> {
+    /// Finish the span now; equivalent to dropping the guard.
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let (Some(ring), Some(start)) = (self.ring, self.start.take()) {
+            ring.record(self.id, self.start_us, start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_last_capacity_spans() {
+        let ring = SpanRing::new(4, Instant::now());
+        let seal = ring.intern("seal");
+        let merge = ring.intern("merge");
+        assert_eq!(ring.intern("seal"), seal, "interning is idempotent");
+        for i in 0..10u64 {
+            let id = if i % 2 == 0 { seal } else { merge };
+            ring.record(id, i * 100, 10 + i);
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 4);
+        // Oldest first: spans 6..10.
+        assert_eq!(recent[0].start_us, 600);
+        assert_eq!(recent[3].start_us, 900);
+        assert_eq!(recent[3].dur_us, 19);
+        assert_eq!(recent[3].name, "merge");
+    }
+
+    #[test]
+    fn fresh_ring_reports_nothing() {
+        let ring = SpanRing::new(8, Instant::now());
+        assert!(ring.recent().is_empty());
+    }
+
+    #[test]
+    fn unfilled_slots_are_skipped_by_name_filter() {
+        let ring = SpanRing::new(8, Instant::now());
+        let id = ring.intern("only");
+        ring.record(id, 1, 2);
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].name, "only");
+    }
+}

@@ -41,7 +41,11 @@ pub fn explain(plan: &QueryPlan) -> String {
         line(
             &mut out,
             indent,
-            format!("Aggregate [{}] GROUP BY [{}]", aggs.join(", "), keys.join(", ")),
+            format!(
+                "Aggregate [{}] GROUP BY [{}]",
+                aggs.join(", "),
+                keys.join(", ")
+            ),
         );
         indent += 1;
         if !plan.having.is_empty() {
@@ -50,7 +54,11 @@ pub fn explain(plan: &QueryPlan) -> String {
                 .iter()
                 .map(|h| format!("{} {} {}", plan.aggregates[h.agg_index].name, h.op, h.value))
                 .collect();
-            line(&mut out, indent, format!("Having [{}]", conds.join(" AND ")));
+            line(
+                &mut out,
+                indent,
+                format!("Having [{}]", conds.join(" AND ")),
+            );
             indent += 1;
         }
     } else {
@@ -84,7 +92,11 @@ pub fn explain(plan: &QueryPlan) -> String {
                 format!("{} {} {}", side(&p.left), p.op, side(&p.right))
             })
             .collect();
-        line(&mut out, indent, format!("Filter [{}]", conds.join(" AND ")));
+        line(
+            &mut out,
+            indent,
+            format!("Filter [{}]", conds.join(" AND ")),
+        );
         indent += 1;
     }
 

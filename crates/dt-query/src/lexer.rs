@@ -58,8 +58,8 @@ pub enum TokenKind {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "GROUP", "BY", "HAVING", "WINDOW", "AS",
-    "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "GROUP", "BY", "HAVING", "WINDOW", "AS", "COUNT",
+    "SUM", "AVG", "MIN", "MAX",
 ];
 
 /// A hand-written single-pass lexer.

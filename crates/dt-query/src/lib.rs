@@ -39,8 +39,8 @@ pub use ast::{
     TableRef,
 };
 pub use explain::explain;
-pub use optimizer::{estimate_cost, optimize_join_order, StreamStats};
 pub use lexer::{Lexer, Token, TokenKind};
+pub use optimizer::{estimate_cost, optimize_join_order, StreamStats};
 pub use parser::parse_select;
 pub use plan::{
     parse_interval, AggSpec, Catalog, CompiledHaving, CompiledPredicate, JoinGraph, OutputColumn,

@@ -374,7 +374,10 @@ mod tests {
         }
         // Group-by column still names R.a.
         assert_eq!(
-            o.combined_schema.field(o.group_by[0]).unwrap().qualified_name(),
+            o.combined_schema
+                .field(o.group_by[0])
+                .unwrap()
+                .qualified_name(),
             "R.a"
         );
     }
@@ -426,10 +429,7 @@ mod tests {
         let PredOperand::Col(c) = o.residual[0].left else {
             panic!("expected column operand");
         };
-        assert_eq!(
-            o.combined_schema.field(c).unwrap().qualified_name(),
-            "S.c"
-        );
+        assert_eq!(o.combined_schema.field(c).unwrap().qualified_name(), "S.c");
         // The output column too.
         let OutputColumn::Column { index, .. } = &o.outputs[0] else {
             panic!("expected column output");

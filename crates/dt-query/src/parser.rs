@@ -185,9 +185,13 @@ impl Parser {
                 "AVG" => Aggregate::Avg,
                 "MIN" => Aggregate::Min,
                 "MAX" => Aggregate::Max,
-                other => return Err(self.error(format!("expected aggregate in HAVING, found {other}"))),
+                other => {
+                    return Err(self.error(format!("expected aggregate in HAVING, found {other}")))
+                }
             },
-            other => return Err(self.error(format!("expected aggregate in HAVING, found {other:?}"))),
+            other => {
+                return Err(self.error(format!("expected aggregate in HAVING, found {other:?}")))
+            }
         };
         self.expect(&TokenKind::LParen, "'('")?;
         let arg = if self.eat_if(&TokenKind::Star) {
@@ -206,12 +210,18 @@ impl Parser {
             TokenKind::Le => CmpOp::Le,
             TokenKind::Gt => CmpOp::Gt,
             TokenKind::Ge => CmpOp::Ge,
-            other => return Err(self.error(format!("expected comparison in HAVING, found {other:?}"))),
+            other => {
+                return Err(self.error(format!("expected comparison in HAVING, found {other:?}")))
+            }
         };
         let value = match self.advance() {
             TokenKind::Int(i) => i as f64,
             TokenKind::Float(f) => f,
-            other => return Err(self.error(format!("expected numeric literal in HAVING, found {other:?}"))),
+            other => {
+                return Err(self.error(format!(
+                    "expected numeric literal in HAVING, found {other:?}"
+                )))
+            }
         };
         Ok(HavingClause {
             func,
@@ -308,7 +318,9 @@ impl Parser {
             TokenKind::Le => CmpOp::Le,
             TokenKind::Gt => CmpOp::Gt,
             TokenKind::Ge => CmpOp::Ge,
-            other => return Err(self.error(format!("expected comparison operator, found {other:?}"))),
+            other => {
+                return Err(self.error(format!("expected comparison operator, found {other:?}")))
+            }
         };
         let right = self.operand()?;
         Ok(Predicate { left, op, right })
@@ -346,14 +358,20 @@ impl Parser {
             match self.advance() {
                 TokenKind::Str(s) => Some(s),
                 other => {
-                    return Err(self.error(format!("expected slide interval string, found {other:?}")))
+                    return Err(
+                        self.error(format!("expected slide interval string, found {other:?}"))
+                    )
                 }
             }
         } else {
             None
         };
         self.expect(&TokenKind::RBracket, "']'")?;
-        Ok(WindowClause { stream, interval, slide })
+        Ok(WindowClause {
+            stream,
+            interval,
+            slide,
+        })
     }
 }
 
@@ -418,10 +436,8 @@ mod tests {
 
     #[test]
     fn parses_all_aggregates() {
-        let q = parse_select(
-            "SELECT COUNT(a), SUM(b), AVG(c), MIN(d), MAX(e) FROM R GROUP BY f",
-        )
-        .unwrap();
+        let q = parse_select("SELECT COUNT(a), SUM(b), AVG(c), MIN(d), MAX(e) FROM R GROUP BY f")
+            .unwrap();
         let funcs: Vec<Aggregate> = q
             .items
             .iter()

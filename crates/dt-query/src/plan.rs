@@ -3,12 +3,9 @@
 
 use std::collections::HashMap;
 
-use dt_types::{DtError, DtResult, Row, Schema, Value, VDuration, WindowSpec};
+use dt_types::{DtError, DtResult, Row, Schema, VDuration, Value, WindowSpec};
 
-use crate::ast::{
-    Aggregate, CmpOp, ColumnRef, Operand, SelectItem, SelectStatement,
-};
-
+use crate::ast::{Aggregate, CmpOp, ColumnRef, Operand, SelectItem, SelectStatement};
 
 /// The set of known streams and their schemas.
 #[derive(Debug, Clone, Default)]
@@ -348,11 +345,8 @@ impl<'a> Planner<'a> {
                         });
                     } else {
                         // Join step owned by the later stream.
-                        let (early, late, late_stream) = if ls < rs {
-                            (li, ri, rs)
-                        } else {
-                            (ri, li, ls)
-                        };
+                        let (early, late, late_stream) =
+                            if ls < rs { (li, ri, rs) } else { (ri, li, ls) };
                         let local = late - streams[late_stream].offset;
                         join_graph.steps[late_stream - 1].push((early, local));
                     }
@@ -391,7 +385,9 @@ impl<'a> Planner<'a> {
             match item {
                 SelectItem::Star => {
                     if grouping {
-                        return Err(DtError::plan("SELECT * cannot be combined with GROUP BY or aggregates"));
+                        return Err(DtError::plan(
+                            "SELECT * cannot be combined with GROUP BY or aggregates",
+                        ));
                     }
                     for (i, f) in combined_schema.fields().iter().enumerate() {
                         outputs.push(OutputColumn::Column {
@@ -523,10 +519,7 @@ mod tests {
         assert_eq!(p.aggregates[0].func, Aggregate::Count);
         assert_eq!(p.aggregates[0].arg, None);
         assert_eq!(p.combined_schema.arity(), 4);
-        assert_eq!(
-            p.streams[0].window.width(),
-            VDuration::from_secs(1)
-        );
+        assert_eq!(p.streams[0].window.width(), VDuration::from_secs(1));
         assert_eq!(p.outputs.len(), 2);
     }
 
@@ -540,15 +533,9 @@ mod tests {
     fn literal_predicates_are_residual() {
         let p = plan("SELECT a FROM R WHERE R.a > 5").unwrap();
         assert_eq!(p.residual.len(), 1);
-        assert_eq!(
-            p.residual[0].as_column_vs_int(),
-            Some((0, CmpOp::Gt, 5))
-        );
+        assert_eq!(p.residual[0].as_column_vs_int(), Some((0, CmpOp::Gt, 5)));
         let p = plan("SELECT a FROM R WHERE 5 < R.a").unwrap();
-        assert_eq!(
-            p.residual[0].as_column_vs_int(),
-            Some((0, CmpOp::Gt, 5))
-        );
+        assert_eq!(p.residual[0].as_column_vs_int(), Some((0, CmpOp::Gt, 5)));
     }
 
     #[test]
@@ -622,9 +609,18 @@ mod tests {
             parse_interval("250 milliseconds").unwrap(),
             VDuration::from_millis(250)
         );
-        assert_eq!(parse_interval("0.5 seconds").unwrap(), VDuration::from_millis(500));
-        assert_eq!(parse_interval("2 minutes").unwrap(), VDuration::from_secs(120));
-        assert_eq!(parse_interval("100 us").unwrap(), VDuration::from_micros(100));
+        assert_eq!(
+            parse_interval("0.5 seconds").unwrap(),
+            VDuration::from_millis(500)
+        );
+        assert_eq!(
+            parse_interval("2 minutes").unwrap(),
+            VDuration::from_secs(120)
+        );
+        assert_eq!(
+            parse_interval("100 us").unwrap(),
+            VDuration::from_micros(100)
+        );
         assert!(parse_interval("").is_err());
         assert!(parse_interval("x seconds").is_err());
         assert!(parse_interval("1 fortnight").is_err());

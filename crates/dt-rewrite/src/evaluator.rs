@@ -62,11 +62,7 @@ impl Eval<'_> {
     }
 }
 
-fn eval<'a>(
-    plan: &SynPlan,
-    kept: &[&'a Synopsis],
-    dropped: &[&'a Synopsis],
-) -> DtResult<Eval<'a>> {
+fn eval<'a>(plan: &SynPlan, kept: &[&'a Synopsis], dropped: &[&'a Synopsis]) -> DtResult<Eval<'a>> {
     match plan {
         SynPlan::Leaf { stream, part } => {
             let k = *kept.get(*stream).ok_or_else(|| {
@@ -165,7 +161,11 @@ mod tests {
         // Q_kept: R{1} ⋈ S{(1,7),(2,7)} ⋈ T{7} => (1,1,7,7) => {1:1}.
         // Q_dropped should be {1:1, 2:1}.
         let est = evaluate(&sq.plan, &kept, &dropped).unwrap();
-        assert!((est.total_mass() - 2.0).abs() < 1e-9, "{}", est.total_mass());
+        assert!(
+            (est.total_mass() - 2.0).abs() < 1e-9,
+            "{}",
+            est.total_mass()
+        );
         let group_dim = sq.column_dims[plan.group_by[0]];
         let counts = est.group_counts(group_dim).unwrap();
         assert!((counts[&1] - 1.0).abs() < 1e-9);

@@ -179,9 +179,7 @@ pub fn rewrite_dropped(plan: &QueryPlan) -> DtResult<ShadowQuery> {
         let stream = j + 1;
         let on = match conds.as_slice() {
             [] => None,
-            [(global_left, local_right)] => {
-                Some((column_dims[*global_left], *local_right))
-            }
+            [(global_left, local_right)] => Some((column_dims[*global_left], *local_right)),
             more => {
                 return Err(DtError::rewrite(format!(
                     "join step {j} has {} equality conditions; shadow plans join \
@@ -384,10 +382,7 @@ mod tests {
             SynPlan::Union(parts) => {
                 assert_eq!(parts.len(), 2);
                 match (&parts[0], &parts[1]) {
-                    (
-                        SynPlan::Select { hi: h1, .. },
-                        SynPlan::Select { lo: l2, .. },
-                    ) => {
+                    (SynPlan::Select { hi: h1, .. }, SynPlan::Select { lo: l2, .. }) => {
                         assert_eq!(*h1, 4);
                         assert_eq!(*l2, 6);
                     }

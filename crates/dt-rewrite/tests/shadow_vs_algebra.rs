@@ -29,7 +29,9 @@ fn paper_catalog() -> Catalog {
 }
 
 fn to_synopsis(points: &[Vec<i64>], dims: usize) -> Synopsis {
-    let mut s = SynopsisConfig::Sparse { cell_width: 1 }.build(dims).unwrap();
+    let mut s = SynopsisConfig::Sparse { cell_width: 1 }
+        .build(dims)
+        .unwrap();
     for p in points {
         s.insert(p).unwrap();
     }

@@ -1,0 +1,35 @@
+//! Scrape a running `dt-serve` once and print the body.
+//!
+//! ```sh
+//! cargo run -p dt-server --example scrape -- 127.0.0.1:7077           # /metrics
+//! cargo run -p dt-server --example scrape -- 127.0.0.1:7077 --stats   # /stats
+//! ```
+//!
+//! The CI smoke step uses this in place of `curl` so the gate has no
+//! dependency outside the workspace.
+
+use dt_server::{fetch_metrics, fetch_stats};
+use std::net::SocketAddr;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr: SocketAddr = args
+        .next()
+        .expect("usage: scrape ADDR [--stats]")
+        .parse()
+        .expect("ADDR must be host:port");
+    match args.next().as_deref() {
+        Some("--stats") => {
+            let reply = fetch_stats(addr).expect("fetch /stats");
+            for s in &reply.streams {
+                println!(
+                    "stream {} offered {} kept {} shed {} late {}",
+                    s.name, s.offered, s.kept, s.shed, s.late
+                );
+            }
+            println!("windows_emitted {}", reply.windows_emitted);
+            println!("parse_errors {}", reply.parse_errors);
+        }
+        _ => print!("{}", fetch_metrics(addr).expect("fetch /metrics")),
+    }
+}

@@ -7,13 +7,16 @@
 //!
 //! Clients send newline-delimited JSON tuple frames
 //! (`{"stream":"R","row":[17],"ts":1500000}`); a first line starting
-//! with `GET ` returns the live counters instead. The server runs
-//! until stdin reaches EOF (pipe `/dev/null` for "run until killed"
-//! semantics under a supervisor, or press Ctrl-D interactively), then
-//! drains gracefully and prints the final JSON report to stdout.
+//! with `GET ` turns the connection into an HTTP-ish probe instead:
+//! `GET /stats` answers the live counters as JSON, `GET /metrics` the
+//! Prometheus text exposition (curl both). The server runs until stdin
+//! reaches EOF (pipe `/dev/null` for "run until killed" semantics
+//! under a supervisor, or press Ctrl-D interactively), then drains
+//! gracefully and prints the final JSON report to stdout.
 
+use dt_obs::MetricsRegistry;
 use dt_query::Catalog;
-use dt_server::{Server, ServerConfig, MonotonicClock};
+use dt_server::{MonotonicClock, Server, ServerConfig};
 use dt_synopsis::SynopsisConfig;
 use dt_triage::ShedMode;
 use dt_types::{DataType, DtError, DtResult, Schema, ToJson, VDuration};
@@ -32,9 +35,11 @@ USAGE:
            [--cell-width N]   sparse synopsis cell  (default 10)
            [--mode M]         data-triage | drop-only | summarize-only
            [--no-pacing]      consume ahead of tuple timestamps
+           [--no-metrics]     disable the /metrics registry
 
-All stream columns are integers. Runs until stdin EOF, then drains and
-prints the final JSON report.";
+All stream columns are integers. `GET /stats` returns live counters as
+JSON; `GET /metrics` returns Prometheus text exposition. Runs until
+stdin EOF, then drains and prints the final JSON report.";
 
 struct Args {
     listen: String,
@@ -46,6 +51,7 @@ struct Args {
     cell_width: i64,
     mode: ShedMode,
     pacing: bool,
+    metrics: bool,
 }
 
 fn parse_args(argv: &[String]) -> DtResult<Args> {
@@ -59,6 +65,7 @@ fn parse_args(argv: &[String]) -> DtResult<Args> {
         cell_width: 10,
         mode: ShedMode::DataTriage,
         pacing: true,
+        metrics: true,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -111,6 +118,7 @@ fn parse_args(argv: &[String]) -> DtResult<Args> {
                 };
             }
             "--no-pacing" => args.pacing = false,
+            "--no-metrics" => args.metrics = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -146,11 +154,17 @@ fn run() -> DtResult<()> {
         cell_width: args.cell_width,
     };
     cfg.pace_by_timestamp = args.pacing;
+    if args.metrics {
+        cfg.metrics = MetricsRegistry::new();
+    }
 
     let clock = Arc::new(MonotonicClock::new());
     let server = Server::start(&cfg, Some(&args.listen), clock)?;
     let addr = server.addr().expect("listener bound");
-    eprintln!("dt-serve: listening on {addr} ({:?} mode); EOF on stdin stops", args.mode);
+    eprintln!(
+        "dt-serve: listening on {addr} ({:?} mode); EOF on stdin stops",
+        args.mode
+    );
 
     // Block until stdin closes, then drain.
     let mut sink = Vec::new();

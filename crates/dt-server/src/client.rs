@@ -6,7 +6,7 @@
 
 use crate::frame::render_frame;
 use crate::stats::StreamSnapshot;
-use dt_types::{DtError, DtResult, Row, Timestamp};
+use dt_types::{DtError, DtResult, Json, Row, Timestamp};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
@@ -71,8 +71,12 @@ impl StatsReply {
         self.streams.iter().find(|s| s.name == name)
     }
 
-    /// Parse the `/stats` text body.
+    /// Parse a `/stats` body — the JSON object the server sends, or
+    /// the legacy `key value` text format.
     pub fn parse(body: &str) -> DtResult<StatsReply> {
+        if body.trim_start().starts_with('{') {
+            return Self::parse_json(body);
+        }
         let mut reply = StatsReply {
             streams: Vec::new(),
             windows_emitted: 0,
@@ -100,22 +104,62 @@ impl StatsReply {
         }
         Ok(reply)
     }
+
+    fn parse_json(body: &str) -> DtResult<StatsReply> {
+        let j = Json::parse(body.trim())?;
+        let streams = j
+            .get("streams")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| DtError::config("stats reply missing 'streams'"))?
+            .iter()
+            .map(|s| {
+                StreamSnapshot::from_json(s)
+                    .ok_or_else(|| DtError::config("bad stream snapshot in stats reply"))
+            })
+            .collect::<DtResult<Vec<_>>>()?;
+        let count = |key: &str| {
+            j.get(key)
+                .and_then(Json::as_i64)
+                .filter(|&v| v >= 0)
+                .map(|v| v as u64)
+                .ok_or_else(|| DtError::config(format!("stats reply missing '{key}'")))
+        };
+        Ok(StatsReply {
+            streams,
+            windows_emitted: count("windows_emitted")?,
+            parse_errors: count("parse_errors")?,
+        })
+    }
+}
+
+/// One short-lived HTTP-ish GET: send the request line, read the whole
+/// reply, strip the response headers (if any).
+fn http_get(addr: SocketAddr, path: &str) -> DtResult<String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .map_err(|e| io_err("request", e))?;
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .map_err(|e| io_err("shutdown write", e))?;
+    let mut reply = String::new();
+    stream
+        .read_to_string(&mut reply)
+        .map_err(|e| io_err("reply", e))?;
+    Ok(match reply.find("\r\n\r\n") {
+        Some(i) => reply[i + 4..].to_string(),
+        None => reply,
+    })
 }
 
 /// Fetch and parse `/stats` over a short-lived connection.
 pub fn fetch_stats(addr: SocketAddr) -> DtResult<StatsReply> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
-    stream
-        .write_all(b"GET /stats\n")
-        .map_err(|e| io_err("stats request", e))?;
-    stream
-        .shutdown(std::net::Shutdown::Write)
-        .map_err(|e| io_err("shutdown write", e))?;
-    let mut body = String::new();
-    stream
-        .read_to_string(&mut body)
-        .map_err(|e| io_err("stats reply", e))?;
-    StatsReply::parse(&body)
+    StatsReply::parse(&http_get(addr, "/stats")?)
+}
+
+/// Fetch the raw `/metrics` Prometheus exposition body.
+pub fn fetch_metrics(addr: SocketAddr) -> DtResult<String> {
+    http_get(addr, "/metrics")
 }
 
 #[cfg(test)]
@@ -133,7 +177,22 @@ mod tests {
     }
 
     #[test]
+    fn stats_reply_parses_the_json_format() {
+        let body = concat!(
+            r#"{"streams":[{"name":"R","offered":10,"kept":7,"shed":3,"late":1}],"#,
+            r#""windows_emitted":4,"parse_errors":2}"#
+        );
+        let reply = StatsReply::parse(body).unwrap();
+        assert_eq!(reply.stream("R").unwrap().kept, 7);
+        assert_eq!(reply.stream("R").unwrap().late, 1);
+        assert_eq!(reply.windows_emitted, 4);
+        assert_eq!(reply.parse_errors, 2);
+    }
+
+    #[test]
     fn stats_reply_rejects_garbage() {
         assert!(StatsReply::parse("nonsense here").is_err());
+        assert!(StatsReply::parse(r#"{"streams":[{"name":"R"}]}"#).is_err());
+        assert!(StatsReply::parse(r#"{"windows_emitted":1}"#).is_err());
     }
 }

@@ -1,5 +1,6 @@
 //! Server configuration.
 
+use dt_obs::MetricsRegistry;
 use dt_query::{parse_select, Catalog, Planner, QueryPlan};
 use dt_synopsis::SynopsisConfig;
 use dt_triage::{QueryExecutor, ShedMode};
@@ -41,6 +42,9 @@ pub struct ServerConfig {
     /// rates demand, and with a virtual clock it lets tests freeze
     /// the engine to force overflow deterministically.
     pub pace_by_timestamp: bool,
+    /// Observability registry. Disabled by default; pass
+    /// [`MetricsRegistry::new`] to record and expose `/metrics`.
+    pub metrics: MetricsRegistry,
 }
 
 impl ServerConfig {
@@ -57,6 +61,7 @@ impl ServerConfig {
             channel_capacity: 100,
             grace: VDuration::from_millis(100),
             pace_by_timestamp: true,
+            metrics: MetricsRegistry::disabled(),
         }
     }
 
@@ -86,7 +91,7 @@ impl ServerConfig {
                 Ok(plan)
             })
             .collect::<DtResult<_>>()?;
-        QueryExecutor::new(plans, self.mode)
+        Ok(QueryExecutor::new(plans, self.mode)?.with_metrics(&self.metrics))
     }
 }
 

@@ -63,7 +63,11 @@ pub fn parse_frame(line: &str) -> DtResult<Frame> {
                 .ok_or_else(|| bad("'ts' must be a non-negative integer"))?,
         ),
     };
-    Ok(Frame { stream, row: Row::from_ints(&values), ts })
+    Ok(Frame {
+        stream,
+        row: Row::from_ints(&values),
+        ts,
+    })
 }
 
 /// Render one frame line (no trailing newline). Errors if a value is
@@ -73,15 +77,12 @@ pub fn render_frame(stream: &str, row: &Row, ts: Option<Timestamp>) -> DtResult<
         .values()
         .iter()
         .map(|v| {
-            v.as_i64().map(|i| i.to_json()).ok_or_else(|| {
-                DtError::config(format!("frame values must be integers, got {v}"))
-            })
+            v.as_i64()
+                .map(|i| i.to_json())
+                .ok_or_else(|| DtError::config(format!("frame values must be integers, got {v}")))
         })
         .collect::<DtResult<_>>()?;
-    let mut fields = vec![
-        ("stream", stream.to_json()),
-        ("row", Json::Arr(values)),
-    ];
+    let mut fields = vec![("stream", stream.to_json()), ("row", Json::Arr(values))];
     if let Some(t) = ts {
         fields.push(("ts", (t.micros() as i64).to_json()));
     }

@@ -37,10 +37,12 @@
 //!   sealed per-stream state is joined and closed through
 //!   [`dt_triage::QueryExecutor`] — exact results merged with the
 //!   shadow query's estimate — and emitted strictly in window order.
-//! * The **control plane**: per-stream offered/kept/shed counters and
-//!   a `/stats` text endpoint on the same port, graceful shutdown
-//!   that drains in-flight windows, and a final JSON report
-//!   compatible with `dt-metrics`.
+//! * The **control plane**: per-stream offered/kept/shed counters
+//!   behind a `/stats` JSON endpoint and (when the config carries a
+//!   live [`dt_obs::MetricsRegistry`]) a `/metrics` Prometheus
+//!   exposition endpoint on the same port, graceful shutdown that
+//!   drains in-flight windows, and a final JSON report — including the
+//!   drain-time observability snapshot — compatible with `dt-metrics`.
 //!
 //! Determinism: with a [`dt_types::VirtualClock`] nothing in the
 //! runtime moves time forward on its own, so integration tests drive
@@ -50,16 +52,18 @@
 pub mod client;
 pub mod config;
 pub mod frame;
+mod obs;
 pub mod server;
 pub mod source;
 pub mod stats;
 mod worker;
 
-pub use client::{fetch_stats, Client, StatsReply};
+pub use client::{fetch_metrics, fetch_stats, Client, StatsReply};
 pub use config::ServerConfig;
 pub use frame::{parse_frame, render_frame, Frame};
 pub use server::{Server, ServerHandle};
 pub use source::{run_source, Source, TraceSource};
 pub use stats::{ServerReport, ServerStats, StreamSnapshot};
 
+pub use dt_obs::MetricsRegistry;
 pub use dt_types::{Clock, MonotonicClock, VirtualClock};

@@ -1,0 +1,135 @@
+//! Server-side instruments and the minimal HTTP response plumbing
+//! shared by `/stats` and `/metrics`.
+//!
+//! All instruments are registered eagerly at [`crate::Server::start`]
+//! so a scrape against an idle server still returns every series
+//! (zero-valued), and the hot ingest path only touches pre-registered
+//! handles.
+
+use dt_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Instruments owned by the ingest side and the merger.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ServerObs {
+    /// NDJSON frame lines accepted for parsing.
+    pub ingest_frames: Counter,
+    /// Bytes of accepted frame lines.
+    pub ingest_bytes: Counter,
+    /// Frame lines that failed to parse or route.
+    pub ingest_errors: Counter,
+    /// Current depth of each stream's bounded ingest channel
+    /// (incremented on kept offers, decremented as the worker drains).
+    pub queue_depth: Vec<Gauge>,
+    /// How far (µs) the seal watermark trails the clock — the window
+    /// age at the moment its seal is broadcast.
+    pub sealer_lag_us: Gauge,
+    /// End-to-end latency (µs) from a window's end to its merged
+    /// result being emitted.
+    pub window_latency_us: Histogram,
+    /// Windows fully merged and emitted.
+    pub windows_emitted: Counter,
+}
+
+impl ServerObs {
+    /// Register every server instrument for `streams` (by name).
+    pub(crate) fn register(reg: &MetricsRegistry, streams: &[String]) -> Self {
+        ServerObs {
+            ingest_frames: reg.counter(
+                "dt_server_ingest_frames_total",
+                "NDJSON frame lines accepted for parsing",
+                &[],
+            ),
+            ingest_bytes: reg.counter(
+                "dt_server_ingest_bytes_total",
+                "Bytes of accepted frame lines",
+                &[],
+            ),
+            ingest_errors: reg.counter(
+                "dt_server_ingest_errors_total",
+                "Frame lines that failed to parse or route",
+                &[],
+            ),
+            queue_depth: streams
+                .iter()
+                .map(|s| {
+                    reg.gauge(
+                        "dt_server_queue_depth",
+                        "Current depth of the stream's bounded ingest channel (tuples)",
+                        &[("stream", s)],
+                    )
+                })
+                .collect(),
+            sealer_lag_us: reg.gauge(
+                "dt_server_sealer_lag_us",
+                "Age of a window (microseconds past its end) when its seal is broadcast",
+                &[],
+            ),
+            window_latency_us: reg.histogram(
+                "dt_server_window_latency_us",
+                "End-to-end latency from window end to merged result emission, microseconds",
+                &[],
+            ),
+            windows_emitted: reg.counter(
+                "dt_server_windows_emitted_total",
+                "Windows fully merged and emitted",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Per-worker instruments, one bundle per stream thread.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WorkerObs {
+    /// The stream's ingest-channel depth gauge (shared with ingest).
+    pub queue_depth: Gauge,
+    /// Tuples folded per batched drain.
+    pub batch_size: Histogram,
+}
+
+impl WorkerObs {
+    pub(crate) fn register(reg: &MetricsRegistry, stream: &str, queue_depth: Gauge) -> Self {
+        WorkerObs {
+            queue_depth,
+            batch_size: reg.histogram(
+                "dt_server_worker_batch_size",
+                "Tuples folded per batched worker drain",
+                &[("stream", stream)],
+            ),
+        }
+    }
+}
+
+/// A minimal HTTP/1.0 response: status line, content type and length,
+/// then the body. Enough for curl, Prometheus scrapers, and the
+/// loopback client.
+pub(crate) fn http_response(content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// 404 for unknown GET paths.
+pub(crate) fn http_not_found() -> String {
+    let body = "not found\n";
+    format!(
+        "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_carry_headers_and_exact_length() {
+        let r = http_response("application/json", "{\"a\":1}");
+        assert!(r.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(r.contains("Content-Type: application/json\r\n"));
+        assert!(r.contains("Content-Length: 7\r\n"));
+        assert!(r.ends_with("\r\n\r\n{\"a\":1}"));
+        assert!(http_not_found().starts_with("HTTP/1.0 404"));
+    }
+}

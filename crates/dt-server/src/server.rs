@@ -10,9 +10,11 @@
 
 use crate::config::ServerConfig;
 use crate::frame::parse_frame;
+use crate::obs::{http_not_found, http_response, ServerObs, WorkerObs};
 use crate::stats::{ServerReport, ServerStats};
 use crate::worker::{run_worker, Ctl, WorkerCtx};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use dt_obs::MetricsRegistry;
 use dt_synopsis::SynopsisConfig;
 use dt_triage::{
     QueryExecutor, RunReport, RunTotals, SealedWindow, ShedMode, StreamTriage, SynPair,
@@ -42,6 +44,8 @@ struct Inner {
     stats: Arc<ServerStats>,
     clock: Arc<dyn Clock>,
     mode: ShedMode,
+    metrics: MetricsRegistry,
+    obs: ServerObs,
     data_tx: Vec<Sender<Tuple>>,
     ctl_tx: Vec<Sender<Ctl>>,
     stop: AtomicBool,
@@ -85,9 +89,11 @@ impl ServerHandle {
     /// synopsis, it just skips exact processing.
     pub fn offer(&self, stream: usize, tuple: Tuple) -> DtResult<()> {
         let inner = &*self.inner;
-        let shared = inner.exec.streams().get(stream).ok_or_else(|| {
-            DtError::config(format!("no stream with index {stream}"))
-        })?;
+        let shared = inner
+            .exec
+            .streams()
+            .get(stream)
+            .ok_or_else(|| DtError::config(format!("no stream with index {stream}")))?;
         if tuple.arity() != shared.schema.arity() {
             return Err(DtError::schema(format!(
                 "tuple arity {} does not match stream '{}' arity {}",
@@ -109,13 +115,22 @@ impl ServerHandle {
             // Summarize-only never touches the engine at all.
             ShedMode::SummarizeOnly => shed(tuple),
             ShedMode::DropOnly | ShedMode::DataTriage => {
+                // The gauge is bumped *before* the send so the
+                // worker's decrement can never observe a tuple whose
+                // increment hasn't landed yet.
+                let depth = &inner.obs.queue_depth[stream];
+                depth.add(1);
                 match inner.data_tx[stream].try_send(tuple) {
                     Ok(()) => {
                         counters.kept.fetch_add(1, Ordering::SeqCst);
                         Ok(())
                     }
-                    Err(TrySendError::Full(t)) => shed(t),
+                    Err(TrySendError::Full(t)) => {
+                        depth.sub(1);
+                        shed(t)
+                    }
                     Err(TrySendError::Disconnected(_)) => {
+                        depth.sub(1);
                         Err(DtError::engine("stream worker is gone"))
                     }
                 }
@@ -126,10 +141,12 @@ impl ServerHandle {
     /// Offer a frame line exactly as the TCP path does: resolve the
     /// stream by name, stamp a missing timestamp with `Clock::now()`.
     pub fn offer_frame(&self, line: &str) -> DtResult<()> {
+        self.inner.obs.ingest_frames.inc();
+        self.inner.obs.ingest_bytes.add(line.len() as u64);
         let frame = parse_frame(line)?;
-        let stream = self.stream_index(&frame.stream).ok_or_else(|| {
-            DtError::config(format!("unknown stream '{}'", frame.stream))
-        })?;
+        let stream = self
+            .stream_index(&frame.stream)
+            .ok_or_else(|| DtError::config(format!("unknown stream '{}'", frame.stream)))?;
         let tuple = frame.into_tuple(self.inner.clock.now());
         self.offer(stream, tuple)
     }
@@ -161,6 +178,9 @@ impl Server {
         let spec = exec.spec();
         let names: Vec<String> = exec.streams().iter().map(|s| s.name.clone()).collect();
         let stats = Arc::new(ServerStats::new(&names));
+        // Register every instrument up front: a scrape against an idle
+        // server still returns the full (zero-valued) series set.
+        let obs = ServerObs::register(&cfg.metrics, &names);
 
         let mut data_tx = Vec::new();
         let mut ctl_tx = Vec::new();
@@ -169,13 +189,8 @@ impl Server {
         for (i, s) in exec.streams().iter().enumerate() {
             let (dtx, drx) = bounded::<Tuple>(cfg.channel_capacity);
             let (ctx_tx, crx) = unbounded::<Ctl>();
-            let triage = StreamTriage::new(
-                i,
-                s.schema.arity(),
-                cfg.mode,
-                cfg.synopsis,
-                spec,
-            );
+            let triage = StreamTriage::new(i, s.schema.arity(), cfg.mode, cfg.synopsis, spec)
+                .with_metrics(&cfg.metrics, &s.name);
             let wctx = WorkerCtx {
                 stream: i,
                 triage,
@@ -186,6 +201,7 @@ impl Server {
                 pace: cfg.pace_by_timestamp,
                 spec,
                 stats: Arc::clone(&stats),
+                obs: WorkerObs::register(&cfg.metrics, &s.name, obs.queue_depth[i].clone()),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -203,6 +219,8 @@ impl Server {
             stats: Arc::clone(&stats),
             clock: Arc::clone(&clock),
             mode: cfg.mode,
+            metrics: cfg.metrics.clone(),
+            obs,
             data_tx,
             ctl_tx,
             stop: AtomicBool::new(false),
@@ -350,7 +368,12 @@ fn run_merger(
             let windows: Vec<WindowId> = pending.keys().copied().collect();
             for w in windows {
                 emit_window(
-                    &inner, &synopsis, &mut pending, &mut results, &mut peak_units, w,
+                    &inner,
+                    &synopsis,
+                    &mut pending,
+                    &mut results,
+                    &mut peak_units,
+                    w,
                     true,
                 )?;
                 next_emit = next_emit.max(w + 1);
@@ -366,7 +389,13 @@ fn run_merger(
                 break;
             }
             emit_window(
-                &inner, &synopsis, &mut pending, &mut results, &mut peak_units, w, false,
+                &inner,
+                &synopsis,
+                &mut pending,
+                &mut results,
+                &mut peak_units,
+                w,
+                false,
             )?;
             next_emit = w + 1;
         }
@@ -378,6 +407,10 @@ fn run_merger(
         if now.micros() >= lag {
             let upto = (now.micros() - lag) / spec.slide().micros();
             if last_seal.is_none_or(|s| upto > s) {
+                inner
+                    .obs
+                    .sealer_lag_us
+                    .set(now.micros().saturating_sub(spec.window_end(upto).micros()) as i64);
                 for tx in &inner.ctl_tx {
                     let _ = tx.send(Ctl::Seal(upto));
                 }
@@ -405,6 +438,9 @@ fn run_merger(
         reports,
         streams: snaps,
         windows_emitted: inner.stats.windows_emitted.load(Ordering::SeqCst),
+        // The drain-time snapshot: short-lived runs keep whatever the
+        // last scrape interval would have shown.
+        obs: inner.metrics.is_enabled().then(|| inner.metrics.snapshot()),
     })
 }
 
@@ -478,6 +514,12 @@ fn emit_window(
     };
     let payloads = exec.close_batch(&shared_rows, pairs.as_deref())?;
     let emitted_at: Timestamp = inner.clock.now().max(spec.window_end(w));
+    inner.obs.window_latency_us.observe(
+        emitted_at
+            .micros()
+            .saturating_sub(spec.window_end(w).micros()),
+    );
+    inner.obs.windows_emitted.inc();
     for (qi, payload) in payloads.into_iter().enumerate() {
         results[qi].push(WindowResult {
             window: w,
@@ -517,8 +559,9 @@ fn run_acceptor(
     }
 }
 
-/// One client connection: either a `/stats` probe (first line starts
-/// with `GET `) or a stream of NDJSON tuple frames until EOF.
+/// One client connection: either an HTTP-ish probe (first line starts
+/// with `GET ` — `/stats` answers JSON, `/metrics` Prometheus text
+/// exposition) or a stream of NDJSON tuple frames until EOF.
 fn serve_conn(stream: TcpStream, handle: ServerHandle) {
     let _ = stream.set_read_timeout(Some(CONN_READ_TIMEOUT));
     let mut writer = match stream.try_clone() {
@@ -534,12 +577,24 @@ fn serve_conn(stream: TcpStream, handle: ServerHandle) {
             Ok(_) => {
                 let trimmed = line.trim();
                 if first && trimmed.starts_with("GET ") {
-                    let body = handle.inner.stats.render_text();
-                    let _ = writer.write_all(body.as_bytes());
+                    let path = trimmed.split_whitespace().nth(1).unwrap_or("/stats");
+                    let reply = if path.starts_with("/stats") {
+                        let body = format!("{}\n", handle.inner.stats.render_json().render());
+                        http_response("application/json", &body)
+                    } else if path.starts_with("/metrics") {
+                        http_response(
+                            "text/plain; version=0.0.4",
+                            &handle.inner.metrics.render_prometheus(),
+                        )
+                    } else {
+                        http_not_found()
+                    };
+                    let _ = writer.write_all(reply.as_bytes());
                     return;
                 }
                 first = false;
                 if !trimmed.is_empty() && handle.offer_frame(trimmed).is_err() {
+                    handle.inner.obs.ingest_errors.inc();
                     handle
                         .inner
                         .stats

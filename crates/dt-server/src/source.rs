@@ -48,11 +48,7 @@ impl Source for TraceSource {
 /// waits until the server's clock reaches the tuple's timestamp —
 /// real-rate replay on a monotonic clock, test-controlled delivery on
 /// a virtual one. Returns the number of tuples offered.
-pub fn run_source(
-    handle: &ServerHandle,
-    source: &mut dyn Source,
-    paced: bool,
-) -> DtResult<u64> {
+pub fn run_source(handle: &ServerHandle, source: &mut dyn Source, paced: bool) -> DtResult<u64> {
     let clock = handle.clock();
     let mut n = 0u64;
     while let Some((stream, tuple)) = source.next_arrival() {
@@ -76,8 +72,14 @@ mod tests {
     #[test]
     fn trace_source_yields_in_order() {
         let arrivals = vec![
-            (0, Tuple::new(Row::from_ints(&[1]), Timestamp::from_micros(5))),
-            (1, Tuple::new(Row::from_ints(&[2]), Timestamp::from_micros(9))),
+            (
+                0,
+                Tuple::new(Row::from_ints(&[1]), Timestamp::from_micros(5)),
+            ),
+            (
+                1,
+                Tuple::new(Row::from_ints(&[2]), Timestamp::from_micros(9)),
+            ),
         ];
         let mut src = TraceSource::new(arrivals.clone());
         assert_eq!(src.next_arrival(), Some(arrivals[0].clone()));

@@ -73,8 +73,23 @@ impl ServerStats {
             .collect()
     }
 
-    /// The `/stats` endpoint body: one `key value` line per counter,
-    /// trivially greppable.
+    /// The `/stats` endpoint body: the counters as one JSON object.
+    pub fn render_json(&self) -> Json {
+        json::obj(vec![
+            ("streams", self.snapshot().to_json()),
+            (
+                "windows_emitted",
+                self.windows_emitted.load(Ordering::SeqCst).to_json(),
+            ),
+            (
+                "parse_errors",
+                self.parse_errors.load(Ordering::SeqCst).to_json(),
+            ),
+        ])
+    }
+
+    /// The legacy greppable text rendering: one `key value` line per
+    /// counter.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for s in self.snapshot() {
@@ -132,6 +147,20 @@ impl StreamSnapshot {
     }
 }
 
+impl StreamSnapshot {
+    /// Parse the JSON object form back into a snapshot.
+    pub fn from_json(j: &Json) -> Option<StreamSnapshot> {
+        let field = |k: &str| j.get(k)?.as_i64().map(|v| v as u64);
+        Some(StreamSnapshot {
+            name: j.get("name")?.as_str()?.to_string(),
+            offered: field("offered")?,
+            kept: field("kept")?,
+            shed: field("shed")?,
+            late: field("late")?,
+        })
+    }
+}
+
 impl ToJson for StreamSnapshot {
     fn to_json(&self) -> Json {
         json::obj(vec![
@@ -156,6 +185,10 @@ pub struct ServerReport {
     pub streams: Vec<StreamSnapshot>,
     /// Windows fully merged and emitted (per query).
     pub windows_emitted: u64,
+    /// Observability snapshot taken during the graceful drain, when
+    /// the server ran with a live [`dt_obs::MetricsRegistry`] — the
+    /// last scrape interval survives shutdown.
+    pub obs: Option<dt_obs::Snapshot>,
 }
 
 impl ToJson for ServerReport {
@@ -169,6 +202,13 @@ impl ToJson for ServerReport {
             ("reports", Json::Arr(summaries)),
             ("streams", self.streams.to_json()),
             ("windows_emitted", self.windows_emitted.to_json()),
+            (
+                "obs",
+                match &self.obs {
+                    Some(s) => dt_metrics::obs_to_json(s),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }

@@ -15,6 +15,7 @@
 //! every tuple past that is shed — precisely the paper's triage-queue
 //! overflow, reproduced under test control.
 
+use crate::obs::WorkerObs;
 use crate::stats::ServerStats;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use dt_triage::{SealedWindow, StreamTriage};
@@ -48,6 +49,7 @@ pub(crate) struct WorkerCtx {
     pub pace: bool,
     pub spec: WindowSpec,
     pub stats: Arc<ServerStats>,
+    pub obs: WorkerObs,
 }
 
 fn consume(
@@ -69,10 +71,12 @@ fn consume_batch(
     batch: &[Tuple],
     stream: usize,
     stats: &ServerStats,
+    obs: &WorkerObs,
 ) -> DtResult<()> {
     if batch.is_empty() {
         return Ok(());
     }
+    obs.batch_size.observe(batch.len() as u64);
     let landed = triage.keep_batch(batch)?;
     let late = (batch.len() - landed) as u64;
     if late > 0 {
@@ -95,6 +99,7 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
         pace,
         spec,
         stats,
+        obs,
     } = ctx;
     // The one tuple held back by timestamp pacing.
     let mut pending: Option<Tuple> = None;
@@ -118,7 +123,10 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
                     let t = match pending.take() {
                         Some(t) => t,
                         None => match data_rx.try_recv() {
-                            Ok(t) => t,
+                            Ok(t) => {
+                                obs.queue_depth.sub(1);
+                                t
+                            }
                             Err(_) => break,
                         },
                     };
@@ -129,7 +137,7 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
                         break;
                     }
                 }
-                consume_batch(&mut triage, &batch, stream, &stats)?;
+                consume_batch(&mut triage, &batch, stream, &stats, &obs)?;
                 for w in triage.seal_through(upto)? {
                     let _ = sealed_tx.send(w);
                 }
@@ -141,8 +149,10 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
                 // of the data lane unpaced and seal everything.
                 batch.clear();
                 batch.extend(pending.take());
+                let parked = batch.len();
                 batch.extend(data_rx.try_iter());
-                consume_batch(&mut triage, &batch, stream, &stats)?;
+                obs.queue_depth.sub((batch.len() - parked) as i64);
+                consume_batch(&mut triage, &batch, stream, &stats, &obs)?;
                 for c in ctl_rx.try_iter() {
                     if let Ctl::Shed(t) = c {
                         if !triage.shed(&t)? {
@@ -179,6 +189,7 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
         }
         match data_rx.recv_timeout(POLL) {
             Ok(t) => {
+                obs.queue_depth.sub(1);
                 if pace && t.ts > clock.now() {
                     pending = Some(t);
                 } else {

@@ -9,10 +9,13 @@
 //! i.e. triage shedding — a certainty rather than a race.
 
 use dt_query::Catalog;
-use dt_server::{fetch_stats, Client, Server, ServerConfig, VirtualClock};
+use dt_server::{
+    fetch_metrics, fetch_stats, Client, MetricsRegistry, Server, ServerConfig, VirtualClock,
+};
 use dt_synopsis::SynopsisConfig;
 use dt_triage::RunReport;
 use dt_types::{DataType, Row, Schema, Timestamp, VDuration};
+use std::io::{Read, Write};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -51,8 +54,7 @@ fn loopback_burst_sheds_then_drains_gracefully() {
     cfg.grace = VDuration::from_millis(100);
 
     let clock = Arc::new(VirtualClock::new());
-    let server =
-        Server::start(&cfg, Some("127.0.0.1:0"), clock.clone()).expect("server starts");
+    let server = Server::start(&cfg, Some("127.0.0.1:0"), clock.clone()).expect("server starts");
     let addr = server.addr().expect("bound address");
     let mut client = Client::connect(addr).expect("client connects");
 
@@ -68,7 +70,11 @@ fn loopback_burst_sheds_then_drains_gracefully() {
         fetch_stats(addr).unwrap().stream("R").unwrap().offered == 10
     });
     let s = fetch_stats(addr).unwrap();
-    assert_eq!(s.stream("R").unwrap().shed, 0, "no shedding before the burst");
+    assert_eq!(
+        s.stream("R").unwrap().shed,
+        0,
+        "no shedding before the burst"
+    );
     assert_eq!(s.stream("R").unwrap().kept, 10);
 
     // Close window 0: move the clock past its end plus the grace
@@ -97,7 +103,11 @@ fn loopback_burst_sheds_then_drains_gracefully() {
         "burst must overflow the bounded channel (shed {})",
         s.shed
     );
-    assert_eq!(s.kept + s.shed, 10 + BURST as u64, "every tuple kept or shed");
+    assert_eq!(
+        s.kept + s.shed,
+        10 + BURST as u64,
+        "every tuple kept or shed"
+    );
 
     // Close window 1.
     clock.set(Timestamp::from_micros(2_200_000));
@@ -159,6 +169,109 @@ fn loopback_burst_sheds_then_drains_gracefully() {
     assert_eq!(run.totals.dropped, r.shed);
 }
 
+/// One raw HTTP-ish GET, headers included.
+fn raw_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("request");
+    s.shutdown(std::net::Shutdown::Write).expect("shutdown");
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("reply");
+    reply
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_exposition() {
+    let mut catalog = Catalog::new();
+    catalog.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    let mut cfg = ServerConfig::new("SELECT a, COUNT(*) FROM R GROUP BY a", catalog);
+    cfg.window = Some(VDuration::from_secs(1));
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+    cfg.metrics = MetricsRegistry::new();
+
+    let clock = Arc::new(VirtualClock::new());
+    let server = Server::start(&cfg, Some("127.0.0.1:0"), clock.clone()).expect("server starts");
+    let addr = server.addr().expect("bound address");
+
+    // An idle server already exposes the full series set, zero-valued.
+    let idle = fetch_metrics(addr).expect("idle scrape");
+    assert!(idle.contains("dt_server_ingest_frames_total 0"), "{idle}");
+    assert!(
+        idle.contains("dt_server_queue_depth{stream=\"R\"} 0"),
+        "{idle}"
+    );
+
+    let mut client = Client::connect(addr).expect("client connects");
+    for i in 0..20u64 {
+        let ts = Timestamp::from_micros(100_000 + i * 10_000);
+        client
+            .send("R", &Row::from_ints(&[(i % 3) as i64]), Some(ts))
+            .expect("send");
+    }
+    poll("ingest", || {
+        fetch_stats(addr).unwrap().stream("R").unwrap().offered == 20
+    });
+    clock.set(Timestamp::from_micros(1_200_000));
+    poll("window 0 emitted", || {
+        fetch_stats(addr).unwrap().windows_emitted >= 1
+    });
+
+    let text = fetch_metrics(addr).expect("scrape");
+    // Acceptance surface: queue-depth gauges, per-mode shed counters,
+    // and a window-execution latency histogram with quantiles.
+    assert!(
+        text.contains("# TYPE dt_server_queue_depth gauge"),
+        "{text}"
+    );
+    assert!(
+        text.contains("dt_server_queue_depth{stream=\"R\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "dt_triage_stream_tuples_total{stream=\"R\",mode=\"data-triage\",outcome=\"kept\"} 20"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains("# TYPE dt_engine_window_exec_us histogram"),
+        "{text}"
+    );
+    assert!(
+        text.contains("dt_engine_window_exec_us_bucket{le=\"+Inf\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("dt_engine_window_exec_us_p99"), "{text}");
+    assert!(text.contains("dt_server_windows_emitted_total 1"), "{text}");
+    assert!(text.contains("dt_server_ingest_frames_total 20"), "{text}");
+
+    // Satellite: explicit Content-Type headers on both endpoints.
+    let stats_raw = raw_get(addr, "/stats");
+    assert!(stats_raw.starts_with("HTTP/1.0 200 OK\r\n"), "{stats_raw}");
+    assert!(
+        stats_raw.contains("Content-Type: application/json\r\n"),
+        "{stats_raw}"
+    );
+    let metrics_raw = raw_get(addr, "/metrics");
+    assert!(
+        metrics_raw.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+        "{metrics_raw}"
+    );
+    assert!(
+        raw_get(addr, "/nope").starts_with("HTTP/1.0 404"),
+        "unknown path 404s"
+    );
+
+    client.close().expect("client close");
+    let report = server.shutdown().expect("graceful shutdown");
+    // Satellite: the drain-time snapshot survives shutdown.
+    let snap = report.obs.as_ref().expect("snapshot flushed at drain");
+    assert!(snap
+        .find("dt_server_ingest_frames_total", &[])
+        .is_some_and(|m| m.value == dt_obs::MetricValue::Counter(20)));
+    assert!(snap.find("dt_server_window_latency_us", &[]).is_some());
+}
+
 #[test]
 fn summarize_only_sheds_everything_but_still_answers() {
     let mut catalog = Catalog::new();
@@ -183,5 +296,9 @@ fn summarize_only_sheds_everything_but_still_answers() {
     let run = &report.reports[0];
     assert_eq!(report.streams[0].shed, 8, "summarize-only sheds everything");
     assert_eq!(report.streams[0].kept, 0);
-    assert_eq!(total_count(run, 0), 8.0, "…but the estimate still counts them");
+    assert_eq!(
+        total_count(run, 0),
+        8.0,
+        "…but the estimate still counts them"
+    );
 }

@@ -152,8 +152,8 @@ mod tests {
         a.insert(&[0]).unwrap();
         a.insert(&[10]).unwrap();
         a.insert(&[20]).unwrap(); // forces coarsening
-        // After coarsening, wide cells cover neighbours of inserted
-        // values too.
+                                  // After coarsening, wide cells cover neighbours of inserted
+                                  // values too.
         assert!(a.covers(&[0]));
         let w = a.current_width();
         assert!(w >= 2);

@@ -244,7 +244,10 @@ impl MHist {
                     let hi = idx.iter().map(|&i| pts[i].0[d]).max().unwrap() + 1;
                     match alignment {
                         None => (lo, hi),
-                        Some(g) => (lo.div_euclid(g) * g, hi.div_euclid(g) * g + if hi.rem_euclid(g) == 0 { 0 } else { g }),
+                        Some(g) => (
+                            lo.div_euclid(g) * g,
+                            hi.div_euclid(g) * g + if hi.rem_euclid(g) == 0 { 0 } else { g },
+                        ),
                     }
                 })
                 .collect()
@@ -451,7 +454,11 @@ impl MHist {
                 });
             }
         }
-        Ok(MHist::from_buckets(self.dims + other.dims, self.config, out))
+        Ok(MHist::from_buckets(
+            self.dims + other.dims,
+            self.config,
+            out,
+        ))
     }
 
     /// Re-compress to at most `max_buckets` buckets by repeatedly

@@ -134,7 +134,11 @@ impl ReservoirSample {
                 (nr, w)
             })
             .collect();
-        Ok(ReservoirSample::from_weighted(keep.len(), self.capacity, rows))
+        Ok(ReservoirSample::from_weighted(
+            keep.len(),
+            self.capacity,
+            rows,
+        ))
     }
 
     /// `UNION ALL`: concatenate weighted rows.
@@ -240,7 +244,11 @@ impl ReservoirSample {
             .filter(|(r, _)| r[dim] >= lo && r[dim] <= hi)
             .map(|(r, w)| (Box::from(r), w))
             .collect();
-        Ok(ReservoirSample::from_weighted(self.dims, self.capacity, rows))
+        Ok(ReservoirSample::from_weighted(
+            self.dims,
+            self.capacity,
+            rows,
+        ))
     }
 
     /// Estimated per-value counts along one dimension.

@@ -142,7 +142,10 @@ impl SparseHist {
 
     /// Insert a batch of points, equivalent to one [`SparseHist::insert`]
     /// per point (bit-identical resulting state).
-    pub fn insert_batch<'a>(&mut self, points: impl IntoIterator<Item = &'a [i64]>) -> DtResult<()> {
+    pub fn insert_batch<'a>(
+        &mut self,
+        points: impl IntoIterator<Item = &'a [i64]>,
+    ) -> DtResult<()> {
         for p in points {
             self.insert_weighted(p, 1.0)?;
         }
@@ -208,7 +211,9 @@ impl SparseHist {
             )));
         }
         if self.cell_width != other.cell_width {
-            return Err(DtError::synopsis("union of histograms with different grids"));
+            return Err(DtError::synopsis(
+                "union of histograms with different grids",
+            ));
         }
         let mut out = self.clone();
         for (coords, mass) in other.iter_cells() {
@@ -247,7 +252,10 @@ impl SparseHist {
         // Index other's cells by their join coordinate.
         let mut index: FxHashMap<i64, Vec<(&[i64], f64)>> = FxHashMap::default();
         for (coords, mass) in other.iter_cells() {
-            index.entry(coords[other_dim]).or_default().push((coords, mass));
+            index
+                .entry(coords[other_dim])
+                .or_default()
+                .push((coords, mass));
         }
         let mut out = SparseHist::new(self.dims + other.dims - 1, self.cell_width)?;
         let mut scratch: Vec<i64> = Vec::with_capacity(self.dims + other.dims - 1);
@@ -303,7 +311,9 @@ impl SparseHist {
     /// Cross product ×: cell pairs concatenate, masses multiply.
     pub fn cross(&self, other: &SparseHist) -> DtResult<SparseHist> {
         if self.cell_width != other.cell_width {
-            return Err(DtError::synopsis("cross of histograms with different grids"));
+            return Err(DtError::synopsis(
+                "cross of histograms with different grids",
+            ));
         }
         let mut out = SparseHist::new(self.dims + other.dims, self.cell_width)?;
         let mut scratch: Vec<i64> = Vec::with_capacity(self.dims + other.dims);
@@ -505,7 +515,7 @@ mod tests {
     #[test]
     fn select_range_full_and_partial() {
         let h = hist1(10, &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]); // 10 tuples, cell 0
-        // Full cell.
+                                                            // Full cell.
         let full = h.select_range(0, 0, 9).unwrap();
         assert_eq!(full.total_mass(), 10.0);
         // Half the cell's values.

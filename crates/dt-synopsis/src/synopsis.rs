@@ -325,9 +325,16 @@ impl Synopsis {
     }
 
     /// Equijoin on `self_dim = other_dim`.
-    pub fn equijoin(&self, self_dim: usize, other: &Synopsis, other_dim: usize) -> DtResult<Synopsis> {
+    pub fn equijoin(
+        &self,
+        self_dim: usize,
+        other: &Synopsis,
+        other_dim: usize,
+    ) -> DtResult<Synopsis> {
         if self.needs_lowering() || other.needs_lowering() {
-            return self.lowered().equijoin(self_dim, &other.lowered(), other_dim);
+            return self
+                .lowered()
+                .equijoin(self_dim, &other.lowered(), other_dim);
         }
         Ok(match (self, other) {
             (Synopsis::Sparse(a), Synopsis::Sparse(b)) if a.cell_width() != b.cell_width() => {
@@ -485,7 +492,12 @@ mod tests {
                 s.insert(&[v]).unwrap();
             }
             s.seal();
-            assert!((s.total_mass() - 4.0).abs() < 1e-9, "{}: {}", cfg.label(), s.total_mass());
+            assert!(
+                (s.total_mass() - 4.0).abs() < 1e-9,
+                "{}: {}",
+                cfg.label(),
+                s.total_mass()
+            );
             assert!(!s.is_empty());
             assert!(s.memory_units() > 0);
         }

@@ -346,7 +346,11 @@ mod tests {
         assert!(w.retained_coefficients() <= 4);
         // DC retained ⇒ mass conserved up to the clamp of negative
         // ringing (which can only *increase* mass slightly).
-        assert!(w.total_mass() >= before - 1e-6, "{} vs {before}", w.total_mass());
+        assert!(
+            w.total_mass() >= before - 1e-6,
+            "{} vs {before}",
+            w.total_mass()
+        );
         assert!(w.total_mass() <= before * 1.5);
     }
 

@@ -17,7 +17,8 @@
 //! Because the executor holds no mutable state, a server can call it
 //! from any thread behind an `Arc` without locking.
 
-use dt_engine::{execute_window_rows, WindowOutput};
+use dt_engine::{ExecMetrics, WindowOutput};
+use dt_obs::MetricsRegistry;
 use dt_query::QueryPlan;
 use dt_rewrite::{evaluate_ref, rewrite_dropped, ShadowQuery};
 use dt_synopsis::{Synopsis, SynopsisConfig};
@@ -62,6 +63,8 @@ pub struct QueryExecutor {
     queries: Vec<QueryRuntime>,
     spec: WindowSpec,
     mode: ShedMode,
+    /// Engine instruments ([`ExecMetrics::default`] = disabled).
+    metrics: ExecMetrics,
 }
 
 impl QueryExecutor {
@@ -89,9 +92,7 @@ impl QueryExecutor {
             let mut stream_map = Vec::with_capacity(plan.streams.len());
             for binding in &plan.streams {
                 if binding.window != spec {
-                    return Err(DtError::config(
-                        "all queries must share one window width",
-                    ));
+                    return Err(DtError::config("all queries must share one window width"));
                 }
                 // Physical identity is the catalog stream name.
                 let unqualified = Schema::new(
@@ -156,7 +157,14 @@ impl QueryExecutor {
             queries,
             spec,
             mode,
+            metrics: ExecMetrics::default(),
         })
+    }
+
+    /// Record window-execution latency and join fan-out on `reg`.
+    pub fn with_metrics(mut self, reg: &MetricsRegistry) -> Self {
+        self.metrics = ExecMetrics::register(reg);
+        self
     }
 
     /// The shared physical streams, in index order.
@@ -221,7 +229,7 @@ impl QueryExecutor {
             .iter()
             .map(|&si| shared_rows[si].iter().collect())
             .collect();
-        execute_window_rows(&query.plan, &inputs)
+        self.metrics.execute_window_rows(&query.plan, &inputs)
     }
 
     /// Combine query `q`'s exact window output with the shadow
@@ -241,11 +249,8 @@ impl QueryExecutor {
             (Some(shadow), Some(pairs)) => {
                 // Shared synopses are read in place; only the shadow
                 // plan's own operations materialize new structures.
-                let kept: Vec<&Synopsis> = query
-                    .stream_map
-                    .iter()
-                    .map(|&si| &pairs[si].kept)
-                    .collect();
+                let kept: Vec<&Synopsis> =
+                    query.stream_map.iter().map(|&si| &pairs[si].kept).collect();
                 let dropped: Vec<&Synopsis> = query
                     .stream_map
                     .iter()

@@ -25,6 +25,7 @@
 
 pub mod executor;
 pub mod merge;
+pub mod obs;
 pub mod pipeline;
 pub mod policy;
 pub mod queue;
@@ -36,12 +37,13 @@ mod winmap;
 
 pub use executor::{QueryExecutor, SharedStream, SynPair};
 pub use merge::{merge_window, MergedGroups};
+pub use obs::{StreamObs, TriageObs};
 pub use pipeline::{
     ExecStrategy, Pipeline, PipelineConfig, RunReport, RunTotals, WindowPayload, WindowResult,
 };
 pub use policy::DropPolicy;
+pub use queue::TriageQueue;
 pub use reorder::ReorderBuffer;
 pub use shared::SharedPipeline;
-pub use queue::TriageQueue;
 pub use shed::ShedMode;
 pub use stream::{SealedWindow, StreamTriage};

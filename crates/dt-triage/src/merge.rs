@@ -118,12 +118,9 @@ pub fn merge_window(
         match group_dim {
             None => Ok(None),
             Some(_) => {
-                let v = key
-                    .get(0)
-                    .and_then(Value::as_i64)
-                    .ok_or_else(|| {
-                        DtError::engine("estimated GROUP BY column must be an integer")
-                    })?;
+                let v = key.get(0).and_then(Value::as_i64).ok_or_else(|| {
+                    DtError::engine("estimated GROUP BY column must be an integer")
+                })?;
                 Ok(Some(v))
             }
         }

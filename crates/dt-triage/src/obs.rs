@@ -1,0 +1,167 @@
+//! Triage-layer instruments.
+//!
+//! Two bundles, one per execution style:
+//!
+//! * [`TriageObs`] — owned by the single-threaded simulation
+//!   ([`crate::SharedPipeline`]): per-stream queue-depth gauges,
+//!   arrived/kept/dropped counters labeled by [`ShedMode`], a
+//!   windows-closed counter, and a *sampled* synopsis-insert latency
+//!   histogram.
+//! * [`StreamObs`] — owned by one server worker's
+//!   [`crate::StreamTriage`]: kept/shed/late counters per stream,
+//!   sharing the mode-labeled families with every other stream.
+//!
+//! The synopsis-insert histogram is sampled 1-in-[`SYNOPSIS_SAMPLE`]
+//! because reading the clock costs a meaningful fraction of the
+//! ~1 µs/tuple pipeline budget; counters and gauges are cheap enough
+//! to run unsampled.
+
+use dt_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+use crate::shed::ShedMode;
+
+/// Sampling interval for synopsis-insert timing: 1 in 64 inserts.
+pub const SYNOPSIS_SAMPLE: u64 = 64;
+
+/// Instruments for the simulation pipeline. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct TriageObs {
+    /// Current depth of each physical stream's triage queue.
+    pub queue_depth: Vec<Gauge>,
+    /// Tuples offered to the pipeline.
+    pub arrived: Counter,
+    /// Tuples delivered to the exact engine.
+    pub kept: Counter,
+    /// Tuples shed.
+    pub dropped: Counter,
+    /// Windows closed and emitted.
+    pub windows_closed: Counter,
+    /// Sampled latency of folding one tuple into its windows'
+    /// synopses, µs.
+    pub synopsis_insert_us: Histogram,
+    tick: u64,
+}
+
+impl TriageObs {
+    /// Register the simulation instruments for `streams` (by name)
+    /// under `mode`.
+    pub fn register(reg: &MetricsRegistry, mode: ShedMode, streams: &[&str]) -> Self {
+        let mode_label = mode.label();
+        TriageObs {
+            queue_depth: streams
+                .iter()
+                .map(|s| {
+                    reg.gauge(
+                        "dt_triage_queue_depth",
+                        "Current depth of the stream's triage queue (tuples)",
+                        &[("stream", s)],
+                    )
+                })
+                .collect(),
+            arrived: reg.counter(
+                "dt_triage_tuples_total",
+                "Tuples by triage outcome",
+                &[("mode", mode_label), ("outcome", "arrived")],
+            ),
+            kept: reg.counter(
+                "dt_triage_tuples_total",
+                "Tuples by triage outcome",
+                &[("mode", mode_label), ("outcome", "kept")],
+            ),
+            dropped: reg.counter(
+                "dt_triage_tuples_total",
+                "Tuples by triage outcome",
+                &[("mode", mode_label), ("outcome", "dropped")],
+            ),
+            windows_closed: reg.counter(
+                "dt_triage_windows_closed_total",
+                "Windows closed and emitted",
+                &[("mode", mode_label)],
+            ),
+            synopsis_insert_us: reg.histogram(
+                "dt_triage_synopsis_insert_us",
+                "Sampled latency of folding one tuple into its windows' synopses, microseconds",
+                &[],
+            ),
+            tick: 0,
+        }
+    }
+
+    /// True on every [`SYNOPSIS_SAMPLE`]-th call — the caller should
+    /// time this synopsis insert.
+    #[inline]
+    pub fn sample_synopsis(&mut self) -> bool {
+        if !self.synopsis_insert_us.is_enabled() {
+            return false;
+        }
+        self.tick = self.tick.wrapping_add(1);
+        self.tick.is_multiple_of(SYNOPSIS_SAMPLE)
+    }
+}
+
+/// Instruments for one server worker's per-stream triage state.
+#[derive(Debug, Clone, Default)]
+pub struct StreamObs {
+    /// Tuples folded as kept on this stream.
+    pub kept: Counter,
+    /// Tuples folded as shed on this stream.
+    pub dropped: Counter,
+    /// Stragglers whose windows were already sealed.
+    pub late: Counter,
+    /// Shared sampled synopsis-insert latency, µs.
+    pub synopsis_insert_us: Histogram,
+    tick: u64,
+}
+
+impl StreamObs {
+    /// Register the per-stream triage instruments for `stream` under
+    /// `mode`.
+    pub fn register(reg: &MetricsRegistry, mode: ShedMode, stream: &str) -> Self {
+        let mode_label = mode.label();
+        StreamObs {
+            kept: reg.counter(
+                "dt_triage_stream_tuples_total",
+                "Tuples folded per stream by triage outcome",
+                &[
+                    ("stream", stream),
+                    ("mode", mode_label),
+                    ("outcome", "kept"),
+                ],
+            ),
+            dropped: reg.counter(
+                "dt_triage_stream_tuples_total",
+                "Tuples folded per stream by triage outcome",
+                &[
+                    ("stream", stream),
+                    ("mode", mode_label),
+                    ("outcome", "dropped"),
+                ],
+            ),
+            late: reg.counter(
+                "dt_triage_stream_tuples_total",
+                "Tuples folded per stream by triage outcome",
+                &[
+                    ("stream", stream),
+                    ("mode", mode_label),
+                    ("outcome", "late"),
+                ],
+            ),
+            synopsis_insert_us: reg.histogram(
+                "dt_triage_synopsis_insert_us",
+                "Sampled latency of folding one tuple into its windows' synopses, microseconds",
+                &[],
+            ),
+            tick: 0,
+        }
+    }
+
+    /// True on every [`SYNOPSIS_SAMPLE`]-th call.
+    #[inline]
+    pub fn sample_synopsis(&mut self) -> bool {
+        if !self.synopsis_insert_us.is_enabled() {
+            return false;
+        }
+        self.tick = self.tick.wrapping_add(1);
+        self.tick.is_multiple_of(SYNOPSIS_SAMPLE)
+    }
+}

@@ -198,6 +198,13 @@ impl Pipeline {
         self.inner.shadow(0)
     }
 
+    /// Record triage and engine instruments on `reg` (see
+    /// [`crate::SharedPipeline::with_metrics`]).
+    pub fn with_metrics(mut self, reg: &dt_obs::MetricsRegistry) -> Self {
+        self.inner = self.inner.with_metrics(reg);
+        self
+    }
+
     /// Run a whole arrival sequence and finish.
     pub fn run(
         plan: QueryPlan,
@@ -205,6 +212,20 @@ impl Pipeline {
         arrivals: impl IntoIterator<Item = (usize, Tuple)>,
     ) -> DtResult<RunReport> {
         let mut p = Pipeline::new(plan, cfg)?;
+        for (stream, tuple) in arrivals {
+            p.offer(stream, tuple)?;
+        }
+        p.finish()
+    }
+
+    /// [`Pipeline::run`] with instruments recorded on `reg`.
+    pub fn run_with_metrics(
+        plan: QueryPlan,
+        cfg: PipelineConfig,
+        arrivals: impl IntoIterator<Item = (usize, Tuple)>,
+        reg: &dt_obs::MetricsRegistry,
+    ) -> DtResult<RunReport> {
+        let mut p = Pipeline::new(plan, cfg)?.with_metrics(reg);
         for (stream, tuple) in arrivals {
             p.offer(stream, tuple)?;
         }
@@ -326,8 +347,8 @@ mod tests {
         let arrivals: Vec<(usize, Tuple)> = (0..50)
             .map(|i| (0usize, tup(&[i % 4], 1_000 * (i as u64 + 1))))
             .collect();
-        let report = Pipeline::run(plan("SELECT a, COUNT(*) FROM R GROUP BY a"), c, arrivals)
-            .unwrap();
+        let report =
+            Pipeline::run(plan("SELECT a, COUNT(*) FROM R GROUP BY a"), c, arrivals).unwrap();
         assert!(report.totals.dropped > 0, "expected shedding");
         assert_eq!(report.totals.kept + report.totals.dropped, 50);
         // Merged counts must equal the true per-group counts, because
@@ -351,15 +372,18 @@ mod tests {
         let arrivals: Vec<(usize, Tuple)> = (0..50)
             .map(|i| (0usize, tup(&[i % 4], 1_000 * (i as u64 + 1))))
             .collect();
-        let report = Pipeline::run(plan("SELECT a, COUNT(*) FROM R GROUP BY a"), c, arrivals)
-            .unwrap();
+        let report =
+            Pipeline::run(plan("SELECT a, COUNT(*) FROM R GROUP BY a"), c, arrivals).unwrap();
         let mut total = 0.0;
         for w in &report.windows {
             for v in w.groups().unwrap().values() {
                 total += v[0];
             }
         }
-        assert!(total < 50.0 - 1e-6, "drop-only must undercount, got {total}");
+        assert!(
+            total < 50.0 - 1e-6,
+            "drop-only must undercount, got {total}"
+        );
         assert!((total - report.totals.kept as f64).abs() < 1e-6);
     }
 
@@ -445,6 +469,50 @@ mod tests {
         assert_eq!(report.totals.dropped, dropped);
         for w in &report.windows {
             assert!(w.emitted_at >= report.window_spec.window_end(w.window));
+        }
+    }
+
+    /// Instruments must never change results, and an enabled registry
+    /// must agree with the run's own totals.
+    #[test]
+    fn metrics_instrumented_run_matches_and_records() {
+        use dt_obs::{MetricValue, MetricsRegistry};
+        let mut c = cfg(ShedMode::DataTriage);
+        c.cost = CostModel::from_capacity(10.0).unwrap();
+        c.queue_capacity = 5;
+        let arrivals: Vec<(usize, Tuple)> = (0..50)
+            .map(|i| (0usize, tup(&[i % 4], 1_000 * (i as u64 + 1))))
+            .collect();
+        let sql = "SELECT a, COUNT(*) FROM R GROUP BY a";
+        let plain = Pipeline::run(plan(sql), c, arrivals.clone()).unwrap();
+        let reg = MetricsRegistry::new();
+        let wired = Pipeline::run_with_metrics(plan(sql), c, arrivals, &reg).unwrap();
+        assert_eq!(plain.totals, wired.totals);
+        assert_eq!(plain.windows.len(), wired.windows.len());
+
+        let snap = reg.snapshot();
+        let count = |outcome: &str| match snap
+            .find(
+                "dt_triage_tuples_total",
+                &[("mode", "data-triage"), ("outcome", outcome)],
+            )
+            .unwrap()
+            .value
+        {
+            MetricValue::Counter(v) => v,
+            ref other => panic!("{other:?}"),
+        };
+        assert_eq!(count("arrived"), wired.totals.arrived);
+        assert_eq!(count("kept"), wired.totals.kept);
+        assert_eq!(count("dropped"), wired.totals.dropped);
+        assert!(snap
+            .find("dt_triage_queue_depth", &[("stream", "R")])
+            .is_some());
+        match snap.find("dt_engine_window_exec_us", &[]).unwrap().value {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, wired.windows.len() as u64)
+            }
+            ref other => panic!("{other:?}"),
         }
     }
 

@@ -1,6 +1,5 @@
 //! Victim-selection (drop) policies.
 
-
 /// How a full triage queue chooses which tuple to shed.
 ///
 /// The paper's current build uses [`DropPolicy::Random`]; §8.1

@@ -167,8 +167,7 @@ impl TriageQueue {
         for _ in 0..SYNERGY_CANDIDATES.min(n) {
             let idx = self.rng.gen_range(0..n);
             let tuple = &self.items[idx];
-            let point: Option<Vec<i64>> =
-                tuple.row.values().iter().map(Value::as_i64).collect();
+            let point: Option<Vec<i64>> = tuple.row.values().iter().map(Value::as_i64).collect();
             if let Some(p) = point {
                 if syn.covers(&p) {
                     return idx;

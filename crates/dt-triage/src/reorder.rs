@@ -154,10 +154,7 @@ mod tests {
         Tuple::new(Row::from_ints(&[v]), Timestamp::from_micros(us))
     }
 
-    fn offer_all(
-        buf: &mut ReorderBuffer,
-        arrivals: &[(usize, u64)],
-    ) -> (Vec<(usize, Tuple)>, u64) {
+    fn offer_all(buf: &mut ReorderBuffer, arrivals: &[(usize, u64)]) -> (Vec<(usize, Tuple)>, u64) {
         let mut out = Vec::new();
         let mut rejected = 0;
         for &(s, us) in arrivals {
@@ -173,7 +170,13 @@ mod tests {
     #[test]
     fn reorders_within_bound() {
         let mut buf = ReorderBuffer::new(VDuration::from_millis(10));
-        let arrivals = [(0, 5_000u64), (0, 1_000), (0, 9_000), (0, 3_000), (0, 12_000)];
+        let arrivals = [
+            (0, 5_000u64),
+            (0, 1_000),
+            (0, 9_000),
+            (0, 3_000),
+            (0, 12_000),
+        ];
         let (out, rejected) = offer_all(&mut buf, &arrivals);
         assert_eq!(rejected, 0);
         let ts: Vec<u64> = out.iter().map(|(_, t)| t.ts.micros()).collect();
@@ -196,7 +199,7 @@ mod tests {
         let mut buf = ReorderBuffer::new(VDuration::from_millis(1));
         buf.offer(0, tup(1, 1_000)).unwrap();
         buf.offer(0, tup(9, 9_000)).unwrap(); // releases the 1ms tuple
-        // A 500µs tuple is now unreleasable in order.
+                                              // A 500µs tuple is now unreleasable in order.
         assert!(buf.offer(0, tup(0, 500)).is_err());
         assert_eq!(buf.late_dropped(), 1);
         // But a tuple inside the bound is fine.
@@ -210,7 +213,10 @@ mod tests {
         buf.offer(1, tup(2, 5_000)).unwrap();
         buf.offer(0, tup(3, 5_000)).unwrap();
         let out = buf.drain();
-        let vals: Vec<i64> = out.iter().map(|(_, t)| t.row[0].as_i64().unwrap()).collect();
+        let vals: Vec<i64> = out
+            .iter()
+            .map(|(_, t)| t.row[0].as_i64().unwrap())
+            .collect();
         assert_eq!(vals, vec![1, 2, 3]);
     }
 

@@ -25,10 +25,11 @@ use dt_query::QueryPlan;
 use dt_rewrite::ShadowQuery;
 use dt_types::{DtError, DtResult, Row, Timestamp, Tuple, WindowId, WindowSpec};
 
+use dt_obs::MetricsRegistry;
+
 use crate::executor::{QueryExecutor, SynPair};
-use crate::pipeline::{
-    ExecStrategy, PipelineConfig, RunReport, RunTotals, WindowResult,
-};
+use crate::obs::TriageObs;
+use crate::pipeline::{ExecStrategy, PipelineConfig, RunReport, RunTotals, WindowResult};
 use crate::policy::DropPolicy;
 use crate::queue::TriageQueue;
 use crate::shed::ShedMode;
@@ -65,6 +66,8 @@ pub struct SharedPipeline {
     /// convert one row at a time, so a single scratch vector serves
     /// every per-tuple conversion without allocating.
     point_scratch: Vec<i64>,
+    /// Triage instruments (default = every handle disabled).
+    obs: TriageObs,
 }
 
 impl SharedPipeline {
@@ -110,7 +113,24 @@ impl SharedPipeline {
             results: vec![Vec::new(); num_queries],
             totals: RunTotals::default(),
             point_scratch: Vec::new(),
+            obs: TriageObs::default(),
         })
+    }
+
+    /// Record triage and engine instruments on `reg`: per-stream
+    /// queue-depth gauges, arrived/kept/dropped counters labeled by
+    /// shed mode, window-execution latency, and sampled
+    /// synopsis-insert latency.
+    pub fn with_metrics(mut self, reg: &MetricsRegistry) -> Self {
+        let names: Vec<&str> = self
+            .exec
+            .streams()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        self.obs = TriageObs::register(reg, self.cfg.mode, &names);
+        self.exec = self.exec.with_metrics(reg);
+        self
     }
 
     /// The shared physical streams, in index order.
@@ -193,9 +213,11 @@ impl SharedPipeline {
             self.stats.get_or_insert_with(w, WinStats::default).arrived += 1;
         }
         self.totals.arrived += 1;
+        self.obs.arrived.inc();
 
         match self.cfg.mode {
             ShedMode::SummarizeOnly => {
+                let t0 = self.sampled_insert_start();
                 let mut point = std::mem::take(&mut self.point_scratch);
                 row_point_into(&tuple.row, &mut point)?;
                 for w in self.spec.windows_of(tuple.ts) {
@@ -204,6 +226,8 @@ impl SharedPipeline {
                 }
                 self.point_scratch = point;
                 self.totals.dropped += 1;
+                self.obs.dropped.inc();
+                self.observe_sampled_insert(t0);
             }
             ShedMode::DropOnly | ShedMode::DataTriage => {
                 let dropped_syn = if self.cfg.policy == DropPolicy::Synergistic
@@ -216,9 +240,17 @@ impl SharedPipeline {
                     None
                 };
                 let victim = self.queues[stream].push(tuple, dropped_syn);
+                if let Some(g) = self.obs.queue_depth.get(stream) {
+                    g.set(self.queues[stream].len() as i64);
+                }
                 if let Some(v) = victim {
                     let mut point = std::mem::take(&mut self.point_scratch);
                     let summarize = self.cfg.mode == ShedMode::DataTriage;
+                    let t0 = if summarize {
+                        self.sampled_insert_start()
+                    } else {
+                        None
+                    };
                     if summarize {
                         row_point_into(&v.row, &mut point)?;
                     }
@@ -230,6 +262,8 @@ impl SharedPipeline {
                     }
                     self.point_scratch = point;
                     self.totals.dropped += 1;
+                    self.obs.dropped.inc();
+                    self.observe_sampled_insert(t0);
                 }
             }
         }
@@ -280,21 +314,27 @@ impl SharedPipeline {
                 break;
             }
             let tuple = self.queues[qi].pop().expect("nonempty queue");
+            if let Some(g) = self.obs.queue_depth.get(qi) {
+                g.set(self.queues[qi].len() as i64);
+            }
             let mut busy = self.cfg.cost.service_time;
             if self.cfg.mode == ShedMode::DataTriage {
                 busy += self.cfg.cost.synopsis_insert_time;
+                let t0 = self.sampled_insert_start();
                 let mut point = std::mem::take(&mut self.point_scratch);
                 row_point_into(&tuple.row, &mut point)?;
                 for w in self.spec.windows_of(tuple.ts) {
                     self.syn_pair(w, qi)?.kept.insert(&point)?;
                 }
                 self.point_scratch = point;
+                self.observe_sampled_insert(t0);
             }
             self.engine_free_at = start + busy;
             for w in self.spec.windows_of(tuple.ts) {
                 self.stats.get_or_insert_with(w, WinStats::default).kept += 1;
             }
             self.totals.kept += 1;
+            self.obs.kept.inc();
             match self.cfg.execution {
                 ExecStrategy::Batch => self.buffers.push(qi, tuple)?,
                 ExecStrategy::Incremental => {
@@ -347,6 +387,7 @@ impl SharedPipeline {
     }
 
     fn close_window(&mut self, w: WindowId) -> DtResult<()> {
+        self.obs.windows_closed.inc();
         let stats = self.stats.remove(w).unwrap_or_default();
         let shared_rows = self.buffers.take_window(w);
         let mut inc_states = self.inc.remove(w);
@@ -403,10 +444,27 @@ impl SharedPipeline {
         Ok(())
     }
 
+    /// `Some(now)` when this synopsis insert should be timed (1 in
+    /// [`crate::obs::SYNOPSIS_SAMPLE`]); reading the clock on every
+    /// insert would cost a visible slice of the ~1 µs/tuple budget.
+    fn sampled_insert_start(&mut self) -> Option<std::time::Instant> {
+        self.obs.sample_synopsis().then(std::time::Instant::now)
+    }
+
+    fn observe_sampled_insert(&self, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            self.obs
+                .synopsis_insert_us
+                .observe(t0.elapsed().as_micros() as u64);
+        }
+    }
+
     fn syn_pair(&mut self, w: WindowId, stream: usize) -> DtResult<&mut SynPair> {
         let exec = &self.exec;
         let cfg = &self.cfg.synopsis;
-        let pairs = self.syns.get_or_try_insert_with(w, || exec.empty_pairs(cfg))?;
+        let pairs = self
+            .syns
+            .get_or_try_insert_with(w, || exec.empty_pairs(cfg))?;
         Ok(&mut pairs[stream])
     }
 }
@@ -418,9 +476,11 @@ pub(crate) fn row_point_into(row: &Row, out: &mut Vec<i64>) -> DtResult<()> {
     out.clear();
     out.reserve(row.values().len());
     for v in row.values() {
-        out.push(v.as_i64().ok_or_else(|| {
-            DtError::engine(format!("non-integer value {v} in synopsis path"))
-        })?);
+        out.push(
+            v.as_i64().ok_or_else(|| {
+                DtError::engine(format!("non-integer value {v} in synopsis path"))
+            })?,
+        );
     }
     Ok(())
 }
@@ -547,8 +607,10 @@ mod tests {
         // Indirect check: a drop-only shared pipeline over two queries
         // must not error on a non-rewritable query…
         let q1 = plan("SELECT a, COUNT(*) FROM R GROUP BY a");
-        let q2 = plan("SELECT x.a, COUNT(*) FROM R x, R y \
-                       WHERE x.a = y.a AND x.a = y.a GROUP BY x.a");
+        let q2 = plan(
+            "SELECT x.a, COUNT(*) FROM R x, R y \
+                       WHERE x.a = y.a AND x.a = y.a GROUP BY x.a",
+        );
         let mut c = cfg();
         c.mode = ShedMode::DropOnly;
         assert!(SharedPipeline::new(vec![q1.clone(), q2.clone()], c).is_ok());

@@ -1,6 +1,5 @@
 //! The three load-shedding methodologies (paper §5.2.1).
 
-
 /// Which load-shedding methodology a [`crate::Pipeline`] runs.
 ///
 /// All three share the same queue, synopsis, and merge code — the
@@ -31,7 +30,11 @@ impl ShedMode {
 
     /// All modes, in the order the paper's figures plot them.
     pub fn all() -> [ShedMode; 3] {
-        [ShedMode::DataTriage, ShedMode::DropOnly, ShedMode::SummarizeOnly]
+        [
+            ShedMode::DataTriage,
+            ShedMode::DropOnly,
+            ShedMode::SummarizeOnly,
+        ]
     }
 
     /// Does this mode build synopses of shed/seen tuples?

@@ -19,10 +19,12 @@
 
 use std::collections::BTreeMap;
 
+use dt_obs::MetricsRegistry;
 use dt_synopsis::SynopsisConfig;
 use dt_types::{DtResult, Row, Tuple, WindowId, WindowSpec};
 
 use crate::executor::SynPair;
+use crate::obs::StreamObs;
 use crate::shared::row_point_into;
 use crate::shed::ShedMode;
 
@@ -69,6 +71,8 @@ pub struct StreamTriage {
     late: u64,
     /// Reusable synopsis-point buffer for the per-tuple hot path.
     point_scratch: Vec<i64>,
+    /// Per-stream instruments (default = every handle disabled).
+    obs: StreamObs,
 }
 
 impl StreamTriage {
@@ -91,7 +95,16 @@ impl StreamTriage {
             next_seal: 0,
             late: 0,
             point_scratch: Vec::new(),
+            obs: StreamObs::default(),
         }
+    }
+
+    /// Record per-stream kept/dropped/late counters and sampled
+    /// synopsis-insert latency on `reg`, labeling series with
+    /// `stream_name`.
+    pub fn with_metrics(mut self, reg: &MetricsRegistry, stream_name: &str) -> Self {
+        self.obs = StreamObs::register(reg, self.mode, stream_name);
+        self
     }
 
     /// The id of the next window a seal will emit.
@@ -135,6 +148,11 @@ impl StreamTriage {
     /// tuple is late and only counted).
     pub fn keep(&mut self, tuple: &Tuple) -> DtResult<bool> {
         let summarize = self.mode == ShedMode::DataTriage;
+        let t0 = if summarize && self.obs.sample_synopsis() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let mut point = std::mem::take(&mut self.point_scratch);
         if summarize {
             row_point_into(&tuple.row, &mut point)?;
@@ -156,8 +174,16 @@ impl StreamTriage {
             }
         }
         self.point_scratch = point;
-        if !landed {
+        if let Some(t0) = t0 {
+            self.obs
+                .synopsis_insert_us
+                .observe(t0.elapsed().as_micros() as u64);
+        }
+        if landed {
+            self.obs.kept.inc();
+        } else {
             self.late += 1;
+            self.obs.late.inc();
         }
         Ok(landed)
     }
@@ -180,6 +206,11 @@ impl StreamTriage {
     /// it (drop-only). Returns `false` if the tuple was late.
     pub fn shed(&mut self, tuple: &Tuple) -> DtResult<bool> {
         let summarize = self.mode.uses_synopses();
+        let t0 = if summarize && self.obs.sample_synopsis() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let mut point = std::mem::take(&mut self.point_scratch);
         if summarize {
             row_point_into(&tuple.row, &mut point)?;
@@ -200,8 +231,16 @@ impl StreamTriage {
             }
         }
         self.point_scratch = point;
-        if !landed {
+        if let Some(t0) = t0 {
+            self.obs
+                .synopsis_insert_us
+                .observe(t0.elapsed().as_micros() as u64);
+        }
+        if landed {
+            self.obs.dropped.inc();
+        } else {
             self.late += 1;
+            self.obs.late.inc();
         }
         Ok(landed)
     }

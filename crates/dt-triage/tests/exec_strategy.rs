@@ -73,7 +73,12 @@ fn strategies_agree_on_the_paper_query_under_shedding() {
     let sql = "SELECT a, COUNT(*) as n FROM R,S,T \
                WHERE R.a = S.b AND S.c = T.d GROUP BY a";
     let arrivals = workload(1, 6_000);
-    let batch = run(plan(sql, 500), &arrivals, ExecStrategy::Batch, ShedMode::DataTriage);
+    let batch = run(
+        plan(sql, 500),
+        &arrivals,
+        ExecStrategy::Batch,
+        ShedMode::DataTriage,
+    );
     let inc = run(
         plan(sql, 500),
         &arrivals,
@@ -94,11 +99,7 @@ fn strategies_agree_on_hopping_windows() {
                WINDOW R['1 second', '250 milliseconds']";
     let mut c = Catalog::new();
     c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
-    let mk = || {
-        Planner::new(&c)
-            .plan(&parse_select(sql).unwrap())
-            .unwrap()
-    };
+    let mk = || Planner::new(&c).plan(&parse_select(sql).unwrap()).unwrap();
     let dist = Gaussian {
         mean: 5.0,
         std: 2.0,
@@ -113,7 +114,12 @@ fn strategies_agree_on_hopping_windows() {
     })
     .unwrap();
     let batch = run(mk(), &arrivals, ExecStrategy::Batch, ShedMode::DataTriage);
-    let inc = run(mk(), &arrivals, ExecStrategy::Incremental, ShedMode::DataTriage);
+    let inc = run(
+        mk(),
+        &arrivals,
+        ExecStrategy::Incremental,
+        ShedMode::DataTriage,
+    );
     let err = rms_error(&report_to_map(&batch), &report_to_map(&inc));
     assert!(err < 1e-9, "{err}");
     assert_eq!(batch.windows.len(), inc.windows.len());
@@ -125,9 +131,7 @@ fn strategies_agree_on_self_joins() {
     let mut c = Catalog::new();
     c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
     let mk = || {
-        let mut p = Planner::new(&c)
-            .plan(&parse_select(sql).unwrap())
-            .unwrap();
+        let mut p = Planner::new(&c).plan(&parse_select(sql).unwrap()).unwrap();
         let spec = WindowSpec::new(VDuration::from_millis(500)).unwrap();
         for s in &mut p.streams {
             s.window = spec;
@@ -148,7 +152,12 @@ fn strategies_agree_on_self_joins() {
     })
     .unwrap();
     let batch = run(mk(), &arrivals, ExecStrategy::Batch, ShedMode::DropOnly);
-    let inc = run(mk(), &arrivals, ExecStrategy::Incremental, ShedMode::DropOnly);
+    let inc = run(
+        mk(),
+        &arrivals,
+        ExecStrategy::Incremental,
+        ShedMode::DropOnly,
+    );
     let err = rms_error(&report_to_map(&batch), &report_to_map(&inc));
     assert!(err < 1e-9, "{err}");
 }
@@ -158,15 +167,16 @@ fn incremental_handles_empty_and_partial_windows() {
     let sql = "SELECT a, COUNT(*) FROM R GROUP BY a";
     let mut c = Catalog::new();
     c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
-    let mut p = Planner::new(&c)
-        .plan(&parse_select(sql).unwrap())
-        .unwrap();
+    let mut p = Planner::new(&c).plan(&parse_select(sql).unwrap()).unwrap();
     p.streams[0].window = WindowSpec::new(VDuration::from_millis(100)).unwrap();
     // Two sparse tuples with a long silent gap between them.
     let arrivals = vec![
         (
             0usize,
-            Tuple::new(dt_types::Row::from_ints(&[1]), dt_types::Timestamp::from_micros(50_000)),
+            Tuple::new(
+                dt_types::Row::from_ints(&[1]),
+                dt_types::Timestamp::from_micros(50_000),
+            ),
         ),
         (
             0usize,
@@ -176,8 +186,18 @@ fn incremental_handles_empty_and_partial_windows() {
             ),
         ),
     ];
-    let batch = run(p.clone(), &arrivals, ExecStrategy::Batch, ShedMode::DataTriage);
-    let inc = run(p, &arrivals, ExecStrategy::Incremental, ShedMode::DataTriage);
+    let batch = run(
+        p.clone(),
+        &arrivals,
+        ExecStrategy::Batch,
+        ShedMode::DataTriage,
+    );
+    let inc = run(
+        p,
+        &arrivals,
+        ExecStrategy::Incremental,
+        ShedMode::DataTriage,
+    );
     assert_eq!(batch.windows.len(), inc.windows.len());
     let err = rms_error(&report_to_map(&batch), &report_to_map(&inc));
     assert!(err < 1e-9, "{err}");

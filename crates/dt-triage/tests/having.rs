@@ -17,9 +17,7 @@ fn plan(sql: &str) -> QueryPlan {
         "S",
         Schema::from_pairs(&[("b", DataType::Int), ("c", DataType::Int)]),
     );
-    let mut plan = Planner::new(&c)
-        .plan(&parse_select(sql).unwrap())
-        .unwrap();
+    let mut plan = Planner::new(&c).plan(&parse_select(sql).unwrap()).unwrap();
     let spec = WindowSpec::new(VDuration::from_millis(500)).unwrap();
     for s in &mut plan.streams {
         s.window = spec;
@@ -97,7 +95,10 @@ fn estimated_mass_counts_toward_having() {
     cfg.queue_capacity = 1;
     let report = Pipeline::run(p, cfg, arrivals).unwrap();
     assert!(
-        report.windows.iter().all(|w| w.groups().unwrap().is_empty()),
+        report
+            .windows
+            .iter()
+            .all(|w| w.groups().unwrap().is_empty()),
         "drop-only must not clear HAVING with only {} kept tuples",
         report.totals.kept
     );

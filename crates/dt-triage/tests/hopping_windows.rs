@@ -52,8 +52,7 @@ fn hopping_plan_parses_with_width_and_slide() {
 fn gapped_windows_rejected_at_planning() {
     let mut c = Catalog::new();
     c.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
-    let stmt =
-        parse_select("SELECT a FROM R WINDOW R['1 second', '2 seconds']").unwrap();
+    let stmt = parse_select("SELECT a FROM R WINDOW R['1 second', '2 seconds']").unwrap();
     assert!(Planner::new(&c).plan(&stmt).is_err());
 }
 

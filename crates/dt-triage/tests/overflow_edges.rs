@@ -4,9 +4,7 @@
 
 use dt_query::{parse_select, Catalog, Planner};
 use dt_synopsis::SynopsisConfig;
-use dt_triage::{
-    DropPolicy, Pipeline, PipelineConfig, ShedMode, StreamTriage, TriageQueue,
-};
+use dt_triage::{DropPolicy, Pipeline, PipelineConfig, ShedMode, StreamTriage, TriageQueue};
 use dt_types::{DataType, Row, Schema, Timestamp, Tuple, VDuration, WindowSpec};
 
 fn tup(v: i64, us: u64) -> Tuple {

@@ -94,14 +94,23 @@ mod tests {
             DtError::plan("no such stream").to_string(),
             "planning error: no such stream"
         );
-        assert_eq!(DtError::schema("bad arity").to_string(), "schema error: bad arity");
+        assert_eq!(
+            DtError::schema("bad arity").to_string(),
+            "schema error: bad arity"
+        );
         assert_eq!(DtError::engine("boom").to_string(), "engine error: boom");
         assert_eq!(
             DtError::synopsis("dim mismatch").to_string(),
             "synopsis error: dim mismatch"
         );
-        assert_eq!(DtError::config("bad rate").to_string(), "configuration error: bad rate");
-        assert_eq!(DtError::rewrite("no joins").to_string(), "rewrite error: no joins");
+        assert_eq!(
+            DtError::config("bad rate").to_string(),
+            "configuration error: bad rate"
+        );
+        assert_eq!(
+            DtError::rewrite("no joins").to_string(),
+            "rewrite error: no joins"
+        );
     }
 
     #[test]

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 use crate::time::Timestamp;
 use crate::value::Value;
 

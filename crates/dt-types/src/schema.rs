@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 use crate::error::{DtError, DtResult};
 
 /// The static type of a column.

@@ -10,20 +10,15 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-
 /// Microseconds per second, the base resolution of virtual time.
 pub const MICROS_PER_SEC: u64 = 1_000_000;
 
 /// A point in virtual time (microseconds since the start of the run).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
 /// A span of virtual time (microseconds).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VDuration(pub u64);
 
 impl Timestamp {
@@ -199,8 +194,14 @@ mod tests {
 
     #[test]
     fn fractional_seconds_round() {
-        assert_eq!(VDuration::from_secs_f64(0.5), VDuration::from_micros(500_000));
-        assert_eq!(Timestamp::from_secs_f64(1.25), Timestamp::from_micros(1_250_000));
+        assert_eq!(
+            VDuration::from_secs_f64(0.5),
+            VDuration::from_micros(500_000)
+        );
+        assert_eq!(
+            Timestamp::from_secs_f64(1.25),
+            Timestamp::from_micros(1_250_000)
+        );
         // Negative saturates at zero rather than wrapping.
         assert_eq!(VDuration::from_secs_f64(-3.0), VDuration::ZERO);
     }

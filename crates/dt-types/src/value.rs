@@ -4,7 +4,6 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-
 /// A single SQL value.
 ///
 /// `Value` implements *total* equality, ordering, and hashing — floats

@@ -14,7 +14,6 @@
 //! a fixed hop granularity). `slide == width` — the default — recovers
 //! tumbling windows.
 
-
 use crate::error::{DtError, DtResult};
 use crate::time::{Timestamp, VDuration};
 
@@ -147,8 +146,7 @@ mod tests {
     #[test]
     fn hopping_windows_overlap() {
         // width 4s, slide 1s: every tuple is in 4 windows.
-        let spec =
-            WindowSpec::hopping(VDuration::from_secs(4), VDuration::from_secs(1)).unwrap();
+        let spec = WindowSpec::hopping(VDuration::from_secs(4), VDuration::from_secs(1)).unwrap();
         assert!(!spec.is_tumbling());
         let ws: Vec<WindowId> = spec.windows_of(Timestamp::from_secs(10)).collect();
         assert_eq!(ws, vec![7, 8, 9, 10]);
@@ -162,8 +160,7 @@ mod tests {
 
     #[test]
     fn hopping_near_origin_clips() {
-        let spec =
-            WindowSpec::hopping(VDuration::from_secs(4), VDuration::from_secs(1)).unwrap();
+        let spec = WindowSpec::hopping(VDuration::from_secs(4), VDuration::from_secs(1)).unwrap();
         let ws: Vec<WindowId> = spec.windows_of(Timestamp::from_secs(2)).collect();
         assert_eq!(ws, vec![0, 1, 2]);
         let ws: Vec<WindowId> = spec.windows_of(Timestamp::ZERO).collect();
@@ -182,8 +179,7 @@ mod tests {
 
     #[test]
     fn hopping_bounds() {
-        let spec =
-            WindowSpec::hopping(VDuration::from_secs(3), VDuration::from_secs(1)).unwrap();
+        let spec = WindowSpec::hopping(VDuration::from_secs(3), VDuration::from_secs(1)).unwrap();
         assert_eq!(spec.window_start(5), Timestamp::from_secs(5));
         assert_eq!(spec.window_end(5), Timestamp::from_secs(8));
         assert_eq!(spec.width(), VDuration::from_secs(3));

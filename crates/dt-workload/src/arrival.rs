@@ -214,7 +214,10 @@ mod tests {
         let frac = burst_tuples as f64 / n as f64;
         assert!((frac - 0.6).abs() < 0.05, "burst fraction {frac}");
         let mean_len = burst_tuples as f64 / bursts as f64;
-        assert!((mean_len - 200.0).abs() < 30.0, "mean burst length {mean_len}");
+        assert!(
+            (mean_len - 200.0).abs() < 30.0,
+            "mean burst length {mean_len}"
+        );
     }
 
     #[test]

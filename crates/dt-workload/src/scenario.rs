@@ -126,7 +126,11 @@ pub fn generate(cfg: &WorkloadConfig) -> DtResult<Vec<(usize, Tuple)>> {
         };
         // Sample straight into the row: same RNG draw order as
         // `sample_row`, minus the intermediate i64 vector.
-        let row = Row::new((0..spec.arity).map(|_| Value::Int(dist.sample(&mut rng))).collect());
+        let row = Row::new(
+            (0..spec.arity)
+                .map(|_| Value::Int(dist.sample(&mut rng)))
+                .collect(),
+        );
         out.push((stream, Tuple::new(row, ts)));
     }
     Ok(out)
@@ -175,7 +179,10 @@ mod tests {
     fn deterministic_per_seed() {
         let cfg = WorkloadConfig::paper_bursty(100.0, 1000, 9);
         assert_eq!(generate(&cfg).unwrap(), generate(&cfg).unwrap());
-        let cfg2 = WorkloadConfig { seed: 10, ..cfg.clone() };
+        let cfg2 = WorkloadConfig {
+            seed: 10,
+            ..cfg.clone()
+        };
         assert_ne!(generate(&cfg).unwrap(), generate(&cfg2).unwrap());
     }
 

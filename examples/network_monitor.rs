@@ -57,10 +57,15 @@ fn main() -> DtResult<()> {
     let arrivals = generate(&workload)?;
     let ideal = ideal_map(&plan, &arrivals)?;
 
-    println!("network monitor: {} arrivals, peak rate {:.0} t/s, engine capacity 1000 t/s\n",
+    println!(
+        "network monitor: {} arrivals, peak rate {:.0} t/s, engine capacity 1000 t/s\n",
         arrivals.len(),
-        workload.arrival.peak_rate());
-    println!("{:>16}  {:>10}  {:>10}  {:>9}", "mode", "RMS error", "dropped", "windows");
+        workload.arrival.peak_rate()
+    );
+    println!(
+        "{:>16}  {:>10}  {:>10}  {:>9}",
+        "mode", "RMS error", "dropped", "windows"
+    );
     let mut series = Vec::new();
     for mode in ShedMode::all() {
         let mut cfg = PipelineConfig::new(mode);
@@ -84,7 +89,13 @@ fn main() -> DtResult<()> {
     // least as accurate as both alternatives under this burst.
     let err_of = |m: ShedMode| series.iter().find(|(s, _)| *s == m).unwrap().1;
     let dt = err_of(ShedMode::DataTriage);
-    println!("\ndata-triage vs drop-only:      {:+.1}%", 100.0 * (dt / err_of(ShedMode::DropOnly) - 1.0));
-    println!("data-triage vs summarize-only: {:+.1}%", 100.0 * (dt / err_of(ShedMode::SummarizeOnly) - 1.0));
+    println!(
+        "\ndata-triage vs drop-only:      {:+.1}%",
+        100.0 * (dt / err_of(ShedMode::DropOnly) - 1.0)
+    );
+    println!(
+        "data-triage vs summarize-only: {:+.1}%",
+        100.0 * (dt / err_of(ShedMode::SummarizeOnly) - 1.0)
+    );
     Ok(())
 }

@@ -86,7 +86,9 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender { tx: self.tx.clone() }
+            Sender {
+                tx: self.tx.clone(),
+            }
         }
     }
 
@@ -149,13 +151,23 @@ pub mod channel {
     /// A channel holding at most `cap` in-flight messages.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender { tx: Tx::Bounded(tx) }, Receiver { rx })
+        (
+            Sender {
+                tx: Tx::Bounded(tx),
+            },
+            Receiver { rx },
+        )
     }
 
     /// A channel with unlimited buffering.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { tx: Tx::Unbounded(tx) }, Receiver { rx })
+        (
+            Sender {
+                tx: Tx::Unbounded(tx),
+            },
+            Receiver { rx },
+        )
     }
 }
 

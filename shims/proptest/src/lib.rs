@@ -389,7 +389,11 @@ pub mod prop {
 #[derive(Debug, Clone)]
 enum PatternPiece {
     /// Candidate characters (expanded char class).
-    Class { chars: Vec<char>, min: usize, max: usize },
+    Class {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    },
 }
 
 fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
@@ -479,7 +483,11 @@ fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
             }
             _ => (1, 1),
         };
-        pieces.push(PatternPiece::Class { chars: class, min, max });
+        pieces.push(PatternPiece::Class {
+            chars: class,
+            min,
+            max,
+        });
     }
     pieces
 }
@@ -492,7 +500,11 @@ impl Strategy for &str {
         let mut out = String::new();
         for piece in parse_pattern(self) {
             let PatternPiece::Class { chars, min, max } = piece;
-            let n = if min == max { min } else { rng.gen_range(min..=max) };
+            let n = if min == max {
+                min
+            } else {
+                rng.gen_range(min..=max)
+            };
             for _ in 0..n {
                 if chars.is_empty() {
                     continue;

@@ -60,8 +60,7 @@ fn errors_at(
             cfg.synopsis = SynopsisConfig::Sparse { cell_width: 10 };
             cfg.seed = seed;
             let report = Pipeline::run(mk_plan(), cfg, arrivals.iter().cloned()).unwrap();
-            *sums.entry(mode.label()).or_insert(0.0) +=
-                rms_error(&ideal, &report_to_map(&report));
+            *sums.entry(mode.label()).or_insert(0.0) += rms_error(&ideal, &report_to_map(&report));
         }
     }
     sums.values_mut().for_each(|v| *v /= seeds.len() as f64);

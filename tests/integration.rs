@@ -90,16 +90,15 @@ fn shadow_query_is_exposed_and_has_expected_shape() {
         overload_config(ShedMode::DataTriage),
     )
     .unwrap();
-    let shadow = pipeline.shadow().expect("data triage builds a shadow query");
+    let shadow = pipeline
+        .shadow()
+        .expect("data triage builds a shadow query");
     // Eq. 14 for n = 3: three summands, two joins each.
     assert_eq!(shadow.num_streams, 3);
     assert_eq!(shadow.plan.join_count(), 6);
     // Drop-only mode builds none.
-    let pipeline = Pipeline::new(
-        paper_plan("1 second"),
-        overload_config(ShedMode::DropOnly),
-    )
-    .unwrap();
+    let pipeline =
+        Pipeline::new(paper_plan("1 second"), overload_config(ShedMode::DropOnly)).unwrap();
     assert!(pipeline.shadow().is_none());
 }
 
@@ -162,12 +161,7 @@ fn unsupported_shadow_queries_fail_fast_at_construction() {
 #[test]
 fn multi_column_group_by_rejected_for_synopsis_modes() {
     let plan = Planner::new(&paper_catalog())
-        .plan(
-            &parse_select(
-                "SELECT b, c, COUNT(*) FROM S GROUP BY b, c",
-            )
-            .unwrap(),
-        )
+        .plan(&parse_select("SELECT b, c, COUNT(*) FROM S GROUP BY b, c").unwrap())
         .unwrap();
     let err = Pipeline::new(plan.clone(), overload_config(ShedMode::DataTriage))
         .err()
