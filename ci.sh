@@ -9,6 +9,11 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Chaos smoke: the fault-injection suite, warning-free and serial —
+# the soak's stall detection and the watchdog's real-time grace want
+# a quiet machine, not test-thread contention.
+RUSTFLAGS=-Dwarnings cargo test -q -p dt-server --test chaos -- --test-threads=1
+
 # Observability smoke: start a live dt-serve (stdin held open by the
 # sleep), scrape GET /metrics through the bundled example, and require
 # a known metric family in the Prometheus exposition.

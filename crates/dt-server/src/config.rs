@@ -1,5 +1,6 @@
 //! Server configuration.
 
+use crate::fault::FaultPlan;
 use dt_obs::MetricsRegistry;
 use dt_query::{parse_select, Catalog, Planner, QueryPlan};
 use dt_synopsis::SynopsisConfig;
@@ -45,6 +46,21 @@ pub struct ServerConfig {
     /// Observability registry. Disabled by default; pass
     /// [`MetricsRegistry::new`] to record and expose `/metrics`.
     pub metrics: MetricsRegistry,
+    /// Deterministic fault-injection schedule. Disabled by default;
+    /// the chaos suite passes [`FaultPlan::seeded`] plans.
+    pub fault: FaultPlan,
+    /// How many rejected frames an ingest connection tolerates before
+    /// the server answers with a structured error frame and closes it.
+    /// Each bad line still increments `parse_errors` and skips only
+    /// that line; the budget bounds how long an evidently-broken
+    /// sender can spam the parser.
+    pub conn_error_budget: u64,
+    /// The merger's sealer watchdog: when a window stays unsealed this
+    /// long (virtual time) past its end plus `grace`, the merger
+    /// force-seals it from whatever contributions have arrived and
+    /// flags the result degraded. `None` disables the watchdog (a
+    /// stalled worker then stalls emission indefinitely).
+    pub seal_watchdog: Option<VDuration>,
 }
 
 impl ServerConfig {
@@ -62,6 +78,9 @@ impl ServerConfig {
             grace: VDuration::from_millis(100),
             pace_by_timestamp: true,
             metrics: MetricsRegistry::disabled(),
+            fault: FaultPlan::disabled(),
+            conn_error_budget: 32,
+            seal_watchdog: Some(VDuration::from_secs(5)),
         }
     }
 
@@ -74,6 +93,12 @@ impl ServerConfig {
         if self.channel_capacity == 0 {
             return Err(DtError::config(
                 "channel capacity must be >= 1 (a zero-capacity channel would shed everything)",
+            ));
+        }
+        if self.conn_error_budget == 0 {
+            return Err(DtError::config(
+                "connection error budget must be >= 1 (a zero budget closes every connection \
+                 on its first frame)",
             ));
         }
         let plans: Vec<QueryPlan> = self
@@ -123,6 +148,21 @@ mod tests {
         let mut cfg = ServerConfig::new("x", catalog());
         cfg.queries.clear();
         assert!(cfg.compile().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_error_budget() {
+        let mut cfg = ServerConfig::new("SELECT a, COUNT(*) FROM R GROUP BY a", catalog());
+        cfg.conn_error_budget = 0;
+        assert!(cfg.compile().is_err());
+    }
+
+    #[test]
+    fn defaults_are_fault_free() {
+        let cfg = ServerConfig::new("SELECT a, COUNT(*) FROM R GROUP BY a", catalog());
+        assert!(cfg.fault.is_disabled());
+        assert_eq!(cfg.conn_error_budget, 32);
+        assert!(cfg.seal_watchdog.is_some());
     }
 
     #[test]

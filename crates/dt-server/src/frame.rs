@@ -89,6 +89,66 @@ pub fn render_frame(stream: &str, row: &Row, ts: Option<Timestamp>) -> DtResult<
     Ok(dt_types::json::obj(fields).render())
 }
 
+/// Incremental NDJSON line splitter over raw socket reads.
+///
+/// The ingest loop feeds whatever byte chunks the socket yields —
+/// which may split a frame mid-line or pack several frames per read —
+/// and pulls complete lines out one at a time. Invalid UTF-8 is
+/// replaced (the replacement characters then fail frame parsing and
+/// count against the connection's error budget rather than killing
+/// the read loop).
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Read cursor into `buf`; consumed bytes are compacted lazily.
+    pos: usize,
+}
+
+impl FrameAssembler {
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Append a chunk of raw bytes from the socket.
+    pub fn push(&mut self, chunk: &[u8]) {
+        // Compact once the consumed prefix dominates, so a long-lived
+        // connection doesn't grow the buffer without bound.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pull the next complete line (without its newline), if any.
+    pub fn next_line(&mut self) -> Option<String> {
+        let rest = &self.buf[self.pos..];
+        let nl = rest.iter().position(|&b| b == b'\n')?;
+        let mut line = &rest[..nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        let text = String::from_utf8_lossy(line).into_owned();
+        self.pos += nl + 1;
+        Some(text)
+    }
+
+    /// Take whatever trailing partial line remains (no newline seen).
+    /// Used at EOF: a sender that died mid-frame leaves a fragment the
+    /// connection still wants to count as a parse error.
+    pub fn take_partial(&mut self) -> Option<String> {
+        let rest = &self.buf[self.pos..];
+        let out = if rest.is_empty() {
+            None
+        } else {
+            Some(String::from_utf8_lossy(rest).into_owned())
+        };
+        self.buf.clear();
+        self.pos = 0;
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +185,63 @@ mod tests {
         use dt_types::Value;
         let row = Row::new(vec![Value::Str("x".into())]);
         assert!(render_frame("R", &row, None).is_err());
+    }
+
+    #[test]
+    fn assembler_reassembles_lines_across_arbitrary_splits() {
+        let text = "alpha\nbeta\r\ngamma\n";
+        // Feed the same text one byte at a time, three bytes at a
+        // time, and all at once — identical line streams.
+        for step in [1usize, 3, text.len()] {
+            let mut asm = FrameAssembler::new();
+            let mut lines = Vec::new();
+            for chunk in text.as_bytes().chunks(step) {
+                asm.push(chunk);
+                while let Some(l) = asm.next_line() {
+                    lines.push(l);
+                }
+            }
+            assert_eq!(lines, vec!["alpha", "beta", "gamma"], "step {step}");
+            assert_eq!(asm.take_partial(), None);
+        }
+    }
+
+    #[test]
+    fn assembler_surfaces_trailing_fragment_at_eof() {
+        let mut asm = FrameAssembler::new();
+        asm.push(b"whole\n{\"stream\":\"R\",\"ro");
+        assert_eq!(asm.next_line().as_deref(), Some("whole"));
+        assert_eq!(asm.next_line(), None);
+        assert_eq!(
+            asm.take_partial().as_deref(),
+            Some("{\"stream\":\"R\",\"ro")
+        );
+        // Taking the partial resets the buffer entirely.
+        assert_eq!(asm.take_partial(), None);
+    }
+
+    #[test]
+    fn assembler_replaces_invalid_utf8_instead_of_failing() {
+        let mut asm = FrameAssembler::new();
+        asm.push(&[0xff, 0xfe, b'\n']);
+        let line = asm.next_line().unwrap();
+        assert!(!line.is_empty());
+        assert!(parse_frame(&line).is_err());
+    }
+
+    #[test]
+    fn assembler_compacts_long_lived_buffers() {
+        let mut asm = FrameAssembler::new();
+        for i in 0..10_000 {
+            asm.push(format!("line-{i}\n").as_bytes());
+            assert!(asm.next_line().is_some());
+        }
+        // After 10k consumed lines the retained buffer must be far
+        // smaller than the ~80 KiB that flowed through it.
+        assert!(
+            asm.buf.len() < 16 * 1024,
+            "buffer grew to {}",
+            asm.buf.len()
+        );
     }
 }

@@ -48,9 +48,22 @@
 //! runtime moves time forward on its own, so integration tests drive
 //! sealing (and worker pacing) by hand and get reproducible window
 //! results from a fully threaded server.
+//!
+//! ## Failure model
+//!
+//! The runtime degrades rather than dying (DESIGN.md §10): malformed
+//! ingest frames are skipped against a per-connection error budget
+//! (exhaustion closes the connection with a structured error frame);
+//! a panicking worker is restarted by its supervisor with the crashed
+//! windows flagged *degraded*; a stalled sealer is overtaken by the
+//! merger's watchdog, which force-seals the overdue window from
+//! whatever contributions exist. The whole failure surface is
+//! exercised deterministically by seeded [`FaultPlan`] schedules
+//! (`tests/chaos.rs`).
 
 pub mod client;
 pub mod config;
+pub mod fault;
 pub mod frame;
 mod obs;
 pub mod server;
@@ -58,9 +71,13 @@ pub mod source;
 pub mod stats;
 mod worker;
 
-pub use client::{fetch_metrics, fetch_stats, Client, StatsReply};
+pub use client::{
+    fetch_metrics, fetch_metrics_with, fetch_stats, fetch_stats_with, Client, ClientConfig,
+    RetryPolicy, StatsReply,
+};
 pub use config::ServerConfig;
-pub use frame::{parse_frame, render_frame, Frame};
+pub use fault::{Corruption, FaultPlan};
+pub use frame::{parse_frame, render_frame, Frame, FrameAssembler};
 pub use server::{Server, ServerHandle};
 pub use source::{run_source, Source, TraceSource};
 pub use stats::{ServerReport, ServerStats, StreamSnapshot};

@@ -28,7 +28,24 @@ pub(crate) struct ServerObs {
     pub window_latency_us: Histogram,
     /// Windows fully merged and emitted.
     pub windows_emitted: Counter,
+    /// Faults injected by the active [`crate::FaultPlan`], by kind.
+    /// Order: corrupt_frame, delay, disconnect, panic, stall_seal.
+    pub faults_injected: [Counter; 5],
+    /// Frames rejected at ingest (malformed after any injection, or
+    /// unknown stream) — the numerator of each connection's error
+    /// budget.
+    pub frames_rejected: Counter,
+    /// Windows the merger's watchdog force-sealed past a stalled
+    /// worker.
+    pub windows_force_sealed: Counter,
 }
+
+/// Indices into [`ServerObs::faults_injected`].
+pub(crate) const FAULT_CORRUPT: usize = 0;
+pub(crate) const FAULT_DELAY: usize = 1;
+pub(crate) const FAULT_DISCONNECT: usize = 2;
+pub(crate) const FAULT_PANIC: usize = 3;
+pub(crate) const FAULT_STALL: usize = 4;
 
 impl ServerObs {
     /// Register every server instrument for `streams` (by name).
@@ -74,6 +91,30 @@ impl ServerObs {
                 "Windows fully merged and emitted",
                 &[],
             ),
+            faults_injected: [
+                "corrupt_frame",
+                "delay",
+                "disconnect",
+                "panic",
+                "stall_seal",
+            ]
+            .map(|kind| {
+                reg.counter(
+                    "dt_server_faults_injected_total",
+                    "Faults injected by the active fault plan",
+                    &[("kind", kind)],
+                )
+            }),
+            frames_rejected: reg.counter(
+                "dt_server_frames_rejected_total",
+                "Frames rejected at ingest (malformed or unroutable)",
+                &[],
+            ),
+            windows_force_sealed: reg.counter(
+                "dt_server_windows_force_sealed_total",
+                "Windows force-sealed by the merger watchdog past a stalled worker",
+                &[],
+            ),
         }
     }
 }
@@ -85,6 +126,9 @@ pub(crate) struct WorkerObs {
     pub queue_depth: Gauge,
     /// Tuples folded per batched drain.
     pub batch_size: Histogram,
+    /// Times this stream's worker panicked and was restarted by its
+    /// supervisor.
+    pub worker_restarts: Counter,
 }
 
 impl WorkerObs {
@@ -94,6 +138,11 @@ impl WorkerObs {
             batch_size: reg.histogram(
                 "dt_server_worker_batch_size",
                 "Tuples folded per batched worker drain",
+                &[("stream", stream)],
+            ),
+            worker_restarts: reg.counter(
+                "dt_server_worker_restarts_total",
+                "Worker panics recovered by supervised restart",
                 &[("stream", stream)],
             ),
         }

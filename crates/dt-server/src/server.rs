@@ -9,22 +9,25 @@
 //! [`ServerReport`].
 
 use crate::config::ServerConfig;
-use crate::frame::parse_frame;
-use crate::obs::{http_not_found, http_response, ServerObs, WorkerObs};
+use crate::fault::FaultPlan;
+use crate::frame::{parse_frame, FrameAssembler};
+use crate::obs::{
+    http_not_found, http_response, ServerObs, WorkerObs, FAULT_CORRUPT, FAULT_DELAY,
+    FAULT_DISCONNECT, FAULT_PANIC, FAULT_STALL,
+};
 use crate::stats::{ServerReport, ServerStats};
-use crate::worker::{run_worker, Ctl, WorkerCtx};
+use crate::worker::{run_worker, Ctl, TriageFactory, WorkerCtx};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use dt_obs::MetricsRegistry;
 use dt_synopsis::SynopsisConfig;
 use dt_triage::{
-    QueryExecutor, RunReport, RunTotals, SealedWindow, ShedMode, StreamTriage, SynPair,
-    WindowResult,
+    QueryExecutor, RunReport, RunTotals, SealedWindow, ShedMode, SynPair, WindowResult,
 };
 use dt_types::{Clock, DtError, DtResult, Timestamp, Tuple, VDuration, WindowId, WindowSpec};
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -33,6 +36,14 @@ use std::time::Duration;
 /// blocked connection reads re-check the stop flag.
 const MERGER_POLL: Duration = Duration::from_millis(2);
 const CONN_READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Real time the watchdog waits after a watermark broadcast before it
+/// may force-seal. A healthy worker answers a watermark in
+/// microseconds; under a virtual clock a single `set` can make the
+/// (virtual) watchdog deadline pass in the same instant the watermark
+/// first goes out, and this guard keeps the watchdog from racing the
+/// healthy seal already in flight.
+const WATCHDOG_REAL_GRACE: Duration = Duration::from_millis(200);
 
 enum MergerMsg {
     Stop,
@@ -49,6 +60,15 @@ struct Inner {
     data_tx: Vec<Sender<Tuple>>,
     ctl_tx: Vec<Sender<Ctl>>,
     stop: AtomicBool,
+    /// The active fault-injection schedule (disabled in production).
+    fault: FaultPlan,
+    /// Rejected frames tolerated per ingest connection before it is
+    /// closed with a structured error frame.
+    error_budget: u64,
+    /// Ingest-connection ids, drawn lazily at a connection's first
+    /// data line (HTTP probes never draw one, keeping the ids — and
+    /// thus the fault schedule — deterministic for test harnesses).
+    conn_seq: AtomicU64,
 }
 
 /// Cloneable ingest facade onto a running server.
@@ -189,11 +209,18 @@ impl Server {
         for (i, s) in exec.streams().iter().enumerate() {
             let (dtx, drx) = bounded::<Tuple>(cfg.channel_capacity);
             let (ctx_tx, crx) = unbounded::<Ctl>();
-            let triage = StreamTriage::new(i, s.schema.arity(), cfg.mode, cfg.synopsis, spec)
-                .with_metrics(&cfg.metrics, &s.name);
+            let factory = TriageFactory {
+                stream: i,
+                arity: s.schema.arity(),
+                mode: cfg.mode,
+                synopsis: cfg.synopsis,
+                spec,
+                metrics: cfg.metrics.clone(),
+                name: s.name.clone(),
+            };
             let wctx = WorkerCtx {
                 stream: i,
-                triage,
+                factory,
                 data_rx: drx,
                 ctl_rx: crx,
                 sealed_tx: sealed_tx.clone(),
@@ -202,6 +229,9 @@ impl Server {
                 spec,
                 stats: Arc::clone(&stats),
                 obs: WorkerObs::register(&cfg.metrics, &s.name, obs.queue_depth[i].clone()),
+                fault: cfg.fault.clone(),
+                fault_panic_ctr: obs.faults_injected[FAULT_PANIC].clone(),
+                fault_stall_ctr: obs.faults_injected[FAULT_STALL].clone(),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -224,6 +254,9 @@ impl Server {
             data_tx,
             ctl_tx,
             stop: AtomicBool::new(false),
+            fault: cfg.fault.clone(),
+            error_budget: cfg.conn_error_budget,
+            conn_seq: AtomicU64::new(0),
         });
         let handle = ServerHandle {
             inner: Arc::clone(&inner),
@@ -233,9 +266,19 @@ impl Server {
         let merger_inner = Arc::clone(&inner);
         let synopsis = cfg.synopsis;
         let grace = cfg.grace;
+        let watchdog = cfg.seal_watchdog;
         let merger = std::thread::Builder::new()
             .name("dt-merger".to_string())
-            .spawn(move || run_merger(merger_inner, synopsis, grace, sealed_rx, merger_rx))
+            .spawn(move || {
+                run_merger(
+                    merger_inner,
+                    synopsis,
+                    grace,
+                    watchdog,
+                    sealed_rx,
+                    merger_rx,
+                )
+            })
             .map_err(|e| DtError::engine(format!("spawn merger: {e}")))?;
 
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -326,13 +369,29 @@ impl Server {
     }
 }
 
+/// How a window's missing per-stream slots are treated at emission.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Fill {
+    /// Every stream must have sealed the window (normal emission).
+    Strict,
+    /// Synthesize clean empty seals — the stream was simply idle
+    /// (shutdown drain, where workers have already sealed everything
+    /// they ever opened).
+    Idle,
+    /// Synthesize *degraded* empty seals — the stream's worker is
+    /// stalled and the watchdog is sealing past it.
+    Forced,
+}
+
 /// The merger loop: collect sealed per-stream windows, emit each
-/// window (strictly in id order) once every stream has sealed it, and
-/// drive the seal watermark off the clock.
+/// window (strictly in id order) once every stream has sealed it,
+/// drive the seal watermark off the clock, and force-seal past
+/// stalled workers once the watchdog deadline passes.
 fn run_merger(
     inner: Arc<Inner>,
     synopsis: SynopsisConfig,
     grace: VDuration,
+    watchdog: Option<VDuration>,
     sealed_rx: Receiver<SealedWindow>,
     merger_rx: Receiver<MergerMsg>,
 ) -> DtResult<ServerReport> {
@@ -344,9 +403,17 @@ fn run_merger(
     let mut peak_units: usize = 0;
     let mut next_emit: WindowId = 0;
     let mut last_seal: Option<WindowId> = None;
+    let mut last_seal_sent = std::time::Instant::now();
 
-    let collect = |pending: &mut BTreeMap<WindowId, Vec<Option<SealedWindow>>>| {
+    // Seals for windows below `next_emit` are *stale*: the watchdog
+    // already force-sealed them, and a late contribution must not
+    // resurrect an emitted window.
+    let collect = |pending: &mut BTreeMap<WindowId, Vec<Option<SealedWindow>>>,
+                   next_emit: WindowId| {
         for s in sealed_rx.try_iter() {
+            if s.window < next_emit {
+                continue;
+            }
             let (win, slot) = (s.window, s.stream);
             pending.entry(win).or_insert_with(|| vec![None; n_streams])[slot] = Some(s);
         }
@@ -358,7 +425,7 @@ fn run_merger(
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => false,
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => true,
         };
-        collect(&mut pending);
+        collect(&mut pending, next_emit);
 
         if stop {
             // Workers have drained and joined; every sealed window is
@@ -374,7 +441,7 @@ fn run_merger(
                     &mut results,
                     &mut peak_units,
                     w,
-                    true,
+                    Fill::Idle,
                 )?;
                 next_emit = next_emit.max(w + 1);
             }
@@ -395,14 +462,41 @@ fn run_merger(
                 &mut results,
                 &mut peak_units,
                 w,
-                false,
+                Fill::Strict,
             )?;
             next_emit = w + 1;
         }
 
+        let now = inner.clock.now();
+
+        // The sealer watchdog: the watermark has covered `next_emit`
+        // (a healthy worker seals promptly on the watermark message),
+        // yet some stream still hasn't sealed it well past the
+        // deadline — force-seal from whatever contributions exist and
+        // flag the result degraded, so one wedged worker degrades its
+        // own windows instead of stalling every query's emission.
+        if let Some(wd) = watchdog {
+            while last_seal.is_some_and(|s| s >= next_emit)
+                && last_seal_sent.elapsed() >= WATCHDOG_REAL_GRACE
+                && now.micros()
+                    >= spec.window_end(next_emit).micros() + grace.micros() + wd.micros()
+            {
+                inner.obs.windows_force_sealed.inc();
+                emit_window(
+                    &inner,
+                    &synopsis,
+                    &mut pending,
+                    &mut results,
+                    &mut peak_units,
+                    next_emit,
+                    Fill::Forced,
+                )?;
+                next_emit += 1;
+            }
+        }
+
         // Advance the seal watermark: every window whose end (plus
         // grace) has passed gets sealed on all streams.
-        let now = inner.clock.now();
         let lag = (spec.width() + grace).micros();
         if now.micros() >= lag {
             let upto = (now.micros() - lag) / spec.slide().micros();
@@ -415,6 +509,7 @@ fn run_merger(
                     let _ = tx.send(Ctl::Seal(upto));
                 }
                 last_seal = Some(upto);
+                last_seal_sent = std::time::Instant::now();
             }
         }
     }
@@ -438,6 +533,7 @@ fn run_merger(
         reports,
         streams: snaps,
         windows_emitted: inner.stats.windows_emitted.load(Ordering::SeqCst),
+        windows_degraded: inner.stats.windows_degraded.load(Ordering::SeqCst),
         // The drain-time snapshot: short-lived runs keep whatever the
         // last scrape interval would have shown.
         obs: inner.metrics.is_enabled().then(|| inner.metrics.snapshot()),
@@ -452,20 +548,30 @@ fn emit_window(
     results: &mut [Vec<WindowResult>],
     peak_units: &mut usize,
     w: WindowId,
-    fill_missing: bool,
+    fill: Fill,
 ) -> DtResult<()> {
     let exec = &inner.exec;
     let spec = exec.spec();
-    let slots = pending.remove(&w).expect("window present");
+    // A watchdog force-seal may fire before *any* stream sealed the
+    // window; start from an all-missing row in that case.
+    let slots = match pending.remove(&w) {
+        Some(slots) => slots,
+        None if fill == Fill::Forced => vec![None; exec.streams().len()],
+        None => return Err(DtError::engine("emitting an absent window")),
+    };
     let mut shared_rows: Vec<Vec<dt_types::Row>> = Vec::with_capacity(slots.len());
     let mut pairs: Vec<SynPair> = Vec::new();
     let (mut arrived, mut kept, mut dropped) = (0u64, 0u64, 0u64);
+    let mut degraded = false;
     for (i, slot) in slots.into_iter().enumerate() {
         let sw = match slot {
             Some(sw) => sw,
-            None if fill_missing => {
-                // An idle stream never opened this window; its seal is
-                // empty rows plus freshly sealed empty synopses.
+            None if fill != Fill::Strict => {
+                // Synthesize the missing seal: empty rows plus freshly
+                // sealed empty synopses. Under `Fill::Idle` the stream
+                // was genuinely idle (clean); under `Fill::Forced` its
+                // worker is stalled and whatever it held for this
+                // window is lost — degraded.
                 let syn = if inner.mode.uses_synopses() {
                     let arity = exec.streams()[i].schema.arity();
                     let mut kept_syn = synopsis.build(arity)?;
@@ -487,6 +593,7 @@ fn emit_window(
                     arrived: 0,
                     kept: 0,
                     dropped: 0,
+                    degraded: fill == Fill::Forced,
                 }
             }
             None => return Err(DtError::engine("emitting an incomplete window")),
@@ -494,6 +601,7 @@ fn emit_window(
         arrived += sw.arrived;
         kept += sw.kept;
         dropped += sw.dropped;
+        degraded |= sw.degraded;
         shared_rows.push(sw.rows);
         if let Some(p) = sw.syn {
             pairs.push(p);
@@ -528,9 +636,13 @@ fn emit_window(
             arrived,
             kept,
             dropped,
+            degraded,
         });
     }
     inner.stats.windows_emitted.fetch_add(1, Ordering::SeqCst);
+    if degraded {
+        inner.stats.windows_degraded.fetch_add(1, Ordering::SeqCst);
+    }
     Ok(())
 }
 
@@ -559,61 +671,184 @@ fn run_acceptor(
     }
 }
 
+/// Ingest-side state for one NDJSON connection: line accounting, the
+/// error budget, and fault-plan holdbacks.
+struct ConnState {
+    /// This connection's ingest id, drawn lazily at the first data
+    /// line so HTTP probe connections never consume one.
+    id: Option<u64>,
+    /// Data lines seen so far (the fault plan's line index).
+    lines: u64,
+    /// Frames this connection had rejected.
+    errors: u64,
+    /// Lines the fault plan is holding back: `(release_after, text)`.
+    held: Vec<(u64, String)>,
+}
+
+impl ConnState {
+    /// Offer a frame and account failures; `true` means the error
+    /// budget is exhausted and the caller must close the connection
+    /// (after flushing holdbacks).
+    fn process(&mut self, handle: &ServerHandle, text: &str) -> bool {
+        if handle.offer_frame(text).is_err() {
+            let inner = &*handle.inner;
+            inner.obs.ingest_errors.inc();
+            inner.obs.frames_rejected.inc();
+            inner.stats.parse_errors.fetch_add(1, Ordering::SeqCst);
+            self.errors += 1;
+            return self.errors >= inner.error_budget;
+        }
+        false
+    }
+
+    /// Release every held line due at or before line index `upto`
+    /// (`u64::MAX` flushes all — done before any close or on idle, so
+    /// a delayed frame is never outright lost).
+    fn release_held(&mut self, handle: &ServerHandle, upto: u64) -> bool {
+        let mut exhausted = false;
+        while let Some(pos) = self.held.iter().position(|(due, _)| *due <= upto) {
+            let (_, text) = self.held.remove(pos);
+            exhausted |= self.process(handle, &text);
+        }
+        exhausted
+    }
+}
+
 /// One client connection: either an HTTP-ish probe (first line starts
 /// with `GET ` — `/stats` answers JSON, `/metrics` Prometheus text
 /// exposition) or a stream of NDJSON tuple frames until EOF.
+///
+/// Malformed frames are *skipped*, not fatal: each one increments
+/// `parse_errors`/`frames_rejected`, and only when a connection
+/// exhausts its error budget does the server answer with a structured
+/// error frame and close it. Every close path (budget, injected
+/// disconnect, EOF, I/O error) first flushes fault-plan holdbacks, so
+/// the frames a connection has *processed* are always exactly the
+/// prefix of the frames it has *read*.
 fn serve_conn(stream: TcpStream, handle: ServerHandle) {
     let _ = stream.set_read_timeout(Some(CONN_READ_TIMEOUT));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut reader = stream;
+    let fault = handle.inner.fault.clone();
+    let mut asm = FrameAssembler::new();
+    let mut buf = [0u8; 16 * 1024];
     let mut first = true;
+    let mut st = ConnState {
+        id: None,
+        lines: 0,
+        errors: 0,
+        held: Vec::new(),
+    };
+    // Close the connection: flush holdbacks, optionally send the
+    // structured budget-exhausted frame.
+    let close = |st: &mut ConnState, writer: &mut TcpStream, budget: bool| {
+        let _ = st.release_held(&handle, u64::MAX);
+        if budget {
+            let msg = format!(
+                "{{\"error\":\"error budget exhausted\",\"rejected\":{},\"budget\":{}}}\n",
+                st.errors, handle.inner.error_budget
+            );
+            let _ = writer.write_all(msg.as_bytes());
+        }
+    };
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // EOF
-            Ok(_) => {
-                let trimmed = line.trim();
-                if first && trimmed.starts_with("GET ") {
-                    let path = trimmed.split_whitespace().nth(1).unwrap_or("/stats");
-                    let reply = if path.starts_with("/stats") {
-                        let body = format!("{}\n", handle.inner.stats.render_json().render());
-                        http_response("application/json", &body)
-                    } else if path.starts_with("/metrics") {
-                        http_response(
-                            "text/plain; version=0.0.4",
-                            &handle.inner.metrics.render_prometheus(),
-                        )
+        match reader.read(&mut buf) {
+            Ok(0) => {
+                // EOF. A trailing fragment is a torn frame: count it
+                // against the budget like any other bad line.
+                if let Some(partial) = asm.take_partial() {
+                    if !partial.trim().is_empty() {
+                        st.process(&handle, partial.trim());
+                    }
+                }
+                close(&mut st, &mut writer, false);
+                return;
+            }
+            Ok(n) => {
+                asm.push(&buf[..n]);
+                while let Some(line) = asm.next_line() {
+                    let trimmed = line.trim();
+                    if first && trimmed.starts_with("GET ") {
+                        let path = trimmed.split_whitespace().nth(1).unwrap_or("/stats");
+                        let reply = if path.starts_with("/stats") {
+                            let body = format!("{}\n", handle.inner.stats.render_json().render());
+                            http_response("application/json", &body)
+                        } else if path.starts_with("/metrics") {
+                            http_response(
+                                "text/plain; version=0.0.4",
+                                &handle.inner.metrics.render_prometheus(),
+                            )
+                        } else {
+                            http_not_found()
+                        };
+                        let _ = writer.write_all(reply.as_bytes());
+                        return;
+                    }
+                    first = false;
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let id = *st.id.get_or_insert_with(|| {
+                        handle.inner.conn_seq.fetch_add(1, Ordering::SeqCst)
+                    });
+                    let line_no = st.lines;
+                    st.lines += 1;
+                    let mut text = trimmed.to_string();
+                    if !fault.is_disabled() {
+                        if let Some(kind) = fault.corrupt(id, line_no) {
+                            handle.inner.obs.faults_injected[FAULT_CORRUPT].inc();
+                            text = fault.corrupt_line(kind, id, line_no, &text);
+                        }
+                    }
+                    let mut exhausted = false;
+                    if let Some(k) = (!fault.is_disabled())
+                        .then(|| fault.delay(id, line_no))
+                        .flatten()
+                    {
+                        handle.inner.obs.faults_injected[FAULT_DELAY].inc();
+                        st.held.push((line_no + k, text));
                     } else {
-                        http_not_found()
-                    };
-                    let _ = writer.write_all(reply.as_bytes());
-                    return;
+                        exhausted = st.process(&handle, &text);
+                    }
+                    exhausted |= st.release_held(&handle, line_no);
+                    if exhausted {
+                        close(&mut st, &mut writer, true);
+                        return;
+                    }
+                    if !fault.is_disabled() && fault.disconnect_after(id, line_no) {
+                        // Mid-stream disconnect: drop the socket with
+                        // no farewell — any lines already buffered
+                        // past this one are discarded unread, exactly
+                        // like a torn network path.
+                        handle.inner.obs.faults_injected[FAULT_DISCONNECT].inc();
+                        close(&mut st, &mut writer, false);
+                        return;
+                    }
                 }
-                first = false;
-                if !trimmed.is_empty() && handle.offer_frame(trimmed).is_err() {
-                    handle.inner.obs.ingest_errors.inc();
-                    handle
-                        .inner
-                        .stats
-                        .parse_errors
-                        .fetch_add(1, Ordering::SeqCst);
-                }
-                line.clear();
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                // Keep any partial line already buffered; just check
-                // whether we're shutting down.
+                // Idle: release every holdback (delayed frames must
+                // not outlive the lull that would seal their window),
+                // then check for shutdown.
+                if st.release_held(&handle, u64::MAX) {
+                    close(&mut st, &mut writer, true);
+                    return;
+                }
                 if handle.inner.stop.load(Ordering::SeqCst) {
+                    close(&mut st, &mut writer, false);
                     return;
                 }
             }
-            Err(_) => return,
+            Err(_) => {
+                close(&mut st, &mut writer, false);
+                return;
+            }
         }
     }
 }

@@ -33,6 +33,10 @@ pub struct ServerStats {
     pub windows_emitted: AtomicU64,
     /// Ingest lines that failed to parse as tuple frames.
     pub parse_errors: AtomicU64,
+    /// Emitted windows flagged degraded: some stream's contribution
+    /// was incomplete beyond normal shedding (worker crash recovery or
+    /// a watchdog force-seal). See DESIGN.md §10.
+    pub windows_degraded: AtomicU64,
 }
 
 impl ServerStats {
@@ -45,6 +49,7 @@ impl ServerStats {
                 .collect(),
             windows_emitted: AtomicU64::new(0),
             parse_errors: AtomicU64::new(0),
+            windows_degraded: AtomicU64::new(0),
         }
     }
 
@@ -85,6 +90,10 @@ impl ServerStats {
                 "parse_errors",
                 self.parse_errors.load(Ordering::SeqCst).to_json(),
             ),
+            (
+                "windows_degraded",
+                self.windows_degraded.load(Ordering::SeqCst).to_json(),
+            ),
         ])
     }
 
@@ -99,9 +108,10 @@ impl ServerStats {
             ));
         }
         out.push_str(&format!(
-            "windows_emitted {}\nparse_errors {}\n",
+            "windows_emitted {}\nparse_errors {}\nwindows_degraded {}\n",
             self.windows_emitted.load(Ordering::SeqCst),
-            self.parse_errors.load(Ordering::SeqCst)
+            self.parse_errors.load(Ordering::SeqCst),
+            self.windows_degraded.load(Ordering::SeqCst)
         ));
         out
     }
@@ -185,6 +195,9 @@ pub struct ServerReport {
     pub streams: Vec<StreamSnapshot>,
     /// Windows fully merged and emitted (per query).
     pub windows_emitted: u64,
+    /// Emitted windows flagged degraded (crash recovery or watchdog
+    /// force-seal touched them).
+    pub windows_degraded: u64,
     /// Observability snapshot taken during the graceful drain, when
     /// the server ran with a live [`dt_obs::MetricsRegistry`] — the
     /// last scrape interval survives shutdown.
@@ -202,6 +215,7 @@ impl ToJson for ServerReport {
             ("reports", Json::Arr(summaries)),
             ("streams", self.streams.to_json()),
             ("windows_emitted", self.windows_emitted.to_json()),
+            ("windows_degraded", self.windows_degraded.to_json()),
             (
                 "obs",
                 match &self.obs {

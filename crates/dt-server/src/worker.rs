@@ -1,4 +1,4 @@
-//! The per-stream triage worker thread.
+//! The per-stream triage worker thread and its panic supervisor.
 //!
 //! Each worker owns one stream's [`StreamTriage`] and two inbound
 //! lanes: the **bounded data channel** (the triage queue — ingest
@@ -14,12 +14,30 @@
 //! `capacity + 1` tuples fit upstream of the (stopped) engine, and
 //! every tuple past that is shed — precisely the paper's triage-queue
 //! overflow, reproduced under test control.
+//!
+//! # Supervision
+//!
+//! [`run_worker`] wraps the loop in a restart supervisor: a panic
+//! (injected by the [`FaultPlan`] or a genuine bug) is caught with
+//! `catch_unwind`, a fresh [`StreamTriage`] is built from the
+//! [`TriageFactory`], and processing resumes from the crashed
+//! instance's seal frontier. Windows the crashed instance had open
+//! lose their accumulated contents; the replacement marks that range
+//! *degraded* ([`StreamTriage::mark_degraded_until`]) so downstream
+//! consumers know those results are incomplete beyond normal shedding
+//! (DESIGN.md §10). The parked pacing tuple and the cumulative
+//! consumed count live in the supervisor frame, so neither is lost to
+//! a restart.
 
+use crate::fault::FaultPlan;
 use crate::obs::WorkerObs;
 use crate::stats::ServerStats;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use dt_triage::{SealedWindow, StreamTriage};
+use dt_obs::{Counter, MetricsRegistry};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{SealedWindow, ShedMode, StreamTriage};
 use dt_types::{Clock, DtResult, Tuple, WindowId, WindowSpec};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
@@ -38,10 +56,29 @@ pub(crate) enum Ctl {
     Stop,
 }
 
+/// Recipe for a stream's [`StreamTriage`], kept by the supervisor so
+/// a crashed instance can be rebuilt identically.
+pub(crate) struct TriageFactory {
+    pub stream: usize,
+    pub arity: usize,
+    pub mode: ShedMode,
+    pub synopsis: SynopsisConfig,
+    pub spec: WindowSpec,
+    pub metrics: MetricsRegistry,
+    pub name: String,
+}
+
+impl TriageFactory {
+    pub(crate) fn build(&self) -> StreamTriage {
+        StreamTriage::new(self.stream, self.arity, self.mode, self.synopsis, self.spec)
+            .with_metrics(&self.metrics, &self.name)
+    }
+}
+
 /// Everything one worker thread needs.
 pub(crate) struct WorkerCtx {
     pub stream: usize,
-    pub triage: StreamTriage,
+    pub factory: TriageFactory,
     pub data_rx: Receiver<Tuple>,
     pub ctl_rx: Receiver<Ctl>,
     pub sealed_tx: Sender<SealedWindow>,
@@ -50,6 +87,10 @@ pub(crate) struct WorkerCtx {
     pub spec: WindowSpec,
     pub stats: Arc<ServerStats>,
     pub obs: WorkerObs,
+    pub fault: FaultPlan,
+    /// `faults_injected{kind="panic"}` and `{kind="stall_seal"}`.
+    pub fault_panic_ctr: Counter,
+    pub fault_stall_ctr: Counter,
 }
 
 fn consume(
@@ -85,13 +126,29 @@ fn consume_batch(
     Ok(())
 }
 
-/// The worker loop. Runs until [`Ctl::Stop`] (or every channel
-/// disconnecting); returns the first triage error, which the server
-/// surfaces at shutdown.
+/// Bump the cumulative consumed count by `n` and panic at the first
+/// tuple the fault plan marks. Called *after* the tuples are folded,
+/// so the triage the supervisor inspects post-panic is consistent.
+fn panic_check(fault: &FaultPlan, stream: usize, consumed: &mut u64, n: usize, ctr: &Counter) {
+    for _ in 0..n {
+        *consumed += 1;
+        if fault.worker_panic(stream, *consumed) {
+            ctr.inc();
+            panic!("injected worker panic: stream {stream} after tuple {consumed}");
+        }
+    }
+}
+
+/// The supervisor: run the worker loop, restart it on panic.
+///
+/// On each restart the fresh triage resumes at the crashed one's seal
+/// frontier and flags every window the old one had open as degraded.
+/// Returns the first triage *error* (errors are not retried — they
+/// mean misconfiguration, not a crash).
 pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
     let WorkerCtx {
         stream,
-        mut triage,
+        factory,
         data_rx,
         ctl_rx,
         sealed_tx,
@@ -100,9 +157,90 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
         spec,
         stats,
         obs,
+        fault,
+        fault_panic_ctr,
+        fault_stall_ctr,
     } = ctx;
-    // The one tuple held back by timestamp pacing.
+    let mut triage = factory.build();
+    // Supervisor-owned state that survives a restart.
+    let mut consumed: u64 = 0;
     let mut pending: Option<Tuple> = None;
+    let mut in_stop = false;
+    loop {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(
+                stream,
+                &mut triage,
+                &data_rx,
+                &ctl_rx,
+                &sealed_tx,
+                &clock,
+                pace,
+                spec,
+                &stats,
+                &obs,
+                &fault,
+                &mut consumed,
+                &mut pending,
+                &mut in_stop,
+                &fault_panic_ctr,
+                &fault_stall_ctr,
+            )
+        }));
+        match result {
+            Ok(done) => return done,
+            Err(_) => {
+                obs.worker_restarts.inc();
+                // The crashed instance's seal frontier and open range
+                // are readable: injected panics fire outside triage
+                // methods, so its bookkeeping is consistent.
+                let resume = triage.next_seal();
+                let degraded_to = triage
+                    .max_open()
+                    .map(|w| w + 1)
+                    .unwrap_or(resume)
+                    .max(resume);
+                let mut fresh = factory.build();
+                fresh.resume_from(resume);
+                fresh.mark_degraded_until(degraded_to);
+                triage = fresh;
+                if in_stop {
+                    // The Stop message died with the crashed instance;
+                    // finish the drain here rather than waiting for a
+                    // second Stop that will never come.
+                    let n = data_rx.try_iter().count();
+                    obs.queue_depth.sub(n as i64);
+                    for w in triage.seal_all()? {
+                        let _ = sealed_tx.send(w);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// One incarnation of the worker loop. Runs until [`Ctl::Stop`] (or
+/// every channel disconnecting); returns the first triage error.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    stream: usize,
+    triage: &mut StreamTriage,
+    data_rx: &Receiver<Tuple>,
+    ctl_rx: &Receiver<Ctl>,
+    sealed_tx: &Sender<SealedWindow>,
+    clock: &Arc<dyn Clock>,
+    pace: bool,
+    spec: WindowSpec,
+    stats: &ServerStats,
+    obs: &WorkerObs,
+    fault: &FaultPlan,
+    consumed: &mut u64,
+    pending: &mut Option<Tuple>,
+    in_stop: &mut bool,
+    fault_panic_ctr: &Counter,
+    fault_stall_ctr: &Counter,
+) -> DtResult<()> {
     // Reusable drain buffer for the batched seal/stop paths.
     let mut batch: Vec<Tuple> = Vec::new();
     loop {
@@ -114,6 +252,13 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
                 continue;
             }
             Ok(Ctl::Seal(upto)) => {
+                if fault.stall_seal(stream, upto) {
+                    // Swallow this watermark: the windows stay open
+                    // until the next watermark re-covers them — or the
+                    // merger's watchdog force-seals past us.
+                    fault_stall_ctr.inc();
+                    continue;
+                }
                 // Everything already queued that belongs at or below
                 // the watermark has arrived — consume it (pacing
                 // aside) so the seal doesn't orphan it as late.
@@ -133,17 +278,21 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
                     if t.ts < end {
                         batch.push(t);
                     } else {
-                        pending = Some(t);
+                        *pending = Some(t);
                         break;
                     }
                 }
-                consume_batch(&mut triage, &batch, stream, &stats, &obs)?;
+                consume_batch(triage, &batch, stream, stats, obs)?;
+                let n = batch.len();
+                batch.clear();
+                panic_check(fault, stream, consumed, n, fault_panic_ctr);
                 for w in triage.seal_through(upto)? {
                     let _ = sealed_tx.send(w);
                 }
                 continue;
             }
             Ok(Ctl::Stop) => {
+                *in_stop = true;
                 // The control lane is FIFO, so every shed victim sent
                 // before Stop has been folded already; drain the rest
                 // of the data lane unpaced and seal everything.
@@ -152,7 +301,10 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
                 let parked = batch.len();
                 batch.extend(data_rx.try_iter());
                 obs.queue_depth.sub((batch.len() - parked) as i64);
-                consume_batch(&mut triage, &batch, stream, &stats, &obs)?;
+                consume_batch(triage, &batch, stream, stats, obs)?;
+                let n = batch.len();
+                batch.clear();
+                panic_check(fault, stream, consumed, n, fault_panic_ctr);
                 for c in ctl_rx.try_iter() {
                     if let Ctl::Shed(t) = c {
                         if !triage.shed(&t)? {
@@ -176,13 +328,14 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
         }
         if let Some(t) = pending.take() {
             if !pace || clock.now() >= t.ts {
-                consume(&mut triage, &t, stream, &stats)?;
+                consume(triage, &t, stream, stats)?;
+                panic_check(fault, stream, consumed, 1, fault_panic_ctr);
             } else {
                 // Still ahead of the clock: park it again and nap
                 // briefly (a real nap — a virtual clock only moves
                 // when the test moves it, and we must keep serving
                 // the control lane meanwhile).
-                pending = Some(t);
+                *pending = Some(t);
                 std::thread::sleep(POLL);
             }
             continue;
@@ -191,9 +344,10 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
             Ok(t) => {
                 obs.queue_depth.sub(1);
                 if pace && t.ts > clock.now() {
-                    pending = Some(t);
+                    *pending = Some(t);
                 } else {
-                    consume(&mut triage, &t, stream, &stats)?;
+                    consume(triage, &t, stream, stats)?;
+                    panic_check(fault, stream, consumed, 1, fault_panic_ctr);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}

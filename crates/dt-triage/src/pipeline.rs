@@ -118,6 +118,12 @@ pub struct WindowResult {
     pub kept: u64,
     /// Tuples shed (and, outside drop-only mode, synopsized).
     pub dropped: u64,
+    /// True when part of this window's state was lost to a fault
+    /// (worker crash, forced seal of a stalled stream) rather than
+    /// shed by policy. The payload is still the best available
+    /// answer, but the shedding error bounds no longer apply — see
+    /// DESIGN.md §10. Always `false` in the simulation pipeline.
+    pub degraded: bool,
 }
 
 impl WindowResult {

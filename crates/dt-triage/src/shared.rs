@@ -439,6 +439,7 @@ impl SharedPipeline {
                 arrived: stats.arrived,
                 kept: stats.kept,
                 dropped: stats.dropped,
+                degraded: false,
             });
         }
         Ok(())

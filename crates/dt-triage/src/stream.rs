@@ -45,6 +45,12 @@ pub struct SealedWindow {
     pub kept: u64,
     /// Tuples shed.
     pub dropped: u64,
+    /// True when this window's state may be incomplete beyond normal
+    /// shedding — e.g. the owning worker crashed and was restarted
+    /// while the window was open, losing consumed-but-unsealed
+    /// tuples. Degraded windows still carry whatever survived; the
+    /// flag tells consumers the usual RMS-error bounds do not apply.
+    pub degraded: bool,
 }
 
 /// Open-window state.
@@ -68,6 +74,9 @@ pub struct StreamTriage {
     wins: BTreeMap<WindowId, WinState>,
     /// Windows below this id are sealed; tuples for them are late.
     next_seal: WindowId,
+    /// Windows below this id (and at or above `next_seal`) seal with
+    /// the `degraded` flag set — the crash-recovery marker.
+    degraded_until: WindowId,
     late: u64,
     /// Reusable synopsis-point buffer for the per-tuple hot path.
     point_scratch: Vec<i64>,
@@ -93,6 +102,7 @@ impl StreamTriage {
             spec,
             wins: BTreeMap::new(),
             next_seal: 0,
+            degraded_until: 0,
             late: 0,
             point_scratch: Vec::new(),
             obs: StreamObs::default(),
@@ -110,6 +120,26 @@ impl StreamTriage {
     /// The id of the next window a seal will emit.
     pub fn next_seal(&self) -> WindowId {
         self.next_seal
+    }
+
+    /// The highest window id currently open, if any.
+    pub fn max_open(&self) -> Option<WindowId> {
+        self.wins.keys().next_back().copied()
+    }
+
+    /// Resume a replacement triage where a crashed predecessor left
+    /// off: windows below `next_seal` were already sealed and emitted,
+    /// so this instance must never re-seal them.
+    pub fn resume_from(&mut self, next_seal: WindowId) {
+        self.next_seal = next_seal;
+        self.degraded_until = self.degraded_until.max(next_seal);
+    }
+
+    /// Mark every window below `upto` (and not yet sealed) as
+    /// degraded: the predecessor may have consumed tuples for them
+    /// that died with it, so their seals are flagged.
+    pub fn mark_degraded_until(&mut self, upto: WindowId) {
+        self.degraded_until = self.degraded_until.max(upto);
     }
 
     /// Tuples discarded because their window was already sealed.
@@ -288,6 +318,7 @@ impl StreamTriage {
             arrived: st.arrived,
             kept: st.kept,
             dropped: st.dropped,
+            degraded: w < self.degraded_until,
         })
     }
 
@@ -307,9 +338,13 @@ impl StreamTriage {
 
     /// Seal everything still open (shutdown drain). Gaps between open
     /// windows are emitted as empty windows so the sealed sequence
-    /// stays contiguous.
+    /// stays contiguous, and the degraded range is always covered —
+    /// windows a crashed predecessor had open must be reported (as
+    /// degraded) even when the replacement never saw a tuple for them.
     pub fn seal_all(&mut self) -> DtResult<Vec<SealedWindow>> {
-        match self.wins.keys().next_back().copied() {
+        let last_open = self.wins.keys().next_back().copied();
+        let last_degraded = self.degraded_until.checked_sub(1);
+        match last_open.max(last_degraded) {
             Some(last) => self.seal_through(last),
             None => Ok(Vec::new()),
         }
@@ -384,6 +419,40 @@ mod tests {
         assert!(sealed[1].rows.is_empty());
         // Idempotent: nothing left.
         assert!(t.seal_through(3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn resumed_triage_flags_the_degraded_range() {
+        // Simulate a crash: the predecessor sealed window 0, then died
+        // with windows 1 and 2 open. The replacement resumes at 1 and
+        // marks everything through 2 degraded.
+        let mut t = triage(ShedMode::DataTriage);
+        t.resume_from(1);
+        t.mark_degraded_until(3);
+        // A fresh tuple for window 2 still lands and is reported.
+        assert!(t.keep(&tup(9, 2_500_000)).unwrap());
+        let sealed = t.seal_all().unwrap();
+        let ids: Vec<WindowId> = sealed.iter().map(|s| s.window).collect();
+        assert_eq!(ids, vec![1, 2], "resumes after the sealed prefix");
+        assert!(sealed.iter().all(|s| s.degraded), "crash range flagged");
+        assert_eq!(sealed[1].kept, 1, "post-restart tuples survive");
+        // Windows past the degraded range seal clean again.
+        t.keep(&tup(1, 3_500_000)).unwrap();
+        let clean = t.seal_all().unwrap();
+        assert_eq!(clean.len(), 1);
+        assert!(!clean[0].degraded);
+    }
+
+    #[test]
+    fn seal_all_covers_an_empty_degraded_range() {
+        let mut t = triage(ShedMode::DataTriage);
+        t.mark_degraded_until(2);
+        // No tuples at all: the degraded windows must still be
+        // reported so the merger can flag them instead of losing them.
+        let sealed = t.seal_all().unwrap();
+        let ids: Vec<WindowId> = sealed.iter().map(|s| s.window).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert!(sealed.iter().all(|s| s.degraded && s.arrived == 0));
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub enum DtError {
     Synopsis(String),
     /// Invalid configuration of an experiment or component.
     Config(String),
+    /// An I/O operation exceeded its deadline (socket reads, client
+    /// requests). Distinguished from [`DtError::Engine`] so callers
+    /// can retry timeouts without retrying genuine failures.
+    Timeout(String),
 }
 
 impl DtError {
@@ -59,6 +63,16 @@ impl DtError {
     pub fn config(msg: impl Into<String>) -> Self {
         DtError::Config(msg.into())
     }
+
+    /// Shorthand constructor for timeout errors.
+    pub fn timeout(msg: impl Into<String>) -> Self {
+        DtError::Timeout(msg.into())
+    }
+
+    /// True for [`DtError::Timeout`] — the retryable class.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, DtError::Timeout(_))
+    }
 }
 
 impl fmt::Display for DtError {
@@ -73,6 +87,7 @@ impl fmt::Display for DtError {
             DtError::Engine(m) => write!(f, "engine error: {m}"),
             DtError::Synopsis(m) => write!(f, "synopsis error: {m}"),
             DtError::Config(m) => write!(f, "configuration error: {m}"),
+            DtError::Timeout(m) => write!(f, "timed out: {m}"),
         }
     }
 }
@@ -111,6 +126,10 @@ mod tests {
             DtError::rewrite("no joins").to_string(),
             "rewrite error: no joins"
         );
+        let t = DtError::timeout("stats read after 5s");
+        assert_eq!(t.to_string(), "timed out: stats read after 5s");
+        assert!(t.is_timeout());
+        assert!(!DtError::engine("boom").is_timeout());
     }
 
     #[test]
