@@ -9,6 +9,11 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Docs gate: rustdoc must build warning-free (broken intra-doc links
+# fail the build) and every documented example must actually run.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+cargo test -q --workspace --doc
+
 # Chaos smoke: the fault-injection suite, warning-free and serial —
 # the soak's stall detection and the watchdog's real-time grace want
 # a quiet machine, not test-thread contention.
@@ -44,3 +49,9 @@ wait "$SERVE_PID" 2>/dev/null || true
 CRITERION_BUDGET_MS=25 cargo bench -p dt-bench
 cargo run --release -p dt-bench --bin fig8 -- --quick
 cargo run --release -p dt-bench --bin bench_baseline -- --out /tmp/bench_smoke.json
+
+# Delay-constraint smoke: the adaptive-controller sweep (DESIGN.md
+# §11) must run end to end; its latency/deadline guarantees are gated
+# by the dt-triage and dt-metrics test suites, not re-judged here.
+(cd /tmp && cargo run --release --manifest-path "$OLDPWD/Cargo.toml" \
+    -p dt-bench --bin delay_sweep -- --quick)

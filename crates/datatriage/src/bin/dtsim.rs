@@ -14,6 +14,9 @@
 //!   --tuples N          total tuples to generate (default 12000)
 //!   --capacity N        engine capacity, tuples/s (default 1000)
 //!   --queue N           triage queue capacity (default 100)
+//!   --delay-ms MS       delay constraint: enable the adaptive
+//!                       controller and keep window results within MS
+//!                       milliseconds of window close (default: off)
 //!   --synopsis SPEC     sparse:W | mhist:B | mhist-aligned:B,G |
 //!                       reservoir:C | wavelet:B (default sparse:10)
 //!   --policy P          random | front | newest | synergistic
@@ -55,6 +58,7 @@ struct Args {
     tuples: usize,
     capacity: f64,
     queue: usize,
+    delay: Option<DelayConstraint>,
     synopsis: String,
     policy: String,
     window_secs: Option<f64>,
@@ -82,6 +86,7 @@ impl Default for Args {
             tuples: 12_000,
             capacity: 1_000.0,
             queue: 100,
+            delay: None,
             synopsis: "sparse:10".into(),
             policy: "random".into(),
             window_secs: None,
@@ -127,6 +132,14 @@ fn parse_args() -> Result<Args, String> {
                 args.queue = value("--queue")?
                     .parse()
                     .map_err(|e| format!("bad --queue: {e}"))?
+            }
+            "--delay-ms" => {
+                let ms: u64 = value("--delay-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --delay-ms: {e}"))?;
+                args.delay = Some(
+                    DelayConstraint::from_millis(ms).map_err(|e| format!("bad --delay-ms: {e}"))?,
+                );
             }
             "--synopsis" => args.synopsis = value("--synopsis")?,
             "--policy" => args.policy = value("--policy")?,
@@ -361,6 +374,8 @@ fn run(args: &Args) -> DtResult<()> {
         scfg.mode = mode;
         scfg.window = Some(width);
         scfg.channel_capacity = args.queue;
+        scfg.delay = args.delay;
+        scfg.cost_hint = CostModel::from_capacity(args.capacity)?;
         scfg.synopsis = parse_synopsis(&args.synopsis, args.seed).map_err(DtError::config)?;
         if args.obs {
             scfg.metrics = MetricsRegistry::new();
@@ -409,6 +424,7 @@ fn run(args: &Args) -> DtResult<()> {
         cfg.policy = parse_policy(&args.policy).map_err(DtError::config)?;
         cfg.queue_capacity = args.queue;
         cfg.cost = CostModel::from_capacity(args.capacity)?;
+        cfg.delay = args.delay;
         cfg.synopsis = parse_synopsis(&args.synopsis, args.seed).map_err(DtError::config)?;
         cfg.seed = args.seed;
         if args.incremental {

@@ -91,8 +91,8 @@ pub mod prelude {
     };
     pub use dt_synopsis::{Synopsis, SynopsisConfig};
     pub use dt_triage::{
-        DropPolicy, Pipeline, PipelineConfig, RunReport, ShedMode, TriageQueue, WindowPayload,
-        WindowResult,
+        DelayConstraint, DropPolicy, Pipeline, PipelineConfig, RunReport, ShedMode, TriageQueue,
+        WindowPayload, WindowResult,
     };
     pub use dt_types::{
         Clock, DataType, DtError, DtResult, MonotonicClock, Row, Schema, Timestamp, Tuple,

@@ -1,0 +1,97 @@
+//! The delay-vs-accuracy tradeoff curve: sweep the adaptive
+//! controller's [`dt_metrics::delay`] constraint at a fixed overload
+//! rate and tabulate RMS error, shed fraction, and window result
+//! latency per constraint (DESIGN.md §11).
+//!
+//! Expected shape: the unconstrained baseline has the best RMS and the
+//! worst latency tail; tightening the constraint trades RMS away for a
+//! latency bound the controller then honors (zero deadline misses)
+//! down to very tight constraints.
+//!
+//! ```sh
+//! cargo run --release -p dt-bench --bin delay_sweep            # full
+//! cargo run --release -p dt-bench --bin delay_sweep -- --quick # CI
+//! ```
+//!
+//! The committed `DELAY_sweep.json` at the repo root is the full
+//! (non-quick) sweep's output.
+
+use dt_bench::write_json;
+use dt_metrics::{delay_sweep, DelayPoint, SweepConfig};
+
+fn render_table(title: &str, points: &[DelayPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(
+        "constraint (ms) |        RMS error | shed |  p50 lat |  p99 lat |  max lat | misses\n",
+    );
+    out.push_str(
+        "--------------- | ---------------- | ---- | -------- | -------- | -------- | ------\n",
+    );
+    for p in points {
+        let c = match p.constraint_ms {
+            None => "(none)".to_string(),
+            Some(ms) => ms.to_string(),
+        };
+        out.push_str(&format!(
+            "{:>15} | {:>7.3} ± {:>6.3} | {:>4.2} | {:>7.4}s | {:>7.4}s | {:>7.4}s | {:>2}/{}\n",
+            c,
+            p.rms.mean,
+            p.rms.std,
+            p.drop_fraction,
+            p.p50_latency,
+            p.p99_latency,
+            p.max_latency,
+            p.deadline_misses,
+            p.windows,
+        ));
+    }
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut cfg = SweepConfig::paper_default();
+    cfg.engine_capacity = 1_000.0;
+    // Twice the engine capacity: saturated enough that every
+    // constraint in the active region must shed, mild enough that the
+    // baseline still produces meaningful results.
+    let rate = 2_000.0;
+    // Thresholds for the constrained points all sit below the total
+    // queue bound (3 streams × 100), so each one actually engages the
+    // controller; see crate::delay's module docs for why a looser
+    // constraint would just replay the baseline.
+    let constraints: Vec<Option<u64>> = if quick {
+        cfg.runs = 3;
+        cfg.workload.total_tuples = 9_000;
+        cfg.tuples_per_window = 450;
+        vec![None, Some(200), Some(50), Some(20)]
+    } else {
+        cfg.runs = 9;
+        cfg.workload.total_tuples = 30_000;
+        cfg.tuples_per_window = 600;
+        vec![
+            None,
+            Some(250),
+            Some(200),
+            Some(150),
+            Some(100),
+            Some(50),
+            Some(25),
+            Some(10),
+        ]
+    };
+
+    let points = delay_sweep(&cfg, rate, &constraints).expect("delay sweep");
+    let table = render_table(
+        "Delay constraint sweep — RMS error vs latency bound (rate 2000 t/s, capacity 1000 t/s)",
+        &points,
+    );
+    println!("{table}");
+    if let Err(e) = write_json("delay_sweep.json", &points) {
+        eprintln!("note: could not write delay_sweep.json: {e}");
+    } else {
+        println!("(series written to delay_sweep.json)");
+    }
+}

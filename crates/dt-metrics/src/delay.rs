@@ -1,0 +1,257 @@
+//! The delay-constraint sweep: the accuracy cost of a latency
+//! contract (DESIGN.md §11).
+//!
+//! The rate sweeps of [`crate::experiment`] hold the triage queue
+//! bound fixed and vary the arrival rate; this sweep holds an
+//! *overload* rate fixed and varies the [`DelayConstraint`] handed to
+//! the adaptive controller. Each run generates **one** arrival
+//! sequence shared by every constraint (the same fairness discipline
+//! the mode comparison uses), computes the ideal result offline, and
+//! records per constraint: RMS error, shed fraction, and the window
+//! result-latency distribution — the delay-vs-accuracy tradeoff curve
+//! in one table.
+//!
+//! A point with `constraint_ms == None` is the uncontrolled baseline
+//! (fixed queue capacity only); it doubles as the regression anchor —
+//! a generous constraint must reproduce it bit for bit.
+//!
+//! Two boundary effects to keep in mind when reading the table:
+//!
+//! * A constraint whose derived threshold exceeds the *total* queue
+//!   capacity never engages — the point degenerates to the baseline,
+//!   including the baseline's latency tail. Constraints only tighten
+//!   the capacity bound; they cannot loosen it.
+//! * The workload is finite: windows still open at the last arrival
+//!   are all sealed when the final backlog drain completes, so the
+//!   baseline's trailing windows report up to a full drain (capacity
+//!   × per-tuple cost) of extra latency. An engaged controller keeps
+//!   that drain under the constraint, which is exactly the guarantee
+//!   being measured.
+
+use crate::experiment::SweepConfig;
+use crate::ideal::ideal_map;
+use crate::rms::{latencies, report_into_map, rms_error};
+use crate::stats::MeanStd;
+use dt_engine::CostModel;
+use dt_triage::{DelayConstraint, Pipeline, PipelineConfig, ShedMode};
+use dt_types::{DtError, DtResult, VDuration};
+use dt_workload::{generate, ArrivalModel, WorkloadConfig};
+
+/// One constraint's aggregate numbers across the seeded runs.
+#[derive(Debug, Clone)]
+pub struct DelayPoint {
+    /// The delay constraint in milliseconds; `None` is the
+    /// uncontrolled baseline (shed on queue overflow only).
+    pub constraint_ms: Option<u64>,
+    /// RMS error summarized over the runs.
+    pub rms: MeanStd,
+    /// Fraction of tuples shed, pooled over the runs.
+    pub drop_fraction: f64,
+    /// Median window result latency (seconds past window close),
+    /// pooled over every window of every run.
+    pub p50_latency: f64,
+    /// 99th-percentile window result latency (seconds).
+    pub p99_latency: f64,
+    /// Worst-case window result latency (seconds).
+    pub max_latency: f64,
+    /// Windows whose result latency exceeded the constraint by more
+    /// than one engine tick (always 0 for the unconstrained baseline).
+    pub deadline_misses: u64,
+    /// Total windows emitted across runs.
+    pub windows: u64,
+}
+
+impl dt_types::ToJson for DelayPoint {
+    fn to_json(&self) -> dt_types::Json {
+        dt_types::json::obj(vec![
+            ("constraint_ms", self.constraint_ms.to_json()),
+            ("rms", self.rms.to_json()),
+            ("drop_fraction", self.drop_fraction.to_json()),
+            ("p50_latency", self.p50_latency.to_json()),
+            ("p99_latency", self.p99_latency.to_json()),
+            ("max_latency", self.max_latency.to_json()),
+            ("deadline_misses", self.deadline_misses.to_json()),
+            ("windows", self.windows.to_json()),
+        ])
+    }
+}
+
+/// Nearest-rank percentile over unsorted samples (0 when empty).
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Run the delay sweep: `cfg` supplies the query, workload template,
+/// run count, and engine/queue parameters (its `modes` field is
+/// ignored — the sweep always runs [`ShedMode::DataTriage`]); `rate`
+/// is the fixed arrival rate (choose one above `engine_capacity`, or
+/// nothing ever sheds); `constraints_ms` lists the swept constraints,
+/// with `None` meaning "no controller".
+///
+/// Determinism: run `r`'s seed is a pure function of `r`, every
+/// constraint replays the identical arrival sequence, and constraints
+/// are evaluated in the order given — the output is bit-reproducible.
+pub fn delay_sweep(
+    cfg: &SweepConfig,
+    rate: f64,
+    constraints_ms: &[Option<u64>],
+) -> DtResult<Vec<DelayPoint>> {
+    if cfg.runs == 0 {
+        return Err(DtError::config("delay sweep needs at least one run"));
+    }
+    if constraints_ms.is_empty() {
+        return Err(DtError::config("delay sweep needs at least one constraint"));
+    }
+    let width = VDuration::from_secs_f64(cfg.tuples_per_window as f64 / rate);
+    if width.is_zero() {
+        return Err(DtError::config(format!(
+            "window width rounds to zero at rate {rate}"
+        )));
+    }
+    let cost = CostModel::from_capacity(cfg.engine_capacity)?;
+    // One engine tick: the busy time one Data Triage tuple holds the
+    // engine (service plus the kept-synopsis fold). The deadline test
+    // allows this much slack past the constraint — the tuple in
+    // service when the window closes cannot be preempted.
+    let tick = (cost.service_time + cost.synopsis_insert_time).as_secs_f64();
+
+    let n = constraints_ms.len();
+    let mut errs: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut dropped = vec![0u64; n];
+    let mut arrived = vec![0u64; n];
+    let mut lats: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut misses = vec![0u64; n];
+    let mut windows = vec![0u64; n];
+
+    for run in 0..cfg.runs {
+        let seed = (run as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        let workload = WorkloadConfig {
+            arrival: ArrivalModel::Constant { rate },
+            seed,
+            ..cfg.workload.clone()
+        };
+        let arrivals = generate(&workload)?;
+        let plan = cfg.plan_with_window(width)?;
+        let ideal = ideal_map(&plan, &arrivals)?;
+
+        for (ci, &constraint) in constraints_ms.iter().enumerate() {
+            let mut pcfg = PipelineConfig::new(ShedMode::DataTriage);
+            pcfg.policy = cfg.policy;
+            pcfg.queue_capacity = cfg.queue_capacity;
+            pcfg.cost = cost;
+            pcfg.synopsis = cfg.synopsis;
+            pcfg.seed = seed;
+            pcfg.delay = constraint.map(DelayConstraint::from_millis).transpose()?;
+            let report = Pipeline::run(plan.clone(), pcfg, arrivals.iter().cloned())?;
+            let run_lats = latencies(&report);
+            windows[ci] += run_lats.len() as u64;
+            if let Some(ms) = constraint {
+                let deadline = ms as f64 / 1_000.0 + tick;
+                misses[ci] += run_lats.iter().filter(|&&l| l > deadline).count() as u64;
+            }
+            lats[ci].extend(run_lats);
+            dropped[ci] += report.totals.dropped;
+            arrived[ci] += report.totals.arrived;
+            let actual = report_into_map(report);
+            errs[ci].push(rms_error(&ideal, &actual));
+        }
+    }
+
+    Ok(constraints_ms
+        .iter()
+        .enumerate()
+        .map(|(ci, &constraint_ms)| DelayPoint {
+            constraint_ms,
+            rms: MeanStd::from_samples(&errs[ci]),
+            drop_fraction: if arrived[ci] == 0 {
+                0.0
+            } else {
+                dropped[ci] as f64 / arrived[ci] as f64
+            },
+            p50_latency: percentile(&lats[ci], 0.50),
+            p99_latency: percentile(&lats[ci], 0.99),
+            max_latency: percentile(&lats[ci], 1.0),
+            deadline_misses: misses[ci],
+            windows: windows[ci],
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dt_types::ToJson;
+
+    fn quick_cfg() -> SweepConfig {
+        let mut cfg = SweepConfig::paper_default();
+        cfg.runs = 2;
+        cfg.workload.total_tuples = 4_000;
+        cfg.tuples_per_window = 400;
+        cfg.engine_capacity = 1_000.0;
+        cfg.queue_capacity = 100;
+        cfg
+    }
+
+    #[test]
+    fn generous_constraint_matches_uncontrolled_baseline() {
+        // A constraint far above what the queue bound already implies
+        // must change nothing: the controller's verdict is always Keep
+        // and the run replays the exact baseline decisions.
+        let points = delay_sweep(&quick_cfg(), 2_000.0, &[None, Some(600_000)]).unwrap();
+        assert_eq!(
+            points[0].rms.to_json().render(),
+            points[1].rms.to_json().render(),
+            "generous constraint perturbed the baseline"
+        );
+        assert_eq!(points[0].drop_fraction, points[1].drop_fraction);
+        assert_eq!(points[1].deadline_misses, 0);
+    }
+
+    #[test]
+    fn tighter_constraints_shed_more_and_bound_latency() {
+        // Constraints chosen in the *active* region: each threshold is
+        // below the 300-tuple total queue capacity, so the controller
+        // is the binding shed signal at every point.
+        let cfg = quick_cfg();
+        let sweep = [None, Some(200), Some(50), Some(20)];
+        let points = delay_sweep(&cfg, 2_000.0, &sweep).unwrap();
+        // Tightening the constraint can only increase shedding…
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].drop_fraction >= pair[0].drop_fraction - 1e-12,
+                "constraint {:?} shed less than {:?}",
+                pair[1].constraint_ms,
+                pair[0].constraint_ms
+            );
+        }
+        // …and each constrained point honors its deadline.
+        for p in &points[1..] {
+            assert_eq!(
+                p.deadline_misses, 0,
+                "constraint {:?} missed deadlines",
+                p.constraint_ms
+            );
+        }
+        // The tight constraint actually bites: it sheds harder than
+        // the baseline and pulls p99 latency under its own bound.
+        let base = &points[0];
+        let tight = &points[3];
+        assert!(tight.drop_fraction > base.drop_fraction);
+        // 20 ms constraint, one ~1.02 ms engine tick of slack.
+        assert!(tight.p99_latency <= 0.020 + 1.1e-3, "{}", tight.p99_latency);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let mut cfg = quick_cfg();
+        assert!(delay_sweep(&cfg, 2_000.0, &[]).is_err());
+        cfg.runs = 0;
+        assert!(delay_sweep(&cfg, 2_000.0, &[None]).is_err());
+    }
+}

@@ -74,7 +74,7 @@ impl SweepConfig {
         }
     }
 
-    fn plan_with_window(&self, width: VDuration) -> DtResult<QueryPlan> {
+    pub(crate) fn plan_with_window(&self, width: VDuration) -> DtResult<QueryPlan> {
         let stmt = parse_select(&self.sql)?;
         let mut plan = Planner::new(&self.catalog).plan(&stmt)?;
         let spec = WindowSpec::new(width)?;

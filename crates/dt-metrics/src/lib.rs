@@ -11,12 +11,16 @@
 //!   series behind Figures 8 and 9: one arrival sequence per
 //!   (rate, seed), shared by all three shedding modes, windows scaled
 //!   with the data rate so tuples-per-window stays constant.
+//! * [`delay`] — the delay-constraint sweep: a fixed overload rate, a
+//!   swept [`dt_triage::DelayConstraint`], and the resulting
+//!   delay-vs-accuracy tradeoff curve (DESIGN.md §11).
 //! * [`summary`] — a JSON-serializable digest of a run
 //!   ([`RunSummary`]), the interchange format between `dt-server`'s
 //!   final report and offline metrics tooling.
 //! * [`obs`] — JSON serialization for [`dt_obs::Snapshot`], so a run's
 //!   final observability snapshot rides inside the same report.
 
+pub mod delay;
 pub mod experiment;
 pub mod ideal;
 pub mod obs;
@@ -24,6 +28,7 @@ pub mod rms;
 pub mod stats;
 pub mod summary;
 
+pub use delay::{delay_sweep, DelayPoint};
 pub use experiment::{rate_sweep, rate_sweep_with_threads, ModeSeries, RatePoint, SweepConfig};
 pub use ideal::ideal_map;
 pub use obs::obs_to_json;

@@ -32,6 +32,13 @@
 //! **microseconds** and end in `_us`; label sets are small and static
 //! (stream names, shed modes). Registering the same name + label set
 //! twice returns a handle to the same underlying cell.
+//!
+//! The instrument families themselves live with the code they measure:
+//! `dt-triage` registers the per-stream triage counters and the
+//! adaptive controller's `dt_triage_threshold` /
+//! `dt_triage_estimated_delay_ms` / `dt_triage_shed_fraction` gauges
+//! (DESIGN.md §11), `dt-server` the runtime counters and latency
+//! histograms. DESIGN.md §9 is the full metric index.
 
 mod histogram;
 mod registry;

@@ -18,7 +18,7 @@ use dt_obs::MetricsRegistry;
 use dt_query::Catalog;
 use dt_server::{MonotonicClock, Server, ServerConfig};
 use dt_synopsis::SynopsisConfig;
-use dt_triage::ShedMode;
+use dt_triage::{DelayConstraint, ShedMode};
 use dt_types::{DataType, DtError, DtResult, Schema, ToJson, VDuration};
 use std::io::Read;
 use std::sync::Arc;
@@ -33,6 +33,8 @@ USAGE:
            [--capacity N]     triage channel bound  (default 100)
            [--grace MS]       seal grace period     (default 100)
            [--cell-width N]   sparse synopsis cell  (default 10)
+           [--delay-ms MS]    adaptive delay constraint (default: off —
+                              shed only on channel overflow)
            [--mode M]         data-triage | drop-only | summarize-only
            [--no-pacing]      consume ahead of tuple timestamps
            [--no-metrics]     disable the /metrics registry
@@ -49,6 +51,7 @@ struct Args {
     capacity: usize,
     grace: VDuration,
     cell_width: i64,
+    delay: Option<DelayConstraint>,
     mode: ShedMode,
     pacing: bool,
     metrics: bool,
@@ -63,6 +66,7 @@ fn parse_args(argv: &[String]) -> DtResult<Args> {
         capacity: 100,
         grace: VDuration::from_millis(100),
         cell_width: 10,
+        delay: None,
         mode: ShedMode::DataTriage,
         pacing: true,
         metrics: true,
@@ -109,6 +113,12 @@ fn parse_args(argv: &[String]) -> DtResult<Args> {
                     .parse()
                     .map_err(|_| DtError::config("--cell-width wants an integer"))?;
             }
+            "--delay-ms" => {
+                let ms: u64 = value()?
+                    .parse()
+                    .map_err(|_| DtError::config("--delay-ms wants milliseconds"))?;
+                args.delay = Some(DelayConstraint::from_millis(ms)?);
+            }
             "--mode" => {
                 args.mode = match value()?.as_str() {
                     "data-triage" => ShedMode::DataTriage,
@@ -154,6 +164,7 @@ fn run() -> DtResult<()> {
         cell_width: args.cell_width,
     };
     cfg.pace_by_timestamp = args.pacing;
+    cfg.delay = args.delay;
     if args.metrics {
         cfg.metrics = MetricsRegistry::new();
     }

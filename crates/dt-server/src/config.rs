@@ -1,10 +1,11 @@
 //! Server configuration.
 
 use crate::fault::FaultPlan;
+use dt_engine::CostModel;
 use dt_obs::MetricsRegistry;
 use dt_query::{parse_select, Catalog, Planner, QueryPlan};
 use dt_synopsis::SynopsisConfig;
-use dt_triage::{QueryExecutor, ShedMode};
+use dt_triage::{DelayConstraint, QueryExecutor, ShedMode};
 use dt_types::{DtError, DtResult, VDuration, WindowSpec};
 
 /// Everything a [`crate::Server`] needs to start.
@@ -61,6 +62,16 @@ pub struct ServerConfig {
     /// flags the result degraded. `None` disables the watchdog (a
     /// stalled worker then stalls emission indefinitely).
     pub seal_watchdog: Option<VDuration>,
+    /// Optional delay constraint driving per-stream adaptive
+    /// controllers ([`dt_triage::SharedController`]): ingest sheds
+    /// once the channel backlog could no longer drain within the
+    /// constraint, *before* the hard channel bound is hit. `None`
+    /// (the default) keeps channel overflow as the only shed signal.
+    pub delay: Option<DelayConstraint>,
+    /// Cost model priming the controllers' EWMA cost estimates before
+    /// real per-tuple measurements arrive (the workers feed measured
+    /// costs in as they process). Only read when `delay` is set.
+    pub cost_hint: CostModel,
 }
 
 impl ServerConfig {
@@ -81,6 +92,8 @@ impl ServerConfig {
             fault: FaultPlan::disabled(),
             conn_error_budget: 32,
             seal_watchdog: Some(VDuration::from_secs(5)),
+            delay: None,
+            cost_hint: CostModel::default(),
         }
     }
 

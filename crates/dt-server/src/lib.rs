@@ -44,6 +44,23 @@
 //!   drains in-flight windows, and a final JSON report — including the
 //!   drain-time observability snapshot — compatible with `dt-metrics`.
 //!
+//! * The **adaptive delay controller** (paper §4's delay constraint;
+//!   DESIGN.md §11): when [`ServerConfig::delay`] is set, each stream
+//!   gets a lock-free [`dt_triage::SharedController`] sitting *in
+//!   front of* the bounded channel. Ingest asks it for a
+//!   [`dt_triage::ShedDecision`] per tuple, workers feed it measured
+//!   per-tuple costs, and the merger's watchdog penalizes its cost
+//!   estimate whenever a window had to be force-sealed. Its state
+//!   (threshold, estimated delay, shed fraction) is published as
+//!   gauges and in the `/stats` `controllers` array.
+//!
+//! The stage names map onto the paper directly: the bounded channel
+//! plus controller is the **triage queue** (§5.1), the worker's
+//! keep/shed fold is **triage** proper with the victim folded into a
+//! [`dt_synopsis`] summary (§5.2), and the merger's
+//! [`dt_triage::QueryExecutor`] close runs the **shadow query** of the
+//! §4 rewrite and merges its estimate with the exact results.
+//!
 //! Determinism: with a [`dt_types::VirtualClock`] nothing in the
 //! runtime moves time forward on its own, so integration tests drive
 //! sealing (and worker pacing) by hand and get reproducible window

@@ -21,8 +21,10 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use dt_obs::MetricsRegistry;
 use dt_synopsis::SynopsisConfig;
 use dt_triage::{
-    QueryExecutor, RunReport, RunTotals, SealedWindow, ShedMode, SynPair, WindowResult,
+    ControllerGauges, QueryExecutor, RunReport, RunTotals, SealedWindow, SharedController,
+    ShedDecision, ShedMode, SynPair, WindowResult,
 };
+use dt_types::{json, Json};
 use dt_types::{Clock, DtError, DtResult, Timestamp, Tuple, VDuration, WindowId, WindowSpec};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -59,6 +61,10 @@ struct Inner {
     obs: ServerObs,
     data_tx: Vec<Sender<Tuple>>,
     ctl_tx: Vec<Sender<Ctl>>,
+    /// Per-stream adaptive delay controllers; empty when no
+    /// [`ServerConfig::delay`] constraint is configured (channel
+    /// overflow is then the only shed signal).
+    controllers: Vec<Arc<SharedController>>,
     stop: AtomicBool,
     /// The active fault-injection schedule (disabled in production).
     fault: FaultPlan,
@@ -135,6 +141,15 @@ impl ServerHandle {
             // Summarize-only never touches the engine at all.
             ShedMode::SummarizeOnly => shed(tuple),
             ShedMode::DropOnly | ShedMode::DataTriage => {
+                // The adaptive controller sheds *before* the hard
+                // channel bound: once the backlog could no longer
+                // drain within the delay constraint, the tuple goes
+                // straight to the control lane as a victim.
+                if let Some(ctl) = inner.controllers.get(stream) {
+                    if ctl.decide() == ShedDecision::Shed {
+                        return shed(tuple);
+                    }
+                }
                 // The gauge is bumped *before* the send so the
                 // worker's decrement can never observe a tuple whose
                 // increment hasn't landed yet.
@@ -142,6 +157,9 @@ impl ServerHandle {
                 depth.add(1);
                 match inner.data_tx[stream].try_send(tuple) {
                     Ok(()) => {
+                        if let Some(ctl) = inner.controllers.get(stream) {
+                            ctl.on_enqueue();
+                        }
                         counters.kept.fetch_add(1, Ordering::SeqCst);
                         Ok(())
                     }
@@ -202,6 +220,38 @@ impl Server {
         // server still returns the full (zero-valued) series set.
         let obs = ServerObs::register(&cfg.metrics, &names);
 
+        // One shared controller per stream when a delay constraint is
+        // configured. The EWMAs are primed from the cost hint so the
+        // threshold is meaningful from the first tuple; the workers
+        // replace the hint with measured costs as they process.
+        let controllers: Vec<Arc<SharedController>> =
+            match cfg.delay.filter(|_| cfg.mode.uses_engine()) {
+                None => Vec::new(),
+                Some(d) => {
+                    let syn_us = cfg.cost_hint.synopsis_insert_time.micros() as f64;
+                    let main_us = cfg.cost_hint.service_time.micros() as f64
+                        + if cfg.mode == ShedMode::DataTriage {
+                            syn_us
+                        } else {
+                            0.0
+                        };
+                    let triage_us = if cfg.mode.uses_synopses() {
+                        syn_us
+                    } else {
+                        0.0
+                    };
+                    names
+                        .iter()
+                        .map(|name| {
+                            Arc::new(
+                                SharedController::seeded(d, main_us, triage_us)
+                                    .with_gauges(ControllerGauges::register(&cfg.metrics, name)),
+                            )
+                        })
+                        .collect()
+                }
+            };
+
         let mut data_tx = Vec::new();
         let mut ctl_tx = Vec::new();
         let mut workers = Vec::new();
@@ -229,6 +279,7 @@ impl Server {
                 spec,
                 stats: Arc::clone(&stats),
                 obs: WorkerObs::register(&cfg.metrics, &s.name, obs.queue_depth[i].clone()),
+                controller: controllers.get(i).cloned(),
                 fault: cfg.fault.clone(),
                 fault_panic_ctr: obs.faults_injected[FAULT_PANIC].clone(),
                 fault_stall_ctr: obs.faults_injected[FAULT_STALL].clone(),
@@ -253,6 +304,7 @@ impl Server {
             obs,
             data_tx,
             ctl_tx,
+            controllers,
             stop: AtomicBool::new(false),
             fault: cfg.fault.clone(),
             error_budget: cfg.conn_error_budget,
@@ -482,6 +534,13 @@ fn run_merger(
                     >= spec.window_end(next_emit).micros() + grace.micros() + wd.micros()
             {
                 inner.obs.windows_force_sealed.inc();
+                // A force-seal means the measured costs understate
+                // reality (a worker is wedged); double the controllers'
+                // main-cost estimate so they shed harder until honest
+                // measurements pull the EWMA back down.
+                for ctl in &inner.controllers {
+                    ctl.penalize();
+                }
                 emit_window(
                     &inner,
                     &synopsis,
@@ -646,6 +705,46 @@ fn emit_window(
     Ok(())
 }
 
+/// The `/stats` document: the live counters, plus — when delay
+/// controllers are active — a `controllers` array with each stream's
+/// current threshold (`null` while unbounded), estimated worst-case
+/// delay, and shed fraction.
+fn render_stats(inner: &Inner) -> Json {
+    let mut doc = inner.stats.render_json();
+    if inner.controllers.is_empty() {
+        return doc;
+    }
+    let ctls: Vec<Json> = inner
+        .exec
+        .streams()
+        .iter()
+        .zip(&inner.controllers)
+        .map(|(s, c)| {
+            let st = c.state();
+            json::obj(vec![
+                ("stream", Json::Str(s.name.clone())),
+                (
+                    "threshold",
+                    if st.threshold == u64::MAX {
+                        Json::Null
+                    } else {
+                        Json::Num(st.threshold as f64)
+                    },
+                ),
+                (
+                    "estimated_delay_ms",
+                    Json::Num(st.estimated_delay.micros() as f64 / 1000.0),
+                ),
+                ("shed_fraction", Json::Num(st.shed_fraction)),
+            ])
+        })
+        .collect();
+    if let Json::Obj(fields) = &mut doc {
+        fields.push(("controllers".to_string(), Json::Arr(ctls)));
+    }
+    doc
+}
+
 /// Accept loop: one thread per connection. A throwaway connection
 /// made by `shutdown` (after the stop flag is set) unblocks `accept`.
 fn run_acceptor(
@@ -774,7 +873,7 @@ fn serve_conn(stream: TcpStream, handle: ServerHandle) {
                     if first && trimmed.starts_with("GET ") {
                         let path = trimmed.split_whitespace().nth(1).unwrap_or("/stats");
                         let reply = if path.starts_with("/stats") {
-                            let body = format!("{}\n", handle.inner.stats.render_json().render());
+                            let body = format!("{}\n", render_stats(&handle.inner).render());
                             http_response("application/json", &body)
                         } else if path.starts_with("/metrics") {
                             http_response(

@@ -35,12 +35,12 @@ use crate::stats::ServerStats;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use dt_obs::{Counter, MetricsRegistry};
 use dt_synopsis::SynopsisConfig;
-use dt_triage::{SealedWindow, ShedMode, StreamTriage};
+use dt_triage::{SealedWindow, SharedController, ShedMode, StreamTriage};
 use dt_types::{Clock, DtResult, Tuple, WindowId, WindowSpec};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long the worker parks between polls when idle or paced.
 const POLL: Duration = Duration::from_micros(500);
@@ -87,6 +87,11 @@ pub(crate) struct WorkerCtx {
     pub spec: WindowSpec,
     pub stats: Arc<ServerStats>,
     pub obs: WorkerObs,
+    /// This stream's adaptive delay controller, when one is
+    /// configured. The worker keeps its queue-depth view current
+    /// (`on_dequeue`) and replaces the seeded cost estimates with
+    /// wall-clock measurements of its own processing.
+    pub controller: Option<Arc<SharedController>>,
     pub fault: FaultPlan,
     /// `faults_injected{kind="panic"}` and `{kind="stall_seal"}`.
     pub fault_panic_ctr: Counter,
@@ -98,9 +103,14 @@ fn consume(
     t: &Tuple,
     stream: usize,
     stats: &ServerStats,
+    controller: Option<&SharedController>,
 ) -> DtResult<()> {
+    let start = controller.map(|_| Instant::now());
     if !triage.keep(t)? {
         stats.stream(stream).late.fetch_add(1, Ordering::SeqCst);
+    }
+    if let (Some(c), Some(s)) = (controller, start) {
+        c.observe_main(s.elapsed().as_secs_f64() * 1e6);
     }
     Ok(())
 }
@@ -113,12 +123,19 @@ fn consume_batch(
     stream: usize,
     stats: &ServerStats,
     obs: &WorkerObs,
+    controller: Option<&SharedController>,
 ) -> DtResult<()> {
     if batch.is_empty() {
         return Ok(());
     }
     obs.batch_size.observe(batch.len() as u64);
+    let start = controller.map(|_| Instant::now());
     let landed = triage.keep_batch(batch)?;
+    if let (Some(c), Some(s)) = (controller, start) {
+        // One fold amortized over the batch: the controller wants the
+        // *per-tuple* main-path cost.
+        c.observe_main(s.elapsed().as_secs_f64() * 1e6 / batch.len() as f64);
+    }
     let late = (batch.len() - landed) as u64;
     if late > 0 {
         stats.stream(stream).late.fetch_add(late, Ordering::SeqCst);
@@ -157,6 +174,7 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
         spec,
         stats,
         obs,
+        controller,
         fault,
         fault_panic_ctr,
         fault_stall_ctr,
@@ -179,6 +197,7 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
                 spec,
                 &stats,
                 &obs,
+                controller.as_deref(),
                 &fault,
                 &mut consumed,
                 &mut pending,
@@ -210,6 +229,9 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
                     // second Stop that will never come.
                     let n = data_rx.try_iter().count();
                     obs.queue_depth.sub(n as i64);
+                    if let Some(c) = &controller {
+                        c.on_dequeue(n);
+                    }
                     for w in triage.seal_all()? {
                         let _ = sealed_tx.send(w);
                     }
@@ -234,6 +256,7 @@ fn worker_loop(
     spec: WindowSpec,
     stats: &ServerStats,
     obs: &WorkerObs,
+    controller: Option<&SharedController>,
     fault: &FaultPlan,
     consumed: &mut u64,
     pending: &mut Option<Tuple>,
@@ -246,8 +269,12 @@ fn worker_loop(
     loop {
         match ctl_rx.try_recv() {
             Ok(Ctl::Shed(t)) => {
+                let start = controller.map(|_| Instant::now());
                 if !triage.shed(&t)? {
                     stats.stream(stream).late.fetch_add(1, Ordering::SeqCst);
+                }
+                if let (Some(c), Some(s)) = (controller, start) {
+                    c.observe_triage(s.elapsed().as_secs_f64() * 1e6);
                 }
                 continue;
             }
@@ -270,6 +297,9 @@ fn worker_loop(
                         None => match data_rx.try_recv() {
                             Ok(t) => {
                                 obs.queue_depth.sub(1);
+                                if let Some(c) = controller {
+                                    c.on_dequeue(1);
+                                }
                                 t
                             }
                             Err(_) => break,
@@ -282,7 +312,7 @@ fn worker_loop(
                         break;
                     }
                 }
-                consume_batch(triage, &batch, stream, stats, obs)?;
+                consume_batch(triage, &batch, stream, stats, obs, controller)?;
                 let n = batch.len();
                 batch.clear();
                 panic_check(fault, stream, consumed, n, fault_panic_ctr);
@@ -301,7 +331,10 @@ fn worker_loop(
                 let parked = batch.len();
                 batch.extend(data_rx.try_iter());
                 obs.queue_depth.sub((batch.len() - parked) as i64);
-                consume_batch(triage, &batch, stream, stats, obs)?;
+                if let Some(c) = controller {
+                    c.on_dequeue(batch.len() - parked);
+                }
+                consume_batch(triage, &batch, stream, stats, obs, controller)?;
                 let n = batch.len();
                 batch.clear();
                 panic_check(fault, stream, consumed, n, fault_panic_ctr);
@@ -328,7 +361,7 @@ fn worker_loop(
         }
         if let Some(t) = pending.take() {
             if !pace || clock.now() >= t.ts {
-                consume(triage, &t, stream, stats)?;
+                consume(triage, &t, stream, stats, controller)?;
                 panic_check(fault, stream, consumed, 1, fault_panic_ctr);
             } else {
                 // Still ahead of the clock: park it again and nap
@@ -343,10 +376,13 @@ fn worker_loop(
         match data_rx.recv_timeout(POLL) {
             Ok(t) => {
                 obs.queue_depth.sub(1);
+                if let Some(c) = controller {
+                    c.on_dequeue(1);
+                }
                 if pace && t.ts > clock.now() {
                     *pending = Some(t);
                 } else {
-                    consume(triage, &t, stream, stats)?;
+                    consume(triage, &t, stream, stats, controller)?;
                     panic_check(fault, stream, consumed, 1, fault_panic_ctr);
                 }
             }

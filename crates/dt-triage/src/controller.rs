@@ -1,0 +1,692 @@
+//! The adaptive load controller (paper §4–5): delay-constrained
+//! triage thresholds from measured costs.
+//!
+//! The paper's headline claim is that Data Triage is *adaptive*: the
+//! user states a maximum tolerable result delay, and the system works
+//! out — from measured per-tuple costs — how deep the triage queue may
+//! grow before tuples must be diverted to the synopsis path so the
+//! window still seals on time. This module implements that control
+//! loop for both runtimes:
+//!
+//! * [`LoadController`] — the single-threaded flavor owned by the
+//!   simulation's [`crate::SharedPipeline`].
+//! * [`SharedController`] — the lock-free flavor shared between
+//!   `dt-server`'s ingest threads, worker, and merger watchdog.
+//!
+//! # Threshold derivation
+//!
+//! Let `D` be the delay constraint, `Ĉ_main` the estimated cost of
+//! processing one tuple on the main path (engine service plus, in
+//! Data Triage mode, the kept-synopsis insert), and `Ĉ_triage` the
+//! estimated cost of summarizing one shed tuple. A queue of depth `n`
+//! takes about `n · Ĉ_main` to drain, so the largest depth that still
+//! meets the deadline — reserving one slot for the tuple already in
+//! service — is
+//!
+//! ```text
+//! T = max(1, floor((D − Ĉ_triage) / Ĉ_main) − 1)
+//! ```
+//!
+//! Both costs are online EWMA estimates ([`Ewma`]), seeded from the
+//! static [`dt_engine::CostModel`] so the controller is sensible from
+//! the first tuple and converges to measured reality as samples
+//! arrive.
+//!
+//! # The headroom band
+//!
+//! Shedding everything above `T` and nothing below it makes the
+//! system toggle between lossless and lossy at a single queue depth.
+//! Instead, a *headroom band* covering the top [`DEFAULT_HEADROOM`]
+//! fraction of the threshold ramps the shed fraction linearly from
+//! near 0 (at the band's floor) to 1 (at `T`). The ramp is realized
+//! with an error-diffusion accumulator rather than a random draw, so
+//! a fraction `f` sheds exactly `f` of offered tuples in steady state
+//! and every decision is deterministic — reproducibility is a
+//! workspace-wide invariant (DESIGN.md §11).
+
+use dt_types::{DtError, DtResult, VDuration};
+
+use crate::obs::ControllerGauges;
+
+/// Smoothing factor for the cost EWMAs: each new sample moves the
+/// estimate 10 % of the way to the observation, so the estimate
+/// reflects roughly the last ~20 samples.
+pub const DEFAULT_ALPHA: f64 = 0.1;
+
+/// Fraction of the threshold covered by the shedding ramp.
+pub const DEFAULT_HEADROOM: f64 = 0.25;
+
+/// A per-query maximum tolerable result delay (paper §4): the longest
+/// a window's result may trail the window's end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DelayConstraint(VDuration);
+
+impl DelayConstraint {
+    /// A constraint of `d`; must be positive.
+    pub fn new(d: VDuration) -> DtResult<Self> {
+        if d.is_zero() {
+            return Err(DtError::config("delay constraint must be positive"));
+        }
+        Ok(DelayConstraint(d))
+    }
+
+    /// A constraint of `ms` milliseconds.
+    pub fn from_millis(ms: u64) -> DtResult<Self> {
+        Self::new(VDuration::from_millis(ms))
+    }
+
+    /// A constraint of `us` microseconds.
+    pub fn from_micros(us: u64) -> DtResult<Self> {
+        Self::new(VDuration::from_micros(us))
+    }
+
+    /// The constraint as a duration.
+    pub fn duration(self) -> VDuration {
+        self.0
+    }
+
+    /// The constraint in microseconds.
+    pub fn micros(self) -> u64 {
+        self.0.micros()
+    }
+}
+
+impl std::fmt::Display for DelayConstraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// An exponentially weighted moving average with explicit cold-start:
+/// before any observation the value is the (optional) seed; the first
+/// observation of an unseeded estimator is adopted exactly rather
+/// than averaged against nothing.
+///
+/// ```
+/// use dt_triage::Ewma;
+///
+/// let mut e = Ewma::new(0.5)?;
+/// assert!(e.value().is_none());
+/// e.observe(10.0); // cold start: adopted exactly
+/// assert_eq!(e.value(), Some(10.0));
+/// e.observe(20.0);
+/// assert_eq!(e.value(), Some(15.0));
+/// # Ok::<(), dt_types::DtError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// An unseeded estimator; `alpha` must lie in `(0, 1]`.
+    pub fn new(alpha: f64) -> DtResult<Self> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(DtError::config(format!(
+                "EWMA smoothing factor must be in (0, 1], got {alpha}"
+            )));
+        }
+        Ok(Ewma { alpha, value: None })
+    }
+
+    /// An estimator primed with `seed` (e.g. a cost-model prediction),
+    /// blended away by observations at the same `alpha` rate.
+    pub fn seeded(alpha: f64, seed: f64) -> DtResult<Self> {
+        let mut e = Ewma::new(alpha)?;
+        e.value = Some(seed);
+        Ok(e)
+    }
+
+    /// Fold one sample into the estimate.
+    pub fn observe(&mut self, sample: f64) {
+        self.value = Some(match self.value {
+            None => sample,
+            Some(v) => v + self.alpha * (sample - v),
+        });
+    }
+
+    /// The current estimate, if any sample or seed has been supplied.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// The current estimate, or `default` while cold.
+    pub fn get_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// The controller's verdict for one arriving tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedDecision {
+    /// Admit the tuple to the triage queue (the main path).
+    Keep,
+    /// Divert the tuple (or a policy-chosen victim) to the synopsis
+    /// path so the window can still seal within the delay constraint.
+    Shed,
+}
+
+/// A frozen view of the controller, for `/stats` and gauges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerState {
+    /// The current dynamic triage threshold (tuples).
+    pub threshold: u64,
+    /// Estimated drain delay of the queue at its last observed depth.
+    pub estimated_delay: VDuration,
+    /// Shed fraction applied at the last decision (0 outside the
+    /// headroom band, ramping to 1 at the threshold).
+    pub shed_fraction: f64,
+    /// Current main-path cost estimate, µs/tuple.
+    pub main_cost_us: f64,
+    /// Current triage-path cost estimate, µs/tuple.
+    pub triage_cost_us: f64,
+}
+
+/// `T = max(1, floor((D − Ĉ_triage) / Ĉ_main) − 1)`; a cold main-cost
+/// estimate (`≤ 0`) disables shedding entirely (`u64::MAX`).
+fn threshold_for(constraint_us: f64, main_us: f64, triage_us: f64) -> u64 {
+    if main_us <= 0.0 {
+        return u64::MAX;
+    }
+    let t = ((constraint_us - triage_us) / main_us).floor() - 1.0;
+    if t >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        (t.max(1.0)) as u64
+    }
+}
+
+/// The shed fraction at queue depth `depth` under threshold
+/// `threshold`: 0 below the headroom band, 1 at or above the
+/// threshold, linear in between.
+fn ramp_fraction(depth: u64, threshold: u64, headroom: f64) -> f64 {
+    if threshold == u64::MAX {
+        return 0.0;
+    }
+    if depth >= threshold {
+        return 1.0;
+    }
+    let band = ((threshold as f64 * headroom).ceil() as u64).max(1);
+    let floor = threshold.saturating_sub(band);
+    if depth < floor {
+        return 0.0;
+    }
+    (depth - floor + 1) as f64 / (threshold - floor + 1) as f64
+}
+
+/// The single-threaded adaptive controller, one per physical stream
+/// of a [`crate::SharedPipeline`]. See the module docs for the math.
+#[derive(Debug, Clone)]
+pub struct LoadController {
+    constraint: DelayConstraint,
+    headroom: f64,
+    main_us: Ewma,
+    triage_us: Ewma,
+    /// Error-diffusion accumulator: `decide` adds the current shed
+    /// fraction and sheds on every whole-unit crossing, so a steady
+    /// fraction `f` sheds exactly `f` of offers — deterministically.
+    acc: f64,
+    last_fraction: f64,
+    last_depth: u64,
+    gauges: ControllerGauges,
+}
+
+impl LoadController {
+    /// A controller with cold (unseeded) cost estimates: it sheds
+    /// nothing until the first main-path cost observation arrives.
+    pub fn new(constraint: DelayConstraint) -> Self {
+        LoadController {
+            constraint,
+            headroom: DEFAULT_HEADROOM,
+            main_us: Ewma::new(DEFAULT_ALPHA).expect("constant alpha is valid"),
+            triage_us: Ewma::new(DEFAULT_ALPHA).expect("constant alpha is valid"),
+            acc: 0.0,
+            last_fraction: 0.0,
+            last_depth: 0,
+            gauges: ControllerGauges::default(),
+        }
+    }
+
+    /// A controller primed with cost-model predictions (µs/tuple), so
+    /// the threshold is meaningful before any measurement lands.
+    pub fn seeded(constraint: DelayConstraint, main_us: f64, triage_us: f64) -> Self {
+        let mut c = LoadController::new(constraint);
+        c.main_us = Ewma::seeded(DEFAULT_ALPHA, main_us).expect("constant alpha is valid");
+        c.triage_us = Ewma::seeded(DEFAULT_ALPHA, triage_us).expect("constant alpha is valid");
+        c
+    }
+
+    /// Attach gauges; the current state is published immediately (so
+    /// an idle scrape already shows the seeded threshold) and again on
+    /// every decision.
+    pub fn with_gauges(mut self, gauges: ControllerGauges) -> Self {
+        self.gauges = gauges;
+        self.gauges.publish(&self.state());
+        self
+    }
+
+    /// The configured constraint.
+    pub fn constraint(&self) -> DelayConstraint {
+        self.constraint
+    }
+
+    /// Fold one measured main-path cost (µs for one tuple).
+    pub fn observe_main(&mut self, us: f64) {
+        self.main_us.observe(us);
+    }
+
+    /// Fold one measured triage-path cost (µs for one shed tuple).
+    pub fn observe_triage(&mut self, us: f64) {
+        self.triage_us.observe(us);
+    }
+
+    /// The current dynamic triage threshold (tuples).
+    pub fn threshold(&self) -> u64 {
+        threshold_for(
+            self.constraint.micros() as f64,
+            self.main_us.get_or(0.0),
+            self.triage_us.get_or(0.0),
+        )
+    }
+
+    /// Decide one arriving tuple's fate given the current queue depth,
+    /// and publish the state to any attached gauges.
+    pub fn decide(&mut self, depth: usize) -> ShedDecision {
+        let depth = depth as u64;
+        let threshold = self.threshold();
+        let f = ramp_fraction(depth, threshold, self.headroom);
+        self.last_fraction = f;
+        self.last_depth = depth;
+        let decision = if f >= 1.0 {
+            ShedDecision::Shed
+        } else if f <= 0.0 {
+            ShedDecision::Keep
+        } else {
+            self.acc += f;
+            if self.acc >= 1.0 {
+                self.acc -= 1.0;
+                ShedDecision::Shed
+            } else {
+                ShedDecision::Keep
+            }
+        };
+        let state = self.state();
+        self.gauges.publish(&state);
+        decision
+    }
+
+    /// The controller's current state (threshold, estimated delay at
+    /// the last observed depth, last shed fraction, cost estimates).
+    pub fn state(&self) -> ControllerState {
+        ControllerState {
+            threshold: self.threshold(),
+            estimated_delay: VDuration::from_micros(
+                (self.last_depth as f64 * self.main_us.get_or(0.0)).round() as u64,
+            ),
+            shed_fraction: self.last_fraction,
+            main_cost_us: self.main_us.get_or(0.0),
+            triage_cost_us: self.triage_us.get_or(0.0),
+        }
+    }
+}
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// The lock-free adaptive controller shared between `dt-server`'s
+/// ingest connections (decide), worker (cost observations, dequeue
+/// accounting), and merger watchdog ([`SharedController::penalize`]).
+///
+/// Cost estimates live as `f64` bit patterns in atomics; the EWMA
+/// update is a read-modify-write without a CAS loop, so two racing
+/// observations may lose one sample — harmless for a smoothed
+/// estimator fed thousands of samples, and it keeps the hot path to
+/// two relaxed atomic ops.
+#[derive(Debug)]
+pub struct SharedController {
+    constraint_us: f64,
+    headroom: f64,
+    main_us_bits: AtomicU64,
+    triage_us_bits: AtomicU64,
+    /// Tuples currently in the stream's bounded channel (enqueued at
+    /// ingest, dequeued by the worker).
+    depth: AtomicI64,
+    /// Error-diffusion accumulator in millifraction units (see
+    /// [`LoadController::decide`]); `u64` wrapping keeps it lock-free.
+    acc_milli: AtomicU64,
+    last_fraction_milli: AtomicU64,
+    gauges: ControllerGauges,
+}
+
+impl SharedController {
+    /// A controller primed with cost-model predictions (µs/tuple).
+    pub fn seeded(constraint: DelayConstraint, main_us: f64, triage_us: f64) -> Self {
+        SharedController {
+            constraint_us: constraint.micros() as f64,
+            headroom: DEFAULT_HEADROOM,
+            main_us_bits: AtomicU64::new(main_us.to_bits()),
+            triage_us_bits: AtomicU64::new(triage_us.to_bits()),
+            depth: AtomicI64::new(0),
+            acc_milli: AtomicU64::new(0),
+            last_fraction_milli: AtomicU64::new(0),
+            gauges: ControllerGauges::default(),
+        }
+    }
+
+    /// Attach gauges; the current state is published immediately (so
+    /// an idle scrape already shows the seeded threshold) and again on
+    /// every decision.
+    pub fn with_gauges(mut self, gauges: ControllerGauges) -> Self {
+        self.gauges = gauges;
+        self.gauges.publish(&self.state());
+        self
+    }
+
+    fn main_us(&self) -> f64 {
+        f64::from_bits(self.main_us_bits.load(Ordering::Relaxed))
+    }
+
+    fn triage_us(&self) -> f64 {
+        f64::from_bits(self.triage_us_bits.load(Ordering::Relaxed))
+    }
+
+    fn ewma_fold(bits: &AtomicU64, sample: f64) {
+        let old = f64::from_bits(bits.load(Ordering::Relaxed));
+        let new = old + DEFAULT_ALPHA * (sample - old);
+        bits.store(new.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Fold one measured main-path cost (µs for one tuple).
+    pub fn observe_main(&self, us: f64) {
+        Self::ewma_fold(&self.main_us_bits, us);
+    }
+
+    /// Fold one measured triage-path cost (µs for one shed tuple).
+    pub fn observe_triage(&self, us: f64) {
+        Self::ewma_fold(&self.triage_us_bits, us);
+    }
+
+    /// A tuple entered the bounded channel.
+    pub fn on_enqueue(&self) {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The worker pulled `n` tuples off the bounded channel.
+    pub fn on_dequeue(&self, n: usize) {
+        self.depth.fetch_sub(n as i64, Ordering::Relaxed);
+    }
+
+    /// The merger watchdog force-sealed past a stalled worker: the
+    /// main-path cost estimate was evidently optimistic. Double it
+    /// (halving the threshold) so the controller sheds harder until
+    /// fresh measurements earn the trust back.
+    pub fn penalize(&self) {
+        let old = self.main_us();
+        if old > 0.0 {
+            self.main_us_bits
+                .store((old * 2.0).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The current dynamic triage threshold (tuples).
+    pub fn threshold(&self) -> u64 {
+        threshold_for(self.constraint_us, self.main_us(), self.triage_us())
+    }
+
+    /// Decide one arriving tuple's fate from the current channel
+    /// depth, and publish the state to any attached gauges.
+    pub fn decide(&self) -> ShedDecision {
+        let depth = self.depth.load(Ordering::Relaxed).max(0) as u64;
+        let threshold = self.threshold();
+        let f = ramp_fraction(depth, threshold, self.headroom);
+        self.last_fraction_milli
+            .store((f * 1000.0).round() as u64, Ordering::Relaxed);
+        let decision = if f >= 1.0 {
+            ShedDecision::Shed
+        } else if f <= 0.0 {
+            ShedDecision::Keep
+        } else {
+            let fm = (f * 1000.0).round() as u64;
+            let prev = self.acc_milli.fetch_add(fm, Ordering::Relaxed);
+            if (prev % 1000) + fm >= 1000 {
+                ShedDecision::Shed
+            } else {
+                ShedDecision::Keep
+            }
+        };
+        let state = self.state();
+        self.gauges.publish(&state);
+        decision
+    }
+
+    /// The controller's current state.
+    pub fn state(&self) -> ControllerState {
+        let depth = self.depth.load(Ordering::Relaxed).max(0) as u64;
+        let main = self.main_us();
+        ControllerState {
+            threshold: self.threshold(),
+            estimated_delay: VDuration::from_micros((depth as f64 * main).round() as u64),
+            shed_fraction: self.last_fraction_milli.load(Ordering::Relaxed) as f64 / 1000.0,
+            main_cost_us: main,
+            triage_cost_us: self.triage_us(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d_ms(ms: u64) -> DelayConstraint {
+        DelayConstraint::from_millis(ms).unwrap()
+    }
+
+    #[test]
+    fn constraint_must_be_positive() {
+        assert!(DelayConstraint::from_millis(0).is_err());
+        assert!(DelayConstraint::from_micros(1).is_ok());
+        assert_eq!(d_ms(20).micros(), 20_000);
+    }
+
+    #[test]
+    fn ewma_rejects_bad_alpha() {
+        assert!(Ewma::new(0.0).is_err());
+        assert!(Ewma::new(1.5).is_err());
+        assert!(Ewma::new(-0.1).is_err());
+        assert!(Ewma::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn ewma_cold_start_adopts_first_sample() {
+        let mut e = Ewma::new(0.1).unwrap();
+        assert!(e.value().is_none());
+        assert_eq!(e.get_or(7.0), 7.0);
+        e.observe(42.0);
+        assert_eq!(e.value(), Some(42.0));
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::seeded(0.2, 100.0).unwrap();
+        for _ in 0..200 {
+            e.observe(10.0);
+        }
+        let v = e.value().unwrap();
+        assert!((v - 10.0).abs() < 1e-6, "{v}");
+    }
+
+    #[test]
+    fn ewma_step_response_is_geometric() {
+        // After a step from 0 to 1, the residual error after k samples
+        // is (1 - alpha)^k exactly.
+        let alpha = 0.25;
+        let mut e = Ewma::seeded(alpha, 0.0).unwrap();
+        for k in 1..=20 {
+            e.observe(1.0);
+            let expected = 1.0 - (1.0 - alpha).powi(k);
+            assert!(
+                (e.value().unwrap() - expected).abs() < 1e-12,
+                "k={k}: {} vs {expected}",
+                e.value().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_math_matches_derivation() {
+        // D = 20 ms, main = 1 ms, triage = 0: floor(20) - 1 = 19.
+        assert_eq!(threshold_for(20_000.0, 1_000.0, 0.0), 19);
+        // Triage cost eats into the budget.
+        assert_eq!(threshold_for(20_000.0, 1_000.0, 2_000.0), 17);
+        // Never below 1, never panics on tight constraints.
+        assert_eq!(threshold_for(500.0, 1_000.0, 0.0), 1);
+        // Cold estimate disables shedding.
+        assert_eq!(threshold_for(20_000.0, 0.0, 0.0), u64::MAX);
+    }
+
+    #[test]
+    fn ramp_is_monotone_and_bounded() {
+        let t = 20;
+        let mut last = 0.0;
+        for depth in 0..=t + 5 {
+            let f = ramp_fraction(depth, t, DEFAULT_HEADROOM);
+            assert!((0.0..=1.0).contains(&f), "depth {depth}: {f}");
+            assert!(f >= last, "ramp must be monotone in depth");
+            last = f;
+        }
+        assert_eq!(ramp_fraction(0, t, DEFAULT_HEADROOM), 0.0);
+        assert_eq!(ramp_fraction(t, t, DEFAULT_HEADROOM), 1.0);
+        // An unbounded threshold never sheds.
+        assert_eq!(ramp_fraction(1 << 40, u64::MAX, DEFAULT_HEADROOM), 0.0);
+    }
+
+    #[test]
+    fn cold_controller_keeps_everything() {
+        let mut c = LoadController::new(d_ms(10));
+        for depth in [0, 10, 1000, 1_000_000] {
+            assert_eq!(c.decide(depth), ShedDecision::Keep);
+        }
+        assert_eq!(c.threshold(), u64::MAX);
+    }
+
+    #[test]
+    fn seeded_controller_sheds_above_threshold() {
+        // D = 20 ms at 1 ms/tuple: threshold 19.
+        let mut c = LoadController::seeded(d_ms(20), 1_000.0, 0.0);
+        assert_eq!(c.threshold(), 19);
+        assert_eq!(c.decide(0), ShedDecision::Keep);
+        assert_eq!(c.decide(19), ShedDecision::Shed);
+        assert_eq!(c.decide(100), ShedDecision::Shed);
+    }
+
+    #[test]
+    fn ramp_sheds_proportionally_inside_band() {
+        let mut c = LoadController::seeded(d_ms(100), 1_000.0, 0.0);
+        let t = c.threshold(); // 98
+        let depth = t - 1; // inside the band, fraction in (0, 1)
+        let f = ramp_fraction(depth, t, DEFAULT_HEADROOM);
+        assert!(f > 0.0 && f < 1.0);
+        let n = 1000usize;
+        let shed = (0..n)
+            .filter(|_| c.decide(depth as usize) == ShedDecision::Shed)
+            .count();
+        // Error diffusion: the realized fraction tracks f to within
+        // one decision.
+        let realized = shed as f64 / n as f64;
+        assert!(
+            (realized - f).abs() < 2.0 / n as f64,
+            "realized {realized} vs fraction {f}"
+        );
+    }
+
+    #[test]
+    fn tighter_constraints_give_lower_thresholds() {
+        let mut last = u64::MAX;
+        for ms in [500, 100, 50, 20, 10, 5, 2] {
+            let c = LoadController::seeded(d_ms(ms), 1_000.0, 20.0);
+            let t = c.threshold();
+            assert!(t <= last, "D={ms}ms: threshold {t} > previous {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn observations_move_the_threshold() {
+        let mut c = LoadController::seeded(d_ms(20), 1_000.0, 0.0);
+        assert_eq!(c.threshold(), 19);
+        // The engine turns out to be 2x slower than the model claimed.
+        for _ in 0..500 {
+            c.observe_main(2_000.0);
+        }
+        assert_eq!(c.threshold(), 9);
+        // Triage costs now measured as nonzero.
+        for _ in 0..500 {
+            c.observe_triage(2_000.0);
+        }
+        assert_eq!(c.threshold(), 8);
+    }
+
+    #[test]
+    fn state_reports_consistent_numbers() {
+        let mut c = LoadController::seeded(d_ms(20), 1_000.0, 50.0);
+        c.decide(10);
+        let s = c.state();
+        // floor((20000 - 50) / 1000) - 1 = 18.
+        assert_eq!(s.threshold, 18);
+        assert_eq!(s.estimated_delay, VDuration::from_millis(10));
+        assert_eq!(s.shed_fraction, 0.0);
+        assert!((s.main_cost_us - 1_000.0).abs() < 1e-9);
+        assert!((s.triage_cost_us - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_controller_matches_single_threaded_math() {
+        let c = SharedController::seeded(d_ms(20), 1_000.0, 0.0);
+        assert_eq!(c.threshold(), 19);
+        // Depth below the band: keep.
+        assert_eq!(c.decide(), ShedDecision::Keep);
+        // Fill the channel past the threshold.
+        for _ in 0..25 {
+            c.on_enqueue();
+        }
+        assert_eq!(c.decide(), ShedDecision::Shed);
+        c.on_dequeue(25);
+        assert_eq!(c.decide(), ShedDecision::Keep);
+    }
+
+    #[test]
+    fn shared_controller_ewma_and_penalty() {
+        let c = SharedController::seeded(d_ms(20), 1_000.0, 0.0);
+        for _ in 0..500 {
+            c.observe_main(2_000.0);
+        }
+        assert_eq!(c.threshold(), 9);
+        c.penalize();
+        assert_eq!(c.threshold(), 4);
+        let s = c.state();
+        assert!((s.main_cost_us - 4_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn shared_ramp_error_diffusion_tracks_fraction() {
+        let c = SharedController::seeded(d_ms(100), 1_000.0, 0.0);
+        let t = c.threshold();
+        for _ in 0..t - 1 {
+            c.on_enqueue();
+        }
+        let f = ramp_fraction(t - 1, t, DEFAULT_HEADROOM);
+        assert!(f > 0.0 && f < 1.0);
+        let n = 1000usize;
+        let shed = (0..n).filter(|_| c.decide() == ShedDecision::Shed).count();
+        let realized = shed as f64 / n as f64;
+        assert!(
+            (realized - f).abs() < 2.0 / n as f64 + 1e-3,
+            "realized {realized} vs fraction {f}"
+        );
+    }
+}

@@ -1,28 +1,55 @@
 //! The Data Triage load-shedding layer — the paper's Figure 1,
-//! assembled.
+//! assembled end to end.
 //!
-//! Components:
+//! # The pipeline, stage by stage
 //!
-//! * [`TriageQueue`] — the bounded queue between each data source and
-//!   the query engine. When it overflows, a [`DropPolicy`] chooses a
-//!   victim; in Data Triage mode the victim is folded into the current
-//!   window's *dropped* synopsis instead of vanishing.
-//! * [`ShedMode`] — the three load-shedding methodologies of §5.2.1,
-//!   sharing one codebase exactly as the paper prescribes:
-//!   `DropOnly` (victims discarded, no synopses), `SummarizeOnly`
-//!   (queue bypassed, *everything* synopsized, all processing
-//!   approximate), and `DataTriage` (the full architecture).
-//! * [`Pipeline`] — the virtual-clock simulation loop: arrivals →
-//!   triage queues → engine (at its cost-model service rate) → window
-//!   close → exact execution + shadow-query estimation → merge.
-//! * [`merge`] — combining exact per-group aggregates with the shadow
-//!   plan's estimates (the role the paper's web front-end played).
+//! Arrivals flow through five stages, each a type in this crate:
+//!
+//! 1. **[`TriageQueue`]** (paper Fig. 1) — the bounded queue between
+//!    each data source and the query engine. When it overflows — or
+//!    when the adaptive [`LoadController`] says the backlog can no
+//!    longer drain within the delay constraint — a victim must go.
+//! 2. **[`DropPolicy`]** (§5.2.3) — chooses the victim: the incoming
+//!    tuple (`Newest`), the oldest (`Front`), a uniform pick
+//!    (`Random`), or one the dropped synopsis already covers
+//!    (`Synergistic`).
+//! 3. **Synopsis fold** (§5.1–5.2) — in Data Triage mode the victim
+//!    is folded into the window's *dropped* synopsis
+//!    ([`dt_synopsis::Synopsis`]) instead of vanishing, while every
+//!    tuple the engine processes is folded into the *kept* synopsis,
+//!    so the shadow plan never joins a synopsis against raw tuples.
+//! 4. **Shadow plan** (§5.1) — at window close, the rewritten query
+//!    ([`dt_rewrite::ShadowQuery`]) estimates what the dropped tuples
+//!    would have contributed.
+//! 5. **[`merge`]** (§5.3) — exact per-group aggregates from kept
+//!    tuples are combined with the shadow estimates into one
+//!    [`WindowResult`] (the role the paper's web front-end played).
+//!
+//! # Runtimes over the stages
+//!
+//! * [`Pipeline`] / [`SharedPipeline`] — the single-threaded
+//!   virtual-clock simulation: the engine consumes at its
+//!   [`dt_engine::CostModel`] service rate, and every experiment is
+//!   bit-reproducible from a seed. `SharedPipeline` runs many queries
+//!   over shared streams and shared synopses (§8.1).
+//! * [`QueryExecutor`] / [`StreamTriage`] — the stateless
+//!   window-close half and the per-stream fold/seal half, factored
+//!   out so the threaded `dt-server` runtime can drive the same
+//!   stages from worker and merger threads.
+//!
+//! # Choosing *when* to shed
+//!
+//! * [`ShedMode`] — the three methodologies of §5.2.1 sharing one
+//!   codebase: `DropOnly` (victims discarded, no synopses),
+//!   `SummarizeOnly` (queue bypassed, everything approximate), and
+//!   `DataTriage` (the full architecture).
+//! * [`LoadController`] / [`SharedController`] (§4–5, DESIGN.md §11)
+//!   — the *adaptive* part of "an adaptive architecture": a
+//!   [`DelayConstraint`] plus EWMA cost estimates yield the dynamic
+//!   triage threshold and a smooth shedding ramp, turning the fixed
+//!   queue bound into a latency contract.
 
-//! * [`QueryExecutor`] / [`StreamTriage`] — the window-close and
-//!   per-stream fold/seal halves of the pipeline, factored out so a
-//!   threaded runtime (`dt-server`) can drive them from worker and
-//!   merger threads.
-
+pub mod controller;
 pub mod executor;
 pub mod merge;
 pub mod obs;
@@ -35,9 +62,12 @@ pub mod shed;
 pub mod stream;
 mod winmap;
 
+pub use controller::{
+    ControllerState, DelayConstraint, Ewma, LoadController, SharedController, ShedDecision,
+};
 pub use executor::{QueryExecutor, SharedStream, SynPair};
 pub use merge::{merge_window, MergedGroups};
-pub use obs::{StreamObs, TriageObs};
+pub use obs::{ControllerGauges, StreamObs, TriageObs};
 pub use pipeline::{
     ExecStrategy, Pipeline, PipelineConfig, RunReport, RunTotals, WindowPayload, WindowResult,
 };

@@ -99,6 +99,59 @@ impl TriageObs {
     }
 }
 
+/// Gauges publishing one adaptive controller's state (see
+/// [`crate::LoadController`] / [`crate::SharedController`]). Default
+/// handles are disabled no-ops, so a controller can publish
+/// unconditionally; registration is opt-in per stream.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerGauges {
+    /// The dynamic triage threshold, tuples.
+    pub threshold: Gauge,
+    /// Estimated queue-drain delay at the last observed depth, ms.
+    pub estimated_delay_ms: Gauge,
+    /// Shed fraction applied at the last decision, per-mille (0–1000).
+    pub shed_fraction: Gauge,
+}
+
+impl ControllerGauges {
+    /// Register the controller gauges for `stream` (by name).
+    pub fn register(reg: &MetricsRegistry, stream: &str) -> Self {
+        ControllerGauges {
+            threshold: reg.gauge(
+                "dt_triage_threshold",
+                "Dynamic triage threshold derived from the delay constraint (tuples)",
+                &[("stream", stream)],
+            ),
+            estimated_delay_ms: reg.gauge(
+                "dt_triage_estimated_delay_ms",
+                "Estimated queue-drain delay at the current depth (milliseconds)",
+                &[("stream", stream)],
+            ),
+            shed_fraction: reg.gauge(
+                "dt_triage_shed_fraction",
+                "Controller shed fraction at the last decision (per-mille, 0-1000)",
+                &[("stream", stream)],
+            ),
+        }
+    }
+
+    /// Publish one controller state snapshot.
+    pub fn publish(&self, state: &crate::controller::ControllerState) {
+        // An unbounded threshold (cold estimates) is published as -1
+        // rather than a saturated i64, so dashboards can tell
+        // "disabled" from "astronomically large".
+        self.threshold.set(if state.threshold == u64::MAX {
+            -1
+        } else {
+            state.threshold.min(i64::MAX as u64) as i64
+        });
+        self.estimated_delay_ms
+            .set((state.estimated_delay.micros() / 1_000) as i64);
+        self.shed_fraction
+            .set((state.shed_fraction * 1000.0).round() as i64);
+    }
+}
+
 /// Instruments for one server worker's per-stream triage state.
 #[derive(Debug, Clone, Default)]
 pub struct StreamObs {

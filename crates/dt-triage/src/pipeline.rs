@@ -27,6 +27,7 @@ use dt_rewrite::ShadowQuery;
 use dt_synopsis::{Synopsis, SynopsisConfig};
 use dt_types::{DtResult, Row, Timestamp, Tuple, WindowId, WindowSpec};
 
+use crate::controller::DelayConstraint;
 use crate::merge::MergedGroups;
 use crate::policy::DropPolicy;
 use crate::shared::SharedPipeline;
@@ -63,6 +64,15 @@ pub struct PipelineConfig {
     pub seed: u64,
     /// Batch vs incremental exact execution.
     pub execution: ExecStrategy,
+    /// Optional per-query delay constraint. When set (and the mode
+    /// uses the engine), a [`crate::LoadController`] per stream
+    /// derives a dynamic triage threshold from the constraint and the
+    /// EWMA-estimated per-tuple costs, shedding *before* the fixed
+    /// queue capacity is reached so windows seal within the
+    /// constraint. `None` (the default) keeps the fixed-capacity
+    /// overflow signal as the only shed trigger — bit-identical to the
+    /// pre-controller behavior.
+    pub delay: Option<DelayConstraint>,
 }
 
 impl PipelineConfig {
@@ -79,6 +89,7 @@ impl PipelineConfig {
             synopsis: SynopsisConfig::default_sparse(),
             seed: 0,
             execution: ExecStrategy::Batch,
+            delay: None,
         }
     }
 }

@@ -122,6 +122,34 @@ impl TriageQueue {
         self.items.pop_front()
     }
 
+    /// Shed by policy *now*, regardless of occupancy — the adaptive
+    /// controller's path ([`crate::LoadController`]): the drop policy
+    /// picks a victim among the buffered tuples plus the incoming one
+    /// (the `Newest` policy, or an empty queue, sheds the incoming
+    /// tuple itself), the incoming tuple takes the victim's place, and
+    /// the victim is returned for the caller to synopsize or discard.
+    /// Counts as one offered and one dropped tuple, exactly like an
+    /// overflow shed in [`TriageQueue::push`].
+    pub fn shed(&mut self, tuple: Tuple, dropped_synopsis: Option<&Synopsis>) -> Tuple {
+        self.pushed += 1;
+        self.dropped += 1;
+        if self.items.is_empty() {
+            return tuple;
+        }
+        let victim_idx = match self.policy {
+            DropPolicy::Newest => return tuple,
+            DropPolicy::Front => 0,
+            DropPolicy::Random => self.rng.gen_range(0..self.items.len()),
+            DropPolicy::Synergistic => self.pick_synergistic(dropped_synopsis),
+        };
+        let victim = self
+            .items
+            .remove(victim_idx)
+            .expect("victim index in range");
+        self.items.push_back(tuple);
+        victim
+    }
+
     /// Offer a whole batch of tuples in order, appending every victim
     /// (in shed order) to `victims` — the caller owns and reuses the
     /// buffer across batches. Returns the number of victims appended.
@@ -292,6 +320,47 @@ mod tests {
             victims.contains(&5),
             "expected the covered tuple to be shed, victims: {victims:?}"
         );
+    }
+
+    #[test]
+    fn shed_below_capacity_applies_policy() {
+        // Front policy: the oldest buffered tuple is the victim even
+        // though the queue is nowhere near full.
+        let mut q = TriageQueue::new(10, DropPolicy::Front, 0).unwrap();
+        q.push(tup(1, 10), None);
+        q.push(tup(2, 20), None);
+        let victim = q.shed(tup(3, 30), None);
+        assert_eq!(victim.row, Row::from_ints(&[1]));
+        assert_eq!(q.len(), 2, "incoming replaced the victim");
+        assert_eq!(q.total_dropped(), 1);
+        assert_eq!(q.total_pushed(), 3);
+        // Newest policy sheds the incoming tuple itself.
+        let mut q = TriageQueue::new(10, DropPolicy::Newest, 0).unwrap();
+        q.push(tup(1, 10), None);
+        let victim = q.shed(tup(2, 20), None);
+        assert_eq!(victim.row, Row::from_ints(&[2]));
+        assert_eq!(q.len(), 1);
+        // An empty queue sheds the incoming tuple under any policy.
+        let mut q = TriageQueue::new(10, DropPolicy::Front, 0).unwrap();
+        let victim = q.shed(tup(9, 5), None);
+        assert_eq!(victim.row, Row::from_ints(&[9]));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn shed_keeps_queue_time_ordered() {
+        let mut q = TriageQueue::new(8, DropPolicy::Random, 11).unwrap();
+        for i in 0..5 {
+            q.push(tup(i, 10 * (i as u64 + 1)), None);
+        }
+        for i in 5..15 {
+            q.shed(tup(i, 10 * (i as u64 + 1)), None);
+        }
+        let mut last = Timestamp::ZERO;
+        while let Some(t) = q.pop() {
+            assert!(t.ts >= last, "queue must stay time-ordered");
+            last = t.ts;
+        }
     }
 
     #[test]

@@ -27,8 +27,9 @@ use dt_types::{DtError, DtResult, Row, Timestamp, Tuple, WindowId, WindowSpec};
 
 use dt_obs::MetricsRegistry;
 
+use crate::controller::{LoadController, ShedDecision};
 use crate::executor::{QueryExecutor, SynPair};
-use crate::obs::TriageObs;
+use crate::obs::{ControllerGauges, TriageObs};
 use crate::pipeline::{ExecStrategy, PipelineConfig, RunReport, RunTotals, WindowResult};
 use crate::policy::DropPolicy;
 use crate::queue::TriageQueue;
@@ -68,6 +69,10 @@ pub struct SharedPipeline {
     point_scratch: Vec<i64>,
     /// Triage instruments (default = every handle disabled).
     obs: TriageObs,
+    /// Per-stream adaptive controllers, present only when the config
+    /// carries a [`crate::DelayConstraint`] and the mode drives the
+    /// engine. `None` keeps the fixed-capacity shed signal untouched.
+    controllers: Option<Vec<LoadController>>,
 }
 
 impl SharedPipeline {
@@ -99,6 +104,26 @@ impl SharedPipeline {
             })
             .collect::<DtResult<Vec<_>>>()?;
         let num_queries = exec.num_queries();
+        // Adaptive control: one controller per physical stream, its
+        // cost EWMAs primed from the static cost model (DESIGN.md
+        // §11) so the threshold is sensible before any measurement.
+        let controllers = cfg.delay.filter(|_| cfg.mode.uses_engine()).map(|d| {
+            let syn_us = cfg.cost.synopsis_insert_time.micros() as f64;
+            let main_us = cfg.cost.service_time.micros() as f64
+                + if cfg.mode == ShedMode::DataTriage {
+                    syn_us
+                } else {
+                    0.0
+                };
+            let triage_us = if cfg.mode.uses_synopses() {
+                syn_us
+            } else {
+                0.0
+            };
+            (0..n)
+                .map(|_| LoadController::seeded(d, main_us, triage_us))
+                .collect()
+        });
         Ok(SharedPipeline {
             buffers: WindowBuffers::new(n, spec),
             queues,
@@ -114,6 +139,7 @@ impl SharedPipeline {
             totals: RunTotals::default(),
             point_scratch: Vec::new(),
             obs: TriageObs::default(),
+            controllers,
         })
     }
 
@@ -129,6 +155,13 @@ impl SharedPipeline {
             .map(|s| s.name.as_str())
             .collect();
         self.obs = TriageObs::register(reg, self.cfg.mode, &names);
+        if let Some(ctls) = self.controllers.as_mut() {
+            for (ctl, name) in ctls.iter_mut().zip(&names) {
+                *ctl = ctl
+                    .clone()
+                    .with_gauges(ControllerGauges::register(reg, name));
+            }
+        }
         self.exec = self.exec.with_metrics(reg);
         self
     }
@@ -239,7 +272,26 @@ impl SharedPipeline {
                 } else {
                     None
                 };
-                let victim = self.queues[stream].push(tuple, dropped_syn);
+                // The adaptive controller may demand a shed *before*
+                // the queue is full, so the backlog stays drainable
+                // within the delay constraint; without a controller
+                // (or while its verdict is Keep) the fixed capacity
+                // remains the only shed signal. The engine is shared
+                // by every physical stream, so the depth that predicts
+                // drain time is the *total* backlog, not this stream's
+                // queue alone.
+                let forced = match self.controllers.as_mut() {
+                    Some(ctls) => {
+                        let depth = self.queues.iter().map(TriageQueue::len).sum();
+                        ctls[stream].decide(depth) == ShedDecision::Shed
+                    }
+                    None => false,
+                };
+                let victim = if forced {
+                    Some(self.queues[stream].shed(tuple, dropped_syn))
+                } else {
+                    self.queues[stream].push(tuple, dropped_syn)
+                };
                 if let Some(g) = self.obs.queue_depth.get(stream) {
                     g.set(self.queues[stream].len() as i64);
                 }
@@ -264,6 +316,12 @@ impl SharedPipeline {
                     self.totals.dropped += 1;
                     self.obs.dropped.inc();
                     self.observe_sampled_insert(t0);
+                    if summarize {
+                        if let Some(ctls) = self.controllers.as_mut() {
+                            ctls[stream]
+                                .observe_triage(self.cfg.cost.synopsis_insert_time.micros() as f64);
+                        }
+                    }
                 }
             }
         }
@@ -330,6 +388,12 @@ impl SharedPipeline {
                 self.observe_sampled_insert(t0);
             }
             self.engine_free_at = start + busy;
+            if let Some(ctls) = self.controllers.as_mut() {
+                // The virtual engine's per-tuple cost is exactly
+                // `busy`; feeding it keeps the EWMA honest if the
+                // config's cost model is ever made time-varying.
+                ctls[qi].observe_main(busy.micros() as f64);
+            }
             for w in self.spec.windows_of(tuple.ts) {
                 self.stats.get_or_insert_with(w, WinStats::default).kept += 1;
             }

@@ -14,7 +14,12 @@ pub type DtResult<T> = Result<T, DtError>;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DtError {
     /// Lexer/parser failure, with a position in the query text.
-    Parse { message: String, position: usize },
+    Parse {
+        /// What went wrong, in parser terms.
+        message: String,
+        /// Byte offset into the query text where the failure was found.
+        position: usize,
+    },
     /// Semantic analysis / logical planning failure.
     Plan(String),
     /// Schema mismatch (arity, unknown column, type error).

@@ -19,6 +19,8 @@
 //!   [`MonotonicClock`] in production, [`VirtualClock`] in tests.
 //! * [`DtError`] — the workspace-wide error type.
 
+#![deny(missing_docs)]
+
 pub mod clock;
 pub mod error;
 pub mod hash;

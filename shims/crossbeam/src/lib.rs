@@ -1,8 +1,8 @@
 //! Offline stand-in for `crossbeam`'s channel module.
 //!
 //! The build environment has no crates.io access, so this crate wraps
-//! `std::sync::mpsc` behind crossbeam-channel's names: [`bounded`] /
-//! [`unbounded`] constructors, `try_send` / `send` / `recv` /
+//! `std::sync::mpsc` behind crossbeam-channel's names: [`channel::bounded`] /
+//! [`channel::unbounded`] constructors, `try_send` / `send` / `recv` /
 //! `try_recv` / `recv_timeout`, and the corresponding error types.
 //! Bounded capacity — the property `dt-server` leans on for
 //! backpressure-driven load shedding — maps directly onto

@@ -296,7 +296,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// `Vec` strategy (see [`vec`]).
+    /// `Vec` strategy (see [`vec()`]).
     pub struct VecStrategy<S, Z> {
         element: S,
         size: Z,
