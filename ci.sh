@@ -41,6 +41,60 @@ grep -q '^# TYPE dt_server_queue_depth gauge' /tmp/metrics_smoke.txt
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 
+# Registry smoke: a live dt-serve under the chaos disconnect fault.
+# Connection ids are assigned in first-line order (readiness poll,
+# two registers, tuple sender, final list), so the sender — the only
+# connection that ever writes a 6th line — lands somewhere in 2..=5;
+# injecting the same line-5 cut on all four ids guarantees it is
+# dropped mid-stream and must reconnect-and-resend, whatever the
+# exact numbering. Two queries registered over the loopback client
+# share stream R's triage; both must emit windows and show up in
+# /stats.
+sleep 20 | ./target/release/dt-serve \
+    --stream R:a --query 'SELECT a, COUNT(*) FROM R GROUP BY a' \
+    --listen 127.0.0.1:7184 --window 1.0 --grace 100 \
+    --fault-disconnect 2:5 --fault-disconnect 3:5 \
+    --fault-disconnect 4:5 --fault-disconnect 5:5 \
+    > /tmp/dt_registry_smoke.json &
+REG_PID=$!
+REG_UP=0
+for _ in $(seq 1 50); do
+    if ./target/release/dt-serve list --addr 127.0.0.1:7184 \
+        > /dev/null 2>&1; then
+        REG_UP=1
+        break
+    fi
+    sleep 0.2
+done
+test "$REG_UP" = 1
+./target/release/dt-serve register --addr 127.0.0.1:7184 \
+    --sql 'SELECT a, COUNT(*) FROM R GROUP BY a' | grep -q '^registered 1$'
+./target/release/dt-serve register --addr 127.0.0.1:7184 \
+    --sql 'SELECT a, SUM(a) FROM R GROUP BY a' --tenant acme --weight 2 \
+    | grep -q '^registered 2$'
+# The producer is paced (one write per line) so the injected close is
+# seen as a write failure rather than vanishing into the TCP buffer —
+# the sender must then actually reconnect-and-resend at least once.
+i=0; while [ "$i" -lt 40 ]; do
+    printf '{"stream":"R","row":[%d],"ts":%d}\n' $((i % 3)) $((1500000 + i * 20000))
+    sleep 0.01
+    i=$((i + 1))
+done | ./target/release/dt-serve send --addr 127.0.0.1:7184 \
+    2> /tmp/registry_send.txt
+cat /tmp/registry_send.txt
+grep -Eq 'forwarded 40 lines \([1-9][0-9]* retries\)' /tmp/registry_send.txt
+sleep 3
+./target/release/dt-serve list --addr 127.0.0.1:7184 > /tmp/registry_list.txt
+cat /tmp/registry_list.txt
+test "$(grep -c ' active ' /tmp/registry_list.txt)" = 3
+grep -vq 'windows=0' /tmp/registry_list.txt
+cargo run --release -p dt-server --example scrape -- 127.0.0.1:7184 --raw \
+    > /tmp/registry_stats.json
+grep -q '"queries":\[' /tmp/registry_stats.json
+grep -q 'SELECT a, SUM(a) FROM R GROUP BY a' /tmp/registry_stats.json
+kill "$REG_PID" 2>/dev/null || true
+wait "$REG_PID" 2>/dev/null || true
+
 # Bench smoke: every criterion harness must run end to end on a tiny
 # time budget, and the perf-trajectory snapshot must regenerate. The
 # numbers themselves are not gated here (CI hardware is too noisy);
@@ -55,3 +109,9 @@ cargo run --release -p dt-bench --bin bench_baseline -- --out /tmp/bench_smoke.j
 # by the dt-triage and dt-metrics test suites, not re-judged here.
 (cd /tmp && cargo run --release --manifest-path "$OLDPWD/Cargo.toml" \
     -p dt-bench --bin delay_sweep -- --quick)
+
+# Multi-query sharing smoke: the shared-vs-naive sweep (DESIGN.md §12)
+# must run end to end; the shared-triage invariant itself is gated by
+# dt-server's registry tests.
+(cd /tmp && cargo run --release --manifest-path "$OLDPWD/Cargo.toml" \
+    -p dt-bench --bin multiq_sweep -- --quick)

@@ -35,6 +35,10 @@
 //!                       live dt-server at ADDR and replay the
 //!                       arrivals through the TCP ingest path at their
 //!                       recorded wall-clock times (single mode only)
+//!   --queries FILE      additional ;-separated statements to register
+//!                       alongside --query (`--` comment lines are
+//!                       skipped); they share each stream's triage and
+//!                       synopses (DESIGN.md §12). Requires --serve
 //!   --obs               record observability instruments during the
 //!                       run and print the snapshot table afterwards
 //! ```
@@ -70,6 +74,7 @@ struct Args {
     explain: bool,
     optimize: bool,
     serve: Option<String>,
+    queries_file: Option<String>,
     obs: bool,
 }
 
@@ -98,6 +103,7 @@ impl Default for Args {
             explain: false,
             optimize: false,
             serve: None,
+            queries_file: None,
             obs: false,
         }
     }
@@ -166,6 +172,7 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace_in = Some(value("--trace")?),
             "--dump-trace" => args.trace_out = Some(value("--dump-trace")?),
             "--serve" => args.serve = Some(value("--serve")?),
+            "--queries" => args.queries_file = Some(value("--queries")?),
             "--obs" => args.obs = true,
             "--help" | "-h" => {
                 println!("see `dtsim` module docs (cargo doc) or the README for options");
@@ -229,6 +236,22 @@ fn parse_synopsis(spec: &str, seed: u64) -> Result<SynopsisConfig, String> {
         },
         other => return Err(format!("unknown synopsis kind '{other}'")),
     })
+}
+
+/// Split a `--queries` file into statements: `;`-separated, comment
+/// lines (`--` prefix) dropped, blanks ignored.
+fn split_statements(text: &str) -> Vec<String> {
+    let stripped: String = text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("--"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    stripped
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
 }
 
 fn parse_policy(s: &str) -> Result<DropPolicy, String> {
@@ -363,6 +386,11 @@ fn run(args: &Args) -> DtResult<()> {
     // Live-serve wiring: host the same query on a real dt-server
     // socket, replay the same arrivals through TCP at their recorded
     // times, and score the live run against the same ideal.
+    if args.queries_file.is_some() && args.serve.is_none() {
+        return Err(DtError::config(
+            "--queries registers extra live queries and wants --serve",
+        ));
+    }
     if let Some(addr) = &args.serve {
         if modes.len() > 1 {
             return Err(DtError::config(
@@ -371,6 +399,11 @@ fn run(args: &Args) -> DtResult<()> {
         }
         let mode = modes[0];
         let mut scfg = ServerConfig::new(args.query.clone(), catalog.clone());
+        if let Some(path) = &args.queries_file {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| DtError::config(format!("--queries {path}: {e}")))?;
+            scfg.queries.extend(split_statements(&text));
+        }
         scfg.mode = mode;
         scfg.window = Some(width);
         scfg.channel_capacity = args.queue;
@@ -412,6 +445,11 @@ fn run(args: &Args) -> DtResult<()> {
                 "   RMS error vs ideal: {:.3}",
                 rms_error(ideal, &report_to_map(live))
             );
+        }
+        // Extra --queries statements share the streams' triage; only
+        // the primary query is scored against the ideal.
+        for q in report.queries.iter().skip(1) {
+            println!("   q{} windows {:>4}  {}", q.id, q.windows_emitted, q.sql);
         }
         if let Some(snap) = &report.obs {
             println!("\n{}", snap.render_table());

@@ -1,0 +1,221 @@
+//! Multi-query sharing sweep: the marginal cost of one more query on
+//! a stream (ISSUE 6, the paper's "triage once per stream" economy,
+//! §3 Fig. 3).
+//!
+//! Two architectures process the identical workload with Q = 1…16
+//! concurrent aggregation queries over one stream:
+//!
+//! * **shared** — one [`dt_registry::QueryRegistry`]: tuples are
+//!   triaged and folded into the stream's kept/dropped synopses
+//!   *once*, and each sealed window fans out to the Q executors by
+//!   reference. Per-tuple work is constant in Q; only the per-window
+//!   close scales.
+//! * **naive** — Q independent single-query registries, each fed
+//!   every tuple: per-tuple triage + synopsis work is paid Q times,
+//!   the way Q separate `dtsim`/`dt-serve` processes would.
+//!
+//! Expected shape: naive per-tuple cost grows linearly in Q while the
+//! shared curve stays ~flat, so the marginal cost of query Q+1 in the
+//! shared architecture is a small fraction of the naive one.
+//!
+//! ```sh
+//! cargo run --release -p dt-bench --bin multiq_sweep            # full
+//! cargo run --release -p dt-bench --bin multiq_sweep -- --quick # CI
+//! ```
+//!
+//! The committed `MULTIQ_sweep.json` at the repo root is the full
+//! (non-quick) sweep's output.
+
+use std::time::Instant;
+
+use dt_bench::write_json;
+use dt_obs::MetricsRegistry;
+use dt_query::Catalog;
+use dt_registry::{QueryRegistry, QuerySpec, RegistryConfig, WindowInputs};
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{ShedMode, SynPair};
+use dt_types::{json, DataType, Json, Row, Schema, ToJson, VDuration, WindowSpec};
+
+/// One sweep point.
+struct MultiqPoint {
+    queries: usize,
+    /// Mean µs of per-tuple + per-window work, per tuple, per arch.
+    shared_us_per_tuple: f64,
+    naive_us_per_tuple: f64,
+    /// Marginal µs/tuple for each query beyond the first.
+    shared_marginal_us: f64,
+    naive_marginal_us: f64,
+}
+
+impl ToJson for MultiqPoint {
+    fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("queries", self.queries.to_json()),
+            ("shared_us_per_tuple", self.shared_us_per_tuple.to_json()),
+            ("naive_us_per_tuple", self.naive_us_per_tuple.to_json()),
+            ("shared_marginal_us", self.shared_marginal_us.to_json()),
+            ("naive_marginal_us", self.naive_marginal_us.to_json()),
+        ])
+    }
+}
+
+/// The statements attached to the stream, cycled to build Q queries.
+const STATEMENTS: [&str; 4] = [
+    "SELECT a, COUNT(*) FROM R GROUP BY a",
+    "SELECT a, SUM(a) FROM R GROUP BY a",
+    "SELECT a, AVG(a) FROM R GROUP BY a",
+    "SELECT a, COUNT(*) FROM R GROUP BY a WINDOW R['1 second']",
+];
+
+fn registry(n_queries: usize) -> QueryRegistry {
+    let mut catalog = Catalog::new();
+    catalog.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    let reg = QueryRegistry::new(
+        RegistryConfig {
+            catalog,
+            mode: ShedMode::DataTriage,
+            spec: WindowSpec::new(VDuration::from_secs(1)).expect("window spec"),
+            override_windows: false,
+        },
+        MetricsRegistry::disabled(),
+    )
+    .expect("registry");
+    for q in 0..n_queries {
+        reg.register(QuerySpec::new(STATEMENTS[q % STATEMENTS.len()]))
+            .expect("register");
+    }
+    reg
+}
+
+/// Process `windows` windows of `per_window` tuples through `reg`:
+/// per-tuple triage (keep half, shed half into the dropped synopsis)
+/// once, then a per-window close that fans out to every registered
+/// query. Returns elapsed seconds.
+fn drive(reg: &QueryRegistry, windows: u64, per_window: usize, syn: SynopsisConfig) -> f64 {
+    let start = Instant::now();
+    let mut acc = 0.0f64;
+    for w in 0..windows {
+        let mut kept_rows: Vec<Row> = Vec::with_capacity(per_window / 2);
+        let mut pair = SynPair {
+            kept: syn.build(1).expect("synopsis"),
+            dropped: syn.build(1).expect("synopsis"),
+        };
+        let (mut kept, mut dropped) = (0u64, 0u64);
+        for i in 0..per_window {
+            // Deterministic skewed values; alternate keep/shed so both
+            // synopsis paths and the exact path are exercised.
+            let v = ((i * i + w as usize) % 97) as i64 % 10;
+            if i % 2 == 0 {
+                kept += 1;
+                kept_rows.push(Row::from_ints(&[v]));
+                pair.kept.insert(&[v]).expect("insert");
+            } else {
+                dropped += 1;
+                pair.dropped.insert(&[v]).expect("insert");
+            }
+        }
+        pair.kept.seal();
+        pair.dropped.seal();
+        let rows = vec![kept_rows];
+        let pairs = vec![pair];
+        let counts = vec![(kept, dropped)];
+        let closes = reg
+            .close_window(
+                w,
+                WindowInputs {
+                    rows: &rows,
+                    pairs: Some(&pairs),
+                    counts: &counts,
+                },
+            )
+            .expect("close");
+        // Fold a result byte so the optimizer cannot discard the work.
+        for (_, c) in &closes {
+            acc += c.estimated_share();
+        }
+    }
+    std::hint::black_box(acc);
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (windows, per_window, reps) = if quick {
+        (8, 2_000, 1)
+    } else {
+        (20, 10_000, 3)
+    };
+    let syn = SynopsisConfig::Sparse { cell_width: 2 };
+    let tuples = windows as f64 * per_window as f64;
+
+    let mut points: Vec<MultiqPoint> = Vec::new();
+    let mut shared_base = 0.0f64;
+    let mut naive_base = 0.0f64;
+    for &q in &[1usize, 2, 4, 8, 16] {
+        // Best-of-reps wall time, to shrug off scheduler noise.
+        let mut shared = f64::INFINITY;
+        let mut naive = f64::INFINITY;
+        for _ in 0..reps {
+            let reg = registry(q);
+            shared = shared.min(drive(&reg, windows, per_window, syn));
+            let regs: Vec<QueryRegistry> = (0..q).map(|_| registry(1)).collect();
+            let t = regs
+                .iter()
+                .map(|r| drive(r, windows, per_window, syn))
+                .sum();
+            naive = naive.min(t);
+        }
+        let shared_us = shared * 1e6 / tuples;
+        let naive_us = naive * 1e6 / tuples;
+        if q == 1 {
+            shared_base = shared_us;
+            naive_base = naive_us;
+        }
+        points.push(MultiqPoint {
+            queries: q,
+            shared_us_per_tuple: shared_us,
+            naive_us_per_tuple: naive_us,
+            shared_marginal_us: if q > 1 {
+                (shared_us - shared_base) / (q - 1) as f64
+            } else {
+                0.0
+            },
+            naive_marginal_us: if q > 1 {
+                (naive_us - naive_base) / (q - 1) as f64
+            } else {
+                0.0
+            },
+        });
+    }
+
+    println!("Multi-query sharing sweep — µs per tuple ({windows} windows × {per_window} tuples)");
+    println!("queries |  shared | marginal |   naive | marginal | naive/shared");
+    println!("------- | ------- | -------- | ------- | -------- | ------------");
+    for p in &points {
+        println!(
+            "{:>7} | {:>7.3} | {:>8.4} | {:>7.3} | {:>8.4} | {:>11.2}x",
+            p.queries,
+            p.shared_us_per_tuple,
+            p.shared_marginal_us,
+            p.naive_us_per_tuple,
+            p.naive_marginal_us,
+            p.naive_us_per_tuple / p.shared_us_per_tuple.max(1e-12),
+        );
+    }
+
+    // The headline claim, checked: at Q=16 the shared architecture's
+    // marginal per-query cost must undercut the naive one decisively.
+    let last = points.last().expect("points");
+    if last.shared_marginal_us * 2.0 > last.naive_marginal_us {
+        eprintln!(
+            "WARNING: shared marginal {:.4} µs is not clearly below naive {:.4} µs",
+            last.shared_marginal_us, last.naive_marginal_us
+        );
+    }
+
+    if let Err(e) = write_json("multiq_sweep.json", &points) {
+        eprintln!("note: could not write multiq_sweep.json: {e}");
+    } else {
+        println!("(series written to multiq_sweep.json)");
+    }
+}

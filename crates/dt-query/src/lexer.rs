@@ -97,10 +97,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn error(&self, msg: impl Into<String>) -> DtError {
-        DtError::Parse {
-            message: msg.into(),
-            position: self.pos,
-        }
+        DtError::parse_at(msg, self.pos)
     }
 
     fn next_token(&mut self) -> DtResult<Token> {

@@ -24,12 +24,19 @@ use crate::lexer::{Lexer, Token, TokenKind};
 /// # Ok::<(), dt_types::DtError>(())
 /// ```
 pub fn parse_select(src: &str) -> DtResult<SelectStatement> {
-    let tokens = Lexer::new(src).tokenize()?;
+    // Lexer and parser errors carry byte offsets; stamp the 1-based
+    // line/column here, the one place the source text is in hand, so
+    // wire-returned compile errors point at the offending token.
+    let located = |e: DtError| e.located_in(src);
+    let tokens = Lexer::new(src).tokenize().map_err(located)?;
     let mut p = Parser { tokens, idx: 0 };
-    let stmt = p.select_statement()?;
-    p.eat_if(&TokenKind::Semicolon);
-    p.expect_eof()?;
-    Ok(stmt)
+    let parse = |p: &mut Parser| -> DtResult<SelectStatement> {
+        let stmt = p.select_statement()?;
+        p.eat_if(&TokenKind::Semicolon);
+        p.expect_eof()?;
+        Ok(stmt)
+    };
+    parse(&mut p).map_err(located)
 }
 
 struct Parser {
@@ -55,10 +62,7 @@ impl Parser {
     }
 
     fn error(&self, msg: impl Into<String>) -> DtError {
-        DtError::Parse {
-            message: msg.into(),
-            position: self.position(),
-        }
+        DtError::parse_at(msg, self.position())
     }
 
     fn eat_if(&mut self, kind: &TokenKind) -> bool {
@@ -493,6 +497,27 @@ mod tests {
         assert!(parse_select("SELECT a FROM R WINDOW R[5]").is_err());
         assert!(parse_select("SELECT a FROM R extra garbage here").is_err());
         assert!(parse_select("SELECT a FROM R WHERE a ** 3").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // The failure is on line 2: the parser wants an operand after
+        // the dangling comparison.
+        let err = parse_select("SELECT a\nFROM R WHERE a >").unwrap_err();
+        match &err {
+            DtError::Parse { line, column, .. } => {
+                assert_eq!(*line, 2, "{err}");
+                assert!(*column > 1, "{err}");
+            }
+            other => panic!("{other}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("line 2, column"), "{msg}");
+        // Lexer-level failures are located too.
+        let msg = parse_select("SELECT a FROM R WHERE a ? 1")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("line 1, column 25"), "{msg}");
     }
 
     #[test]

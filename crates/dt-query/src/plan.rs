@@ -1,16 +1,20 @@
 //! Logical planning: lowering a parsed [`SelectStatement`] against a
 //! [`Catalog`] of stream schemas into an executable [`QueryPlan`].
 
-use std::collections::HashMap;
-
 use dt_types::{DtError, DtResult, Row, Schema, VDuration, Value, WindowSpec};
 
 use crate::ast::{Aggregate, CmpOp, ColumnRef, Operand, SelectItem, SelectStatement};
 
 /// The set of known streams and their schemas.
+///
+/// Streams keep their registration order: a catalog of a handful of
+/// streams is looked up rarely (planning time only), and the stable
+/// order is what lets a server derive one deterministic physical
+/// stream table from the catalog alone — independent of which queries
+/// happen to be registered when it boots.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    streams: HashMap<String, Schema>,
+    streams: Vec<(String, Schema)>,
 }
 
 impl Catalog {
@@ -21,12 +25,21 @@ impl Catalog {
 
     /// Register (or replace) a stream.
     pub fn add_stream(&mut self, name: impl Into<String>, schema: Schema) {
-        self.streams.insert(name.into(), schema);
+        let name = name.into();
+        match self.streams.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, s)) => *s = schema,
+            None => self.streams.push((name, schema)),
+        }
     }
 
     /// Look up a stream's schema.
     pub fn schema(&self, name: &str) -> Option<&Schema> {
-        self.streams.get(name)
+        self.streams.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Every registered stream, in registration order.
+    pub fn streams(&self) -> &[(String, Schema)] {
+        &self.streams
     }
 }
 

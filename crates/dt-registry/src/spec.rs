@@ -1,0 +1,90 @@
+//! Registration requests and query snapshots.
+
+use dt_triage::DelayConstraint;
+use dt_types::WindowId;
+
+/// A registered query's identity. Ids are assigned once, in
+/// registration order, and never reused — result consumers key their
+/// output by `QueryId`, so a recycled id could silently splice two
+/// different queries' result streams together.
+pub type QueryId = u64;
+
+/// One registration request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// The TCQ-dialect statement.
+    pub sql: String,
+    /// Owning tenant; `None` lands the query (and its constraint) in
+    /// the stream's catch-all lane.
+    pub tenant: Option<String>,
+    /// The tenant's delay constraint for this query, if any.
+    pub delay: Option<DelayConstraint>,
+    /// Fair-share weight of the owning tenant (must be positive). A
+    /// tenant registered several times gets the maximum.
+    pub weight: f64,
+}
+
+impl QuerySpec {
+    /// A plain registration: no tenant, no constraint, weight 1.
+    pub fn new(sql: impl Into<String>) -> Self {
+        QuerySpec {
+            sql: sql.into(),
+            tenant: None,
+            delay: None,
+            weight: 1.0,
+        }
+    }
+
+    /// Attach a tenant name.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Attach a delay constraint.
+    pub fn delay(mut self, delay: DelayConstraint) -> Self {
+        self.delay = Some(delay);
+        self
+    }
+
+    /// Set the fair-share weight.
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// A frozen view of one registered query, for `list` and `/stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryInfo {
+    /// The query's id.
+    pub id: QueryId,
+    /// The registered statement.
+    pub sql: String,
+    /// Owning tenant, if any.
+    pub tenant: Option<String>,
+    /// The query's delay constraint, if any.
+    pub delay: Option<DelayConstraint>,
+    /// Fair-share weight.
+    pub weight: f64,
+    /// Catalog streams the query reads.
+    pub streams: Vec<String>,
+    /// First window the query covers.
+    pub active_from: WindowId,
+    /// One past the last covered window; `None` while registered.
+    pub active_to: Option<WindowId>,
+    /// Windows emitted for this query so far.
+    pub windows_emitted: u64,
+    /// Last window's estimated-mass share (the RMS-error proxy; see
+    /// [`dt_triage::QueryClose::estimated_share`]).
+    pub estimated_share: f64,
+    /// Last window's shed share over the query's streams.
+    pub shed_share: f64,
+}
+
+impl QueryInfo {
+    /// True while the query is still registered.
+    pub fn active(&self) -> bool {
+        self.active_to.is_none()
+    }
+}

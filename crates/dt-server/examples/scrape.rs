@@ -2,14 +2,30 @@
 //!
 //! ```sh
 //! cargo run -p dt-server --example scrape -- 127.0.0.1:7077           # /metrics
-//! cargo run -p dt-server --example scrape -- 127.0.0.1:7077 --stats   # /stats
+//! cargo run -p dt-server --example scrape -- 127.0.0.1:7077 --stats   # /stats digest
+//! cargo run -p dt-server --example scrape -- 127.0.0.1:7077 --raw     # /stats raw JSON
 //! ```
 //!
 //! The CI smoke step uses this in place of `curl` so the gate has no
 //! dependency outside the workspace.
 
 use dt_server::{fetch_metrics, fetch_stats};
+use std::io::{Read, Write};
 use std::net::SocketAddr;
+
+/// One raw `GET /stats`, body printed verbatim (headers stripped).
+fn raw_stats(addr: SocketAddr) -> String {
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    s.write_all(b"GET /stats HTTP/1.0\r\n\r\n")
+        .expect("request");
+    s.shutdown(std::net::Shutdown::Write).expect("shutdown");
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).expect("reply");
+    match reply.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => reply,
+    }
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -19,6 +35,7 @@ fn main() {
         .parse()
         .expect("ADDR must be host:port");
     match args.next().as_deref() {
+        Some("--raw") => print!("{}", raw_stats(addr)),
         Some("--stats") => {
             let reply = fetch_stats(addr).expect("fetch /stats");
             for s in &reply.streams {

@@ -1,4 +1,5 @@
-//! `dt-serve` — run a Data Triage server on a TCP socket.
+//! `dt-serve` — run a Data Triage server on a TCP socket, or talk to
+//! a running one.
 //!
 //! ```text
 //! dt-serve --stream 'R:a' --query 'SELECT a, COUNT(*) FROM R GROUP BY a' \
@@ -13,10 +14,15 @@
 //! reaches EOF (pipe `/dev/null` for "run until killed" semantics
 //! under a supervisor, or press Ctrl-D interactively), then drains
 //! gracefully and prints the final JSON report to stdout.
+//!
+//! The `register`, `unregister`, and `list` subcommands act as a
+//! loopback control client against a *running* server: queries come
+//! and go at runtime without restarting the dataflow (see
+//! `dt-registry`).
 
 use dt_obs::MetricsRegistry;
 use dt_query::Catalog;
-use dt_server::{MonotonicClock, Server, ServerConfig};
+use dt_server::{Client, MonotonicClock, Server, ServerConfig};
 use dt_synopsis::SynopsisConfig;
 use dt_triage::{DelayConstraint, ShedMode};
 use dt_types::{DataType, DtError, DtResult, Schema, ToJson, VDuration};
@@ -28,6 +34,7 @@ dt-serve — serve Data Triage pipelines over TCP
 
 USAGE:
   dt-serve --stream NAME:col[,col…] [--stream …] --query SQL [--query …]
+           [--queries FILE]   read ;-separated statements from FILE
            [--listen ADDR]    listen address        (default 127.0.0.1:7077)
            [--window SECS]    window width override (default: per query)
            [--capacity N]     triage channel bound  (default 100)
@@ -38,6 +45,22 @@ USAGE:
            [--mode M]         data-triage | drop-only | summarize-only
            [--no-pacing]      consume ahead of tuple timestamps
            [--no-metrics]     disable the /metrics registry
+           [--fault-disconnect CONN:LINE]
+                              chaos: drop ingest connection CONN after
+                              LINE lines (deterministic FaultPlan);
+                              repeatable — each occurrence adds one
+                              injection
+
+  dt-serve send --addr ADDR
+                     forward NDJSON tuple frames from stdin to a
+                     running server (reconnect-and-resend on failure)
+  dt-serve register --addr ADDR --sql SQL
+           [--tenant NAME] [--delay-ms MS] [--weight W]
+                     register a query on a running server; prints its id
+  dt-serve unregister --addr ADDR --id N
+                     detach query N at the next window boundary
+  dt-serve list --addr ADDR
+                     list every query the server has registered
 
 All stream columns are integers. `GET /stats` returns live counters as
 JSON; `GET /metrics` returns Prometheus text exposition. Runs until
@@ -55,6 +78,7 @@ struct Args {
     mode: ShedMode,
     pacing: bool,
     metrics: bool,
+    fault_disconnect: Vec<(u64, u64)>,
 }
 
 fn parse_args(argv: &[String]) -> DtResult<Args> {
@@ -70,6 +94,7 @@ fn parse_args(argv: &[String]) -> DtResult<Args> {
         mode: ShedMode::DataTriage,
         pacing: true,
         metrics: true,
+        fault_disconnect: Vec::new(),
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -91,6 +116,12 @@ fn parse_args(argv: &[String]) -> DtResult<Args> {
                 ));
             }
             "--query" => args.queries.push(value()?),
+            "--queries" => {
+                let path = value()?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| DtError::config(format!("--queries {path}: {e}")))?;
+                args.queries.extend(split_statements(&text));
+            }
             "--window" => {
                 let secs: f64 = value()?
                     .parse()
@@ -129,6 +160,18 @@ fn parse_args(argv: &[String]) -> DtResult<Args> {
             }
             "--no-pacing" => args.pacing = false,
             "--no-metrics" => args.metrics = false,
+            "--fault-disconnect" => {
+                let spec = value()?;
+                let (conn, line) = spec
+                    .split_once(':')
+                    .ok_or_else(|| DtError::config("--fault-disconnect wants CONN:LINE"))?;
+                args.fault_disconnect.push((
+                    conn.parse()
+                        .map_err(|_| DtError::config("--fault-disconnect CONN wants an integer"))?,
+                    line.parse()
+                        .map_err(|_| DtError::config("--fault-disconnect LINE wants an integer"))?,
+                ));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -144,8 +187,119 @@ fn parse_args(argv: &[String]) -> DtResult<Args> {
     Ok(args)
 }
 
+/// Split a `--queries` file into statements: `;`-separated, comment
+/// lines (leading `--`) stripped, blanks dropped.
+fn split_statements(text: &str) -> Vec<String> {
+    let stripped: String = text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("--"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    stripped
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// The control-client subcommands (`register`/`unregister`/`list`).
+fn run_client(cmd: &str, argv: &[String]) -> DtResult<()> {
+    let mut addr = None;
+    let mut sql = None;
+    let mut tenant = None;
+    let mut delay_ms = None;
+    let mut weight = None;
+    let mut id = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| DtError::config(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => addr = Some(value()?),
+            "--sql" => sql = Some(value()?),
+            "--tenant" => tenant = Some(value()?),
+            "--delay-ms" => {
+                delay_ms = Some(
+                    value()?
+                        .parse::<u64>()
+                        .map_err(|_| DtError::config("--delay-ms wants milliseconds"))?,
+                )
+            }
+            "--weight" => {
+                weight = Some(
+                    value()?
+                        .parse::<f64>()
+                        .map_err(|_| DtError::config("--weight wants a number"))?,
+                )
+            }
+            "--id" => {
+                id = Some(
+                    value()?
+                        .parse::<u64>()
+                        .map_err(|_| DtError::config("--id wants an integer"))?,
+                )
+            }
+            other => return Err(DtError::config(format!("unknown flag '{other}'"))),
+        }
+    }
+    let addr = addr
+        .ok_or_else(|| DtError::config(format!("{cmd} needs --addr HOST:PORT")))?
+        .parse::<std::net::SocketAddr>()
+        .map_err(|e| DtError::config(format!("bad --addr: {e}")))?;
+    let mut client = Client::connect(addr)?;
+    match cmd {
+        "send" => {
+            let mut sent = 0u64;
+            for line in std::io::stdin().lines() {
+                let line = line.map_err(|e| DtError::engine(format!("stdin: {e}")))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                client.send_line(&line)?;
+                sent += 1;
+            }
+            let retries = client.retries();
+            client.close()?;
+            eprintln!("dt-serve send: forwarded {sent} lines ({retries} retries)");
+        }
+        "register" => {
+            let sql = sql.ok_or_else(|| DtError::config("register needs --sql"))?;
+            let qid = client.register_query(&sql, tenant.as_deref(), delay_ms, weight)?;
+            println!("registered {qid}");
+        }
+        "unregister" => {
+            let id = id.ok_or_else(|| DtError::config("unregister needs --id"))?;
+            let boundary = client.unregister_query(id)?;
+            println!("unregistered {id} at window {boundary}");
+        }
+        "list" => {
+            for q in client.list_queries()? {
+                println!(
+                    "{} {} tenant={} windows={} {}",
+                    q.id,
+                    if q.active { "active" } else { "detached" },
+                    q.tenant.as_deref().unwrap_or("-"),
+                    q.windows_emitted,
+                    q.sql
+                );
+            }
+        }
+        _ => unreachable!(),
+    }
+    Ok(())
+}
+
 fn run() -> DtResult<()> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(cmd) = argv.first() {
+        if matches!(cmd.as_str(), "send" | "register" | "unregister" | "list") {
+            return run_client(cmd, &argv[1..]);
+        }
+    }
     let args = parse_args(&argv)?;
 
     let mut catalog = Catalog::new();
@@ -165,6 +319,9 @@ fn run() -> DtResult<()> {
     };
     cfg.pace_by_timestamp = args.pacing;
     cfg.delay = args.delay;
+    for &(conn, line) in &args.fault_disconnect {
+        cfg.fault = std::mem::take(&mut cfg.fault).inject_disconnect(conn, line);
+    }
     if args.metrics {
         cfg.metrics = MetricsRegistry::new();
     }

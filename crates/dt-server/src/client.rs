@@ -10,7 +10,7 @@
 //! retry with exponential backoff plus deterministic jitter,
 //! reconnecting between attempts ([`RetryPolicy`]).
 
-use crate::frame::render_frame;
+use crate::frame::{render_frame_tagged, Command};
 use crate::stats::StreamSnapshot;
 use dt_obs::{Counter, MetricsRegistry};
 use dt_types::{DtError, DtResult, Json, Row, Timestamp};
@@ -159,8 +159,81 @@ impl Client {
 
     /// Send one tuple frame (with retry per the policy).
     pub fn send(&mut self, stream: &str, row: &Row, ts: Option<Timestamp>) -> DtResult<()> {
-        let line = render_frame(stream, row, ts)?;
+        self.send_tagged(stream, row, ts, None)
+    }
+
+    /// Send one tuple frame tagged with a tenant lane.
+    pub fn send_tagged(
+        &mut self,
+        stream: &str,
+        row: &Row,
+        ts: Option<Timestamp>,
+        tenant: Option<&str>,
+    ) -> DtResult<()> {
+        let line = render_frame_tagged(stream, row, ts, tenant)?;
         self.send_line(&line)
+    }
+
+    /// Send one control command and read its JSON reply line. A
+    /// server-side `{"error":…}` reply surfaces as a config error.
+    fn command(&mut self, cmd: &Command) -> DtResult<Json> {
+        self.send_line(&cmd.render())?;
+        let reply = self
+            .recv_line()?
+            .ok_or_else(|| DtError::engine("server closed before answering the command"))?;
+        let doc = Json::parse(&reply)?;
+        if let Some(e) = doc.get("error").and_then(Json::as_str) {
+            return Err(DtError::config(e.to_string()));
+        }
+        Ok(doc)
+    }
+
+    /// Register a continuous query over the wire. Returns the query
+    /// id the server assigned (use it with
+    /// [`Client::unregister_query`]).
+    pub fn register_query(
+        &mut self,
+        sql: &str,
+        tenant: Option<&str>,
+        delay_ms: Option<u64>,
+        weight: Option<f64>,
+    ) -> DtResult<u64> {
+        let doc = self.command(&Command::Register {
+            sql: sql.to_string(),
+            tenant: tenant.map(str::to_string),
+            delay_ms,
+            weight,
+        })?;
+        doc.get("registered")
+            .and_then(Json::as_i64)
+            .filter(|&id| id >= 0)
+            .map(|id| id as u64)
+            .ok_or_else(|| DtError::config("register reply missing 'registered'"))
+    }
+
+    /// Detach a registered query at the next window boundary.
+    /// Returns the first window it no longer covers.
+    pub fn unregister_query(&mut self, id: u64) -> DtResult<u64> {
+        let doc = self.command(&Command::Unregister { id })?;
+        doc.get("active_to")
+            .and_then(Json::as_i64)
+            .filter(|&w| w >= 0)
+            .map(|w| w as u64)
+            .ok_or_else(|| DtError::config("unregister reply missing 'active_to'"))
+    }
+
+    /// List every query the server has ever registered.
+    pub fn list_queries(&mut self) -> DtResult<Vec<QueryEntry>> {
+        let doc = self.command(&Command::List)?;
+        doc.get("queries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| DtError::config("list reply missing 'queries'"))?
+            .iter()
+            .map(|q| {
+                QueryEntry::from_json(q)
+                    .ok_or_else(|| DtError::config("bad query entry in list reply"))
+            })
+            .collect()
     }
 
     /// Send a raw line (tests use this to exercise the server's
@@ -225,6 +298,33 @@ impl Client {
         self.stream
             .shutdown(std::net::Shutdown::Both)
             .map_err(|e| io_err("shutdown", e))
+    }
+}
+
+/// One query from a `list` command reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryEntry {
+    /// The server-assigned query id.
+    pub id: u64,
+    /// The registered statement.
+    pub sql: String,
+    /// Owning tenant, if any.
+    pub tenant: Option<String>,
+    /// Still registered?
+    pub active: bool,
+    /// Windows emitted for this query so far.
+    pub windows_emitted: u64,
+}
+
+impl QueryEntry {
+    fn from_json(j: &Json) -> Option<QueryEntry> {
+        Some(QueryEntry {
+            id: j.get("id")?.as_i64().filter(|&v| v >= 0)? as u64,
+            sql: j.get("sql")?.as_str()?.to_string(),
+            tenant: j.get("tenant").and_then(Json::as_str).map(str::to_string),
+            active: matches!(j.get("active"), Some(Json::Bool(true))),
+            windows_emitted: j.get("windows_emitted")?.as_i64().filter(|&v| v >= 0)? as u64,
+        })
     }
 }
 

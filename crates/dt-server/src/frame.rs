@@ -1,4 +1,5 @@
-//! The wire format: newline-delimited JSON tuple frames.
+//! The wire format: newline-delimited JSON tuple frames and control
+//! commands.
 //!
 //! One frame per line:
 //!
@@ -9,7 +10,20 @@
 //! `stream` names a catalog stream, `row` is the tuple's integer
 //! values in schema order, and `ts` (optional) is the arrival
 //! timestamp in microseconds on the server's clock — omitted, the
-//! server stamps the tuple with `Clock::now()` at ingest.
+//! server stamps the tuple with `Clock::now()` at ingest. An optional
+//! `tenant` string tags the tuple for the stream's weighted-fair
+//! shedding lanes (untagged traffic lands in the catch-all lane).
+//!
+//! A line carrying a `cmd` field is a **control command** instead of
+//! a tuple; the server answers each one with a single JSON reply line
+//! on the same connection:
+//!
+//! ```json
+//! {"cmd":"register","sql":"SELECT a, COUNT(*) FROM R GROUP BY a",
+//!  "tenant":"acme","delay_ms":50,"weight":2.0}
+//! {"cmd":"unregister","id":3}
+//! {"cmd":"list"}
+//! ```
 
 use dt_types::{DtError, DtResult, Json, Row, Timestamp, ToJson, Tuple};
 
@@ -22,6 +36,8 @@ pub struct Frame {
     pub row: Row,
     /// Arrival timestamp; `None` means "stamp at ingest".
     pub ts: Option<Timestamp>,
+    /// Fair-shedding lane tag; `None` lands in the catch-all lane.
+    pub tenant: Option<String>,
 }
 
 impl Frame {
@@ -31,13 +47,132 @@ impl Frame {
     }
 }
 
+/// One parsed control command (a line with a `cmd` field).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Register a continuous query at runtime.
+    Register {
+        /// The TCQ-dialect statement.
+        sql: String,
+        /// Owning tenant, if any.
+        tenant: Option<String>,
+        /// Per-tenant delay constraint in milliseconds, if any.
+        delay_ms: Option<u64>,
+        /// Fair-share weight (defaults to 1 server-side).
+        weight: Option<f64>,
+    },
+    /// Detach a registered query at the next window boundary.
+    Unregister {
+        /// The id `register` returned.
+        id: u64,
+    },
+    /// List every query ever registered (active and detached).
+    List,
+}
+
+impl Command {
+    /// Render the command as one wire line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Command::Register {
+                sql,
+                tenant,
+                delay_ms,
+                weight,
+            } => {
+                let mut fields = vec![("cmd", "register".to_json()), ("sql", sql.to_json())];
+                if let Some(t) = tenant {
+                    fields.push(("tenant", t.to_json()));
+                }
+                if let Some(d) = delay_ms {
+                    fields.push(("delay_ms", (*d as i64).to_json()));
+                }
+                if let Some(w) = weight {
+                    fields.push(("weight", Json::Num(*w)));
+                }
+                dt_types::json::obj(fields).render()
+            }
+            Command::Unregister { id } => dt_types::json::obj(vec![
+                ("cmd", "unregister".to_json()),
+                ("id", (*id as i64).to_json()),
+            ])
+            .render(),
+            Command::List => dt_types::json::obj(vec![("cmd", "list".to_json())]).render(),
+        }
+    }
+}
+
+/// One ingest line, classified: a tuple frame or a control command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Incoming {
+    /// A data tuple for a stream.
+    Tuple(Frame),
+    /// A control-plane command expecting a reply line.
+    Control(Command),
+}
+
+/// Parse one ingest line: a `cmd` field makes it a control command,
+/// anything else is a tuple frame.
+pub fn parse_incoming(line: &str) -> DtResult<Incoming> {
+    let json = Json::parse(line)?;
+    if json.get("cmd").is_none() {
+        return frame_from(&json).map(Incoming::Tuple);
+    }
+    let bad = |what: &str| DtError::parse_at(format!("{what} (control command)"), 0);
+    let cmd = json
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("'cmd' must be a string"))?;
+    let command = match cmd {
+        "register" => Command::Register {
+            sql: json
+                .get("sql")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("register needs a string field 'sql'"))?
+                .to_string(),
+            tenant: match json.get("tenant") {
+                None => None,
+                Some(t) => Some(
+                    t.as_str()
+                        .ok_or_else(|| bad("'tenant' must be a string"))?
+                        .to_string(),
+                ),
+            },
+            delay_ms: match json.get("delay_ms") {
+                None => None,
+                Some(d) => Some(
+                    d.as_i64()
+                        .filter(|&ms| ms >= 0)
+                        .ok_or_else(|| bad("'delay_ms' must be a non-negative integer"))?
+                        as u64,
+                ),
+            },
+            weight: match json.get("weight") {
+                None => None,
+                Some(w) => Some(w.as_f64().ok_or_else(|| bad("'weight' must be a number"))?),
+            },
+        },
+        "unregister" => Command::Unregister {
+            id: json
+                .get("id")
+                .and_then(Json::as_i64)
+                .filter(|&id| id >= 0)
+                .ok_or_else(|| bad("unregister needs a non-negative integer field 'id'"))?
+                as u64,
+        },
+        "list" => Command::List,
+        other => return Err(bad(&format!("unknown command '{other}'"))),
+    };
+    Ok(Incoming::Control(command))
+}
+
 /// Parse one frame line.
 pub fn parse_frame(line: &str) -> DtResult<Frame> {
-    let bad = |what: &str| DtError::Parse {
-        message: format!("{what} (tuple frame)"),
-        position: 0,
-    };
-    let json = Json::parse(line)?;
+    frame_from(&Json::parse(line)?)
+}
+
+fn frame_from(json: &Json) -> DtResult<Frame> {
+    let bad = |what: &str| DtError::parse_at(format!("{what} (tuple frame)"), 0);
     let stream = json
         .get("stream")
         .and_then(Json::as_str)
@@ -63,16 +198,35 @@ pub fn parse_frame(line: &str) -> DtResult<Frame> {
                 .ok_or_else(|| bad("'ts' must be a non-negative integer"))?,
         ),
     };
+    let tenant = match json.get("tenant") {
+        None => None,
+        Some(t) => Some(
+            t.as_str()
+                .ok_or_else(|| bad("'tenant' must be a string"))?
+                .to_string(),
+        ),
+    };
     Ok(Frame {
         stream,
         row: Row::from_ints(&values),
         ts,
+        tenant,
     })
 }
 
 /// Render one frame line (no trailing newline). Errors if a value is
 /// not an integer.
 pub fn render_frame(stream: &str, row: &Row, ts: Option<Timestamp>) -> DtResult<String> {
+    render_frame_tagged(stream, row, ts, None)
+}
+
+/// Render one frame line with an optional tenant lane tag.
+pub fn render_frame_tagged(
+    stream: &str,
+    row: &Row,
+    ts: Option<Timestamp>,
+    tenant: Option<&str>,
+) -> DtResult<String> {
     let values: Vec<Json> = row
         .values()
         .iter()
@@ -85,6 +239,9 @@ pub fn render_frame(stream: &str, row: &Row, ts: Option<Timestamp>) -> DtResult<
     let mut fields = vec![("stream", stream.to_json()), ("row", Json::Arr(values))];
     if let Some(t) = ts {
         fields.push(("ts", (t.micros() as i64).to_json()));
+    }
+    if let Some(t) = tenant {
+        fields.push(("tenant", t.to_json()));
     }
     Ok(dt_types::json::obj(fields).render())
 }
@@ -178,6 +335,55 @@ mod tests {
         assert!(parse_frame(r#"{"stream":"R","row":[1.5]}"#).is_err());
         assert!(parse_frame(r#"{"stream":"R","row":[1],"ts":-4}"#).is_err());
         assert!(parse_frame(r#"{"stream":7,"row":[1]}"#).is_err());
+    }
+
+    #[test]
+    fn tenant_tags_roundtrip() {
+        let row = Row::from_ints(&[3]);
+        let line = render_frame_tagged("R", &row, None, Some("acme")).unwrap();
+        let f = parse_frame(&line).unwrap();
+        assert_eq!(f.tenant.as_deref(), Some("acme"));
+        assert_eq!(
+            parse_frame(r#"{"stream":"R","row":[1]}"#).unwrap().tenant,
+            None
+        );
+        assert!(parse_frame(r#"{"stream":"R","row":[1],"tenant":7}"#).is_err());
+    }
+
+    #[test]
+    fn incoming_classifies_tuples_and_commands() {
+        match parse_incoming(r#"{"stream":"R","row":[1]}"#).unwrap() {
+            Incoming::Tuple(f) => assert_eq!(f.stream, "R"),
+            other => panic!("{other:?}"),
+        }
+        let cmd = Command::Register {
+            sql: "SELECT a, COUNT(*) FROM R GROUP BY a".into(),
+            tenant: Some("acme".into()),
+            delay_ms: Some(50),
+            weight: Some(2.0),
+        };
+        match parse_incoming(&cmd.render()).unwrap() {
+            Incoming::Control(c) => assert_eq!(c, cmd),
+            other => panic!("{other:?}"),
+        }
+        for cmd in [Command::Unregister { id: 3 }, Command::List] {
+            match parse_incoming(&cmd.render()).unwrap() {
+                Incoming::Control(c) => assert_eq!(c, cmd),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incoming_rejects_malformed_commands() {
+        assert!(parse_incoming(r#"{"cmd":"register"}"#).is_err());
+        assert!(parse_incoming(r#"{"cmd":"register","sql":7}"#).is_err());
+        assert!(parse_incoming(r#"{"cmd":"unregister"}"#).is_err());
+        assert!(parse_incoming(r#"{"cmd":"unregister","id":-1}"#).is_err());
+        assert!(parse_incoming(r#"{"cmd":"selfdestruct"}"#).is_err());
+        assert!(parse_incoming(r#"{"cmd":7}"#).is_err());
+        let err = parse_incoming(r#"{"cmd":"register","sql":"x","weight":"heavy"}"#).unwrap_err();
+        assert!(err.to_string().contains("weight"), "{err}");
     }
 
     #[test]

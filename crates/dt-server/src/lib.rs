@@ -90,14 +90,19 @@ mod worker;
 
 pub use client::{
     fetch_metrics, fetch_metrics_with, fetch_stats, fetch_stats_with, Client, ClientConfig,
-    RetryPolicy, StatsReply,
+    QueryEntry, RetryPolicy, StatsReply,
 };
 pub use config::ServerConfig;
 pub use fault::{Corruption, FaultPlan};
-pub use frame::{parse_frame, render_frame, Frame, FrameAssembler};
+pub use frame::{
+    parse_frame, parse_incoming, render_frame, render_frame_tagged, Command, Frame, FrameAssembler,
+    Incoming,
+};
 pub use server::{Server, ServerHandle};
 pub use source::{run_source, Source, TraceSource};
-pub use stats::{ServerReport, ServerStats, StreamSnapshot};
+pub use stats::{query_info_json, ServerReport, ServerStats, StreamSnapshot};
+
+pub use dt_registry::{QueryId, QueryInfo, QueryRegistry, QuerySpec};
 
 pub use dt_obs::MetricsRegistry;
 pub use dt_types::{Clock, MonotonicClock, VirtualClock};

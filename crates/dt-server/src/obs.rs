@@ -151,20 +151,32 @@ impl WorkerObs {
 
 /// A minimal HTTP/1.0 response: status line, content type and length,
 /// then the body. Enough for curl, Prometheus scrapers, and the
-/// loopback client.
-pub(crate) fn http_response(content_type: &str, body: &str) -> String {
+/// loopback client. Every probe reply — `/stats`, `/metrics`, and the
+/// error paths — assembles through this one helper.
+pub(crate) fn http_respond(status: u16, reason: &str, content_type: &str, body: &str) -> String {
     format!(
-        "HTTP/1.0 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     )
 }
 
+/// 200 with a body.
+pub(crate) fn http_response(content_type: &str, body: &str) -> String {
+    http_respond(200, "OK", content_type, body)
+}
+
 /// 404 for unknown GET paths.
 pub(crate) fn http_not_found() -> String {
-    let body = "not found\n";
-    format!(
-        "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+    http_respond(404, "Not Found", "text/plain", "not found\n")
+}
+
+/// 405 for HTTP-shaped first lines with a method other than GET.
+pub(crate) fn http_method_not_allowed() -> String {
+    http_respond(
+        405,
+        "Method Not Allowed",
+        "text/plain",
+        "method not allowed; only GET is served\n",
     )
 }
 
@@ -179,6 +191,9 @@ mod tests {
         assert!(r.contains("Content-Type: application/json\r\n"));
         assert!(r.contains("Content-Length: 7\r\n"));
         assert!(r.ends_with("\r\n\r\n{\"a\":1}"));
-        assert!(http_not_found().starts_with("HTTP/1.0 404"));
+        assert!(http_not_found().starts_with("HTTP/1.0 404 Not Found\r\n"));
+        let m = http_method_not_allowed();
+        assert!(m.starts_with("HTTP/1.0 405 Method Not Allowed\r\n"));
+        assert!(m.contains("Content-Length: 39\r\n"));
     }
 }

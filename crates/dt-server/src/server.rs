@@ -10,21 +10,23 @@
 
 use crate::config::ServerConfig;
 use crate::fault::FaultPlan;
-use crate::frame::{parse_frame, FrameAssembler};
+use crate::frame::{parse_frame, parse_incoming, Command, FrameAssembler, Incoming};
 use crate::obs::{
-    http_not_found, http_response, ServerObs, WorkerObs, FAULT_CORRUPT, FAULT_DELAY,
-    FAULT_DISCONNECT, FAULT_PANIC, FAULT_STALL,
+    http_method_not_allowed, http_not_found, http_response, ServerObs, WorkerObs, FAULT_CORRUPT,
+    FAULT_DELAY, FAULT_DISCONNECT, FAULT_PANIC, FAULT_STALL,
 };
+use crate::stats::query_info_json;
 use crate::stats::{ServerReport, ServerStats};
 use crate::worker::{run_worker, Ctl, TriageFactory, WorkerCtx};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use dt_obs::MetricsRegistry;
+use dt_registry::{QueryId, QueryInfo, QueryRegistry, QuerySpec, RegistryConfig};
 use dt_synopsis::SynopsisConfig;
 use dt_triage::{
-    ControllerGauges, QueryExecutor, RunReport, RunTotals, SealedWindow, SharedController,
-    ShedDecision, ShedMode, SynPair, WindowResult,
+    ControllerGauges, DelayConstraint, FairController, RunReport, RunTotals, SealedWindow,
+    SharedController, ShedDecision, ShedMode, SynPair, WindowResult,
 };
-use dt_types::{json, Json};
+use dt_types::{json, Json, ToJson};
 use dt_types::{Clock, DtError, DtResult, Timestamp, Tuple, VDuration, WindowId, WindowSpec};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -53,7 +55,9 @@ enum MergerMsg {
 
 /// State shared by every ingest path.
 struct Inner {
-    exec: QueryExecutor,
+    /// The query registry: the physical stream table and every
+    /// registered query's compiled plan (see `dt-registry`).
+    registry: Arc<QueryRegistry>,
     stats: Arc<ServerStats>,
     clock: Arc<dyn Clock>,
     mode: ShedMode,
@@ -61,10 +65,12 @@ struct Inner {
     obs: ServerObs,
     data_tx: Vec<Sender<Tuple>>,
     ctl_tx: Vec<Sender<Ctl>>,
-    /// Per-stream adaptive delay controllers; empty when no
-    /// [`ServerConfig::delay`] constraint is configured (channel
-    /// overflow is then the only shed signal).
-    controllers: Vec<Arc<SharedController>>,
+    /// One admission controller per stream, always present. Without a
+    /// server-wide [`ServerConfig::delay`] and without tenant lanes
+    /// the base controller is unconstrained — it keeps everything and
+    /// channel overflow stays the only shed signal. Runtime
+    /// registrations tighten it and add weighted-fair lanes.
+    admission: Vec<FairController>,
     stop: AtomicBool,
     /// The active fault-injection schedule (disabled in production).
     fault: FaultPlan,
@@ -87,7 +93,7 @@ impl ServerHandle {
     /// The physical stream index for a catalog stream name.
     pub fn stream_index(&self, name: &str) -> Option<usize> {
         self.inner
-            .exec
+            .registry
             .streams()
             .iter()
             .position(|s| s.name == name)
@@ -105,7 +111,40 @@ impl ServerHandle {
 
     /// The (single) window spec every query shares.
     pub fn spec(&self) -> WindowSpec {
-        self.inner.exec.spec()
+        self.inner.registry.spec()
+    }
+
+    /// Register a continuous query at runtime; it first appears in
+    /// the next emitted window. Rebuilds the affected streams'
+    /// fair-shedding lanes before returning.
+    pub fn register(&self, spec: QuerySpec) -> DtResult<QueryId> {
+        let id = self.inner.registry.register(spec)?;
+        self.sync_lanes();
+        Ok(id)
+    }
+
+    /// Detach query `id` at the next window boundary, returning the
+    /// first window it no longer covers.
+    pub fn unregister(&self, id: QueryId) -> DtResult<WindowId> {
+        let boundary = self.inner.registry.unregister(id)?;
+        self.sync_lanes();
+        Ok(boundary)
+    }
+
+    /// Frozen views of every query ever registered, in id order.
+    pub fn queries(&self) -> Vec<QueryInfo> {
+        self.inner.registry.list()
+    }
+
+    /// Re-derive each stream's tenant lanes from the active query
+    /// set. Lanes are derived state, so a failure here is impossible
+    /// by construction (names are unique, weights validated at
+    /// registration); `expect` documents that invariant.
+    fn sync_lanes(&self) {
+        for (p, fc) in self.inner.admission.iter().enumerate() {
+            fc.set_lanes(&self.inner.registry.lanes_for_stream(p))
+                .expect("registry-derived lanes are valid");
+        }
     }
 
     /// Offer one tuple to a stream. This is the triage step: the
@@ -114,9 +153,16 @@ impl ServerHandle {
     /// lane as a shed victim — it still reaches the window's dropped
     /// synopsis, it just skips exact processing.
     pub fn offer(&self, stream: usize, tuple: Tuple) -> DtResult<()> {
+        self.offer_tagged(stream, tuple, None)
+    }
+
+    /// [`ServerHandle::offer`] with a tenant lane tag: the stream's
+    /// [`FairController`] charges the shed decision to the tenant's
+    /// lane (untagged tuples land in the catch-all lane).
+    pub fn offer_tagged(&self, stream: usize, tuple: Tuple, tenant: Option<&str>) -> DtResult<()> {
         let inner = &*self.inner;
         let shared = inner
-            .exec
+            .registry
             .streams()
             .get(stream)
             .ok_or_else(|| DtError::config(format!("no stream with index {stream}")))?;
@@ -144,11 +190,12 @@ impl ServerHandle {
                 // The adaptive controller sheds *before* the hard
                 // channel bound: once the backlog could no longer
                 // drain within the delay constraint, the tuple goes
-                // straight to the control lane as a victim.
-                if let Some(ctl) = inner.controllers.get(stream) {
-                    if ctl.decide() == ShedDecision::Shed {
-                        return shed(tuple);
-                    }
+                // straight to the control lane as a victim. The fair
+                // controller charges the decision to the tenant's
+                // lane when lanes are configured.
+                let fc = &inner.admission[stream];
+                if fc.decide(tenant) == ShedDecision::Shed {
+                    return shed(tuple);
                 }
                 // The gauge is bumped *before* the send so the
                 // worker's decrement can never observe a tuple whose
@@ -157,9 +204,7 @@ impl ServerHandle {
                 depth.add(1);
                 match inner.data_tx[stream].try_send(tuple) {
                     Ok(()) => {
-                        if let Some(ctl) = inner.controllers.get(stream) {
-                            ctl.on_enqueue();
-                        }
+                        fc.base().on_enqueue();
                         counters.kept.fetch_add(1, Ordering::SeqCst);
                         Ok(())
                     }
@@ -182,11 +227,76 @@ impl ServerHandle {
         self.inner.obs.ingest_frames.inc();
         self.inner.obs.ingest_bytes.add(line.len() as u64);
         let frame = parse_frame(line)?;
+        self.offer_parsed(frame)
+    }
+
+    fn offer_parsed(&self, frame: crate::frame::Frame) -> DtResult<()> {
         let stream = self
             .stream_index(&frame.stream)
             .ok_or_else(|| DtError::config(format!("unknown stream '{}'", frame.stream)))?;
+        let tenant = frame.tenant.clone();
         let tuple = frame.into_tuple(self.inner.clock.now());
-        self.offer(stream, tuple)
+        self.offer_tagged(stream, tuple, tenant.as_deref())
+    }
+
+    /// Ingest one wire line: a tuple frame (no reply) or a control
+    /// command (`Ok(Some(reply))` — the caller writes the reply line
+    /// back on the connection). An `Err` means the line was
+    /// malformed or unroutable and counts against the connection's
+    /// error budget; a well-formed command that *fails* (bad SQL,
+    /// unknown id) is still answered, as `{"error":…}`.
+    pub fn ingest_line(&self, line: &str) -> DtResult<Option<String>> {
+        self.inner.obs.ingest_frames.inc();
+        self.inner.obs.ingest_bytes.add(line.len() as u64);
+        match parse_incoming(line)? {
+            Incoming::Tuple(frame) => self.offer_parsed(frame).map(|()| None),
+            Incoming::Control(cmd) => Ok(Some(self.control(cmd).render())),
+        }
+    }
+
+    /// Execute one control command, producing the reply document.
+    fn control(&self, cmd: Command) -> Json {
+        let err = |e: DtError| json::obj(vec![("error", Json::Str(e.to_string()))]);
+        match cmd {
+            Command::Register {
+                sql,
+                tenant,
+                delay_ms,
+                weight,
+            } => {
+                let delay = match delay_ms.map(DelayConstraint::from_millis).transpose() {
+                    Ok(d) => d,
+                    Err(e) => return err(e),
+                };
+                let mut spec = QuerySpec::new(sql);
+                spec.tenant = tenant;
+                spec.delay = delay;
+                if let Some(w) = weight {
+                    spec = spec.weight(w);
+                }
+                match self.register(spec) {
+                    Ok(id) => json::obj(vec![
+                        ("registered", (id as i64).to_json()),
+                        (
+                            "active_from",
+                            (self.inner.registry.emit_cursor() as i64).to_json(),
+                        ),
+                    ]),
+                    Err(e) => err(e),
+                }
+            }
+            Command::Unregister { id } => match self.unregister(id) {
+                Ok(boundary) => json::obj(vec![
+                    ("unregistered", (id as i64).to_json()),
+                    ("active_to", (boundary as i64).to_json()),
+                ]),
+                Err(e) => err(e),
+            },
+            Command::List => json::obj(vec![(
+                "queries",
+                Json::Arr(self.queries().iter().map(query_info_json).collect()),
+            )]),
+        }
     }
 }
 
@@ -212,51 +322,71 @@ impl Server {
         addr: Option<&str>,
         clock: Arc<dyn Clock>,
     ) -> DtResult<Server> {
+        // Compile the configured queries the classic way first: this
+        // validates the whole config (capacity, budget, SQL) and
+        // discovers the shared window spec the registry enforces.
         let exec = cfg.compile()?;
         let spec = exec.spec();
-        let names: Vec<String> = exec.streams().iter().map(|s| s.name.clone()).collect();
+        drop(exec);
+        let registry = Arc::new(QueryRegistry::new(
+            RegistryConfig {
+                catalog: cfg.catalog.clone(),
+                mode: cfg.mode,
+                spec,
+                override_windows: cfg.window.is_some(),
+            },
+            cfg.metrics.clone(),
+        )?);
+        // The configured queries become registrations 0..n, so their
+        // results keep their positions in the final report.
+        for sql in &cfg.queries {
+            registry.register(QuerySpec::new(sql.clone()))?;
+        }
+        let names: Vec<String> = registry.streams().iter().map(|s| s.name.clone()).collect();
         let stats = Arc::new(ServerStats::new(&names));
         // Register every instrument up front: a scrape against an idle
         // server still returns the full (zero-valued) series set.
         let obs = ServerObs::register(&cfg.metrics, &names);
 
-        // One shared controller per stream when a delay constraint is
-        // configured. The EWMAs are primed from the cost hint so the
-        // threshold is meaningful from the first tuple; the workers
-        // replace the hint with measured costs as they process.
-        let controllers: Vec<Arc<SharedController>> =
-            match cfg.delay.filter(|_| cfg.mode.uses_engine()) {
-                None => Vec::new(),
-                Some(d) => {
-                    let syn_us = cfg.cost_hint.synopsis_insert_time.micros() as f64;
-                    let main_us = cfg.cost_hint.service_time.micros() as f64
-                        + if cfg.mode == ShedMode::DataTriage {
-                            syn_us
-                        } else {
-                            0.0
-                        };
-                    let triage_us = if cfg.mode.uses_synopses() {
-                        syn_us
-                    } else {
-                        0.0
-                    };
-                    names
-                        .iter()
-                        .map(|name| {
-                            Arc::new(
-                                SharedController::seeded(d, main_us, triage_us)
-                                    .with_gauges(ControllerGauges::register(&cfg.metrics, name)),
-                            )
-                        })
-                        .collect()
-                }
+        // One admission controller per stream, unconditionally — a
+        // runtime registration may tighten the constraint later. The
+        // EWMAs are primed from the cost hint so the threshold is
+        // meaningful from the first tuple; the workers replace the
+        // hint with measured costs as they process. Without a
+        // constraint the base controller keeps everything.
+        let constraint = cfg.delay.filter(|_| cfg.mode.uses_engine());
+        let syn_us = cfg.cost_hint.synopsis_insert_time.micros() as f64;
+        let main_us = cfg.cost_hint.service_time.micros() as f64
+            + if cfg.mode == ShedMode::DataTriage {
+                syn_us
+            } else {
+                0.0
             };
+        let triage_us = if cfg.mode.uses_synopses() {
+            syn_us
+        } else {
+            0.0
+        };
+        let admission: Vec<FairController> = names
+            .iter()
+            .map(|name| {
+                let mut base = SharedController::with_constraint(constraint, main_us, triage_us);
+                // The Prometheus gauge surface stays keyed to the
+                // configured constraint: an unconstrained server
+                // exports no dt_triage_* series (runtime-registered
+                // constraints still run and report through /stats).
+                if constraint.is_some() {
+                    base = base.with_gauges(ControllerGauges::register(&cfg.metrics, name));
+                }
+                FairController::new(Arc::new(base), constraint)
+            })
+            .collect();
 
         let mut data_tx = Vec::new();
         let mut ctl_tx = Vec::new();
         let mut workers = Vec::new();
         let (sealed_tx, sealed_rx) = unbounded::<SealedWindow>();
-        for (i, s) in exec.streams().iter().enumerate() {
+        for (i, s) in registry.streams().iter().enumerate() {
             let (dtx, drx) = bounded::<Tuple>(cfg.channel_capacity);
             let (ctx_tx, crx) = unbounded::<Ctl>();
             let factory = TriageFactory {
@@ -279,7 +409,7 @@ impl Server {
                 spec,
                 stats: Arc::clone(&stats),
                 obs: WorkerObs::register(&cfg.metrics, &s.name, obs.queue_depth[i].clone()),
-                controller: controllers.get(i).cloned(),
+                controller: Some(Arc::clone(admission[i].base())),
                 fault: cfg.fault.clone(),
                 fault_panic_ctr: obs.faults_injected[FAULT_PANIC].clone(),
                 fault_stall_ctr: obs.faults_injected[FAULT_STALL].clone(),
@@ -296,7 +426,7 @@ impl Server {
         drop(sealed_tx);
 
         let inner = Arc::new(Inner {
-            exec,
+            registry,
             stats: Arc::clone(&stats),
             clock: Arc::clone(&clock),
             mode: cfg.mode,
@@ -304,7 +434,7 @@ impl Server {
             obs,
             data_tx,
             ctl_tx,
-            controllers,
+            admission,
             stop: AtomicBool::new(false),
             fault: cfg.fault.clone(),
             error_budget: cfg.conn_error_budget,
@@ -447,11 +577,11 @@ fn run_merger(
     sealed_rx: Receiver<SealedWindow>,
     merger_rx: Receiver<MergerMsg>,
 ) -> DtResult<ServerReport> {
-    let exec = &inner.exec;
-    let spec = exec.spec();
-    let n_streams = exec.streams().len();
+    let registry = &inner.registry;
+    let spec = registry.spec();
+    let n_streams = registry.streams().len();
     let mut pending: BTreeMap<WindowId, Vec<Option<SealedWindow>>> = BTreeMap::new();
-    let mut results: Vec<Vec<WindowResult>> = vec![Vec::new(); exec.num_queries()];
+    let mut results: BTreeMap<QueryId, Vec<WindowResult>> = BTreeMap::new();
     let mut peak_units: usize = 0;
     let mut next_emit: WindowId = 0;
     let mut last_seal: Option<WindowId> = None;
@@ -538,8 +668,8 @@ fn run_merger(
                 // reality (a worker is wedged); double the controllers'
                 // main-cost estimate so they shed harder until honest
                 // measurements pull the EWMA back down.
-                for ctl in &inner.controllers {
-                    ctl.penalize();
+                for fc in &inner.admission {
+                    fc.base().penalize();
                 }
                 emit_window(
                     &inner,
@@ -580,16 +710,25 @@ fn run_merger(
         dropped: snaps.iter().map(|s| s.shed).sum(),
         peak_synopsis_units: peak_units,
     };
-    let reports: Vec<RunReport> = results
-        .into_iter()
-        .map(|windows| RunReport {
-            windows,
+    // One report slot per query id ever registered — ids are dense
+    // and never reused, so the report index *is* the id. Queries that
+    // never saw a window (registered late, or unregistered before the
+    // first emission) report empty window lists.
+    let queries = registry.list();
+    let mut reports: Vec<RunReport> = queries
+        .iter()
+        .map(|_| RunReport {
+            windows: Vec::new(),
             totals: totals.clone(),
             window_spec: spec,
         })
         .collect();
+    for (id, windows) in results {
+        reports[id as usize].windows = windows;
+    }
     Ok(ServerReport {
         reports,
+        queries,
         streams: snaps,
         windows_emitted: inner.stats.windows_emitted.load(Ordering::SeqCst),
         windows_degraded: inner.stats.windows_degraded.load(Ordering::SeqCst),
@@ -599,27 +738,29 @@ fn run_merger(
     })
 }
 
-/// Join one window across streams and close it through the executor.
+/// Join one window across streams and fan it out through the
+/// registry to every query active for it.
 fn emit_window(
     inner: &Inner,
     synopsis: &SynopsisConfig,
     pending: &mut BTreeMap<WindowId, Vec<Option<SealedWindow>>>,
-    results: &mut [Vec<WindowResult>],
+    results: &mut BTreeMap<QueryId, Vec<WindowResult>>,
     peak_units: &mut usize,
     w: WindowId,
     fill: Fill,
 ) -> DtResult<()> {
-    let exec = &inner.exec;
-    let spec = exec.spec();
+    let registry = &inner.registry;
+    let spec = registry.spec();
     // A watchdog force-seal may fire before *any* stream sealed the
     // window; start from an all-missing row in that case.
     let slots = match pending.remove(&w) {
         Some(slots) => slots,
-        None if fill == Fill::Forced => vec![None; exec.streams().len()],
+        None if fill == Fill::Forced => vec![None; registry.streams().len()],
         None => return Err(DtError::engine("emitting an absent window")),
     };
     let mut shared_rows: Vec<Vec<dt_types::Row>> = Vec::with_capacity(slots.len());
     let mut pairs: Vec<SynPair> = Vec::new();
+    let mut counts: Vec<(u64, u64)> = Vec::with_capacity(slots.len());
     let (mut arrived, mut kept, mut dropped) = (0u64, 0u64, 0u64);
     let mut degraded = false;
     for (i, slot) in slots.into_iter().enumerate() {
@@ -632,7 +773,7 @@ fn emit_window(
                 // worker is stalled and whatever it held for this
                 // window is lost — degraded.
                 let syn = if inner.mode.uses_synopses() {
-                    let arity = exec.streams()[i].schema.arity();
+                    let arity = registry.streams()[i].schema.arity();
                     let mut kept_syn = synopsis.build(arity)?;
                     let mut dropped_syn = synopsis.build(arity)?;
                     kept_syn.seal();
@@ -661,6 +802,7 @@ fn emit_window(
         kept += sw.kept;
         dropped += sw.dropped;
         degraded |= sw.degraded;
+        counts.push((sw.kept, sw.dropped));
         shared_rows.push(sw.rows);
         if let Some(p) = sw.syn {
             pairs.push(p);
@@ -679,7 +821,14 @@ fn emit_window(
     } else {
         None
     };
-    let payloads = exec.close_batch(&shared_rows, pairs.as_deref())?;
+    let closes = registry.close_window(
+        w,
+        dt_registry::WindowInputs {
+            rows: &shared_rows,
+            pairs: pairs.as_deref(),
+            counts: &counts,
+        },
+    )?;
     let emitted_at: Timestamp = inner.clock.now().max(spec.window_end(w));
     inner.obs.window_latency_us.observe(
         emitted_at
@@ -687,10 +836,10 @@ fn emit_window(
             .saturating_sub(spec.window_end(w).micros()),
     );
     inner.obs.windows_emitted.inc();
-    for (qi, payload) in payloads.into_iter().enumerate() {
-        results[qi].push(WindowResult {
+    for (id, close) in closes {
+        results.entry(id).or_default().push(WindowResult {
             window: w,
-            payload,
+            payload: close.payload,
             emitted_at,
             arrived,
             kept,
@@ -705,42 +854,81 @@ fn emit_window(
     Ok(())
 }
 
-/// The `/stats` document: the live counters, plus — when delay
-/// controllers are active — a `controllers` array with each stream's
-/// current threshold (`null` while unbounded), estimated worst-case
-/// delay, and shed fraction.
+/// The `/stats` document: the live counters, a `queries` array with
+/// every registered query's state, plus — when delay constraints are
+/// active (configured at startup or registered at runtime) — a
+/// `controllers` array with each stream's current threshold (`null`
+/// while unbounded), estimated worst-case delay, shed fraction, and
+/// tenant lanes.
 fn render_stats(inner: &Inner) -> Json {
     let mut doc = inner.stats.render_json();
-    if inner.controllers.is_empty() {
-        return doc;
-    }
-    let ctls: Vec<Json> = inner
-        .exec
-        .streams()
+    let queries: Vec<Json> = inner.registry.list().iter().map(query_info_json).collect();
+    // The controllers block appears only once a constraint exists
+    // somewhere — an unconstrained server's `/stats` stays the shape
+    // it always had.
+    let active = inner
+        .admission
         .iter()
-        .zip(&inner.controllers)
-        .map(|(s, c)| {
-            let st = c.state();
-            json::obj(vec![
-                ("stream", Json::Str(s.name.clone())),
-                (
-                    "threshold",
-                    if st.threshold == u64::MAX {
-                        Json::Null
-                    } else {
-                        Json::Num(st.threshold as f64)
-                    },
-                ),
-                (
-                    "estimated_delay_ms",
-                    Json::Num(st.estimated_delay.micros() as f64 / 1000.0),
-                ),
-                ("shed_fraction", Json::Num(st.shed_fraction)),
-            ])
-        })
-        .collect();
+        .any(|fc| fc.base().constraint().is_some() || fc.has_lanes());
+    let ctls: Vec<Json> = if !active {
+        Vec::new()
+    } else {
+        inner
+            .registry
+            .streams()
+            .iter()
+            .zip(&inner.admission)
+            .map(|(s, fc)| {
+                let st = fc.base().state();
+                let mut fields = vec![
+                    ("stream", Json::Str(s.name.clone())),
+                    (
+                        "threshold",
+                        if st.threshold == u64::MAX {
+                            Json::Null
+                        } else {
+                            Json::Num(st.threshold as f64)
+                        },
+                    ),
+                    (
+                        "estimated_delay_ms",
+                        Json::Num(st.estimated_delay.micros() as f64 / 1000.0),
+                    ),
+                    ("shed_fraction", Json::Num(st.shed_fraction)),
+                ];
+                let lanes: Vec<Json> = fc
+                    .lane_states()
+                    .into_iter()
+                    .map(|l| {
+                        json::obj(vec![
+                            ("tenant", Json::Str(l.name)),
+                            ("weight", Json::Num(l.weight)),
+                            (
+                                "delay_ms",
+                                match l.constraint {
+                                    Some(d) => Json::Num(d.micros() as f64 / 1000.0),
+                                    None => Json::Null,
+                                },
+                            ),
+                            ("rate", Json::Num(l.rate)),
+                            ("shed_fraction", Json::Num(l.shed_fraction)),
+                            ("kept", l.kept.to_json()),
+                            ("shed", l.shed.to_json()),
+                        ])
+                    })
+                    .collect();
+                if !lanes.is_empty() {
+                    fields.push(("lanes", Json::Arr(lanes)));
+                }
+                json::obj(fields)
+            })
+            .collect()
+    };
     if let Json::Obj(fields) = &mut doc {
-        fields.push(("controllers".to_string(), Json::Arr(ctls)));
+        fields.push(("queries".to_string(), Json::Arr(queries)));
+        if !ctls.is_empty() {
+            fields.push(("controllers".to_string(), Json::Arr(ctls)));
+        }
     }
     doc
 }
@@ -785,37 +973,64 @@ struct ConnState {
 }
 
 impl ConnState {
-    /// Offer a frame and account failures; `true` means the error
-    /// budget is exhausted and the caller must close the connection
-    /// (after flushing holdbacks).
-    fn process(&mut self, handle: &ServerHandle, text: &str) -> bool {
-        if handle.offer_frame(text).is_err() {
-            let inner = &*handle.inner;
-            inner.obs.ingest_errors.inc();
-            inner.obs.frames_rejected.inc();
-            inner.stats.parse_errors.fetch_add(1, Ordering::SeqCst);
-            self.errors += 1;
-            return self.errors >= inner.error_budget;
+    /// Ingest one line — a tuple frame or a control command (whose
+    /// reply is written back on `writer`) — and account failures;
+    /// `true` means the error budget is exhausted and the caller must
+    /// close the connection (after flushing holdbacks).
+    fn process(&mut self, handle: &ServerHandle, writer: &mut TcpStream, text: &str) -> bool {
+        match handle.ingest_line(text) {
+            Ok(None) => false,
+            Ok(Some(reply)) => {
+                let _ = writer.write_all(format!("{reply}\n").as_bytes());
+                false
+            }
+            Err(_) => {
+                let inner = &*handle.inner;
+                inner.obs.ingest_errors.inc();
+                inner.obs.frames_rejected.inc();
+                inner.stats.parse_errors.fetch_add(1, Ordering::SeqCst);
+                self.errors += 1;
+                self.errors >= inner.error_budget
+            }
         }
-        false
     }
 
     /// Release every held line due at or before line index `upto`
     /// (`u64::MAX` flushes all — done before any close or on idle, so
     /// a delayed frame is never outright lost).
-    fn release_held(&mut self, handle: &ServerHandle, upto: u64) -> bool {
+    fn release_held(&mut self, handle: &ServerHandle, writer: &mut TcpStream, upto: u64) -> bool {
         let mut exhausted = false;
         while let Some(pos) = self.held.iter().position(|(due, _)| *due <= upto) {
             let (_, text) = self.held.remove(pos);
-            exhausted |= self.process(handle, &text);
+            exhausted |= self.process(handle, writer, &text);
         }
         exhausted
     }
 }
 
+/// True when a connection's first line looks like an HTTP request for
+/// a method the server does not serve (everything but GET): an
+/// all-caps method token followed by a `/`-rooted path. Tuple and
+/// control frames start with `{`, so they can never match.
+fn is_non_get_http(line: &str) -> bool {
+    let mut it = line.split_whitespace();
+    match (it.next(), it.next()) {
+        (Some(method), Some(path)) => {
+            method != "GET"
+                && !method.is_empty()
+                && method.chars().all(|c| c.is_ascii_uppercase())
+                && path.starts_with('/')
+        }
+        _ => false,
+    }
+}
+
 /// One client connection: either an HTTP-ish probe (first line starts
 /// with `GET ` — `/stats` answers JSON, `/metrics` Prometheus text
-/// exposition) or a stream of NDJSON tuple frames until EOF.
+/// exposition, anything else 404; a non-GET HTTP request line gets
+/// 405) or a stream of NDJSON lines until EOF — tuple frames
+/// interleaved with control commands (`register`/`unregister`/
+/// `list`), each command answered with one JSON reply line.
 ///
 /// Malformed frames are *skipped*, not fatal: each one increments
 /// `parse_errors`/`frames_rejected`, and only when a connection
@@ -844,7 +1059,7 @@ fn serve_conn(stream: TcpStream, handle: ServerHandle) {
     // Close the connection: flush holdbacks, optionally send the
     // structured budget-exhausted frame.
     let close = |st: &mut ConnState, writer: &mut TcpStream, budget: bool| {
-        let _ = st.release_held(&handle, u64::MAX);
+        let _ = st.release_held(&handle, writer, u64::MAX);
         if budget {
             let msg = format!(
                 "{{\"error\":\"error budget exhausted\",\"rejected\":{},\"budget\":{}}}\n",
@@ -860,7 +1075,7 @@ fn serve_conn(stream: TcpStream, handle: ServerHandle) {
                 // against the budget like any other bad line.
                 if let Some(partial) = asm.take_partial() {
                     if !partial.trim().is_empty() {
-                        st.process(&handle, partial.trim());
+                        st.process(&handle, &mut writer, partial.trim());
                     }
                 }
                 close(&mut st, &mut writer, false);
@@ -884,6 +1099,10 @@ fn serve_conn(stream: TcpStream, handle: ServerHandle) {
                             http_not_found()
                         };
                         let _ = writer.write_all(reply.as_bytes());
+                        return;
+                    }
+                    if first && is_non_get_http(trimmed) {
+                        let _ = writer.write_all(http_method_not_allowed().as_bytes());
                         return;
                     }
                     first = false;
@@ -910,9 +1129,9 @@ fn serve_conn(stream: TcpStream, handle: ServerHandle) {
                         handle.inner.obs.faults_injected[FAULT_DELAY].inc();
                         st.held.push((line_no + k, text));
                     } else {
-                        exhausted = st.process(&handle, &text);
+                        exhausted = st.process(&handle, &mut writer, &text);
                     }
-                    exhausted |= st.release_held(&handle, line_no);
+                    exhausted |= st.release_held(&handle, &mut writer, line_no);
                     if exhausted {
                         close(&mut st, &mut writer, true);
                         return;
@@ -935,7 +1154,7 @@ fn serve_conn(stream: TcpStream, handle: ServerHandle) {
                 // Idle: release every holdback (delayed frames must
                 // not outlive the lull that would seal their window),
                 // then check for shutdown.
-                if st.release_held(&handle, u64::MAX) {
+                if st.release_held(&handle, &mut writer, u64::MAX) {
                     close(&mut st, &mut writer, true);
                     return;
                 }

@@ -7,6 +7,7 @@
 //! pipelines and serializes to JSON for `dt-metrics`.
 
 use dt_metrics::RunSummary;
+use dt_registry::QueryInfo;
 use dt_triage::RunReport;
 use dt_types::{json, Json, ToJson};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -189,8 +190,13 @@ impl ToJson for StreamSnapshot {
 /// own ingest counters.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
-    /// Per-query window results, in query order.
+    /// Per-query window results, indexed by [`dt_registry::QueryId`]
+    /// (dense, never reused — index `i` is query `i`'s report).
     pub reports: Vec<RunReport>,
+    /// Every query ever registered, in id order — parallel to
+    /// `reports`. Covers runtime registrations and queries detached
+    /// before shutdown.
+    pub queries: Vec<QueryInfo>,
     /// Final per-stream ingest counters.
     pub streams: Vec<StreamSnapshot>,
     /// Windows fully merged and emitted (per query).
@@ -204,12 +210,61 @@ pub struct ServerReport {
     pub obs: Option<dt_obs::Snapshot>,
 }
 
+/// Render one [`QueryInfo`] as a JSON object (shared by `/stats`,
+/// the `list` command reply, and the final report).
+pub fn query_info_json(q: &QueryInfo) -> Json {
+    json::obj(vec![
+        ("id", (q.id as i64).to_json()),
+        ("sql", q.sql.to_json()),
+        (
+            "tenant",
+            match &q.tenant {
+                Some(t) => t.to_json(),
+                None => Json::Null,
+            },
+        ),
+        (
+            "delay_ms",
+            match q.delay {
+                Some(d) => Json::Num(d.micros() as f64 / 1000.0),
+                None => Json::Null,
+            },
+        ),
+        ("weight", Json::Num(q.weight)),
+        (
+            "streams",
+            Json::Arr(q.streams.iter().map(|s| s.to_json()).collect()),
+        ),
+        ("active", Json::Bool(q.active())),
+        ("active_from", (q.active_from as i64).to_json()),
+        (
+            "active_to",
+            match q.active_to {
+                Some(w) => (w as i64).to_json(),
+                None => Json::Null,
+            },
+        ),
+        ("windows_emitted", q.windows_emitted.to_json()),
+        ("estimated_share", Json::Num(q.estimated_share)),
+        ("shed_share", Json::Num(q.shed_share)),
+    ])
+}
+
 impl ToJson for ServerReport {
     fn to_json(&self) -> Json {
+        // Each query's section: its registration metadata joined with
+        // the accuracy summary of its own window results.
         let summaries: Vec<Json> = self
             .reports
             .iter()
-            .map(|r| RunSummary::from_report(r).to_json())
+            .enumerate()
+            .map(|(i, r)| {
+                let mut doc = RunSummary::from_report(r).to_json();
+                if let (Json::Obj(fields), Some(q)) = (&mut doc, self.queries.get(i)) {
+                    fields.insert(0, ("query".to_string(), query_info_json(q)));
+                }
+                doc
+            })
             .collect();
         json::obj(vec![
             ("reports", Json::Arr(summaries)),

@@ -349,7 +349,11 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 /// two relaxed atomic ops.
 #[derive(Debug)]
 pub struct SharedController {
-    constraint_us: f64,
+    /// Delay constraint in µs as `f64` bits; `f64::INFINITY` means
+    /// unconstrained (the threshold saturates and nothing is shed).
+    /// Atomic because a query registry retightens it at runtime as
+    /// tenants with their own constraints come and go.
+    constraint_us_bits: AtomicU64,
     headroom: f64,
     main_us_bits: AtomicU64,
     triage_us_bits: AtomicU64,
@@ -366,8 +370,25 @@ pub struct SharedController {
 impl SharedController {
     /// A controller primed with cost-model predictions (µs/tuple).
     pub fn seeded(constraint: DelayConstraint, main_us: f64, triage_us: f64) -> Self {
+        Self::with_constraint(Some(constraint), main_us, triage_us)
+    }
+
+    /// A controller with no delay constraint: it never sheds on its
+    /// own (the bounded channel is the only backstop) until
+    /// [`SharedController::set_constraint`] tightens it.
+    pub fn unconstrained(main_us: f64, triage_us: f64) -> Self {
+        Self::with_constraint(None, main_us, triage_us)
+    }
+
+    /// A controller with an optional constraint (`None` = never shed).
+    pub fn with_constraint(
+        constraint: Option<DelayConstraint>,
+        main_us: f64,
+        triage_us: f64,
+    ) -> Self {
+        let us = constraint.map_or(f64::INFINITY, |c| c.micros() as f64);
         SharedController {
-            constraint_us: constraint.micros() as f64,
+            constraint_us_bits: AtomicU64::new(us.to_bits()),
             headroom: DEFAULT_HEADROOM,
             main_us_bits: AtomicU64::new(main_us.to_bits()),
             triage_us_bits: AtomicU64::new(triage_us.to_bits()),
@@ -385,6 +406,28 @@ impl SharedController {
         self.gauges = gauges;
         self.gauges.publish(&self.state());
         self
+    }
+
+    /// Replace the delay constraint at runtime; `None` disables
+    /// constraint-driven shedding. Takes effect on the next decision.
+    pub fn set_constraint(&self, constraint: Option<DelayConstraint>) {
+        let us = constraint.map_or(f64::INFINITY, |c| c.micros() as f64);
+        self.constraint_us_bits
+            .store(us.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current delay constraint, if any.
+    pub fn constraint(&self) -> Option<DelayConstraint> {
+        let us = self.constraint_us();
+        if us.is_finite() {
+            DelayConstraint::from_micros(us.round().max(1.0) as u64).ok()
+        } else {
+            None
+        }
+    }
+
+    fn constraint_us(&self) -> f64 {
+        f64::from_bits(self.constraint_us_bits.load(Ordering::Relaxed))
     }
 
     fn main_us(&self) -> f64 {
@@ -435,7 +478,24 @@ impl SharedController {
 
     /// The current dynamic triage threshold (tuples).
     pub fn threshold(&self) -> u64 {
-        threshold_for(self.constraint_us, self.main_us(), self.triage_us())
+        threshold_for(self.constraint_us(), self.main_us(), self.triage_us())
+    }
+
+    /// The shed fraction the ramp dictates at the current depth —
+    /// pure (no error diffusion, no gauge publication). This is the
+    /// budget a [`FairController`] apportions across tenant lanes.
+    pub fn fraction(&self) -> f64 {
+        let depth = self.depth.load(Ordering::Relaxed).max(0) as u64;
+        ramp_fraction(depth, self.threshold(), self.headroom)
+    }
+
+    /// Record `f` as the last applied fraction and publish the state
+    /// to any attached gauges (what `decide` does internally; exposed
+    /// for wrappers that make their own decisions).
+    pub fn record_fraction(&self, f: f64) {
+        self.last_fraction_milli
+            .store((f * 1000.0).round() as u64, Ordering::Relaxed);
+        self.gauges.publish(&self.state());
     }
 
     /// Decide one arriving tuple's fate from the current channel
@@ -475,6 +535,317 @@ impl SharedController {
             main_cost_us: main,
             triage_cost_us: self.triage_us(),
         }
+    }
+}
+
+/// Decisions between two water-filling recomputes of the per-lane
+/// shed fractions. Small enough that lane fractions track load shifts
+/// within a few dozen tuples; large enough that the recompute (a sort
+/// over a handful of lanes) stays off the per-tuple hot path.
+pub const FAIR_EPOCH: u64 = 32;
+
+/// Smoothing factor for per-lane arrival-rate EWMAs (per epoch).
+const RATE_ALPHA: f64 = 0.3;
+
+/// One tenant lane's configuration for [`FairController::set_lanes`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneSpec {
+    /// Tenant name (the tag carried by ingest frames).
+    pub name: String,
+    /// Fair-share weight; must be positive.
+    pub weight: f64,
+    /// The tenant's own delay constraint, if any. The stream's
+    /// effective constraint is the minimum over the server's and
+    /// every lane's.
+    pub constraint: Option<DelayConstraint>,
+}
+
+/// A frozen view of one tenant lane, for `/stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneState {
+    /// Tenant name.
+    pub name: String,
+    /// Fair-share weight.
+    pub weight: f64,
+    /// The tenant's own delay constraint, if any.
+    pub constraint: Option<DelayConstraint>,
+    /// EWMA'd arrivals per epoch (0 while cold).
+    pub rate: f64,
+    /// The lane's current shed fraction.
+    pub shed_fraction: f64,
+    /// Tuples this lane kept / shed since it was created.
+    pub kept: u64,
+    pub shed: u64,
+}
+
+/// One tenant's lane: weight, optional constraint, and the lock-free
+/// rate / fraction / diffusion state the epoch recompute maintains.
+#[derive(Debug)]
+struct TenantLane {
+    name: String,
+    weight: f64,
+    constraint: Option<DelayConstraint>,
+    /// Arrivals since the last epoch recompute.
+    epoch_arrived: AtomicU64,
+    /// EWMA'd arrivals per epoch (`f64` bits; 0 while cold).
+    rate_bits: AtomicU64,
+    /// This lane's shed fraction, per-mille (0–1000).
+    shed_milli: AtomicU64,
+    /// Per-lane error-diffusion accumulator (millifraction units).
+    acc_milli: AtomicU64,
+    /// Lifetime kept/shed counters for `/stats`.
+    kept: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl TenantLane {
+    fn new(spec: &LaneSpec) -> Self {
+        TenantLane {
+            name: spec.name.clone(),
+            weight: spec.weight,
+            constraint: spec.constraint,
+            epoch_arrived: AtomicU64::new(0),
+            rate_bits: AtomicU64::new(0f64.to_bits()),
+            shed_milli: AtomicU64::new(0),
+            acc_milli: AtomicU64::new(0),
+            kept: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    fn rate(&self) -> f64 {
+        f64::from_bits(self.rate_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Weighted-fair multi-tenant admission over one stream's
+/// [`SharedController`].
+///
+/// The base controller answers *how much* to shed — the ramp fraction
+/// `f` derived from the stream's effective delay constraint and
+/// measured costs. This wrapper answers *whose tuples*: the keep
+/// budget `(1 − f) · R` (where `R` is the total arrival rate) is
+/// apportioned across tenant lanes by **water-filling** on their
+/// weights — every lane demanding less than its weighted fair share
+/// keeps everything, and the surplus flows to the heavier lanes. A
+/// tenant bursting 4× therefore absorbs the shedding its own burst
+/// caused; lanes under their fair share shed nothing, so a quiet
+/// tenant's accuracy is insulated from a noisy neighbor.
+///
+/// Per-lane shed fractions are recomputed every [`FAIR_EPOCH`]
+/// decisions from per-epoch arrival-rate EWMAs; between recomputes
+/// each lane sheds by its own error-diffusion accumulator, so the
+/// realized per-lane fractions are deterministic for a given arrival
+/// sequence. Two hard overrides bypass the (up to one epoch stale)
+/// lane fractions: a fresh global fraction of 1 sheds everything
+/// (deadline protection) and a fresh fraction of 0 keeps everything.
+///
+/// Tuples with no tenant tag, or a tag matching no lane, land in the
+/// first lane — registries should order a catch-all default first.
+/// With no lanes at all, `decide` degrades to the base controller.
+#[derive(Debug)]
+pub struct FairController {
+    base: std::sync::Arc<SharedController>,
+    /// The constraint configured at server startup, if any; lane
+    /// constraints only ever tighten it.
+    server_constraint: Option<DelayConstraint>,
+    lanes: std::sync::RwLock<Vec<TenantLane>>,
+    /// Decisions since the last water-filling recompute.
+    epoch_tick: AtomicU64,
+}
+
+impl FairController {
+    /// Wrap `base` (whose constraint should equal `server_constraint`
+    /// until lanes arrive).
+    pub fn new(
+        base: std::sync::Arc<SharedController>,
+        server_constraint: Option<DelayConstraint>,
+    ) -> Self {
+        FairController {
+            base,
+            server_constraint,
+            lanes: std::sync::RwLock::new(Vec::new()),
+            epoch_tick: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped per-stream controller (for cost observations,
+    /// dequeue accounting, and the watchdog penalty).
+    pub fn base(&self) -> &std::sync::Arc<SharedController> {
+        &self.base
+    }
+
+    /// Replace the lane set atomically (the registry calls this on
+    /// every register/unregister with the full current tenant list).
+    /// Rate EWMAs and lifetime counters carry over for lanes whose
+    /// names persist. Also retightens the base constraint to the
+    /// minimum over the server's and every lane's.
+    pub fn set_lanes(&self, specs: &[LaneSpec]) -> DtResult<()> {
+        let mut seen: Vec<&str> = Vec::with_capacity(specs.len());
+        for s in specs {
+            if !(s.weight > 0.0 && s.weight.is_finite()) {
+                return Err(DtError::config(format!(
+                    "tenant '{}' weight must be positive and finite, got {}",
+                    s.name, s.weight
+                )));
+            }
+            if seen.contains(&s.name.as_str()) {
+                return Err(DtError::config(format!(
+                    "duplicate tenant lane '{}'",
+                    s.name
+                )));
+            }
+            seen.push(&s.name);
+        }
+        let mut lanes = self.lanes.write().expect("lane lock poisoned");
+        let next: Vec<TenantLane> = specs
+            .iter()
+            .map(|spec| {
+                let lane = TenantLane::new(spec);
+                if let Some(old) = lanes.iter().find(|l| l.name == spec.name) {
+                    lane.rate_bits
+                        .store(old.rate_bits.load(Ordering::Relaxed), Ordering::Relaxed);
+                    lane.kept
+                        .store(old.kept.load(Ordering::Relaxed), Ordering::Relaxed);
+                    lane.shed
+                        .store(old.shed.load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+                lane
+            })
+            .collect();
+        *lanes = next;
+        let effective = lanes
+            .iter()
+            .filter_map(|l| l.constraint)
+            .chain(self.server_constraint)
+            .min();
+        self.base.set_constraint(effective);
+        Ok(())
+    }
+
+    /// Decide one arriving tuple's fate. `tenant` is the frame's tag.
+    pub fn decide(&self, tenant: Option<&str>) -> ShedDecision {
+        let lanes = self.lanes.read().expect("lane lock poisoned");
+        if lanes.is_empty() {
+            drop(lanes);
+            return self.base.decide();
+        }
+        let li = tenant
+            .and_then(|t| lanes.iter().position(|l| l.name == t))
+            .unwrap_or(0);
+        lanes[li].epoch_arrived.fetch_add(1, Ordering::Relaxed);
+        let tick = self.epoch_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if tick.is_multiple_of(FAIR_EPOCH) {
+            self.recompute(&lanes);
+        }
+        // Hard overrides on the *fresh* global fraction; the lane
+        // fractions in between may be up to one epoch stale.
+        let f = self.base.fraction();
+        let decision = if f >= 1.0 {
+            ShedDecision::Shed
+        } else if f <= 0.0 {
+            ShedDecision::Keep
+        } else {
+            let fm = lanes[li].shed_milli.load(Ordering::Relaxed);
+            if fm >= 1000 {
+                ShedDecision::Shed
+            } else if fm == 0 {
+                ShedDecision::Keep
+            } else {
+                let prev = lanes[li].acc_milli.fetch_add(fm, Ordering::Relaxed);
+                if (prev % 1000) + fm >= 1000 {
+                    ShedDecision::Shed
+                } else {
+                    ShedDecision::Keep
+                }
+            }
+        };
+        match decision {
+            ShedDecision::Keep => lanes[li].kept.fetch_add(1, Ordering::Relaxed),
+            ShedDecision::Shed => lanes[li].shed.fetch_add(1, Ordering::Relaxed),
+        };
+        decision
+    }
+
+    /// Water-fill the keep budget across lanes. Called under the read
+    /// lock — it mutates only lane atomics.
+    fn recompute(&self, lanes: &[TenantLane]) {
+        let mut rates = Vec::with_capacity(lanes.len());
+        for l in lanes {
+            let sample = l.epoch_arrived.swap(0, Ordering::Relaxed) as f64;
+            let old = l.rate();
+            let new = if old <= 0.0 {
+                sample
+            } else {
+                old + RATE_ALPHA * (sample - old)
+            };
+            l.rate_bits.store(new.to_bits(), Ordering::Relaxed);
+            rates.push(new);
+        }
+        let f = self.base.fraction();
+        self.base.record_fraction(f);
+        let total: f64 = rates.iter().sum();
+        if total <= 0.0 {
+            // No arrival history yet: apply the global fraction flat.
+            let fm = (f * 1000.0).round() as u64;
+            for l in lanes {
+                l.shed_milli.store(fm, Ordering::Relaxed);
+            }
+            return;
+        }
+        // Keep budget (1 − f)·R, apportioned by weight: serve lanes
+        // in increasing demand-per-weight order so underloaded lanes
+        // keep everything and their surplus flows to heavier ones.
+        let mut keep_budget = (1.0 - f) * total;
+        let mut order: Vec<usize> = (0..lanes.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = rates[a] / lanes[a].weight;
+            let db = rates[b] / lanes[b].weight;
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut weight_left: f64 = lanes.iter().map(|l| l.weight).sum();
+        for &i in &order {
+            let fair = if weight_left > 0.0 {
+                keep_budget * lanes[i].weight / weight_left
+            } else {
+                0.0
+            };
+            let keep = rates[i].min(fair);
+            keep_budget -= keep;
+            weight_left -= lanes[i].weight;
+            let shed = if rates[i] <= 0.0 {
+                0.0
+            } else {
+                1.0 - keep / rates[i]
+            };
+            lanes[i].shed_milli.store(
+                (shed * 1000.0).round().clamp(0.0, 1000.0) as u64,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Frozen per-lane views, in lane order.
+    pub fn lane_states(&self) -> Vec<LaneState> {
+        self.lanes
+            .read()
+            .expect("lane lock poisoned")
+            .iter()
+            .map(|l| LaneState {
+                name: l.name.clone(),
+                weight: l.weight,
+                constraint: l.constraint,
+                rate: l.rate(),
+                shed_fraction: l.shed_milli.load(Ordering::Relaxed) as f64 / 1000.0,
+                kept: l.kept.load(Ordering::Relaxed),
+                shed: l.shed.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// True once any lane is configured.
+    pub fn has_lanes(&self) -> bool {
+        !self.lanes.read().expect("lane lock poisoned").is_empty()
     }
 }
 
@@ -670,6 +1041,258 @@ mod tests {
         assert_eq!(c.threshold(), 4);
         let s = c.state();
         assert!((s.main_cost_us - 4_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn shared_constraint_is_dynamic() {
+        let c = SharedController::unconstrained(1_000.0, 0.0);
+        assert_eq!(c.threshold(), u64::MAX);
+        assert_eq!(c.constraint(), None);
+        for _ in 0..1_000_000 {
+            c.on_enqueue();
+        }
+        assert_eq!(c.decide(), ShedDecision::Keep, "unconstrained never sheds");
+        c.set_constraint(Some(d_ms(20)));
+        assert_eq!(c.threshold(), 19);
+        assert_eq!(c.constraint(), Some(d_ms(20)));
+        assert_eq!(c.decide(), ShedDecision::Shed);
+        c.set_constraint(None);
+        assert_eq!(c.decide(), ShedDecision::Keep);
+    }
+
+    fn fair(server_ms: Option<u64>) -> FairController {
+        let base = std::sync::Arc::new(SharedController::with_constraint(
+            server_ms.map(d_ms),
+            1_000.0,
+            0.0,
+        ));
+        FairController::new(base, server_ms.map(d_ms))
+    }
+
+    #[test]
+    fn fair_without_lanes_degrades_to_base() {
+        let c = fair(Some(20));
+        assert_eq!(c.decide(None), ShedDecision::Keep);
+        for _ in 0..25 {
+            c.base().on_enqueue();
+        }
+        assert_eq!(c.decide(Some("a")), ShedDecision::Shed);
+        assert!(!c.has_lanes());
+    }
+
+    #[test]
+    fn lane_constraints_tighten_and_release_the_base() {
+        let c = fair(Some(100));
+        assert_eq!(c.base().constraint(), Some(d_ms(100)));
+        c.set_lanes(&[
+            LaneSpec {
+                name: "a".into(),
+                weight: 1.0,
+                constraint: Some(d_ms(20)),
+            },
+            LaneSpec {
+                name: "b".into(),
+                weight: 1.0,
+                constraint: None,
+            },
+        ])
+        .unwrap();
+        assert_eq!(c.base().constraint(), Some(d_ms(20)), "min wins");
+        // Dropping the tight tenant releases back to the server's.
+        c.set_lanes(&[LaneSpec {
+            name: "b".into(),
+            weight: 1.0,
+            constraint: None,
+        }])
+        .unwrap();
+        assert_eq!(c.base().constraint(), Some(d_ms(100)));
+    }
+
+    #[test]
+    fn set_lanes_validates() {
+        let c = fair(None);
+        assert!(c
+            .set_lanes(&[LaneSpec {
+                name: "a".into(),
+                weight: 0.0,
+                constraint: None,
+            }])
+            .is_err());
+        assert!(c
+            .set_lanes(&[
+                LaneSpec {
+                    name: "a".into(),
+                    weight: 1.0,
+                    constraint: None,
+                },
+                LaneSpec {
+                    name: "a".into(),
+                    weight: 2.0,
+                    constraint: None,
+                },
+            ])
+            .is_err());
+    }
+
+    /// Drive `n` decisions for each lane in an interleaved,
+    /// deterministic pattern (`burst` copies of `a` per one of `b`),
+    /// at fixed queue depth, returning each lane's shed counts.
+    fn drive(c: &FairController, rounds: usize, burst: usize) -> (u64, u64, u64, u64) {
+        for _ in 0..rounds {
+            for _ in 0..burst {
+                c.decide(Some("a"));
+            }
+            c.decide(Some("b"));
+        }
+        let states = c.lane_states();
+        let a = states.iter().find(|l| l.name == "a").unwrap();
+        let b = states.iter().find(|l| l.name == "b").unwrap();
+        (a.kept, a.shed, b.kept, b.shed)
+    }
+
+    #[test]
+    fn bursting_tenant_absorbs_its_own_shedding() {
+        let c = fair(Some(100));
+        c.set_lanes(&[
+            LaneSpec {
+                name: "a".into(),
+                weight: 1.0,
+                constraint: None,
+            },
+            LaneSpec {
+                name: "b".into(),
+                weight: 1.0,
+                constraint: None,
+            },
+        ])
+        .unwrap();
+        // Park the queue inside the headroom band: threshold 98,
+        // depth 90 → global fraction strictly between 0 and 1.
+        let t = c.base().threshold();
+        for _ in 0..t - 8 {
+            c.base().on_enqueue();
+        }
+        assert!(c.base().fraction() > 0.0 && c.base().fraction() < 1.0);
+        // Tenant a offers 7× tenant b's rate with equal weights: all
+        // shedding should land on a once rates are learned.
+        let (_, a_shed, b_kept, b_shed) = drive(&c, 2_000, 7);
+        assert!(a_shed > 100, "the bursting lane sheds (got {a_shed})");
+        assert_eq!(
+            b_shed, 0,
+            "the under-fair-share lane never sheds (kept {b_kept})"
+        );
+    }
+
+    #[test]
+    fn fair_shedding_matches_global_fraction() {
+        // With lanes in play the *total* realized shed fraction must
+        // still track the base ramp — fairness redistributes, it does
+        // not change how much is shed.
+        let c = fair(Some(100));
+        c.set_lanes(&[
+            LaneSpec {
+                name: "a".into(),
+                weight: 1.0,
+                constraint: None,
+            },
+            LaneSpec {
+                name: "b".into(),
+                weight: 1.0,
+                constraint: None,
+            },
+        ])
+        .unwrap();
+        let t = c.base().threshold();
+        for _ in 0..t - 8 {
+            c.base().on_enqueue();
+        }
+        let f = c.base().fraction();
+        let (a_kept, a_shed, b_kept, b_shed) = drive(&c, 4_000, 3);
+        let total = (a_kept + a_shed + b_kept + b_shed) as f64;
+        let realized = (a_shed + b_shed) as f64 / total;
+        assert!(
+            (realized - f).abs() < 0.05,
+            "realized {realized} vs global fraction {f}"
+        );
+    }
+
+    #[test]
+    fn weights_skew_the_fair_share() {
+        // Equal offered rates, 3:1 weights, a global fraction around
+        // one half: the light lane sheds much more than the heavy one
+        // (keep budget 0.5·R splits 3:1, so a sheds ~25% of its rate
+        // while b sheds ~75%).
+        let c = fair(Some(100));
+        c.set_lanes(&[
+            LaneSpec {
+                name: "a".into(),
+                weight: 3.0,
+                constraint: None,
+            },
+            LaneSpec {
+                name: "b".into(),
+                weight: 1.0,
+                constraint: None,
+            },
+        ])
+        .unwrap();
+        let t = c.base().threshold();
+        for _ in 0..t - 13 {
+            c.base().on_enqueue();
+        }
+        let (_, a_shed, _, b_shed) = drive(&c, 4_000, 1);
+        assert!(
+            b_shed > a_shed * 2,
+            "light lane sheds more (a={a_shed}, b={b_shed})"
+        );
+    }
+
+    #[test]
+    fn untagged_tuples_land_in_the_first_lane() {
+        let c = fair(Some(100));
+        c.set_lanes(&[
+            LaneSpec {
+                name: "default".into(),
+                weight: 1.0,
+                constraint: None,
+            },
+            LaneSpec {
+                name: "b".into(),
+                weight: 1.0,
+                constraint: None,
+            },
+        ])
+        .unwrap();
+        c.decide(None);
+        c.decide(Some("nobody"));
+        c.decide(Some("b"));
+        let states = c.lane_states();
+        assert_eq!(states[0].kept + states[0].shed, 2);
+        assert_eq!(states[1].kept + states[1].shed, 1);
+    }
+
+    #[test]
+    fn lane_counters_survive_set_lanes() {
+        let c = fair(None);
+        let spec_a = LaneSpec {
+            name: "a".into(),
+            weight: 1.0,
+            constraint: None,
+        };
+        c.set_lanes(std::slice::from_ref(&spec_a)).unwrap();
+        for _ in 0..5 {
+            c.decide(Some("a"));
+        }
+        c.set_lanes(&[
+            spec_a,
+            LaneSpec {
+                name: "b".into(),
+                weight: 1.0,
+                constraint: None,
+            },
+        ])
+        .unwrap();
+        assert_eq!(c.lane_states()[0].kept, 5, "a's counters carried over");
     }
 
     #[test]

@@ -46,6 +46,34 @@ pub struct SynPair {
     pub dropped: Synopsis,
 }
 
+/// One query's closed window plus the mass accounting behind the
+/// per-query accuracy-proxy gauge.
+#[derive(Debug, Clone)]
+pub struct QueryClose {
+    /// The window's merged results.
+    pub payload: WindowPayload,
+    /// Total |value| mass of the exact (kept-tuple) result: summed
+    /// absolute aggregate values for grouping queries, the output row
+    /// count otherwise.
+    pub exact_mass: f64,
+    /// Total |value| mass of the merged result (exact + estimate),
+    /// measured before HAVING filters groups.
+    pub merged_mass: f64,
+}
+
+impl QueryClose {
+    /// The fraction of the merged mass contributed by synopsis
+    /// estimation rather than exact execution, in `[0, 1]` — a cheap
+    /// per-window proxy for relative RMS error (0 = fully exact).
+    pub fn estimated_share(&self) -> f64 {
+        if self.merged_mass <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.exact_mass / self.merged_mass).clamp(0.0, 1.0)
+        }
+    }
+}
+
 /// Per-query compiled state.
 #[derive(Debug, Clone)]
 pub(crate) struct QueryRuntime {
@@ -245,10 +273,8 @@ impl QueryExecutor {
             .queries
             .get(q)
             .ok_or_else(|| DtError::config(format!("unknown query {q}")))?;
-        let estimate = match (&query.shadow, pairs) {
-            (Some(shadow), Some(pairs)) => {
-                // Shared synopses are read in place; only the shadow
-                // plan's own operations materialize new structures.
+        let estimate = match pairs {
+            Some(pairs) => {
                 let kept: Vec<&Synopsis> =
                     query.stream_map.iter().map(|&si| &pairs[si].kept).collect();
                 let dropped: Vec<&Synopsis> = query
@@ -256,12 +282,44 @@ impl QueryExecutor {
                     .iter()
                     .map(|&si| &pairs[si].dropped)
                     .collect();
-                Some(evaluate_ref(&shadow.plan, &kept, &dropped)?)
+                Self::estimate_ref(query, &kept, &dropped)?
             }
-            _ => None,
+            None => None,
         };
+        Ok(Self::build_payload(query, exact, estimate)?.payload)
+    }
 
+    /// The shadow estimate over per-stream synopsis references (the
+    /// shared synopses are read in place; only the shadow plan's own
+    /// operations materialize new structures).
+    fn estimate_ref(
+        query: &QueryRuntime,
+        kept: &[&Synopsis],
+        dropped: &[&Synopsis],
+    ) -> DtResult<Option<Synopsis>> {
+        match &query.shadow {
+            Some(shadow) => Ok(Some(evaluate_ref(&shadow.plan, kept, dropped)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Merge one query's exact output with its estimate, apply HAVING
+    /// to the merged values, and account the exact/merged masses the
+    /// accuracy-proxy gauge reports.
+    fn build_payload(
+        query: &QueryRuntime,
+        exact: WindowOutput,
+        estimate: Option<Synopsis>,
+    ) -> DtResult<QueryClose> {
         if query.plan.is_aggregating() || !query.plan.group_by.is_empty() {
+            let exact_mass: f64 = exact
+                .groups()
+                .map(|g| {
+                    g.values()
+                        .map(|aggs| aggs.iter().map(|a| a.value.abs()).sum::<f64>())
+                        .sum()
+                })
+                .unwrap_or(0.0);
             let mut merged = match (&query.shadow, &estimate) {
                 (Some(sh), Some(est)) => merge_window(&query.plan, sh, &exact, Some(est))?,
                 (Some(sh), None) => merge_window(&query.plan, sh, &exact, None)?,
@@ -274,6 +332,10 @@ impl QueryExecutor {
                     })
                     .unwrap_or_default(),
             };
+            let merged_mass: f64 = merged
+                .values()
+                .map(|vals| vals.iter().map(|v| v.abs()).sum::<f64>())
+                .sum();
             // HAVING applies to the *final* (merged) values, so an
             // estimated contribution can push a group over the
             // threshold, exactly as processing the dropped tuples
@@ -281,7 +343,11 @@ impl QueryExecutor {
             if !query.plan.having.is_empty() {
                 merged.retain(|_, vals| query.plan.having_accepts(vals));
             }
-            Ok(WindowPayload::Groups(merged))
+            Ok(QueryClose {
+                payload: WindowPayload::Groups(merged),
+                exact_mass,
+                merged_mass,
+            })
         } else {
             let rows = match exact {
                 WindowOutput::Rows(r) => r,
@@ -291,11 +357,62 @@ impl QueryExecutor {
                     ))
                 }
             };
-            Ok(WindowPayload::Rows {
-                rows,
-                lost: estimate,
+            let exact_mass = rows.len() as f64;
+            let lost_mass = estimate.as_ref().map(|s| s.total_mass()).unwrap_or(0.0);
+            Ok(QueryClose {
+                payload: WindowPayload::Rows {
+                    rows,
+                    lost: estimate,
+                },
+                exact_mass,
+                merged_mass: exact_mass + lost_mass,
             })
         }
+    }
+
+    /// Close one window for query `q` where the caller supplies this
+    /// executor's per-stream state *by reference* — `shared_rows[i]`
+    /// and `pairs[i]` belong to executor stream `i`. A registry
+    /// fanning one sealed server window out to many attached queries
+    /// selects each query's slices out of a server-wide table without
+    /// cloning a single row or synopsis.
+    pub fn close_ref(
+        &self,
+        q: usize,
+        shared_rows: &[&[Row]],
+        pairs: Option<&[&SynPair]>,
+    ) -> DtResult<QueryClose> {
+        let query = self
+            .queries
+            .get(q)
+            .ok_or_else(|| DtError::config(format!("unknown query {q}")))?;
+        if shared_rows.len() != self.streams.len() {
+            return Err(DtError::config(format!(
+                "close_ref got {} streams, executor has {}",
+                shared_rows.len(),
+                self.streams.len()
+            )));
+        }
+        let inputs: Vec<Vec<&Row>> = query
+            .stream_map
+            .iter()
+            .map(|&si| shared_rows[si].iter().collect())
+            .collect();
+        let exact = self.metrics.execute_window_rows(&query.plan, &inputs)?;
+        let estimate = match pairs {
+            Some(pairs) => {
+                let kept: Vec<&Synopsis> =
+                    query.stream_map.iter().map(|&si| &pairs[si].kept).collect();
+                let dropped: Vec<&Synopsis> = query
+                    .stream_map
+                    .iter()
+                    .map(|&si| &pairs[si].dropped)
+                    .collect();
+                Self::estimate_ref(query, &kept, &dropped)?
+            }
+            None => None,
+        };
+        Self::build_payload(query, exact, estimate)
     }
 
     /// Close one window for every query: exact batch execution over
@@ -370,6 +487,42 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn close_ref_matches_close_batch_and_accounts_mass() {
+        let exec = QueryExecutor::new(
+            vec![plan("SELECT a, COUNT(*) FROM R GROUP BY a")],
+            ShedMode::DataTriage,
+        )
+        .unwrap();
+        let cfg = SynopsisConfig::Sparse { cell_width: 1 };
+        let mut pairs = exec.empty_pairs(&cfg).unwrap();
+        let rows = vec![vec![Row::from_ints(&[1]); 3]];
+        for _ in 0..2 {
+            pairs[0].dropped.insert(&[1]).unwrap();
+        }
+        for _ in 0..3 {
+            pairs[0].kept.insert(&[1]).unwrap();
+        }
+        for p in &mut pairs {
+            p.kept.seal();
+            p.dropped.seal();
+        }
+        let batch = exec.close_batch(&rows, Some(&pairs)).unwrap();
+        let row_refs: Vec<&[Row]> = rows.iter().map(|r| r.as_slice()).collect();
+        let pair_refs: Vec<&SynPair> = pairs.iter().collect();
+        let close = exec.close_ref(0, &row_refs, Some(&pair_refs)).unwrap();
+        match (&batch[0], &close.payload) {
+            (WindowPayload::Groups(a), WindowPayload::Groups(b)) => assert_eq!(a, b),
+            other => panic!("{other:?}"),
+        }
+        // 3 exact + 2 estimated of the 5 merged: 40% estimated.
+        assert!((close.exact_mass - 3.0).abs() < 1e-9);
+        assert!((close.merged_mass - 5.0).abs() < 1e-9);
+        assert!((close.estimated_share() - 0.4).abs() < 1e-9);
+        // Wrong stream count is rejected.
+        assert!(exec.close_ref(0, &[], None).is_err());
     }
 
     #[test]

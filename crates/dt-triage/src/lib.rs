@@ -63,9 +63,10 @@ pub mod stream;
 mod winmap;
 
 pub use controller::{
-    ControllerState, DelayConstraint, Ewma, LoadController, SharedController, ShedDecision,
+    ControllerState, DelayConstraint, Ewma, FairController, LaneSpec, LaneState, LoadController,
+    SharedController, ShedDecision, FAIR_EPOCH,
 };
-pub use executor::{QueryExecutor, SharedStream, SynPair};
+pub use executor::{QueryClose, QueryExecutor, SharedStream, SynPair};
 pub use merge::{merge_window, MergedGroups};
 pub use obs::{ControllerGauges, StreamObs, TriageObs};
 pub use pipeline::{

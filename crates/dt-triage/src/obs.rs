@@ -161,6 +161,12 @@ pub struct StreamObs {
     pub dropped: Counter,
     /// Stragglers whose windows were already sealed.
     pub late: Counter,
+    /// Synopsis inserts performed on this stream (kept + dropped,
+    /// one per containing window). This is the shared-triage
+    /// invariant's witness: the count depends only on the stream's
+    /// traffic and window overlap, never on how many queries read the
+    /// stream.
+    pub synopsis_inserts: Counter,
     /// Shared sampled synopsis-insert latency, µs.
     pub synopsis_insert_us: Histogram,
     tick: u64,
@@ -198,6 +204,11 @@ impl StreamObs {
                     ("mode", mode_label),
                     ("outcome", "late"),
                 ],
+            ),
+            synopsis_inserts: reg.counter(
+                "dt_triage_synopsis_inserts_total",
+                "Synopsis inserts performed per stream (independent of attached query count)",
+                &[("stream", stream)],
             ),
             synopsis_insert_us: reg.histogram(
                 "dt_triage_synopsis_insert_us",

@@ -188,6 +188,7 @@ impl StreamTriage {
             row_point_into(&tuple.row, &mut point)?;
         }
         let mut landed = false;
+        let mut inserts = 0u64;
         for w in self.spec.windows_of(tuple.ts) {
             if w < self.next_seal {
                 continue;
@@ -200,8 +201,12 @@ impl StreamTriage {
             if summarize {
                 if let Some(syn) = &mut st.syn {
                     syn.kept.insert(&point)?;
+                    inserts += 1;
                 }
             }
+        }
+        if inserts > 0 {
+            self.obs.synopsis_inserts.add(inserts);
         }
         self.point_scratch = point;
         if let Some(t0) = t0 {
@@ -246,6 +251,7 @@ impl StreamTriage {
             row_point_into(&tuple.row, &mut point)?;
         }
         let mut landed = false;
+        let mut inserts = 0u64;
         for w in self.spec.windows_of(tuple.ts) {
             if w < self.next_seal {
                 continue;
@@ -257,8 +263,12 @@ impl StreamTriage {
             if summarize {
                 if let Some(syn) = &mut st.syn {
                     syn.dropped.insert(&point)?;
+                    inserts += 1;
                 }
             }
+        }
+        if inserts > 0 {
+            self.obs.synopsis_inserts.add(inserts);
         }
         self.point_scratch = point;
         if let Some(t0) = t0 {

@@ -14,11 +14,21 @@ pub type DtResult<T> = Result<T, DtError>;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DtError {
     /// Lexer/parser failure, with a position in the query text.
+    ///
+    /// The narrow field types are deliberate: `DtResult` rides the
+    /// per-tuple hot path (synopsis inserts, window routing), so this
+    /// — the widest variant — must not grow the enum past one cache
+    /// half-line. `u32`/`u16` comfortably cover any statement a human
+    /// or a client sends; out-of-range coordinates saturate.
     Parse {
         /// What went wrong, in parser terms.
         message: String,
         /// Byte offset into the query text where the failure was found.
-        position: usize,
+        position: u32,
+        /// 1-based line of the failure (0 when unknown).
+        line: u16,
+        /// 1-based column of the failure (0 when unknown).
+        column: u16,
     },
     /// Semantic analysis / logical planning failure.
     Plan(String),
@@ -38,7 +48,61 @@ pub enum DtError {
     Timeout(String),
 }
 
+/// The 1-based (line, column) of byte offset `position` in `source`.
+/// Columns count bytes, which matches how editors address the ASCII
+/// SQL dialect; an out-of-range offset clamps to the end of the text.
+pub fn line_col_at(source: &str, position: usize) -> (u32, u32) {
+    let upto = position.min(source.len());
+    let mut line = 1u32;
+    let mut col = 1u32;
+    for b in source.as_bytes()[..upto].iter() {
+        if *b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
 impl DtError {
+    /// Shorthand constructor for parse errors at a byte offset, with
+    /// the line/column left unknown (fill them with
+    /// [`DtError::located_in`] once the source text is in hand).
+    pub fn parse_at(message: impl Into<String>, position: usize) -> Self {
+        DtError::Parse {
+            message: message.into(),
+            position: position.min(u32::MAX as usize) as u32,
+            line: 0,
+            column: 0,
+        }
+    }
+
+    /// For a [`DtError::Parse`] whose line/column are unknown, derive
+    /// them from `source` (the query text the byte offset indexes).
+    /// Every other error — and one already located — passes through
+    /// unchanged.
+    pub fn located_in(self, source: &str) -> Self {
+        match self {
+            DtError::Parse {
+                message,
+                position,
+                line: 0,
+                column: 0,
+            } => {
+                let (line, column) = line_col_at(source, position as usize);
+                DtError::Parse {
+                    message,
+                    position,
+                    line: line.min(u16::MAX as u32) as u16,
+                    column: column.min(u16::MAX as u32) as u16,
+                }
+            }
+            other => other,
+        }
+    }
+
     /// Shorthand constructor for planning errors.
     pub fn plan(msg: impl Into<String>) -> Self {
         DtError::Plan(msg.into())
@@ -83,8 +147,17 @@ impl DtError {
 impl fmt::Display for DtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DtError::Parse { message, position } => {
-                write!(f, "parse error at byte {position}: {message}")
+            DtError::Parse {
+                message,
+                position,
+                line,
+                column,
+            } => {
+                if *line > 0 {
+                    write!(f, "parse error at line {line}, column {column}: {message}")
+                } else {
+                    write!(f, "parse error at byte {position}: {message}")
+                }
             }
             DtError::Plan(m) => write!(f, "planning error: {m}"),
             DtError::Schema(m) => write!(f, "schema error: {m}"),
@@ -105,11 +178,15 @@ mod tests {
 
     #[test]
     fn display_includes_stage_and_message() {
-        let e = DtError::Parse {
-            message: "unexpected token".into(),
-            position: 12,
-        };
+        let e = DtError::parse_at("unexpected token", 12);
         assert_eq!(e.to_string(), "parse error at byte 12: unexpected token");
+        let located = e.located_in("SELECT a FROM\nR WHERE ?");
+        assert_eq!(
+            located.to_string(),
+            "parse error at line 1, column 13: unexpected token"
+        );
+        // Locating is idempotent: known coordinates pass through.
+        assert_eq!(located.clone().located_in("x"), located);
         assert_eq!(
             DtError::plan("no such stream").to_string(),
             "planning error: no such stream"
@@ -135,6 +212,16 @@ mod tests {
         assert_eq!(t.to_string(), "timed out: stats read after 5s");
         assert!(t.is_timeout());
         assert!(!DtError::engine("boom").is_timeout());
+    }
+
+    #[test]
+    fn line_col_counts_lines_and_clamps() {
+        let src = "SELECT *\nFROM R\nWHERE x";
+        assert_eq!(line_col_at(src, 0), (1, 1));
+        assert_eq!(line_col_at(src, 9), (2, 1));
+        assert_eq!(line_col_at(src, 14), (2, 6));
+        assert_eq!(line_col_at(src, 16), (3, 1));
+        assert_eq!(line_col_at(src, 999), (3, 8));
     }
 
     #[test]

@@ -205,10 +205,7 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, what: &str) -> DtError {
-        DtError::Parse {
-            message: format!("{what} (JSON)"),
-            position: self.pos,
-        }
+        DtError::parse_at(format!("{what} (JSON)"), self.pos)
     }
 
     fn skip_ws(&mut self) {

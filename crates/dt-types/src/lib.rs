@@ -32,7 +32,7 @@ pub mod value;
 pub mod window;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
-pub use error::{DtError, DtResult};
+pub use error::{line_col_at, DtError, DtResult};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use json::{Json, ToJson};
 pub use row::{Row, Tuple};

@@ -33,7 +33,9 @@ pub fn parse_trace(text: &str) -> DtResult<Vec<(usize, Tuple)>> {
         }
         let err = |msg: String| DtError::Parse {
             message: msg,
-            position: lineno + 1,
+            position: (lineno + 1) as u32,
+            line: (lineno + 1).min(u16::MAX as usize) as u16,
+            column: 1,
         };
         let mut parts = line.split(',');
         let ts: u64 = parts
@@ -132,7 +134,9 @@ mod tests {
     fn rejects_time_travel_with_line_number() {
         let err = parse_trace("2000,0,1\n1000,0,2").unwrap_err();
         match err {
-            DtError::Parse { position, message } => {
+            DtError::Parse {
+                position, message, ..
+            } => {
                 assert_eq!(position, 2);
                 assert!(message.contains("non-decreasing"));
             }
