@@ -95,6 +95,12 @@ grep -q 'SELECT a, SUM(a) FROM R GROUP BY a' /tmp/registry_stats.json
 kill "$REG_PID" 2>/dev/null || true
 wait "$REG_PID" 2>/dev/null || true
 
+# Columnar-equivalence gate: the vectorized executor and the batched
+# synopsis inserts must stay bit-identical to the row-at-a-time
+# reference across randomized plans and inputs.
+cargo test -q -p dt-engine --test columnar_equivalence
+cargo test -q -p dt-synopsis --test columnar_equivalence
+
 # Bench smoke: every criterion harness must run end to end on a tiny
 # time budget, and the perf-trajectory snapshot must regenerate. The
 # numbers themselves are not gated here (CI hardware is too noisy);
@@ -103,6 +109,12 @@ wait "$REG_PID" 2>/dev/null || true
 CRITERION_BUDGET_MS=25 cargo bench -p dt-bench
 cargo run --release -p dt-bench --bin fig8 -- --quick
 cargo run --release -p dt-bench --bin bench_baseline -- --out /tmp/bench_smoke.json
+
+# Perf-regression smoke: re-measure the headline metrics and fail if
+# any is >10 % worse than the committed BENCH_baseline.json after
+# machine-drift normalization (see bench_baseline's calibration
+# kernel). --quick keeps it cheap; suspicious metrics self-escalate.
+cargo run --release -p dt-bench --bin bench_baseline -- --compare --quick
 
 # Delay-constraint smoke: the adaptive-controller sweep (DESIGN.md
 # §11) must run end to end; its latency/deadline guarantees are gated

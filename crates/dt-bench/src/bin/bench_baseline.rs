@@ -8,7 +8,22 @@
 //! ```sh
 //! cargo run --release -p dt-bench --bin bench_baseline            # 3 reps
 //! cargo run --release -p dt-bench --bin bench_baseline -- --reps 10
+//! # regression gate: re-measure and fail if any headline metric is
+//! # >10 % worse than the committed BENCH_baseline.json
+//! cargo run --release -p dt-bench --bin bench_baseline -- --compare --quick
 //! ```
+//!
+//! `--compare` never writes: it loads the committed baseline (override
+//! with `--baseline PATH`), re-measures the headline metrics live, and
+//! exits non-zero listing every metric that regressed past its
+//! per-metric tolerance (see [`HEADLINE`]). `--quick` drops to one rep
+//! per bench for CI smoke use; min-of-1 only ever over-estimates, so a
+//! quick pass is trustworthy and a quick failure is worth re-running
+//! deeper.
+//!
+//! Write mode appends one entry to the `trajectory` array per
+//! invocation (label it with `--label`), so the JSON records each
+//! optimization generation, not just the latest.
 //!
 //! Methodology note: the `baseline` fields below were measured on the
 //! same machine in the same session as the optimized numbers, by
@@ -174,7 +189,7 @@ fn queue_push_random_ns(reps: usize) -> f64 {
     }) * 1e9
 }
 
-fn entry(name: &str, unit: &str, before: f64, after: f64) -> Json {
+fn entry(name: &str, unit: &str, before: f64, after: f64, cal: f64) -> Json {
     obj(vec![
         ("name", Json::Str(name.to_string())),
         ("unit", Json::Str(unit.to_string())),
@@ -185,33 +200,299 @@ fn entry(name: &str, unit: &str, before: f64, after: f64) -> Json {
             "speedup",
             Json::Num((before / after * 100.0).round() / 100.0),
         ),
+        // Calibration-kernel reading taken right before `current` was
+        // measured: host contention on this box swings on second
+        // timescales, so `--compare` normalizes each metric by its own
+        // contemporaneous machine speed, not a process-global one.
+        ("cal_ns", Json::Num(cal)),
     ])
+}
+
+/// The headline metrics, `(name, unit, tolerance)`; names match the
+/// `benches` array in the committed JSON. Lower is always better.
+///
+/// Tolerance is the worse-than-committed ratio `--compare` fails at,
+/// sized per metric to ~2x the cross-process variance of
+/// drift-normalized mins observed on the 1-vCPU shared-host CI box:
+/// the two execution-kernel benches normalize well (±10 %) and get a
+/// tight 15 % gate, while fig8 (a threaded wall-clock sweep) and the
+/// sub-millisecond queue microbench swing ±20-35 % from host steal
+/// alone and get gates wide enough to not cry wolf — a real
+/// regression of interest (e.g. the columnar path degrading to the
+/// row path) is a multiple, not a percentage.
+const HEADLINE: [(&str, &str, f64); 4] = [
+    ("fig8_quick_wall_clock", "seconds", 1.50),
+    (
+        "pipeline_8k_tuples_4x_overload/data-triage",
+        "ns_per_iter",
+        1.15,
+    ),
+    (
+        "window_exec_3way_join/batch/400_per_stream",
+        "ns_per_iter",
+        1.15,
+    ),
+    ("queue_push_10k_cap100/random", "ns_per_iter", 1.30),
+];
+
+/// Calibration kernel: a fixed CPU/memory-bound loop, independent of
+/// any code this workspace optimizes, timed min-of-5. Its ratio
+/// between two sessions estimates machine-speed drift, so `--compare`
+/// can normalize absolute numbers measured on different days (the
+/// methodology note: ±25 % session drift is routine here).
+fn calibration_ns() -> f64 {
+    min_secs(5, || {
+        // Shaped like the benches — per-pass Vec growth, hash-style
+        // mixing, and scattered access over an L2-busting buffer —
+        // rather than pure ALU, so host-side memory-subsystem or
+        // allocator contention moves this number the same way it
+        // moves the real measurements. (A sequential ALU kernel sits
+        // in registers and L2 and reads "fast" while alloc-heavy
+        // benches crater, which mis-normalizes exactly when it
+        // matters.)
+        const MASK: usize = (1 << 20) - 1;
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut buf = vec![0u64; 1 << 20];
+        for _ in 0..4 {
+            let mut scratch: Vec<u64> = Vec::new();
+            for i in 0..(1u64 << 16) {
+                // xorshift* — cheap, serial, and opaque to the
+                // optimizer once black_boxed below.
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                let h = x.wrapping_mul(0x2545F4914F6CDD1D);
+                let idx = (h as usize) & MASK;
+                buf[idx] = buf[idx].wrapping_add(h ^ i);
+                scratch.push(h);
+            }
+            std::hint::black_box(scratch.len());
+        }
+        std::hint::black_box(buf[x as usize & MASK]);
+    }) * 1e9
+}
+
+/// Measure one headline metric by name.
+fn measure_one(name: &str, reps: usize) -> f64 {
+    match name {
+        "fig8_quick_wall_clock" => fig8_quick_secs(reps),
+        "pipeline_8k_tuples_4x_overload/data-triage" => pipeline_dt_pair_ns(reps, None).0,
+        "window_exec_3way_join/batch/400_per_stream" => window_exec_400_ns(reps),
+        "queue_push_10k_cap100/random" => queue_push_random_ns(reps),
+        other => unreachable!("unknown headline metric {other}"),
+    }
+}
+
+/// `--compare`: re-measure and gate against the committed baseline.
+/// Exits non-zero when any headline metric is worse than its stored
+/// `current` value by more than that metric's [`HEADLINE`] tolerance.
+///
+/// The committed values are min-of-many; a shallow live min (all
+/// `--quick` affords) routinely lands 10-50 % above them from cold
+/// caches alone. So a metric that trips the tolerance is re-measured
+/// at up to 25 reps, each round drift-normalized by a contemporaneous
+/// calibration run — the running min over normalized samples only
+/// ever tightens, so escalation can acquit a noisy first read but
+/// never excuse a real regression.
+fn run_compare(baseline_path: &str, reps: usize) -> ! {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+    let doc = Json::parse(&text).expect("parse baseline json");
+    let committed: Vec<(String, f64, Option<f64>)> = doc
+        .get("benches")
+        .and_then(Json::as_arr)
+        .expect("baseline json has a benches array")
+        .iter()
+        .map(|b| {
+            (
+                b.get("name")
+                    .and_then(Json::as_str)
+                    .expect("bench name")
+                    .to_string(),
+                b.get("current")
+                    .and_then(Json::as_f64)
+                    .expect("bench current value"),
+                b.get("cal_ns").and_then(Json::as_f64),
+            )
+        })
+        .collect();
+    // Drift normalization: the committed numbers were taken at some
+    // other moment's machine speed. Host contention on this box comes
+    // and goes on second timescales, so each stored metric carries the
+    // calibration reading taken next to it (`cal_ns`, falling back to
+    // the process-global `calibration_ns`), and every live measurement
+    // round re-runs the kernel: both sides of the tolerance test are
+    // normalized by a contemporaneous reading of the machine.
+    let global_cal = doc.get("calibration_ns").and_then(Json::as_f64);
+    let drift_now = |stored_cal: Option<f64>| match stored_cal.or(global_cal) {
+        Some(sc) => {
+            let d = calibration_ns() / sc;
+            eprintln!("    (machine drift x{d:.3})");
+            d
+        }
+        None => 1.0,
+    };
+    eprintln!("comparing against {baseline_path} ({reps} reps per bench)...");
+    let mut regressions = Vec::new();
+    for (name, unit, tolerance) in HEADLINE {
+        let Some((_, stored, stored_cal)) = committed.iter().find(|(n, ..)| n == name) else {
+            eprintln!("  {name}: not in baseline, skipped");
+            continue;
+        };
+        // Escalating rounds: each one measures the metric and divides
+        // by that round's drift; the running min over normalized
+        // samples only ever tightens, so deeper rounds can acquit a
+        // noisy first read but never excuse a real regression.
+        let mut value = f64::INFINITY;
+        let rounds = [reps, 10.max(reps), 25];
+        for (i, round_reps) in rounds.into_iter().enumerate() {
+            let v = measure_one(name, round_reps) / drift_now(*stored_cal);
+            value = value.min(v);
+            if value / stored <= tolerance || i + 1 == rounds.len() {
+                break;
+            }
+            eprintln!("  {name}: {value:.3e} over tolerance at {round_reps} rep(s), escalating");
+        }
+        let ratio = value / stored;
+        let verdict = if ratio > tolerance {
+            regressions.push(format!(
+                "{name}: {value:.3e} {unit} vs committed {stored:.3e} \
+                 ({:+.1} %, tolerance {:+.0} %)",
+                (ratio - 1.0) * 100.0,
+                (tolerance - 1.0) * 100.0
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {verdict:>9}  {name}: {value:.3e} {unit} (committed {stored:.3e}, {:+.1} % \
+             of {:+.0} % allowed)",
+            (ratio - 1.0) * 100.0,
+            (tolerance - 1.0) * 100.0
+        );
+    }
+    if regressions.is_empty() {
+        println!(
+            "compare: all {} headline metrics within tolerance of {baseline_path}",
+            HEADLINE.len(),
+        );
+        std::process::exit(0);
+    }
+    eprintln!("compare: {} metric(s) regressed:", regressions.len());
+    for r in &regressions {
+        eprintln!("  {r}");
+    }
+    std::process::exit(1);
+}
+
+/// The `trajectory` array carried forward from a prior output file —
+/// or, for a file written before trajectories existed, synthesized
+/// from its `baseline`/`current` pairs so history is never dropped.
+fn prior_trajectory(out_path: &str) -> Vec<Json> {
+    let Ok(text) = std::fs::read_to_string(out_path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return Vec::new();
+    };
+    if let Some(t) = doc.get("trajectory").and_then(Json::as_arr) {
+        return t.to_vec();
+    }
+    // Pre-trajectory file: its benches hold two generations.
+    let Some(benches) = doc.get("benches").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    let gen = |field: &str, label: &str| {
+        obj(vec![
+            ("label", Json::Str(label.into())),
+            (
+                "metrics",
+                obj(benches
+                    .iter()
+                    .filter_map(|b| {
+                        Some((
+                            b.get("name").and_then(Json::as_str)?,
+                            Json::Num(b.get(field).and_then(Json::as_f64)?),
+                        ))
+                    })
+                    .collect()),
+            ),
+        ])
+    };
+    let commit = doc
+        .get("baseline_commit")
+        .and_then(Json::as_str)
+        .unwrap_or("baseline");
+    vec![gen("baseline", commit), gen("current", "pre-columnar")]
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut reps = 3usize;
     let mut out = "BENCH_baseline.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut label = "unlabeled".to_string();
     let mut obs = false;
+    let mut compare = false;
+    let mut quick = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--reps" => reps = args.next().and_then(|v| v.parse().ok()).unwrap_or(reps),
             "--out" => out = args.next().unwrap_or(out),
+            "--baseline" => baseline_path = args.next(),
+            "--label" => label = args.next().unwrap_or(label),
             "--obs" => obs = true,
+            "--compare" => compare = true,
+            "--quick" => quick = true,
             other => {
                 eprintln!("unknown arg {other}");
                 std::process::exit(2);
             }
         }
     }
+    if quick {
+        reps = 1;
+    }
+    if compare {
+        let path = baseline_path.unwrap_or_else(|| "BENCH_baseline.json".to_string());
+        run_compare(&path, reps);
+    }
 
     eprintln!("measuring ({reps} reps per bench)...");
+    // Each metric gets a calibration reading taken immediately before
+    // it, so the committed (current, cal_ns) pairs are contemporaneous
+    // even when host contention shifts mid-run.
+    let cal = calibration_ns();
     let fig8 = fig8_quick_secs(reps);
+    let cal_pipeline = calibration_ns();
     let mut reg = MetricsRegistry::disabled();
     let (pipeline, pipeline_obs) = pipeline_dt_pair_ns(reps, obs.then_some(&mut reg));
+    let cal_window = calibration_ns();
     let window = window_exec_400_ns(reps);
+    let cal_queue = calibration_ns();
     let queue = queue_push_random_ns(reps);
     let overhead_pct = (pipeline_obs / pipeline - 1.0) * 100.0;
+
+    let mut trajectory = prior_trajectory(&out);
+    trajectory.push(obj(vec![
+        ("label", Json::Str(label)),
+        (
+            "metrics",
+            obj(vec![
+                ("fig8_quick_wall_clock", Json::Num(fig8)),
+                (
+                    "pipeline_8k_tuples_4x_overload/data-triage",
+                    Json::Num(pipeline),
+                ),
+                (
+                    "window_exec_3way_join/batch/400_per_stream",
+                    Json::Num(window),
+                ),
+                ("queue_push_10k_cap100/random", Json::Num(queue)),
+            ]),
+        ),
+    ]));
 
     let doc =
         obj(vec![
@@ -224,6 +505,10 @@ fn main() {
                     .into(),
             ),
         ),
+        // Machine-speed reference for `--compare` (same session as the
+        // numbers below): a fixed kernel whose live/stored ratio
+        // rescales them onto a future session's clock.
+        ("calibration_ns", Json::Num(cal)),
         (
             "benches",
             Json::Arr(vec![
@@ -232,24 +517,28 @@ fn main() {
                     "seconds",
                     baseline::FIG8_QUICK_SECS,
                     fig8,
+                    cal,
                 ),
                 entry(
                     "pipeline_8k_tuples_4x_overload/data-triage",
                     "ns_per_iter",
                     baseline::PIPELINE_DT_NS,
                     pipeline,
+                    cal_pipeline,
                 ),
                 entry(
                     "window_exec_3way_join/batch/400_per_stream",
                     "ns_per_iter",
                     baseline::WINDOW_EXEC_400_NS,
                     window,
+                    cal_window,
                 ),
                 entry(
                     "queue_push_10k_cap100/random",
                     "ns_per_iter",
                     baseline::QUEUE_PUSH_RANDOM_NS,
                     queue,
+                    cal_queue,
                 ),
             ]),
         ),
@@ -267,6 +556,9 @@ fn main() {
                 ("budget_pct", Json::Num(3.0)),
             ]),
         ),
+        // One entry per optimization generation, oldest first; write
+        // mode appends the live measurement under `--label`.
+        ("trajectory", Json::Arr(trajectory)),
     ]);
     std::fs::write(&out, doc.render_pretty()).expect("write baseline json");
     println!("{}", doc.render_pretty());

@@ -69,13 +69,20 @@ fn measure_pair(reps: usize) -> (f64, f64) {
 
 #[test]
 fn metrics_enabled_pipeline_stays_within_three_percent() {
-    let (off, on) = measure_pair(5);
-    if on <= off * BUDGET {
-        return;
+    // Escalating re-measures before failing: min-of-N tightens with N
+    // and the mins carry across rounds, so only a regression that
+    // persists through every deeper sample is treated as real. Debug
+    // builds run this body ~10x slower than release, where scheduler
+    // noise routinely exceeds the 3 % budget at shallow rep counts.
+    let (mut off, mut on) = measure_pair(5);
+    for reps in [15, 45] {
+        if on <= off * BUDGET {
+            return;
+        }
+        let (off2, on2) = measure_pair(reps);
+        off = off.min(off2);
+        on = on.min(on2);
     }
-    // One deeper re-measure before failing: min-of-N tightens with N,
-    // so only a regression that persists at 15 reps is treated as real.
-    let (off, on) = measure_pair(15);
     assert!(
         on <= off * BUDGET,
         "metrics-enabled pipeline is {:.2}% over the disabled baseline (budget 3%): \

@@ -33,12 +33,25 @@ impl AggState {
     /// `COUNT(col)`) skip rows whose argument is NULL or non-numeric,
     /// following SQL semantics.
     pub fn update(&mut self, row: &Row) {
-        let Some(arg) = self.arg else {
+        let v = self
+            .arg
+            .and_then(|arg| row.get(arg).and_then(Value::as_f64));
+        self.update_value(v);
+    }
+
+    /// Fold one already-fetched argument value — the columnar
+    /// executor's entry point ([`crate::batch_exec`] reads arguments
+    /// straight from typed column slices). `None` means the argument
+    /// was NULL or non-numeric; `COUNT(*)` (no argument) counts the
+    /// row regardless.
+    #[inline]
+    pub fn update_value(&mut self, v: Option<f64>) {
+        if self.arg.is_none() {
             // COUNT(*).
             self.count += 1;
             return;
-        };
-        let Some(v) = row.get(arg).and_then(Value::as_f64) else {
+        }
+        let Some(v) = v else {
             return;
         };
         self.count += 1;

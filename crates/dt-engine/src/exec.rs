@@ -54,7 +54,28 @@ impl WindowOutput {
 
 /// Execute the plan exactly over one window's worth of rows per
 /// stream (`inputs[i]` holds stream `i`'s rows, FROM order).
+///
+/// Routes through the vectorized columnar executor
+/// ([`crate::batch_exec::execute_window_cols`]) when every row matches
+/// its stream's declared arity — the conversion is one column-build
+/// pass and the result is bit-identical to the row path. Mis-shaped
+/// rows (never produced by the triage pipeline, which validates arity
+/// at ingest) take the row path unchanged.
 pub fn execute_window(plan: &QueryPlan, inputs: &[Vec<Row>]) -> DtResult<WindowOutput> {
+    if inputs.len() == plan.streams.len()
+        && inputs.iter().zip(&plan.streams).all(|(rows, b)| {
+            let arity = b.schema.arity();
+            rows.iter().all(|r| r.arity() == arity)
+        })
+    {
+        let batches: Vec<dt_types::ColumnBatch> = inputs
+            .iter()
+            .zip(&plan.streams)
+            .map(|(rows, b)| dt_types::ColumnBatch::from_rows(b.schema.arity(), rows))
+            .collect();
+        let refs: Vec<&dt_types::ColumnBatch> = batches.iter().collect();
+        return crate::batch_exec::execute_window_cols(plan, &refs);
+    }
     let refs: Vec<&[Row]> = inputs.iter().map(Vec::as_slice).collect();
     execute_window_ref(plan, &refs)
 }

@@ -23,6 +23,7 @@
 //! `dt-triage`.
 
 pub mod aggregate;
+pub mod batch_exec;
 pub mod cost;
 pub mod exec;
 pub mod incremental;
@@ -30,6 +31,7 @@ pub mod obs;
 pub mod window;
 
 pub use aggregate::AggState;
+pub use batch_exec::execute_window_cols;
 pub use cost::CostModel;
 pub use exec::{execute_window, execute_window_ref, execute_window_rows, AggValue, WindowOutput};
 pub use incremental::IncrementalWindow;

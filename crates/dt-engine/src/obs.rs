@@ -9,8 +9,9 @@
 
 use dt_obs::{Histogram, MetricsRegistry};
 use dt_query::QueryPlan;
-use dt_types::{DtResult, Row};
+use dt_types::{ColumnBatch, DtResult, Row};
 
+use crate::batch_exec::execute_window_cols;
 use crate::exec::{execute_window_rows, WindowOutput};
 
 /// Instruments for exact window execution.
@@ -21,6 +22,9 @@ pub struct ExecMetrics {
     /// Result rows / groups per executed window — the join fan-out
     /// the engine had to stream through.
     pub window_output_rows: Histogram,
+    /// Rows per input batch handed to the columnar executor (one
+    /// observation per stream per executed window).
+    pub batch_rows: Histogram,
 }
 
 impl ExecMetrics {
@@ -38,6 +42,11 @@ impl ExecMetrics {
                 "Result rows or groups per executed window (join fan-out)",
                 &[],
             ),
+            batch_rows: reg.histogram(
+                "dt_engine_batch_rows",
+                "Rows per columnar input batch handed to the vectorized executor",
+                &[],
+            ),
         }
     }
 
@@ -50,6 +59,27 @@ impl ExecMetrics {
     ) -> DtResult<WindowOutput> {
         let timer = self.window_exec_us.start_timer();
         let out = execute_window_rows(plan, inputs);
+        timer.stop();
+        if let Ok(o) = &out {
+            self.window_output_rows.observe(o.len() as u64);
+        }
+        out
+    }
+
+    /// [`execute_window_cols`] with execution latency, output fan-out,
+    /// and per-stream batch sizes recorded.
+    pub fn execute_window_cols(
+        &self,
+        plan: &QueryPlan,
+        inputs: &[&ColumnBatch],
+    ) -> DtResult<WindowOutput> {
+        if self.batch_rows.is_enabled() {
+            for b in inputs {
+                self.batch_rows.observe(b.len() as u64);
+            }
+        }
+        let timer = self.window_exec_us.start_timer();
+        let out = execute_window_cols(plan, inputs);
         timer.stop();
         if let Ok(o) = &out {
             self.window_output_rows.observe(o.len() as u64);

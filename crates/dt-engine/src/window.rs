@@ -2,29 +2,40 @@
 
 use std::collections::BTreeMap;
 
-use dt_types::{DtError, DtResult, Row, Timestamp, Tuple, WindowId, WindowSpec};
+use dt_types::{ColumnBatch, DtError, DtResult, Timestamp, Tuple, WindowId, WindowSpec};
 
 /// Buffers delivered tuples by the window(s) their *timestamp* falls
 /// in (delivery may lag arrival when queues back up; the tuple still
 /// belongs to its original windows). Hopping specs replicate the row
 /// into every overlapping window.
 ///
+/// Rows are stored **columnar** from the moment of delivery: each
+/// `(stream, window)` cell is a [`ColumnBatch`], so sealing a window
+/// hands the executor ready-made columns (see `DESIGN.md` §13) and no
+/// row materialization happens on the hot path.
+///
 /// All streams of the paper's experiments share one window spec, so
 /// the buffers carry a single [`WindowSpec`]; each stream gets its own
-/// row store.
+/// column store sized by the stream's declared arity.
 #[derive(Debug, Clone)]
 pub struct WindowBuffers {
     spec: WindowSpec,
-    /// Per stream: window id → rows.
-    buffers: Vec<BTreeMap<WindowId, Vec<Row>>>,
+    /// Declared arity per stream: every batch for stream `i` carries
+    /// `arities[i]` columns, even when empty.
+    arities: Vec<usize>,
+    /// Per stream: window id → columnar batch.
+    buffers: Vec<BTreeMap<WindowId, ColumnBatch>>,
 }
 
 impl WindowBuffers {
-    /// Buffers for `num_streams` streams under one window spec.
-    pub fn new(num_streams: usize, spec: WindowSpec) -> Self {
+    /// Buffers for one stream per entry of `arities` (the stream's
+    /// declared column count) under one window spec.
+    pub fn new(arities: Vec<usize>, spec: WindowSpec) -> Self {
+        let buffers = vec![BTreeMap::new(); arities.len()];
         WindowBuffers {
             spec,
-            buffers: vec![BTreeMap::new(); num_streams],
+            arities,
+            buffers,
         }
     }
 
@@ -38,17 +49,22 @@ impl WindowBuffers {
     /// the extra windows of hopping specs — tumbling delivery never
     /// clones.
     pub fn push(&mut self, stream: usize, tuple: Tuple) -> DtResult<()> {
-        let buf = self
-            .buffers
-            .get_mut(stream)
+        let arity = *self
+            .arities
+            .get(stream)
             .ok_or_else(|| DtError::engine(format!("unknown stream {stream}")))?;
+        let buf = &mut self.buffers[stream];
         let latest = self.spec.window_of(tuple.ts);
         for w in self.spec.windows_of(tuple.ts) {
             if w != latest {
-                buf.entry(w).or_default().push(tuple.row.clone());
+                buf.entry(w)
+                    .or_insert_with(|| ColumnBatch::new(arity))
+                    .push_row(&tuple.row);
             }
         }
-        buf.entry(latest).or_default().push(tuple.row);
+        buf.entry(latest)
+            .or_insert_with(|| ColumnBatch::new(arity))
+            .push_row_owned(tuple.row);
         Ok(())
     }
 
@@ -61,12 +77,14 @@ impl WindowBuffers {
             .min()
     }
 
-    /// Remove and return window `w`'s rows for every stream (empty
-    /// vectors for streams with no rows in `w`).
-    pub fn take_window(&mut self, w: WindowId) -> Vec<Vec<Row>> {
+    /// Remove and return window `w`'s columnar batch for every stream
+    /// (empty batches, with the stream's arity, for streams with no
+    /// rows in `w`).
+    pub fn take_window(&mut self, w: WindowId) -> Vec<ColumnBatch> {
         self.buffers
             .iter_mut()
-            .map(|b| b.remove(&w).unwrap_or_default())
+            .zip(&self.arities)
+            .map(|(b, &arity)| b.remove(&w).unwrap_or_else(|| ColumnBatch::new(arity)))
             .collect()
     }
 
@@ -90,7 +108,7 @@ impl WindowBuffers {
     pub fn buffered_rows(&self) -> usize {
         self.buffers
             .iter()
-            .map(|b| b.values().map(Vec::len).sum::<usize>())
+            .map(|b| b.values().map(ColumnBatch::len).sum::<usize>())
             .sum()
     }
 }
@@ -98,7 +116,7 @@ impl WindowBuffers {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dt_types::VDuration;
+    use dt_types::{Row, VDuration};
 
     fn tup(v: i64, secs_milli: u64) -> Tuple {
         Tuple::new(
@@ -108,7 +126,10 @@ mod tests {
     }
 
     fn buffers() -> WindowBuffers {
-        WindowBuffers::new(2, WindowSpec::new(VDuration::from_secs(1)).unwrap())
+        WindowBuffers::new(
+            vec![1, 1],
+            WindowSpec::new(VDuration::from_secs(1)).unwrap(),
+        )
     }
 
     #[test]
@@ -124,7 +145,7 @@ mod tests {
         assert_eq!(w0[1].len(), 1);
         assert_eq!(b.buffered_rows(), 1);
         let w1 = b.take_window(1);
-        assert_eq!(w1[0], vec![Row::from_ints(&[3])]);
+        assert_eq!(w1[0].to_rows(), vec![Row::from_ints(&[3])]);
         assert!(w1[1].is_empty());
     }
 
@@ -168,6 +189,28 @@ mod tests {
         let mut b = buffers();
         let w = b.take_window(42);
         assert_eq!(w.len(), 2);
-        assert!(w.iter().all(Vec::is_empty));
+        assert!(w.iter().all(|batch| batch.is_empty()));
+        assert!(w.iter().all(|batch| batch.arity() == 1));
+    }
+
+    #[test]
+    fn take_window_preserves_arity_and_order() {
+        let mut b = WindowBuffers::new(vec![2], WindowSpec::new(VDuration::from_secs(1)).unwrap());
+        b.push(
+            0,
+            Tuple::new(Row::from_ints(&[1, 10]), Timestamp::from_micros(0)),
+        )
+        .unwrap();
+        b.push(
+            0,
+            Tuple::new(Row::from_ints(&[2, 20]), Timestamp::from_micros(10)),
+        )
+        .unwrap();
+        let w = b.take_window(0);
+        assert_eq!(w[0].arity(), 2);
+        assert_eq!(
+            w[0].to_rows(),
+            vec![Row::from_ints(&[1, 10]), Row::from_ints(&[2, 20])]
+        );
     }
 }

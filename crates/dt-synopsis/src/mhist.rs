@@ -141,8 +141,12 @@ impl MHist {
         self.insert_weighted(point, 1.0)
     }
 
-    /// Insert a weighted point.
-    pub fn insert_weighted(&mut self, point: &[i64], mass: f64) -> DtResult<()> {
+    /// The single point-buffering helper behind every insert entry
+    /// point — scalar, batch, and columnar — so the paths cannot
+    /// drift: frozen check, arity check, then buffer the point (a
+    /// zero-mass point is a no-op, as mass never changes estimates).
+    #[inline]
+    fn push_point(&mut self, point: &[i64], mass: f64) -> DtResult<()> {
         if self.buckets.is_some() {
             return Err(DtError::synopsis("cannot insert into a frozen MHist"));
         }
@@ -159,27 +163,59 @@ impl MHist {
         Ok(())
     }
 
+    /// Insert a weighted point.
+    pub fn insert_weighted(&mut self, point: &[i64], mass: f64) -> DtResult<()> {
+        self.push_point(point, mass)
+    }
+
     /// Buffer a batch of unit-mass points, equivalent to one
-    /// [`MHist::insert`] per point. The frozen check runs once and the
-    /// point buffer grows in one reservation instead of per point.
+    /// [`MHist::insert`] per point. The point buffer grows in one
+    /// reservation instead of per point.
     pub fn insert_batch<'a>(
         &mut self,
         points: impl IntoIterator<Item = &'a [i64]>,
     ) -> DtResult<()> {
-        if self.buckets.is_some() {
-            return Err(DtError::synopsis("cannot insert into a frozen MHist"));
-        }
         let points = points.into_iter();
         self.points.reserve(points.size_hint().0);
         for point in points {
-            if point.len() != self.dims {
-                return Err(DtError::synopsis(format!(
-                    "point arity {} != histogram dims {}",
-                    point.len(),
-                    self.dims
-                )));
+            self.push_point(point, 1.0)?;
+        }
+        Ok(())
+    }
+
+    /// Buffer unit-mass points given column-wise: `cols[d][i]` is
+    /// dimension `d` of point `i`. Bit-identical to one
+    /// [`MHist::insert`] per transposed point (points are buffered in
+    /// row order, which [`MHist`] equality observes pre-freeze).
+    ///
+    /// # Errors
+    /// Errors if the histogram is frozen, `cols.len() != dims`, or the
+    /// columns have unequal lengths.
+    pub fn insert_columns(&mut self, cols: &[Vec<i64>]) -> DtResult<()> {
+        if cols.len() != self.dims {
+            return Err(DtError::synopsis(format!(
+                "point arity {} != histogram dims {}",
+                cols.len(),
+                self.dims
+            )));
+        }
+        let n = cols.first().map_or(0, Vec::len);
+        if cols.iter().any(|c| c.len() != n) {
+            return Err(DtError::synopsis("column lengths differ in insert_columns"));
+        }
+        self.points.reserve(n);
+        const STACK_DIMS: usize = 8;
+        let mut stack = [0i64; STACK_DIMS];
+        for i in 0..n {
+            if self.dims <= STACK_DIMS {
+                for (slot, col) in stack.iter_mut().zip(cols) {
+                    *slot = col[i];
+                }
+                self.push_point(&stack[..self.dims], 1.0)?;
+            } else {
+                let point: Vec<i64> = cols.iter().map(|c| c[i]).collect();
+                self.push_point(&point, 1.0)?;
             }
-            self.points.push((point.into(), 1.0));
         }
         Ok(())
     }

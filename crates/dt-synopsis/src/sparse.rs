@@ -152,6 +152,98 @@ impl SparseHist {
         Ok(())
     }
 
+    /// Vectorized unit-mass insert over column-wise points:
+    /// `cols[d][i]` is dimension `d` of point `i`. Cell coordinates
+    /// are computed column-at-a-time as pure arithmetic (a chunked,
+    /// autovectorizable `div_euclid` pass), counts are grouped per
+    /// cell in a hash pass, and each distinct cell touches the
+    /// `BTreeMap` once.
+    ///
+    /// Bit-identical to one [`SparseHist::insert`] per transposed
+    /// point: per-cell counts and the running total accumulate
+    /// integers, which `f64` represents exactly below 2^53, so adding
+    /// `k` once equals adding `1.0` `k` times. (This is why the kernel
+    /// is unit-mass only — fractional masses would not commute.)
+    ///
+    /// # Errors
+    /// Errors if `cols.len() != dims` or the columns have unequal
+    /// lengths.
+    pub fn insert_columns(&mut self, cols: &[Vec<i64>]) -> DtResult<()> {
+        if cols.len() != self.dims {
+            return Err(DtError::synopsis(format!(
+                "point arity {} != histogram dims {}",
+                cols.len(),
+                self.dims
+            )));
+        }
+        let n = cols.first().map_or(0, Vec::len);
+        if cols.iter().any(|c| c.len() != n) {
+            return Err(DtError::synopsis("column lengths differ in insert_columns"));
+        }
+        if n == 0 {
+            return Ok(());
+        }
+        // Bucket-index pass: one tight loop per dimension.
+        let coords: Vec<Vec<i64>> = cols
+            .iter()
+            .map(|col| col.iter().map(|&v| self.cell_of(v)).collect())
+            .collect();
+        match coords.as_slice() {
+            [c0] => {
+                let mut counts: FxHashMap<i64, f64> = FxHashMap::default();
+                for &c in c0 {
+                    *counts.entry(c).or_insert(0.0) += 1.0;
+                }
+                for (c, mass) in counts {
+                    match self.cells.get_mut(&[c][..]) {
+                        Some(cell) => *cell += mass,
+                        None => {
+                            self.cells.insert(Box::new([c]), mass);
+                        }
+                    }
+                }
+            }
+            [c0, c1] => {
+                let mut counts: FxHashMap<(i64, i64), f64> = FxHashMap::default();
+                for (&a, &b) in c0.iter().zip(c1) {
+                    *counts.entry((a, b)).or_insert(0.0) += 1.0;
+                }
+                for ((a, b), mass) in counts {
+                    match self.cells.get_mut(&[a, b][..]) {
+                        Some(cell) => *cell += mass,
+                        None => {
+                            self.cells.insert(Box::new([a, b]), mass);
+                        }
+                    }
+                }
+            }
+            _ => {
+                let mut counts: FxHashMap<Box<[i64]>, f64> = FxHashMap::default();
+                let mut key: Vec<i64> = Vec::with_capacity(self.dims);
+                for i in 0..n {
+                    key.clear();
+                    key.extend(coords.iter().map(|c| c[i]));
+                    match counts.get_mut(key.as_slice()) {
+                        Some(mass) => *mass += 1.0,
+                        None => {
+                            counts.insert(key.as_slice().into(), 1.0);
+                        }
+                    }
+                }
+                for (key, mass) in counts {
+                    match self.cells.get_mut(&*key) {
+                        Some(cell) => *cell += mass,
+                        None => {
+                            self.cells.insert(key, mass);
+                        }
+                    }
+                }
+            }
+        }
+        self.total += n as f64;
+        Ok(())
+    }
+
     /// Add mass directly at cell coordinates (used by the relational
     /// operations below).
     fn add_cell(&mut self, coords: Box<[i64]>, mass: f64) {

@@ -239,6 +239,34 @@ impl Synopsis {
         }
     }
 
+    /// Insert unit-mass points given column-wise: `cols[d][i]` is
+    /// dimension `d` of point `i`. Bit-identical to one
+    /// [`Synopsis::insert`] per transposed point, in row order.
+    ///
+    /// Sparse and MHIST dispatch to their vectorized column kernels;
+    /// reservoir, wavelet, and adaptive synopses are order-sensitive
+    /// (RNG eviction / on-line coarsening) and replay the points
+    /// row-by-row instead.
+    pub fn insert_columns(&mut self, cols: &[Vec<i64>]) -> DtResult<()> {
+        match self {
+            Synopsis::Sparse(s) => s.insert_columns(cols),
+            Synopsis::MHist(m) => m.insert_columns(cols),
+            other => {
+                let n = cols.first().map_or(0, Vec::len);
+                if cols.iter().any(|c| c.len() != n) {
+                    return Err(DtError::synopsis("column lengths differ in insert_columns"));
+                }
+                let mut point: Vec<i64> = Vec::with_capacity(cols.len());
+                for i in 0..n {
+                    point.clear();
+                    point.extend(cols.iter().map(|c| c[i]));
+                    other.insert(&point)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Finalize the synopsis at a window boundary. For MHIST this runs
     /// MAXDIFF partitioning; for the other structures it is a no-op.
     pub fn seal(&mut self) {

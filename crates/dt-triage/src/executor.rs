@@ -22,7 +22,7 @@ use dt_obs::MetricsRegistry;
 use dt_query::QueryPlan;
 use dt_rewrite::{evaluate_ref, rewrite_dropped, ShadowQuery};
 use dt_synopsis::{Synopsis, SynopsisConfig};
-use dt_types::{DtError, DtResult, Row, Schema, WindowSpec};
+use dt_types::{ColumnBatch, DtError, DtResult, Row, Schema, WindowSpec};
 
 use crate::merge::merge_window;
 use crate::pipeline::WindowPayload;
@@ -258,6 +258,20 @@ impl QueryExecutor {
             .map(|&si| shared_rows[si].iter().collect())
             .collect();
         self.metrics.execute_window_rows(&query.plan, &inputs)
+    }
+
+    /// Columnar [`QueryExecutor::exact_batch`]: one window's kept
+    /// tuples arrive as per-physical-stream [`ColumnBatch`]es (the
+    /// form [`dt_engine::WindowBuffers::take_window`] hands out) and
+    /// flow straight into the vectorized executor — aliased FROM
+    /// positions share the same batch by reference.
+    pub fn exact_batch_cols(&self, q: usize, shared: &[ColumnBatch]) -> DtResult<WindowOutput> {
+        let query = self
+            .queries
+            .get(q)
+            .ok_or_else(|| DtError::config(format!("unknown query {q}")))?;
+        let inputs: Vec<&ColumnBatch> = query.stream_map.iter().map(|&si| &shared[si]).collect();
+        self.metrics.execute_window_cols(&query.plan, &inputs)
     }
 
     /// Combine query `q`'s exact window output with the shadow

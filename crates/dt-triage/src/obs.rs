@@ -39,6 +39,10 @@ pub struct TriageObs {
     /// Sampled latency of folding one tuple into its windows'
     /// synopses, µs.
     pub synopsis_insert_us: Histogram,
+    /// Latency of one batched (columnar) synopsis flush at window
+    /// close, µs. Flushes happen once per window per stream, so this
+    /// is timed unsampled.
+    pub synopsis_batch_insert_us: Histogram,
     tick: u64,
 }
 
@@ -81,6 +85,11 @@ impl TriageObs {
             synopsis_insert_us: reg.histogram(
                 "dt_triage_synopsis_insert_us",
                 "Sampled latency of folding one tuple into its windows' synopses, microseconds",
+                &[],
+            ),
+            synopsis_batch_insert_us: reg.histogram(
+                "dt_triage_synopsis_batch_insert_us",
+                "Latency of one batched columnar synopsis flush at window close, microseconds",
                 &[],
             ),
             tick: 0,
@@ -169,6 +178,8 @@ pub struct StreamObs {
     pub synopsis_inserts: Counter,
     /// Shared sampled synopsis-insert latency, µs.
     pub synopsis_insert_us: Histogram,
+    /// Latency of one batched (columnar) synopsis flush at seal, µs.
+    pub synopsis_batch_insert_us: Histogram,
     tick: u64,
 }
 
@@ -213,6 +224,11 @@ impl StreamObs {
             synopsis_insert_us: reg.histogram(
                 "dt_triage_synopsis_insert_us",
                 "Sampled latency of folding one tuple into its windows' synopses, microseconds",
+                &[],
+            ),
+            synopsis_batch_insert_us: reg.histogram(
+                "dt_triage_synopsis_batch_insert_us",
+                "Latency of one batched columnar synopsis flush at window close, microseconds",
                 &[],
             ),
             tick: 0,

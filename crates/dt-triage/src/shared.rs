@@ -45,6 +45,65 @@ struct WinStats {
     dropped: u64,
 }
 
+/// Columnar accumulation of synopsis points awaiting a batched flush:
+/// one `Vec<i64>` per dimension, in row order. The per-tuple hot path
+/// only pushes integers here; the actual synopsis inserts happen once
+/// per window close via [`dt_synopsis::Synopsis::insert_columns`],
+/// which vectorizes bucket arithmetic over whole columns.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PointCols {
+    cols: Vec<Vec<i64>>,
+    rows: usize,
+}
+
+impl PointCols {
+    /// Append one point (the row count is tracked separately so
+    /// zero-dimension points still flush correctly).
+    #[inline]
+    pub(crate) fn push(&mut self, point: &[i64]) {
+        if self.cols.len() != point.len() {
+            self.cols.resize_with(point.len(), Vec::new);
+        }
+        for (col, &v) in self.cols.iter_mut().zip(point) {
+            col.push(v);
+        }
+        self.rows += 1;
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Insert every buffered point into `syn` in row order (so
+    /// order-sensitive synopsis kinds see exactly the per-tuple
+    /// sequence), then clear the buffer keeping column capacity.
+    pub(crate) fn flush_into(&mut self, syn: &mut dt_synopsis::Synopsis) -> DtResult<()> {
+        if self.rows == 0 {
+            return Ok(());
+        }
+        if self.cols.is_empty() {
+            // Zero-arity points carry no columns; replay by count.
+            for _ in 0..self.rows {
+                syn.insert(&[])?;
+            }
+        } else {
+            syn.insert_columns(&self.cols)?;
+        }
+        for c in &mut self.cols {
+            c.clear();
+        }
+        self.rows = 0;
+        Ok(())
+    }
+}
+
+/// One stream's pending kept/dropped point columns for one window.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PendPair {
+    pub(crate) kept: PointCols,
+    pub(crate) dropped: PointCols,
+}
+
 /// The multi-query pipeline. See the module docs.
 pub struct SharedPipeline {
     exec: QueryExecutor,
@@ -53,6 +112,10 @@ pub struct SharedPipeline {
     queues: Vec<TriageQueue>,
     buffers: WindowBuffers,
     syns: WinMap<Vec<SynPair>>,
+    /// Per window: one pending kept/dropped point-column pair per
+    /// physical stream, flushed into `syns` in one vectorized pass
+    /// when the window closes (synopsis modes only).
+    pending: WinMap<Vec<PendPair>>,
     /// Incremental execution state: per window, one
     /// [`IncrementalWindow`] per query (only under
     /// [`ExecStrategy::Incremental`]).
@@ -69,6 +132,11 @@ pub struct SharedPipeline {
     point_scratch: Vec<i64>,
     /// Triage instruments (default = every handle disabled).
     obs: TriageObs,
+    /// Arrived/kept/dropped totals already pushed to `obs` — the hot
+    /// path counts in plain fields ([`RunTotals`]) and the registry
+    /// handles catch up at window boundaries ([`Self::flush_obs`]),
+    /// keeping per-tuple atomics out of the offer/drain loops.
+    obs_flushed: [u64; 3],
     /// Per-stream adaptive controllers, present only when the config
     /// carries a [`crate::DelayConstraint`] and the mode drives the
     /// engine. `None` keeps the fixed-capacity shed signal untouched.
@@ -124,13 +192,15 @@ impl SharedPipeline {
                 .map(|_| LoadController::seeded(d, main_us, triage_us))
                 .collect()
         });
+        let arities: Vec<usize> = exec.streams().iter().map(|s| s.schema.arity()).collect();
         Ok(SharedPipeline {
-            buffers: WindowBuffers::new(n, spec),
+            buffers: WindowBuffers::new(arities, spec),
             queues,
             exec,
             spec,
             cfg,
             syns: WinMap::new(),
+            pending: WinMap::new(),
             inc: WinMap::new(),
             stats: WinMap::new(),
             engine_free_at: Timestamp::ZERO,
@@ -139,6 +209,7 @@ impl SharedPipeline {
             totals: RunTotals::default(),
             point_scratch: Vec::new(),
             obs: TriageObs::default(),
+            obs_flushed: [0; 3],
             controllers,
         })
     }
@@ -246,7 +317,6 @@ impl SharedPipeline {
             self.stats.get_or_insert_with(w, WinStats::default).arrived += 1;
         }
         self.totals.arrived += 1;
-        self.obs.arrived.inc();
 
         match self.cfg.mode {
             ShedMode::SummarizeOnly => {
@@ -254,20 +324,24 @@ impl SharedPipeline {
                 let mut point = std::mem::take(&mut self.point_scratch);
                 row_point_into(&tuple.row, &mut point)?;
                 for w in self.spec.windows_of(tuple.ts) {
-                    self.syn_pair(w, stream)?.dropped.insert(&point)?;
+                    self.pend_point(w, stream, false, &point);
                     self.stats.get_or_insert_with(w, WinStats::default).dropped += 1;
                 }
                 self.point_scratch = point;
                 self.totals.dropped += 1;
-                self.obs.dropped.inc();
                 self.observe_sampled_insert(t0);
             }
             ShedMode::DropOnly | ShedMode::DataTriage => {
                 let dropped_syn = if self.cfg.policy == DropPolicy::Synergistic
                     && self.cfg.mode.uses_synopses()
                 {
-                    // The synergy heuristic consults the latest window.
+                    // The synergy heuristic consults the latest
+                    // window; pending points must be visible to it, so
+                    // flush this stream's dropped buffer first (at most
+                    // one point accumulates between consecutive offers,
+                    // so this stays per-tuple-cheap).
                     let w = self.spec.window_of(tuple.ts);
+                    self.flush_pending_dropped(w, stream)?;
                     self.syns.get(w).map(|pairs| &pairs[stream].dropped)
                 } else {
                     None
@@ -292,9 +366,6 @@ impl SharedPipeline {
                 } else {
                     self.queues[stream].push(tuple, dropped_syn)
                 };
-                if let Some(g) = self.obs.queue_depth.get(stream) {
-                    g.set(self.queues[stream].len() as i64);
-                }
                 if let Some(v) = victim {
                     let mut point = std::mem::take(&mut self.point_scratch);
                     let summarize = self.cfg.mode == ShedMode::DataTriage;
@@ -309,12 +380,11 @@ impl SharedPipeline {
                     for vw in self.spec.windows_of(v.ts) {
                         self.stats.get_or_insert_with(vw, WinStats::default).dropped += 1;
                         if summarize {
-                            self.syn_pair(vw, stream)?.dropped.insert(&point)?;
+                            self.pend_point(vw, stream, false, &point);
                         }
                     }
                     self.point_scratch = point;
                     self.totals.dropped += 1;
-                    self.obs.dropped.inc();
                     self.observe_sampled_insert(t0);
                     if summarize {
                         if let Some(ctls) = self.controllers.as_mut() {
@@ -341,6 +411,7 @@ impl SharedPipeline {
         for w in remaining {
             self.close_window(w)?;
         }
+        self.flush_obs();
         let spec = self.spec;
         let totals = self.totals.clone();
         Ok(self
@@ -372,9 +443,6 @@ impl SharedPipeline {
                 break;
             }
             let tuple = self.queues[qi].pop().expect("nonempty queue");
-            if let Some(g) = self.obs.queue_depth.get(qi) {
-                g.set(self.queues[qi].len() as i64);
-            }
             let mut busy = self.cfg.cost.service_time;
             if self.cfg.mode == ShedMode::DataTriage {
                 busy += self.cfg.cost.synopsis_insert_time;
@@ -382,7 +450,7 @@ impl SharedPipeline {
                 let mut point = std::mem::take(&mut self.point_scratch);
                 row_point_into(&tuple.row, &mut point)?;
                 for w in self.spec.windows_of(tuple.ts) {
-                    self.syn_pair(w, qi)?.kept.insert(&point)?;
+                    self.pend_point(w, qi, true, &point);
                 }
                 self.point_scratch = point;
                 self.observe_sampled_insert(t0);
@@ -398,7 +466,6 @@ impl SharedPipeline {
                 self.stats.get_or_insert_with(w, WinStats::default).kept += 1;
             }
             self.totals.kept += 1;
-            self.obs.kept.inc();
             match self.cfg.execution {
                 ExecStrategy::Batch => self.buffers.push(qi, tuple)?,
                 ExecStrategy::Incremental => {
@@ -450,13 +517,30 @@ impl SharedPipeline {
         Ok(())
     }
 
+    /// Catch the registry handles up with the plain-field totals and
+    /// current queue depths. Runs at window boundaries and at finish —
+    /// the offer/drain hot paths never touch an atomic, so an enabled
+    /// registry observes counters that lag by at most one open window.
+    fn flush_obs(&mut self) {
+        let [a, k, d] = self.obs_flushed;
+        self.obs.arrived.add(self.totals.arrived - a);
+        self.obs.kept.add(self.totals.kept - k);
+        self.obs.dropped.add(self.totals.dropped - d);
+        self.obs_flushed = [self.totals.arrived, self.totals.kept, self.totals.dropped];
+        for (g, q) in self.obs.queue_depth.iter().zip(&self.queues) {
+            g.set(q.len() as i64);
+        }
+    }
+
     fn close_window(&mut self, w: WindowId) -> DtResult<()> {
+        self.flush_obs();
         self.obs.windows_closed.inc();
         let stats = self.stats.remove(w).unwrap_or_default();
-        let shared_rows = self.buffers.take_window(w);
+        let shared_cols = self.buffers.take_window(w);
         let mut inc_states = self.inc.remove(w);
         // Seal the shared synopses once; every query reads them.
         let pairs: Option<Vec<SynPair>> = if self.cfg.mode.uses_synopses() {
+            self.flush_pending_window(w)?;
             let pairs = match self.syns.remove(w) {
                 Some(mut pairs) => {
                     for p in &mut pairs {
@@ -489,9 +573,9 @@ impl SharedPipeline {
                     // Window with no delivered tuples.
                     IncrementalWindow::new(self.exec.queries()[qi].plan.clone())?.finish()
                 }
-                // Route shared rows to the query's FROM positions
-                // (aliased self-joins read the same shared rows).
-                (ExecStrategy::Batch, _) => self.exec.exact_batch(qi, &shared_rows)?,
+                // Route shared columnar batches to the query's FROM
+                // positions (aliased self-joins read the same batch).
+                (ExecStrategy::Batch, _) => self.exec.exact_batch_cols(qi, &shared_cols)?,
             };
 
             let payload = self.exec.payload(qi, exact, pairs.as_deref())?;
@@ -531,6 +615,72 @@ impl SharedPipeline {
             .syns
             .get_or_try_insert_with(w, || exec.empty_pairs(cfg))?;
         Ok(&mut pairs[stream])
+    }
+
+    /// Buffer one synopsis point for `(w, stream)` — the per-tuple hot
+    /// path's only synopsis work; the actual inserts run batched at
+    /// window close.
+    #[inline]
+    fn pend_point(&mut self, w: WindowId, stream: usize, kept: bool, point: &[i64]) {
+        let n = self.queues.len();
+        let pairs = self
+            .pending
+            .get_or_insert_with(w, || vec![PendPair::default(); n]);
+        let cols = if kept {
+            &mut pairs[stream].kept
+        } else {
+            &mut pairs[stream].dropped
+        };
+        cols.push(point);
+    }
+
+    /// Flush every pending point of window `w` into its synopses in
+    /// one vectorized pass per (stream, side). Runs once per window
+    /// close, timed unsampled.
+    fn flush_pending_window(&mut self, w: WindowId) -> DtResult<()> {
+        let Some(mut pend) = self.pending.remove(w) else {
+            return Ok(());
+        };
+        let t0 = self
+            .obs
+            .synopsis_batch_insert_us
+            .is_enabled()
+            .then(std::time::Instant::now);
+        for (stream, pair) in pend.iter_mut().enumerate() {
+            if pair.kept.is_empty() && pair.dropped.is_empty() {
+                continue;
+            }
+            let syn = self.syn_pair(w, stream)?;
+            pair.kept.flush_into(&mut syn.kept)?;
+            pair.dropped.flush_into(&mut syn.dropped)?;
+        }
+        if let Some(t0) = t0 {
+            self.obs
+                .synopsis_batch_insert_us
+                .observe(t0.elapsed().as_micros() as u64);
+        }
+        Ok(())
+    }
+
+    /// Make `(w, stream)`'s pending *dropped* points visible in the
+    /// live synopsis (the Synergistic policy reads it mid-window).
+    fn flush_pending_dropped(&mut self, w: WindowId, stream: usize) -> DtResult<()> {
+        let Some(mut cols) = self
+            .pending
+            .get_mut(w)
+            .map(|p| std::mem::take(&mut p[stream].dropped))
+        else {
+            return Ok(());
+        };
+        if !cols.is_empty() {
+            cols.flush_into(&mut self.syn_pair(w, stream)?.dropped)?;
+        }
+        // Hand the (cleared) column buffers back so their capacity is
+        // reused by the next drop.
+        if let Some(p) = self.pending.get_mut(w) {
+            p[stream].dropped = cols;
+        }
+        Ok(())
     }
 }
 

@@ -25,7 +25,7 @@ use dt_types::{DtResult, Row, Tuple, WindowId, WindowSpec};
 
 use crate::executor::SynPair;
 use crate::obs::StreamObs;
-use crate::shared::row_point_into;
+use crate::shared::{row_point_into, PendPair};
 use crate::shed::ShedMode;
 
 /// One sealed window of one physical stream, ready for the merger.
@@ -58,6 +58,9 @@ pub struct SealedWindow {
 struct WinState {
     rows: Vec<Row>,
     syn: Option<SynPair>,
+    /// Columnar kept/dropped point buffers, flushed into `syn` in one
+    /// vectorized pass at seal time (synopsis modes only).
+    pend: PendPair,
     arrived: u64,
     kept: u64,
     dropped: u64,
@@ -162,6 +165,7 @@ impl StreamTriage {
                 WinState {
                     rows: Vec::new(),
                     syn,
+                    pend: PendPair::default(),
                     arrived: 0,
                     kept: 0,
                     dropped: 0,
@@ -198,11 +202,9 @@ impl StreamTriage {
             st.arrived += 1;
             st.kept += 1;
             st.rows.push(tuple.row.clone());
-            if summarize {
-                if let Some(syn) = &mut st.syn {
-                    syn.kept.insert(&point)?;
-                    inserts += 1;
-                }
+            if summarize && st.syn.is_some() {
+                st.pend.kept.push(&point);
+                inserts += 1;
             }
         }
         if inserts > 0 {
@@ -260,11 +262,9 @@ impl StreamTriage {
             let st = self.state(w)?;
             st.arrived += 1;
             st.dropped += 1;
-            if summarize {
-                if let Some(syn) = &mut st.syn {
-                    syn.dropped.insert(&point)?;
-                    inserts += 1;
-                }
+            if summarize && st.syn.is_some() {
+                st.pend.dropped.push(&point);
+                inserts += 1;
             }
         }
         if inserts > 0 {
@@ -298,7 +298,7 @@ impl StreamTriage {
     }
 
     fn seal_one(&mut self, w: WindowId) -> DtResult<SealedWindow> {
-        let st = match self.wins.remove(&w) {
+        let mut st = match self.wins.remove(&w) {
             Some(st) => st,
             None => WinState {
                 rows: Vec::new(),
@@ -310,11 +310,28 @@ impl StreamTriage {
                 } else {
                     None
                 },
+                pend: PendPair::default(),
                 arrived: 0,
                 kept: 0,
                 dropped: 0,
             },
         };
+        // Flush the window's buffered points in one vectorized pass,
+        // then seal.
+        if let Some(pair) = &mut st.syn {
+            let t0 = self
+                .obs
+                .synopsis_batch_insert_us
+                .is_enabled()
+                .then(std::time::Instant::now);
+            st.pend.kept.flush_into(&mut pair.kept)?;
+            st.pend.dropped.flush_into(&mut pair.dropped)?;
+            if let Some(t0) = t0 {
+                self.obs
+                    .synopsis_batch_insert_us
+                    .observe(t0.elapsed().as_micros() as u64);
+            }
+        }
         let syn = st.syn.map(|mut pair| {
             pair.kept.seal();
             pair.dropped.seal();

@@ -42,6 +42,10 @@ impl<T> WinMap<T> {
         self.pos(w).ok().map(|i| &self.entries[i].1)
     }
 
+    pub fn get_mut(&mut self, w: WindowId) -> Option<&mut T> {
+        self.pos(w).ok().map(|i| &mut self.entries[i].1)
+    }
+
     /// Mutable access, inserting `make()` first if `w` is absent.
     pub fn get_or_insert_with(&mut self, w: WindowId, make: impl FnOnce() -> T) -> &mut T {
         let i = match self.pos(w) {

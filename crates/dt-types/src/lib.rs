@@ -17,10 +17,14 @@
 //!   TelegraphCQ's `WINDOW R['1 second']` clause.
 //! * [`Clock`] — the wall-clock boundary for the server runtime:
 //!   [`MonotonicClock`] in production, [`VirtualClock`] in tests.
+//! * [`ColumnBatch`] / [`Column`] — columnar window batches (one typed
+//!   vector per field plus a validity mask) backing the vectorized
+//!   execution path (see `DESIGN.md` §13).
 //! * [`DtError`] — the workspace-wide error type.
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod clock;
 pub mod error;
 pub mod hash;
@@ -31,6 +35,7 @@ pub mod time;
 pub mod value;
 pub mod window;
 
+pub use batch::{Column, ColumnBatch};
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use error::{line_col_at, DtError, DtResult};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
