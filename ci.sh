@@ -14,10 +14,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 cargo test -q --workspace --doc
 
-# Chaos smoke: the fault-injection suite, warning-free and serial —
-# the soak's stall detection and the watchdog's real-time grace want
-# a quiet machine, not test-thread contention.
+# Chaos smoke: the fault-injection suite — including the 240-client
+# connection-churn soak under readiness faults (DESIGN.md §14) —
+# warning-free and serial: the soak's stall detection and the
+# watchdog's real-time grace want a quiet machine, not test-thread
+# contention. The drain suite pins event-loop shutdown latency with
+# idle connections held open.
 RUSTFLAGS=-Dwarnings cargo test -q -p dt-server --test chaos -- --test-threads=1
+RUSTFLAGS=-Dwarnings cargo test -q -p dt-server --test drain -- --test-threads=1
 
 # Observability smoke: start a live dt-serve (stdin held open by the
 # sleep), scrape GET /metrics through the bundled example, and require
@@ -53,6 +57,7 @@ wait "$SERVE_PID" 2>/dev/null || true
 sleep 20 | ./target/release/dt-serve \
     --stream R:a --query 'SELECT a, COUNT(*) FROM R GROUP BY a' \
     --listen 127.0.0.1:7184 --window 1.0 --grace 100 \
+    --ingest eventloop --reactors 2 \
     --fault-disconnect 2:5 --fault-disconnect 3:5 \
     --fault-disconnect 4:5 --fault-disconnect 5:5 \
     > /tmp/dt_registry_smoke.json &
@@ -127,3 +132,9 @@ cargo run --release -p dt-bench --bin bench_baseline -- --compare --quick
 # dt-server's registry tests.
 (cd /tmp && cargo run --release --manifest-path "$OLDPWD/Cargo.toml" \
     -p dt-bench --bin multiq_sweep -- --quick)
+
+# Connection-sweep smoke: both ingest planes under real worker
+# processes (DESIGN.md §14) must accept, ingest, and drain end to
+# end; the full curves live in the committed CONN_sweep.json.
+(cd /tmp && cargo run --release --manifest-path "$OLDPWD/Cargo.toml" \
+    -p dt-bench --bin conn_sweep -- --quick)

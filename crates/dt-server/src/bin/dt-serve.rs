@@ -22,7 +22,7 @@
 
 use dt_obs::MetricsRegistry;
 use dt_query::Catalog;
-use dt_server::{Client, MonotonicClock, Server, ServerConfig};
+use dt_server::{Client, IngestPlane, MonotonicClock, Server, ServerConfig};
 use dt_synopsis::SynopsisConfig;
 use dt_triage::{DelayConstraint, ShedMode};
 use dt_types::{DataType, DtError, DtResult, Schema, ToJson, VDuration};
@@ -43,6 +43,11 @@ USAGE:
            [--delay-ms MS]    adaptive delay constraint (default: off —
                               shed only on channel overflow)
            [--mode M]         data-triage | drop-only | summarize-only
+           [--ingest P]       socket plane: eventloop (default — epoll
+                              reactor pool) | threaded (one blocking
+                              thread per connection)
+           [--reactors N]     event-loop reactor threads (default 0 =
+                              auto: min(cores, 4))
            [--no-pacing]      consume ahead of tuple timestamps
            [--no-metrics]     disable the /metrics registry
            [--fault-disconnect CONN:LINE]
@@ -76,6 +81,7 @@ struct Args {
     cell_width: i64,
     delay: Option<DelayConstraint>,
     mode: ShedMode,
+    ingest: IngestPlane,
     pacing: bool,
     metrics: bool,
     fault_disconnect: Vec<(u64, u64)>,
@@ -92,6 +98,7 @@ fn parse_args(argv: &[String]) -> DtResult<Args> {
         cell_width: 10,
         delay: None,
         mode: ShedMode::DataTriage,
+        ingest: IngestPlane::default(),
         pacing: true,
         metrics: true,
         fault_disconnect: Vec::new(),
@@ -157,6 +164,13 @@ fn parse_args(argv: &[String]) -> DtResult<Args> {
                     "summarize-only" => ShedMode::SummarizeOnly,
                     m => return Err(DtError::config(format!("unknown mode '{m}'"))),
                 };
+            }
+            "--ingest" => args.ingest = IngestPlane::parse(&value()?)?,
+            "--reactors" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|_| DtError::config("--reactors wants an integer"))?;
+                args.ingest = IngestPlane::EventLoop { reactors: n };
             }
             "--no-pacing" => args.pacing = false,
             "--no-metrics" => args.metrics = false,
@@ -319,6 +333,7 @@ fn run() -> DtResult<()> {
     };
     cfg.pace_by_timestamp = args.pacing;
     cfg.delay = args.delay;
+    cfg.ingest = args.ingest;
     for &(conn, line) in &args.fault_disconnect {
         cfg.fault = std::mem::take(&mut cfg.fault).inject_disconnect(conn, line);
     }

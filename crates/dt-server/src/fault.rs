@@ -6,9 +6,17 @@
 //! pure decision function the runtime consults at well-defined
 //! injection points:
 //!
-//! * **Ingest** (`serve_conn`): corrupt a frame line, hold a line back
-//!   for a few frames (delayed/reordered delivery), or close the
-//!   connection after a frame (mid-frame disconnect).
+//! * **Ingest** (both socket planes, via `IngestSession`): corrupt a
+//!   frame line, hold a line back for a few frames (delayed/reordered
+//!   delivery), or close the connection after a frame (mid-frame
+//!   disconnect).
+//! * **Readiness layer** (the event-loop plane's reactors): chop a
+//!   nonblocking read short (a mid-frame partial read — the frame
+//!   assembler must reassemble across the seam) or tear the
+//!   connection down at a specific read. These are keyed by *accept
+//!   order* and *read index*, not line numbers: they model the
+//!   network delivering bytes in arbitrary pieces, below the framing
+//!   layer, and only the event-loop plane consults them.
 //! * **Workers** (`run_worker`): panic after consuming a specific
 //!   tuple — exercised against the supervisor's restart path.
 //! * **Sealing** (`run_worker`): swallow a seal watermark once, so a
@@ -49,6 +57,14 @@ pub struct FaultPlan {
     pub worker_panic_rate: f64,
     /// Per-watermark probability of a worker swallowing a seal.
     pub seal_stall_rate: f64,
+    /// Per-read probability of chopping a readiness-layer read short
+    /// (event-loop plane only; lossless — the bytes arrive on the
+    /// next read).
+    pub read_chop_rate: f64,
+    /// Per-read probability of tearing a connection down at the
+    /// readiness layer (event-loop plane only; abrupt — unread bytes
+    /// and any torn trailing fragment are lost).
+    pub read_disconnect_rate: f64,
     /// Explicit injections: corrupt line `line` of ingest connection
     /// `conn`.
     inject_corrupt: Vec<(u64, u64)>,
@@ -60,6 +76,12 @@ pub struct FaultPlan {
     /// Explicit injections: worker `stream` swallows the watermark
     /// sealing through window `upto`.
     inject_stall: Vec<(usize, u64)>,
+    /// Explicit injections: chop read `read` of accepted connection
+    /// `conn` (accept order) short.
+    inject_read_chop: Vec<(u64, u64)>,
+    /// Explicit injections: tear connection `conn` (accept order)
+    /// down at read `read`.
+    inject_read_disconnect: Vec<(u64, u64)>,
 }
 
 /// Hash domains keep decision families independent of each other.
@@ -71,6 +93,9 @@ const D_DISCONNECT: u64 = 5;
 const D_PANIC: u64 = 6;
 const D_STALL: u64 = 7;
 const D_TRUNCATE_AT: u64 = 8;
+const D_READ_CHOP: u64 = 9;
+const D_READ_CHOP_LEN: u64 = 10;
+const D_READ_DISCONNECT: u64 = 11;
 
 impl FaultPlan {
     /// The no-fault plan: every decision is "don't".
@@ -101,10 +126,22 @@ impl FaultPlan {
             && self.disconnect_rate == 0.0
             && self.worker_panic_rate == 0.0
             && self.seal_stall_rate == 0.0
+            && self.read_chop_rate == 0.0
+            && self.read_disconnect_rate == 0.0
             && self.inject_corrupt.is_empty()
             && self.inject_disconnect.is_empty()
             && self.inject_panic.is_empty()
             && self.inject_stall.is_empty()
+            && self.inject_read_chop.is_empty()
+            && self.inject_read_disconnect.is_empty()
+    }
+
+    /// Set the plan's seed without touching any rate — explicit
+    /// `inject_*` schedules stay deterministic either way, but seeded
+    /// rate decisions (and chop lengths) key off it.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// Schedule one corruption of line `line` on ingest connection
@@ -131,6 +168,20 @@ impl FaultPlan {
     /// through window `upto`.
     pub fn inject_seal_stall(mut self, stream: usize, upto: u64) -> Self {
         self.inject_stall.push((stream, upto));
+        self
+    }
+
+    /// Schedule one readiness-layer chop: read `read` (0-based) of
+    /// the `conn`-th accepted connection is cut to a few bytes.
+    pub fn inject_read_chop(mut self, conn: u64, read: u64) -> Self {
+        self.inject_read_chop.push((conn, read));
+        self
+    }
+
+    /// Schedule one readiness-layer teardown: the `conn`-th accepted
+    /// connection is torn down at its `read`-th read (0-based).
+    pub fn inject_read_disconnect(mut self, conn: u64, read: u64) -> Self {
+        self.inject_read_disconnect.push((conn, read));
         self
     }
 
@@ -218,6 +269,32 @@ impl FaultPlan {
         self.inject_stall.contains(&(stream, upto))
             || self.hit(self.seal_stall_rate, D_STALL, stream as u64, upto)
     }
+
+    /// Should read `read` of accepted connection `conn` be chopped
+    /// short, and to how many bytes? Chops are lossless: the frame
+    /// assembler sees the same byte stream, just in smaller pieces —
+    /// this exercises exactly the mid-frame partial reads nonblocking
+    /// sockets produce. (Event-loop plane only; keyed by accept order
+    /// and per-connection read index, *not* line numbers, because it
+    /// models the transport below the framing layer.)
+    pub fn read_chop(&self, conn: u64, read: u64) -> Option<usize> {
+        if self.inject_read_chop.contains(&(conn, read))
+            || self.hit(self.read_chop_rate, D_READ_CHOP, conn, read)
+        {
+            Some(1 + (self.roll(D_READ_CHOP_LEN, conn, read) as usize) % 7)
+        } else {
+            None
+        }
+    }
+
+    /// Tear accepted connection `conn` down at its `read`-th read?
+    /// Abrupt, like a vanished peer: unread socket bytes and any torn
+    /// trailing fragment are lost (uncounted), completed lines and
+    /// holdbacks still reach the engine.
+    pub fn read_disconnect(&self, conn: u64, read: u64) -> bool {
+        self.inject_read_disconnect.contains(&(conn, read))
+            || self.hit(self.read_disconnect_rate, D_READ_DISCONNECT, conn, read)
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +311,36 @@ mod tests {
             assert!(!p.disconnect_after(0, i));
             assert!(!p.worker_panic(0, i));
             assert!(!p.stall_seal(0, i));
+            assert!(p.read_chop(0, i).is_none());
+            assert!(!p.read_disconnect(0, i));
         }
+    }
+
+    #[test]
+    fn readiness_injections_fire_exactly_where_scheduled() {
+        let p = FaultPlan::disabled()
+            .inject_read_chop(2, 1)
+            .inject_read_disconnect(3, 0);
+        assert!(!p.is_disabled());
+        let chop = p.read_chop(2, 1).expect("scheduled chop fires");
+        assert!((1..=7).contains(&chop), "chop lengths stay tiny: {chop}");
+        assert!(p.read_chop(2, 2).is_none());
+        assert!(p.read_chop(1, 1).is_none());
+        assert!(p.read_disconnect(3, 0));
+        assert!(!p.read_disconnect(3, 1));
+        assert!(!p.read_disconnect(0, 0));
+    }
+
+    #[test]
+    fn read_chop_rate_is_deterministic_per_seed() {
+        let mut a = FaultPlan::disabled().with_seed(9);
+        a.read_chop_rate = 0.25;
+        let hits: Vec<u64> = (0..400).filter(|&i| a.read_chop(1, i).is_some()).collect();
+        let mut b = FaultPlan::disabled().with_seed(9);
+        b.read_chop_rate = 0.25;
+        let again: Vec<u64> = (0..400).filter(|&i| b.read_chop(1, i).is_some()).collect();
+        assert_eq!(hits, again);
+        assert!(!hits.is_empty(), "25% over 400 reads must fire");
     }
 
     #[test]

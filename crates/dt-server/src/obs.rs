@@ -29,8 +29,9 @@ pub(crate) struct ServerObs {
     /// Windows fully merged and emitted.
     pub windows_emitted: Counter,
     /// Faults injected by the active [`crate::FaultPlan`], by kind.
-    /// Order: corrupt_frame, delay, disconnect, panic, stall_seal.
-    pub faults_injected: [Counter; 5],
+    /// Order: corrupt_frame, delay, disconnect, panic, stall_seal,
+    /// read_chop, read_disconnect.
+    pub faults_injected: [Counter; 7],
     /// Frames rejected at ingest (malformed after any injection, or
     /// unknown stream) — the numerator of each connection's error
     /// budget.
@@ -46,6 +47,8 @@ pub(crate) const FAULT_DELAY: usize = 1;
 pub(crate) const FAULT_DISCONNECT: usize = 2;
 pub(crate) const FAULT_PANIC: usize = 3;
 pub(crate) const FAULT_STALL: usize = 4;
+pub(crate) const FAULT_READ_CHOP: usize = 5;
+pub(crate) const FAULT_READ_DISCONNECT: usize = 6;
 
 impl ServerObs {
     /// Register every server instrument for `streams` (by name).
@@ -97,6 +100,8 @@ impl ServerObs {
                 "disconnect",
                 "panic",
                 "stall_seal",
+                "read_chop",
+                "read_disconnect",
             ]
             .map(|kind| {
                 reg.counter(
@@ -114,6 +119,44 @@ impl ServerObs {
                 "dt_server_windows_force_sealed_total",
                 "Windows force-sealed by the merger watchdog past a stalled worker",
                 &[],
+            ),
+        }
+    }
+}
+
+/// Per-reactor instruments for the event-loop ingest plane, one
+/// bundle per reactor thread (labelled by reactor index). Registered
+/// eagerly at startup like everything else, so an idle scrape shows
+/// the full zero-valued series set.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReactorObs {
+    /// Connections currently owned by this reactor.
+    pub conns: Gauge,
+    /// Readiness wakeups (`epoll_wait` returns, including ticks).
+    pub wakeups: Counter,
+    /// Bytes returned by one nonblocking ingest `read` call — the
+    /// read-burst shape (chopped reads land in the low buckets).
+    pub read_burst: Histogram,
+}
+
+impl ReactorObs {
+    pub(crate) fn register(reg: &MetricsRegistry, reactor: usize) -> Self {
+        let label = reactor.to_string();
+        ReactorObs {
+            conns: reg.gauge(
+                "dt_server_reactor_conns",
+                "Connections currently owned by this reactor",
+                &[("reactor", &label)],
+            ),
+            wakeups: reg.counter(
+                "dt_server_readiness_wakeups_total",
+                "Readiness wakeups (epoll_wait returns, including ticks)",
+                &[("reactor", &label)],
+            ),
+            read_burst: reg.histogram(
+                "dt_server_ingest_read_burst_bytes",
+                "Bytes returned by one nonblocking ingest read call",
+                &[("reactor", &label)],
             ),
         }
     }

@@ -11,10 +11,8 @@
 use crate::config::ServerConfig;
 use crate::fault::FaultPlan;
 use crate::frame::{parse_frame, parse_incoming, Command, FrameAssembler, Incoming};
-use crate::obs::{
-    http_method_not_allowed, http_not_found, http_response, ServerObs, WorkerObs, FAULT_CORRUPT,
-    FAULT_DELAY, FAULT_DISCONNECT, FAULT_PANIC, FAULT_STALL,
-};
+use crate::ingest::{IngestSession, LineVerdict};
+use crate::obs::{ServerObs, WorkerObs, FAULT_PANIC, FAULT_STALL};
 use crate::stats::query_info_json;
 use crate::stats::{ServerReport, ServerStats};
 use crate::worker::{run_worker, Ctl, TriageFactory, WorkerCtx};
@@ -298,6 +296,52 @@ impl ServerHandle {
             )]),
         }
     }
+
+    // ---- crate-internal accessors for the ingest planes ----------
+
+    /// Server-side instruments.
+    pub(crate) fn obs(&self) -> &ServerObs {
+        &self.inner.obs
+    }
+
+    /// The active fault-injection schedule.
+    pub(crate) fn fault_plan(&self) -> &FaultPlan {
+        &self.inner.fault
+    }
+
+    /// Rejected frames tolerated per connection.
+    pub(crate) fn error_budget(&self) -> u64 {
+        self.inner.error_budget
+    }
+
+    /// Draw the next ingest-connection id (lazily, at a connection's
+    /// first data line, so HTTP probes never consume one).
+    pub(crate) fn next_conn_id(&self) -> u64 {
+        self.inner.conn_seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// True once shutdown has begun.
+    pub(crate) fn stopping(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    /// The `/stats` JSON body (newline-terminated).
+    pub(crate) fn stats_body(&self) -> String {
+        format!("{}\n", render_stats(&self.inner).render())
+    }
+
+    /// The `/metrics` Prometheus text exposition.
+    pub(crate) fn metrics_body(&self) -> String {
+        self.inner.metrics.render_prometheus()
+    }
+
+    /// Account one rejected ingest frame (malformed or unroutable).
+    pub(crate) fn note_rejected_frame(&self) {
+        let inner = &*self.inner;
+        inner.obs.ingest_errors.inc();
+        inner.obs.frames_rejected.inc();
+        inner.stats.parse_errors.fetch_add(1, Ordering::SeqCst);
+    }
 }
 
 /// A running server. Dropping it without [`Server::shutdown`] detaches
@@ -310,6 +354,10 @@ pub struct Server {
     merger_tx: Sender<MergerMsg>,
     acceptor: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// The event-loop plane's reactor pool (empty under `Threaded` or
+    /// when serving no socket).
+    #[cfg(target_os = "linux")]
+    reactors: Arc<Vec<crate::reactor::Reactor>>,
 }
 
 impl Server {
@@ -464,6 +512,8 @@ impl Server {
             .map_err(|e| DtError::engine(format!("spawn merger: {e}")))?;
 
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        #[cfg(target_os = "linux")]
+        let mut reactor_pool: Arc<Vec<crate::reactor::Reactor>> = Arc::new(Vec::new());
         let (bound, acceptor) = match addr {
             None => (None, None),
             Some(spec_addr) => {
@@ -472,11 +522,38 @@ impl Server {
                 let local = listener
                     .local_addr()
                     .map_err(|e| DtError::config(format!("local_addr: {e}")))?;
+                // Pick the socket plane. The event loop needs epoll,
+                // so non-Linux targets silently fall back to the
+                // threaded plane; both planes drive the same
+                // [`IngestSession`], so sealed output is identical.
+                let sink;
+                #[cfg(target_os = "linux")]
+                {
+                    let pool = cfg.ingest.resolved_reactors();
+                    if pool > 0 {
+                        let mut reactors = Vec::with_capacity(pool);
+                        for i in 0..pool {
+                            reactors.push(crate::reactor::Reactor::spawn(
+                                i,
+                                handle.clone(),
+                                crate::obs::ReactorObs::register(&cfg.metrics, i),
+                            )?);
+                        }
+                        reactor_pool = Arc::new(reactors);
+                        sink = ConnSink::Reactors(Arc::clone(&reactor_pool));
+                    } else {
+                        sink = ConnSink::Threaded(Arc::clone(&conns));
+                    }
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    let _ = cfg.ingest;
+                    sink = ConnSink::Threaded(Arc::clone(&conns));
+                }
                 let acc_handle = handle.clone();
-                let acc_conns = Arc::clone(&conns);
                 let acc = std::thread::Builder::new()
                     .name("dt-acceptor".to_string())
-                    .spawn(move || run_acceptor(listener, acc_handle, acc_conns))
+                    .spawn(move || run_acceptor(listener, acc_handle, sink))
                     .map_err(|e| DtError::engine(format!("spawn acceptor: {e}")))?;
                 (Some(local), Some(acc))
             }
@@ -490,6 +567,8 @@ impl Server {
             merger_tx,
             acceptor,
             conns,
+            #[cfg(target_os = "linux")]
+            reactors: reactor_pool,
         })
     }
 
@@ -524,6 +603,17 @@ impl Server {
         let conns = std::mem::take(&mut *self.conns.lock().expect("conns lock"));
         for c in conns {
             let _ = c.join();
+        }
+        // Reactors observe the stop flag at their next wakeup, drain
+        // every connection (holdbacks flushed), and exit.
+        #[cfg(target_os = "linux")]
+        {
+            for r in self.reactors.iter() {
+                r.wake();
+            }
+            for r in self.reactors.iter() {
+                r.join();
+            }
         }
         for tx in &inner.ctl_tx {
             let _ = tx.send(Ctl::Stop);
@@ -933,13 +1023,21 @@ fn render_stats(inner: &Inner) -> Json {
     doc
 }
 
-/// Accept loop: one thread per connection. A throwaway connection
-/// made by `shutdown` (after the stop flag is set) unblocks `accept`.
-fn run_acceptor(
-    listener: TcpListener,
-    handle: ServerHandle,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
+/// Where the acceptor routes a fresh connection: a per-connection
+/// blocking thread (the original plane), or the event-loop plane's
+/// reactor pool (round-robin by accept order, so a connection's
+/// reactor — and the readiness-layer fault schedule keyed by accept
+/// index — is deterministic).
+enum ConnSink {
+    Threaded(Arc<Mutex<Vec<JoinHandle<()>>>>),
+    #[cfg(target_os = "linux")]
+    Reactors(Arc<Vec<crate::reactor::Reactor>>),
+}
+
+/// Accept loop. A throwaway connection made by `shutdown` (after the
+/// stop flag is set) unblocks `accept`.
+fn run_acceptor(listener: TcpListener, handle: ServerHandle, sink: ConnSink) {
+    let mut accept_idx: u64 = 0;
     loop {
         let (stream, _) = match listener.accept() {
             Ok(s) => s,
@@ -948,201 +1046,62 @@ fn run_acceptor(
         if handle.inner.stop.load(Ordering::SeqCst) {
             return;
         }
-        let conn_handle = handle.clone();
-        if let Ok(h) = std::thread::Builder::new()
-            .name("dt-conn".to_string())
-            .spawn(move || serve_conn(stream, conn_handle))
-        {
-            conns.lock().expect("conns lock").push(h);
-        }
-    }
-}
-
-/// Ingest-side state for one NDJSON connection: line accounting, the
-/// error budget, and fault-plan holdbacks.
-struct ConnState {
-    /// This connection's ingest id, drawn lazily at the first data
-    /// line so HTTP probe connections never consume one.
-    id: Option<u64>,
-    /// Data lines seen so far (the fault plan's line index).
-    lines: u64,
-    /// Frames this connection had rejected.
-    errors: u64,
-    /// Lines the fault plan is holding back: `(release_after, text)`.
-    held: Vec<(u64, String)>,
-}
-
-impl ConnState {
-    /// Ingest one line — a tuple frame or a control command (whose
-    /// reply is written back on `writer`) — and account failures;
-    /// `true` means the error budget is exhausted and the caller must
-    /// close the connection (after flushing holdbacks).
-    fn process(&mut self, handle: &ServerHandle, writer: &mut TcpStream, text: &str) -> bool {
-        match handle.ingest_line(text) {
-            Ok(None) => false,
-            Ok(Some(reply)) => {
-                let _ = writer.write_all(format!("{reply}\n").as_bytes());
-                false
+        let idx = accept_idx;
+        accept_idx += 1;
+        match &sink {
+            ConnSink::Threaded(conns) => {
+                let conn_handle = handle.clone();
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("dt-conn".to_string())
+                    .spawn(move || serve_conn(stream, conn_handle))
+                {
+                    conns.lock().expect("conns lock").push(h);
+                }
             }
-            Err(_) => {
-                let inner = &*handle.inner;
-                inner.obs.ingest_errors.inc();
-                inner.obs.frames_rejected.inc();
-                inner.stats.parse_errors.fetch_add(1, Ordering::SeqCst);
-                self.errors += 1;
-                self.errors >= inner.error_budget
+            #[cfg(target_os = "linux")]
+            ConnSink::Reactors(reactors) => {
+                reactors[(idx % reactors.len() as u64) as usize].register(idx, stream);
             }
         }
     }
-
-    /// Release every held line due at or before line index `upto`
-    /// (`u64::MAX` flushes all — done before any close or on idle, so
-    /// a delayed frame is never outright lost).
-    fn release_held(&mut self, handle: &ServerHandle, writer: &mut TcpStream, upto: u64) -> bool {
-        let mut exhausted = false;
-        while let Some(pos) = self.held.iter().position(|(due, _)| *due <= upto) {
-            let (_, text) = self.held.remove(pos);
-            exhausted |= self.process(handle, writer, &text);
-        }
-        exhausted
-    }
 }
 
-/// True when a connection's first line looks like an HTTP request for
-/// a method the server does not serve (everything but GET): an
-/// all-caps method token followed by a `/`-rooted path. Tuple and
-/// control frames start with `{`, so they can never match.
-fn is_non_get_http(line: &str) -> bool {
-    let mut it = line.split_whitespace();
-    match (it.next(), it.next()) {
-        (Some(method), Some(path)) => {
-            method != "GET"
-                && !method.is_empty()
-                && method.chars().all(|c| c.is_ascii_uppercase())
-                && path.starts_with('/')
-        }
-        _ => false,
-    }
-}
-
-/// One client connection: either an HTTP-ish probe (first line starts
-/// with `GET ` — `/stats` answers JSON, `/metrics` Prometheus text
-/// exposition, anything else 404; a non-GET HTTP request line gets
-/// 405) or a stream of NDJSON lines until EOF — tuple frames
-/// interleaved with control commands (`register`/`unregister`/
-/// `list`), each command answered with one JSON reply line.
-///
-/// Malformed frames are *skipped*, not fatal: each one increments
-/// `parse_errors`/`frames_rejected`, and only when a connection
-/// exhausts its error budget does the server answer with a structured
-/// error frame and close it. Every close path (budget, injected
-/// disconnect, EOF, I/O error) first flushes fault-plan holdbacks, so
-/// the frames a connection has *processed* are always exactly the
-/// prefix of the frames it has *read*.
+/// One client connection on the threaded plane: a blocking read loop
+/// feeding the shared [`IngestSession`] state machine (HTTP probes,
+/// control replies, fault injection, the error budget — see
+/// `crate::ingest`). Replies accumulate in `out` and are written
+/// after every completed line; the 50 ms read timeout doubles as the
+/// idle tick that flushes fault-plan holdbacks and notices shutdown.
 fn serve_conn(stream: TcpStream, handle: ServerHandle) {
+    fn flush(writer: &mut TcpStream, out: &mut Vec<u8>) {
+        if !out.is_empty() {
+            let _ = writer.write_all(out);
+            out.clear();
+        }
+    }
     let _ = stream.set_read_timeout(Some(CONN_READ_TIMEOUT));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = stream;
-    let fault = handle.inner.fault.clone();
     let mut asm = FrameAssembler::new();
     let mut buf = [0u8; 16 * 1024];
-    let mut first = true;
-    let mut st = ConnState {
-        id: None,
-        lines: 0,
-        errors: 0,
-        held: Vec::new(),
-    };
-    // Close the connection: flush holdbacks, optionally send the
-    // structured budget-exhausted frame.
-    let close = |st: &mut ConnState, writer: &mut TcpStream, budget: bool| {
-        let _ = st.release_held(&handle, writer, u64::MAX);
-        if budget {
-            let msg = format!(
-                "{{\"error\":\"error budget exhausted\",\"rejected\":{},\"budget\":{}}}\n",
-                st.errors, handle.inner.error_budget
-            );
-            let _ = writer.write_all(msg.as_bytes());
-        }
-    };
+    let mut session = IngestSession::new(handle.fault_plan().clone());
+    let mut out: Vec<u8> = Vec::new();
     loop {
         match reader.read(&mut buf) {
             Ok(0) => {
-                // EOF. A trailing fragment is a torn frame: count it
-                // against the budget like any other bad line.
-                if let Some(partial) = asm.take_partial() {
-                    if !partial.trim().is_empty() {
-                        st.process(&handle, &mut writer, partial.trim());
-                    }
-                }
-                close(&mut st, &mut writer, false);
+                session.on_eof(&handle, asm.take_partial(), &mut out);
+                flush(&mut writer, &mut out);
                 return;
             }
             Ok(n) => {
                 asm.push(&buf[..n]);
                 while let Some(line) = asm.next_line() {
-                    let trimmed = line.trim();
-                    if first && trimmed.starts_with("GET ") {
-                        let path = trimmed.split_whitespace().nth(1).unwrap_or("/stats");
-                        let reply = if path.starts_with("/stats") {
-                            let body = format!("{}\n", render_stats(&handle.inner).render());
-                            http_response("application/json", &body)
-                        } else if path.starts_with("/metrics") {
-                            http_response(
-                                "text/plain; version=0.0.4",
-                                &handle.inner.metrics.render_prometheus(),
-                            )
-                        } else {
-                            http_not_found()
-                        };
-                        let _ = writer.write_all(reply.as_bytes());
-                        return;
-                    }
-                    if first && is_non_get_http(trimmed) {
-                        let _ = writer.write_all(http_method_not_allowed().as_bytes());
-                        return;
-                    }
-                    first = false;
-                    if trimmed.is_empty() {
-                        continue;
-                    }
-                    let id = *st.id.get_or_insert_with(|| {
-                        handle.inner.conn_seq.fetch_add(1, Ordering::SeqCst)
-                    });
-                    let line_no = st.lines;
-                    st.lines += 1;
-                    let mut text = trimmed.to_string();
-                    if !fault.is_disabled() {
-                        if let Some(kind) = fault.corrupt(id, line_no) {
-                            handle.inner.obs.faults_injected[FAULT_CORRUPT].inc();
-                            text = fault.corrupt_line(kind, id, line_no, &text);
-                        }
-                    }
-                    let mut exhausted = false;
-                    if let Some(k) = (!fault.is_disabled())
-                        .then(|| fault.delay(id, line_no))
-                        .flatten()
-                    {
-                        handle.inner.obs.faults_injected[FAULT_DELAY].inc();
-                        st.held.push((line_no + k, text));
-                    } else {
-                        exhausted = st.process(&handle, &mut writer, &text);
-                    }
-                    exhausted |= st.release_held(&handle, &mut writer, line_no);
-                    if exhausted {
-                        close(&mut st, &mut writer, true);
-                        return;
-                    }
-                    if !fault.is_disabled() && fault.disconnect_after(id, line_no) {
-                        // Mid-stream disconnect: drop the socket with
-                        // no farewell — any lines already buffered
-                        // past this one are discarded unread, exactly
-                        // like a torn network path.
-                        handle.inner.obs.faults_injected[FAULT_DISCONNECT].inc();
-                        close(&mut st, &mut writer, false);
+                    let verdict = session.on_line(&handle, &line, &mut out);
+                    flush(&mut writer, &mut out);
+                    if verdict == LineVerdict::Close {
                         return;
                     }
                 }
@@ -1151,20 +1110,15 @@ fn serve_conn(stream: TcpStream, handle: ServerHandle) {
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                // Idle: release every holdback (delayed frames must
-                // not outlive the lull that would seal their window),
-                // then check for shutdown.
-                if st.release_held(&handle, &mut writer, u64::MAX) {
-                    close(&mut st, &mut writer, true);
-                    return;
-                }
-                if handle.inner.stop.load(Ordering::SeqCst) {
-                    close(&mut st, &mut writer, false);
+                let verdict = session.on_idle(&handle, &mut out);
+                flush(&mut writer, &mut out);
+                if verdict == LineVerdict::Close || handle.stopping() {
                     return;
                 }
             }
             Err(_) => {
-                close(&mut st, &mut writer, false);
+                session.on_error(&handle, &mut out);
+                flush(&mut writer, &mut out);
                 return;
             }
         }

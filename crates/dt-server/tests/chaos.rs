@@ -18,7 +18,8 @@
 use dt_query::Catalog;
 use dt_server::{
     fetch_metrics, fetch_stats, fetch_stats_with, render_frame, Client, ClientConfig, FaultPlan,
-    MetricsRegistry, RetryPolicy, Server, ServerConfig, ServerReport, StatsReply, VirtualClock,
+    IngestPlane, MetricsRegistry, RetryPolicy, Server, ServerConfig, ServerReport, StatsReply,
+    VirtualClock,
 };
 use dt_synopsis::SynopsisConfig;
 use dt_triage::RunReport;
@@ -605,6 +606,284 @@ fn client_reads_time_out_on_a_silent_server() {
     let err = client.recv_line().expect_err("read must hit the deadline");
     assert!(err.is_timeout(), "typed timeout, got: {err}");
     drop(listener);
+}
+
+// ---------------------------------------------------------------
+// Connection churn under readiness-layer faults (event-loop plane)
+// ---------------------------------------------------------------
+
+/// Churn-soak shape: short-lived producer connections, each sending a
+/// few frames and vanishing.
+const CHURN_WINDOWS: usize = 3;
+const CHURN_CLIENTS: usize = 80;
+const CHURN_LINES: usize = 3;
+
+/// The frame script every churn run (wire or in-process) replays:
+/// `CHURN_WINDOWS` windows of `CHURN_CLIENTS * CHURN_LINES` frames.
+fn churn_frames() -> Vec<Vec<String>> {
+    (0..CHURN_WINDOWS as u64)
+        .map(|w| {
+            (0..(CHURN_CLIENTS * CHURN_LINES) as u64)
+                .map(|i| {
+                    let ts = Timestamp::from_micros(w * 1_000_000 + 10_000 + i * 4_000);
+                    let a = ((i * 7 + w) % 5) as i64;
+                    render_frame("R", &Row::from_ints(&[a]), Some(ts)).expect("render")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn churn_config(ingest: IngestPlane) -> ServerConfig {
+    let mut catalog = Catalog::new();
+    catalog.add_stream("R", Schema::from_pairs(&[("a", DataType::Int)]));
+    let mut cfg = ServerConfig::new("SELECT a, COUNT(*) FROM R GROUP BY a", catalog);
+    cfg.window = Some(VDuration::from_secs(1));
+    cfg.synopsis = SynopsisConfig::Sparse { cell_width: 1 };
+    // Above the whole script: these tests pin plane equivalence, so
+    // triage must never shed — an in-process run offers a window's
+    // batch in microseconds while the wire runs take milliseconds,
+    // and a bounded queue would shed differently in each.
+    cfg.channel_capacity = 2 * CHURN_WINDOWS * CHURN_CLIENTS * CHURN_LINES;
+    cfg.metrics = MetricsRegistry::new();
+    cfg.ingest = ingest;
+    cfg
+}
+
+/// The in-process reference: the same frame script offered straight
+/// to the handle — no sockets, no faults. Ground truth for what every
+/// wire run must seal.
+fn churn_reference() -> ServerReport {
+    let cfg = churn_config(IngestPlane::default());
+    let clock = Arc::new(VirtualClock::new());
+    let server = Server::start(&cfg, None, clock.clone()).expect("reference server");
+    let handle = server.handle();
+    for (w, lines) in churn_frames().iter().enumerate() {
+        clock.set(Timestamp::from_micros((w as u64 + 1) * 1_000_000));
+        for line in lines {
+            handle.offer_frame(line).expect("reference offer");
+        }
+    }
+    server.shutdown().expect("reference shutdown")
+}
+
+fn churn_client(addr: SocketAddr) -> Client {
+    Client::connect_with(
+        addr,
+        ClientConfig {
+            read_timeout: Some(Duration::from_millis(40)),
+            retry: RetryPolicy::none(),
+        },
+    )
+    .expect("churn client connects")
+}
+
+/// `processed` through a fault plan that also chops and tears stats
+/// probes: a dead probe connection just gets retried.
+fn churn_processed(addr: SocketAddr) -> u64 {
+    for _ in 0..200 {
+        if let Ok(s) = fetch_stats_with(addr, Some(Duration::from_millis(250))) {
+            return s.stream("R").expect("stream R").offered + s.parse_errors;
+        }
+    }
+    panic!("stats endpoint unreachable through the fault plan");
+}
+
+/// Deliver one line with at-least-once intent and exactly-once
+/// effect: send, await the server's processed count, and on a dead
+/// connection (injected tear or clean disconnect) resend on a fresh
+/// one. Safe precisely because of the readiness-layer contract the
+/// unit tests pin: a torn mid-frame fragment is dropped *uncounted*,
+/// so a resent line can never double-process.
+fn send_churn_line(addr: SocketAddr, client: &mut Option<Client>, line: &str, expect: u64) {
+    let overall = Instant::now();
+    let mut sent = false;
+    loop {
+        assert!(
+            overall.elapsed() < Duration::from_secs(30),
+            "churn line {expect} never acknowledged"
+        );
+        if client.is_none() {
+            *client = Some(churn_client(addr));
+            sent = false;
+        }
+        if !sent {
+            let _ = client.as_mut().expect("client").send_line(line);
+            sent = true;
+        }
+        let deadline = Instant::now() + Duration::from_millis(200);
+        while Instant::now() < deadline {
+            if churn_processed(addr) >= expect {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if churn_processed(addr) >= expect {
+            return;
+        }
+        // No ack: probe liveness. EOF means the server dropped the
+        // connection — retire it and resend. A read timeout means
+        // it's alive and the ack is just slow; never resend on a
+        // live connection.
+        if matches!(client.as_mut().expect("client").recv_line(), Ok(None)) {
+            *client = None;
+        }
+    }
+}
+
+/// The churn soak: hundreds of short-lived producers on the
+/// event-loop plane under readiness-layer faults — chopped reads,
+/// injected mid-frame disconnects, clean after-line disconnects —
+/// with the harness resending unacknowledged lines. The sealed
+/// windows must come out bit-identical to the in-process reference
+/// run, and nothing may count against the error budget (chops are
+/// lossless, torn fragments uncounted).
+#[test]
+fn connection_churn_with_readiness_faults_matches_the_reference() {
+    let reference = churn_reference();
+
+    let plan = {
+        let mut p = FaultPlan::disabled().with_seed(7);
+        p.read_chop_rate = 0.2; // lossless: only the chunking changes
+        p.read_disconnect_rate = 0.006; // abrupt tears, fragment dropped
+        p.disconnect_rate = 0.004; // clean close after a line
+        p
+    }
+    // Two guaranteed tears early in the accept order.
+    .inject_read_disconnect(4, 1)
+    .inject_read_disconnect(9, 2);
+
+    let mut cfg = churn_config(IngestPlane::EventLoop { reactors: 2 });
+    cfg.fault = plan;
+    let clock = Arc::new(VirtualClock::new());
+    let server = Server::start(&cfg, Some("127.0.0.1:0"), clock.clone()).expect("server starts");
+    let addr = server.addr().expect("bound address");
+
+    let mut target = 0u64;
+    for (w, lines) in churn_frames().iter().enumerate() {
+        clock.set(Timestamp::from_micros((w as u64 + 1) * 1_000_000));
+        let mut client: Option<Client> = None;
+        for (i, line) in lines.iter().enumerate() {
+            if i % CHURN_LINES == 0 {
+                // Next short-lived producer: churn the connection.
+                if let Some(c) = client.take() {
+                    let _ = c.close();
+                }
+            }
+            target += 1;
+            send_churn_line(addr, &mut client, line, target);
+        }
+        if let Some(c) = client.take() {
+            let _ = c.close();
+        }
+    }
+
+    // The wire was genuinely hostile, and the reactor series are live.
+    let metrics = {
+        let mut m = None;
+        for _ in 0..50 {
+            if let Ok(text) = fetch_metrics(addr) {
+                m = Some(text);
+                break;
+            }
+        }
+        m.expect("metrics scrape through the fault plan")
+    };
+    assert!(
+        series_sum(
+            &metrics,
+            "dt_server_faults_injected_total{kind=\"read_chop\"}"
+        ) > 0,
+        "no chopped read ever fired"
+    );
+    assert!(
+        series_sum(
+            &metrics,
+            "dt_server_faults_injected_total{kind=\"read_disconnect\"}"
+        ) > 0,
+        "no injected tear ever fired"
+    );
+    assert!(
+        series_sum(&metrics, "dt_server_readiness_wakeups_total") > 0,
+        "{metrics}"
+    );
+    assert!(metrics.contains("dt_server_reactor_conns"), "{metrics}");
+    assert!(
+        metrics.contains("dt_server_ingest_read_burst_bytes"),
+        "{metrics}"
+    );
+
+    let stats = fetch_stats_with(addr, Some(Duration::from_secs(5))).expect("final stats");
+    assert_eq!(stats.parse_errors, 0, "readiness faults must be lossless");
+    assert_eq!(stats.stream("R").expect("stream R").offered, target);
+
+    let report = server.shutdown().expect("graceful shutdown");
+    let run = &report.reports[0];
+    let ref_run = &reference.reports[0];
+    assert_eq!(run.windows.len(), CHURN_WINDOWS);
+    assert_eq!(ref_run.windows.len(), CHURN_WINDOWS);
+    for w in 0..CHURN_WINDOWS {
+        let (a, b) = (&run.windows[w], &ref_run.windows[w]);
+        assert_eq!(a.window, b.window);
+        assert!(!a.degraded && !b.degraded, "window {w} degraded");
+        assert_eq!(a.arrived, b.arrived, "window {w}");
+        assert_eq!(a.arrived, (CHURN_CLIENTS * CHURN_LINES) as u64);
+        assert_eq!(a.kept, b.kept, "window {w}");
+        assert_eq!(a.dropped, 0, "capacity rules out shedding");
+        assert_eq!(
+            a.groups(),
+            b.groups(),
+            "window {w}: churn run diverged from the in-process reference"
+        );
+    }
+}
+
+/// Fault-free A/B: the threaded and event-loop planes serve the same
+/// wire workload and seal bit-identical windows — the shared
+/// [`IngestSession`] makes the plane an implementation detail.
+#[test]
+fn ingest_planes_seal_identical_windows() {
+    let mut reports = Vec::new();
+    for ingest in [
+        IngestPlane::Threaded,
+        IngestPlane::EventLoop { reactors: 2 },
+    ] {
+        let cfg = churn_config(ingest);
+        let clock = Arc::new(VirtualClock::new());
+        let server =
+            Server::start(&cfg, Some("127.0.0.1:0"), clock.clone()).expect("server starts");
+        let addr = server.addr().expect("bound address");
+        let mut clients: Vec<Client> = (0..3).map(|_| harness_client(addr)).collect();
+        let mut sent = 0u64;
+        for (w, lines) in churn_frames().iter().enumerate() {
+            clock.set(Timestamp::from_micros((w as u64 + 1) * 1_000_000));
+            for (i, line) in lines.iter().enumerate() {
+                let k = i % clients.len();
+                clients[k].send_line(line).expect("send");
+                sent += 1;
+            }
+            poll("plane ingest", || processed(addr) >= sent);
+        }
+        for c in clients {
+            let _ = c.close();
+        }
+        reports.push(server.shutdown().expect("graceful shutdown"));
+    }
+    let (t, e) = (&reports[0].reports[0], &reports[1].reports[0]);
+    assert_eq!(t.windows.len(), e.windows.len());
+    for (wt, we) in t.windows.iter().zip(&e.windows) {
+        assert_eq!(wt.window, we.window);
+        assert_eq!(wt.arrived, we.arrived, "window {}", wt.window);
+        assert_eq!(wt.kept, we.kept, "window {}", wt.window);
+        assert_eq!(wt.dropped, we.dropped, "window {}", wt.window);
+        assert_eq!(wt.degraded, we.degraded, "window {}", wt.window);
+        assert_eq!(
+            wt.groups(),
+            we.groups(),
+            "planes diverged at window {}",
+            wt.window
+        );
+    }
 }
 
 /// Sends retry with bounded reconnect-and-resend: when the server is

@@ -111,4 +111,69 @@ proptest! {
         prop_assert_eq!(got_partial, want_partial);
         prop_assert_eq!(want.len(), lines.len());
     }
+
+    /// A stream of rendered frames split at arbitrary read boundaries
+    /// — including zero-length chunks, which a readiness-layer read
+    /// may legally deliver — reassembles and decodes bit-identically
+    /// to a one-shot decode of the whole stream. This is the
+    /// event-loop plane's core invariant: chopped reads
+    /// (`FaultPlan::read_chop`) change only the chunking, never the
+    /// decoded frames.
+    #[test]
+    fn chopped_frame_stream_decodes_identically(
+        frames in prop::collection::vec(
+            (prop::collection::vec(-(1i64 << 53)..(1i64 << 53), 1..4), 0u64..1_000_000),
+            1..12,
+        ),
+        cuts in prop::collection::vec(any::<usize>(), 0..40),
+        zeros in prop::collection::vec(0usize..40, 0..6),
+    ) {
+        let mut bytes = Vec::new();
+        let mut rendered = Vec::new();
+        for (values, ts) in &frames {
+            let row = Row::from_ints(values);
+            let ts = Timestamp::from_micros(*ts);
+            let line = render_frame("R", &row, Some(ts)).unwrap();
+            bytes.extend_from_slice(line.as_bytes());
+            bytes.push(b'\n');
+            rendered.push((row, ts));
+        }
+
+        // Reference: one-shot decode of the whole byte stream.
+        let mut whole = FrameAssembler::new();
+        whole.push(&bytes);
+        let mut want = Vec::new();
+        while let Some(l) = whole.next_line() {
+            want.push(l);
+        }
+        prop_assert!(whole.take_partial().is_none());
+
+        // Candidate: cut the stream anywhere (1..=n chunks), and
+        // sprinkle zero-length reads between chunks.
+        let mut points: Vec<usize> = cuts.iter().map(|i| i % (bytes.len() + 1)).collect();
+        points.push(0);
+        points.push(bytes.len());
+        points.sort_unstable();
+        points.dedup();
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for (k, pair) in points.windows(2).enumerate() {
+            if zeros.contains(&k) {
+                asm.push(&[]); // a read that returned no bytes
+            }
+            asm.push(&bytes[pair[0]..pair[1]]);
+            while let Some(l) = asm.next_line() {
+                got.push(l);
+            }
+        }
+        prop_assert_eq!(&got, &want);
+        prop_assert!(asm.take_partial().is_none());
+        // And the decoded frames match the rendered inputs exactly.
+        prop_assert_eq!(got.len(), rendered.len());
+        for (line, (row, ts)) in got.iter().zip(&rendered) {
+            let f = parse_frame(line).unwrap();
+            prop_assert_eq!(&f.row, row);
+            prop_assert_eq!(f.ts, Some(*ts));
+        }
+    }
 }
