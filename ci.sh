@@ -100,6 +100,50 @@ grep -q 'SELECT a, SUM(a) FROM R GROUP BY a' /tmp/registry_stats.json
 kill "$REG_PID" 2>/dev/null || true
 wait "$REG_PID" 2>/dev/null || true
 
+# Shard smoke: the same registry-under-disconnect-fault run, but with
+# a 4-wide worker group per stream (DESIGN.md §15). Both registered
+# queries share stream R's *sharded* triage; every query must still
+# emit windows through the merge_sealed fan-in, and the per-shard
+# metric families must be live in the exposition.
+sleep 20 | ./target/release/dt-serve \
+    --stream R:a --query 'SELECT a, COUNT(*) FROM R GROUP BY a' \
+    --listen 127.0.0.1:7185 --window 1.0 --grace 100 --shards 4 \
+    --ingest eventloop --reactors 2 \
+    --fault-disconnect 2:5 --fault-disconnect 3:5 \
+    --fault-disconnect 4:5 --fault-disconnect 5:5 \
+    > /tmp/dt_shard_smoke.json &
+SHARD_PID=$!
+SHARD_UP=0
+for _ in $(seq 1 50); do
+    if ./target/release/dt-serve list --addr 127.0.0.1:7185 \
+        > /dev/null 2>&1; then
+        SHARD_UP=1
+        break
+    fi
+    sleep 0.2
+done
+test "$SHARD_UP" = 1
+./target/release/dt-serve register --addr 127.0.0.1:7185 \
+    --sql 'SELECT a, SUM(a) FROM R GROUP BY a' | grep -q '^registered 1$'
+i=0; while [ "$i" -lt 40 ]; do
+    printf '{"stream":"R","row":[%d],"ts":%d}\n' $((i % 3)) $((1500000 + i * 20000))
+    sleep 0.01
+    i=$((i + 1))
+done | ./target/release/dt-serve send --addr 127.0.0.1:7185 \
+    2> /tmp/shard_send.txt
+grep -Eq 'forwarded 40 lines' /tmp/shard_send.txt
+sleep 3
+./target/release/dt-serve list --addr 127.0.0.1:7185 > /tmp/shard_list.txt
+cat /tmp/shard_list.txt
+test "$(grep -c ' active ' /tmp/shard_list.txt)" = 2
+grep -vq 'windows=0' /tmp/shard_list.txt
+cargo run --release -p dt-server --example scrape -- 127.0.0.1:7185 \
+    > /tmp/shard_metrics.txt
+grep -q 'dt_server_shard_depth{stream="R",shard="3"}' /tmp/shard_metrics.txt
+grep -q 'dt_server_steal_batches_total{stream="R",shard="0"}' /tmp/shard_metrics.txt
+kill "$SHARD_PID" 2>/dev/null || true
+wait "$SHARD_PID" 2>/dev/null || true
+
 # Columnar-equivalence gate: the vectorized executor and the batched
 # synopsis inserts must stay bit-identical to the row-at-a-time
 # reference across randomized plans and inputs.
@@ -138,3 +182,10 @@ cargo run --release -p dt-bench --bin bench_baseline -- --compare --quick
 # end; the full curves live in the committed CONN_sweep.json.
 (cd /tmp && cargo run --release --manifest-path "$OLDPWD/Cargo.toml" \
     -p dt-bench --bin conn_sweep -- --quick)
+
+# Shard-sweep smoke: the worker-group critical-path model (DESIGN.md
+# §15) must run end to end, conserve every tuple through the sharded
+# seal/merge path, and hold the >=2x zipfian-at-4-shards headline the
+# binary itself asserts; the full curves live in SHARD_sweep.json.
+(cd /tmp && cargo run --release --manifest-path "$OLDPWD/Cargo.toml" \
+    -p dt-bench --bin shard_sweep -- --quick)

@@ -1,0 +1,319 @@
+//! Shard-count sweep for the per-stream worker group (ISSUE 10,
+//! DESIGN.md §15): throughput vs `--shards` 1→8 under uniform,
+//! zipfian, and adversarial single-key workloads, with batch
+//! work-stealing on and off.
+//!
+//! **Methodology (1-vCPU honest).** The container that produces the
+//! committed artifact has a single vCPU, so wall-clock cannot show
+//! parallel speedup. The sweep therefore measures the *critical path*:
+//! tuples are routed through the real [`dt_triage::ShardRouter`] /
+//! [`dt_triage::ShardQueues`] primitives and folded into real
+//! per-shard [`dt_triage::StreamTriage`] instances by a deterministic
+//! round-robin scheduler (one batch per shard per round, idle shards
+//! stealing exactly as the server's workers do), counting the work
+//! units each shard performs. A group's modeled throughput is
+//!
+//! ```text
+//! tuples / (max_shard_units × measured_cost_per_tuple)
+//! ```
+//!
+//! — the time the slowest worker needs, which is what wall-clock
+//! becomes on a machine with ≥ `shards` free cores. Per-tuple cost is
+//! measured by timing the actual folds. Every run seals through
+//! [`dt_triage::merge_sealed`] and asserts conservation, so the sweep
+//! doubles as an end-to-end exercise of the sharded seal path.
+//!
+//! ```sh
+//! cargo run --release -p dt-bench --bin shard_sweep            # full
+//! cargo run --release -p dt-bench --bin shard_sweep -- --quick # CI
+//! ```
+//!
+//! The committed `SHARD_sweep.json` at the repo root is the full
+//! sweep's output on the 1-vCPU container.
+
+use std::time::Instant;
+
+use dt_bench::write_json;
+use dt_synopsis::SynopsisConfig;
+use dt_triage::{merge_sealed, SealedWindow, ShardQueues, ShardRouter, ShedMode, StreamTriage};
+use dt_types::{json, Json, Row, Timestamp, ToJson, Tuple, VDuration, WindowSpec};
+
+/// Tuples a worker folds per scheduler visit — the same batched-drain
+/// shape the server's workers use.
+const BATCH: usize = 64;
+
+/// splitmix64 — the deterministic generator for workload draws.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The three group-key workloads of DESIGN.md §15.
+#[derive(Clone, Copy)]
+enum Workload {
+    /// Keys uniform over 64 groups — keyed routing spreads evenly.
+    Uniform,
+    /// Zipf(s≈1.3) over 64 groups — a handful of hot keys pile most
+    /// of the work onto few shards.
+    Zipfian,
+    /// One single key — everything routes to one shard; only
+    /// stealing can spread the work.
+    SingleKey,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Uniform => "uniform",
+            Workload::Zipfian => "zipfian",
+            Workload::SingleKey => "single-key",
+        }
+    }
+
+    /// The group key of tuple `i` under this workload.
+    fn key(self, i: u64, zipf_cdf: &[f64]) -> i64 {
+        match self {
+            Workload::Uniform => (mix64(i) % 64) as i64,
+            Workload::Zipfian => {
+                let u = (mix64(i ^ 0x5A1F_5A1F) >> 11) as f64 / (1u64 << 53) as f64;
+                zipf_cdf.partition_point(|&c| c < u) as i64
+            }
+            Workload::SingleKey => 42,
+        }
+    }
+}
+
+/// Cumulative Zipf(s) weights over `n` ranks.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+struct Point {
+    workload: &'static str,
+    shards: usize,
+    steal: bool,
+    tuples: u64,
+    max_shard_units: u64,
+    steal_batches: u64,
+    stolen_items: u64,
+    cost_ns_per_tuple: f64,
+    throughput_tps: f64,
+    speedup_vs_1: f64,
+    windows: usize,
+    rows_out: u64,
+}
+
+impl ToJson for Point {
+    fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("workload", self.workload.to_json()),
+            ("shards", self.shards.to_json()),
+            ("steal", self.steal.to_json()),
+            ("tuples", self.tuples.to_json()),
+            ("max_shard_units", self.max_shard_units.to_json()),
+            ("steal_batches", self.steal_batches.to_json()),
+            ("stolen_items", self.stolen_items.to_json()),
+            ("cost_ns_per_tuple", self.cost_ns_per_tuple.to_json()),
+            ("throughput_tps", self.throughput_tps.to_json()),
+            ("speedup_vs_1", self.speedup_vs_1.to_json()),
+            ("windows", self.windows.to_json()),
+            ("rows_out", self.rows_out.to_json()),
+        ])
+    }
+}
+
+/// Run one (workload, shards, steal) cell: route all tuples, drive
+/// the round-robin scheduler, seal and merge, return the critical
+/// path. `cost_ns` is filled with the measured per-tuple fold cost.
+fn run_cell(workload: Workload, shards: usize, steal: bool, n: u64, cdf: &[f64]) -> Point {
+    let spec = WindowSpec::new(VDuration::from_secs(1)).expect("spec");
+    let synopsis = SynopsisConfig::Sparse { cell_width: 5 };
+    let router = ShardRouter::new(shards, Some(0));
+    let queues: ShardQueues<(Tuple, u64)> = ShardQueues::new(shards, n as usize + 1);
+    let mut triages: Vec<StreamTriage> = (0..shards)
+        .map(|k| StreamTriage::new(0, 1, ShedMode::DataTriage, synopsis, spec).sharded(k))
+        .collect();
+
+    // Route the whole trace up front (~100 windows of arrivals).
+    for i in 0..n {
+        let t = Tuple::new(
+            Row::from_ints(&[workload.key(i, cdf)]),
+            Timestamp::from_micros(i * 10),
+        );
+        let shard = router.route(&t.row);
+        assert!(queues.push(shard, (t, i)).is_ok(), "sized for the trace");
+    }
+
+    // Deterministic round-robin schedule, one BATCH of work per shard
+    // per round — a round models one concurrent time slice across the
+    // group. A shard drains its stolen backlog first, then its own
+    // queue; only when both are empty does it steal the newest half of
+    // the deepest sibling, which lands in its backlog and is folded
+    // BATCH per round like any other work. (A thief that folded a huge
+    // stolen batch "instantly" would understate the time it spends on
+    // it and re-steal work that, on real cores, its siblings would
+    // have taken.)
+    let mut units = vec![0u64; shards];
+    let mut backlog: Vec<std::collections::VecDeque<(Tuple, u64)>> = (0..shards)
+        .map(|_| std::collections::VecDeque::new())
+        .collect();
+    let mut batch: Vec<(Tuple, u64)> = Vec::with_capacity(BATCH);
+    let t0 = Instant::now();
+    loop {
+        let mut moved = false;
+        for (k, triage) in triages.iter_mut().enumerate() {
+            batch.clear();
+            while batch.len() < BATCH {
+                match backlog[k].pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            while batch.len() < BATCH {
+                match queues.pop(k) {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.is_empty() && steal {
+                backlog[k] = queues.steal(k, |_| true).into();
+                while batch.len() < BATCH {
+                    match backlog[k].pop_front() {
+                        Some(item) => batch.push(item),
+                        None => break,
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                units[k] += batch.len() as u64;
+                triage.keep_batch_seq(&batch).expect("fold batch");
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    let fold_ns = t0.elapsed().as_nanos() as f64;
+    let cost_ns = fold_ns / n as f64;
+
+    // Seal every shard through the group maximum and merge.
+    let last = triages
+        .iter()
+        .filter_map(StreamTriage::max_open)
+        .max()
+        .expect("non-empty trace");
+    let mut per_shard: Vec<Vec<SealedWindow>> = Vec::with_capacity(shards);
+    for t in &mut triages {
+        per_shard.push(t.seal_through(last).expect("seal"));
+    }
+    let n_windows = per_shard[0].len();
+    let mut iters: Vec<_> = per_shard.into_iter().map(Vec::into_iter).collect();
+    let mut rows_out = 0u64;
+    for _ in 0..n_windows {
+        let parts: Vec<SealedWindow> = iters
+            .iter_mut()
+            .map(|it| it.next().expect("sized"))
+            .collect();
+        let merged = merge_sealed(parts).expect("merge");
+        rows_out += merged.rows.len() as u64;
+    }
+    assert_eq!(
+        rows_out, n,
+        "conservation: every tuple in exactly one window"
+    );
+    assert_eq!(
+        units.iter().sum::<u64>(),
+        n,
+        "every tuple folded exactly once"
+    );
+
+    let max_units = *units.iter().max().expect("shards >= 1");
+    Point {
+        workload: workload.name(),
+        shards,
+        steal,
+        tuples: n,
+        max_shard_units: max_units,
+        steal_batches: queues.steal_count(),
+        stolen_items: queues.stolen_items(),
+        cost_ns_per_tuple: cost_ns,
+        throughput_tps: n as f64 * 1e9 / (cost_ns * max_units as f64),
+        speedup_vs_1: n as f64 / max_units as f64,
+        windows: n_windows,
+        rows_out,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, shard_counts): (u64, Vec<usize>) = if quick {
+        (20_000, vec![1, 2, 4])
+    } else {
+        (200_000, vec![1, 2, 3, 4, 6, 8])
+    };
+    let cdf = zipf_cdf(64, 1.3);
+    let workloads = [Workload::Uniform, Workload::Zipfian, Workload::SingleKey];
+
+    println!("Shard sweep ({n} tuples/cell; modeled critical-path throughput, see DESIGN.md §15)");
+    println!(
+        "{:<12} {:>6} {:>6} {:>12} {:>9} {:>12} {:>9}",
+        "workload", "shards", "steal", "max-units", "speedup", "tput(t/s)", "steals"
+    );
+    let mut points = Vec::new();
+    for &w in &workloads {
+        for &k in &shard_counts {
+            for steal in [false, true] {
+                if k == 1 && steal {
+                    continue; // nothing to steal from
+                }
+                let p = run_cell(w, k, steal, n, &cdf);
+                println!(
+                    "{:<12} {:>6} {:>6} {:>12} {:>8.2}x {:>12.0} {:>9}",
+                    p.workload,
+                    p.shards,
+                    if p.steal { "on" } else { "off" },
+                    p.max_shard_units,
+                    p.speedup_vs_1,
+                    p.throughput_tps,
+                    p.steal_batches
+                );
+                points.push(p);
+            }
+        }
+    }
+
+    // The headline acceptance point: 4 shards with stealing on the
+    // zipfian workload must at least double the single-worker
+    // critical-path throughput.
+    let headline = points
+        .iter()
+        .find(|p| p.workload == "zipfian" && p.shards == 4 && p.steal)
+        .expect("zipfian x4 steal cell");
+    println!(
+        "\nzipfian @4 shards (steal on): {:.2}x the single-worker critical path",
+        headline.speedup_vs_1
+    );
+    assert!(
+        headline.speedup_vs_1 >= 2.0,
+        "expected >=2x at 4 shards on zipfian, got {:.2}x",
+        headline.speedup_vs_1
+    );
+
+    if let Err(e) = write_json("SHARD_sweep.json", &points) {
+        eprintln!("note: could not write SHARD_sweep.json: {e}");
+    } else {
+        println!("(series written to SHARD_sweep.json)");
+    }
+}

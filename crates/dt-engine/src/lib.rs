@@ -30,7 +30,7 @@ pub mod incremental;
 pub mod obs;
 pub mod window;
 
-pub use aggregate::AggState;
+pub use aggregate::{AggState, GroupArena};
 pub use batch_exec::execute_window_cols;
 pub use cost::CostModel;
 pub use exec::{execute_window, execute_window_ref, execute_window_rows, AggValue, WindowOutput};

@@ -341,6 +341,35 @@ impl QueryRegistry {
         }
     }
 
+    /// The shard-routing key column for physical stream `p`: the
+    /// stream-local column of the first active query that groups on
+    /// exactly one column of this stream, or `None` (round-robin).
+    ///
+    /// Routing is a *locality heuristic*, not a correctness input
+    /// (DESIGN.md §15): sharded seals re-sort rows by ingest sequence
+    /// and every mergeable synopsis folds partition-independently, so
+    /// the server fixes each stream's routing key at startup and
+    /// later registrations simply inherit it.
+    pub fn group_key_col(&self, p: usize) -> Option<usize> {
+        let queries = self.queries.read().expect("registry lock poisoned");
+        for q in queries.iter().filter(|q| q.active_to.is_none()) {
+            let Some(plan) = q.exec.plan(0) else { continue };
+            if plan.group_by.len() != 1 {
+                continue;
+            }
+            let g = plan.group_by[0];
+            for (k, b) in plan.streams.iter().enumerate() {
+                if g >= b.offset && g < b.offset + b.schema.arity() {
+                    if q.phys.get(k) == Some(&p) {
+                        return Some(g - b.offset);
+                    }
+                    break;
+                }
+            }
+        }
+        None
+    }
+
     /// Fan one sealed window out to every query active for it, by
     /// reference — each query's executor reads its slice of the
     /// server-wide per-stream state without cloning a row or a

@@ -48,6 +48,10 @@ USAGE:
                               thread per connection)
            [--reactors N]     event-loop reactor threads (default 0 =
                               auto: min(cores, 4))
+           [--shards N]       worker-group size per stream (default 1;
+                              >1 partitions each stream's triage across
+                              N shard workers with work-stealing —
+                              DESIGN.md §15)
            [--no-pacing]      consume ahead of tuple timestamps
            [--no-metrics]     disable the /metrics registry
            [--fault-disconnect CONN:LINE]
@@ -82,6 +86,7 @@ struct Args {
     delay: Option<DelayConstraint>,
     mode: ShedMode,
     ingest: IngestPlane,
+    shards: usize,
     pacing: bool,
     metrics: bool,
     fault_disconnect: Vec<(u64, u64)>,
@@ -99,6 +104,7 @@ fn parse_args(argv: &[String]) -> DtResult<Args> {
         delay: None,
         mode: ShedMode::DataTriage,
         ingest: IngestPlane::default(),
+        shards: 1,
         pacing: true,
         metrics: true,
         fault_disconnect: Vec::new(),
@@ -171,6 +177,11 @@ fn parse_args(argv: &[String]) -> DtResult<Args> {
                     .parse()
                     .map_err(|_| DtError::config("--reactors wants an integer"))?;
                 args.ingest = IngestPlane::EventLoop { reactors: n };
+            }
+            "--shards" => {
+                args.shards = value()?
+                    .parse()
+                    .map_err(|_| DtError::config("--shards wants an integer"))?;
             }
             "--no-pacing" => args.pacing = false,
             "--no-metrics" => args.metrics = false,
@@ -334,6 +345,7 @@ fn run() -> DtResult<()> {
     cfg.pace_by_timestamp = args.pacing;
     cfg.delay = args.delay;
     cfg.ingest = args.ingest;
+    cfg.shards = args.shards;
     for &(conn, line) in &args.fault_disconnect {
         cfg.fault = std::mem::take(&mut cfg.fault).inject_disconnect(conn, line);
     }

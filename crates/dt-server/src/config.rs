@@ -132,6 +132,15 @@ pub struct ServerConfig {
     /// default; `Threaded` keeps the original thread-per-connection
     /// path for A/B runs).
     pub ingest: IngestPlane,
+    /// Worker-group size per stream (DESIGN.md §15): each stream's
+    /// triage is partitioned across this many shard workers, each
+    /// with its own bounded queue and synopsis pair, with batch
+    /// work-stealing under skew. `1` (the default) is the classic
+    /// single-worker plane; sealed output is bit-identical at every
+    /// shard count. Values above 1 require a synopsis kind that
+    /// supports partition merging (everything except `Wavelet` and
+    /// `AdaptiveSparse`).
+    pub shards: usize,
 }
 
 impl ServerConfig {
@@ -155,6 +164,7 @@ impl ServerConfig {
             delay: None,
             cost_hint: CostModel::default(),
             ingest: IngestPlane::default(),
+            shards: 1,
         }
     }
 
@@ -174,6 +184,18 @@ impl ServerConfig {
                 "connection error budget must be >= 1 (a zero budget closes every connection \
                  on its first frame)",
             ));
+        }
+        if self.shards == 0 {
+            return Err(DtError::config(
+                "shards must be >= 1 (one worker per stream is the minimum)",
+            ));
+        }
+        if self.shards > 1 && self.mode.uses_synopses() && !self.synopsis.supports_merge() {
+            return Err(DtError::config(format!(
+                "synopsis kind {:?} does not support sharded merging; use shards = 1 \
+                 or a mergeable synopsis (sparse, mhist, reservoir)",
+                self.synopsis
+            )));
         }
         let plans: Vec<QueryPlan> = self
             .queries
@@ -258,6 +280,23 @@ mod tests {
         );
         let auto = IngestPlane::EventLoop { reactors: 0 }.resolved_reactors();
         assert!((1..=4).contains(&auto), "auto pool size {auto}");
+    }
+
+    #[test]
+    fn shard_validation_gates_count_and_synopsis_kind() {
+        let mut cfg = ServerConfig::new("SELECT a, COUNT(*) FROM R GROUP BY a", catalog());
+        assert_eq!(cfg.shards, 1, "single worker per stream by default");
+        cfg.shards = 0;
+        assert!(cfg.compile().is_err());
+        cfg.shards = 4;
+        assert!(cfg.compile().is_ok(), "sparse synopses merge");
+        cfg.synopsis = SynopsisConfig::Wavelet {
+            budget: 16,
+            domain: 64,
+        };
+        assert!(cfg.compile().is_err(), "wavelets cannot merge partitions");
+        cfg.shards = 1;
+        assert!(cfg.compile().is_ok(), "unsharded wavelets still run");
     }
 
     #[test]

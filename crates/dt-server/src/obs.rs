@@ -17,9 +17,14 @@ pub(crate) struct ServerObs {
     pub ingest_bytes: Counter,
     /// Frame lines that failed to parse or route.
     pub ingest_errors: Counter,
-    /// Current depth of each stream's bounded ingest channel
-    /// (incremented on kept offers, decremented as the worker drains).
+    /// Current depth of each stream's bounded ingest backlog, summed
+    /// across its shard queues (incremented on kept offers,
+    /// decremented as workers drain).
     pub queue_depth: Vec<Gauge>,
+    /// Per-shard queue depths, `shard_depth[stream][shard]` — wired
+    /// into each stream's [`dt_triage::ShardQueues`], which keeps
+    /// them current through pushes, pops, drains, and steals.
+    pub shard_depth: Vec<Vec<Gauge>>,
     /// How far (µs) the seal watermark trails the clock — the window
     /// age at the moment its seal is broadcast.
     pub sealer_lag_us: Gauge,
@@ -51,8 +56,9 @@ pub(crate) const FAULT_READ_CHOP: usize = 5;
 pub(crate) const FAULT_READ_DISCONNECT: usize = 6;
 
 impl ServerObs {
-    /// Register every server instrument for `streams` (by name).
-    pub(crate) fn register(reg: &MetricsRegistry, streams: &[String]) -> Self {
+    /// Register every server instrument for `streams` (by name), with
+    /// `shards` shard-depth gauges per stream.
+    pub(crate) fn register(reg: &MetricsRegistry, streams: &[String], shards: usize) -> Self {
         ServerObs {
             ingest_frames: reg.counter(
                 "dt_server_ingest_frames_total",
@@ -77,6 +83,20 @@ impl ServerObs {
                         "Current depth of the stream's bounded ingest channel (tuples)",
                         &[("stream", s)],
                     )
+                })
+                .collect(),
+            shard_depth: streams
+                .iter()
+                .map(|s| {
+                    (0..shards.max(1))
+                        .map(|k| {
+                            reg.gauge(
+                                "dt_server_shard_depth",
+                                "Current depth of one shard's triage queue (tuples)",
+                                &[("stream", s), ("shard", &k.to_string())],
+                            )
+                        })
+                        .collect()
                 })
                 .collect(),
             sealer_lag_us: reg.gauge(
@@ -162,31 +182,61 @@ impl ReactorObs {
     }
 }
 
-/// Per-worker instruments, one bundle per stream thread.
+/// Per-worker instruments, one bundle per shard-worker thread.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct WorkerObs {
-    /// The stream's ingest-channel depth gauge (shared with ingest).
+    /// The stream's ingest-backlog depth gauge (shared with ingest,
+    /// group-wide — per-shard depths live on the shard queues).
     pub queue_depth: Gauge,
     /// Tuples folded per batched drain.
     pub batch_size: Histogram,
-    /// Times this stream's worker panicked and was restarted by its
+    /// Times this worker panicked and was restarted by its
     /// supervisor.
     pub worker_restarts: Counter,
+    /// Steal batches this worker pulled from siblings while idle.
+    pub steal_batches: Counter,
+    /// Tuples that arrived on this worker by stealing.
+    pub steal_items: Counter,
 }
 
 impl WorkerObs {
-    pub(crate) fn register(reg: &MetricsRegistry, stream: &str, queue_depth: Gauge) -> Self {
+    /// Register one shard worker's instruments. With a single-shard
+    /// group the series keep their classic per-stream labels; larger
+    /// groups add a `shard` label so per-shard behaviour is visible.
+    pub(crate) fn register(
+        reg: &MetricsRegistry,
+        stream: &str,
+        shard: usize,
+        shards: usize,
+        queue_depth: Gauge,
+    ) -> Self {
+        let shard_label = shard.to_string();
+        let labels: Vec<(&str, &str)> = if shards == 1 {
+            vec![("stream", stream)]
+        } else {
+            vec![("stream", stream), ("shard", &shard_label)]
+        };
         WorkerObs {
             queue_depth,
             batch_size: reg.histogram(
                 "dt_server_worker_batch_size",
                 "Tuples folded per batched worker drain",
-                &[("stream", stream)],
+                &labels,
             ),
             worker_restarts: reg.counter(
                 "dt_server_worker_restarts_total",
                 "Worker panics recovered by supervised restart",
-                &[("stream", stream)],
+                &labels,
+            ),
+            steal_batches: reg.counter(
+                "dt_server_steal_batches_total",
+                "Steal batches this shard worker pulled from siblings while idle",
+                &[("stream", stream), ("shard", &shard_label)],
+            ),
+            steal_items: reg.counter(
+                "dt_server_steal_items_total",
+                "Tuples that arrived on this shard worker by stealing",
+                &[("stream", stream), ("shard", &shard_label)],
             ),
         }
     }

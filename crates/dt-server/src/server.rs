@@ -15,14 +15,15 @@ use crate::ingest::{IngestSession, LineVerdict};
 use crate::obs::{ServerObs, WorkerObs, FAULT_PANIC, FAULT_STALL};
 use crate::stats::query_info_json;
 use crate::stats::{ServerReport, ServerStats};
-use crate::worker::{run_worker, Ctl, TriageFactory, WorkerCtx};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use crate::worker::{run_worker, Ctl, SeqTuple, TriageFactory, WorkerCtx};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use dt_obs::MetricsRegistry;
 use dt_registry::{QueryId, QueryInfo, QueryRegistry, QuerySpec, RegistryConfig};
 use dt_synopsis::SynopsisConfig;
 use dt_triage::{
-    ControllerGauges, DelayConstraint, FairController, RunReport, RunTotals, SealedWindow,
-    SharedController, ShedDecision, ShedMode, SynPair, WindowResult,
+    merge_sealed, ControllerGauges, DelayConstraint, FairController, RunReport, RunTotals,
+    SealedWindow, ShardQueues, ShardRouter, SharedController, ShedDecision, ShedMode, SynPair,
+    WindowResult,
 };
 use dt_types::{json, Json, ToJson};
 use dt_types::{Clock, DtError, DtResult, Timestamp, Tuple, VDuration, WindowId, WindowSpec};
@@ -61,7 +62,22 @@ struct Inner {
     mode: ShedMode,
     metrics: MetricsRegistry,
     obs: ServerObs,
-    data_tx: Vec<Sender<Tuple>>,
+    /// One shard-queue group per stream — the bounded triage queues
+    /// the worker group pops (and steals) from. With `shards == 1`
+    /// this is the classic single bounded queue.
+    queues: Vec<Arc<ShardQueues<SeqTuple>>>,
+    /// Per-stream shard routers: hash on the query's group key, or
+    /// round-robin for keyless plans.
+    routers: Vec<ShardRouter>,
+    /// Per-stream ingest sequence counters. Every offered tuple —
+    /// kept or shed — is stamped *before* shard routing, so the merge
+    /// step can restore arrival order deterministically regardless of
+    /// partitioning or stealing (DESIGN.md §15).
+    seqs: Vec<AtomicU64>,
+    /// Worker-group size per stream.
+    shards: usize,
+    /// Control lanes, one per (stream, shard), flat-indexed
+    /// `stream * shards + shard`.
     ctl_tx: Vec<Sender<Ctl>>,
     /// One admission controller per stream, always present. Without a
     /// server-wide [`ServerConfig::delay`] and without tenant lanes
@@ -174,9 +190,15 @@ impl ServerHandle {
         }
         let counters = inner.stats.stream(stream);
         counters.offered.fetch_add(1, Ordering::SeqCst);
+        // Stamp the per-stream ingest sequence *before* routing: kept
+        // and shed tuples alike carry it, so the seal-time merge can
+        // re-sort rows into arrival order whatever shard they landed
+        // on (or were stolen to).
+        let seq = inner.seqs[stream].fetch_add(1, Ordering::SeqCst);
+        let shard = inner.routers[stream].route(&tuple.row);
+        let ctl = &inner.ctl_tx[stream * inner.shards + shard];
         let shed = |t: Tuple| -> DtResult<()> {
-            inner.ctl_tx[stream]
-                .send(Ctl::Shed(t))
+            ctl.send(Ctl::Shed(t, seq))
                 .map_err(|_| DtError::engine("stream worker is gone"))?;
             counters.shed.fetch_add(1, Ordering::SeqCst);
             Ok(())
@@ -195,24 +217,22 @@ impl ServerHandle {
                 if fc.decide(tenant) == ShedDecision::Shed {
                     return shed(tuple);
                 }
-                // The gauge is bumped *before* the send so the
-                // worker's decrement can never observe a tuple whose
-                // increment hasn't landed yet.
+                // The gauge is bumped *before* the push so a worker's
+                // decrement can never observe a tuple whose increment
+                // hasn't landed yet.
                 let depth = &inner.obs.queue_depth[stream];
                 depth.add(1);
-                match inner.data_tx[stream].try_send(tuple) {
+                match inner.queues[stream].push(shard, (tuple, seq)) {
                     Ok(()) => {
                         fc.base().on_enqueue();
                         counters.kept.fetch_add(1, Ordering::SeqCst);
                         Ok(())
                     }
-                    Err(TrySendError::Full(t)) => {
+                    Err((t, _)) => {
+                        // The shard's queue is full — this tuple is the
+                        // overflow victim (`Newest` policy, as ever).
                         depth.sub(1);
                         shed(t)
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        depth.sub(1);
-                        Err(DtError::engine("stream worker is gone"))
                     }
                 }
             }
@@ -394,7 +414,8 @@ impl Server {
         let stats = Arc::new(ServerStats::new(&names));
         // Register every instrument up front: a scrape against an idle
         // server still returns the full (zero-valued) series set.
-        let obs = ServerObs::register(&cfg.metrics, &names);
+        let shards = cfg.shards.max(1);
+        let obs = ServerObs::register(&cfg.metrics, &names, shards);
 
         // One admission controller per stream, unconditionally — a
         // runtime registration may tighten the constraint later. The
@@ -430,46 +451,72 @@ impl Server {
             })
             .collect();
 
-        let mut data_tx = Vec::new();
+        let mut queues = Vec::new();
+        let mut routers = Vec::new();
         let mut ctl_tx = Vec::new();
         let mut workers = Vec::new();
         let (sealed_tx, sealed_rx) = unbounded::<SealedWindow>();
         for (i, s) in registry.streams().iter().enumerate() {
-            let (dtx, drx) = bounded::<Tuple>(cfg.channel_capacity);
-            let (ctx_tx, crx) = unbounded::<Ctl>();
-            let factory = TriageFactory {
-                stream: i,
-                arity: s.schema.arity(),
-                mode: cfg.mode,
-                synopsis: cfg.synopsis,
-                spec,
-                metrics: cfg.metrics.clone(),
-                name: s.name.clone(),
-            };
-            let wctx = WorkerCtx {
-                stream: i,
-                factory,
-                data_rx: drx,
-                ctl_rx: crx,
-                sealed_tx: sealed_tx.clone(),
-                clock: Arc::clone(&clock),
-                pace: cfg.pace_by_timestamp,
-                spec,
-                stats: Arc::clone(&stats),
-                obs: WorkerObs::register(&cfg.metrics, &s.name, obs.queue_depth[i].clone()),
-                controller: Some(Arc::clone(admission[i].base())),
-                fault: cfg.fault.clone(),
-                fault_panic_ctr: obs.faults_injected[FAULT_PANIC].clone(),
-                fault_stall_ctr: obs.faults_injected[FAULT_STALL].clone(),
-            };
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("dt-worker-{}", s.name))
-                    .spawn(move || run_worker(wctx))
-                    .map_err(|e| DtError::engine(format!("spawn worker: {e}")))?,
+            // The whole group drains one backlog: the controller's
+            // threshold scales with the number of drains.
+            admission[i].base().set_drains(shards);
+            // Partition on the active queries' group key when there is
+            // exactly one; round-robin otherwise (DESIGN.md §15).
+            routers.push(ShardRouter::new(shards, registry.group_key_col(i)));
+            let q = Arc::new(
+                ShardQueues::new(shards, cfg.channel_capacity)
+                    .with_gauges(obs.shard_depth[i].clone()),
             );
-            data_tx.push(dtx);
-            ctl_tx.push(ctx_tx);
+            for k in 0..shards {
+                let (ctx_tx, crx) = unbounded::<Ctl>();
+                let factory = TriageFactory {
+                    stream: i,
+                    shard: k,
+                    arity: s.schema.arity(),
+                    mode: cfg.mode,
+                    synopsis: cfg.synopsis,
+                    spec,
+                    metrics: cfg.metrics.clone(),
+                    name: s.name.clone(),
+                };
+                let wctx = WorkerCtx {
+                    stream: i,
+                    shard: k,
+                    factory,
+                    queues: Arc::clone(&q),
+                    ctl_rx: crx,
+                    sealed_tx: sealed_tx.clone(),
+                    clock: Arc::clone(&clock),
+                    pace: cfg.pace_by_timestamp,
+                    spec,
+                    stats: Arc::clone(&stats),
+                    obs: WorkerObs::register(
+                        &cfg.metrics,
+                        &s.name,
+                        k,
+                        shards,
+                        obs.queue_depth[i].clone(),
+                    ),
+                    controller: Some(Arc::clone(admission[i].base())),
+                    fault: cfg.fault.clone(),
+                    fault_panic_ctr: obs.faults_injected[FAULT_PANIC].clone(),
+                    fault_stall_ctr: obs.faults_injected[FAULT_STALL].clone(),
+                };
+                // Single-shard groups keep the classic thread name.
+                let tname = if shards == 1 {
+                    format!("dt-worker-{}", s.name)
+                } else {
+                    format!("dt-worker-{}-{k}", s.name)
+                };
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(tname)
+                        .spawn(move || run_worker(wctx))
+                        .map_err(|e| DtError::engine(format!("spawn worker: {e}")))?,
+                );
+                ctl_tx.push(ctx_tx);
+            }
+            queues.push(q);
         }
         drop(sealed_tx);
 
@@ -480,7 +527,10 @@ impl Server {
             mode: cfg.mode,
             metrics: cfg.metrics.clone(),
             obs,
-            data_tx,
+            queues,
+            routers,
+            seqs: names.iter().map(|_| AtomicU64::new(0)).collect(),
+            shards,
             ctl_tx,
             admission,
             stop: AtomicBool::new(false),
@@ -670,6 +720,11 @@ fn run_merger(
     let registry = &inner.registry;
     let spec = registry.spec();
     let n_streams = registry.streams().len();
+    let shards = inner.shards;
+    // One slot per (stream, shard) partial, flat-indexed
+    // `stream * shards + shard`; `emit_window` folds each stream's
+    // group of partials in ascending shard order.
+    let n_slots = n_streams * shards;
     let mut pending: BTreeMap<WindowId, Vec<Option<SealedWindow>>> = BTreeMap::new();
     let mut results: BTreeMap<QueryId, Vec<WindowResult>> = BTreeMap::new();
     let mut peak_units: usize = 0;
@@ -686,8 +741,8 @@ fn run_merger(
             if s.window < next_emit {
                 continue;
             }
-            let (win, slot) = (s.window, s.stream);
-            pending.entry(win).or_insert_with(|| vec![None; n_streams])[slot] = Some(s);
+            let (win, slot) = (s.window, s.stream * shards + s.shard);
+            pending.entry(win).or_insert_with(|| vec![None; n_slots])[slot] = Some(s);
         }
     };
 
@@ -841,52 +896,75 @@ fn emit_window(
 ) -> DtResult<()> {
     let registry = &inner.registry;
     let spec = registry.spec();
-    // A watchdog force-seal may fire before *any* stream sealed the
+    let n_streams = registry.streams().len();
+    let shards = inner.shards;
+    // A watchdog force-seal may fire before *any* shard sealed the
     // window; start from an all-missing row in that case.
-    let slots = match pending.remove(&w) {
+    let mut slots = match pending.remove(&w) {
         Some(slots) => slots,
-        None if fill == Fill::Forced => vec![None; registry.streams().len()],
+        None if fill == Fill::Forced => vec![None; n_streams * shards],
         None => return Err(DtError::engine("emitting an absent window")),
     };
-    let mut shared_rows: Vec<Vec<dt_types::Row>> = Vec::with_capacity(slots.len());
+    let mut shared_rows: Vec<Vec<dt_types::Row>> = Vec::with_capacity(n_streams);
     let mut pairs: Vec<SynPair> = Vec::new();
-    let mut counts: Vec<(u64, u64)> = Vec::with_capacity(slots.len());
+    let mut counts: Vec<(u64, u64)> = Vec::with_capacity(n_streams);
     let (mut arrived, mut kept, mut dropped) = (0u64, 0u64, 0u64);
     let mut degraded = false;
-    for (i, slot) in slots.into_iter().enumerate() {
-        let sw = match slot {
-            Some(sw) => sw,
-            None if fill != Fill::Strict => {
-                // Synthesize the missing seal: empty rows plus freshly
-                // sealed empty synopses. Under `Fill::Idle` the stream
-                // was genuinely idle (clean); under `Fill::Forced` its
-                // worker is stalled and whatever it held for this
-                // window is lost — degraded.
-                let syn = if inner.mode.uses_synopses() {
-                    let arity = registry.streams()[i].schema.arity();
-                    let mut kept_syn = synopsis.build(arity)?;
-                    let mut dropped_syn = synopsis.build(arity)?;
-                    kept_syn.seal();
-                    dropped_syn.seal();
-                    Some(SynPair {
-                        kept: kept_syn,
-                        dropped: dropped_syn,
-                    })
-                } else {
-                    None
-                };
-                SealedWindow {
-                    stream: i,
-                    window: w,
-                    rows: Vec::new(),
-                    syn,
-                    arrived: 0,
-                    kept: 0,
-                    dropped: 0,
-                    degraded: fill == Fill::Forced,
-                }
+    for i in 0..n_streams {
+        // Fold this stream's shard partials (ascending shard order —
+        // `merge_sealed` sorts) into one per-stream seal. With
+        // `shards == 1` a single complete part passes straight
+        // through.
+        let parts: Vec<SealedWindow> = slots[i * shards..(i + 1) * shards]
+            .iter_mut()
+            .filter_map(Option::take)
+            .collect();
+        let missing = shards - parts.len();
+        let sw = if parts.is_empty() {
+            if fill == Fill::Strict {
+                return Err(DtError::engine("emitting an incomplete window"));
             }
-            None => return Err(DtError::engine("emitting an incomplete window")),
+            // Synthesize the missing seal: empty rows plus freshly
+            // sealed empty synopses. Under `Fill::Idle` the stream
+            // was genuinely idle (clean); under `Fill::Forced` its
+            // worker group is stalled and whatever it held for this
+            // window is lost — degraded.
+            let syn = if inner.mode.uses_synopses() {
+                let arity = registry.streams()[i].schema.arity();
+                let mut kept_syn = synopsis.build(arity)?;
+                let mut dropped_syn = synopsis.build(arity)?;
+                kept_syn.seal();
+                dropped_syn.seal();
+                Some(SynPair {
+                    kept: kept_syn,
+                    dropped: dropped_syn,
+                })
+            } else {
+                None
+            };
+            SealedWindow {
+                stream: i,
+                shard: 0,
+                window: w,
+                rows: Vec::new(),
+                seqs: Vec::new(),
+                syn,
+                arrived: 0,
+                kept: 0,
+                dropped: 0,
+                degraded: fill == Fill::Forced,
+            }
+        } else {
+            if missing > 0 && fill == Fill::Strict {
+                return Err(DtError::engine("emitting an incomplete window"));
+            }
+            let mut sw = merge_sealed(parts)?;
+            // A force-seal with shard partials still absent lost
+            // whatever those shards held for this window.
+            if missing > 0 && fill == Fill::Forced {
+                sw.degraded = true;
+            }
+            sw
         };
         arrived += sw.arrived;
         kept += sw.kept;

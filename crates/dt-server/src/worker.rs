@@ -32,10 +32,10 @@
 use crate::fault::FaultPlan;
 use crate::obs::WorkerObs;
 use crate::stats::ServerStats;
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use dt_obs::{Counter, MetricsRegistry};
 use dt_synopsis::SynopsisConfig;
-use dt_triage::{SealedWindow, SharedController, ShedMode, StreamTriage};
+use dt_triage::{SealedWindow, ShardQueues, SharedController, ShedMode, StreamTriage};
 use dt_types::{Clock, DtResult, Tuple, WindowId, WindowSpec};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -45,21 +45,30 @@ use std::time::{Duration, Instant};
 /// How long the worker parks between polls when idle or paced.
 const POLL: Duration = Duration::from_micros(500);
 
+/// A tuple stamped with its per-stream ingest sequence number —
+/// assigned at offer time, *before* shard routing, so merged shard
+/// seals can restore global arrival order (DESIGN.md §15).
+pub(crate) type SeqTuple = (Tuple, u64);
+
 /// Control-lane messages, served ahead of data.
 pub(crate) enum Ctl {
-    /// A tuple shed at ingest (channel full, or a mode that sheds
-    /// everything); fold it into the dropped synopsis.
-    Shed(Tuple),
+    /// A tuple shed at ingest (shard queue full, or a mode that sheds
+    /// everything); fold it into the dropped synopsis. Carries the
+    /// tuple's ingest sequence so dropped-side synopsis points stay
+    /// mergeable across shards.
+    Shed(Tuple, u64),
     /// Seal every window up to and including this id.
     Seal(WindowId),
     /// Drain everything, seal all open windows, exit.
     Stop,
 }
 
-/// Recipe for a stream's [`StreamTriage`], kept by the supervisor so
+/// Recipe for one shard's [`StreamTriage`], kept by the supervisor so
 /// a crashed instance can be rebuilt identically.
 pub(crate) struct TriageFactory {
     pub stream: usize,
+    /// This worker's shard index within the stream's group.
+    pub shard: usize,
     pub arity: usize,
     pub mode: ShedMode,
     pub synopsis: SynopsisConfig,
@@ -70,16 +79,28 @@ pub(crate) struct TriageFactory {
 
 impl TriageFactory {
     pub(crate) fn build(&self) -> StreamTriage {
-        StreamTriage::new(self.stream, self.arity, self.mode, self.synopsis, self.spec)
-            .with_metrics(&self.metrics, &self.name)
+        let t = StreamTriage::new(self.stream, self.arity, self.mode, self.synopsis, self.spec)
+            .with_metrics(&self.metrics, &self.name);
+        if self.mode.uses_synopses() && !self.synopsis.supports_merge() {
+            // Non-mergeable synopsis kinds (wavelet, adaptive sparse)
+            // run the classic sealed-at-seal plane; config validation
+            // pins them to a single shard.
+            t
+        } else {
+            t.sharded(self.shard)
+        }
     }
 }
 
 /// Everything one worker thread needs.
 pub(crate) struct WorkerCtx {
     pub stream: usize,
+    /// This worker's shard index within the stream's group.
+    pub shard: usize,
     pub factory: TriageFactory,
-    pub data_rx: Receiver<Tuple>,
+    /// The stream's shared shard-queue group: this worker drains
+    /// queue `shard` and steals from siblings when idle.
+    pub queues: Arc<ShardQueues<SeqTuple>>,
     pub ctl_rx: Receiver<Ctl>,
     pub sealed_tx: Sender<SealedWindow>,
     pub clock: Arc<dyn Clock>,
@@ -101,12 +122,13 @@ pub(crate) struct WorkerCtx {
 fn consume(
     triage: &mut StreamTriage,
     t: &Tuple,
+    seq: u64,
     stream: usize,
     stats: &ServerStats,
     controller: Option<&SharedController>,
 ) -> DtResult<()> {
     let start = controller.map(|_| Instant::now());
-    if !triage.keep(t)? {
+    if !triage.keep_seq(t, seq)? {
         stats.stream(stream).late.fetch_add(1, Ordering::SeqCst);
     }
     if let (Some(c), Some(s)) = (controller, start) {
@@ -115,11 +137,11 @@ fn consume(
     Ok(())
 }
 
-/// Fold a drained batch in one [`StreamTriage::keep_batch`] call —
+/// Fold a drained batch in one [`StreamTriage::keep_batch_seq`] call —
 /// same results as per-tuple [`consume`], one stats update per batch.
 fn consume_batch(
     triage: &mut StreamTriage,
-    batch: &[Tuple],
+    batch: &[SeqTuple],
     stream: usize,
     stats: &ServerStats,
     obs: &WorkerObs,
@@ -130,7 +152,7 @@ fn consume_batch(
     }
     obs.batch_size.observe(batch.len() as u64);
     let start = controller.map(|_| Instant::now());
-    let landed = triage.keep_batch(batch)?;
+    let landed = triage.keep_batch_seq(batch)?;
     if let (Some(c), Some(s)) = (controller, start) {
         // One fold amortized over the batch: the controller wants the
         // *per-tuple* main-path cost.
@@ -165,8 +187,9 @@ fn panic_check(fault: &FaultPlan, stream: usize, consumed: &mut u64, n: usize, c
 pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
     let WorkerCtx {
         stream,
+        shard,
         factory,
-        data_rx,
+        queues,
         ctl_rx,
         sealed_tx,
         clock,
@@ -182,14 +205,15 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
     let mut triage = factory.build();
     // Supervisor-owned state that survives a restart.
     let mut consumed: u64 = 0;
-    let mut pending: Option<Tuple> = None;
+    let mut pending: Option<SeqTuple> = None;
     let mut in_stop = false;
     loop {
         let result = catch_unwind(AssertUnwindSafe(|| {
             worker_loop(
                 stream,
+                shard,
                 &mut triage,
-                &data_rx,
+                &queues,
                 &ctl_rx,
                 &sealed_tx,
                 &clock,
@@ -227,7 +251,7 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
                     // The Stop message died with the crashed instance;
                     // finish the drain here rather than waiting for a
                     // second Stop that will never come.
-                    let n = data_rx.try_iter().count();
+                    let n = queues.drain(shard).len();
                     obs.queue_depth.sub(n as i64);
                     if let Some(c) = &controller {
                         c.on_dequeue(n);
@@ -247,8 +271,9 @@ pub(crate) fn run_worker(ctx: WorkerCtx) -> DtResult<()> {
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     stream: usize,
+    shard: usize,
     triage: &mut StreamTriage,
-    data_rx: &Receiver<Tuple>,
+    queues: &Arc<ShardQueues<SeqTuple>>,
     ctl_rx: &Receiver<Ctl>,
     sealed_tx: &Sender<SealedWindow>,
     clock: &Arc<dyn Clock>,
@@ -259,18 +284,18 @@ fn worker_loop(
     controller: Option<&SharedController>,
     fault: &FaultPlan,
     consumed: &mut u64,
-    pending: &mut Option<Tuple>,
+    pending: &mut Option<SeqTuple>,
     in_stop: &mut bool,
     fault_panic_ctr: &Counter,
     fault_stall_ctr: &Counter,
 ) -> DtResult<()> {
     // Reusable drain buffer for the batched seal/stop paths.
-    let mut batch: Vec<Tuple> = Vec::new();
+    let mut batch: Vec<SeqTuple> = Vec::new();
     loop {
         match ctl_rx.try_recv() {
-            Ok(Ctl::Shed(t)) => {
+            Ok(Ctl::Shed(t, seq)) => {
                 let start = controller.map(|_| Instant::now());
-                if !triage.shed(&t)? {
+                if !triage.shed_seq(&t, seq)? {
                     stats.stream(stream).late.fetch_add(1, Ordering::SeqCst);
                 }
                 if let (Some(c), Some(s)) = (controller, start) {
@@ -286,29 +311,31 @@ fn worker_loop(
                     fault_stall_ctr.inc();
                     continue;
                 }
-                // Everything already queued that belongs at or below
-                // the watermark has arrived — consume it (pacing
-                // aside) so the seal doesn't orphan it as late.
+                // Everything already queued on *this shard* that
+                // belongs at or below the watermark has arrived —
+                // consume it (pacing aside) so the seal doesn't
+                // orphan it as late. Siblings drain their own queues
+                // on their own copies of this watermark.
                 let end = spec.window_end(upto);
                 batch.clear();
                 loop {
-                    let t = match pending.take() {
-                        Some(t) => t,
-                        None => match data_rx.try_recv() {
-                            Ok(t) => {
+                    let item = match pending.take() {
+                        Some(item) => item,
+                        None => match queues.pop(shard) {
+                            Some(item) => {
                                 obs.queue_depth.sub(1);
                                 if let Some(c) = controller {
                                     c.on_dequeue(1);
                                 }
-                                t
+                                item
                             }
-                            Err(_) => break,
+                            None => break,
                         },
                     };
-                    if t.ts < end {
-                        batch.push(t);
+                    if item.0.ts < end {
+                        batch.push(item);
                     } else {
-                        *pending = Some(t);
+                        *pending = Some(item);
                         break;
                     }
                 }
@@ -325,11 +352,11 @@ fn worker_loop(
                 *in_stop = true;
                 // The control lane is FIFO, so every shed victim sent
                 // before Stop has been folded already; drain the rest
-                // of the data lane unpaced and seal everything.
+                // of this shard's queue unpaced and seal everything.
                 batch.clear();
                 batch.extend(pending.take());
                 let parked = batch.len();
-                batch.extend(data_rx.try_iter());
+                batch.extend(queues.drain(shard));
                 obs.queue_depth.sub((batch.len() - parked) as i64);
                 if let Some(c) = controller {
                     c.on_dequeue(batch.len() - parked);
@@ -339,8 +366,8 @@ fn worker_loop(
                 batch.clear();
                 panic_check(fault, stream, consumed, n, fault_panic_ctr);
                 for c in ctl_rx.try_iter() {
-                    if let Ctl::Shed(t) = c {
-                        if !triage.shed(&t)? {
+                    if let Ctl::Shed(t, seq) = c {
+                        if !triage.shed_seq(&t, seq)? {
                             stats.stream(stream).late.fetch_add(1, Ordering::SeqCst);
                         }
                     }
@@ -359,38 +386,59 @@ fn worker_loop(
                 return Ok(());
             }
         }
-        if let Some(t) = pending.take() {
+        if let Some((t, seq)) = pending.take() {
             if !pace || clock.now() >= t.ts {
-                consume(triage, &t, stream, stats, controller)?;
+                consume(triage, &t, seq, stream, stats, controller)?;
                 panic_check(fault, stream, consumed, 1, fault_panic_ctr);
             } else {
                 // Still ahead of the clock: park it again and nap
                 // briefly (a real nap — a virtual clock only moves
                 // when the test moves it, and we must keep serving
                 // the control lane meanwhile).
-                *pending = Some(t);
+                *pending = Some((t, seq));
                 std::thread::sleep(POLL);
             }
             continue;
         }
-        match data_rx.recv_timeout(POLL) {
-            Ok(t) => {
+        match queues.pop(shard) {
+            Some((t, seq)) => {
                 obs.queue_depth.sub(1);
                 if let Some(c) = controller {
                     c.on_dequeue(1);
                 }
                 if pace && t.ts > clock.now() {
-                    *pending = Some(t);
+                    *pending = Some((t, seq));
                 } else {
-                    consume(triage, &t, stream, stats, controller)?;
+                    consume(triage, &t, seq, stream, stats, controller)?;
                     panic_check(fault, stream, consumed, 1, fault_panic_ctr);
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => {
-                // Ingest is gone but the server still owes us a Stop
-                // (which seals and exits); keep serving control.
-                std::thread::sleep(POLL);
+            None => {
+                // Own queue empty: steal a batch from the deepest
+                // sibling before napping. Only tuples this shard's
+                // triage could still seal on time — and, under
+                // pacing, only ones whose timestamp has passed — are
+                // eligible; the rest stay with their owner.
+                let stolen = if queues.shards() > 1 {
+                    let now = clock.now();
+                    queues.steal(shard, |item: &SeqTuple| {
+                        !triage.would_be_late(item.0.ts) && (!pace || now >= item.0.ts)
+                    })
+                } else {
+                    Vec::new()
+                };
+                if stolen.is_empty() {
+                    std::thread::sleep(POLL);
+                } else {
+                    obs.queue_depth.sub(stolen.len() as i64);
+                    if let Some(c) = controller {
+                        c.on_dequeue(stolen.len());
+                    }
+                    obs.steal_batches.inc();
+                    obs.steal_items.add(stolen.len() as u64);
+                    consume_batch(triage, &stolen, stream, stats, obs, controller)?;
+                    panic_check(fault, stream, consumed, stolen.len(), fault_panic_ctr);
+                }
             }
         }
     }

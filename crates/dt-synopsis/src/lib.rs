@@ -35,6 +35,16 @@
 //! count/sum estimation. Binary operations require both operands to be
 //! the same structure (as in the paper, where each run picks one
 //! synopsis datatype).
+//!
+//! Sharded execution (DESIGN.md §15) adds a second axis: *tagged*
+//! inserts ([`Synopsis::insert_tagged`]) carry per-stream arrival
+//! sequence numbers, and [`Synopsis::merge_from`] folds per-shard
+//! partial synopses into one that is bit-identical to a single-writer
+//! synopsis — exactly for sparse grids, MHISTs, and mergeable
+//! reservoirs; wavelet and adaptive-sparse synopses are rejected
+//! ([`SynopsisConfig::supports_merge`]).
+
+#![deny(missing_docs)]
 
 pub mod adaptive;
 pub mod mhist;

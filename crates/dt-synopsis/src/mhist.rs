@@ -75,6 +75,14 @@ pub struct MHist {
     config: MHistConfig,
     /// Buffered raw points (weighted), kept until freeze.
     points: Vec<(Box<[i64]>, f64)>,
+    /// Optional arrival tags parallel to `points` (one per point, in
+    /// the same order), recorded by the `*_tagged` insert entry
+    /// points. Tags are what make two partial histograms mergeable:
+    /// [`MHist::merge_from`] restores the global insertion order by
+    /// sorting the combined buffer on its tags, so MAXDIFF sees the
+    /// exact point sequence a single-writer histogram would have seen.
+    /// Either every point is tagged or none is; mixing is an error.
+    tags: Vec<u64>,
     /// Built bucket structure; `None` until frozen.
     buckets: Option<Vec<Bucket>>,
 }
@@ -94,6 +102,7 @@ impl MHist {
             dims,
             config,
             points: Vec::new(),
+            tags: Vec::new(),
             buckets: None,
         })
     }
@@ -220,11 +229,78 @@ impl MHist {
         Ok(())
     }
 
+    /// Insert one unit-mass point carrying an arrival tag (see the
+    /// `tags` field docs). Tagged and untagged inserts must not mix
+    /// within one histogram.
+    pub fn insert_tagged(&mut self, point: &[i64], tag: u64) -> DtResult<()> {
+        if self.tags.len() != self.points.len() {
+            return Err(DtError::synopsis(
+                "cannot mix tagged and untagged MHist inserts",
+            ));
+        }
+        self.push_point(point, 1.0)?;
+        self.tags.push(tag);
+        Ok(())
+    }
+
+    /// Columnar [`MHist::insert_tagged`]: buffer unit-mass points
+    /// given column-wise with one arrival tag per row.
+    pub fn insert_columns_tagged(&mut self, cols: &[Vec<i64>], tags: &[u64]) -> DtResult<()> {
+        let n = cols.first().map_or(0, Vec::len);
+        if tags.len() != n {
+            return Err(DtError::synopsis("tag count != row count"));
+        }
+        if self.tags.len() != self.points.len() {
+            return Err(DtError::synopsis(
+                "cannot mix tagged and untagged MHist inserts",
+            ));
+        }
+        self.insert_columns(cols)?;
+        self.tags.extend_from_slice(tags);
+        Ok(())
+    }
+
+    /// Fold another unfrozen histogram's buffered points into this
+    /// one, restoring global insertion order by sorting the combined
+    /// buffer on the arrival tags.
+    ///
+    /// Both operands must be unfrozen, fully tagged (unless empty),
+    /// and share dimensions and configuration. Because the tags of a
+    /// sharded run are the per-stream ingest sequence numbers — unique
+    /// and totally ordered — the merged buffer is exactly the point
+    /// sequence a single-writer histogram would have buffered, so the
+    /// subsequent [`MHist::freeze`] builds bit-identical buckets
+    /// regardless of how the points were partitioned (or stolen)
+    /// across writers.
+    pub fn merge_from(&mut self, other: &MHist) -> DtResult<()> {
+        if self.buckets.is_some() || other.buckets.is_some() {
+            return Err(DtError::synopsis("cannot merge frozen MHists"));
+        }
+        if self.dims != other.dims || self.config != other.config {
+            return Err(DtError::synopsis(
+                "cannot merge MHists with different dims or config",
+            ));
+        }
+        if self.tags.len() != self.points.len() || other.tags.len() != other.points.len() {
+            return Err(DtError::synopsis("MHist merge requires tagged points"));
+        }
+        self.points.extend(other.points.iter().cloned());
+        self.tags.extend_from_slice(&other.tags);
+        let mut order: Vec<usize> = (0..self.points.len()).collect();
+        order.sort_unstable_by_key(|&i| self.tags[i]);
+        let points = std::mem::take(&mut self.points);
+        let tags = std::mem::take(&mut self.tags);
+        self.points = order.iter().map(|&i| points[i].clone()).collect();
+        self.tags = order.iter().map(|&i| tags[i]).collect();
+        Ok(())
+    }
+
     /// Build the bucket structure from the buffered points. Idempotent.
     pub fn freeze(&mut self) {
         if self.buckets.is_none() {
             self.buckets = Some(self.build_buckets());
             self.points.clear();
+            self.tags.clear();
         }
     }
 
@@ -248,6 +324,7 @@ impl MHist {
             dims,
             config,
             points: Vec::new(),
+            tags: Vec::new(),
             buckets: Some(buckets),
         }
     }

@@ -18,6 +18,15 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Deterministic 64-bit mix (splitmix64 finalizer) mapping an arrival
+/// tag to a sampling priority.
+fn priority_of(seed: u64, tag: u64) -> u64 {
+    let mut z = seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A uniform reservoir sample with deterministic (seeded) eviction.
 #[derive(Debug, Clone)]
 pub struct ReservoirSample {
@@ -33,6 +42,18 @@ pub struct ReservoirSample {
     /// `true` while Algorithm R is still running.
     sampling: bool,
     rng: ChaCha8Rng,
+    /// RNG seed, kept so mergeable samples can check compatibility.
+    seed: u64,
+    /// `Some` switches the sample to *mergeable bottom-k* mode: each
+    /// tagged insert gets the deterministic priority
+    /// `splitmix64(seed, tag)`, and the sample retains the `capacity`
+    /// rows with the smallest `(priority, tag)` — a simple random
+    /// sample without replacement whose content is a pure function of
+    /// the inserted `(row, tag)` *set*, independent of insertion order
+    /// and of how inserts were partitioned across shards. The vector
+    /// holds the retained `(priority, tag)` keys sorted ascending,
+    /// parallel to `rows`.
+    keys: Option<Vec<(u64, u64)>>,
 }
 
 impl ReservoirSample {
@@ -49,7 +70,19 @@ impl ReservoirSample {
             seen: 0.0,
             sampling: true,
             rng: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+            keys: None,
         })
+    }
+
+    /// A mergeable bottom-k sample (see the `keys` field docs): every
+    /// insert must carry an arrival tag, and two samples built with
+    /// the same capacity and seed merge exactly via
+    /// [`ReservoirSample::merge_from`].
+    pub fn new_mergeable(dims: usize, capacity: usize, seed: u64) -> DtResult<Self> {
+        let mut s = Self::new(dims, capacity, seed)?;
+        s.keys = Some(Vec::new());
+        Ok(s)
     }
 
     /// A frozen weighted sample (the output form of relational ops).
@@ -62,6 +95,8 @@ impl ReservoirSample {
             seen,
             sampling: false,
             rng: ChaCha8Rng::seed_from_u64(0),
+            seed: 0,
+            keys: None,
         }
     }
 
@@ -86,8 +121,15 @@ impl ReservoirSample {
     }
 
     /// Insert one tuple (Algorithm R). Errors if this sample is the
-    /// frozen output of a relational operation.
+    /// frozen output of a relational operation, or is in mergeable
+    /// bottom-k mode (which needs a tag — use
+    /// [`ReservoirSample::insert_tagged`]).
     pub fn insert(&mut self, point: &[i64]) -> DtResult<()> {
+        if self.keys.is_some() {
+            return Err(DtError::synopsis(
+                "mergeable reservoir requires tagged inserts",
+            ));
+        }
         if !self.sampling {
             return Err(DtError::synopsis("cannot insert into a frozen sample"));
         }
@@ -107,6 +149,87 @@ impl ReservoirSample {
                 self.rows[j] = (point.into(), 1.0);
             }
         }
+        Ok(())
+    }
+
+    /// Insert one tuple carrying an arrival tag. In mergeable bottom-k
+    /// mode the tag determines the row's retention priority; in
+    /// Algorithm R mode the tag is ignored and this is
+    /// [`ReservoirSample::insert`].
+    pub fn insert_tagged(&mut self, point: &[i64], tag: u64) -> DtResult<()> {
+        if self.keys.is_none() {
+            return self.insert(point);
+        }
+        if !self.sampling {
+            return Err(DtError::synopsis("cannot insert into a frozen sample"));
+        }
+        if point.len() != self.dims {
+            return Err(DtError::synopsis(format!(
+                "point arity {} != sample dims {}",
+                point.len(),
+                self.dims
+            )));
+        }
+        self.seen += 1.0;
+        let key = (priority_of(self.seed, tag), tag);
+        let keys = self.keys.as_mut().expect("checked above");
+        if keys.len() == self.capacity {
+            match keys.last() {
+                Some(&last) if key < last => {
+                    keys.pop();
+                    self.rows.pop();
+                }
+                _ => return Ok(()),
+            }
+        }
+        let at = keys.partition_point(|&k| k < key);
+        keys.insert(at, key);
+        self.rows.insert(at, (point.into(), 1.0));
+        Ok(())
+    }
+
+    /// Fold another mergeable bottom-k sample into this one: the union
+    /// of the retained sets, re-truncated to the `capacity` smallest
+    /// `(priority, tag)` keys.
+    ///
+    /// Because each partial sample retains its shard's bottom
+    /// `capacity` keys, the union is a superset of the global bottom
+    /// `capacity` — so the merged sample equals what a single sample
+    /// over the whole stream would retain, regardless of partitioning.
+    ///
+    /// # Errors
+    /// Errors unless both samples are unfrozen, mergeable, and share
+    /// dims, capacity, and seed.
+    pub fn merge_from(&mut self, other: &ReservoirSample) -> DtResult<()> {
+        if self.keys.is_none() || other.keys.is_none() {
+            return Err(DtError::synopsis(
+                "reservoir merge requires mergeable (tagged bottom-k) samples",
+            ));
+        }
+        if !self.sampling || !other.sampling {
+            return Err(DtError::synopsis("cannot merge frozen samples"));
+        }
+        if self.dims != other.dims || self.capacity != other.capacity || self.seed != other.seed {
+            return Err(DtError::synopsis(
+                "cannot merge reservoirs with different dims, capacity, or seed",
+            ));
+        }
+        // One retained entry: the (priority, tag) sort key + its row.
+        type KeyedRow = ((u64, u64), (Box<[i64]>, f64));
+        let ours = std::mem::take(self.keys.as_mut().expect("checked above"));
+        let theirs = other.keys.as_ref().expect("checked above");
+        let our_rows = std::mem::take(&mut self.rows);
+        let mut all: Vec<KeyedRow> = ours
+            .into_iter()
+            .zip(our_rows)
+            .chain(theirs.iter().copied().zip(other.rows.iter().cloned()))
+            .collect();
+        all.sort_unstable_by_key(|&(k, _)| k);
+        all.truncate(self.capacity);
+        let (keys, rows) = all.into_iter().unzip();
+        self.keys = Some(keys);
+        self.rows = rows;
+        self.seen += other.seen;
         Ok(())
     }
 
@@ -287,6 +410,7 @@ impl PartialEq for ReservoirSample {
             && self.rows == other.rows
             && self.seen == other.seen
             && self.sampling == other.sampling
+            && self.keys == other.keys
     }
 }
 

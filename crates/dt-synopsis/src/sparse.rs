@@ -152,6 +152,36 @@ impl SparseHist {
         Ok(())
     }
 
+    /// Fold another histogram's mass into this one, cell by cell.
+    ///
+    /// For unit-mass ingest the result is bit-identical to a single
+    /// histogram that saw every point, in any order: per-cell masses
+    /// and the total are integer-valued, `f64` adds integers below
+    /// 2^53 exactly, and integer addition commutes. This is what lets
+    /// sharded triage keep one partial histogram per shard and merge
+    /// at seal without an ordering tag (contrast [`crate::MHist`],
+    /// whose MAXDIFF build observes insertion order).
+    ///
+    /// # Errors
+    /// Errors if dimensions or cell widths differ.
+    pub fn merge_from(&mut self, other: &SparseHist) -> DtResult<()> {
+        if self.dims != other.dims || self.cell_width != other.cell_width {
+            return Err(DtError::synopsis(
+                "cannot merge sparse histograms with different dims or cell width",
+            ));
+        }
+        for (coords, &mass) in &other.cells {
+            match self.cells.get_mut(coords.as_ref()) {
+                Some(cell) => *cell += mass,
+                None => {
+                    self.cells.insert(coords.clone(), mass);
+                }
+            }
+        }
+        self.total += other.total;
+        Ok(())
+    }
+
     /// Vectorized unit-mass insert over column-wise points:
     /// `cols[d][i]` is dimension `d` of point `i`. Cell coordinates
     /// are computed column-at-a-time as pure arithmetic (a chunked,

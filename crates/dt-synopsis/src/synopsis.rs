@@ -106,6 +106,39 @@ impl SynopsisConfig {
         })
     }
 
+    /// Build an empty *mergeable* synopsis over `dims` dimensions:
+    /// like [`SynopsisConfig::build`], but reservoirs come up in
+    /// tagged bottom-k mode (see
+    /// [`ReservoirSample::new_mergeable`]) so per-shard partials can
+    /// be folded exactly at seal. Sparse and MHIST synopses are
+    /// already merge-capable and build identically. Errors for
+    /// synopsis kinds that cannot merge (wavelet, adaptive-sparse).
+    pub fn build_mergeable(&self, dims: usize) -> DtResult<Synopsis> {
+        match *self {
+            SynopsisConfig::Reservoir { capacity, seed } => Ok(Synopsis::Reservoir(
+                ReservoirSample::new_mergeable(dims, capacity, seed)?,
+            )),
+            SynopsisConfig::Wavelet { .. } | SynopsisConfig::AdaptiveSparse { .. } => {
+                Err(DtError::synopsis(format!(
+                    "synopsis kind '{}' does not support sharded merging",
+                    self.label()
+                )))
+            }
+            _ => self.build(dims),
+        }
+    }
+
+    /// Can partial synopses of this kind be merged exactly
+    /// ([`Synopsis::merge_from`])? Wavelet and adaptive-sparse
+    /// synopses are order-sensitive in ways no tag can undo (on-line
+    /// coarsening, threshold ties), so sharded execution rejects them.
+    pub fn supports_merge(&self) -> bool {
+        !matches!(
+            self,
+            SynopsisConfig::Wavelet { .. } | SynopsisConfig::AdaptiveSparse { .. }
+        )
+    }
+
     /// A short human-readable label, used in experiment output.
     pub fn label(&self) -> String {
         match self {
@@ -264,6 +297,72 @@ impl Synopsis {
                 }
                 Ok(())
             }
+        }
+    }
+
+    /// Insert one unit-mass tuple carrying an arrival tag (a unique,
+    /// totally ordered sequence number — sharded triage uses the
+    /// per-stream ingest sequence). Tags are what make partial
+    /// synopses mergeable: MHIST records them to restore global
+    /// insertion order at merge, mergeable reservoirs hash them into
+    /// retention priorities, and the order-free structures (sparse
+    /// grids) ignore them — for those this is exactly
+    /// [`Synopsis::insert`].
+    pub fn insert_tagged(&mut self, point: &[i64], tag: u64) -> DtResult<()> {
+        match self {
+            Synopsis::MHist(m) => m.insert_tagged(point, tag),
+            Synopsis::Reservoir(r) => r.insert_tagged(point, tag),
+            other => other.insert(point),
+        }
+    }
+
+    /// Columnar [`Synopsis::insert_tagged`]: unit-mass points given
+    /// column-wise with one tag per row, bit-identical to one tagged
+    /// insert per transposed point in row order.
+    pub fn insert_columns_tagged(&mut self, cols: &[Vec<i64>], tags: &[u64]) -> DtResult<()> {
+        let n = cols.first().map_or(0, Vec::len);
+        if tags.len() != n {
+            return Err(DtError::synopsis("tag count != row count"));
+        }
+        match self {
+            Synopsis::Sparse(s) => s.insert_columns(cols),
+            Synopsis::MHist(m) => m.insert_columns_tagged(cols, tags),
+            other => {
+                if cols.iter().any(|c| c.len() != n) {
+                    return Err(DtError::synopsis("column lengths differ in insert_columns"));
+                }
+                let mut point: Vec<i64> = Vec::with_capacity(cols.len());
+                for (i, &tag) in tags.iter().enumerate() {
+                    point.clear();
+                    point.extend(cols.iter().map(|c| c[i]));
+                    other.insert_tagged(&point, tag)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Fold another (unsealed) partial synopsis into this one.
+    ///
+    /// Sharded triage keeps one synopsis per shard and merges them at
+    /// seal, in shard order; the merged result is bit-identical to a
+    /// single synopsis that saw every tuple, provided inserts carried
+    /// the per-stream sequence tags ([`Synopsis::insert_tagged`]).
+    /// Sparse grids merge by cell-mass addition (order-free), MHISTs
+    /// by tag-sorted point-buffer concatenation, mergeable reservoirs
+    /// by bottom-k union. Wavelet and adaptive-sparse synopses error —
+    /// server configs reject them for sharded runs up front
+    /// ([`SynopsisConfig::supports_merge`]).
+    pub fn merge_from(&mut self, other: &Synopsis) -> DtResult<()> {
+        match (self, other) {
+            (Synopsis::Sparse(a), Synopsis::Sparse(b)) => a.merge_from(b),
+            (Synopsis::MHist(a), Synopsis::MHist(b)) => a.merge_from(b),
+            (Synopsis::Reservoir(a), Synopsis::Reservoir(b)) => a.merge_from(b),
+            (a, b) if a.kind_name() == b.kind_name() => Err(DtError::synopsis(format!(
+                "synopsis kind '{}' does not support merging",
+                b.kind_name()
+            ))),
+            (a, b) => Err(Self::kind_mismatch("merge_from", a, b)),
         }
     }
 
@@ -683,6 +782,111 @@ mod tests {
         assert!(s.memory_units() <= 10);
         assert_eq!(s.total_mass(), 30.0);
         assert_eq!(s.kind_name(), "adaptive-sparse");
+    }
+
+    /// Every mergeable kind: partitioning tagged inserts across 3
+    /// partials and merging in partition order reproduces the
+    /// single-writer synopsis bit-for-bit.
+    #[test]
+    fn sharded_merge_matches_single_writer() {
+        let configs = vec![
+            SynopsisConfig::Sparse { cell_width: 10 },
+            SynopsisConfig::MHist {
+                max_buckets: 8,
+                alignment: None,
+            },
+            SynopsisConfig::Reservoir {
+                capacity: 16,
+                seed: 99,
+            },
+        ];
+        // Deterministic pseudo-random values; tag = arrival index.
+        let points: Vec<(u64, i64)> = (0..200u64)
+            .map(|i| (i, ((i * 2654435761) % 100) as i64))
+            .collect();
+        for cfg in configs {
+            let mut single = cfg.build_mergeable(1).unwrap();
+            for &(tag, v) in &points {
+                single.insert_tagged(&[v], tag).unwrap();
+            }
+            let mut parts: Vec<Synopsis> =
+                (0..3).map(|_| cfg.build_mergeable(1).unwrap()).collect();
+            for &(tag, v) in &points {
+                // Skewed partition, deliberately unlike round-robin.
+                let p = if v < 50 { 0 } else { (tag % 2 + 1) as usize };
+                parts[p].insert_tagged(&[v], tag).unwrap();
+            }
+            let mut merged = parts.remove(0);
+            for p in &parts {
+                merged.merge_from(p).unwrap();
+            }
+            merged.seal();
+            single.seal();
+            assert_eq!(merged, single, "{}", cfg.label());
+        }
+    }
+
+    #[test]
+    fn merge_rejects_unsupported_and_mismatched_kinds() {
+        let w = SynopsisConfig::Wavelet {
+            budget: 16,
+            domain: 128,
+        };
+        assert!(!w.supports_merge());
+        assert!(w.build_mergeable(1).is_err());
+        let a = SynopsisConfig::AdaptiveSparse {
+            base_width: 1,
+            max_cells: 8,
+        };
+        assert!(!a.supports_merge());
+        assert!(a.build_mergeable(1).is_err());
+        let mut wa = w.build(1).unwrap();
+        let wb = w.build(1).unwrap();
+        assert!(wa.merge_from(&wb).is_err());
+        let mut s = SynopsisConfig::default_sparse().build(1).unwrap();
+        assert!(s.merge_from(&wb).is_err());
+        assert!(SynopsisConfig::default_sparse().supports_merge());
+    }
+
+    #[test]
+    fn mergeable_reservoir_demands_tags_and_matching_seeds() {
+        let cfg = SynopsisConfig::Reservoir {
+            capacity: 4,
+            seed: 1,
+        };
+        let mut r = cfg.build_mergeable(1).unwrap();
+        assert!(r.insert(&[1]).is_err(), "untagged insert must be rejected");
+        r.insert_tagged(&[1], 0).unwrap();
+        let other = SynopsisConfig::Reservoir {
+            capacity: 4,
+            seed: 2,
+        }
+        .build_mergeable(1)
+        .unwrap();
+        assert!(r.merge_from(&other).is_err(), "seed mismatch must fail");
+        // Algorithm R samples (untagged mode) cannot merge.
+        let mut plain = cfg.build(1).unwrap();
+        plain.insert(&[1]).unwrap();
+        let plain2 = cfg.build(1).unwrap();
+        assert!(plain.merge_from(&plain2).is_err());
+    }
+
+    #[test]
+    fn mhist_merge_requires_tags_and_thawed_operands() {
+        let cfg = SynopsisConfig::MHist {
+            max_buckets: 8,
+            alignment: None,
+        };
+        let mut a = cfg.build(1).unwrap();
+        a.insert(&[1]).unwrap(); // untagged
+        let b = cfg.build(1).unwrap();
+        assert!(a.merge_from(&b).is_err(), "untagged points cannot merge");
+        let mut c = cfg.build_mergeable(1).unwrap();
+        c.insert_tagged(&[1], 0).unwrap();
+        let mut d = cfg.build_mergeable(1).unwrap();
+        d.insert_tagged(&[2], 1).unwrap();
+        d.seal();
+        assert!(c.merge_from(&d).is_err(), "frozen operand cannot merge");
     }
 
     #[test]

@@ -360,6 +360,12 @@ pub struct SharedController {
     /// Tuples currently in the stream's bounded channel (enqueued at
     /// ingest, dequeued by the worker).
     depth: AtomicI64,
+    /// How many workers drain this backlog concurrently (DESIGN.md
+    /// §15). A sharded stream's group shares one controller, so
+    /// `depth` is the *group* backlog — but it drains `drains`×
+    /// faster than a single worker would, and the threshold and
+    /// delay estimate divide the per-tuple main cost accordingly.
+    drains: AtomicU64,
     /// Error-diffusion accumulator in millifraction units (see
     /// [`LoadController::decide`]); `u64` wrapping keeps it lock-free.
     acc_milli: AtomicU64,
@@ -393,6 +399,7 @@ impl SharedController {
             main_us_bits: AtomicU64::new(main_us.to_bits()),
             triage_us_bits: AtomicU64::new(triage_us.to_bits()),
             depth: AtomicI64::new(0),
+            drains: AtomicU64::new(1),
             acc_milli: AtomicU64::new(0),
             last_fraction_milli: AtomicU64::new(0),
             gauges: ControllerGauges::default(),
@@ -432,6 +439,25 @@ impl SharedController {
 
     fn main_us(&self) -> f64 {
         f64::from_bits(self.main_us_bits.load(Ordering::Relaxed))
+    }
+
+    /// The effective per-tuple drain cost: the main-path estimate
+    /// divided by the number of concurrent drainers. With `drains`
+    /// = 1 (the default) this is exactly the main-path estimate.
+    fn drain_us(&self) -> f64 {
+        self.main_us() / self.drains.load(Ordering::Relaxed).max(1) as f64
+    }
+
+    /// Declare how many workers drain this backlog concurrently
+    /// (clamped to ≥ 1). Called once at startup when a stream's
+    /// worker group is sized; see DESIGN.md §15.
+    pub fn set_drains(&self, n: usize) {
+        self.drains.store(n.max(1) as u64, Ordering::Relaxed);
+    }
+
+    /// The declared number of concurrent drainers.
+    pub fn drains(&self) -> usize {
+        self.drains.load(Ordering::Relaxed).max(1) as usize
     }
 
     fn triage_us(&self) -> f64 {
@@ -476,9 +502,12 @@ impl SharedController {
         }
     }
 
-    /// The current dynamic triage threshold (tuples).
+    /// The current dynamic triage threshold (tuples). With a worker
+    /// group attached ([`SharedController::set_drains`]) the backlog
+    /// drains that many times faster, so the threshold scales up
+    /// proportionally.
     pub fn threshold(&self) -> u64 {
-        threshold_for(self.constraint_us(), self.main_us(), self.triage_us())
+        threshold_for(self.constraint_us(), self.drain_us(), self.triage_us())
     }
 
     /// The shed fraction the ramp dictates at the current depth —
@@ -530,7 +559,7 @@ impl SharedController {
         let main = self.main_us();
         ControllerState {
             threshold: self.threshold(),
-            estimated_delay: VDuration::from_micros((depth as f64 * main).round() as u64),
+            estimated_delay: VDuration::from_micros((depth as f64 * self.drain_us()).round() as u64),
             shed_fraction: self.last_fraction_milli.load(Ordering::Relaxed) as f64 / 1000.0,
             main_cost_us: main,
             triage_cost_us: self.triage_us(),
@@ -573,8 +602,9 @@ pub struct LaneState {
     pub rate: f64,
     /// The lane's current shed fraction.
     pub shed_fraction: f64,
-    /// Tuples this lane kept / shed since it was created.
+    /// Tuples this lane kept since it was created.
     pub kept: u64,
+    /// Tuples this lane shed since it was created.
     pub shed: u64,
 }
 
@@ -879,6 +909,36 @@ mod tests {
         assert_eq!(e.get_or(7.0), 7.0);
         e.observe(42.0);
         assert_eq!(e.value(), Some(42.0));
+    }
+
+    #[test]
+    fn drains_scale_the_threshold_and_delay_estimate() {
+        let c = SharedController::seeded(d_ms(10), 100.0, 5.0);
+        let solo_threshold = c.threshold();
+        let solo_state = c.state();
+        assert_eq!(c.drains(), 1);
+
+        // Declaring 4 drainers quarters the effective per-tuple cost:
+        // the threshold roughly quadruples and, at a fixed depth, the
+        // delay estimate quarters.
+        for _ in 0..40 {
+            c.on_enqueue();
+        }
+        let at_one = c.state().estimated_delay;
+        c.set_drains(4);
+        assert_eq!(c.drains(), 4);
+        assert!(c.threshold() >= solo_threshold * 3, "{}", c.threshold());
+        let at_four = c.state().estimated_delay;
+        assert_eq!(at_four.micros() * 4, at_one.micros());
+
+        // drains = 1 restores the single-worker numbers exactly.
+        c.set_drains(1);
+        c.on_dequeue(40);
+        assert_eq!(c.threshold(), solo_threshold);
+        assert_eq!(c.state(), solo_state);
+        // Degenerate input clamps rather than disabling the model.
+        c.set_drains(0);
+        assert_eq!(c.drains(), 1);
     }
 
     #[test]

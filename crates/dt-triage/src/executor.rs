@@ -38,7 +38,7 @@ pub struct SharedStream {
 }
 
 /// A window's kept/dropped synopsis pair for one physical stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynPair {
     /// Summary of tuples delivered to the exact engine.
     pub kept: Synopsis,

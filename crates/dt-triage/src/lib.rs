@@ -48,6 +48,17 @@
 //!   [`DelayConstraint`] plus EWMA cost estimates yield the dynamic
 //!   triage threshold and a smooth shedding ramp, turning the fixed
 //!   queue bound into a latency contract.
+//!
+//! # Scaling a stream past one core
+//!
+//! * [`ShardRouter`] / [`ShardQueues`] / [`merge_sealed`] /
+//!   [`ShardedStream`] (DESIGN.md §15) — partition a hot stream's
+//!   triage across a per-core worker group (group-key hash or
+//!   round-robin), steal batches across shards under skew, and fold
+//!   the per-shard seals back into windows bit-identical to a
+//!   single worker's.
+
+#![deny(missing_docs)]
 
 pub mod controller;
 pub mod executor;
@@ -57,6 +68,7 @@ pub mod pipeline;
 pub mod policy;
 pub mod queue;
 pub mod reorder;
+pub mod shard;
 pub mod shared;
 pub mod shed;
 pub mod stream;
@@ -75,6 +87,7 @@ pub use pipeline::{
 pub use policy::DropPolicy;
 pub use queue::TriageQueue;
 pub use reorder::ReorderBuffer;
+pub use shard::{merge_sealed, ShardQueues, ShardRouter, ShardedStream};
 pub use shared::SharedPipeline;
 pub use shed::ShedMode;
 pub use stream::{SealedWindow, StreamTriage};

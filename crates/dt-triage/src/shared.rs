@@ -54,6 +54,11 @@ struct WinStats {
 pub(crate) struct PointCols {
     cols: Vec<Vec<i64>>,
     rows: usize,
+    /// Arrival tags parallel to the buffered rows, filled by
+    /// [`PointCols::push_tagged`] (sharded triage). Either every row
+    /// is tagged or none is; `flush_into` picks the tagged synopsis
+    /// kernel when tags are present.
+    tags: Vec<u64>,
 }
 
 impl PointCols {
@@ -70,6 +75,13 @@ impl PointCols {
         self.rows += 1;
     }
 
+    /// Append one point carrying its per-stream arrival sequence tag.
+    #[inline]
+    pub(crate) fn push_tagged(&mut self, point: &[i64], tag: u64) {
+        self.push(point);
+        self.tags.push(tag);
+    }
+
     pub(crate) fn is_empty(&self) -> bool {
         self.rows == 0
     }
@@ -81,17 +93,31 @@ impl PointCols {
         if self.rows == 0 {
             return Ok(());
         }
+        if !self.tags.is_empty() && self.tags.len() != self.rows {
+            return Err(DtError::synopsis(
+                "mixed tagged/untagged points in one pending buffer",
+            ));
+        }
         if self.cols.is_empty() {
             // Zero-arity points carry no columns; replay by count.
-            for _ in 0..self.rows {
-                syn.insert(&[])?;
+            if self.tags.is_empty() {
+                for _ in 0..self.rows {
+                    syn.insert(&[])?;
+                }
+            } else {
+                for &tag in &self.tags {
+                    syn.insert_tagged(&[], tag)?;
+                }
             }
-        } else {
+        } else if self.tags.is_empty() {
             syn.insert_columns(&self.cols)?;
+        } else {
+            syn.insert_columns_tagged(&self.cols, &self.tags)?;
         }
         for c in &mut self.cols {
             c.clear();
         }
+        self.tags.clear();
         self.rows = 0;
         Ok(())
     }

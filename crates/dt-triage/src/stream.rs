@@ -33,11 +33,23 @@ use crate::shed::ShedMode;
 pub struct SealedWindow {
     /// Physical stream index.
     pub stream: usize,
+    /// Which shard of the stream's worker group sealed this (0 when
+    /// the stream runs unsharded). The merger folds the shard seals of
+    /// a window in ascending shard order ([`crate::merge_sealed`]).
+    pub shard: usize,
     /// Which window.
     pub window: WindowId,
     /// Rows delivered to the exact engine, in arrival order.
     pub rows: Vec<Row>,
-    /// Sealed kept/dropped synopses (synopsis modes only).
+    /// Per-stream ingest sequence numbers parallel to `rows`, recorded
+    /// by the `*_seq` triage entry points (empty otherwise). Sorting
+    /// the union of shard contributions by these unique sequences
+    /// restores global arrival order at merge, which is what keeps
+    /// sealed windows bit-identical across shard counts.
+    pub seqs: Vec<u64>,
+    /// Sealed kept/dropped synopses (synopsis modes only). A triage in
+    /// merge mode ([`StreamTriage::sharded`]) leaves them *unsealed* —
+    /// the group merge seals after folding.
     pub syn: Option<SynPair>,
     /// Tuples that arrived with timestamps in this window.
     pub arrived: u64,
@@ -57,6 +69,8 @@ pub struct SealedWindow {
 #[derive(Debug)]
 struct WinState {
     rows: Vec<Row>,
+    /// Ingest sequence numbers parallel to `rows` (merge mode only).
+    seqs: Vec<u64>,
     syn: Option<SynPair>,
     /// Columnar kept/dropped point buffers, flushed into `syn` in one
     /// vectorized pass at seal time (synopsis modes only).
@@ -74,6 +88,13 @@ pub struct StreamTriage {
     mode: ShedMode,
     synopsis: SynopsisConfig,
     spec: WindowSpec,
+    /// Which shard of a worker group this triage is (0 unsharded).
+    shard: usize,
+    /// Merge mode: build merge-capable synopses, tag kept rows and
+    /// synopsis points with ingest sequences, and leave synopses
+    /// unsealed at seal so [`crate::merge_sealed`] can fold the
+    /// group's partials exactly. Enabled by [`StreamTriage::sharded`].
+    merge_mode: bool,
     wins: BTreeMap<WindowId, WinState>,
     /// Windows below this id are sealed; tuples for them are late.
     next_seal: WindowId,
@@ -103,6 +124,8 @@ impl StreamTriage {
             mode,
             synopsis,
             spec,
+            shard: 0,
+            merge_mode: false,
             wins: BTreeMap::new(),
             next_seal: 0,
             degraded_until: 0,
@@ -110,6 +133,38 @@ impl StreamTriage {
             point_scratch: Vec::new(),
             obs: StreamObs::default(),
         }
+    }
+
+    /// Mark this triage as shard `shard` of a worker group (see the
+    /// `merge_mode` field docs). Sealed windows carry the shard index
+    /// and unsealed synopses; tuples must arrive via
+    /// [`StreamTriage::keep_seq`] / [`StreamTriage::shed_seq`] so rows
+    /// and synopsis points carry their ingest sequence.
+    pub fn sharded(mut self, shard: usize) -> Self {
+        self.shard = shard;
+        self.merge_mode = true;
+        self
+    }
+
+    /// The shard index stamped on this triage's seals.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Build one kept/dropped synopsis pair (merge-capable in merge
+    /// mode).
+    fn build_pair(&self) -> DtResult<SynPair> {
+        let build = |cfg: &SynopsisConfig| {
+            if self.merge_mode {
+                cfg.build_mergeable(self.arity)
+            } else {
+                cfg.build(self.arity)
+            }
+        };
+        Ok(SynPair {
+            kept: build(&self.synopsis)?,
+            dropped: build(&self.synopsis)?,
+        })
     }
 
     /// Record per-stream kept/dropped/late counters and sampled
@@ -153,10 +208,7 @@ impl StreamTriage {
     fn state(&mut self, w: WindowId) -> DtResult<&mut WinState> {
         if !self.wins.contains_key(&w) {
             let syn = if self.mode.uses_synopses() {
-                Some(SynPair {
-                    kept: self.synopsis.build(self.arity)?,
-                    dropped: self.synopsis.build(self.arity)?,
-                })
+                Some(self.build_pair()?)
             } else {
                 None
             };
@@ -164,6 +216,7 @@ impl StreamTriage {
                 w,
                 WinState {
                     rows: Vec::new(),
+                    seqs: Vec::new(),
                     syn,
                     pend: PendPair::default(),
                     arrived: 0,
@@ -175,12 +228,31 @@ impl StreamTriage {
         Ok(self.wins.get_mut(&w).expect("just inserted"))
     }
 
+    /// Would a tuple with this timestamp be counted late (every
+    /// containing window already sealed)? Work-stealing uses this to
+    /// leave near-deadline tuples with the shard responsible for
+    /// draining them at seal.
+    pub fn would_be_late(&self, ts: dt_types::Timestamp) -> bool {
+        self.spec.windows_of(ts).all(|w| w < self.next_seal)
+    }
+
     /// Record a tuple delivered past the channel: buffer its row for
     /// exact execution and (in Data Triage mode) fold it into the
     /// kept synopsis of every window containing its timestamp.
     /// Returns `false` if every such window was already sealed (the
     /// tuple is late and only counted).
     pub fn keep(&mut self, tuple: &Tuple) -> DtResult<bool> {
+        self.keep_at(tuple, None)
+    }
+
+    /// [`StreamTriage::keep`] carrying the tuple's per-stream ingest
+    /// sequence number, recorded alongside the row and its synopsis
+    /// point so sharded seals can merge in global arrival order.
+    pub fn keep_seq(&mut self, tuple: &Tuple, seq: u64) -> DtResult<bool> {
+        self.keep_at(tuple, Some(seq))
+    }
+
+    fn keep_at(&mut self, tuple: &Tuple, seq: Option<u64>) -> DtResult<bool> {
         let summarize = self.mode == ShedMode::DataTriage;
         let t0 = if summarize && self.obs.sample_synopsis() {
             Some(std::time::Instant::now())
@@ -202,8 +274,14 @@ impl StreamTriage {
             st.arrived += 1;
             st.kept += 1;
             st.rows.push(tuple.row.clone());
+            if let Some(seq) = seq {
+                st.seqs.push(seq);
+            }
             if summarize && st.syn.is_some() {
-                st.pend.kept.push(&point);
+                match seq {
+                    Some(seq) => st.pend.kept.push_tagged(&point, seq),
+                    None => st.pend.kept.push(&point),
+                }
                 inserts += 1;
             }
         }
@@ -238,10 +316,32 @@ impl StreamTriage {
         Ok(landed)
     }
 
+    /// [`StreamTriage::keep_batch`] with each tuple's per-stream
+    /// ingest sequence number (see [`StreamTriage::keep_seq`]).
+    pub fn keep_batch_seq(&mut self, tuples: &[(Tuple, u64)]) -> DtResult<usize> {
+        let mut landed = 0;
+        for (t, seq) in tuples {
+            if self.keep_at(t, Some(*seq))? {
+                landed += 1;
+            }
+        }
+        Ok(landed)
+    }
+
     /// Record a shed tuple: fold it into the dropped synopsis of every
     /// window containing its timestamp (synopsis modes) or just count
     /// it (drop-only). Returns `false` if the tuple was late.
     pub fn shed(&mut self, tuple: &Tuple) -> DtResult<bool> {
+        self.shed_at(tuple, None)
+    }
+
+    /// [`StreamTriage::shed`] carrying the tuple's per-stream ingest
+    /// sequence number (see [`StreamTriage::keep_seq`]).
+    pub fn shed_seq(&mut self, tuple: &Tuple, seq: u64) -> DtResult<bool> {
+        self.shed_at(tuple, Some(seq))
+    }
+
+    fn shed_at(&mut self, tuple: &Tuple, seq: Option<u64>) -> DtResult<bool> {
         let summarize = self.mode.uses_synopses();
         let t0 = if summarize && self.obs.sample_synopsis() {
             Some(std::time::Instant::now())
@@ -263,7 +363,10 @@ impl StreamTriage {
             st.arrived += 1;
             st.dropped += 1;
             if summarize && st.syn.is_some() {
-                st.pend.dropped.push(&point);
+                match seq {
+                    Some(seq) => st.pend.dropped.push_tagged(&point, seq),
+                    None => st.pend.dropped.push(&point),
+                }
                 inserts += 1;
             }
         }
@@ -302,11 +405,9 @@ impl StreamTriage {
             Some(st) => st,
             None => WinState {
                 rows: Vec::new(),
+                seqs: Vec::new(),
                 syn: if self.mode.uses_synopses() {
-                    Some(SynPair {
-                        kept: self.synopsis.build(self.arity)?,
-                        dropped: self.synopsis.build(self.arity)?,
-                    })
+                    Some(self.build_pair()?)
                 } else {
                     None
                 },
@@ -317,7 +418,10 @@ impl StreamTriage {
             },
         };
         // Flush the window's buffered points in one vectorized pass,
-        // then seal.
+        // then seal. In merge mode sealing is deferred: the group
+        // merge folds the shards' unsealed partials first, so MAXDIFF
+        // (and any other order-observing finalization) runs exactly
+        // once, over the globally ordered point sequence.
         if let Some(pair) = &mut st.syn {
             let t0 = self
                 .obs
@@ -332,15 +436,20 @@ impl StreamTriage {
                     .observe(t0.elapsed().as_micros() as u64);
             }
         }
+        let defer = self.merge_mode;
         let syn = st.syn.map(|mut pair| {
-            pair.kept.seal();
-            pair.dropped.seal();
+            if !defer {
+                pair.kept.seal();
+                pair.dropped.seal();
+            }
             pair
         });
         Ok(SealedWindow {
             stream: self.stream,
+            shard: self.shard,
             window: w,
             rows: st.rows,
+            seqs: st.seqs,
             syn,
             arrived: st.arrived,
             kept: st.kept,
